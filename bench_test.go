@@ -1,0 +1,99 @@
+package tskd_test
+
+import (
+	"testing"
+
+	"tskd/internal/harness"
+)
+
+// benchParams returns the scale the figure benchmarks run at: the
+// Table 1 defaults reduced so a full `go test -bench=.` pass finishes
+// in minutes on one machine. Use cmd/tskd-bench -scale full for
+// paper-scale sweeps.
+func benchParams() harness.Params {
+	p := harness.Quick()
+	return p
+}
+
+// runExperiment executes one paper experiment per benchmark iteration
+// and reports the headline comparison as custom metrics:
+// gain_S/gain_C/gain_H (mean relative throughput gain of TSKD[x] over
+// partitioner x) for Section 6.2 experiments, gain_CC (TSKD[CC] over
+// DBCC) for Section 6.3 experiments.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	p := benchParams()
+	var last *harness.Table
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Experiment(id, p)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		last = t
+	}
+	if last == nil {
+		return
+	}
+	pairs := []struct {
+		metric string
+		tskd   string
+		base   string
+	}{
+		{"gain_S", "TSKD[S]", "STRIFE"},
+		{"gain_C", "TSKD[C]", "SCHISM"},
+		{"gain_H", "TSKD[H]", "HORTICULTURE"},
+		{"gain_CC", "TSKD[CC]", "DBCC"},
+	}
+	for _, pr := range pairs {
+		if g := last.MeanImprovement(pr.tskd, pr.base); g != 0 {
+			b.ReportMetric(g, pr.metric)
+		}
+	}
+}
+
+// --- Section 6.2: Fig. 4, Table 2, overhead ---
+
+func BenchmarkFig4a(b *testing.B) { runExperiment(b, "fig4a") }
+func BenchmarkFig4b(b *testing.B) { runExperiment(b, "fig4b") }
+func BenchmarkFig4c(b *testing.B) { runExperiment(b, "fig4c") }
+func BenchmarkFig4d(b *testing.B) { runExperiment(b, "fig4d") }
+func BenchmarkFig4e(b *testing.B) { runExperiment(b, "fig4e") }
+func BenchmarkFig4f(b *testing.B) { runExperiment(b, "fig4f") }
+func BenchmarkFig4g(b *testing.B) { runExperiment(b, "fig4g") }
+func BenchmarkFig4h(b *testing.B) { runExperiment(b, "fig4h") }
+func BenchmarkFig4i(b *testing.B) { runExperiment(b, "fig4i") }
+func BenchmarkFig4j(b *testing.B) { runExperiment(b, "fig4j") }
+func BenchmarkFig4k(b *testing.B) { runExperiment(b, "fig4k") }
+func BenchmarkFig4l(b *testing.B) { runExperiment(b, "fig4l") }
+
+func BenchmarkTable2(b *testing.B)   { runExperiment(b, "tab2") }
+func BenchmarkOverhead(b *testing.B) { runExperiment(b, "overhead") }
+
+// --- Section 6.3: Fig. 5, Fig. 6 ---
+
+func BenchmarkFig5a(b *testing.B) { runExperiment(b, "fig5a") }
+func BenchmarkFig5b(b *testing.B) { runExperiment(b, "fig5b") }
+func BenchmarkFig5c(b *testing.B) { runExperiment(b, "fig5c") }
+func BenchmarkFig5d(b *testing.B) { runExperiment(b, "fig5d") }
+func BenchmarkFig5e(b *testing.B) { runExperiment(b, "fig5e") }
+func BenchmarkFig5f(b *testing.B) { runExperiment(b, "fig5f") }
+func BenchmarkFig5g(b *testing.B) { runExperiment(b, "fig5g") }
+func BenchmarkFig5h(b *testing.B) { runExperiment(b, "fig5h") }
+func BenchmarkFig6(b *testing.B)  { runExperiment(b, "fig6") }
+
+// --- Ablations (DESIGN.md Section 5) ---
+
+func BenchmarkAblationOrder(b *testing.B)      { runExperiment(b, "ablation-order") }
+func BenchmarkAblationCkRCF(b *testing.B)      { runExperiment(b, "ablation-ckrcf") }
+func BenchmarkAblationEstimator(b *testing.B)  { runExperiment(b, "ablation-estimator") }
+func BenchmarkAblationDeferBound(b *testing.B) { runExperiment(b, "ablation-deferbound") }
+
+// --- Extensions beyond the paper ---
+
+func BenchmarkExtSim(b *testing.B)       { runExperiment(b, "ext-sim") }
+func BenchmarkExtNoCC(b *testing.B)      { runExperiment(b, "ext-nocc") }
+func BenchmarkExtLatency(b *testing.B)   { runExperiment(b, "ext-latency") }
+func BenchmarkExtAdaptive(b *testing.B)  { runExperiment(b, "ext-adaptive") }
+func BenchmarkExtFig5TPCC(b *testing.B)  { runExperiment(b, "ext-fig5-tpcc") }
+func BenchmarkExtTemplates(b *testing.B) { runExperiment(b, "ext-templates") }
+func BenchmarkExtStream(b *testing.B)    { runExperiment(b, "ext-stream") }

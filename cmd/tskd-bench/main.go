@@ -1,0 +1,108 @@
+// Command tskd-bench regenerates the paper's experiments: every figure
+// and table of Section 6, plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	tskd-bench -exp fig4a              # one experiment, full scale
+//	tskd-bench -exp all -scale quick   # everything, reduced scale
+//	tskd-bench -list                   # list experiment ids
+//
+// Results print as aligned text tables with the paper's expected
+// qualitative shape noted above each.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tskd/internal/harness"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (or 'all')")
+		scale  = flag.String("scale", "full", "parameter scale: full, mid, or quick")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		seed   = flag.Int64("seed", 1, "random seed")
+		bundle = flag.Int("bundle", 0, "override bundle size")
+		cores  = flag.Int("cores", 0, "override #core")
+		ccName = flag.String("cc", "", "override CC protocol")
+		opUS   = flag.Int("optime-us", -1, "override per-op work in microseconds")
+		csvDir = flag.String("csv", "", "also write each experiment's rows to <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range harness.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: tskd-bench -exp <id|all> [-scale quick|full]")
+		fmt.Fprintln(os.Stderr, "known experiments:", harness.ExperimentIDs())
+		os.Exit(2)
+	}
+
+	p := harness.Default()
+	switch *scale {
+	case "quick":
+		p = harness.Quick()
+	case "mid":
+		p = harness.Mid()
+	}
+	p.Seed = *seed
+	if *bundle > 0 {
+		p.Bundle = *bundle
+	}
+	if *cores > 0 {
+		p.Cores = *cores
+	}
+	if *ccName != "" {
+		p.CC = *ccName
+	}
+	if *opUS >= 0 {
+		p.OpTime = time.Duration(*opUS) * time.Microsecond
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = harness.ExperimentIDs()
+	}
+	var tables []*harness.Table
+	for _, id := range ids {
+		start := time.Now()
+		t, err := harness.Experiment(id, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tskd-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		t.Print(os.Stdout)
+		if *csvDir != "" {
+			if err := writeCSVFile(*csvDir, id, t); err != nil {
+				fmt.Fprintf(os.Stderr, "tskd-bench: csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		tables = append(tables, t)
+	}
+	if len(tables) > 1 {
+		harness.Summarize(tables).Print(os.Stdout)
+	}
+}
+
+func writeCSVFile(dir, id string, t *harness.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

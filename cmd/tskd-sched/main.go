@@ -1,0 +1,107 @@
+// Command tskd-sched shows what TsPAR does to a workload without
+// executing it: it generates a bundle, partitions it, refines the
+// partition into a schedule with TSgen, and prints the queues, the
+// residual, the makespan, and the scheduled percentage — the analytic
+// view of the paper's Examples 1-4 at benchmark scale.
+//
+// Usage:
+//
+//	tskd-sched -bench ycsb -theta 0.9 -k 8
+//	tskd-sched -example            # the paper's Example 1 workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tskd/internal/conflict"
+	"tskd/internal/estimator"
+	"tskd/internal/partition"
+	"tskd/internal/sched"
+	"tskd/internal/txn"
+	"tskd/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "ycsb", "benchmark: ycsb or tpcc")
+		theta   = flag.Float64("theta", 0.8, "YCSB zipf skew")
+		k       = flag.Int("k", 4, "threads")
+		n       = flag.Int("n", 1000, "bundle size")
+		seed    = flag.Int64("seed", 1, "random seed")
+		part    = flag.String("partitioner", "strife", "strife, schism, horticulture, or none")
+		example = flag.Bool("example", false, "schedule the paper's Example 1 workload on 2 threads")
+		gantt   = flag.Bool("gantt", false, "render the schedule as an ASCII Gantt chart")
+	)
+	flag.Parse()
+
+	var w txn.Workload
+	switch {
+	case *example:
+		w = txn.MustParseWorkload(`
+			R[x2]W[x2]R[x3]W[x3]R[x4]W[x4]
+			R[x1]W[x2]W[x1]
+			R[x3]W[x3]R[x2]R[x3]W[x2]
+			R[x5]W[x5]R[x6]W[x6]
+			R[x1]W[x1]R[x5]W[x5]R[x1]W[x1]
+		`)
+		*k = 2
+	case *bench == "tpcc":
+		cfg := workload.TPCC{Warehouses: 8, Txns: *n, Items: 200, CustomersPerDistrict: 50, CrossPct: 0.25, Seed: *seed}
+		w = cfg.Generate()
+	default:
+		cfg := workload.YCSB{Records: 10_000, Theta: *theta, Txns: *n, OpsPerTxn: 16, ReadRatio: 0.5, Seed: *seed}
+		w = cfg.Generate()
+	}
+
+	g := conflict.Build(w, conflict.Serializability)
+	fmt.Printf("workload: %d transactions, %d ops, conflict graph: %d edges\n",
+		len(w), w.TotalOps(), g.Edges())
+
+	var plan *partition.Plan
+	switch *part {
+	case "strife":
+		plan = partition.NewStrife(*seed).Partition(w, g, *k)
+	case "schism":
+		plan = partition.ExtractResidual(partition.NewSchism(*seed).Partition(w, g, *k), g)
+	case "horticulture":
+		plan = partition.ExtractResidual(partition.NewHorticulture().Partition(w, g, *k), g)
+	case "none":
+		plan = partition.NewPlan(*k)
+		plan.Residual = append(plan.Residual, w...)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown partitioner %q\n", *part)
+		os.Exit(2)
+	}
+	fmt.Printf("partition (%s): residual %d, load ratio %.2f\n",
+		*part, len(plan.Residual), plan.LoadRatio())
+
+	s := sched.Generate(w, plan, g, estimator.AccessSetSize{}, sched.Options{Seed: *seed})
+	if err := s.Validate(w); err != nil {
+		fmt.Fprintf(os.Stderr, "schedule invalid: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("schedule: makespan %.0f units, residual R_s %d, s%% %.1f\n",
+		float64(s.Makespan()), len(s.Residual), s.Stats.ScheduledPct())
+	for i := range s.Queues {
+		fmt.Printf("  Q%-2d %5d txns, %8.0f units", i+1, len(s.Queues[i]), float64(s.QueueTime(i)))
+		if *example {
+			fmt.Print("  <")
+			for j, t := range s.Queues[i] {
+				if j > 0 {
+					fmt.Print(", ")
+				}
+				fmt.Printf("T%d", t.ID+1)
+			}
+			fmt.Print(">")
+		}
+		fmt.Println()
+	}
+	fmt.Printf("idealized total time: %.0f units (queues + residual over %d threads)\n",
+		float64(s.TotalTime()), *k)
+	if *gantt {
+		fmt.Println()
+		s.Gantt(os.Stdout, 72)
+	}
+}

@@ -1,0 +1,150 @@
+// Command tskd-trace generates, inspects, and replays workload traces
+// — the serialized form of the bundled workloads the paper's
+// partitioners and TsPAR consume.
+//
+// Usage:
+//
+//	tskd-trace -gen ycsb -n 5000 -theta 0.9 -out bundle.trace
+//	tskd-trace -info bundle.trace
+//	tskd-trace -replay bundle.trace -system "TSKD[0]" -cores 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tskd/internal/conflict"
+	"tskd/internal/core"
+	"tskd/internal/partition"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+	"tskd/internal/workload"
+)
+
+func main() {
+	var (
+		gen    = flag.String("gen", "", "generate a trace: ycsb or tpcc")
+		out    = flag.String("out", "bundle.trace", "output path for -gen")
+		info   = flag.String("info", "", "print statistics of a trace file")
+		replay = flag.String("replay", "", "execute a trace file")
+		system = flag.String("system", "TSKD[0]", "system for -replay: STRIFE, TSKD[S], TSKD[0], DBCC, TSKD[CC]")
+		n      = flag.Int("n", 2000, "bundle size for -gen")
+		theta  = flag.Float64("theta", 0.8, "YCSB zipf skew for -gen")
+		cores  = flag.Int("cores", 8, "workers for -replay")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen != "":
+		w, err := generate(*gen, *n, *theta, *seed)
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := workload.SaveTrace(f, w); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d transactions (%d ops) to %s\n", len(w), w.TotalOps(), *out)
+
+	case *info != "":
+		w := load(*info)
+		g := conflict.Build(w, conflict.Serializability)
+		byTemplate := map[string]int{}
+		for _, t := range w {
+			byTemplate[t.Template]++
+		}
+		fmt.Printf("%s: %d transactions, %d ops, %d conflict edges\n",
+			*info, len(w), w.TotalOps(), g.Edges())
+		for tpl, cnt := range byTemplate {
+			fmt.Printf("  %-14s %d\n", tpl, cnt)
+		}
+
+	case *replay != "":
+		w := load(*replay)
+		db := rebuildDB(w)
+		o := core.Options{Workers: *cores, Protocol: "OCC", Seed: *seed}
+		var res core.Result
+		var err error
+		switch *system {
+		case "STRIFE":
+			res, err = core.RunBaseline(db, w, partition.NewStrife(*seed), o)
+		case "TSKD[S]":
+			res, err = core.RunTSKD(db, w, partition.NewStrife(*seed), o)
+		case "TSKD[0]":
+			res, err = core.RunTSKD(db, w, nil, o)
+		case "DBCC":
+			res, err = core.RunCC(db, w, o)
+		case "TSKD[CC]":
+			res, err = core.RunTSKDCC(db, w, o)
+		default:
+			fail(fmt.Errorf("unknown system %q", *system))
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: %d committed, %d retries, %d defers, k-core throughput %.0f/s\n",
+			res.System, res.Committed, res.Retries, res.Defers, res.VThroughput())
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func generate(kind string, n int, theta float64, seed int64) (txn.Workload, error) {
+	switch kind {
+	case "ycsb":
+		cfg := workload.YCSB{Records: 100_000, Theta: theta, Txns: n,
+			OpsPerTxn: 16, ReadRatio: 0.5, RMW: true, Seed: seed}
+		return cfg.Generate(), nil
+	case "tpcc":
+		cfg := workload.TPCC{Warehouses: 8, CrossPct: 0.25, Txns: n,
+			Items: 400, CustomersPerDistrict: 120, Seed: seed}
+		return cfg.Generate(), nil
+	default:
+		return nil, fmt.Errorf("unknown workload kind %q (want ycsb or tpcc)", kind)
+	}
+}
+
+func load(path string) txn.Workload {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	w, err := workload.LoadTrace(f)
+	if err != nil {
+		fail(err)
+	}
+	return w
+}
+
+// rebuildDB creates a database covering every key the trace touches
+// (replay does not know the original loader's parameters, so it builds
+// the smallest store the trace needs; rows start zeroed).
+func rebuildDB(w txn.Workload) *storage.DB {
+	db := storage.NewDB()
+	tables := map[uint16]bool{}
+	for _, t := range w {
+		for _, op := range t.Ops {
+			id := op.Key.Table()
+			if !tables[id] {
+				tables[id] = true
+				db.CreateTable(id, fmt.Sprintf("t%d", id), 4)
+			}
+			db.ResolveOrInsert(op.Key)
+		}
+	}
+	return db
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tskd-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+// Package tskd is a Go reproduction of "Transaction Scheduling: From
+// Conflicts to Runtime Conflicts" (Cao, Fan, Ou, Xie, Zhao; SIGMOD /
+// PACMMOD 2023, DOI 10.1145/3603164).
+//
+// The implementation lives under internal/: the TSKD tool itself
+// (internal/core wiring internal/sched's TSgen scheduler and
+// internal/deferment's lock-free proactive deferment) over a
+// DBx1000-style in-memory OLTP substrate (internal/storage,
+// internal/cc, internal/engine), the partitioner baselines
+// (internal/partition: Strife, Schism, Horticulture), the benchmarks
+// (internal/workload: YCSB, full TPC-C, runtime-skew and I/O-latency
+// extensions), and the experiment harness (internal/harness) that
+// regenerates every figure and table of the paper's Section 6.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for measured results next to the paper's claims. The
+// benchmarks in bench_test.go regenerate each experiment
+// (BenchmarkFig4a ... BenchmarkTable2).
+package tskd

@@ -1,0 +1,111 @@
+// Workflow: dependency-aware scheduling — the paper's Section 3
+// extension ("transaction partitioners and TsPAR can readily
+// incorporate transaction dependencies by enforcing dependencies in
+// partitions and during scheduling").
+//
+// The workload is an order-processing pipeline: every order flows
+// through reserve → charge → ship, and each stage must complete before
+// the next starts (application-specified causal dependencies).
+// GenerateWithDeps builds runtime-conflict-free queues whose positions
+// are topologically consistent, and the engine enforces the
+// dependencies at execution time with lock-free commit waits.
+//
+// Run with: go run ./examples/workflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tskd/internal/cc"
+	"tskd/internal/conflict"
+	"tskd/internal/engine"
+	"tskd/internal/estimator"
+	"tskd/internal/history"
+	"tskd/internal/sched"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+const (
+	orders  = 200
+	threads = 6
+	// tables
+	tInventory = 0
+	tAccounts  = 1
+	tShipments = 2
+)
+
+func main() {
+	db := storage.NewDB()
+	inv := db.CreateTable(tInventory, "inventory", 1)
+	acc := db.CreateTable(tAccounts, "accounts", 1)
+	db.CreateTable(tShipments, "shipments", 1)
+	for i := uint64(0); i < orders; i++ {
+		r, _ := inv.Insert(i % 40) // 40 items, shared
+		t := r.Load().Clone()
+		t.Fields[0] = 1_000
+		r.Install(t)
+		acc.Insert(i % 25) // 25 customers, shared
+	}
+
+	// Three transactions per order with a dependency chain.
+	var w txn.Workload
+	deps := sched.NewDeps()
+	for o := 0; o < orders; o++ {
+		item, cust := uint64(o%40), uint64(o%25)
+		reserve := txn.New(len(w)).U(txn.MakeKey(tInventory, item), ^uint64(0)) // -1 stock
+		reserve.Template = "Reserve"
+		w = append(w, reserve)
+
+		charge := txn.New(len(w)).U(txn.MakeKey(tAccounts, cust), 42)
+		charge.Template = "Charge"
+		w = append(w, charge)
+
+		ship := txn.New(len(w)).IF(txn.MakeKey(tShipments, uint64(o)), 0, 1)
+		ship.Template = "Ship"
+		w = append(w, ship)
+
+		deps.Add(reserve.ID, charge.ID)
+		deps.Add(charge.ID, ship.ID)
+	}
+
+	g := conflict.Build(w, conflict.Serializability)
+	s, err := sched.GenerateWithDeps(w, g, estimator.AccessSetSize{}, threads, deps, sched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Validate(w); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.ValidateDeps(deps, w); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d transactions, %d dependencies, conflict graph %d edges\n",
+		len(w), deps.Len(), g.Edges())
+	fmt.Printf("schedule: %d queued (s%% %.1f), %d residual, makespan %v units\n",
+		s.Stats.Merged, s.Stats.ScheduledPct(), len(s.Residual), s.Makespan())
+
+	rec := history.NewRecorder()
+	phases := []engine.Phase{{PerThread: s.Queues}}
+	if len(s.Residual) > 0 {
+		phases = append(phases, engine.SpreadRoundRobin(s.Residual, threads))
+	}
+	m := engine.Run(w, phases, engine.Config{
+		Workers: threads, Protocol: cc.NewSilo(), DB: db,
+		Deps: deps, Recorder: rec, Seed: 5,
+	})
+	fmt.Printf("execution: %d committed, %d retries, p99 latency %v\n",
+		m.Committed, m.Retries, m.LatencyP99)
+	if err := rec.Check(); err != nil {
+		log.Fatalf("NOT serializable: %v", err)
+	}
+	// Every shipment implies its charge and reserve committed first;
+	// verify the end state.
+	shipped := 0
+	db.Table(tShipments).Range(func(*storage.Row) bool { shipped++; return true })
+	if shipped != orders {
+		log.Fatalf("shipped %d of %d orders", shipped, orders)
+	}
+	fmt.Printf("all %d orders flowed reserve -> charge -> ship; serializability OK\n", orders)
+}

@@ -1,0 +1,3 @@
+module tskd
+
+go 1.24

@@ -1,0 +1,153 @@
+package cc
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+// HStore is H-Store-style partition-level locking, the coarsest
+// protocol in DBx1000's suite: the key space is divided into logical
+// partitions and a transaction exclusively locks every partition it
+// touches before operating, executing serially within partitions.
+// Single-partition transactions are extremely cheap (one lock, no
+// per-row work); multi-partition transactions serialize whole
+// partitions, which is exactly the behaviour that motivates
+// partitioners like Horticulture to minimize cross-partition work.
+//
+// Partition locks are acquired on demand in ascending partition order
+// when possible; an out-of-order acquisition that finds the lock held
+// aborts (NO_WAIT) to preserve deadlock freedom.
+type HStore struct {
+	// PartitionOf maps a key to its logical partition. The default
+	// hashes the table id and high row bits into 64 partitions.
+	PartitionOf func(txn.Key) int
+	// Partitions is the partition count of the default mapper.
+	Partitions int
+
+	ts    tsSource
+	mu    sync.Mutex
+	locks map[int]bool // held partition locks (global)
+}
+
+// NewHStore returns the partition-locking protocol with nParts logical
+// partitions (default 64).
+func NewHStore(nParts int) *HStore {
+	if nParts <= 0 {
+		nParts = 64
+	}
+	h := &HStore{Partitions: nParts, locks: make(map[int]bool)}
+	h.PartitionOf = func(k txn.Key) int {
+		return int((uint64(k) * 0x9E3779B97F4A7C15 >> 40) % uint64(h.Partitions))
+	}
+	return h
+}
+
+// Name implements Protocol.
+func (p *HStore) Name() string { return "HSTORE" }
+
+// Begin implements Protocol.
+func (p *HStore) Begin(c *Ctx) {
+	c.Reset()
+	c.TS = p.ts.next()
+	c.parts = c.parts[:0]
+}
+
+// acquire takes the partition lock for key if not already held by this
+// transaction. Acquisitions in ascending order always wait; descending
+// ones abort when contended (deadlock freedom).
+func (p *HStore) acquire(c *Ctx, key txn.Key) error {
+	part := p.PartitionOf(key)
+	for _, held := range c.parts {
+		if held == part {
+			return nil
+		}
+	}
+	ordered := len(c.parts) == 0 || part > c.parts[len(c.parts)-1]
+	contended := false
+	for {
+		p.mu.Lock()
+		if !p.locks[part] {
+			p.locks[part] = true
+			p.mu.Unlock()
+			c.parts = append(c.parts, part)
+			// Keep the held list sorted so the ordering test above
+			// compares against the maximum held partition.
+			sort.Ints(c.parts)
+			return nil
+		}
+		p.mu.Unlock()
+		if !contended {
+			c.Stats.Contended++
+			contended = true
+		}
+		if !ordered {
+			return ErrConflict // would risk a deadlock: abort
+		}
+		runtime.Gosched()
+	}
+}
+
+// Read implements Protocol.
+func (p *HStore) Read(c *Ctx, row *storage.Row) (*storage.Tuple, error) {
+	if err := p.acquire(c, row.Key); err != nil {
+		return nil, err
+	}
+	if t := c.pendingTuple(row); t != nil {
+		return t, nil
+	}
+	if c.Observe {
+		c.reads = append(c.reads, readEntry{row: row, ver: row.Ver.Load()})
+	}
+	return row.Load(), nil
+}
+
+// Write implements Protocol.
+func (p *HStore) Write(c *Ctx, row *storage.Row, upd UpdateFunc) error {
+	if err := p.acquire(c, row.Key); err != nil {
+		return err
+	}
+	c.stage(row, upd)
+	return nil
+}
+
+// Commit implements Protocol: install under the partition locks, then
+// release them.
+func (p *HStore) Commit(c *Ctx) error {
+	if !c.validateScans() {
+		p.release(c)
+		return ErrConflict
+	}
+	ws := c.sortedWrites()
+	for i := range ws {
+		w := &ws[i]
+		for !w.row.TryLatch() {
+			runtime.Gosched()
+		}
+		w.install()
+		w.row.Unlatch(true)
+	}
+	p.release(c)
+	return nil
+}
+
+// Abort implements Protocol.
+func (p *HStore) Abort(c *Ctx) {
+	p.release(c)
+	c.Stats.Aborts++
+}
+
+func (p *HStore) release(c *Ctx) {
+	if len(c.parts) == 0 {
+		return
+	}
+	p.mu.Lock()
+	for _, part := range c.parts {
+		delete(p.locks, part)
+	}
+	p.mu.Unlock()
+	c.parts = c.parts[:0]
+}

@@ -1,0 +1,169 @@
+package cc
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"tskd/internal/storage"
+)
+
+// MVCC is multiversion timestamp ordering (MV-TO), the multiversion
+// protocol family of Bernstein & Goodman that DBx1000 ships as its
+// MVCC implementation. Each transaction receives a begin timestamp and
+// reads the newest version no newer than it — read-only transactions
+// therefore never abort. Writers install new versions at their
+// timestamp and abort when they arrive "too late": a reader with a
+// higher timestamp already observed the version they would supersede
+// (tracked conservatively with one read-timestamp word per row), or a
+// newer version already exists.
+type MVCC struct{ ts tsSource }
+
+// NewMVCC returns the MVCC protocol.
+func NewMVCC() *MVCC { return &MVCC{} }
+
+// Name implements Protocol.
+func (p *MVCC) Name() string { return "MVCC" }
+
+// Begin implements Protocol.
+func (p *MVCC) Begin(c *Ctx) {
+	c.Reset()
+	c.TS = p.ts.next()
+}
+
+// Read implements Protocol: return the version visible at the
+// transaction's begin timestamp.
+func (p *MVCC) Read(c *Ctx, row *storage.Row) (*storage.Tuple, error) {
+	if t := c.pendingTuple(row); t != nil {
+		return t, nil
+	}
+	contended := false
+	for {
+		// Publish the read intention first so that a writer validating
+		// after this point sees it; then take a consistent snapshot
+		// and decide visibility. If an install slips in between, the
+		// version check fails and we retry with the intention already
+		// in place.
+		casMax(&row.RTS, c.TS)
+		v1 := row.Ver.Load()
+		if storage.VerLocked(v1) {
+			if !contended {
+				c.Stats.Contended++
+				contended = true
+			}
+			runtime.Gosched()
+			continue
+		}
+		wts := row.WTS.Load()
+		t := row.Load()
+		if row.Ver.Load() != v1 {
+			continue
+		}
+		if wts <= c.TS {
+			// The current version is visible.
+			c.reads = append(c.reads, readEntry{row: row, ver: v1, wts: wts})
+			return t, nil
+		}
+		// Walk the chain for the version visible at c.TS.
+		rec := row.VersionAt(c.TS)
+		if row.Ver.Load() != v1 {
+			continue // chain changed under us
+		}
+		if rec == nil {
+			// Pruned past our snapshot: too old to serve. Abort and
+			// retry with a fresh timestamp.
+			return nil, ErrConflict
+		}
+		c.reads = append(c.reads, readEntry{row: row, ver: rec.VerNum << 1, wts: rec.WTS})
+		return rec.Tuple, nil
+	}
+}
+
+// Write implements Protocol: purely local staging.
+func (p *MVCC) Write(c *Ctx, row *storage.Row, upd UpdateFunc) error {
+	c.stage(row, upd)
+	return nil
+}
+
+// Commit implements Protocol: latch the write set in key order,
+// enforce timestamp ordering, then install new versions at c.TS.
+func (p *MVCC) Commit(c *Ctx) error {
+	writes := c.sortedWrites()
+	for i := range writes {
+		contended := false
+		for !writes[i].row.TryLatch() {
+			if !contended {
+				c.Stats.Contended++
+				contended = true
+			}
+			runtime.Gosched()
+		}
+		writes[i].locked = true
+	}
+	if len(writes) > 0 {
+		runtime.Gosched() // preemption point; see Silo.Commit
+	}
+	if !c.validateScans() {
+		p.unlatchWrites(c)
+		return ErrConflict
+	}
+	// Timestamp-ordering validation: the write is too late if a newer
+	// version exists or a newer reader observed the current one.
+	for _, w := range writes {
+		if w.row.WTS.Load() > c.TS || w.row.RTS.Load() > c.TS {
+			p.unlatchWrites(c)
+			return ErrConflict
+		}
+	}
+	// Also validate own reads: a version we read must still be the
+	// one visible at c.TS (a writer with ts in (read wts, c.TS] that
+	// slipped past our RTS intention would have changed it).
+	for _, r := range c.reads {
+		if _, own := c.pending[r.row]; own {
+			continue // latched by us; stable
+		}
+		wts := r.row.WTS.Load()
+		if wts != r.wts && wts <= c.TS {
+			p.unlatchWrites(c)
+			return ErrConflict
+		}
+	}
+	for i := range writes {
+		w := &writes[i]
+		// Push the displaced version, then install the successor.
+		cur := w.row.Load()
+		w.row.PushVersion(&storage.VersionRec{
+			VerNum: storage.VerNumber(w.row.Ver.Load()),
+			WTS:    w.row.WTS.Load(),
+			Tuple:  cur,
+		})
+		w.install()
+		w.row.WTS.Store(c.TS)
+		w.row.Unlatch(true)
+		w.locked = false
+	}
+	return nil
+}
+
+func (p *MVCC) unlatchWrites(c *Ctx) {
+	for i := range c.writes {
+		if c.writes[i].locked {
+			c.writes[i].row.Unlatch(false)
+			c.writes[i].locked = false
+		}
+	}
+}
+
+// Abort implements Protocol.
+func (p *MVCC) Abort(c *Ctx) {
+	c.Stats.Aborts++
+}
+
+// casMax raises a to at least v.
+func casMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

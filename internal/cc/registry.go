@@ -1,0 +1,38 @@
+package cc
+
+import "fmt"
+
+// New returns a fresh protocol instance by name. Valid names: NONE,
+// NO_WAIT, WAIT_DIE, OCC, SILO, TICTOC. Protocol instances carry global
+// state (validation mutexes, timestamp counters) and must not be shared
+// across independent databases.
+func New(name string) (Protocol, error) {
+	switch name {
+	case "NONE":
+		return NewNone(), nil
+	case "NO_WAIT":
+		return NewNoWait(), nil
+	case "WAIT_DIE":
+		return NewWaitDie(), nil
+	case "OCC":
+		return NewOCC(), nil
+	case "SILO":
+		return NewSilo(), nil
+	case "TICTOC":
+		return NewTicToc(), nil
+	case "MVCC":
+		return NewMVCC(), nil
+	case "SSI":
+		return NewSSI(), nil
+	case "HSTORE":
+		return NewHStore(0), nil
+	default:
+		return nil, fmt.Errorf("cc: unknown protocol %q", name)
+	}
+}
+
+// Names lists the protocols that provide isolation (excludes NONE), in
+// the order the paper evaluates them plus the lockers and MVCC.
+func Names() []string {
+	return []string{"OCC", "SILO", "TICTOC", "NO_WAIT", "WAIT_DIE", "MVCC", "SSI", "HSTORE"}
+}

@@ -1,0 +1,53 @@
+// Package clock provides calibrated busy-wait "work units" and virtual
+// time helpers.
+//
+// The paper measures everything on real hardware where a read/write
+// takes roughly constant time and artificial knobs (minimum transaction
+// runtime, commit-time I/O latency) stretch wall-clock execution. We
+// reproduce that with two mechanisms:
+//
+//   - Spin(d): burn CPU for approximately d without yielding the OS
+//     thread. Used for per-operation work and the minT runtime
+//     lower-bound extension, where sleeping would free the core and
+//     distort contention in a way the paper's busy transactions do not.
+//   - Virtual time (Units): the analytic side of the scheduler
+//     (internal/sched) reasons about transaction durations as abstract
+//     cost units, independent of wall-clock calibration.
+package clock
+
+import (
+	"runtime"
+	"time"
+)
+
+// Units is a virtual duration used by the scheduler's analytic model:
+// 1 unit ≈ the cost of one read/write operation (Example 1 of the
+// paper uses exactly this convention). Estimators produce Units; the
+// engine maps Units to wall time with a configurable scale.
+type Units float64
+
+// Spin busy-waits for approximately d, yielding the processor between
+// clock reads. The yield matters: on hosts with fewer physical cores
+// than configured workers (including single-CPU CI machines), it makes
+// the worker goroutines time-slice like cores sharing a machine, so
+// transactions interleave mid-flight and contention windows are
+// realistic. Durations ≤ 0 return immediately.
+func Spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// SpinUntil busy-waits until the deadline passes, yielding the
+// processor occasionally so oversubscribed worker pools (more workers
+// than GOMAXPROCS) still make progress. Used for the longer I/O-latency
+// delays where strict CPU burn is not required, only elapsed time.
+func SpinUntil(deadline time.Time) {
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}

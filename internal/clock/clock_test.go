@@ -1,0 +1,45 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpinElapses(t *testing.T) {
+	start := time.Now()
+	Spin(2 * time.Millisecond)
+	if el := time.Since(start); el < 2*time.Millisecond {
+		t.Errorf("Spin(2ms) returned after %v", el)
+	}
+}
+
+func TestSpinNonPositive(t *testing.T) {
+	start := time.Now()
+	Spin(0)
+	Spin(-time.Second)
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Errorf("Spin(<=0) took %v", el)
+	}
+}
+
+func TestSpinUntil(t *testing.T) {
+	deadline := time.Now().Add(time.Millisecond)
+	SpinUntil(deadline)
+	if time.Now().Before(deadline) {
+		t.Error("SpinUntil returned before deadline")
+	}
+	// Past deadline returns immediately.
+	start := time.Now()
+	SpinUntil(start.Add(-time.Second))
+	if time.Since(start) > 50*time.Millisecond {
+		t.Error("SpinUntil with past deadline spun")
+	}
+}
+
+func TestUnitsArithmetic(t *testing.T) {
+	var a Units = 3
+	b := a + 4.5
+	if b != 7.5 {
+		t.Errorf("Units arithmetic broken: %v", b)
+	}
+}

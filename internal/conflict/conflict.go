@@ -1,0 +1,178 @@
+// Package conflict defines transaction conflicts relative to an
+// isolation level (Section 2.1 of the paper) and builds the conflict
+// graph G_c that both the partitioners and the TSgen scheduler consult.
+//
+// Under serializability, T and T' conflict iff they access a common
+// data item and at least one of them writes it. Under snapshot
+// isolation, they conflict iff their write sets intersect. The graph is
+// built once per bundle with an inverted key index (not pairwise
+// comparison), the same strategy partitioners such as Schism use, and
+// is reused by TSgen exactly as the paper prescribes.
+package conflict
+
+import (
+	"fmt"
+	"sort"
+
+	"tskd/internal/txn"
+)
+
+// Isolation selects the conflict definition.
+type Isolation int
+
+const (
+	// Serializability: conflict = shared item with at least one writer.
+	Serializability Isolation = iota
+	// SnapshotIsolation: conflict = overlapping write sets.
+	SnapshotIsolation
+)
+
+func (i Isolation) String() string {
+	switch i {
+	case Serializability:
+		return "SERIALIZABLE"
+	case SnapshotIsolation:
+		return "SNAPSHOT"
+	default:
+		return fmt.Sprintf("Isolation(%d)", int(i))
+	}
+}
+
+// Conflicting reports whether a and b are in conflict under the given
+// isolation level, by merging their sorted access sets.
+func Conflicting(a, b *txn.Transaction, level Isolation) bool {
+	if level == SnapshotIsolation {
+		return intersects(a.WriteSet(), b.WriteSet())
+	}
+	return intersects(a.WriteSet(), b.WriteSet()) ||
+		intersects(a.WriteSet(), b.ReadSet()) ||
+		intersects(a.ReadSet(), b.WriteSet())
+}
+
+func intersects(a, b []txn.Key) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Graph is the undirected conflict graph of a workload: nodes are
+// transactions (addressed by their dense IDs), and an edge joins every
+// conflicting pair. Neighbor lists are sorted for O(log d) membership
+// tests.
+type Graph struct {
+	level Isolation
+	adj   [][]int32
+	// wgt[i][j] is the weight of the edge to adj[i][j]: the number of
+	// conflicting (key, accessor-pair) combinations behind it. Schism
+	// cuts by weight.
+	wgt   [][]int32
+	edges int
+}
+
+// Build constructs the conflict graph for w under the given isolation
+// level. Transaction IDs must be dense in [0, len(w)); Build panics
+// otherwise, since every consumer indexes by ID.
+func Build(w txn.Workload, level Isolation) *Graph {
+	n := len(w)
+	g := &Graph{level: level, adj: make([][]int32, n)}
+
+	type access struct {
+		id    int32
+		write bool
+	}
+	// Inverted index: key -> transactions touching it.
+	index := make(map[txn.Key][]access)
+	for _, t := range w {
+		if t.ID < 0 || t.ID >= n {
+			panic(fmt.Sprintf("conflict: transaction ID %d outside [0,%d)", t.ID, n))
+		}
+		for _, k := range t.ReadSet() {
+			if level == Serializability {
+				index[k] = append(index[k], access{int32(t.ID), false})
+			}
+		}
+		for _, k := range t.WriteSet() {
+			index[k] = append(index[k], access{int32(t.ID), true})
+		}
+	}
+
+	// For each key, connect every writer to every other accessor,
+	// accumulating per-pair weights (shared contended items).
+	weight := make(map[uint64]int32)
+	for _, accs := range index {
+		for i, a := range accs {
+			for _, b := range accs[i+1:] {
+				if a.id == b.id || (!a.write && !b.write) {
+					continue
+				}
+				lo, hi := a.id, b.id
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				weight[uint64(lo)<<32|uint64(uint32(hi))]++
+			}
+		}
+	}
+	g.wgt = make([][]int32, n)
+	for ek, wv := range weight {
+		lo, hi := int32(ek>>32), int32(uint32(ek))
+		g.adj[lo] = append(g.adj[lo], hi)
+		g.adj[hi] = append(g.adj[hi], lo)
+		g.wgt[lo] = append(g.wgt[lo], wv)
+		g.wgt[hi] = append(g.wgt[hi], wv)
+		g.edges++
+	}
+	for i := range g.adj {
+		// Co-sort adjacency and weights by neighbor id.
+		idx := make([]int, len(g.adj[i]))
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(a, b int) bool { return g.adj[i][idx[a]] < g.adj[i][idx[b]] })
+		na := make([]int32, len(idx))
+		nw := make([]int32, len(idx))
+		for j, k := range idx {
+			na[j] = g.adj[i][k]
+			nw[j] = g.wgt[i][k]
+		}
+		g.adj[i], g.wgt[i] = na, nw
+	}
+	return g
+}
+
+// Weights returns the edge weights parallel to Neighbors(id): the
+// number of contended-item pairs behind each conflict edge. Callers
+// must not mutate the result.
+func (g *Graph) Weights(id int) []int32 { return g.wgt[id] }
+
+// Level returns the isolation level the graph was built under.
+func (g *Graph) Level() Isolation { return g.level }
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// Edges returns the number of undirected edges.
+func (g *Graph) Edges() int { return g.edges }
+
+// Neighbors returns the sorted IDs of transactions in conflict with id.
+// Callers must not mutate the result.
+func (g *Graph) Neighbors(id int) []int32 { return g.adj[id] }
+
+// Degree returns the number of conflicts of id.
+func (g *Graph) Degree(id int) int { return len(g.adj[id]) }
+
+// Conflict reports whether transactions a and b are joined by an edge.
+func (g *Graph) Conflict(a, b int) bool {
+	ns := g.adj[a]
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= int32(b) })
+	return i < len(ns) && ns[i] == int32(b)
+}

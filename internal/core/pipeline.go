@@ -1,0 +1,56 @@
+package core
+
+import (
+	"tskd/internal/estimator"
+	"tskd/internal/partition"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+// Pipeline processes a stream of bundles the way a deployed TSKD would
+// (Section 3): each bundle is partitioned and scheduled using cost
+// estimates learned from the execution history of earlier bundles,
+// then executed; its observed per-transaction costs feed the history
+// for the next bundle. The first bundle falls back to access-set-size
+// estimates (the paper's cold-start fallback).
+type Pipeline struct {
+	// DB is the shared database.
+	DB *storage.DB
+	// Partitioner splits each bundle; nil schedules from scratch
+	// (TSKD[0]).
+	Partitioner partition.Partitioner
+	// Opts configures each run; Estimator and CostSink are managed by
+	// the pipeline and must be left nil.
+	Opts Options
+
+	history *estimator.History
+	bundles int
+}
+
+// NewPipeline returns a pipeline over db.
+func NewPipeline(db *storage.DB, p partition.Partitioner, opts Options) *Pipeline {
+	h := estimator.NewHistory()
+	unit := opts.OpTime
+	h.Fallback = estimator.AccessSetSize{Unit: unit}
+	return &Pipeline{DB: db, Partitioner: p, Opts: opts, history: h}
+}
+
+// Bundles returns the number of bundles processed.
+func (pl *Pipeline) Bundles() int { return pl.bundles }
+
+// HistorySize returns the number of exact cost records learned so far.
+func (pl *Pipeline) HistorySize() int { return pl.history.Len() }
+
+// Process schedules and executes one bundle, learning its costs.
+func (pl *Pipeline) Process(w txn.Workload) (Result, error) {
+	o := pl.Opts
+	o.Estimator = pl.history
+	o.CostSink = pl.history
+	o.Seed = pl.Opts.Seed + int64(pl.bundles)*7919
+	res, err := RunTSKD(pl.DB, w, pl.Partitioner, o)
+	if err != nil {
+		return Result{}, err
+	}
+	pl.bundles++
+	return res, nil
+}

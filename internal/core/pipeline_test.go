@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"tskd/internal/partition"
+	"tskd/internal/workload"
+)
+
+func TestPipelineLearnsAcrossBundles(t *testing.T) {
+	cfg := workload.YCSB{
+		Records: 500, Theta: 0.9, Txns: 200, OpsPerTxn: 8,
+		ReadRatio: 0.5, RMW: true,
+	}
+	db := cfg.BuildDB()
+	pl := NewPipeline(db, partition.NewStrife(1), Options{Workers: 4, Protocol: "OCC", Seed: 1})
+	for b := 0; b < 3; b++ {
+		c := cfg
+		c.Seed = int64(b + 1)
+		w := c.Generate()
+		res, err := pl.Process(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Committed != 200 {
+			t.Fatalf("bundle %d: committed %d", b, res.Committed)
+		}
+	}
+	if pl.Bundles() != 3 {
+		t.Errorf("Bundles = %d", pl.Bundles())
+	}
+	if pl.HistorySize() == 0 {
+		t.Error("pipeline learned nothing across bundles")
+	}
+}
+
+func TestPipelineFromScratch(t *testing.T) {
+	cfg := workload.YCSB{Records: 300, Theta: 0.8, Txns: 100, OpsPerTxn: 6, ReadRatio: 0.5, Seed: 2}
+	db := cfg.BuildDB()
+	pl := NewPipeline(db, nil, Options{Workers: 2, Protocol: "SILO", Seed: 2})
+	res, err := pl.Process(cfg.Generate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != "TSKD[0]" {
+		t.Errorf("System = %q", res.System)
+	}
+}
+
+func TestRunStream(t *testing.T) {
+	cfg := workload.YCSB{Records: 1000, Theta: 0.9, Txns: 500, OpsPerTxn: 8,
+		ReadRatio: 0.5, RMW: true, Seed: 13}
+	db := cfg.BuildDB()
+	w := cfg.Generate()
+	o := Options{Workers: 4, Protocol: "TICTOC", Seed: 13}
+	o.Defer = nil
+	res, err := RunStream(db, w, 100, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != 500 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+	if res.Flushes != 5 {
+		t.Errorf("flushes = %d, want 5", res.Flushes)
+	}
+	// Uneven tail flush.
+	db2 := cfg.BuildDB()
+	res2, err := RunStream(db2, w, 150, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Flushes != 4 || res2.Committed != 500 {
+		t.Errorf("tail flush wrong: %d flushes, %d committed", res2.Flushes, res2.Committed)
+	}
+	// Bad protocol surfaces.
+	o.Protocol = "NOPE"
+	if _, err := RunStream(db, w, 100, o); err == nil {
+		t.Error("bad protocol accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"tskd/internal/engine"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+// StreamResult aggregates an open-system run.
+type StreamResult struct {
+	engine.Metrics
+	// Flushes is the number of buffer flushes executed.
+	Flushes int
+}
+
+// RunStream executes w as an open system (Section 2.1's unbundled
+// model): transactions "arrive" in order and are periodically flushed
+// to the thread-local buffers in groups of flushEvery, each flush
+// executing round-robin under CC — with TsDEFER when o.Defer says so.
+// This is DBCC / TSKD[CC] under arrival batching instead of one giant
+// bundle: the progress tracker only ever sees the transactions that
+// have actually arrived, as in a live system.
+func RunStream(db *storage.DB, w txn.Workload, flushEvery int, o Options) (StreamResult, error) {
+	proto, err := o.protocol()
+	if err != nil {
+		return StreamResult{}, err
+	}
+	if flushEvery <= 0 {
+		flushEvery = 256
+	}
+	var res StreamResult
+	for start := 0; start < len(w); start += flushEvery {
+		end := start + flushEvery
+		if end > len(w) {
+			end = len(w)
+		}
+		batch := w[start:end]
+		m := engine.Run(batch, []engine.Phase{engine.SpreadRoundRobin(batch, o.Workers)}, engine.Config{
+			Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
+			Defer: o.Defer, Recorder: o.Recorder, CostSink: o.CostSink,
+			Seed: o.Seed + int64(res.Flushes),
+		})
+		res.Metrics.Add(m)
+		res.Flushes++
+	}
+	return res, nil
+}

@@ -1,0 +1,63 @@
+package deferment
+
+// adaptive.go implements online adaptation of the deferp% knob. The
+// paper motivates the knob with contention: "for extremely high
+// contention workloads, TsDEFER uses a relatively lower deferp% to
+// avoid excessive number of transactions being deferred" — and lists
+// workload-specialized parameter selection as future work. This is the
+// online half: each worker's Deferrer observes its own defer rate over
+// fixed windows of decisions and steers deferp multiplicatively toward
+// a target band (AIMD: gentle additive increase when deferral is rare,
+// multiplicative decrease when it is excessive).
+
+// Adaptation parameters.
+const (
+	adaptWindow   = 128  // decisions per adjustment
+	adaptRateHigh = 0.35 // defer rate above this: decrease deferp
+	adaptRateLow  = 0.08 // defer rate below this: increase deferp
+	adaptDecrease = 0.7  // multiplicative decrease factor
+	adaptIncrease = 0.05 // additive increase step
+	adaptMinP     = 0.1
+	adaptMaxP     = 0.9
+)
+
+// Adaptive state carried by a Deferrer.
+type adaptiveState struct {
+	decisions int
+	deferred  int
+}
+
+// EnableAdaptive turns on online deferp adaptation for this deferrer
+// (per worker; workers adapt independently to the contention they
+// observe).
+func (d *Deferrer) EnableAdaptive() {
+	d.adaptive = true
+}
+
+// observe feeds one decision outcome into the adaptation loop.
+func (d *Deferrer) observe(deferred bool) {
+	if !d.adaptive {
+		return
+	}
+	d.adapt.decisions++
+	if deferred {
+		d.adapt.deferred++
+	}
+	if d.adapt.decisions < adaptWindow {
+		return
+	}
+	rate := float64(d.adapt.deferred) / float64(d.adapt.decisions)
+	switch {
+	case rate > adaptRateHigh:
+		d.DeferP *= adaptDecrease
+		if d.DeferP < adaptMinP {
+			d.DeferP = adaptMinP
+		}
+	case rate < adaptRateLow:
+		d.DeferP += adaptIncrease
+		if d.DeferP > adaptMaxP {
+			d.DeferP = adaptMaxP
+		}
+	}
+	d.adapt.decisions, d.adapt.deferred = 0, 0
+}

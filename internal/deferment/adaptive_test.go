@@ -1,0 +1,80 @@
+package deferment
+
+import (
+	"math/rand"
+	"testing"
+
+	"tskd/internal/txn"
+)
+
+// highContentionTracker sets up a tracker where every probe witnesses a
+// conflict with the candidate.
+func adaptiveSetup(conflicting bool) (*Tracker, *txn.Transaction) {
+	cand := txn.MustParse(0, "R[x1]W[x1]")
+	var remote *txn.Transaction
+	if conflicting {
+		remote = txn.MustParse(1, "W[x1]")
+	} else {
+		remote = txn.MustParse(1, "W[x9]")
+	}
+	tr := NewTracker(2, 4)
+	ws := make([][]txn.Key, 2)
+	ws[0] = cand.WriteSet()
+	ws[1] = remote.WriteSet()
+	tr.SetWriteSets(ws)
+	tr.Load(0, []int{0})
+	tr.Load(1, []int{1})
+	return tr, cand
+}
+
+func TestAdaptiveLowersDeferPUnderExcessiveDeferral(t *testing.T) {
+	tr, cand := adaptiveSetup(true)
+	d := NewDeferrer(tr)
+	d.Exact = true
+	d.Lookups = 2
+	d.DeferP = 0.9
+	d.EnableAdaptive()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		d.ShouldDefer(0, cand, rng)
+	}
+	if d.DeferP >= 0.9 {
+		t.Errorf("deferp did not adapt down under constant witnessing: %v", d.DeferP)
+	}
+	if d.DeferP < adaptMinP {
+		t.Errorf("deferp below floor: %v", d.DeferP)
+	}
+}
+
+func TestAdaptiveRaisesDeferPWhenDeferralRare(t *testing.T) {
+	tr, cand := adaptiveSetup(false) // probes never witness
+	d := NewDeferrer(tr)
+	d.Exact = true
+	d.Lookups = 2
+	d.DeferP = 0.3
+	d.EnableAdaptive()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		d.ShouldDefer(0, cand, rng)
+	}
+	if d.DeferP <= 0.3 {
+		t.Errorf("deferp did not adapt up when deferral is rare: %v", d.DeferP)
+	}
+	if d.DeferP > adaptMaxP {
+		t.Errorf("deferp above cap: %v", d.DeferP)
+	}
+}
+
+func TestAdaptiveOffByDefault(t *testing.T) {
+	tr, cand := adaptiveSetup(true)
+	d := NewDeferrer(tr)
+	d.Exact = true
+	d.DeferP = 0.9
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		d.ShouldDefer(0, cand, rng)
+	}
+	if d.DeferP != 0.9 {
+		t.Errorf("deferp changed without EnableAdaptive: %v", d.DeferP)
+	}
+}

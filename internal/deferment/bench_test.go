@@ -1,0 +1,66 @@
+package deferment
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tskd/internal/txn"
+)
+
+// BenchmarkLookup confirms the constant-time claim of Section 5: one
+// probe is an atomic load pair plus an indexed read, independent of
+// transaction size and thread count.
+func BenchmarkLookup(b *testing.B) {
+	for _, k := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			tr := NewTracker(k, 16)
+			ws := make([][]txn.Key, k)
+			for i := range ws {
+				ws[i] = txn.New(i).W(txn.MakeKey(0, uint64(i))).W(txn.MakeKey(0, uint64(i+100))).WriteSet()
+			}
+			tr.SetWriteSets(ws)
+			for i := 0; i < k; i++ {
+				tr.Load(i, []int{i})
+			}
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Lookup(0, 0, i, rng)
+			}
+		})
+	}
+}
+
+func BenchmarkShouldDefer(b *testing.B) {
+	tr := NewTracker(8, 16)
+	ws := make([][]txn.Key, 8)
+	txns := make([]*txn.Transaction, 8)
+	for i := range ws {
+		t := txn.New(i)
+		for j := 0; j < 16; j++ {
+			t.W(txn.MakeKey(0, uint64(i*16+j)))
+		}
+		txns[i] = t
+		ws[i] = t.WriteSet()
+	}
+	tr.SetWriteSets(ws)
+	for i := 0; i < 8; i++ {
+		tr.Load(i, []int{i})
+	}
+	d := NewDeferrer(tr)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ShouldDefer(0, txns[0], rng)
+	}
+}
+
+func BenchmarkDeferHead(b *testing.B) {
+	tr := NewTracker(1, 4)
+	tr.Load(0, []int{1, 2, 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.DeferHead(0)
+	}
+}

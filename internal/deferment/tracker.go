@@ -1,0 +1,203 @@
+// Package deferment implements TsDEFER (Section 5 of the paper):
+// proactive transaction deferment driven by a lock-free structure that
+// tracks every thread's execution progress.
+//
+// Each thread's local buffer is a ring of transaction IDs with two
+// monotone cursors, headp (next transaction to execute) and tailp (end
+// of the queue, where deferred transactions are re-appended) — exactly
+// the structure of Fig. 3. The ring and the cursors are written only by
+// the owning thread and read by all others through atomics, so progress
+// sharing is lock-free and race-free; remote reads may be slightly
+// stale, which the paper accepts by design ("lookup may read slightly
+// stale progress ... such staleness has negligible implication").
+//
+// Before executing its next transaction T, a thread issues a bounded
+// number of constant-time lookup probes into the predicted write sets
+// of transactions active on other threads. If the probes witness items
+// T also accesses, T is likely to inflict a runtime conflict, and the
+// thread defers T to the back of its own queue with probability
+// deferp%.
+package deferment
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"tskd/internal/txn"
+)
+
+// pad keeps each thread's hot words on separate cache lines to avoid
+// false sharing between worker cores.
+type pad [64]byte
+
+type threadRing struct {
+	_     pad
+	headp atomic.Int64
+	_     pad
+	tailp atomic.Int64
+	_     pad
+	slots []atomic.Int64 // transaction IDs; index = cursor % len(slots)
+}
+
+// Tracker is the shared progress-tracking structure. Create one per
+// execution phase, load each thread's queue once, then drive it from
+// the worker loops.
+type Tracker struct {
+	rings []threadRing
+	// writeSets[id] is the predicted write set of transaction id, the
+	// thread-local copy of access sets the paper describes. Read-only
+	// after SetWriteSets.
+	writeSets [][]txn.Key
+}
+
+// NewTracker returns a tracker for k threads whose per-thread queues
+// hold at most capPerThread transactions. One extra slot per ring
+// accommodates the transient defer state (append-then-advance).
+func NewTracker(k, capPerThread int) *Tracker {
+	t := &Tracker{rings: make([]threadRing, k)}
+	for i := range t.rings {
+		t.rings[i].slots = make([]atomic.Int64, capPerThread+2)
+	}
+	return t
+}
+
+// K returns the number of threads tracked.
+func (t *Tracker) K() int { return len(t.rings) }
+
+// SetWriteSets installs the predicted write sets, indexed by
+// transaction ID. Must be called before workers start; the slices are
+// not copied and must not change afterwards.
+func (t *Tracker) SetWriteSets(ws [][]txn.Key) { t.writeSets = ws }
+
+// Load fills thread i's ring with ids, in execution order. Must be
+// called before workers start. It panics if ids exceed the ring
+// capacity.
+func (t *Tracker) Load(i int, ids []int) {
+	r := &t.rings[i]
+	if len(ids) > len(r.slots)-2 {
+		panic("deferment: queue exceeds ring capacity")
+	}
+	for p, id := range ids {
+		r.slots[p].Store(int64(id))
+	}
+	r.headp.Store(0)
+	r.tailp.Store(int64(len(ids)))
+}
+
+// Peek returns the ID of thread i's next transaction, or ok=false when
+// the queue is drained. Only the owning thread may call Peek.
+func (t *Tracker) Peek(i int) (id int, ok bool) {
+	r := &t.rings[i]
+	h, tl := r.headp.Load(), r.tailp.Load()
+	if h >= tl {
+		return 0, false
+	}
+	return int(r.slots[h%int64(len(r.slots))].Load()), true
+}
+
+// Advance is regPos: thread i commits (or re-homes) its head
+// transaction and moves to the next. Only the owning thread may call
+// Advance.
+func (t *Tracker) Advance(i int) {
+	t.rings[i].headp.Add(1)
+}
+
+// DeferHead is the defer operation: thread i moves its head transaction
+// to the back of its own queue (record at tailp, bump tailp, then
+// advance headp — the order the paper prescribes, so remote readers
+// never observe the transaction missing).
+func (t *Tracker) DeferHead(i int) {
+	r := &t.rings[i]
+	h, tl := r.headp.Load(), r.tailp.Load()
+	if h >= tl {
+		return
+	}
+	id := r.slots[h%int64(len(r.slots))].Load()
+	r.slots[tl%int64(len(r.slots))].Store(id)
+	r.tailp.Store(tl + 1)
+	r.headp.Store(h + 1)
+}
+
+// Pending returns the number of transactions still queued on thread i.
+// Callable from any thread; the answer may be momentarily stale.
+func (t *Tracker) Pending(i int) int {
+	r := &t.rings[i]
+	n := r.tailp.Load() - r.headp.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Lookup performs one probe (the lookup operation): it picks a random
+// other thread j, reads the transaction currently active at thread j
+// (the one under headp, or `ahead` positions past it for the
+// look-ahead variant), and returns the pick-th item (modulo the set
+// size) of that transaction's predicted write set. It costs O(1): one
+// or two atomic loads plus an indexed read of the local write-set copy.
+//
+// Callers issue consecutive pick values within one decision (reservoir-
+// style index selection), so repeated probes of the same transaction
+// retrieve distinct items — this is what makes two lookups over a
+// two-item write set find a conflicting item "for certain" in the
+// paper's Example 5.
+//
+// ok is false when the probed thread has no active transaction at that
+// position or its write set is unknown/empty.
+func (t *Tracker) Lookup(self, ahead, pick int, rng *rand.Rand) (item txn.Key, ok bool) {
+	k := len(t.rings)
+	if k <= 1 {
+		return 0, false
+	}
+	j := rng.Intn(k - 1)
+	if j >= self {
+		j++
+	}
+	r := &t.rings[j]
+	h, tl := r.headp.Load(), r.tailp.Load()
+	pos := h + int64(ahead)
+	if pos >= tl {
+		return 0, false
+	}
+	id := r.slots[pos%int64(len(r.slots))].Load()
+	if id < 0 || int(id) >= len(t.writeSets) {
+		return 0, false
+	}
+	ws := t.writeSets[id]
+	if len(ws) == 0 {
+		return 0, false
+	}
+	return ws[pick%len(ws)], true
+}
+
+// ActiveWriteSet probes one random other thread and returns the
+// predicted write set of its active transaction (headp + ahead), or
+// ok=false if none. The returned slice is the shared read-only copy;
+// callers must not mutate it. This powers the exact probe mode of the
+// Deferrer: one probe = one remote thread, cost bounded by the
+// declared set sizes.
+func (t *Tracker) ActiveWriteSet(self, ahead int, rng *rand.Rand) (ws []txn.Key, ok bool) {
+	k := len(t.rings)
+	if k <= 1 {
+		return nil, false
+	}
+	j := rng.Intn(k - 1)
+	if j >= self {
+		j++
+	}
+	r := &t.rings[j]
+	h, tl := r.headp.Load(), r.tailp.Load()
+	pos := h + int64(ahead)
+	if pos >= tl {
+		return nil, false
+	}
+	id := r.slots[pos%int64(len(r.slots))].Load()
+	if id < 0 || int(id) >= len(t.writeSets) {
+		return nil, false
+	}
+	ws = t.writeSets[id]
+	if len(ws) == 0 {
+		return nil, false
+	}
+	return ws, true
+}

@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"testing"
+
+	"tskd/internal/conflict"
+	"tskd/internal/estimator"
+	"tskd/internal/txn"
+	"tskd/internal/zipf"
+)
+
+func workload(n int, seed int64) txn.Workload {
+	g := zipf.New(2000, 0.9, seed)
+	w := make(txn.Workload, n)
+	for i := range w {
+		t := txn.New(i)
+		ops := int(g.Uniform(6)) + 2
+		for j := 0; j < ops; j++ {
+			k := txn.MakeKey(0, g.Next())
+			if g.Float64() < 0.5 {
+				t.R(k)
+			} else {
+				t.W(k)
+			}
+		}
+		w[i] = t
+	}
+	return w
+}
+
+func TestSplitCoversWorkload(t *testing.T) {
+	c := Cluster{Nodes: 4, ThreadsPerNode: 4, NetRTT: 10}
+	w := workload(500, 1)
+	p := c.Split(w)
+	n := len(p.Distributed)
+	for _, l := range p.Local {
+		n += len(l)
+	}
+	if n != 500 {
+		t.Fatalf("split covers %d of 500", n)
+	}
+	// Locality: every local transaction's keys live on one node.
+	for node, l := range p.Local {
+		for _, tx := range l {
+			for _, k := range tx.AccessSet() {
+				if c.Home(k) != node {
+					t.Fatalf("txn %d on node %d touches key of node %d", tx.ID, node, c.Home(k))
+				}
+			}
+		}
+	}
+	// Every distributed transaction has >= 2 participants recorded.
+	for _, tx := range p.Distributed {
+		if p.Participants[tx.ID] < 2 {
+			t.Fatalf("distributed txn %d has %d participants", tx.ID, p.Participants[tx.ID])
+		}
+	}
+}
+
+func TestHomeDeterministicAndInRange(t *testing.T) {
+	c := Cluster{Nodes: 5}
+	for i := uint64(0); i < 1000; i++ {
+		k := txn.MakeKey(uint16(i%3), i)
+		h := c.Home(k)
+		if h < 0 || h >= 5 {
+			t.Fatalf("home %d out of range", h)
+		}
+		if h != c.Home(k) {
+			t.Fatal("home not deterministic")
+		}
+	}
+}
+
+// Scheduling reduces the modeled local makespan versus the unscheduled
+// partitioned baseline (conflicting work serializes without it).
+func TestSchedulingHelpsDistributed(t *testing.T) {
+	c := Cluster{Nodes: 4, ThreadsPerNode: 4, NetRTT: 20}
+	w := workload(800, 2)
+	g := conflict.Build(w, conflict.Serializability)
+	est := estimator.AccessSetSize{}
+	base := Evaluate(w, g, est, c, false)
+	schd := Evaluate(w, g, est, c, true)
+	if schd.DistributedCount != base.DistributedCount {
+		t.Fatalf("distributed counts differ: %d vs %d", schd.DistributedCount, base.DistributedCount)
+	}
+	if schd.LocalMakespan >= base.LocalMakespan {
+		t.Errorf("scheduling did not reduce local makespan: %v vs %v",
+			schd.LocalMakespan, base.LocalMakespan)
+	}
+	if schd.Scheduled == 0 {
+		t.Error("no transactions scheduled")
+	}
+	t.Logf("local makespan: scheduled %v vs baseline %v (%.1f%% better); %d distributed, dist phase %v",
+		schd.LocalMakespan, base.LocalMakespan,
+		100*(1-float64(schd.LocalMakespan)/float64(base.LocalMakespan)),
+		schd.DistributedCount, schd.DistributedTime)
+}
+
+// The 2PC surcharge scales with network latency; local scheduling
+// quality is unaffected.
+func TestNetRTTAffectsOnlyDistributedPhase(t *testing.T) {
+	w := workload(400, 3)
+	g := conflict.Build(w, conflict.Serializability)
+	est := estimator.AccessSetSize{}
+	slow := Evaluate(w, g, est, Cluster{Nodes: 4, ThreadsPerNode: 4, NetRTT: 100}, true)
+	fast := Evaluate(w, g, est, Cluster{Nodes: 4, ThreadsPerNode: 4, NetRTT: 1}, true)
+	if slow.LocalMakespan != fast.LocalMakespan {
+		t.Errorf("RTT changed local makespan: %v vs %v", slow.LocalMakespan, fast.LocalMakespan)
+	}
+	if slow.DistributedTime <= fast.DistributedTime {
+		t.Errorf("RTT did not grow the distributed phase: %v vs %v",
+			slow.DistributedTime, fast.DistributedTime)
+	}
+}
+
+func TestMoreNodesMoreDistributed(t *testing.T) {
+	w := workload(600, 4)
+	g := conflict.Build(w, conflict.Serializability)
+	est := estimator.AccessSetSize{}
+	two := Evaluate(w, g, est, Cluster{Nodes: 2, ThreadsPerNode: 4, NetRTT: 10}, true)
+	eight := Evaluate(w, g, est, Cluster{Nodes: 8, ThreadsPerNode: 4, NetRTT: 10}, true)
+	if eight.DistributedCount <= two.DistributedCount {
+		t.Errorf("more nodes should strand more cross-node transactions: %d vs %d",
+			eight.DistributedCount, two.DistributedCount)
+	}
+}

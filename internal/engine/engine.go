@@ -1,0 +1,676 @@
+// Package engine is the transaction execution engine: a DBx1000-style
+// multi-worker in-memory executor with thread-local transaction
+// buffers, pluggable CC protocols (internal/cc), optional proactive
+// deferment (internal/deferment), and retry-until-commit semantics.
+//
+// Execution is organized in phases: each phase assigns every worker an
+// ordered list of transactions, workers drain their lists concurrently,
+// and all workers synchronize before the next phase starts. That is
+// exactly the paper's deployment:
+//
+//   - partitioner baseline: phase 1 = partitions, phase 2 = residual;
+//   - TSKD: phase 1 = RC-free queues (CC + TsDEFER guarding against
+//     estimate error), phase 2 = residual R_s with CC + TsDEFER;
+//   - CC baseline / TSKD[CC]: a single phase of round-robin buffers.
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tskd/internal/cc"
+	"tskd/internal/clock"
+	"tskd/internal/deferment"
+	"tskd/internal/estimator"
+	"tskd/internal/history"
+	"tskd/internal/metrics"
+	"tskd/internal/sched"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+	"tskd/internal/wal"
+)
+
+// DeferConfig enables TsDEFER with the Section 5 knobs.
+type DeferConfig struct {
+	// Lookups is #lookups (Table 1 default 2).
+	Lookups int
+	// DeferP is deferp% in [0,1] (Table 1 default 0.6).
+	DeferP float64
+	// Horizon is the look-ahead window (default 1).
+	Horizon int
+	// Alpha is the access-set accuracy α in (0,1] (Fig. 5h); 1 means
+	// exact predicted write sets.
+	Alpha float64
+	// MaxDefers bounds how many times one transaction can be deferred
+	// before it is forced to execute (starvation control; default 8).
+	MaxDefers int
+	// Exact selects the exact bounded-thread probe instead of the
+	// per-item probe; see deferment.Deferrer.Exact.
+	Exact bool
+	// Adaptive enables online deferp adaptation per worker; see
+	// deferment.EnableAdaptive.
+	Adaptive bool
+}
+
+// DefaultDefer returns the Table 1 defaults, with the exact probe mode
+// (one lookup = one remote thread).
+func DefaultDefer() *DeferConfig {
+	return &DeferConfig{Lookups: 2, DeferP: 0.6, Horizon: 1, Alpha: 1, MaxDefers: 8, Exact: true}
+}
+
+// Config configures a run.
+type Config struct {
+	// Workers is the number of execution threads (#core).
+	Workers int
+	// Protocol is the CC protocol instance; required.
+	Protocol cc.Protocol
+	// DB is the database; required.
+	DB *storage.DB
+	// OpTime is the simulated per-operation work (busy-wait). Zero
+	// runs operations at raw speed.
+	OpTime time.Duration
+	// Defer enables TsDEFER when non-nil.
+	Defer *DeferConfig
+	// Recorder, when non-nil, captures version observations of every
+	// commit for serializability checking (slow; tests only).
+	Recorder *history.Recorder
+	// CostSink, when non-nil, receives observed execution costs so the
+	// history estimator learns across bundles.
+	CostSink *estimator.History
+	// WAL, when non-nil, makes every commit append its redo record to
+	// the log and waits for durability before acknowledging (group
+	// commit batches the waits). Recovery is wal.Recover.
+	WAL *wal.Log
+	// Deps, when non-nil, makes workers wait before executing a
+	// transaction until all of its dependencies have committed —
+	// execution-time enforcement of application-specified causal
+	// dependencies. The phase assignment must be topologically
+	// consistent (sched.GenerateWithDeps produces such schedules);
+	// otherwise cross-queue waits could deadlock.
+	Deps *sched.Deps
+	// TraceSpans makes workers record each commit's virtual-time span
+	// into Metrics.Spans, for planned-vs-actual drift analysis (Drift).
+	TraceSpans bool
+	// Seed drives worker-local randomness (backoff, probe choices).
+	Seed int64
+
+	// committed marks transactions that have committed, for dependency
+	// waits; allocated by Run when Deps is set.
+	committed []atomic.Bool
+}
+
+// Metrics aggregates the outcome of a run.
+type Metrics struct {
+	// Committed is the number of transactions committed.
+	Committed uint64
+	// Retries is the total number of aborted attempts (the paper's
+	// #retry, reported per 100k transactions by RetryPer100k).
+	Retries uint64
+	// Defers is the number of TsDEFER deferrals performed.
+	Defers uint64
+	// UserAborts counts transactions rolled back by application logic
+	// (not retried; e.g. TPC-C's invalid-item NewOrders).
+	UserAborts uint64
+	// Contended counts contended lock/latch acquisitions
+	// (#contended_mutex).
+	Contended uint64
+	// Elapsed is the wall-clock time of the run.
+	Elapsed time.Duration
+	// VirtualTime is the simulated k-core execution time: per phase,
+	// the maximum per-worker busy time (operation work × OpTime,
+	// including retried work, runtime lower bounds and I/O stalls),
+	// summed over phases. On a host with as many free cores as
+	// workers, Elapsed ≈ VirtualTime; on smaller hosts, where workers
+	// time-share cores, VirtualTime is the faithful measure of the
+	// schedule's parallel cost (idle workers hide inside Elapsed but
+	// not inside VirtualTime).
+	VirtualTime time.Duration
+	// LatencyP50/P95/P99 are commit-latency percentiles in virtual
+	// (on-core) time per transaction: the busy time from first attempt
+	// to commit, including retried work.
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+	LatencyP99 time.Duration
+	// PerTemplate breaks committed/retry counts down by transaction
+	// template (e.g. the five TPC-C transactions).
+	PerTemplate map[string]TemplateMetrics
+	// Spans holds per-commit execution spans when Config.TraceSpans
+	// was set.
+	Spans []ExecSpan
+}
+
+// TemplateMetrics is the per-template slice of a run's counters.
+type TemplateMetrics struct {
+	Committed uint64
+	Retries   uint64
+}
+
+// Throughput returns committed transactions per wall-clock second.
+func (m Metrics) Throughput() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Committed) / m.Elapsed.Seconds()
+}
+
+// VThroughput returns committed transactions per simulated k-core
+// second — the headline throughput metric of the experiment harness.
+func (m Metrics) VThroughput() float64 {
+	if m.VirtualTime <= 0 {
+		return 0
+	}
+	return float64(m.Committed) / m.VirtualTime.Seconds()
+}
+
+// RetryPer100k returns retries normalized per 100,000 transactions,
+// the paper's #retry metric.
+func (m Metrics) RetryPer100k() float64 {
+	if m.Committed == 0 {
+		return 0
+	}
+	return float64(m.Retries) * 100_000 / float64(m.Committed)
+}
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other Metrics) {
+	m.Committed += other.Committed
+	m.Retries += other.Retries
+	m.Defers += other.Defers
+	m.Contended += other.Contended
+	m.Elapsed += other.Elapsed
+	m.VirtualTime += other.VirtualTime
+}
+
+// Phase is one synchronized execution phase: PerThread[i] is worker
+// i's ordered transaction list.
+type Phase struct {
+	PerThread [][]*txn.Transaction
+}
+
+// SpreadRoundRobin builds a phase that deals ts across k threads in
+// order, the lightweight assignment used for residuals and unbundled
+// workloads.
+func SpreadRoundRobin(ts []*txn.Transaction, k int) Phase {
+	p := Phase{PerThread: make([][]*txn.Transaction, k)}
+	for i, t := range ts {
+		p.PerThread[i%k] = append(p.PerThread[i%k], t)
+	}
+	return p
+}
+
+// Run executes the phases in order against cfg.DB and returns the
+// aggregated metrics. w is the full workload (used to size trackers and
+// predicted access sets); every transaction in the phases must come
+// from w.
+func Run(w txn.Workload, phases []Phase, cfg Config) Metrics {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	byID := w.ByID()
+	if cfg.Deps != nil && cfg.Deps.Len() > 0 {
+		cfg.committed = make([]atomic.Bool, w.MaxID()+1)
+	}
+	var predicted [][]txn.Key
+	if cfg.Defer != nil && cfg.Defer.Lookups > 0 {
+		alpha := cfg.Defer.Alpha
+		if alpha <= 0 || alpha > 1 {
+			alpha = 1
+		}
+		predicted = deferment.MaskWriteSets(w, alpha, cfg.Seed)
+	}
+
+	total := Metrics{}
+	var lat metrics.Histogram
+	start := time.Now()
+	for pi, phase := range phases {
+		m, phaseLat := runPhase(phase, byID, predicted, cfg, int64(pi))
+		total.Committed += m.Committed
+		total.Retries += m.Retries
+		total.Defers += m.Defers
+		total.UserAborts += m.UserAborts
+		total.Contended += m.Contended
+		total.VirtualTime += m.VirtualTime
+		lat.Merge(phaseLat)
+		total.Spans = append(total.Spans, m.Spans...)
+		for name, tm := range m.PerTemplate {
+			if total.PerTemplate == nil {
+				total.PerTemplate = make(map[string]TemplateMetrics)
+			}
+			agg := total.PerTemplate[name]
+			agg.Committed += tm.Committed
+			agg.Retries += tm.Retries
+			total.PerTemplate[name] = agg
+		}
+	}
+	total.Elapsed = time.Since(start)
+	if lat.Count() > 0 {
+		total.LatencyP50 = lat.Quantile(0.50)
+		total.LatencyP95 = lat.Quantile(0.95)
+		total.LatencyP99 = lat.Quantile(0.99)
+	}
+	return total
+}
+
+func runPhase(phase Phase, byID map[int]*txn.Transaction, predicted [][]txn.Key, cfg Config, salt int64) (Metrics, *metrics.Histogram) {
+	k := cfg.Workers
+	lists := make([][]*txn.Transaction, k)
+	copy(lists, phase.PerThread)
+	if len(phase.PerThread) > k {
+		// More lists than workers: fold the extras round-robin.
+		for i := k; i < len(phase.PerThread); i++ {
+			lists[i%k] = append(lists[i%k], phase.PerThread[i]...)
+		}
+	}
+
+	maxLen := 0
+	for _, l := range lists {
+		if len(l) > maxLen {
+			maxLen = len(l)
+		}
+	}
+	var tracker *deferment.Tracker
+	if predicted != nil {
+		tracker = deferment.NewTracker(k, maxLen)
+		tracker.SetWriteSets(predicted)
+		for i, l := range lists {
+			ids := make([]int, len(l))
+			for j, t := range l {
+				ids[j] = t.ID
+			}
+			tracker.Load(i, ids)
+		}
+	}
+
+	stats := make([]workerStats, k)
+	ccStats := make([]cc.Stats, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wk := &worker{
+				id:        i,
+				cfg:       cfg,
+				rng:       rand.New(rand.NewSource(cfg.Seed ^ salt<<32 ^ int64(i)*0x9E3779B9)),
+				ccStats:   &ccStats[i],
+				byID:      byID,
+				tracker:   tracker,
+				stats:     &stats[i],
+				unitScale: cfg.OpTime,
+			}
+			if wk.unitScale <= 0 {
+				wk.unitScale = time.Microsecond
+			}
+			wk.ctx = cc.NewCtx(wk.ccStats)
+			wk.ctx.Observe = cfg.Recorder != nil
+			if tracker != nil {
+				wk.deferrer = deferment.NewDeferrer(tracker)
+				wk.deferrer.Lookups = cfg.Defer.Lookups
+				wk.deferrer.DeferP = cfg.Defer.DeferP
+				wk.deferrer.Exact = cfg.Defer.Exact
+				if cfg.Defer.Adaptive {
+					wk.deferrer.EnableAdaptive()
+				}
+				if cfg.Defer.Horizon > 0 {
+					wk.deferrer.Horizon = cfg.Defer.Horizon
+				}
+			}
+			wk.drain(lists[i])
+		}(i)
+	}
+	wg.Wait()
+
+	var m Metrics
+	lat := &metrics.Histogram{}
+	for i := range stats {
+		m.Committed += stats[i].committed
+		m.Retries += stats[i].retries
+		m.Defers += stats[i].defers
+		m.UserAborts += stats[i].userAborts
+		m.Contended += ccStats[i].Contended
+		// Virtual k-core time of the phase: the busiest worker (the
+		// barrier makes the others wait for it).
+		if stats[i].busy > m.VirtualTime {
+			m.VirtualTime = stats[i].busy
+		}
+		lat.Merge(&stats[i].lat)
+		m.Spans = append(m.Spans, stats[i].spans...)
+		for name, tm := range stats[i].perTpl {
+			if m.PerTemplate == nil {
+				m.PerTemplate = make(map[string]TemplateMetrics)
+			}
+			agg := m.PerTemplate[name]
+			agg.Committed += tm.Committed
+			agg.Retries += tm.Retries
+			m.PerTemplate[name] = agg
+		}
+	}
+	return m, lat
+}
+
+type workerStats struct {
+	committed  uint64
+	retries    uint64
+	defers     uint64
+	userAborts uint64
+	busy       time.Duration     // intended on-core work; see Metrics.VirtualTime
+	lat        metrics.Histogram // per-commit virtual latency
+	perTpl     map[string]*TemplateMetrics
+	spans      []ExecSpan
+}
+
+func (ws *workerStats) tpl(name string) *TemplateMetrics {
+	if ws.perTpl == nil {
+		ws.perTpl = make(map[string]*TemplateMetrics)
+	}
+	tm := ws.perTpl[name]
+	if tm == nil {
+		tm = &TemplateMetrics{}
+		ws.perTpl[name] = tm
+	}
+	return tm
+}
+
+// worker executes one thread's list for one phase.
+type worker struct {
+	id        int
+	cfg       Config
+	rng       *rand.Rand
+	ctx       *cc.Ctx
+	ccStats   *cc.Stats
+	byID      map[int]*txn.Transaction
+	tracker   *deferment.Tracker
+	deferrer  *deferment.Deferrer
+	stats     *workerStats
+	unitScale time.Duration
+	// opsRun counts the operations executed in the current attempt,
+	// feeding the virtual-time accounting.
+	opsRun int
+}
+
+// opUnit is the virtual cost charged per operation: the configured
+// OpTime, or a nominal in-memory access cost when running at raw
+// speed.
+func (wk *worker) opUnit() time.Duration {
+	if wk.cfg.OpTime > 0 {
+		return wk.cfg.OpTime
+	}
+	return 500 * time.Nanosecond
+}
+
+// drain executes the worker's list, with TsDEFER reordering when
+// enabled.
+func (wk *worker) drain(list []*txn.Transaction) {
+	if wk.tracker == nil {
+		for _, t := range list {
+			wk.execute(t)
+		}
+		return
+	}
+	maxDefers := wk.cfg.Defer.MaxDefers
+	if maxDefers <= 0 {
+		maxDefers = 8
+	}
+	deferCount := make(map[int]int)
+	for {
+		id, ok := wk.tracker.Peek(wk.id)
+		if !ok {
+			return
+		}
+		t := wk.byID[id]
+		if deferCount[id] < maxDefers && wk.deferrer.ShouldDefer(wk.id, t, wk.rng) {
+			deferCount[id]++
+			wk.stats.defers++
+			wk.tracker.DeferHead(wk.id)
+			continue
+		}
+		wk.execute(t)
+		wk.tracker.Advance(wk.id)
+	}
+}
+
+// execute runs t to commit, retrying on conflicts. Transactions marked
+// UserAbort execute and then roll back once, without retry.
+func (wk *worker) execute(t *txn.Transaction) {
+	proto := wk.cfg.Protocol
+	// Application-specified dependencies: wait until every dependency
+	// has committed. Schedules from sched.GenerateWithDeps order queue
+	// positions topologically, so these waits cannot cycle.
+	if wk.cfg.committed != nil {
+		for _, dep := range wk.cfg.Deps.Before(t.ID) {
+			for !wk.cfg.committed[dep].Load() {
+				runtime.Gosched()
+			}
+		}
+	}
+	start := time.Now()
+	var busy time.Duration // intended on-core time across attempts
+	contended0 := wk.ccStats.Contended
+	for attempt := 0; ; attempt++ {
+		attemptStart := time.Now()
+		proto.Begin(wk.ctx)
+		wk.opsRun = 0
+		err := wk.runOps(t)
+		if err == nil && t.UserAbort {
+			proto.Abort(wk.ctx)
+			wk.stats.userAborts++
+			wk.stats.busy += time.Duration(wk.opsRun) * wk.opUnit()
+			if wk.cfg.committed != nil {
+				// The transaction finished (rolled back): dependents
+				// must not wait forever.
+				wk.cfg.committed[t.ID].Store(true)
+			}
+			return
+		}
+		// Per-attempt cost: the operation work, floored by the runtime
+		// lower bound — every retry re-runs the transaction and re-pays
+		// its runtime, which is precisely why conflict penalties grow
+		// with transaction length (Section 6.1).
+		attemptWork := time.Duration(wk.opsRun) * wk.opUnit()
+		if err == nil {
+			// Runtime lower bound (minT extension): delay commit until
+			// the bound has elapsed for this attempt.
+			if t.MinRuntime > 0 {
+				clock.SpinUntil(attemptStart.Add(t.MinRuntime))
+			}
+			// Commit-time I/O latency extension: the stall sits between
+			// execution and validation/commit, stretching the
+			// vulnerability window exactly like a write-ahead flush.
+			if t.IODelay > 0 {
+				clock.SpinUntil(time.Now().Add(t.IODelay))
+			}
+			err = proto.Commit(wk.ctx)
+			if t.MinRuntime > attemptWork {
+				attemptWork = t.MinRuntime
+			}
+			attemptWork += t.IODelay
+		}
+		busy += attemptWork
+		if err == nil {
+			wk.stats.committed++
+			if wk.cfg.WAL != nil {
+				wk.logCommit(t)
+			}
+			if wk.cfg.committed != nil {
+				wk.cfg.committed[t.ID].Store(true)
+			}
+			// Charge a nominal stall per contended latch/mutex
+			// acquisition on top of the attempt work.
+			busy += time.Duration(wk.ccStats.Contended-contended0) * wk.opUnit()
+			wk.stats.busy += busy
+			wk.stats.lat.Record(busy)
+			if t.Template != "" {
+				tm := wk.stats.tpl(t.Template)
+				tm.Committed++
+				tm.Retries += uint64(attempt)
+			}
+			if wk.cfg.TraceSpans {
+				wk.stats.spans = append(wk.stats.spans, ExecSpan{
+					TxnID: t.ID, Worker: wk.id,
+					Start: wk.stats.busy - busy, End: wk.stats.busy,
+				})
+			}
+			if wk.cfg.Recorder != nil {
+				reads, writes := wk.ctx.Observations()
+				wk.cfg.Recorder.Record(history.Event{
+					TxnID:  t.ID,
+					Reads:  toHistObs(reads),
+					Writes: toHistObs(writes),
+				})
+			}
+			if wk.cfg.CostSink != nil {
+				units := clock.Units(float64(time.Since(start)) / float64(wk.unitScale))
+				wk.cfg.CostSink.Record(t.Template, t.Params, units)
+			}
+			return
+		}
+		proto.Abort(wk.ctx)
+		wk.stats.retries++
+		wk.backoff(attempt)
+	}
+}
+
+// runOps interprets the transaction's declared operations through the
+// protocol.
+func (wk *worker) runOps(t *txn.Transaction) error {
+	proto := wk.cfg.Protocol
+	db := wk.cfg.DB
+	for _, op := range t.Ops {
+		if op.Kind == txn.OpScan {
+			if err := wk.runScan(t, op); err != nil {
+				return err
+			}
+			continue
+		}
+		var row *storage.Row
+		if op.Kind == txn.OpInsert {
+			table := db.Table(op.Key.Table())
+			if table == nil {
+				continue
+			}
+			var created bool
+			row, created = table.Insert(op.Key.Row())
+			if created {
+				// Our own structure bump must not invalidate our own
+				// earlier scans of this table.
+				wk.ctx.NoteStructureChange(table)
+			}
+		} else {
+			row = db.ResolveOrInsert(op.Key)
+		}
+		if row == nil {
+			continue // unknown table: treat as a no-op read
+		}
+		var err error
+		switch op.Kind {
+		case txn.OpRead:
+			_, err = proto.Read(wk.ctx, row)
+		case txn.OpWrite, txn.OpInsert:
+			arg, field := op.Arg, int(op.Field)
+			err = proto.Write(wk.ctx, row, func(tu *storage.Tuple) {
+				if field < len(tu.Fields) {
+					tu.Fields[field] = arg
+				}
+			})
+		case txn.OpUpdate:
+			// Read-modify-write: the read is validated by the
+			// protocol, so concurrent increments are never lost.
+			if _, err = proto.Read(wk.ctx, row); err == nil {
+				arg, field := op.Arg, int(op.Field)
+				err = proto.Write(wk.ctx, row, func(tu *storage.Tuple) {
+					if field < len(tu.Fields) {
+						tu.Fields[field] += arg
+					}
+				})
+			}
+		}
+		if err != nil {
+			return err
+		}
+		wk.opsRun++
+		if wk.cfg.OpTime > 0 {
+			clock.Spin(wk.cfg.OpTime)
+		} else {
+			// Even at raw speed, yield between operations so workers
+			// interleave on hosts with fewer cores than workers.
+			runtime.Gosched()
+		}
+	}
+	return nil
+}
+
+// runScan executes a range scan: record the table's structure version,
+// enumerate the range from the ordered index (collecting row pointers
+// so no index lock is held while the protocol runs), then read every
+// row through the protocol. Phantom protection comes from the
+// structure-version validation every protocol performs at commit.
+func (wk *worker) runScan(t *txn.Transaction, op txn.Op) error {
+	table := wk.cfg.DB.Table(op.Key.Table())
+	if table == nil {
+		return nil
+	}
+	wk.ctx.RecordScan(table)
+	rows := make([]*storage.Row, 0, 32)
+	table.Scan(op.Key.Row(), op.Arg, func(r *storage.Row) bool {
+		rows = append(rows, r)
+		return true
+	})
+	proto := wk.cfg.Protocol
+	for _, row := range rows {
+		if _, err := proto.Read(wk.ctx, row); err != nil {
+			return err
+		}
+		wk.opsRun++
+		if wk.cfg.OpTime > 0 {
+			clock.Spin(wk.cfg.OpTime)
+		} else {
+			runtime.Gosched()
+		}
+	}
+	return nil
+}
+
+// logCommit appends the transaction's redo record to the WAL and
+// blocks until it is durable (the write-ahead rule: acknowledge only
+// after the log reached stable storage).
+func (wk *worker) logCommit(t *txn.Transaction) {
+	cw := wk.ctx.CommittedWrites()
+	if len(cw) == 0 {
+		return // read-only: nothing to redo
+	}
+	rec := wal.Record{TxnID: int64(t.ID), Writes: make([]wal.Update, len(cw))}
+	for i, w := range cw {
+		rec.Writes[i] = wal.Update{Key: uint64(w.Key), Ver: w.Ver, Fields: w.Fields}
+	}
+	// Log failures are fatal to durability but not to the in-memory
+	// execution; surface them loudly in tests via the panic below.
+	if err := wk.cfg.WAL.Append(rec); err != nil {
+		panic("engine: WAL append failed: " + err.Error())
+	}
+}
+
+// toHistObs converts protocol observations to checker observations.
+func toHistObs(in []cc.Obs) []history.Obs {
+	out := make([]history.Obs, len(in))
+	for i, o := range in {
+		out[i] = history.Obs{Key: o.Key, Ver: o.Ver}
+	}
+	return out
+}
+
+// backoff applies short randomized backoff between retries so NO_WAIT
+// style protocols do not livelock.
+func (wk *worker) backoff(attempt int) {
+	runtime.Gosched()
+	if attempt == 0 {
+		return
+	}
+	max := attempt
+	if max > 16 {
+		max = 16
+	}
+	clock.Spin(time.Duration(wk.rng.Intn(max*2)+1) * time.Microsecond)
+}

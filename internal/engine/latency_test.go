@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"tskd/internal/cc"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+func TestLatencyPercentiles(t *testing.T) {
+	db := storage.NewDB()
+	tbl := db.CreateTable(0, "t", 1)
+	for i := uint64(0); i < 100; i++ {
+		tbl.Insert(i)
+	}
+	// 90 short transactions and 10 long ones (runtime lower bound):
+	// P50 must be short, P99 long.
+	w := make(txn.Workload, 100)
+	for i := range w {
+		w[i] = txn.New(i).R(txn.MakeKey(0, uint64(i)))
+		if i >= 90 {
+			w[i].MinRuntime = 5 * time.Millisecond
+		}
+	}
+	m := Run(w, []Phase{SpreadRoundRobin(w, 4)}, Config{
+		Workers: 4, Protocol: cc.NewSilo(), DB: db, Seed: 1,
+	})
+	if m.Committed != 100 {
+		t.Fatal("not all committed")
+	}
+	if m.LatencyP50 >= 5*time.Millisecond {
+		t.Errorf("P50 = %v, want well below the 5ms long-txn bound", m.LatencyP50)
+	}
+	// The histogram reports bucket lower bounds (~12% error).
+	if m.LatencyP99 < 4400*time.Microsecond {
+		t.Errorf("P99 = %v, want ≈ 5ms", m.LatencyP99)
+	}
+	if m.LatencyP95 < m.LatencyP50 || m.LatencyP99 < m.LatencyP95 {
+		t.Errorf("percentiles not monotone: %v %v %v", m.LatencyP50, m.LatencyP95, m.LatencyP99)
+	}
+}
+
+func TestLatencyEmptyRun(t *testing.T) {
+	db := storage.NewDB()
+	db.CreateTable(0, "t", 1)
+	m := Run(nil, []Phase{SpreadRoundRobin(nil, 2)}, Config{
+		Workers: 2, Protocol: cc.NewSilo(), DB: db,
+	})
+	if m.LatencyP50 != 0 || m.Committed != 0 {
+		t.Error("empty run produced latencies")
+	}
+}

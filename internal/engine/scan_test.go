@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"testing"
+
+	"tskd/internal/cc"
+	"tskd/internal/history"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+	"tskd/internal/workload"
+)
+
+func TestScanReadsRange(t *testing.T) {
+	db := storage.NewDB()
+	tbl := db.CreateTable(0, "t", 1)
+	var want uint64
+	for k := uint64(0); k < 100; k++ {
+		r, _ := tbl.Insert(k)
+		tu := r.Load().Clone()
+		tu.Fields[0] = k
+		r.Install(tu)
+		if k >= 10 && k <= 19 {
+			want += k
+		}
+	}
+	// One scanning transaction reading [10,19] and summing into row 0
+	// would need logic; instead verify through the recorder that all
+	// ten rows were read.
+	tx := txn.New(0).S(txn.MakeKey(0, 10), 9)
+	rec := history.NewRecorder()
+	m := Run(txn.Workload{tx}, []Phase{SpreadRoundRobin(txn.Workload{tx}, 1)}, Config{
+		Workers: 1, Protocol: cc.NewSilo(), DB: db, Recorder: rec,
+	})
+	if m.Committed != 1 {
+		t.Fatal("scan txn did not commit")
+	}
+	evs := rec.Events()
+	if len(evs) != 1 || len(evs[0].Reads) != 10 {
+		t.Fatalf("scan read %d rows, want 10", len(evs[0].Reads))
+	}
+}
+
+func TestScanPhantomProtection(t *testing.T) {
+	// A scanner whose table is concurrently grown must still commit a
+	// consistent view: with an insert racing the scan, the execution
+	// remains serializable. We force the scenario deterministically:
+	// phase 1 scans AND phase-1's other worker inserts into the range.
+	for _, name := range append(cc.Names(), "NONE") {
+		t.Run(name, func(t *testing.T) {
+			db := storage.NewDB()
+			tbl := db.CreateTable(0, "t", 2)
+			for k := uint64(0); k < 50; k++ {
+				tbl.Insert(k * 2) // even keys; odd keys get inserted
+			}
+			proto, err := cc.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Heavy interleaving: scanners and inserters.
+			var w txn.Workload
+			for i := 0; i < 30; i++ {
+				if i%2 == 0 {
+					w = append(w, txn.New(i).S(txn.MakeKey(0, 0), 200))
+				} else {
+					w = append(w, txn.New(i).IF(txn.MakeKey(0, uint64(i*7+1)), 0, uint64(i)))
+				}
+			}
+			m := Run(w, []Phase{SpreadRoundRobin(w, 4)}, Config{
+				Workers: 4, Protocol: proto, DB: db, Seed: int64(len(name)),
+			})
+			if m.Committed != 30 {
+				t.Fatalf("committed %d of 30", m.Committed)
+			}
+			// Scanners must have retried at least once somewhere if an
+			// insert landed mid-scan; either way the run terminates and
+			// commits everything. (Retry count is workload dependent;
+			// just log it.)
+			t.Logf("retries=%d", m.Retries)
+		})
+	}
+}
+
+func TestScanSelfInsertDoesNotSelfAbort(t *testing.T) {
+	// A transaction that scans then inserts into the same table must
+	// not invalidate its own scan (workload-E shape).
+	db := storage.NewDB()
+	tbl := db.CreateTable(0, "t", 1)
+	for k := uint64(0); k < 20; k++ {
+		tbl.Insert(k)
+	}
+	tx := txn.New(0).S(txn.MakeKey(0, 0), 50).IF(txn.MakeKey(0, 100), 0, 1)
+	m := Run(txn.Workload{tx}, []Phase{SpreadRoundRobin(txn.Workload{tx}, 1)}, Config{
+		Workers: 1, Protocol: cc.NewOCC(), DB: db,
+	})
+	if m.Committed != 1 {
+		t.Fatal("self-inserting scanner did not commit")
+	}
+	if m.Retries != 0 {
+		t.Errorf("self-inserting scanner retried %d times", m.Retries)
+	}
+}
+
+func TestYCSBEWorkloadRuns(t *testing.T) {
+	cfg := workload.YCSB{
+		Records: 2000, Theta: 0.8, Txns: 300, OpsPerTxn: 8,
+		ReadRatio: 0.5, RMW: true, ScanRatio: 0.3, Seed: 9,
+	}
+	db := cfg.BuildDB()
+	w := cfg.Generate()
+	scans := 0
+	for _, tx := range w {
+		if tx.HasScan() {
+			scans++
+			if tx.Template != "YCSB-E" {
+				t.Fatal("scan txn mislabeled")
+			}
+		}
+	}
+	if scans < 50 || scans > 150 {
+		t.Fatalf("scan transactions = %d, want ≈ 90", scans)
+	}
+	rec := history.NewRecorder()
+	m := Run(w, []Phase{SpreadRoundRobin(w, 4)}, Config{
+		Workers: 4, Protocol: cc.NewTicToc(), DB: db, Recorder: rec, Seed: 9,
+	})
+	if m.Committed != 300 {
+		t.Fatalf("committed %d", m.Committed)
+	}
+	if err := rec.Check(); err != nil {
+		t.Fatalf("workload E not serializable: %v", err)
+	}
+}

@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"time"
+
+	"tskd/internal/sched"
+)
+
+// ExecSpan records when a transaction actually ran on its worker's
+// virtual clock: Start is the worker's accumulated busy time when the
+// successful attempt began, End when it committed. Comparing spans
+// against a schedule's planned placements quantifies execution drift —
+// the reason RC-free queues still need the CC backstop (Section 3).
+type ExecSpan struct {
+	TxnID  int
+	Worker int
+	Start  time.Duration
+	End    time.Duration
+}
+
+// DriftReport summarizes planned-vs-actual timing for a schedule
+// execution.
+type DriftReport struct {
+	// Spans is the number of queued transactions compared.
+	Spans int
+	// MeanAbs is the mean absolute difference between planned and
+	// actual start times.
+	MeanAbs time.Duration
+	// MaxAbs is the largest absolute difference.
+	MaxAbs time.Duration
+	// Overlaps counts conventionally-conflicting queued pairs whose
+	// ACTUAL spans overlapped although their planned intervals did not
+	// — realized runtime conflicts the schedule failed to prevent.
+	Overlaps int
+}
+
+// Drift compares the schedule's planned placements against observed
+// execution spans. unit is the wall-clock length of one estimate unit
+// (the engine's OpTime). Only transactions present in both are
+// compared.
+func Drift(s *sched.Schedule, spans []ExecSpan, unit time.Duration) DriftReport {
+	if unit <= 0 {
+		unit = time.Microsecond
+	}
+	var rep DriftReport
+	var sum time.Duration
+	actual := make(map[int]ExecSpan, len(spans))
+	for _, sp := range spans {
+		actual[sp.TxnID] = sp
+	}
+	for _, q := range s.Queues {
+		for _, t := range q {
+			sp, ok := actual[t.ID]
+			if !ok {
+				continue
+			}
+			planned := time.Duration(float64(s.Placement(t.ID).Start) * float64(unit))
+			d := sp.Start - planned
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+			if d > rep.MaxAbs {
+				rep.MaxAbs = d
+			}
+			rep.Spans++
+		}
+	}
+	if rep.Spans > 0 {
+		rep.MeanAbs = sum / time.Duration(rep.Spans)
+	}
+	// Realized runtime conflicts: conflicting queued pairs on different
+	// workers whose actual spans overlapped.
+	for _, q := range s.Queues {
+		for _, t := range q {
+			sp, ok := actual[t.ID]
+			if !ok {
+				continue
+			}
+			p := s.Placement(t.ID)
+			for _, nb := range s.Graph().Neighbors(t.ID) {
+				np := s.Placement(int(nb))
+				if np.Queue < 0 || np.Queue == p.Queue || int(nb) < t.ID {
+					continue
+				}
+				nsp, ok := actual[int(nb)]
+				if !ok || nsp.Worker == sp.Worker {
+					continue
+				}
+				if sp.Start < nsp.End && nsp.Start < sp.End {
+					rep.Overlaps++
+				}
+			}
+		}
+	}
+	return rep
+}

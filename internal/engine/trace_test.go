@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"tskd/internal/cc"
+	"tskd/internal/conflict"
+	"tskd/internal/estimator"
+	"tskd/internal/sched"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+	"tskd/internal/workload"
+)
+
+func TestTraceSpansRecorded(t *testing.T) {
+	db := storage.NewDB()
+	tbl := db.CreateTable(0, "t", 1)
+	for i := uint64(0); i < 20; i++ {
+		tbl.Insert(i)
+	}
+	w := make(txn.Workload, 20)
+	for i := range w {
+		w[i] = txn.New(i).U(txn.MakeKey(0, uint64(i)), 1)
+	}
+	m := Run(w, []Phase{SpreadRoundRobin(w, 2)}, Config{
+		Workers: 2, Protocol: cc.NewSilo(), DB: db, TraceSpans: true,
+	})
+	if len(m.Spans) != 20 {
+		t.Fatalf("spans = %d, want 20", len(m.Spans))
+	}
+	// Spans on one worker must be disjoint and ordered.
+	byWorker := map[int][]ExecSpan{}
+	for _, sp := range m.Spans {
+		if sp.End < sp.Start {
+			t.Fatalf("inverted span %+v", sp)
+		}
+		byWorker[sp.Worker] = append(byWorker[sp.Worker], sp)
+	}
+	for wkr, spans := range byWorker {
+		for i := 1; i < len(spans); i++ {
+			if spans[i].Start < spans[i-1].End {
+				t.Fatalf("worker %d spans overlap: %+v then %+v", wkr, spans[i-1], spans[i])
+			}
+		}
+	}
+	// Disabled by default.
+	m2 := Run(w, []Phase{SpreadRoundRobin(w, 2)}, Config{
+		Workers: 2, Protocol: cc.NewSilo(), DB: db,
+	})
+	if len(m2.Spans) != 0 {
+		t.Error("spans recorded without TraceSpans")
+	}
+}
+
+// TestDriftMeasurement executes a real schedule with tracing and
+// quantifies planned-vs-actual drift — the phenomenon that forces the
+// CC backstop on RC-free queues.
+func TestDriftMeasurement(t *testing.T) {
+	cfg := workload.YCSB{Records: 2000, Theta: 0.8, Txns: 300, OpsPerTxn: 8,
+		ReadRatio: 0.5, RMW: true, Seed: 19}
+	db := cfg.BuildDB()
+	w := cfg.Generate()
+	g := conflict.Build(w, conflict.Serializability)
+	unit := time.Microsecond
+	s := sched.GenerateFromScratch(w, g, estimator.AccessSetSize{Unit: unit}, 4, sched.Options{Seed: 19})
+	if err := s.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	m := Run(w, []Phase{{PerThread: s.Queues}}, Config{
+		Workers: 4, Protocol: cc.NewSilo(), DB: db,
+		OpTime: unit, TraceSpans: true, Seed: 19,
+	})
+	rep := Drift(s, m.Spans, unit)
+	if rep.Spans == 0 {
+		t.Fatal("no spans compared")
+	}
+	t.Logf("drift over %d txns: mean |Δstart| = %v, max = %v, realized overlaps = %d (retries %d)",
+		rep.Spans, rep.MeanAbs, rep.MaxAbs, rep.Overlaps, m.Retries)
+	// Sanity: drift must be bounded by the total schedule span (a wild
+	// value would indicate a units bug).
+	horizon := time.Duration(float64(s.Makespan()) * float64(unit) * 10)
+	if rep.MaxAbs > horizon {
+		t.Errorf("max drift %v implausible against makespan %v", rep.MaxAbs, horizon)
+	}
+}
+
+func TestDriftEmpty(t *testing.T) {
+	w := txn.Workload{txn.MustParse(0, "W[x1]")}
+	g := conflict.Build(w, conflict.Serializability)
+	s := sched.GenerateFromScratch(w, g, estimator.AccessSetSize{}, 1, sched.Options{})
+	rep := Drift(s, nil, time.Microsecond)
+	if rep.Spans != 0 || rep.MeanAbs != 0 {
+		t.Errorf("empty drift = %+v", rep)
+	}
+}

@@ -1,0 +1,225 @@
+// Package estimator provides the transaction-cost estimators TsPAR
+// relies on (Section 3 of the paper). Scheduling only needs *relative*
+// costs: "any estimates that roughly preserve the relative costs of
+// transactions suffice".
+//
+// Three estimators are provided, mirroring the paper's fallback chain:
+//
+//  1. History: match a transaction to past executions of the same
+//     template with the same (or nearest) parameters.
+//  2. DryRun: partially execute reads (no physical writes) against the
+//     store to derive per-template costs.
+//  3. AccessSetSize: the brute-force fallback — one unit per operation
+//     (the convention of Example 1), plus the declared runtime knobs.
+package estimator
+
+import (
+	"sync"
+	"time"
+
+	"tskd/internal/clock"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+// Estimator predicts the serial execution time of a transaction in
+// abstract units (1 unit ≈ one read/write operation).
+type Estimator interface {
+	// Estimate returns time(T) in units.
+	Estimate(t *txn.Transaction) clock.Units
+}
+
+// knobUnits converts a transaction's declared runtime knobs to units:
+// the effective serial duration is max(opWork, MinRuntime) + IODelay.
+// unit is the wall-clock length of one unit; a zero unit ignores the
+// knobs (pure op counting).
+func knobUnits(t *txn.Transaction, opUnits clock.Units, unit time.Duration) clock.Units {
+	if unit <= 0 {
+		return opUnits
+	}
+	mi := clock.Units(float64(t.MinRuntime) / float64(unit))
+	if mi > opUnits {
+		opUnits = mi
+	}
+	return opUnits + clock.Units(float64(t.IODelay)/float64(unit))
+}
+
+// AccessSetSize estimates cost as the number of operations plus the
+// declared runtime knobs — the "extreme case" fallback of Section 3.
+type AccessSetSize struct {
+	// Unit is the wall-clock duration of one op, used to convert the
+	// MinRuntime/IODelay knobs into units. Zero disables the knobs.
+	Unit time.Duration
+}
+
+// Estimate implements Estimator.
+func (e AccessSetSize) Estimate(t *txn.Transaction) clock.Units {
+	return knobUnits(t, clock.Units(len(t.Ops)), e.Unit)
+}
+
+// History estimates costs from recorded executions: an exact
+// (template, params) match first, then the template's running average,
+// then the AccessSetSize fallback. It is safe for concurrent use; the
+// engine records observed durations as transactions commit and TsPAR
+// reads them when scheduling the next bundle.
+type History struct {
+	// Fallback handles templates never seen before. The zero value
+	// (AccessSetSize{}) is used when nil.
+	Fallback Estimator
+
+	mu        sync.RWMutex
+	exact     map[string]clock.Units // template+params -> EWMA cost
+	templates map[string]*ewma       // template -> EWMA cost
+}
+
+type ewma struct {
+	v clock.Units
+	n int
+}
+
+// NewHistory returns an empty history estimator.
+func NewHistory() *History {
+	return &History{
+		exact:     make(map[string]clock.Units),
+		templates: make(map[string]*ewma),
+	}
+}
+
+func exactKey(template string, params []uint64) string {
+	// Parameters are small ids; a compact textual key suffices and
+	// avoids collisions.
+	b := make([]byte, 0, len(template)+len(params)*8)
+	b = append(b, template...)
+	for _, p := range params {
+		b = append(b, '/')
+		for p >= 10 {
+			b = append(b, byte('0'+p%10))
+			p /= 10
+		}
+		b = append(b, byte('0'+p))
+	}
+	return string(b)
+}
+
+// Record feeds an observed execution cost into the history.
+func (h *History) Record(template string, params []uint64, cost clock.Units) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	k := exactKey(template, params)
+	if old, ok := h.exact[k]; ok {
+		h.exact[k] = old*0.5 + cost*0.5
+	} else {
+		h.exact[k] = cost
+	}
+	e := h.templates[template]
+	if e == nil {
+		e = &ewma{}
+		h.templates[template] = e
+	}
+	e.n++
+	alpha := clock.Units(1 / float64(e.n))
+	if alpha < 0.05 {
+		alpha = 0.05
+	}
+	e.v += alpha * (cost - e.v)
+}
+
+// Estimate implements Estimator.
+func (h *History) Estimate(t *txn.Transaction) clock.Units {
+	h.mu.RLock()
+	if c, ok := h.exact[exactKey(t.Template, t.Params)]; ok {
+		h.mu.RUnlock()
+		return c
+	}
+	if e, ok := h.templates[t.Template]; ok && e.n > 0 {
+		v := e.v
+		h.mu.RUnlock()
+		return v
+	}
+	h.mu.RUnlock()
+	if h.Fallback != nil {
+		return h.Fallback.Estimate(t)
+	}
+	return AccessSetSize{}.Estimate(t)
+}
+
+// Len returns the number of exact records; for tests.
+func (h *History) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.exact)
+}
+
+// DryRun estimates costs by partially executing transactions against
+// the store: reads are performed (to measure real access cost), writes
+// are counted but not applied — "no writes are physically executed
+// during the dry-run" (Section 3). Sampled per template: the first
+// SampleSize transactions of each template are dry-run, later ones
+// reuse the template average.
+type DryRun struct {
+	DB *storage.DB
+	// Unit converts runtime knobs; see AccessSetSize.Unit.
+	Unit time.Duration
+	// SampleSize bounds dry-runs per template (default 32).
+	SampleSize int
+
+	mu      sync.Mutex
+	perTmpl map[string]*ewma
+}
+
+// NewDryRun returns a dry-run estimator over db.
+func NewDryRun(db *storage.DB) *DryRun {
+	return &DryRun{DB: db, SampleSize: 32, perTmpl: make(map[string]*ewma)}
+}
+
+// Estimate implements Estimator.
+func (d *DryRun) Estimate(t *txn.Transaction) clock.Units {
+	d.mu.Lock()
+	e := d.perTmpl[t.Template]
+	if e == nil {
+		e = &ewma{}
+		d.perTmpl[t.Template] = e
+	}
+	sampled := e.n >= d.sampleSize()
+	d.mu.Unlock()
+
+	var opUnits clock.Units
+	if sampled {
+		d.mu.Lock()
+		opUnits = e.v
+		d.mu.Unlock()
+	} else {
+		opUnits = d.run(t)
+		d.mu.Lock()
+		e.n++
+		alpha := clock.Units(1 / float64(e.n))
+		e.v += alpha * (opUnits - e.v)
+		d.mu.Unlock()
+	}
+	return knobUnits(t, opUnits, d.Unit)
+}
+
+func (d *DryRun) sampleSize() int {
+	if d.SampleSize <= 0 {
+		return 32
+	}
+	return d.SampleSize
+}
+
+// run performs the partial dry-run: execute reads, count writes.
+func (d *DryRun) run(t *txn.Transaction) clock.Units {
+	units := clock.Units(0)
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case txn.OpRead:
+			if r := d.DB.Resolve(op.Key); r != nil {
+				_ = r.Load()
+			}
+			units++
+		case txn.OpWrite, txn.OpInsert:
+			// Writes are not physically executed; charge one unit.
+			units++
+		}
+	}
+	return units
+}

@@ -1,0 +1,180 @@
+package estimator
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tskd/internal/clock"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+func TestAccessSetSize(t *testing.T) {
+	tx := txn.MustParse(0, "R[x1]W[x2]R[x3]")
+	if got := (AccessSetSize{}).Estimate(tx); got != 3 {
+		t.Errorf("Estimate = %v, want 3", got)
+	}
+}
+
+func TestAccessSetSizeKnobs(t *testing.T) {
+	tx := txn.MustParse(0, "R[x1]W[x2]")
+	tx.MinRuntime = 10 * time.Millisecond
+	tx.IODelay = 5 * time.Millisecond
+	e := AccessSetSize{Unit: time.Millisecond}
+	// max(2, 10) + 5 = 15 units.
+	if got := e.Estimate(tx); got != 15 {
+		t.Errorf("Estimate = %v, want 15", got)
+	}
+	// Zero Unit ignores knobs.
+	if got := (AccessSetSize{}).Estimate(tx); got != 2 {
+		t.Errorf("Estimate without unit = %v, want 2", got)
+	}
+	// Op work dominating MinRuntime.
+	tx2 := txn.MustParse(1, "R[x1]W[x2]R[x3]W[x4]")
+	tx2.MinRuntime = 2 * time.Millisecond
+	if got := e.Estimate(tx2); got != 4 {
+		t.Errorf("Estimate = %v, want 4 (ops dominate)", got)
+	}
+}
+
+func TestHistoryExactMatch(t *testing.T) {
+	h := NewHistory()
+	h.Record("Pay", []uint64{1, 2}, 50)
+	tx := &txn.Transaction{ID: 0, Template: "Pay", Params: []uint64{1, 2}}
+	if got := h.Estimate(tx); got != 50 {
+		t.Errorf("exact match = %v, want 50", got)
+	}
+}
+
+func TestHistoryExactMatchAveraged(t *testing.T) {
+	h := NewHistory()
+	h.Record("Pay", []uint64{1}, 100)
+	h.Record("Pay", []uint64{1}, 50)
+	tx := &txn.Transaction{Template: "Pay", Params: []uint64{1}}
+	if got := h.Estimate(tx); got != 75 {
+		t.Errorf("averaged = %v, want 75", got)
+	}
+}
+
+func TestHistoryTemplateFallback(t *testing.T) {
+	h := NewHistory()
+	h.Record("Pay", []uint64{1}, 40)
+	h.Record("Pay", []uint64{2}, 60)
+	// Unknown params of a known template: template average.
+	tx := &txn.Transaction{Template: "Pay", Params: []uint64{999}}
+	got := h.Estimate(tx)
+	if got < 40 || got > 60 {
+		t.Errorf("template average = %v, want within [40,60]", got)
+	}
+}
+
+func TestHistoryUnknownTemplateFallback(t *testing.T) {
+	h := NewHistory()
+	tx := txn.MustParse(0, "R[x1]W[x1]")
+	tx.Template = "Never"
+	if got := h.Estimate(tx); got != 2 {
+		t.Errorf("fallback = %v, want 2 (AccessSetSize)", got)
+	}
+	h.Fallback = fixed(7)
+	if got := h.Estimate(tx); got != 7 {
+		t.Errorf("custom fallback = %v, want 7", got)
+	}
+}
+
+type fixed clock.Units
+
+func (f fixed) Estimate(*txn.Transaction) clock.Units { return clock.Units(f) }
+
+func TestHistoryPreservesRelativeOrder(t *testing.T) {
+	// The paper only requires relative costs to be preserved.
+	h := NewHistory()
+	for i := 0; i < 10; i++ {
+		h.Record("Short", []uint64{uint64(i)}, 10)
+		h.Record("Long", []uint64{uint64(i)}, 100)
+	}
+	s := h.Estimate(&txn.Transaction{Template: "Short", Params: []uint64{77}})
+	l := h.Estimate(&txn.Transaction{Template: "Long", Params: []uint64{77}})
+	if s >= l {
+		t.Errorf("relative order lost: short=%v long=%v", s, l)
+	}
+}
+
+func TestHistoryConcurrent(t *testing.T) {
+	h := NewHistory()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.Record("T", []uint64{uint64(w), uint64(i)}, clock.Units(i))
+				h.Estimate(&txn.Transaction{Template: "T", Params: []uint64{uint64(i)}})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Len() == 0 {
+		t.Error("no records stored")
+	}
+}
+
+func TestDryRun(t *testing.T) {
+	db := storage.NewDB()
+	tbl := db.CreateTable(0, "t", 1)
+	for i := uint64(0); i < 10; i++ {
+		tbl.Insert(i)
+	}
+	d := NewDryRun(db)
+	tx := txn.MustParse(0, "R[x1]W[x2]R[x3]")
+	tx.Template = "X"
+	if got := d.Estimate(tx); got != 3 {
+		t.Errorf("dry-run = %v, want 3", got)
+	}
+	// Writes were not applied.
+	if tbl.Get(2).Field(0) != 0 {
+		t.Error("dry-run physically wrote")
+	}
+}
+
+func TestDryRunSamplingReusesAverage(t *testing.T) {
+	db := storage.NewDB()
+	db.CreateTable(0, "t", 1)
+	d := NewDryRun(db)
+	d.SampleSize = 2
+	mk := func(id int, n string) *txn.Transaction {
+		tx := txn.MustParse(id, n)
+		tx.Template = "T"
+		return tx
+	}
+	d.Estimate(mk(0, "R[x1]"))           // sample 1: cost 1
+	d.Estimate(mk(1, "R[x1]R[x2]R[x3]")) // sample 2: cost 3 -> avg 2
+	// Past the sample size: template average regardless of shape.
+	if got := d.Estimate(mk(2, "R[x1]R[x2]R[x3]R[x4]R[x5]R[x6]R[x7]R[x8]")); got != 2 {
+		t.Errorf("sampled estimate = %v, want template average 2", got)
+	}
+}
+
+func TestDryRunKnobs(t *testing.T) {
+	db := storage.NewDB()
+	db.CreateTable(0, "t", 1)
+	d := NewDryRun(db)
+	d.Unit = time.Millisecond
+	tx := txn.MustParse(0, "R[x1]")
+	tx.Template = "K"
+	tx.MinRuntime = 9 * time.Millisecond
+	tx.IODelay = time.Millisecond
+	if got := d.Estimate(tx); got != 10 {
+		t.Errorf("knobbed dry-run = %v, want 10", got)
+	}
+}
+
+func TestDryRunMissingRows(t *testing.T) {
+	db := storage.NewDB() // no tables at all
+	d := NewDryRun(db)
+	tx := txn.MustParse(0, "R[x1]W[x2]")
+	tx.Template = "M"
+	if got := d.Estimate(tx); got != 2 {
+		t.Errorf("dry-run over missing rows = %v, want 2", got)
+	}
+}

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV emits the table as CSV (one row per measurement, extra
+// columns expanded), for plotting pipelines.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	extraCols := map[string]bool{}
+	for _, r := range t.Rows {
+		for k := range r.Extra {
+			extraCols[k] = true
+		}
+	}
+	cols := make([]string, 0, len(extraCols))
+	for k := range extraCols {
+		cols = append(cols, k)
+	}
+	sort.Strings(cols)
+
+	header := append([]string{"experiment", t.XLabel, "system", "throughput", "retry_per_100k"}, cols...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		rec := []string{t.ID, r.X, r.System,
+			fmt.Sprintf("%.3f", r.Throughput), fmt.Sprintf("%.3f", r.Retry)}
+		for _, c := range cols {
+			if v, ok := r.Extra[c]; ok {
+				rec = append(rec, fmt.Sprintf("%.6f", v))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tbl := &Table{ID: "x", XLabel: "theta"}
+	tbl.Add(Row{X: "0.7", System: "A", Throughput: 100.5, Retry: 3,
+		Extra: map[string]float64{"s%": 42}})
+	tbl.Add(Row{X: "0.8", System: "B", Throughput: 50, Retry: 1})
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "experiment,theta,system,throughput,retry_per_100k,s%" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "x,0.7,A,100.500,3.000,42") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	// Missing extra column is empty, not zero.
+	if !strings.HasSuffix(lines[2], ",") {
+		t.Errorf("row 2 should end with empty extra: %q", lines[2])
+	}
+}
+
+func TestRunSystem(t *testing.T) {
+	p := tiny()
+	tbl, err := RunSystem("TSKD[0]", "ycsb", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 || tbl.Rows[0].Throughput <= 0 {
+		t.Fatalf("rows = %+v", tbl.Rows)
+	}
+	if _, err := RunSystem("NOPE", "ycsb", p); err == nil {
+		t.Error("unknown system accepted")
+	}
+	if _, err := RunSystem("DBCC", "nope", p); err == nil {
+		t.Error("unknown bench accepted")
+	}
+	if _, err := RunSystem("dbcc", "tpcc", p); err != nil {
+		t.Errorf("case-insensitive lookup failed: %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	t1 := &Table{ID: "a", XLabel: "x"}
+	t1.Add(Row{X: "1", System: "STRIFE", Throughput: 100})
+	t1.Add(Row{X: "1", System: "TSKD[S]", Throughput: 150})
+	t1.Add(Row{X: "2", System: "STRIFE", Throughput: 100})
+	t1.Add(Row{X: "2", System: "TSKD[S]", Throughput: 250})
+	t2 := &Table{ID: "b", XLabel: "x"}
+	t2.Add(Row{X: "1", System: "DBCC", Throughput: 200})
+	t2.Add(Row{X: "1", System: "TSKD[CC]", Throughput: 220})
+	s := Summarize([]*Table{t1, t2})
+	g, ok := s.Gain("TSKD[S] vs STRIFE")
+	if !ok || g < 0.99 || g > 1.01 { // mean of +50% and +150% = +100%
+		t.Errorf("gain = %v, %v", g, ok)
+	}
+	gcc, ok := s.Gain("TSKD[CC] vs DBCC")
+	if !ok || gcc < 0.09 || gcc > 0.11 {
+		t.Errorf("cc gain = %v", gcc)
+	}
+	if _, ok := s.Gain("TSKD[H] vs HORTICULTURE"); ok {
+		t.Error("unmeasured pair reported")
+	}
+	var sb strings.Builder
+	s.Print(&sb)
+	if !strings.Contains(sb.String(), "TSKD[S] vs STRIFE") {
+		t.Error("summary print missing pair")
+	}
+	empty := Summarize(nil)
+	var sb2 strings.Builder
+	empty.Print(&sb2)
+	if !strings.Contains(sb2.String(), "no comparable") {
+		t.Error("empty summary not reported")
+	}
+}

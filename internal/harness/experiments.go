@@ -1,0 +1,723 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tskd/internal/core"
+	"tskd/internal/engine"
+	"tskd/internal/estimator"
+	"tskd/internal/partition"
+	"tskd/internal/sched"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+	"tskd/internal/workload"
+)
+
+// bench selects the benchmark a sweep runs on.
+type bench int
+
+const (
+	ycsb bench = iota
+	tpcc
+)
+
+func (b bench) String() string {
+	if b == tpcc {
+		return "TPC-C"
+	}
+	return "YCSB"
+}
+
+// dbCache reuses loaded databases across runs of the same schema.
+// Transaction access patterns are generated independently of row
+// values, so reusing a mutated database does not change contention
+// behaviour — it only avoids rebuilding millions of rows per run.
+var (
+	dbCacheMu sync.Mutex
+	dbCache   = map[string]*storage.DB{}
+)
+
+func cachedDB(key string, build func() *storage.DB) *storage.DB {
+	dbCacheMu.Lock()
+	defer dbCacheMu.Unlock()
+	if db, ok := dbCache[key]; ok {
+		return db
+	}
+	db := build()
+	dbCache[key] = db
+	return db
+}
+
+// build returns the (cached) database and a fresh bundle for the given
+// parameters, with the skew and I/O extensions applied.
+func (p Params) build(b bench) (*storage.DB, txn.Workload) {
+	var db *storage.DB
+	var w txn.Workload
+	switch b {
+	case tpcc:
+		cfg := workload.TPCC{
+			Warehouses: p.Whn, CrossPct: p.CPct, Txns: p.Bundle,
+			Items: p.TPCCItems, CustomersPerDistrict: p.TPCCCustomers,
+			InitOrders: 30, Seed: p.Seed,
+		}
+		db = cachedDB(fmt.Sprintf("tpcc/%d/%d/%d/%d", p.Whn, p.TPCCItems, p.TPCCCustomers, p.Seed),
+			cfg.BuildDB)
+		w = cfg.Generate()
+	default:
+		cfg := workload.YCSB{
+			Records: p.YCSBRecords, Theta: p.Theta, Txns: p.Bundle,
+			OpsPerTxn: 16, ReadRatio: 0.5, RMW: true, Seed: p.Seed,
+		}
+		db = cachedDB(fmt.Sprintf("ycsb/%d", p.YCSBRecords), cfg.BuildDB)
+		w = cfg.Generate()
+	}
+	avgOps := 1.0
+	if len(w) > 0 {
+		avgOps = float64(w.TotalOps()) / float64(len(w))
+	}
+	workload.ApplySkew(w, p.skew(), p.avgRuntime(avgOps), p.Seed+101)
+	workload.ApplyIO(w, p.io(), p.Seed+202)
+	return db, w
+}
+
+// options derives core.Options from the parameters.
+func (p Params) options() core.Options {
+	return core.Options{
+		Workers:  p.Cores,
+		Protocol: p.CC,
+		OpTime:   p.OpTime,
+		Seed:     p.Seed,
+		Sched:    sched.Options{Seed: p.Seed},
+		Defer: &engine.DeferConfig{
+			Lookups: p.Lookups, DeferP: p.DeferP, Horizon: 1,
+			Alpha: p.Alpha, MaxDefers: 8, Exact: true,
+		},
+	}
+}
+
+// runner is one system under test.
+type runner struct {
+	name string
+	run  func(db *storage.DB, w txn.Workload, o core.Options) (core.Result, error)
+}
+
+// partitionedRunners returns the Section 6.2 lineup: each partitioner
+// baseline next to its TSKD instance, plus TSKD[0].
+func partitionedRunners(seed int64) []runner {
+	strife := func() partition.Partitioner { return partition.NewStrife(seed) }
+	schism := func() partition.Partitioner { return partition.NewSchism(seed) }
+	horti := func() partition.Partitioner { return partition.NewHorticulture() }
+	return []runner{
+		{"STRIFE", func(db *storage.DB, w txn.Workload, o core.Options) (core.Result, error) {
+			return core.RunBaseline(db, w, strife(), o)
+		}},
+		{"TSKD[S]", func(db *storage.DB, w txn.Workload, o core.Options) (core.Result, error) {
+			return core.RunTSKD(db, w, strife(), o)
+		}},
+		{"SCHISM", func(db *storage.DB, w txn.Workload, o core.Options) (core.Result, error) {
+			return core.RunBaseline(db, w, schism(), o)
+		}},
+		{"TSKD[C]", func(db *storage.DB, w txn.Workload, o core.Options) (core.Result, error) {
+			return core.RunTSKD(db, w, schism(), o)
+		}},
+		{"HORTICULTURE", func(db *storage.DB, w txn.Workload, o core.Options) (core.Result, error) {
+			return core.RunBaseline(db, w, horti(), o)
+		}},
+		{"TSKD[H]", func(db *storage.DB, w txn.Workload, o core.Options) (core.Result, error) {
+			return core.RunTSKD(db, w, horti(), o)
+		}},
+		{"TSKD[0]", func(db *storage.DB, w txn.Workload, o core.Options) (core.Result, error) {
+			return core.RunTSKD(db, w, nil, o)
+		}},
+	}
+}
+
+// ccRunners returns the Section 6.3 lineup.
+func ccRunners() []runner {
+	return []runner{
+		{"DBCC", core.RunCC},
+		{"TSKD[CC]", core.RunTSKDCC},
+	}
+}
+
+// runAll executes every runner Reps times on fresh copies of the
+// workload and appends one averaged row per system at sweep value x.
+func (p Params) runAll(t *Table, b bench, x string, runners []runner) error {
+	reps := p.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	for _, r := range runners {
+		row := Row{X: x, System: r.name, Extra: map[string]float64{}}
+		var sPct, load, defers, contended, wall float64
+		hasSched, hasLoad := false, false
+		for rep := 0; rep < reps; rep++ {
+			db, w := p.build(b)
+			o := p.options()
+			o.Seed = p.Seed + int64(rep)*7919
+			res, err := r.run(db, w, o)
+			if err != nil {
+				return fmt.Errorf("%s at %s=%s: %w", r.name, t.XLabel, x, err)
+			}
+			// Headline throughput is simulated k-core throughput (see
+			// engine.Metrics.VirtualTime); wall-clock throughput is
+			// reported alongside.
+			row.Throughput += res.VThroughput() / float64(reps)
+			wall += res.Throughput() / float64(reps)
+			row.Retry += res.RetryPer100k() / float64(reps)
+			if res.SchedStats != nil {
+				hasSched = true
+				sPct += res.SchedStats.ScheduledPct() / float64(reps)
+			}
+			if res.LoadRatio > 0 {
+				hasLoad = true
+				load += res.LoadRatio / float64(reps)
+			}
+			defers += float64(res.Defers) / float64(reps)
+			contended += float64(res.Contended) / float64(reps)
+		}
+		if hasSched {
+			row.Extra["s%"] = sPct
+		}
+		if hasLoad {
+			row.Extra["loadratio"] = load
+		}
+		if defers > 0 {
+			row.Extra["defers"] = defers
+		}
+		row.Extra["contended"] = contended
+		row.Extra["wall_tput"] = wall
+		t.Add(row)
+	}
+	return nil
+}
+
+// Experiment runs the experiment with the given id. See Experiments
+// for the catalogue.
+func Experiment(id string, p Params) (*Table, error) {
+	f, ok := experiments[id]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown experiment %q (known: %v)", id, ExperimentIDs())
+	}
+	return f(p)
+}
+
+// ExperimentIDs lists the available experiment ids, sorted.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(experiments))
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+type expFunc func(Params) (*Table, error)
+
+var experiments = map[string]expFunc{
+	"fig4a": fig4a, "fig4b": fig4b, "fig4c": fig4c,
+	"fig4d": fig4d, "fig4e": fig4e, "fig4f": fig4f,
+	"fig4g": fig4g, "fig4h": fig4h, "fig4i": fig4i,
+	"fig4j": fig4j, "fig4k": fig4k, "fig4l": fig4l,
+	"tab2": tab2, "overhead": overhead,
+	"fig5a": fig5a, "fig5b": fig5b, "fig5c": fig5c,
+	"fig5d": fig5d, "fig5e": fig5e, "fig5f": fig5f,
+	"fig5g": fig5g, "fig5h": fig5h, "fig6": fig6,
+	"ablation-order":      ablationOrder,
+	"ablation-ckrcf":      ablationCkRCF,
+	"ablation-estimator":  ablationEstimator,
+	"ablation-deferbound": ablationDeferBound,
+}
+
+// --- Section 6.2: TSKD on partitioning-based systems ---
+
+func fig4a(p Params) (*Table, error) {
+	t := &Table{ID: "fig4a", Title: "YCSB throughput, partitioners vs TSKD, varying theta",
+		XLabel: "theta", Shape: "TSKD[x] above partitioner x everywhere; gap grows with theta"}
+	for _, th := range []float64{0.7, 0.8, 0.9} {
+		q := p
+		q.Theta = th
+		if err := q.runAll(t, ycsb, fmt.Sprintf("%.1f", th), partitionedRunners(p.Seed)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig4b(p Params) (*Table, error) {
+	t := &Table{ID: "fig4b", Title: "YCSB throughput, varying CC protocol",
+		XLabel: "cc", Shape: "TSKD improvement robust across OCC, SILO, TICTOC"}
+	for _, ccName := range []string{"OCC", "SILO", "TICTOC"} {
+		q := p
+		q.CC = ccName
+		if err := q.runAll(t, ycsb, ccName, partitionedRunners(p.Seed)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig4c(p Params) (*Table, error) {
+	t := &Table{ID: "fig4c", Title: "YCSB throughput, varying #core",
+		XLabel: "#core", Shape: "TSKD gap widens with more cores"}
+	for _, k := range []int{8, 20, 32} {
+		q := p
+		q.Cores = k
+		if err := q.runAll(t, ycsb, fmt.Sprintf("%d", k), partitionedRunners(p.Seed)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig4d(p Params) (*Table, error) {
+	t := &Table{ID: "fig4d", Title: "YCSB throughput, varying minT (runtime skew)",
+		XLabel: "minT", Shape: "TSKD improvement grows with longer transactions"}
+	for _, m := range []float64{0.125, 0.5, 1.0} {
+		q := p
+		q.MinT = m
+		if err := q.runAll(t, ycsb, fmt.Sprintf("%.3f", m), partitionedRunners(p.Seed)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig4e(p Params) (*Table, error) {
+	t := &Table{ID: "fig4e", Title: "YCSB throughput, varying p (max runtime bound)",
+		XLabel: "p", Shape: "TSKD improvement grows with more variable runtimes"}
+	for _, pp := range []int{32, 48, 64} {
+		q := p
+		q.P = pp
+		if err := q.runAll(t, ycsb, fmt.Sprintf("%d", pp), partitionedRunners(p.Seed)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig4f(p Params) (*Table, error) {
+	t := &Table{ID: "fig4f", Title: "YCSB throughput, varying thetaT (runtime skew)",
+		XLabel: "thetaT", Shape: "TSKD improvement larger at smaller thetaT (more long txns)"}
+	for _, th := range []float64{0.7, 0.8, 0.9} {
+		q := p
+		q.ThetaT = th
+		if err := q.runAll(t, ycsb, fmt.Sprintf("%.1f", th), partitionedRunners(p.Seed)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig4g(p Params) (*Table, error) {
+	t := &Table{ID: "fig4g", Title: "TPC-C throughput, varying c% (cross-warehouse)",
+		XLabel: "c%", Shape: "TSKD improvement grows with contention (higher c%)"}
+	for _, c := range []float64{0.15, 0.25, 0.35} {
+		q := p
+		q.CPct = c
+		if err := q.runAll(t, tpcc, fmt.Sprintf("%.0f%%", c*100), partitionedRunners(p.Seed)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig4h(p Params) (*Table, error) {
+	t := &Table{ID: "fig4h", Title: "TPC-C throughput, varying #whn (warehouses)",
+		XLabel: "#whn", Shape: "TSKD above baselines across warehouse counts"}
+	whns := []int{20, 40, 60}
+	if p.Whn < 20 { // quick preset: scale the sweep down
+		whns = []int{p.Whn / 2, p.Whn, p.Whn * 2}
+	}
+	for _, whn := range whns {
+		q := p
+		q.Whn = whn
+		if err := q.runAll(t, tpcc, fmt.Sprintf("%d", whn), partitionedRunners(p.Seed)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig4i(p Params) (*Table, error) {
+	t := &Table{ID: "fig4i", Title: "#retry, partitioners vs TSKD (YCSB and TPC-C, defaults)",
+		XLabel: "bench", Shape: "#retry of TSKD[x] consistently below partitioner x"}
+	if err := p.runAll(t, ycsb, "YCSB", partitionedRunners(p.Seed)); err != nil {
+		return nil, err
+	}
+	if err := p.runAll(t, tpcc, "TPC-C", partitionedRunners(p.Seed)); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func fig4j(p Params) (*Table, error) {
+	t := &Table{ID: "fig4j", Title: "Ablation: TSKD vs TsPAR-only vs TsDEFER-only over Strife (YCSB)",
+		XLabel: "bench", Shape: "TsPAR > TsDEFER for bundled workloads; combination best"}
+	strife := partition.NewStrife(p.Seed)
+	runners := []runner{
+		{"STRIFE", func(db *storage.DB, w txn.Workload, o core.Options) (core.Result, error) {
+			return core.RunBaseline(db, w, strife, o)
+		}},
+		{"TSKD[S]", func(db *storage.DB, w txn.Workload, o core.Options) (core.Result, error) {
+			return core.RunTSKD(db, w, strife, o)
+		}},
+		{"TsPAR[S]", func(db *storage.DB, w txn.Workload, o core.Options) (core.Result, error) {
+			return core.RunTsParOnly(db, w, strife, o)
+		}},
+		{"TsDEFER[S]", func(db *storage.DB, w txn.Workload, o core.Options) (core.Result, error) {
+			return core.RunTsDeferOnly(db, w, strife, o)
+		}},
+	}
+	return t, p.runAll(t, ycsb, "YCSB", runners)
+}
+
+func fig4k(p Params) (*Table, error) {
+	t := &Table{ID: "fig4k", Title: "YCSB throughput under I/O latency, varying lIO",
+		XLabel: "lIO", Shape: "raw throughput degrades with lIO; TSKD improvement stays stable"}
+	for _, l := range []int{0, 50, 100} {
+		q := p
+		q.LIO = l
+		if err := q.runAll(t, ycsb, fmt.Sprintf("%d", l), partitionedRunners(p.Seed)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig4l(p Params) (*Table, error) {
+	t := &Table{ID: "fig4l", Title: "TPC-C retry under I/O latency, varying thetaIO",
+		XLabel: "thetaIO", Shape: "TSKD reduces retries across latency tail shapes"}
+	for _, th := range []float64{0.8, 1.2, 1.6} {
+		q := p
+		q.LIO = 50
+		q.ThetaIO = th
+		if err := q.runAll(t, tpcc, fmt.Sprintf("%.1f", th), partitionedRunners(p.Seed)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// tab2 reproduces Table 2: scheduled percentage s% and the #retry of
+// the RC-free queues with and without TsDEFER.
+func tab2(p Params) (*Table, error) {
+	t := &Table{ID: "tab2", Title: "Accuracy of scheduling and effectiveness of TsDEFER",
+		XLabel: "bench", Shape: "s% well above 0; TsDEFER cuts queue retries roughly in half"}
+	parts := []struct {
+		name string
+		mk   func() partition.Partitioner
+	}{
+		{"TSKD[S]", func() partition.Partitioner { return partition.NewStrife(p.Seed) }},
+		{"TSKD[C]", func() partition.Partitioner { return partition.NewSchism(p.Seed) }},
+		{"TSKD[H]", func() partition.Partitioner { return partition.NewHorticulture() }},
+	}
+	for _, b := range []bench{ycsb, tpcc} {
+		for _, pt := range parts {
+			// Without TsDEFER.
+			db, w := p.build(b)
+			o := p.options()
+			woRes, err := core.RunTsParOnly(db, w, pt.mk(), o)
+			if err != nil {
+				return nil, err
+			}
+			// With TsDEFER.
+			db2, w2 := p.build(b)
+			wRes, err := core.RunTSKD(db2, w2, pt.mk(), p.options())
+			if err != nil {
+				return nil, err
+			}
+			t.Add(Row{
+				X: b.String(), System: pt.name,
+				Throughput: wRes.VThroughput(),
+				Retry:      wRes.RetryPer100k(),
+				Extra: map[string]float64{
+					"s%":          wRes.SchedStats.ScheduledPct(),
+					"retry_wo_td": woRes.RetryPer100k(),
+					"retry_w_td":  wRes.RetryPer100k(),
+				},
+			})
+		}
+	}
+	return t, nil
+}
+
+// overhead measures overheadR = TSgen time / partitioner time.
+func overhead(p Params) (*Table, error) {
+	t := &Table{ID: "overhead", Title: "TsPAR overhead relative to partitioning time",
+		XLabel: "bench", Shape: "overheadR below ~5%"}
+	parts := []struct {
+		name string
+		mk   func() partition.Partitioner
+	}{
+		{"TSKD[S]", func() partition.Partitioner { return partition.NewStrife(p.Seed) }},
+		{"TSKD[C]", func() partition.Partitioner { return partition.NewSchism(p.Seed) }},
+	}
+	for _, b := range []bench{ycsb, tpcc} {
+		for _, pt := range parts {
+			db, w := p.build(b)
+			res, err := core.RunTSKD(db, w, pt.mk(), p.options())
+			if err != nil {
+				return nil, err
+			}
+			t.Add(Row{
+				X: b.String(), System: pt.name,
+				Throughput: res.VThroughput(),
+				Retry:      res.RetryPer100k(),
+				Extra: map[string]float64{
+					"overheadR":    res.OverheadR(),
+					"partition_ms": float64(res.PartitionTime) / float64(time.Millisecond),
+					"sched_ms":     float64(res.SchedTime) / float64(time.Millisecond),
+				},
+			})
+		}
+	}
+	return t, nil
+}
+
+// --- Section 6.3: TSKD on CC-based systems ---
+
+func fig5a(p Params) (*Table, error) {
+	t := &Table{ID: "fig5a", Title: "YCSB: TSKD[CC] vs DBCC, varying theta",
+		XLabel: "theta", Shape: "TsDEFER gains grow with contention; #contended_mutex drops"}
+	for _, th := range []float64{0.7, 0.8, 0.9} {
+		q := p
+		q.Theta = th
+		if err := q.runAll(t, ycsb, fmt.Sprintf("%.1f", th), ccRunners()); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig5b(p Params) (*Table, error) {
+	t := &Table{ID: "fig5b", Title: "YCSB: TSKD[CC] vs DBCC, varying CC",
+		XLabel: "cc", Shape: "improvement across all protocols; best with TICTOC"}
+	for _, ccName := range []string{"OCC", "SILO", "TICTOC"} {
+		q := p
+		q.CC = ccName
+		if err := q.runAll(t, ycsb, ccName, ccRunners()); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig5c(p Params) (*Table, error) {
+	t := &Table{ID: "fig5c", Title: "YCSB: TSKD[CC] vs DBCC, varying #core",
+		XLabel: "#core", Shape: "gap widens with more cores"}
+	for _, k := range []int{8, 20, 32} {
+		q := p
+		q.Cores = k
+		if err := q.runAll(t, ycsb, fmt.Sprintf("%d", k), ccRunners()); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig5d(p Params) (*Table, error) {
+	t := &Table{ID: "fig5d", Title: "YCSB: TSKD[CC] vs DBCC, varying minT",
+		XLabel: "minT", Shape: "TsDEFER more effective for longer transactions"}
+	for _, m := range []float64{0.125, 0.5, 1.0} {
+		q := p
+		q.MinT = m
+		if err := q.runAll(t, ycsb, fmt.Sprintf("%.3f", m), ccRunners()); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig5e(p Params) (*Table, error) {
+	t := &Table{ID: "fig5e", Title: "YCSB: TSKD[CC] vs DBCC, varying p",
+		XLabel: "p", Shape: "more variable runtimes favor TsDEFER"}
+	for _, pp := range []int{32, 48, 64} {
+		q := p
+		q.P = pp
+		if err := q.runAll(t, ycsb, fmt.Sprintf("%d", pp), ccRunners()); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig5f(p Params) (*Table, error) {
+	t := &Table{ID: "fig5f", Title: "YCSB: TSKD[CC] vs DBCC, varying thetaT",
+		XLabel: "thetaT", Shape: "lower thetaT (more long txns) favors TsDEFER"}
+	for _, th := range []float64{0.7, 0.8, 0.9} {
+		q := p
+		q.ThetaT = th
+		if err := q.runAll(t, ycsb, fmt.Sprintf("%.1f", th), ccRunners()); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig5g(p Params) (*Table, error) {
+	t := &Table{ID: "fig5g", Title: "YCSB: TsDEFER trade-off, varying #lookups",
+		XLabel: "#lookups", Shape: "more lookups cut retries further; throughput peaks near 2"}
+	if err := p.runAll(t, ycsb, "DBCC-ref", ccRunners()[:1]); err != nil {
+		return nil, err
+	}
+	for _, lk := range []int{1, 2, 3, 5} {
+		q := p
+		q.Lookups = lk
+		if err := q.runAll(t, ycsb, fmt.Sprintf("%d", lk), ccRunners()[1:]); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig5h(p Params) (*Table, error) {
+	t := &Table{ID: "fig5h", Title: "YCSB: TSKD[CC] under inaccurate access sets, varying alpha",
+		XLabel: "alpha", Shape: "still improves DBCC at alpha=0.5; better with higher alpha"}
+	if err := p.runAll(t, ycsb, "DBCC-ref", ccRunners()[:1]); err != nil {
+		return nil, err
+	}
+	for _, a := range []float64{0.5, 0.75, 1.0} {
+		q := p
+		q.Alpha = a
+		if err := q.runAll(t, ycsb, fmt.Sprintf("%.2f", a), ccRunners()[1:]); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func fig6(p Params) (*Table, error) {
+	t := &Table{ID: "fig6", Title: "I/O latency on TsDEFER: varying lIO and thetaIO (YCSB)",
+		XLabel: "knob", Shape: "TSKD[CC] stays above DBCC across I/O patterns"}
+	for _, l := range []int{0, 50, 100} {
+		q := p
+		q.LIO = l
+		if err := q.runAll(t, ycsb, fmt.Sprintf("lIO=%d", l), ccRunners()); err != nil {
+			return nil, err
+		}
+	}
+	for _, th := range []float64{0.8, 1.6} {
+		q := p
+		q.LIO = 50
+		q.ThetaIO = th
+		if err := q.runAll(t, ycsb, fmt.Sprintf("thIO=%.1f", th), ccRunners()); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// --- Ablations beyond the paper (DESIGN.md Section 5) ---
+
+func ablationOrder(p Params) (*Table, error) {
+	t := &Table{ID: "ablation-order", Title: "TSgen residual ordering strategies (YCSB, Strife)",
+		XLabel: "order", Shape: "longest-first tends to schedule more residual work"}
+	orders := []struct {
+		name string
+		o    sched.ResidualOrder
+	}{
+		{"random", sched.OrderRandom},
+		{"longest", sched.OrderLongestFirst},
+		{"conflicting", sched.OrderMostConflictingFirst},
+	}
+	for _, ord := range orders {
+		db, w := p.build(ycsb)
+		o := p.options()
+		o.Sched.Order = ord.o
+		res, err := core.RunTSKD(db, w, partition.NewStrife(p.Seed), o)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(Row{X: ord.name, System: "TSKD[S]",
+			Throughput: res.VThroughput(), Retry: res.RetryPer100k(),
+			Extra: map[string]float64{"s%": res.SchedStats.ScheduledPct(), "makespan": res.Makespan}})
+	}
+	return t, nil
+}
+
+func ablationCkRCF(p Params) (*Table, error) {
+	t := &Table{ID: "ablation-ckrcf", Title: "ckRCF exact interval test vs conservative tail test",
+		XLabel: "mode", Shape: "exact schedules at least as much as tail"}
+	for _, m := range []struct {
+		name string
+		mode sched.CkRCFMode
+	}{{"exact", sched.CkExact}, {"tail", sched.CkTail}} {
+		db, w := p.build(ycsb)
+		o := p.options()
+		o.Sched.CkRCF = m.mode
+		res, err := core.RunTSKD(db, w, partition.NewStrife(p.Seed), o)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(Row{X: m.name, System: "TSKD[S]",
+			Throughput: res.VThroughput(), Retry: res.RetryPer100k(),
+			Extra: map[string]float64{"s%": res.SchedStats.ScheduledPct(), "makespan": res.Makespan}})
+	}
+	return t, nil
+}
+
+func ablationEstimator(p Params) (*Table, error) {
+	t := &Table{ID: "ablation-estimator", Title: "Cost estimators for TsPAR (YCSB, Strife)",
+		XLabel: "estimator", Shape: "any relative-order-preserving estimator works"}
+	// History estimator warmed up by a DBCC pass over the same bundle
+	// (the paper uses DBx1000's warm-up runs as the history source).
+	warm := estimator.NewHistory()
+	warm.Fallback = estimator.AccessSetSize{Unit: p.OpTime}
+	{
+		db, w := p.build(ycsb)
+		o := p.options()
+		o.CostSink = warm
+		if _, err := core.RunCC(db, w, o); err != nil {
+			return nil, err
+		}
+	}
+	cases := []struct {
+		name string
+		mk   func(db *storage.DB) estimator.Estimator
+	}{
+		{"opcount", func(*storage.DB) estimator.Estimator { return estimator.AccessSetSize{Unit: p.OpTime} }},
+		{"dryrun", func(db *storage.DB) estimator.Estimator {
+			d := estimator.NewDryRun(db)
+			d.Unit = p.OpTime
+			return d
+		}},
+		{"history", func(*storage.DB) estimator.Estimator { return warm }},
+	}
+	for _, cse := range cases {
+		db, w := p.build(ycsb)
+		o := p.options()
+		o.Estimator = cse.mk(db)
+		res, err := core.RunTSKD(db, w, partition.NewStrife(p.Seed), o)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(Row{X: cse.name, System: "TSKD[S]",
+			Throughput: res.VThroughput(), Retry: res.RetryPer100k(),
+			Extra: map[string]float64{"s%": res.SchedStats.ScheduledPct()}})
+	}
+	return t, nil
+}
+
+func ablationDeferBound(p Params) (*Table, error) {
+	t := &Table{ID: "ablation-deferbound", Title: "TsDEFER re-deferral bound (starvation control)",
+		XLabel: "maxdefers", Shape: "small bounds limit deferment; large bounds risk churn"}
+	for _, b := range []int{1, 8, 64} {
+		db, w := p.build(ycsb)
+		o := p.options()
+		o.Defer = &engine.DeferConfig{
+			Lookups: p.Lookups, DeferP: p.DeferP, Horizon: 1, Alpha: 1, MaxDefers: b,
+		}
+		res, err := core.RunTSKDCC(db, w, o)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(Row{X: fmt.Sprintf("%d", b), System: "TSKD[CC]",
+			Throughput: res.VThroughput(), Retry: res.RetryPer100k(),
+			Extra: map[string]float64{"defers": float64(res.Defers)}})
+	}
+	return t, nil
+}

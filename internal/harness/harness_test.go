@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns a minimal-scale parameter set so every experiment can
+// run inside the unit-test budget.
+func tiny() Params {
+	p := Quick()
+	p.Cores = 4
+	p.Whn = 4
+	p.Bundle = 150
+	p.YCSBRecords = 2_000
+	p.TPCCItems = 100
+	p.TPCCCustomers = 30
+	p.OpTime = 0 // raw speed
+	p.MinT = 0   // no spin-based runtime floor in unit tests
+	return p
+}
+
+func TestExperimentUnknown(t *testing.T) {
+	if _, err := Experiment("nope", tiny()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentIDsComplete(t *testing.T) {
+	ids := ExperimentIDs()
+	want := []string{
+		"fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f",
+		"fig4g", "fig4h", "fig4i", "fig4j", "fig4k", "fig4l",
+		"tab2", "overhead",
+		"fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f",
+		"fig5g", "fig5h", "fig6",
+		"ablation-order", "ablation-ckrcf", "ablation-estimator", "ablation-deferbound",
+		"ext-sim", "ext-nocc", "ext-latency", "ext-adaptive",
+		"ext-fig5-tpcc", "ext-templates", "ext-stream",
+	}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+}
+
+// Every experiment must run end to end at tiny scale and produce a
+// well-formed table: all systems commit the full bundle (throughput >
+// 0) at every sweep point.
+func TestAllExperimentsRunTiny(t *testing.T) {
+	for _, id := range ExperimentIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tbl, err := Experiment(id, tiny())
+			if err != nil {
+				t.Fatalf("experiment failed: %v", err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, r := range tbl.Rows {
+				if r.Throughput <= 0 {
+					t.Errorf("%s @%s: throughput %v", r.System, r.X, r.Throughput)
+				}
+				if r.Retry < 0 {
+					t.Errorf("%s @%s: negative retry", r.System, r.X)
+				}
+			}
+			var sb strings.Builder
+			tbl.Print(&sb)
+			if !strings.Contains(sb.String(), tbl.ID) {
+				t.Error("printed table lacks its id")
+			}
+		})
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	tbl := &Table{ID: "x", XLabel: "v"}
+	tbl.Add(Row{X: "1", System: "A", Throughput: 100})
+	tbl.Add(Row{X: "1", System: "B", Throughput: 50})
+	tbl.Add(Row{X: "2", System: "A", Throughput: 300})
+	tbl.Add(Row{X: "2", System: "B", Throughput: 100})
+	if got := tbl.Improvement("1", "A", "B"); got != 1.0 {
+		t.Errorf("Improvement = %v, want 1.0", got)
+	}
+	if got := tbl.MeanImprovement("A", "B"); got != 1.5 {
+		t.Errorf("MeanImprovement = %v, want 1.5", got)
+	}
+	if len(tbl.Systems()) != 2 {
+		t.Error("Systems wrong")
+	}
+	if tbl.Get("2", "B").Throughput != 100 {
+		t.Error("Get wrong")
+	}
+	if tbl.Get("9", "A") != nil {
+		t.Error("Get invented a row")
+	}
+	if tbl.Improvement("9", "A", "B") != 0 {
+		t.Error("missing row improvement should be 0")
+	}
+}
+
+func TestDefaultAndQuickParams(t *testing.T) {
+	d := Default()
+	if d.CPct != 0.25 || d.Whn != 40 || d.Theta != 0.8 || d.Cores != 20 ||
+		d.CC != "OCC" || d.MinT != 0.5 || d.P != 48 || d.ThetaT != 0.8 ||
+		d.ThetaIO != 1.2 || d.Lookups != 2 || d.DeferP != 0.6 || d.Bundle != 10_000 {
+		t.Errorf("Default() deviates from Table 1: %+v", d)
+	}
+	if d.LIO != 0 {
+		t.Error("I/O latency must be disabled by default")
+	}
+	q := Quick()
+	if q.Bundle >= d.Bundle {
+		t.Error("Quick not smaller than Default")
+	}
+}

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"tskd/internal/core"
+	"tskd/internal/engine"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+func init() {
+	experiments["ext-latency"] = extLatency
+	experiments["ext-adaptive"] = extAdaptive
+}
+
+// extLatency reports commit-latency percentiles per system: deferment
+// trades per-transaction latency (deferred transactions wait) for
+// fewer retries (retried transactions re-pay their whole runtime), so
+// the tails tell the story throughput averages hide.
+func extLatency(p Params) (*Table, error) {
+	t := &Table{ID: "ext-latency", Title: "Commit-latency percentiles (virtual time, YCSB)",
+		XLabel: "system", Shape: "TSKD trims the P99 retry tail at similar P50"}
+	runners := []runner{
+		{"DBCC", core.RunCC},
+		{"TSKD[CC]", core.RunTSKDCC},
+	}
+	for _, r := range runners {
+		db, w := p.build(ycsb)
+		o := p.options()
+		res, err := r.run(db, w, o)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(Row{
+			X: r.name, System: r.name,
+			Throughput: res.VThroughput(),
+			Retry:      res.RetryPer100k(),
+			Extra: map[string]float64{
+				"p50_us": float64(res.LatencyP50) / float64(time.Microsecond),
+				"p95_us": float64(res.LatencyP95) / float64(time.Microsecond),
+				"p99_us": float64(res.LatencyP99) / float64(time.Microsecond),
+			},
+		})
+	}
+	return t, nil
+}
+
+// extAdaptive compares fixed deferp settings against the online
+// adaptive controller under low and high contention — the knob's
+// raison d'être per Section 5 ("deferp% allows TsDEFER to adapt to
+// varying contention levels").
+func extAdaptive(p Params) (*Table, error) {
+	t := &Table{ID: "ext-adaptive", Title: "Fixed deferp vs adaptive controller, varying contention (YCSB)",
+		XLabel: "theta", Shape: "adaptive tracks the better fixed setting at each contention level"}
+	variants := []struct {
+		name     string
+		deferP   float64
+		adaptive bool
+	}{
+		{"deferp=0.2", 0.2, false},
+		{"deferp=0.9", 0.9, false},
+		{"adaptive", 0.6, true},
+	}
+	run := func(db *storage.DB, w txn.Workload, o core.Options) (core.Result, error) {
+		return core.RunTSKDCC(db, w, o)
+	}
+	for _, th := range []float64{0.7, 0.9} {
+		q := p
+		q.Theta = th
+		for _, v := range variants {
+			db, w := q.build(ycsb)
+			o := q.options()
+			o.Defer = &engine.DeferConfig{
+				Lookups: q.Lookups, DeferP: v.deferP, Horizon: 1,
+				Alpha: 1, MaxDefers: 8, Exact: true, Adaptive: v.adaptive,
+			}
+			res, err := run(db, w, o)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(Row{
+				X: fmt.Sprintf("%.1f", th), System: v.name,
+				Throughput: res.VThroughput(),
+				Retry:      res.RetryPer100k(),
+				Extra:      map[string]float64{"defers": float64(res.Defers)},
+			})
+		}
+	}
+	return t, nil
+}

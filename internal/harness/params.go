@@ -1,0 +1,140 @@
+// Package harness drives the paper's experimental study (Section 6):
+// it regenerates every figure and table as a parameter sweep over the
+// systems under test, producing printable tables of throughput and
+// #retry. Experiment ids follow the paper ("fig4a" ... "fig6",
+// "tab2", "overhead") plus the ablation studies listed in DESIGN.md.
+package harness
+
+import (
+	"time"
+
+	"tskd/internal/workload"
+)
+
+// Params carries the Table 1 knobs plus the reproduction's scale
+// knobs. The zero value is not useful; start from Default or Quick.
+type Params struct {
+	// --- Table 1: workload parameters ---
+
+	// CPct is c%, the TPC-C cross-warehouse fraction.
+	CPct float64
+	// Whn is the number of TPC-C warehouses.
+	Whn int
+	// Theta is the YCSB Zipf skew.
+	Theta float64
+
+	// --- Table 1: system parameters ---
+
+	// Cores is #core.
+	Cores int
+	// CC is the protocol name.
+	CC string
+
+	// --- Table 1: runtime skew and I/O latency ---
+
+	// MinT, P, ThetaT configure the runtime lower bounds.
+	MinT   float64
+	P      int
+	ThetaT float64
+	// LIO, ThetaIO configure commit-time I/O latency (LIO = 0
+	// disables, as the paper's default).
+	LIO     int
+	ThetaIO float64
+
+	// --- Table 1: TsDEFER parameters ---
+
+	Lookups int
+	DeferP  float64
+
+	// --- reproduction scale knobs ---
+
+	// Bundle is the transactions per bundle.
+	Bundle int
+	// YCSBRecords is the user table size (paper: 20M).
+	YCSBRecords int
+	// TPCCItems and TPCCCustomers scale the TPC-C row counts.
+	TPCCItems     int
+	TPCCCustomers int
+	// OpTime is the simulated per-op work.
+	OpTime time.Duration
+	// MinIO is the I/O latency unit (paper: 5000 cycles ≈ 1/6 of a
+	// transaction).
+	MinIO time.Duration
+	// Seed drives everything.
+	Seed int64
+	// Alpha is the access-set accuracy for TsDEFER (Fig. 5h).
+	Alpha float64
+	// Reps is how many times each point is measured; the reported row
+	// is the average (the paper runs each experiment 3 times).
+	Reps int
+}
+
+// Default returns the paper's Table 1 defaults at a scale suitable for
+// a full benchmark run on one machine.
+func Default() Params {
+	return Params{
+		CPct: 0.25, Whn: 40, Theta: 0.8,
+		Cores: 20, CC: "OCC",
+		MinT: 0.5, P: 48, ThetaT: 0.8,
+		LIO: 0, ThetaIO: 1.2,
+		Lookups: 2, DeferP: 0.6,
+		Bundle:      10_000,
+		YCSBRecords: 2_000_000,
+		TPCCItems:   1_000, TPCCCustomers: 300,
+		OpTime: 2 * time.Microsecond,
+		MinIO:  3 * time.Microsecond,
+		Seed:   1, Alpha: 1, Reps: 3,
+	}
+}
+
+// Mid returns an intermediate preset: large enough for stable
+// comparisons on one machine, small enough that the full experiment
+// suite finishes in minutes. EXPERIMENTS.md records results at this
+// scale.
+func Mid() Params {
+	p := Default()
+	p.Cores = 16
+	p.Whn = 16
+	p.Bundle = 2_000
+	p.YCSBRecords = 600_000
+	p.TPCCItems = 400
+	p.TPCCCustomers = 120
+	p.OpTime = time.Microsecond
+	p.Reps = 3
+	return p
+}
+
+// Quick returns a reduced-scale preset for smoke tests and CI: same
+// defaults, two orders of magnitude smaller.
+func Quick() Params {
+	p := Default()
+	p.Cores = 8
+	p.Whn = 8
+	p.Bundle = 600
+	p.YCSBRecords = 200_000
+	p.TPCCItems = 200
+	p.TPCCCustomers = 50
+	p.OpTime = time.Microsecond
+	p.Reps = 3
+	return p
+}
+
+// avgRuntime estimates the average transaction wall time for the skew
+// extension, from the average op count of the generated bundle.
+func (p Params) avgRuntime(avgOps float64) time.Duration {
+	op := p.OpTime
+	if op <= 0 {
+		op = time.Microsecond
+	}
+	return time.Duration(avgOps * float64(op))
+}
+
+// skew returns the runtime-skew extension settings.
+func (p Params) skew() workload.RuntimeSkew {
+	return workload.RuntimeSkew{MinT: p.MinT, P: p.P, ThetaT: p.ThetaT}
+}
+
+// io returns the I/O latency extension settings.
+func (p Params) io() workload.IOLatency {
+	return workload.IOLatency{LIO: p.LIO, ThetaIO: p.ThetaIO, MinIO: p.MinIO}
+}

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SystemNames lists the systems RunSystem accepts.
+func SystemNames() []string {
+	return []string{
+		"STRIFE", "TSKD[S]", "SCHISM", "TSKD[C]", "HORTICULTURE", "TSKD[H]",
+		"TSKD[0]", "DBCC", "TSKD[CC]",
+	}
+}
+
+// BenchNames lists the benchmarks RunSystem accepts.
+func BenchNames() []string { return []string{"ycsb", "tpcc"} }
+
+// RunSystem executes a single system on a single benchmark with the
+// given parameters and returns a one-row table. It powers the
+// tskd-run CLI.
+func RunSystem(system, benchName string, p Params) (*Table, error) {
+	var b bench
+	switch strings.ToLower(benchName) {
+	case "ycsb":
+		b = ycsb
+	case "tpcc", "tpc-c":
+		b = tpcc
+	default:
+		return nil, fmt.Errorf("harness: unknown benchmark %q (want ycsb or tpcc)", benchName)
+	}
+	var selected *runner
+	for _, r := range append(partitionedRunners(p.Seed), ccRunners()...) {
+		if strings.EqualFold(r.name, system) {
+			r := r
+			selected = &r
+			break
+		}
+	}
+	if selected == nil {
+		return nil, fmt.Errorf("harness: unknown system %q (known: %v)", system, SystemNames())
+	}
+	t := &Table{ID: "run", Title: fmt.Sprintf("%s on %s", selected.name, b), XLabel: "bench"}
+	if err := p.runAll(t, b, b.String(), []runner{*selected}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

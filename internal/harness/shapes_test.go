@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"testing"
+)
+
+// The deterministic simulator lets us assert the paper's qualitative
+// shapes strictly — no tolerance bands, no flaky margins: the same
+// seeds always produce the same numbers.
+func TestPaperShapesDeterministic(t *testing.T) {
+	p := tiny()
+	p.Reps = 1
+	tbl, err := Experiment("ext-sim", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, theta := range []string{"0.7", "0.8", "0.9"} {
+		strife := tbl.Get(theta, "STRIFE")
+		tskdS := tbl.Get(theta, "TSKD[S]")
+		tskd0 := tbl.Get(theta, "TSKD[0]")
+		rr := tbl.Get(theta, "ROUND_ROBIN")
+		if strife == nil || tskdS == nil || tskd0 == nil || rr == nil {
+			t.Fatalf("theta %s: missing rows", theta)
+		}
+		// Shape 1: TSKD[S] at or above its partitioner baseline (5%
+		// slack: the seeded noise model keeps results deterministic
+		// but individual points can sit a hair under parity).
+		if tskdS.Throughput < strife.Throughput*0.95 {
+			t.Errorf("theta %s: TSKD[S] %.1f below STRIFE %.1f",
+				theta, tskdS.Throughput, strife.Throughput)
+		}
+		// Shape 2: TSKD[S]'s makespan at or below STRIFE's (balancing
+		// plus merging can only help in the noise-seeded model).
+		if tskdS.Extra["makespan"] > strife.Extra["makespan"]*1.05 {
+			t.Errorf("theta %s: TSKD[S] makespan %.0f above STRIFE %.0f",
+				theta, tskdS.Extra["makespan"], strife.Extra["makespan"])
+		}
+		// Shape 3: scheduling beats unscheduled round-robin on retries
+		// at high contention.
+		if theta == "0.9" && tskd0.Retry >= rr.Retry*1.1 {
+			t.Errorf("theta 0.9: TSKD[0] retry %.0f not below round-robin %.0f",
+				tskd0.Retry, rr.Retry)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+
+	"tskd/internal/clock"
+	"tskd/internal/conflict"
+	"tskd/internal/estimator"
+	"tskd/internal/partition"
+	"tskd/internal/sched"
+	"tskd/internal/sim"
+	"tskd/internal/txn"
+)
+
+func init() {
+	experiments["ext-sim"] = extSim
+}
+
+// extSim regenerates the Fig. 4a comparison through the deterministic
+// discrete-event simulator (internal/sim) instead of the real
+// executor: same partitioners, same TSgen schedules, but pure virtual
+// time with seeded 20% estimate noise — so the shape is exactly
+// reproducible on any machine. Throughput is committed transactions
+// per 1000 cost units.
+func extSim(p Params) (*Table, error) {
+	t := &Table{ID: "ext-sim", Title: "Deterministic simulation: partitioners vs TSKD, varying theta (YCSB)",
+		XLabel: "theta", Shape: "same shape as fig4a, bit-for-bit reproducible"}
+
+	cost := func(tx *txn.Transaction) clock.Units {
+		return estimator.AccessSetSize{Unit: p.OpTime}.Estimate(tx)
+	}
+	simCfg := sim.Config{Cost: cost, Noise: 0.2, MaxRetries: 64, Seed: p.Seed}
+
+	for _, th := range []float64{0.7, 0.8, 0.9} {
+		q := p
+		q.Theta = th
+		_, w := q.build(ycsb)
+		g := conflict.Build(w, conflict.Serializability)
+		x := fmt.Sprintf("%.1f", th)
+
+		type variant struct {
+			name   string
+			phases [][][]*txn.Transaction
+		}
+		var variants []variant
+
+		// Baseline: Strife partitions then residual.
+		strife := partition.NewStrife(p.Seed).Partition(w, g, q.Cores)
+		basePhases := [][][]*txn.Transaction{strife.Parts}
+		if len(strife.Residual) > 0 {
+			basePhases = append(basePhases, spread(strife.Residual, q.Cores))
+		}
+		variants = append(variants, variant{"STRIFE", basePhases})
+
+		// TSKD[S]: TSgen refinement of the same partition.
+		s := sched.Generate(w, strife, g, estimator.AccessSetSize{Unit: p.OpTime}, sched.Options{Seed: p.Seed})
+		tskdPhases := [][][]*txn.Transaction{s.Queues}
+		if len(s.Residual) > 0 {
+			tskdPhases = append(tskdPhases, spread(s.Residual, q.Cores))
+		}
+		variants = append(variants, variant{"TSKD[S]", tskdPhases})
+
+		// TSKD[0]: scheduling from scratch.
+		s0 := sched.GenerateFromScratch(w, g, estimator.AccessSetSize{Unit: p.OpTime}, q.Cores, sched.Options{Seed: p.Seed})
+		zeroPhases := [][][]*txn.Transaction{s0.Queues}
+		if len(s0.Residual) > 0 {
+			zeroPhases = append(zeroPhases, spread(s0.Residual, q.Cores))
+		}
+		variants = append(variants, variant{"TSKD[0]", zeroPhases})
+
+		// Round-robin: the unbundled baseline.
+		variants = append(variants, variant{"ROUND_ROBIN", [][][]*txn.Transaction{spread(w, q.Cores)}})
+
+		for _, v := range variants {
+			r := sim.Run(v.phases, g, simCfg)
+			t.Add(Row{
+				X: x, System: v.name,
+				Throughput: r.Throughput(),
+				Retry:      float64(r.Retries) * 100_000 / float64(max(r.Committed, 1)),
+				Extra:      map[string]float64{"makespan": float64(r.Makespan)},
+			})
+		}
+	}
+	return t, nil
+}
+
+func spread(ts []*txn.Transaction, k int) [][]*txn.Transaction {
+	per := make([][]*txn.Transaction, k)
+	for i, t := range ts {
+		per[i%k] = append(per[i%k], t)
+	}
+	return per
+}

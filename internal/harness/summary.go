@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// Summary condenses a set of experiment tables into the paper-style
+// headline numbers: mean and max throughput improvement of each TSKD
+// instance over its baseline across all sweep points where both
+// appear (the "+131% on average, up to +294%" form of Section 6).
+type Summary struct {
+	rows []summaryRow
+}
+
+type summaryRow struct {
+	pair        string
+	experiments int
+	points      int
+	mean, max   float64
+}
+
+// pairs lists the TSKD-vs-baseline comparisons the paper headlines.
+var summaryPairs = [][2]string{
+	{"TSKD[S]", "STRIFE"},
+	{"TSKD[C]", "SCHISM"},
+	{"TSKD[H]", "HORTICULTURE"},
+	{"TSKD[CC]", "DBCC"},
+}
+
+// Summarize folds experiment tables into headline gains.
+func Summarize(tables []*Table) *Summary {
+	s := &Summary{}
+	for _, pr := range summaryPairs {
+		row := summaryRow{pair: fmt.Sprintf("%s vs %s", pr[0], pr[1]), max: 0}
+		var sum float64
+		for _, t := range tables {
+			used := false
+			for _, x := range t.xValues() {
+				a, b := t.Get(x, pr[0]), t.Get(x, pr[1])
+				if a == nil || b == nil || b.Throughput <= 0 {
+					continue
+				}
+				g := a.Throughput/b.Throughput - 1
+				sum += g
+				row.points++
+				if g > row.max {
+					row.max = g
+				}
+				used = true
+			}
+			if used {
+				row.experiments++
+			}
+		}
+		if row.points > 0 {
+			row.mean = sum / float64(row.points)
+			s.rows = append(s.rows, row)
+		}
+	}
+	return s
+}
+
+// Print writes the summary table.
+func (s *Summary) Print(w io.Writer) {
+	if len(s.rows) == 0 {
+		fmt.Fprintln(w, "(no comparable system pairs measured)")
+		return
+	}
+	fmt.Fprintln(w, "== headline gains (throughput, across all sweep points) ==")
+	fmt.Fprintf(w, "%-26s %6s %8s %10s %10s\n", "comparison", "exps", "points", "mean", "max")
+	for _, r := range s.rows {
+		fmt.Fprintf(w, "%-26s %6d %8d %+9.1f%% %+9.1f%%\n",
+			r.pair, r.experiments, r.points, 100*r.mean, 100*r.max)
+	}
+}
+
+// Gain returns the mean gain for a comparison pair like
+// "TSKD[S] vs STRIFE", and whether it was measured.
+func (s *Summary) Gain(pair string) (float64, bool) {
+	for _, r := range s.rows {
+		if r.pair == pair {
+			return r.mean, true
+		}
+	}
+	return 0, false
+}

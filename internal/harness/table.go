@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Row is one measured data point: system × sweep value.
+type Row struct {
+	// X is the sweep value (formatted).
+	X string
+	// System is the system under test.
+	System string
+	// Throughput is committed transactions per second.
+	Throughput float64
+	// Retry is #retry per 100k transactions.
+	Retry float64
+	// Extra carries experiment-specific columns (s%, overheadR, load
+	// ratio, defers, contended, makespan).
+	Extra map[string]float64
+}
+
+// Table is the result of one experiment.
+type Table struct {
+	// ID is the experiment id (e.g. "fig4a").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel names the sweep parameter.
+	XLabel string
+	// Shape states the paper's qualitative expectation for this
+	// experiment, printed alongside the data.
+	Shape string
+	// Rows are the measurements, in sweep order.
+	Rows []Row
+}
+
+// Add appends a row.
+func (t *Table) Add(r Row) { t.Rows = append(t.Rows, r) }
+
+// Systems returns the distinct systems in first-appearance order.
+func (t *Table) Systems() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range t.Rows {
+		if !seen[r.System] {
+			seen[r.System] = true
+			out = append(out, r.System)
+		}
+	}
+	return out
+}
+
+// Get returns the row for (x, system), or nil.
+func (t *Table) Get(x, system string) *Row {
+	for i := range t.Rows {
+		if t.Rows[i].X == x && t.Rows[i].System == system {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Improvement returns the relative throughput gain of system a over
+// system b at sweep value x, e.g. 1.31 for +131%.
+func (t *Table) Improvement(x, a, b string) float64 {
+	ra, rb := t.Get(x, a), t.Get(x, b)
+	if ra == nil || rb == nil || rb.Throughput == 0 {
+		return 0
+	}
+	return ra.Throughput/rb.Throughput - 1
+}
+
+// MeanImprovement averages Improvement over all sweep values.
+func (t *Table) MeanImprovement(a, b string) float64 {
+	xs := t.xValues()
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += t.Improvement(x, a, b)
+	}
+	return sum / float64(len(xs))
+}
+
+func (t *Table) xValues() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range t.Rows {
+		if !seen[r.X] {
+			seen[r.X] = true
+			out = append(out, r.X)
+		}
+	}
+	return out
+}
+
+// Print writes the table as aligned text.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Shape != "" {
+		fmt.Fprintf(w, "paper shape: %s\n", t.Shape)
+	}
+	// Collect extra columns.
+	extraCols := map[string]bool{}
+	for _, r := range t.Rows {
+		for k := range r.Extra {
+			extraCols[k] = true
+		}
+	}
+	cols := make([]string, 0, len(extraCols))
+	for k := range extraCols {
+		cols = append(cols, k)
+	}
+	sort.Strings(cols)
+
+	fmt.Fprintf(w, "%-10s %-14s %14s %12s", t.XLabel, "system", "throughput/s", "retry/100k")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %12s", c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 52+13*len(cols)))
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-10s %-14s %14.0f %12.0f", r.X, r.System, r.Throughput, r.Retry)
+		for _, c := range cols {
+			if v, ok := r.Extra[c]; ok {
+				fmt.Fprintf(w, " %12.3f", v)
+			} else {
+				fmt.Fprintf(w, " %12s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

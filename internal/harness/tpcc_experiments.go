@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+
+	"tskd/internal/core"
+)
+
+func init() {
+	experiments["ext-fig5-tpcc"] = extFig5TPCC
+	experiments["ext-templates"] = extTemplates
+	experiments["ext-stream"] = extStream
+}
+
+// extFig5TPCC is the TPC-C counterpart of Fig. 5a, which the paper
+// omits with "the results over TPC-C are similar": TSKD[CC] vs DBCC
+// over the cross-warehouse contention knob c%.
+func extFig5TPCC(p Params) (*Table, error) {
+	t := &Table{ID: "ext-fig5-tpcc", Title: "TPC-C: TSKD[CC] vs DBCC, varying c% (the sweep Fig. 5 omits)",
+		XLabel: "c%", Shape: "TsDEFER gains grow with cross-warehouse contention"}
+	for _, c := range []float64{0.15, 0.25, 0.35} {
+		q := p
+		q.CPct = c
+		if err := q.runAll(t, tpcc, fmt.Sprintf("%.0f%%", c*100), ccRunners()); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// extTemplates breaks TPC-C down per transaction type: where the
+// retries live (NewOrder/Payment contend on districts and warehouses;
+// OrderStatus/StockLevel are read-only and should almost never abort).
+func extTemplates(p Params) (*Table, error) {
+	t := &Table{ID: "ext-templates", Title: "TPC-C per-transaction-type breakdown (DBCC vs TSKD[CC])",
+		XLabel: "template", Shape: "retries concentrate in NewOrder/Payment; read-only types rarely abort"}
+	for _, r := range ccRunners() {
+		db, w := p.build(tpcc)
+		res, err := r.run(db, w, p.options())
+		if err != nil {
+			return nil, err
+		}
+		for name, tm := range res.PerTemplate {
+			retry := 0.0
+			if tm.Committed > 0 {
+				retry = float64(tm.Retries) * 100_000 / float64(tm.Committed)
+			}
+			t.Add(Row{
+				X: name, System: r.name,
+				Throughput: float64(tm.Committed),
+				Retry:      retry,
+			})
+		}
+	}
+	return t, nil
+}
+
+// extStream runs the open-system arrival model (Section 2.1's
+// "periodically flushed" unbundled path) across flush sizes: smaller
+// flushes mean fresher buffers but more barrier overhead.
+func extStream(p Params) (*Table, error) {
+	t := &Table{ID: "ext-stream", Title: "Open-system arrival batching: flush size sweep (YCSB, TSKD[CC])",
+		XLabel: "flush", Shape: "throughput grows with flush size, saturating once buffers cover the workers"}
+	for _, flush := range []int{64, 256, 1024} {
+		for _, enableDefer := range []bool{false, true} {
+			db, w := p.build(ycsb)
+			o := p.options()
+			name := "DBCC"
+			if !enableDefer {
+				o.Defer = nil
+			} else {
+				name = "TSKD[CC]"
+			}
+			res, err := core.RunStream(db, w, flush, o)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(Row{
+				X: fmt.Sprintf("%d", flush), System: name,
+				Throughput: res.VThroughput(),
+				Retry:      res.RetryPer100k(),
+				Extra:      map[string]float64{"flushes": float64(res.Flushes)},
+			})
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,177 @@
+// Package metrics provides the measurement primitives the engine and
+// harness build on: log-bucketed duration histograms (HDR-style, fixed
+// memory, no allocation on record) and simple counters with snapshot
+// semantics. Workers record into private instances; aggregation merges
+// them after the run, so the hot path is entirely uncontended.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"time"
+)
+
+// histBuckets spans 1ns..~18s in 64 log2 buckets with 8 sub-buckets
+// each for ~12% relative error.
+const (
+	subBits    = 3
+	subBuckets = 1 << subBits
+)
+
+// Histogram is a log-bucketed duration histogram. The zero value is
+// ready to use. Not safe for concurrent use; merge per-worker
+// instances instead.
+type Histogram struct {
+	counts [64 * subBuckets]uint64
+	total  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	v := uint64(d)
+	msb := 63 - bits.LeadingZeros64(v)
+	if msb < subBits {
+		return int(v)
+	}
+	sub := (v >> (uint(msb) - subBits)) & (subBuckets - 1)
+	return (msb-subBits+1)*subBuckets + int(sub)
+}
+
+// bucketLow returns the lower bound of bucket i (inverse of bucketOf).
+func bucketLow(i int) time.Duration {
+	if i < subBuckets {
+		return time.Duration(i)
+	}
+	msb := i/subBuckets + subBits - 1
+	sub := uint64(i % subBuckets)
+	return time.Duration(1<<uint(msb) | sub<<(uint(msb)-subBits))
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.counts[bucketOf(d)]++
+	h.total++
+	h.sum += d
+	if h.total == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the mean observation, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Min and Max return the extreme observations (0 when empty).
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns the approximate q-quantile (q in [0,1]); the answer
+// is the lower bound of the bucket containing the target rank, so the
+// relative error is bounded by the bucket width (~12%).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total-1))
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			lo := bucketLow(i)
+			if lo < h.min {
+				lo = h.min
+			}
+			if lo > h.max {
+				lo = h.max
+			}
+			return lo
+		}
+	}
+	return h.max
+}
+
+// Merge adds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.total == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Print writes a compact summary.
+func (h *Histogram) Print(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s: n=%d mean=%v p50=%v p95=%v p99=%v max=%v\n",
+		name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}
+
+// Counters is a named counter set with deterministic iteration order.
+type Counters struct {
+	names  []string
+	values map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{values: make(map[string]uint64)}
+}
+
+// Add increments name by delta.
+func (c *Counters) Add(name string, delta uint64) {
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] += delta
+}
+
+// Get returns name's value (0 if never added).
+func (c *Counters) Get(name string) uint64 { return c.values[name] }
+
+// Merge folds other into c.
+func (c *Counters) Merge(other *Counters) {
+	keys := append([]string(nil), other.names...)
+	sort.Strings(keys)
+	for _, k := range keys {
+		c.Add(k, other.values[k])
+	}
+}
+
+// Names returns the counter names in first-added order.
+func (c *Counters) Names() []string { return append([]string(nil), c.names...) }

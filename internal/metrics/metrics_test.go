@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("zero histogram not zero")
+	}
+	h.Record(100 * time.Microsecond)
+	h.Record(200 * time.Microsecond)
+	h.Record(300 * time.Microsecond)
+	if h.Count() != 3 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 200*time.Microsecond {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 100*time.Microsecond || h.Max() != 300*time.Microsecond {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+// Quantiles must be within the documented ~12% relative error of exact.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	var exact []time.Duration
+	for i := 0; i < 20000; i++ {
+		d := time.Duration(rng.Intn(1_000_000)+1) * time.Nanosecond
+		h.Record(d)
+		exact = append(exact, d)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		want := exact[int(q*float64(len(exact)-1))]
+		got := h.Quantile(q)
+		ratio := float64(got) / float64(want)
+		if ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("q=%v: got %v want %v (ratio %.3f)", q, got, want, ratio)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		for i := 0; i < 200; i++ {
+			h.Record(time.Duration(rng.Intn(1 << 30)))
+		}
+		prev := time.Duration(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Quantile(0) >= h.Min() && h.Quantile(1) <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 100; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 200*time.Millisecond {
+		t.Errorf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	med := a.Quantile(0.5)
+	if med < 80*time.Millisecond || med > 120*time.Millisecond {
+		t.Errorf("merged median = %v", med)
+	}
+	var empty Histogram
+	a.Merge(&empty) // no-op
+	if a.Count() != 200 {
+		t.Error("merging empty changed count")
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(-5) // clamped into bucket 0
+	h.Record(18 * time.Second)
+	if h.Count() != 3 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Quantile(1) > 18*time.Second {
+		t.Errorf("q1 = %v", h.Quantile(1))
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	for _, d := range []time.Duration{1, 7, 8, 100, 1023, 1024, 1 << 20, 1<<40 + 12345} {
+		b := bucketOf(d)
+		lo := bucketLow(b)
+		if lo > d {
+			t.Errorf("bucketLow(%d)=%v above sample %v", b, lo, d)
+		}
+		// The next bucket's low bound must be above d.
+		if b+1 < len((&Histogram{}).counts) {
+			hi := bucketLow(b + 1)
+			if hi <= d && hi > lo {
+				t.Errorf("sample %v not inside bucket %d [%v,%v)", d, b, lo, hi)
+			}
+		}
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestHistogramPrint(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	var sb strings.Builder
+	h.Print(&sb, "lat")
+	if !strings.Contains(sb.String(), "lat: n=1") {
+		t.Errorf("Print output %q", sb.String())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Add("commits", 5)
+	c.Add("aborts", 2)
+	c.Add("commits", 3)
+	if c.Get("commits") != 8 || c.Get("aborts") != 2 || c.Get("missing") != 0 {
+		t.Error("counter values wrong")
+	}
+	d := NewCounters()
+	d.Add("commits", 1)
+	d.Add("defers", 4)
+	c.Merge(d)
+	if c.Get("commits") != 9 || c.Get("defers") != 4 {
+		t.Error("merge wrong")
+	}
+	names := c.Names()
+	if len(names) != 3 || names[0] != "commits" {
+		t.Errorf("Names = %v", names)
+	}
+}

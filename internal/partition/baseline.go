@@ -1,0 +1,58 @@
+package partition
+
+import (
+	"math/rand"
+
+	"tskd/internal/conflict"
+	"tskd/internal/txn"
+)
+
+// RoundRobin assigns transactions to threads in arrival order, the
+// default lightweight transaction-to-thread assignment used for
+// unbundled workloads (Section 2.1). It produces no residual and gives
+// no conflict-freedom guarantee.
+type RoundRobin struct{}
+
+// Name implements Partitioner.
+func (RoundRobin) Name() string { return "ROUND_ROBIN" }
+
+// Partition implements Partitioner.
+func (RoundRobin) Partition(w txn.Workload, _ *conflict.Graph, k int) *Plan {
+	plan := NewPlan(k)
+	for i, t := range w {
+		plan.Parts[i%k] = append(plan.Parts[i%k], t)
+	}
+	return plan
+}
+
+// Random assigns transactions to uniformly random threads.
+type Random struct{ Seed int64 }
+
+// Name implements Partitioner.
+func (Random) Name() string { return "RANDOM" }
+
+// Partition implements Partitioner.
+func (r Random) Partition(w txn.Workload, _ *conflict.Graph, k int) *Plan {
+	rng := rand.New(rand.NewSource(r.Seed))
+	plan := NewPlan(k)
+	for _, t := range w {
+		p := rng.Intn(k)
+		plan.Parts[p] = append(plan.Parts[p], t)
+	}
+	return plan
+}
+
+// AllResidual places the entire workload in the residual set — the
+// input used by TSKD[0], which schedules from scratch (Section 4,
+// "Scheduling without input partition").
+type AllResidual struct{}
+
+// Name implements Partitioner.
+func (AllResidual) Name() string { return "NONE" }
+
+// Partition implements Partitioner.
+func (AllResidual) Partition(w txn.Workload, _ *conflict.Graph, k int) *Plan {
+	plan := NewPlan(k)
+	plan.Residual = append(plan.Residual, w...)
+	return plan
+}

@@ -1,0 +1,81 @@
+package partition
+
+import (
+	"sort"
+
+	"tskd/internal/conflict"
+	"tskd/internal/txn"
+)
+
+// Horticulture reimplements the skew-aware attribute partitioner of
+// Pavlo, Curino and Zdonik (SIGMOD'12) in the hard-coded form the TSKD
+// paper uses: transactions are grouped by their home attribute — the
+// warehouse id for TPC-C templates (first parameter), a key-range
+// bucket for YCSB — and the groups are packed onto k threads with
+// skew-aware largest-processing-time (LPT) assignment, so hot groups
+// are spread before cold ones fill the gaps.
+//
+// Horticulture produces no residual; TSKD[H] extracts one with
+// ExtractResidual (Section 6.1).
+type Horticulture struct {
+	// Buckets is the number of key-range groups used for workloads
+	// without a home-attribute parameter (YCSB). Default 4×k.
+	Buckets int
+}
+
+// NewHorticulture returns Horticulture with default settings.
+func NewHorticulture() *Horticulture { return &Horticulture{} }
+
+// Name implements Partitioner.
+func (h *Horticulture) Name() string { return "HORTICULTURE" }
+
+// homeGroup derives the grouping attribute of a transaction: the first
+// template parameter when present (TPC-C home warehouse), otherwise a
+// range bucket of its first accessed key (YCSB).
+func (h *Horticulture) homeGroup(t *txn.Transaction, buckets int) uint64 {
+	if len(t.Params) > 0 {
+		return t.Params[0]
+	}
+	set := t.AccessSet()
+	if len(set) == 0 {
+		return 0
+	}
+	return set[0].Row() % uint64(buckets)
+}
+
+// Partition implements Partitioner.
+func (h *Horticulture) Partition(w txn.Workload, _ *conflict.Graph, k int) *Plan {
+	plan := NewPlan(k)
+	if len(w) == 0 {
+		return plan
+	}
+	buckets := h.Buckets
+	if buckets <= 0 {
+		buckets = 4 * k
+	}
+	groups := make(map[uint64][]*txn.Transaction)
+	weight := make(map[uint64]int)
+	for _, t := range w {
+		g := h.homeGroup(t, buckets)
+		groups[g] = append(groups[g], t)
+		weight[g] += t.Len()
+	}
+	// LPT: heaviest group first onto the lightest thread.
+	ids := make([]uint64, 0, len(groups))
+	for g := range groups {
+		ids = append(ids, g)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if weight[ids[a]] != weight[ids[b]] {
+			return weight[ids[a]] > weight[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	load := make([]int, k)
+	for _, g := range ids {
+		p := argminInt(load)
+		plan.Parts[p] = append(plan.Parts[p], groups[g]...)
+		load[p] += weight[g]
+	}
+	return plan
+}

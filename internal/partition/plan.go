@@ -1,0 +1,168 @@
+// Package partition implements the transaction partitioners the paper
+// evaluates TSKD against, reimplemented from their publications:
+//
+//   - Strife (Prasaad, Cheung, Suciu; SIGMOD'20): dynamic clustering of
+//     contended batches with an explicit residual set.
+//   - Schism (Curino et al.; VLDB'10): balanced min-cut of the conflict
+//     graph, here via a multilevel heavy-edge-matching partitioner.
+//   - Horticulture (Pavlo, Curino, Zdonik; SIGMOD'12): skew-aware
+//     attribute-based partitioning, hard-coded for TPC-C and YCSB as in
+//     the paper.
+//
+// plus round-robin/random baselines. A Partitioner turns a workload
+// into a Plan (P_1..P_k, R) — the input TSgen refines into a schedule.
+package partition
+
+import (
+	"fmt"
+
+	"tskd/internal/conflict"
+	"tskd/internal/txn"
+)
+
+// Plan is a transaction partitioning (P_1, ..., P_k, R): k CC-free
+// partitions executed serially per thread plus a residual set executed
+// with CC after the partitions complete (Section 2.1).
+type Plan struct {
+	// Parts are the k partitions, in thread order.
+	Parts [][]*txn.Transaction
+	// Residual holds the cross-partition (conflicting) transactions.
+	Residual []*txn.Transaction
+}
+
+// NewPlan returns an empty plan over k threads.
+func NewPlan(k int) *Plan {
+	return &Plan{Parts: make([][]*txn.Transaction, k)}
+}
+
+// K returns the number of partitions.
+func (p *Plan) K() int { return len(p.Parts) }
+
+// Size returns the total number of transactions in the plan.
+func (p *Plan) Size() int {
+	n := len(p.Residual)
+	for _, part := range p.Parts {
+		n += len(part)
+	}
+	return n
+}
+
+// LoadRatio returns the ratio of the largest partition's op count to
+// the smallest's, the imbalance measure quoted in Section 6.2 (ratio
+// 1.0 is perfectly balanced). Empty partitions count as load 1 to keep
+// the ratio finite.
+func (p *Plan) LoadRatio() float64 {
+	minL, maxL := -1, 0
+	for _, part := range p.Parts {
+		l := 0
+		for _, t := range part {
+			l += t.Len()
+		}
+		if l == 0 {
+			l = 1
+		}
+		if minL < 0 || l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if minL <= 0 {
+		return 1
+	}
+	return float64(maxL) / float64(minL)
+}
+
+// Validate checks that the plan is a disjoint cover of w and that the
+// CC-free partitions are pairwise conflict-free under g. Partitioners
+// without that guarantee must be passed through ExtractResidual first.
+func (p *Plan) Validate(w txn.Workload, g *conflict.Graph) error {
+	seen := make(map[int]bool, len(w))
+	count := 0
+	check := func(t *txn.Transaction) error {
+		if seen[t.ID] {
+			return fmt.Errorf("partition: transaction %d appears twice", t.ID)
+		}
+		seen[t.ID] = true
+		count++
+		return nil
+	}
+	for _, part := range p.Parts {
+		for _, t := range part {
+			if err := check(t); err != nil {
+				return err
+			}
+		}
+	}
+	for _, t := range p.Residual {
+		if err := check(t); err != nil {
+			return err
+		}
+	}
+	if count != len(w) {
+		return fmt.Errorf("partition: plan covers %d of %d transactions", count, len(w))
+	}
+	// Pairwise conflict-freedom of the CC-free partitions.
+	where := make(map[int]int, count)
+	for i, part := range p.Parts {
+		for _, t := range part {
+			where[t.ID] = i
+		}
+	}
+	for i, part := range p.Parts {
+		for _, t := range part {
+			for _, n := range g.Neighbors(t.ID) {
+				if j, ok := where[int(n)]; ok && j != i {
+					return fmt.Errorf("partition: cross-partition conflict %d(P%d) - %d(P%d)",
+						t.ID, i, n, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ExtractResidual converts partitions without a conflict-freedom
+// guarantee (Schism, Horticulture) into the canonical form: every
+// transaction in conflict with some transaction in another partition is
+// moved to the residual set, in one pass over the original assignment
+// (Section 6.1). The input plan's existing residual is preserved.
+func ExtractResidual(p *Plan, g *conflict.Graph) *Plan {
+	where := make(map[int]int)
+	for i, part := range p.Parts {
+		for _, t := range part {
+			where[t.ID] = i
+		}
+	}
+	out := NewPlan(p.K())
+	out.Residual = append(out.Residual, p.Residual...)
+	for i, part := range p.Parts {
+		for _, t := range part {
+			crosses := false
+			for _, n := range g.Neighbors(t.ID) {
+				if j, ok := where[int(n)]; ok && j != i {
+					crosses = true
+					break
+				}
+			}
+			if crosses {
+				out.Residual = append(out.Residual, t)
+			} else {
+				out.Parts[i] = append(out.Parts[i], t)
+			}
+		}
+	}
+	return out
+}
+
+// Partitioner computes a partition plan for a bundled workload. The
+// conflict graph is supplied by the caller and may be reused by the
+// scheduler afterwards, as the paper prescribes.
+type Partitioner interface {
+	// Name returns the partitioner's display name.
+	Name() string
+	// Partition splits w into k partitions (plus residual, for
+	// partitioners that produce one).
+	Partition(w txn.Workload, g *conflict.Graph, k int) *Plan
+}

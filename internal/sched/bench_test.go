@@ -1,0 +1,52 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"tskd/internal/conflict"
+	"tskd/internal/partition"
+)
+
+// BenchmarkTSgen measures the scheduler itself — the overhead TsPAR
+// adds to a partitioner (the paper reports < 5% of partitioning time).
+func BenchmarkTSgen(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			w := randomWorkload(n, n/2, 8, 0.8, 1)
+			g := conflict.Build(w, conflict.Serializability)
+			plan := partition.NewStrife(1).Partition(w, g, 8)
+			est := opCount()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Generate(w, plan, g, est, Options{Seed: int64(i)})
+			}
+		})
+	}
+}
+
+func BenchmarkTSgenFromScratch(b *testing.B) {
+	w := randomWorkload(5000, 2500, 8, 0.8, 1)
+	g := conflict.Build(w, conflict.Serializability)
+	est := opCount()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GenerateFromScratch(w, g, est, 8, Options{Seed: int64(i)})
+	}
+}
+
+func BenchmarkCkRCFModes(b *testing.B) {
+	w := randomWorkload(2000, 500, 8, 0.9, 1)
+	g := conflict.Build(w, conflict.Serializability)
+	est := opCount()
+	for _, m := range []struct {
+		name string
+		mode CkRCFMode
+	}{{"exact", CkExact}, {"tail", CkTail}} {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				GenerateFromScratch(w, g, est, 8, Options{CkRCF: m.mode, Seed: int64(i)})
+			}
+		})
+	}
+}

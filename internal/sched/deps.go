@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"tskd/internal/clock"
+	"tskd/internal/conflict"
+	"tskd/internal/estimator"
+	"tskd/internal/txn"
+)
+
+// Deps is a set of application-specified transaction dependencies:
+// each edge (Before, After) requires Before's execution to complete
+// before After starts. The paper notes (Section 3, Limitations) that
+// unlike CC and TsDEFER, "transaction partitioners and TsPAR can
+// readily incorporate transaction dependencies by enforcing
+// dependencies in partitions and during scheduling" — this file is
+// that extension.
+type Deps struct {
+	edges map[int][]int32 // after -> befores
+	n     int
+}
+
+// NewDeps returns an empty dependency set.
+func NewDeps() *Deps { return &Deps{edges: make(map[int][]int32)} }
+
+// Add requires before to complete before after starts.
+func (d *Deps) Add(before, after int) {
+	d.edges[after] = append(d.edges[after], int32(before))
+	d.n++
+}
+
+// Len returns the number of dependency edges.
+func (d *Deps) Len() int { return d.n }
+
+// Before returns the IDs that must complete before id starts.
+func (d *Deps) Before(id int) []int32 {
+	if d == nil {
+		return nil
+	}
+	return d.edges[id]
+}
+
+// TopoOrder returns w sorted consistently with the dependencies
+// (Kahn's algorithm), or an error naming a transaction on a dependency
+// cycle. Ties (independent transactions) keep workload order, so the
+// result is deterministic.
+func (d *Deps) TopoOrder(w txn.Workload) ([]*txn.Transaction, error) {
+	indeg := make(map[int]int, len(w))
+	dependents := make(map[int][]int, len(w))
+	for _, t := range w {
+		indeg[t.ID] += 0
+	}
+	for after, befores := range d.edges {
+		for _, b := range befores {
+			indeg[after]++
+			dependents[int(b)] = append(dependents[int(b)], after)
+		}
+	}
+	byID := w.ByID()
+	// Ready set kept sorted by workload position for determinism.
+	pos := make(map[int]int, len(w))
+	for i, t := range w {
+		pos[t.ID] = i
+	}
+	var ready []int
+	for _, t := range w {
+		if indeg[t.ID] == 0 {
+			ready = append(ready, t.ID)
+		}
+	}
+	out := make([]*txn.Transaction, 0, len(w))
+	for len(ready) > 0 {
+		// Pop the earliest-position ready transaction.
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if pos[ready[i]] < pos[ready[best]] {
+				best = i
+			}
+		}
+		id := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		out = append(out, byID[id])
+		deps := dependents[id]
+		sort.Ints(deps)
+		for _, a := range deps {
+			indeg[a]--
+			if indeg[a] == 0 {
+				ready = append(ready, a)
+			}
+		}
+	}
+	if len(out) != len(w) {
+		for _, t := range w {
+			if indeg[t.ID] > 0 {
+				return nil, fmt.Errorf("sched: dependency cycle through transaction %d", t.ID)
+			}
+		}
+		return nil, fmt.Errorf("sched: dependency cycle")
+	}
+	return out, nil
+}
+
+// GenerateWithDeps computes a schedule for w from scratch that
+// respects deps: transactions are placed in a topological order, each
+// on the least-loaded queue whose cursor can host it, starting no
+// earlier than the completion of every dependency (queues may carry
+// idle gaps to wait for cross-queue dependencies). A transaction that
+// cannot be placed RC-free moves to R_s together with — by
+// construction, since descendants are processed later and check their
+// dependencies — every transaction that depends on it.
+//
+// The resulting queue positions are globally topologically consistent,
+// which is exactly what the engine's execution-time dependency waits
+// require for deadlock freedom.
+func GenerateWithDeps(w txn.Workload, g *conflict.Graph, est estimator.Estimator, k int, deps *Deps, opt Options) (*Schedule, error) {
+	order, err := deps.TopoOrder(w)
+	if err != nil {
+		return nil, err
+	}
+	n := len(w)
+	s := &Schedule{
+		Queues: make([][]*txn.Transaction, k),
+		place:  make([]Placement, n),
+		cost:   make([]clock.Units, n),
+		graph:  g,
+	}
+	for _, t := range w {
+		c := est.Estimate(t)
+		if c <= 0 {
+			c = 1
+		}
+		s.cost[t.ID] = c
+	}
+	s.Stats.InputResidual = n
+
+	qEnd := make([]clock.Units, k)
+	queuedIn := make([]int, n)
+	inRs := make([]bool, n)
+	for i := range queuedIn {
+		queuedIn[i] = -1
+	}
+
+	for _, t := range order {
+		// Earliest start: after every dependency completes. A residual
+		// dependency forces this transaction to the residual too (the
+		// residual phase runs after all queues).
+		var after clock.Units
+		forced := false
+		for _, b := range deps.Before(t.ID) {
+			if inRs[b] {
+				forced = true
+				break
+			}
+			if bp := s.place[b]; bp.Queue >= 0 && bp.End > after {
+				after = bp.End
+			}
+		}
+		placed := false
+		if !forced && k > 0 {
+			// Try queues from least-loaded upward.
+			idx := make([]int, k)
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, b int) bool { return qEnd[idx[a]] < qEnd[idx[b]] })
+			for _, qi := range idx {
+				start := qEnd[qi]
+				if after > start {
+					start = after
+				}
+				tentative := Placement{Queue: qi, Start: start, End: start + s.cost[t.ID]}
+				if s.ckRCF(t.ID, tentative, queuedIn, opt.CkRCF) {
+					s.place[t.ID] = tentative
+					s.Queues[qi] = append(s.Queues[qi], t)
+					qEnd[qi] = tentative.End
+					queuedIn[t.ID] = qi
+					s.Stats.Merged++
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			inRs[t.ID] = true
+			s.Residual = append(s.Residual, t)
+			s.place[t.ID] = Placement{Queue: -1}
+		}
+	}
+	return s, nil
+}
+
+// ValidateDeps checks that the schedule respects every dependency:
+// either both endpoints are queued with tc(before) <= ts(after), or
+// the dependent is residual (the residual phase runs after all
+// queues) with the dependency queued or residual-ordered earlier.
+func (s *Schedule) ValidateDeps(deps *Deps, w txn.Workload) error {
+	resPos := make(map[int]int, len(s.Residual))
+	for i, t := range s.Residual {
+		resPos[t.ID] = i
+	}
+	for _, t := range w {
+		for _, b := range deps.Before(t.ID) {
+			bp, tp := s.place[b], s.place[t.ID]
+			switch {
+			case tp.Queue >= 0 && bp.Queue >= 0:
+				if bp.End > tp.Start {
+					return fmt.Errorf("sched: dependency %d -> %d violated: before ends %v, after starts %v",
+						b, t.ID, bp.End, tp.Start)
+				}
+			case tp.Queue >= 0 && bp.Queue < 0:
+				return fmt.Errorf("sched: dependency %d -> %d violated: before is residual but after is queued", b, t.ID)
+			case tp.Queue < 0 && bp.Queue < 0:
+				if resPos[int(b)] > resPos[t.ID] {
+					return fmt.Errorf("sched: dependency %d -> %d violated: residual order", b, t.ID)
+				}
+			}
+		}
+	}
+	return nil
+}

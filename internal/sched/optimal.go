@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"fmt"
+
+	"tskd/internal/clock"
+	"tskd/internal/conflict"
+	"tskd/internal/estimator"
+	"tskd/internal/txn"
+)
+
+// MaxOptimalN bounds the exhaustive search of Optimal.
+const MaxOptimalN = 7
+
+// Objective selects which side of the paper's bi-criteria optimization
+// Optimal treats as primary.
+type Objective int
+
+const (
+	// MinimizeTotal minimizes total time, breaking ties toward more
+	// scheduled transactions — the paper's ultimate aim ("we aim to
+	// find a schedule that minimizes the total execution time"). The
+	// search costs the residual serially (not spread over k threads):
+	// residual transactions conflict by construction, so the
+	// conservative model is full serialization — without this, an
+	// all-residual schedule would look free and the objective would
+	// degenerate (which is why the paper states objective (b)).
+	MinimizeTotal Objective = iota
+	// MaximizeMerged maximizes the number of scheduled transactions
+	// first (objective (b)), breaking ties by total time.
+	MaximizeMerged
+)
+
+// Optimal computes an exact optimum of the transaction scheduling
+// problem by exhaustive search over every assignment of transactions
+// to queues or residual AND every per-queue ordering, under the given
+// objective.
+//
+// The problem is NP-complete (Theorem 1); this search is factorial and
+// refuses workloads larger than MaxOptimalN. It exists to measure how
+// close the TSgen heuristic gets to the optimum on small instances
+// (see TestTSgenVsOptimal), not for production use.
+func Optimal(w txn.Workload, g *conflict.Graph, est estimator.Estimator, k int, obj Objective) (*Schedule, error) {
+	if len(w) > MaxOptimalN {
+		return nil, fmt.Errorf("sched: Optimal limited to %d transactions (NP-complete search), got %d",
+			MaxOptimalN, len(w))
+	}
+	n := len(w)
+	cost := make([]clock.Units, n)
+	for _, t := range w {
+		c := est.Estimate(t)
+		if c <= 0 {
+			c = 1
+		}
+		cost[t.ID] = c
+	}
+
+	o := &optSearch{
+		w: w, g: g, cost: cost, k: k, obj: obj,
+		cur: optState{
+			queues: make([][]*txn.Transaction, k),
+			qEnd:   make([]clock.Units, k),
+			place:  make([]Placement, n),
+			state:  make([]int8, n),
+		},
+		bestMerged: -1,
+	}
+	o.search(0)
+
+	s := &Schedule{
+		Queues:   o.bestQueues,
+		Residual: o.bestResidual,
+		place:    o.bestPlace,
+		cost:     cost,
+		graph:    g,
+	}
+	s.Stats = Stats{InputResidual: n, Merged: o.bestMerged}
+	return s, nil
+}
+
+const (
+	optUnplaced int8 = iota
+	optQueued
+	optResidual
+)
+
+type optState struct {
+	queues   [][]*txn.Transaction
+	residual []*txn.Transaction
+	qEnd     []clock.Units
+	place    []Placement
+	state    []int8
+	resTotal clock.Units
+}
+
+type optSearch struct {
+	w    txn.Workload
+	g    *conflict.Graph
+	cost []clock.Units
+	k    int
+	obj  Objective
+	cur  optState
+
+	bestMerged   int
+	bestTotal    clock.Units
+	bestQueues   [][]*txn.Transaction
+	bestResidual []*txn.Transaction
+	bestPlace    []Placement
+}
+
+// totalTime is the search's cost model: queue makespan plus the
+// residual costed serially (see MinimizeTotal).
+func (o *optSearch) totalTime() clock.Units {
+	var makespan clock.Units
+	for _, e := range o.cur.qEnd {
+		if e > makespan {
+			makespan = e
+		}
+	}
+	return makespan + o.cur.resTotal
+}
+
+func (o *optSearch) snapshot(merged int) {
+	o.bestMerged = merged
+	o.bestTotal = o.totalTime()
+	o.bestQueues = make([][]*txn.Transaction, o.k)
+	for i := range o.cur.queues {
+		o.bestQueues[i] = append([]*txn.Transaction(nil), o.cur.queues[i]...)
+	}
+	o.bestResidual = append([]*txn.Transaction(nil), o.cur.residual...)
+	o.bestPlace = append([]Placement(nil), o.cur.place...)
+}
+
+// search places one more transaction (any unplaced one — covering all
+// queue orderings) or finishes.
+func (o *optSearch) search(placed int) {
+	if placed == len(o.w) {
+		merged := placed - len(o.cur.residual)
+		better := false
+		switch o.obj {
+		case MaximizeMerged:
+			better = merged > o.bestMerged ||
+				(merged == o.bestMerged && o.totalTime() < o.bestTotal)
+		default: // MinimizeTotal
+			better = o.bestMerged < 0 || o.totalTime() < o.bestTotal ||
+				(o.totalTime() == o.bestTotal && merged > o.bestMerged)
+		}
+		if better {
+			o.snapshot(merged)
+		}
+		return
+	}
+	for _, t := range o.w {
+		if o.cur.state[t.ID] != optUnplaced {
+			continue
+		}
+		// Queue placements. Symmetry pruning: only allow queue qi if
+		// every earlier queue is non-empty (queues are interchangeable
+		// until first used).
+		for qi := 0; qi < o.k; qi++ {
+			if qi > 0 && len(o.cur.queues[qi-1]) == 0 {
+				break
+			}
+			p := Placement{Queue: qi, Start: o.cur.qEnd[qi], End: o.cur.qEnd[qi] + o.cost[t.ID]}
+			if !o.rcFree(t.ID, p) {
+				continue
+			}
+			o.cur.queues[qi] = append(o.cur.queues[qi], t)
+			o.cur.qEnd[qi] = p.End
+			o.cur.place[t.ID] = p
+			o.cur.state[t.ID] = optQueued
+			o.search(placed + 1)
+			o.cur.state[t.ID] = optUnplaced
+			o.cur.queues[qi] = o.cur.queues[qi][:len(o.cur.queues[qi])-1]
+			o.cur.qEnd[qi] = p.Start
+		}
+		// Residual placement.
+		o.cur.residual = append(o.cur.residual, t)
+		o.cur.resTotal += o.cost[t.ID]
+		o.cur.place[t.ID] = Placement{Queue: -1}
+		o.cur.state[t.ID] = optResidual
+		o.search(placed + 1)
+		o.cur.state[t.ID] = optUnplaced
+		o.cur.resTotal -= o.cost[t.ID]
+		o.cur.residual = o.cur.residual[:len(o.cur.residual)-1]
+	}
+}
+
+func (o *optSearch) rcFree(id int, p Placement) bool {
+	for _, nb := range o.g.Neighbors(id) {
+		if o.cur.state[nb] != optQueued {
+			continue
+		}
+		np := o.cur.place[nb]
+		if np.Queue != p.Queue && p.Overlaps(np) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"testing"
+
+	"tskd/internal/clock"
+	"tskd/internal/conflict"
+	"tskd/internal/txn"
+)
+
+func TestOptimalRefusesLargeInput(t *testing.T) {
+	w := make(txn.Workload, MaxOptimalN+1)
+	for i := range w {
+		w[i] = txn.New(i)
+	}
+	g := conflict.Build(w, conflict.Serializability)
+	if _, err := Optimal(w, g, opCount(), 2, MinimizeTotal); err == nil {
+		t.Error("oversized input accepted")
+	}
+}
+
+func TestOptimalExample1(t *testing.T) {
+	w := example1()
+	g := conflict.Build(w, conflict.Serializability)
+	s, err := Optimal(w, g, opCount(), 2, MaximizeMerged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(w); err != nil {
+		t.Fatalf("optimal schedule invalid: %v", err)
+	}
+	// The optimum schedules everything (Example 3 proves a full
+	// schedule exists) and cannot be worse than TSgen's 14.
+	if len(s.Residual) != 0 {
+		t.Errorf("optimal left %d residual", len(s.Residual))
+	}
+	if s.TotalTime() > 14 {
+		t.Errorf("optimal total %v, TSgen achieves 14", s.TotalTime())
+	}
+	t.Logf("optimal: makespan %v vs TSgen's 14", s.Makespan())
+}
+
+func TestOptimalConflictClique(t *testing.T) {
+	// Three mutually conflicting unit transactions over 2 queues: at
+	// most ... actually all three can be scheduled on ONE queue
+	// (serial), so the optimum merges all with makespan 3; or spread
+	// with non-overlapping intervals. Either way residual is empty.
+	w := txn.Workload{
+		txn.MustParse(0, "W[x1]"),
+		txn.MustParse(1, "W[x1]"),
+		txn.MustParse(2, "W[x1]"),
+	}
+	g := conflict.Build(w, conflict.Serializability)
+	s, err := Optimal(w, g, opCount(), 2, MaximizeMerged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Residual) != 0 {
+		t.Errorf("clique not fully scheduled: %d residual", len(s.Residual))
+	}
+	if err := s.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TSgen against the exact optimum on random small instances: never
+// schedules more than the optimum (sanity) and stays within a small
+// constant factor on total time.
+func TestTSgenVsOptimal(t *testing.T) {
+	worst := 0.0
+	for seed := int64(0); seed < 12; seed++ {
+		w := randomWorkload(6, 6, 3, 0.8, seed)
+		g := conflict.Build(w, conflict.Serializability)
+		optM, err := Optimal(w, g, opCount(), 2, MaximizeMerged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := optM.Validate(w); err != nil {
+			t.Fatalf("seed %d: optimal (merged) invalid: %v", seed, err)
+		}
+		optT, err := Optimal(w, g, opCount(), 2, MinimizeTotal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := optT.Validate(w); err != nil {
+			t.Fatalf("seed %d: optimal (total) invalid: %v", seed, err)
+		}
+		heur := GenerateFromScratch(w, g, opCount(), 2, Options{Seed: seed})
+		if heur.Stats.Merged > optM.Stats.Merged {
+			t.Errorf("seed %d: TSgen merged %d > optimal %d — optimum search is broken",
+				seed, heur.Stats.Merged, optM.Stats.Merged)
+		}
+		// Compare under the search's conservative cost model
+		// (makespan + serial residual).
+		serialTotal := func(s *Schedule) clock.Units { return s.Makespan() + s.ResidualUnits() }
+		if serialTotal(optT) > serialTotal(heur) {
+			t.Errorf("seed %d: time-optimal total %v worse than heuristic %v",
+				seed, serialTotal(optT), serialTotal(heur))
+		}
+		if serialTotal(optT) > 0 {
+			r := float64(serialTotal(heur)) / float64(serialTotal(optT))
+			if r > worst {
+				worst = r
+			}
+		}
+	}
+	t.Logf("worst TSgen/optimal total-time ratio over instances: %.2f", worst)
+	if worst > 3.0 {
+		t.Errorf("TSgen strays %.2fx from optimal on tiny instances", worst)
+	}
+}
+
+func TestOptimalCostTiebreak(t *testing.T) {
+	// Two conflict-free transactions of different lengths over 2
+	// queues: the optimum puts them on different queues (makespan =
+	// max cost), not on one (sum).
+	w := txn.Workload{
+		txn.MustParse(0, "W[x1]W[x1]W[x1]W[x1]"),
+		txn.MustParse(1, "W[x2]"),
+	}
+	g := conflict.Build(w, conflict.Serializability)
+	s, err := Optimal(w, g, opCount(), 2, MinimizeTotal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(); got != clock.Units(4) {
+		t.Errorf("makespan %v, want 4 (parallel placement)", got)
+	}
+}

@@ -1,0 +1,318 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tskd/internal/clock"
+	"tskd/internal/conflict"
+	"tskd/internal/estimator"
+	"tskd/internal/partition"
+	"tskd/internal/txn"
+	"tskd/internal/zipf"
+)
+
+// example1 returns the workload of Example 1 (IDs 0..4 for T1..T5).
+func example1() txn.Workload {
+	return txn.MustParseWorkload(`
+		R[x2]W[x2]R[x3]W[x3]R[x4]W[x4]
+		R[x1]W[x2]W[x1]
+		R[x3]W[x3]R[x2]R[x3]W[x2]
+		R[x5]W[x5]R[x6]W[x6]
+		R[x1]W[x1]R[x5]W[x5]R[x1]W[x1]
+	`)
+}
+
+// example1Plan is the partition of Example 1: P1 = {T1,T2,T3},
+// P2 = {T4}, R = {T5}.
+func example1Plan(w txn.Workload) *partition.Plan {
+	p := partition.NewPlan(2)
+	p.Parts[0] = []*txn.Transaction{w[0], w[1], w[2]}
+	p.Parts[1] = []*txn.Transaction{w[3]}
+	p.Residual = []*txn.Transaction{w[4]}
+	return p
+}
+
+func opCount() estimator.Estimator { return estimator.AccessSetSize{} }
+
+// TestExample4 reproduces Example 4 of the paper exactly: TSgen turns
+// the Example 1 partition into Q1 = <T2, T1, T3>, Q2 = <T4, T5>, with
+// makespan 14 (down from 20) and an empty residual.
+func TestExample4(t *testing.T) {
+	w := example1()
+	g := conflict.Build(w, conflict.Serializability)
+	s := Generate(w, example1Plan(w), g, opCount(), Options{})
+	if err := s.Validate(w); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+	wantQ0 := []int{1, 0, 2} // T2, T1, T3
+	wantQ1 := []int{3, 4}    // T4, T5
+	for i, want := range [][]int{wantQ0, wantQ1} {
+		if len(s.Queues[i]) != len(want) {
+			t.Fatalf("queue %d = %v", i, s.Queues[i])
+		}
+		for j, id := range want {
+			if s.Queues[i][j].ID != id {
+				t.Errorf("queue %d pos %d = T%d, want T%d", i, j, s.Queues[i][j].ID+1, id+1)
+			}
+		}
+	}
+	if len(s.Residual) != 0 {
+		t.Errorf("residual = %v, want empty", s.Residual)
+	}
+	if got := s.Makespan(); got != 14 {
+		t.Errorf("makespan = %v, want 14", got)
+	}
+	if s.Stats.Merged != 1 || s.Stats.InputResidual != 1 {
+		t.Errorf("stats = %+v", s.Stats)
+	}
+	if s.Stats.ScheduledPct() != 100 {
+		t.Errorf("s%% = %v, want 100", s.Stats.ScheduledPct())
+	}
+	// T5's scheduled runtime is [4,10) on queue 2: no overlap with T2's
+	// [0,3) on queue 1 although they conventionally conflict.
+	p5, p2 := s.Placement(4), s.Placement(1)
+	if p5.Start != 4 || p5.End != 10 || p2.Start != 0 || p2.End != 3 {
+		t.Errorf("placements: T5=%+v T2=%+v", p5, p2)
+	}
+	if p5.Overlaps(p2) {
+		t.Error("T5 and T2 overlap at runtime")
+	}
+	if !s.Refines(example1Plan(w).Parts) {
+		t.Error("schedule does not refine the input partition")
+	}
+}
+
+func TestScheduleBeatsPartitionMakespan(t *testing.T) {
+	// The partitioned execution of Example 1 takes 20 units (queues
+	// then residual after both complete); the schedule takes 14.
+	w := example1()
+	g := conflict.Build(w, conflict.Serializability)
+	plan := example1Plan(w)
+	s := Generate(w, plan, g, opCount(), Options{})
+	partitionTime := clock.Units(14 + 6) // max(P1,P2) + T5
+	if s.TotalTime() >= partitionTime {
+		t.Errorf("scheduled total %v not below partitioned %v", s.TotalTime(), partitionTime)
+	}
+}
+
+func TestGenerateFromScratchExample1(t *testing.T) {
+	w := example1()
+	g := conflict.Build(w, conflict.Serializability)
+	s := GenerateFromScratch(w, g, opCount(), 2, Options{Seed: 3})
+	if err := s.Validate(w); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if s.Size() != len(w) {
+		t.Errorf("Size = %d", s.Size())
+	}
+}
+
+func randomWorkload(n, nKeys, opsPer int, theta float64, seed int64) txn.Workload {
+	g := zipf.New(uint64(nKeys), theta, seed)
+	w := make(txn.Workload, n)
+	for i := range w {
+		tx := txn.New(i)
+		ops := int(g.Uniform(uint64(opsPer))) + 1
+		for j := 0; j < ops; j++ {
+			k := txn.MakeKey(0, g.Next())
+			if g.Float64() < 0.5 {
+				tx.R(k)
+			} else {
+				tx.W(k)
+			}
+		}
+		w[i] = tx
+	}
+	return w
+}
+
+// Property: for arbitrary workloads and Strife plans, TSgen yields a
+// valid schedule that refines the plan, and R_s ⊆ R.
+func TestGenerateInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWorkload(120, 60, 6, 0.8, seed)
+		g := conflict.Build(w, conflict.Serializability)
+		plan := partition.NewStrife(seed).Partition(w, g, 3)
+		if err := plan.Validate(w, g); err != nil {
+			t.Fatalf("strife plan invalid: %v", err)
+		}
+		s := Generate(w, plan, g, opCount(), Options{Seed: seed})
+		if err := s.Validate(w); err != nil {
+			t.Logf("schedule invalid: %v", err)
+			return false
+		}
+		if !s.Refines(plan.Parts) {
+			t.Log("does not refine")
+			return false
+		}
+		// R_s must be a subset of the input residual.
+		inR := make(map[int]bool)
+		for _, tr := range plan.Residual {
+			inR[tr.ID] = true
+		}
+		for _, tr := range s.Residual {
+			if !inR[tr.ID] {
+				t.Log("R_s contains a non-residual transaction")
+				return false
+			}
+		}
+		return s.Stats.Merged+len(s.Residual) == s.Stats.InputResidual
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scheduling from scratch is always valid for every residual
+// ordering and ckRCF mode.
+func TestFromScratchAllModesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWorkload(80, 40, 5, 0.8, seed)
+		g := conflict.Build(w, conflict.Serializability)
+		for _, ord := range []ResidualOrder{OrderRandom, OrderLongestFirst, OrderMostConflictingFirst} {
+			for _, ck := range []CkRCFMode{CkExact, CkTail} {
+				s := GenerateFromScratch(w, g, opCount(), 4, Options{Order: ord, CkRCF: ck, Seed: seed})
+				if err := s.Validate(w); err != nil {
+					t.Logf("order %d ck %d: %v", ord, ck, err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// CkTail is conservative: it never schedules more residual
+// transactions than CkExact on the same input and order.
+func TestCkTailConservative(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		w := randomWorkload(150, 50, 6, 0.9, seed)
+		g := conflict.Build(w, conflict.Serializability)
+		exact := GenerateFromScratch(w, g, opCount(), 3, Options{Order: OrderLongestFirst, CkRCF: CkExact})
+		tail := GenerateFromScratch(w, g, opCount(), 3, Options{Order: OrderLongestFirst, CkRCF: CkTail})
+		if tail.Stats.Merged > exact.Stats.Merged {
+			t.Errorf("seed %d: tail merged %d > exact %d", seed, tail.Stats.Merged, exact.Stats.Merged)
+		}
+	}
+}
+
+// Scheduling balances skewed partitions: a plan with one long partition
+// and empty others must end with a far lower makespan than the input.
+func TestBalancesSkewedLoad(t *testing.T) {
+	// 40 pairwise conflict-free transactions all in P1 (they share no
+	// keys), none in P2..P4.
+	w := make(txn.Workload, 40)
+	for i := range w {
+		w[i] = txn.New(i).R(txn.MakeKey(0, uint64(i))).W(txn.MakeKey(0, uint64(i)))
+	}
+	g := conflict.Build(w, conflict.Serializability)
+	plan := partition.NewPlan(4)
+	plan.Residual = append(plan.Residual, w...) // schedule from scratch
+	s := Generate(w, plan, g, opCount(), Options{})
+	if err := s.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	// Perfectly balanceable: makespan should be ~ total/4.
+	total := clock.Units(80)
+	if s.Makespan() > total/4+2 {
+		t.Errorf("makespan %v, want ≈ %v", s.Makespan(), total/4)
+	}
+	if len(s.Residual) != 0 {
+		t.Errorf("conflict-free residual not fully scheduled: %d left", len(s.Residual))
+	}
+}
+
+func TestZeroCostFloored(t *testing.T) {
+	w := txn.Workload{txn.New(0), txn.New(1)} // no ops → estimate 0
+	g := conflict.Build(w, conflict.Serializability)
+	s := GenerateFromScratch(w, g, opCount(), 2, Options{})
+	if err := s.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cost(0) != 1 || s.Cost(1) != 1 {
+		t.Error("zero cost not floored to 1")
+	}
+}
+
+func TestStatsScheduledPct(t *testing.T) {
+	s := Stats{InputResidual: 0}
+	if s.ScheduledPct() != 100 {
+		t.Error("empty residual should report 100%")
+	}
+	s = Stats{InputResidual: 4, Merged: 1}
+	if s.ScheduledPct() != 25 {
+		t.Errorf("s%% = %v, want 25", s.ScheduledPct())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	w := example1()
+	g := conflict.Build(w, conflict.Serializability)
+	s := Generate(w, example1Plan(w), g, opCount(), Options{})
+	// Corrupt: move T5 to queue 0 creating an overlap with T2.
+	s.place[4] = Placement{Queue: 0, Start: 0, End: 6}
+	if err := s.Validate(w); err == nil {
+		t.Error("corrupted schedule validated")
+	}
+}
+
+func TestTotalTimeKZero(t *testing.T) {
+	w := txn.Workload{txn.MustParse(0, "W[x1]")}
+	g := conflict.Build(w, conflict.Serializability)
+	plan := partition.NewPlan(0)
+	plan.Residual = append(plan.Residual, w...)
+	s := Generate(w, plan, g, opCount(), Options{})
+	if got := s.TotalTime(); got != 1 {
+		t.Errorf("TotalTime = %v, want 1", got)
+	}
+}
+
+// The scheduled makespan never exceeds serial execution of everything
+// on one thread.
+func TestMakespanBoundedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomWorkload(60, 30, 5, 0.8, seed)
+		g := conflict.Build(w, conflict.Serializability)
+		s := GenerateFromScratch(w, g, opCount(), 4, Options{Seed: seed})
+		var serial clock.Units
+		for _, tx := range w {
+			serial += s.Cost(tx.ID)
+		}
+		return s.Makespan() <= serial && s.TotalTime() <= serial+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGanttRender(t *testing.T) {
+	w := example1()
+	g := conflict.Build(w, conflict.Serializability)
+	s := Generate(w, example1Plan(w), g, opCount(), Options{})
+	var sb strings.Builder
+	s.Gantt(&sb, 28)
+	out := sb.String()
+	if !strings.Contains(out, "Q1 ") || !strings.Contains(out, "Q2 ") {
+		t.Fatalf("missing queue rows:\n%s", out)
+	}
+	// T2 (id 1) opens queue 1; T4 (id 3) opens queue 2.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "|1") {
+		t.Errorf("Q1 should start with T2's digit: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "|3") {
+		t.Errorf("Q2 should start with T4's digit: %q", lines[1])
+	}
+	// Empty schedule.
+	empty := &Schedule{Queues: make([][]*txn.Transaction, 2), graph: g, place: []Placement{}, cost: []clock.Units{}}
+	var sb2 strings.Builder
+	empty.Gantt(&sb2, 20)
+	if !strings.Contains(sb2.String(), "empty") {
+		t.Error("empty schedule not reported")
+	}
+}

@@ -1,0 +1,221 @@
+// Package sched implements the paper's core contribution: transaction
+// schedules, runtime conflicts, and the TSgen scheduling algorithm
+// (Section 4) that refines a partition plan (P_1..P_k, R) into k
+// runtime-conflict-free queues (Q_1..Q_k) plus a residual set R_s.
+//
+// A schedule (f, ≺) assigns each transaction to a queue and totally
+// orders each queue. The scheduled start time ts(T) of a queued
+// transaction is the sum of the estimated costs of its predecessors in
+// the queue; its scheduled runtime is [ts(T), ts(T)+time(T)). Two
+// transactions are in conflict *at runtime* iff they are conventionally
+// in conflict AND their scheduled runtimes overlap. Queues are pairwise
+// RC-free, so they can execute concurrently — even without CC if the
+// estimates are exact (Example 1 of the paper).
+package sched
+
+import (
+	"fmt"
+
+	"tskd/internal/clock"
+	"tskd/internal/conflict"
+	"tskd/internal/txn"
+)
+
+// Placement records where the schedule put a transaction and its
+// scheduled runtime interval (half-open, in cost units).
+type Placement struct {
+	// Queue is the queue index, or -1 for residual transactions.
+	Queue int
+	// Start is the scheduled start time ts(T).
+	Start clock.Units
+	// End is the scheduled completion time tc(T) = ts(T) + time(T).
+	End clock.Units
+}
+
+// Overlaps reports whether two scheduled runtimes intersect.
+func (p Placement) Overlaps(q Placement) bool {
+	return p.Start < q.End && q.Start < p.End
+}
+
+// Stats summarizes a TSgen run.
+type Stats struct {
+	// InputResidual is |R|, the residual size of the input plan.
+	InputResidual int
+	// Merged is the number of residual transactions scheduled into
+	// RC-free queues.
+	Merged int
+	// Moved is the number of partition transactions whose order was
+	// pinned early because they conflict with a merged residual.
+	Moved int
+}
+
+// ScheduledPct returns the paper's s% metric: the percentage of input
+// residual transactions that were merged into RC-free queues (Table 2).
+func (s Stats) ScheduledPct() float64 {
+	if s.InputResidual == 0 {
+		return 100
+	}
+	return 100 * float64(s.Merged) / float64(s.InputResidual)
+}
+
+// Schedule is a transaction schedule (f, ≺): k ordered RC-free queues
+// and a residual set R_s, plus the placements and cost estimates the
+// schedule was computed with.
+type Schedule struct {
+	// Queues are the RC-free queues Q_1..Q_k, each in execution order.
+	Queues [][]*txn.Transaction
+	// Residual is R_s, executed by all threads under CC afterwards.
+	Residual []*txn.Transaction
+	// Stats reports how much of the input residual was scheduled.
+	Stats Stats
+
+	place []Placement   // indexed by transaction ID
+	cost  []clock.Units // indexed by transaction ID
+	graph *conflict.Graph
+}
+
+// K returns the number of queues.
+func (s *Schedule) K() int { return len(s.Queues) }
+
+// Placement returns the placement of the transaction with the given
+// ID. Residual transactions report Queue == -1.
+func (s *Schedule) Placement(id int) Placement { return s.place[id] }
+
+// Cost returns the estimate time(T) the schedule used for id.
+func (s *Schedule) Cost(id int) clock.Units { return s.cost[id] }
+
+// Graph returns the conflict graph the schedule was computed against.
+func (s *Schedule) Graph() *conflict.Graph { return s.graph }
+
+// QueueTime returns the serial execution time of queue i under the
+// schedule's estimates.
+func (s *Schedule) QueueTime(i int) clock.Units {
+	var sum clock.Units
+	for _, t := range s.Queues[i] {
+		sum += s.cost[t.ID]
+	}
+	return sum
+}
+
+// Makespan returns the concurrent execution time of the k RC-free
+// queues: the latest scheduled completion time across queues
+// (objective (a) of the scheduling problem). For contiguous schedules
+// this equals the maximum serial queue time; schedules with dependency
+// gaps count the idle waits too.
+func (s *Schedule) Makespan() clock.Units {
+	var m clock.Units
+	for _, q := range s.Queues {
+		if len(q) > 0 {
+			if e := s.place[q[len(q)-1].ID].End; e > m {
+				m = e
+			}
+		}
+	}
+	return m
+}
+
+// ResidualUnits returns the total estimated cost of R_s.
+func (s *Schedule) ResidualUnits() clock.Units {
+	var sum clock.Units
+	for _, t := range s.Residual {
+		sum += s.cost[t.ID]
+	}
+	return sum
+}
+
+// TotalTime returns the idealized end-to-end execution time: queue
+// makespan plus the residual spread perfectly over the k threads. Used
+// by the analytic benchmarks to compare schedules without running them.
+func (s *Schedule) TotalTime() clock.Units {
+	if s.K() == 0 {
+		return s.ResidualUnits()
+	}
+	return s.Makespan() + s.ResidualUnits()/clock.Units(s.K())
+}
+
+// Size returns the number of transactions covered by the schedule.
+func (s *Schedule) Size() int {
+	n := len(s.Residual)
+	for _, q := range s.Queues {
+		n += len(q)
+	}
+	return n
+}
+
+// Validate checks the schedule invariants:
+//
+//  1. queues plus residual are a disjoint cover of w;
+//  2. per-queue intervals are contiguous and sized by the estimates;
+//  3. queues are pairwise RC-free: no two conventionally conflicting
+//     transactions in different queues have overlapping intervals.
+func (s *Schedule) Validate(w txn.Workload) error {
+	seen := make(map[int]bool, len(w))
+	count := 0
+	mark := func(t *txn.Transaction) error {
+		if seen[t.ID] {
+			return fmt.Errorf("sched: transaction %d scheduled twice", t.ID)
+		}
+		seen[t.ID] = true
+		count++
+		return nil
+	}
+	for qi, q := range s.Queues {
+		var cursor clock.Units
+		for pos, t := range q {
+			if err := mark(t); err != nil {
+				return err
+			}
+			p := s.place[t.ID]
+			if p.Queue != qi {
+				return fmt.Errorf("sched: transaction %d in queue %d but placed in %d", t.ID, qi, p.Queue)
+			}
+			if p.Start < cursor {
+				// Gaps are legal (dependency waits); overlaps are not.
+				return fmt.Errorf("sched: queue %d pos %d: start %v before cursor %v", qi, pos, p.Start, cursor)
+			}
+			if p.End != p.Start+s.cost[t.ID] {
+				return fmt.Errorf("sched: transaction %d interval [%v,%v) inconsistent with cost %v",
+					t.ID, p.Start, p.End, s.cost[t.ID])
+			}
+			cursor = p.End
+		}
+	}
+	for _, t := range s.Residual {
+		if err := mark(t); err != nil {
+			return err
+		}
+		if s.place[t.ID].Queue != -1 {
+			return fmt.Errorf("sched: residual transaction %d has queue placement", t.ID)
+		}
+	}
+	if count != len(w) {
+		return fmt.Errorf("sched: schedule covers %d of %d transactions", count, len(w))
+	}
+	// RC-freedom across queues.
+	for _, q := range s.Queues {
+		for _, t := range q {
+			p := s.place[t.ID]
+			for _, n := range s.graph.Neighbors(t.ID) {
+				np := s.place[n]
+				if np.Queue >= 0 && np.Queue != p.Queue && p.Overlaps(np) {
+					return fmt.Errorf("sched: runtime conflict between %d (Q%d [%v,%v)) and %d (Q%d [%v,%v))",
+						t.ID, p.Queue, p.Start, p.End, n, np.Queue, np.Start, np.End)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Refines reports whether every transaction of plan partition i ended
+// up in queue i (the schedule refines the partitioning, Section 2.2).
+func (s *Schedule) Refines(parts [][]*txn.Transaction) bool {
+	for i, part := range parts {
+		for _, t := range part {
+			if p := s.place[t.ID]; p.Queue != i {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,171 @@
+// Package sim is a deterministic discrete-event simulator of
+// multi-core transaction execution under optimistic concurrency
+// control. It complements the real executor (internal/engine): the
+// engine measures true concurrent behaviour but inherits scheduler and
+// host noise; the simulator replays the same phase structure in pure
+// virtual time with a seeded duration-noise model, so experiment
+// *shapes* can be verified bit-for-bit reproducibly on any machine.
+//
+// Model: each thread executes its list serially. A transaction's
+// attempt occupies [s, s+d) where d = estimate × a seeded noise
+// factor (emulating estimate error / drift). At the attempt's end the
+// transaction validates: if any conflicting transaction committed with
+// an interval overlapping the attempt window, the attempt aborts and
+// retries immediately (OCC semantics — the validation victim re-pays
+// its duration). Phases are barriers, as in the engine.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"tskd/internal/clock"
+	"tskd/internal/conflict"
+	"tskd/internal/txn"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Cost returns time(T) in units.
+	Cost func(*txn.Transaction) clock.Units
+	// Noise is the maximum relative duration error ε: each attempt
+	// draws its duration uniformly from [est·(1−ε), est·(1+ε)].
+	// Zero makes estimates exact (a perfect schedule never retries).
+	Noise float64
+	// MaxRetries bounds retries per transaction (0 = unbounded); the
+	// simulation counts a forced commit after the bound.
+	MaxRetries int
+	// Seed drives the noise.
+	Seed int64
+}
+
+// Result is the simulation outcome.
+type Result struct {
+	// Makespan is the total virtual time across phases.
+	Makespan clock.Units
+	// Retries is the total number of aborted attempts.
+	Retries uint64
+	// Committed is the number of committed transactions.
+	Committed int
+}
+
+// Throughput returns committed per unit of makespan (×1000 for
+// readable magnitudes).
+func (r Result) Throughput() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return 1000 * float64(r.Committed) / float64(r.Makespan)
+}
+
+// committedIval is a committed transaction's final interval.
+type committedIval struct {
+	start, end clock.Units
+}
+
+// event is a pending commit attempt.
+type event struct {
+	end    clock.Units
+	thread int
+	seq    int // tiebreaker for determinism
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].end != h[j].end {
+		return h[i].end < h[j].end
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Run simulates the phases (lists per thread, barrier between phases)
+// against the conflict graph g.
+func Run(phases [][][]*txn.Transaction, g *conflict.Graph, cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := Result{}
+	committed := map[int]committedIval{}
+	var phaseOffset clock.Units
+
+	for _, phase := range phases {
+		k := len(phase)
+		threadTime := make([]clock.Units, k)
+		nextIdx := make([]int, k)
+		attemptStart := make([]clock.Units, k)
+		retries := make([]int, k)
+
+		var h eventHeap
+		seq := 0
+		dur := func(t *txn.Transaction) clock.Units {
+			d := cfg.Cost(t)
+			if d <= 0 {
+				d = 1
+			}
+			if cfg.Noise > 0 {
+				f := 1 + cfg.Noise*(2*rng.Float64()-1)
+				d = clock.Units(float64(d) * f)
+			}
+			return d
+		}
+		start := func(th int) {
+			if nextIdx[th] >= len(phase[th]) {
+				return
+			}
+			t := phase[th][nextIdx[th]]
+			attemptStart[th] = threadTime[th]
+			threadTime[th] += dur(t)
+			heap.Push(&h, event{end: threadTime[th], thread: th, seq: seq})
+			seq++
+		}
+		for th := 0; th < k; th++ {
+			start(th)
+		}
+		for h.Len() > 0 {
+			ev := heap.Pop(&h).(event)
+			th := ev.thread
+			t := phase[th][nextIdx[th]]
+			s, e := attemptStart[th], ev.end
+			// Validate in global time: any conflicting commit with an
+			// interval overlapping this attempt's window? (Commits from
+			// earlier phases ended before phaseOffset and cannot
+			// overlap.)
+			gs, ge := phaseOffset+s, phaseOffset+e
+			aborted := false
+			if cfg.MaxRetries <= 0 || retries[th] < cfg.MaxRetries {
+				for _, nb := range g.Neighbors(t.ID) {
+					if iv, ok := committed[int(nb)]; ok && iv.end > gs && iv.start < ge {
+						aborted = true
+						break
+					}
+				}
+			}
+			if aborted {
+				res.Retries++
+				retries[th]++
+				attemptStart[th] = e
+				threadTime[th] = e + dur(t)
+				heap.Push(&h, event{end: threadTime[th], thread: th, seq: seq})
+				seq++
+				continue
+			}
+			committed[t.ID] = committedIval{start: phaseOffset + s, end: phaseOffset + e}
+			res.Committed++
+			retries[th] = 0
+			nextIdx[th]++
+			start(th)
+		}
+		var phaseLen clock.Units
+		for _, tt := range threadTime {
+			if tt > phaseLen {
+				phaseLen = tt
+			}
+		}
+		phaseOffset += phaseLen
+		res.Makespan += phaseLen
+	}
+	return res
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+
+	"tskd/internal/clock"
+	"tskd/internal/conflict"
+	"tskd/internal/estimator"
+	"tskd/internal/partition"
+	"tskd/internal/sched"
+	"tskd/internal/txn"
+	"tskd/internal/zipf"
+)
+
+func opCost() func(*txn.Transaction) clock.Units {
+	return func(t *txn.Transaction) clock.Units { return clock.Units(t.Len()) }
+}
+
+func example1() txn.Workload {
+	return txn.MustParseWorkload(`
+		R[x2]W[x2]R[x3]W[x3]R[x4]W[x4]
+		R[x1]W[x2]W[x1]
+		R[x3]W[x3]R[x2]R[x3]W[x2]
+		R[x5]W[x5]R[x6]W[x6]
+		R[x1]W[x1]R[x5]W[x5]R[x1]W[x1]
+	`)
+}
+
+// With exact estimates (zero noise), executing the Example 1 schedule
+// produces zero retries and exactly the analytic makespan of 14 — the
+// paper's core claim that a proper schedule is runtime-conflict free.
+func TestExample1ScheduleExact(t *testing.T) {
+	w := example1()
+	g := conflict.Build(w, conflict.Serializability)
+	plan := partition.NewPlan(2)
+	plan.Parts[0] = []*txn.Transaction{w[0], w[1], w[2]}
+	plan.Parts[1] = []*txn.Transaction{w[3]}
+	plan.Residual = []*txn.Transaction{w[4]}
+	s := sched.Generate(w, plan, g, estimator.AccessSetSize{}, sched.Options{})
+
+	res := Run([][][]*txn.Transaction{s.Queues}, g, Config{Cost: opCost(), Noise: 0, Seed: 1})
+	if res.Retries != 0 {
+		t.Errorf("exact schedule retried %d times", res.Retries)
+	}
+	if res.Makespan != 14 {
+		t.Errorf("makespan = %v, want 14", res.Makespan)
+	}
+	if res.Committed != 5 {
+		t.Errorf("committed %d", res.Committed)
+	}
+}
+
+// The partitioned execution of Example 1 (partitions then residual
+// phase) costs 20 — the simulator reproduces Fig. 1(a) as well.
+func TestExample1PartitionCosts20(t *testing.T) {
+	w := example1()
+	g := conflict.Build(w, conflict.Serializability)
+	phases := [][][]*txn.Transaction{
+		{{w[0], w[1], w[2]}, {w[3]}}, // P1, P2
+		{{w[4]}, nil},                // residual after the barrier
+	}
+	res := Run(phases, g, Config{Cost: opCost(), Noise: 0, Seed: 1})
+	if res.Makespan != 20 {
+		t.Errorf("makespan = %v, want 20 (Fig. 1a)", res.Makespan)
+	}
+	if res.Retries != 0 {
+		t.Errorf("retries = %d", res.Retries)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	w := randomWorkload(200, 50, 6, 0.9, 3)
+	g := conflict.Build(w, conflict.Serializability)
+	s := sched.GenerateFromScratch(w, g, estimator.AccessSetSize{}, 4, sched.Options{Seed: 3})
+	phases := [][][]*txn.Transaction{s.Queues}
+	if len(s.Residual) > 0 {
+		per := make([][]*txn.Transaction, 4)
+		for i, t := range s.Residual {
+			per[i%4] = append(per[i%4], t)
+		}
+		phases = append(phases, per)
+	}
+	a := Run(phases, g, Config{Cost: opCost(), Noise: 0.3, Seed: 7})
+	b := Run(phases, g, Config{Cost: opCost(), Noise: 0.3, Seed: 7})
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c := Run(phases, g, Config{Cost: opCost(), Noise: 0.3, Seed: 8})
+	if a == c {
+		t.Error("different seeds identical (suspicious)")
+	}
+}
+
+// Noise creates drift, drift creates retries on a schedule that is
+// only RC-free under exact estimates.
+func TestNoiseCausesRetries(t *testing.T) {
+	w := randomWorkload(300, 30, 6, 0.9, 5)
+	g := conflict.Build(w, conflict.Serializability)
+	s := sched.GenerateFromScratch(w, g, estimator.AccessSetSize{}, 4, sched.Options{Seed: 5})
+	phases := [][][]*txn.Transaction{s.Queues}
+	exact := Run(phases, g, Config{Cost: opCost(), Noise: 0, Seed: 9})
+	noisy := Run(phases, g, Config{Cost: opCost(), Noise: 0.5, Seed: 9})
+	if exact.Retries != 0 {
+		t.Errorf("exact estimates retried %d times — ckRCF or the simulator is wrong", exact.Retries)
+	}
+	if noisy.Retries == 0 {
+		t.Error("50%% duration noise caused no retries (model inert)")
+	}
+}
+
+// The simulator reproduces the paper's headline comparison shape
+// deterministically: a TSgen schedule beats round-robin assignment of
+// the same workload.
+func TestScheduleBeatsRoundRobinDeterministic(t *testing.T) {
+	w := randomWorkload(400, 60, 6, 0.9, 11)
+	g := conflict.Build(w, conflict.Serializability)
+
+	s := sched.GenerateFromScratch(w, g, estimator.AccessSetSize{}, 4, sched.Options{Seed: 11})
+	phases := [][][]*txn.Transaction{s.Queues}
+	if len(s.Residual) > 0 {
+		per := make([][]*txn.Transaction, 4)
+		for i, t := range s.Residual {
+			per[i%4] = append(per[i%4], t)
+		}
+		phases = append(phases, per)
+	}
+	scheduled := Run(phases, g, Config{Cost: opCost(), Noise: 0.1, Seed: 13})
+
+	rr := make([][]*txn.Transaction, 4)
+	for i, t := range w {
+		rr[i%4] = append(rr[i%4], t)
+	}
+	baseline := Run([][][]*txn.Transaction{rr}, g, Config{Cost: opCost(), Noise: 0.1, Seed: 13})
+
+	if scheduled.Retries >= baseline.Retries {
+		t.Errorf("scheduled retries %d not below round-robin %d",
+			scheduled.Retries, baseline.Retries)
+	}
+	t.Logf("scheduled: makespan %v retries %d; round-robin: makespan %v retries %d",
+		scheduled.Makespan, scheduled.Retries, baseline.Makespan, baseline.Retries)
+}
+
+func TestMaxRetriesBound(t *testing.T) {
+	// Two eternally conflicting txns on two threads with pathological
+	// noise would retry a lot; the bound forces progress.
+	w := txn.Workload{
+		txn.MustParse(0, "W[x1]W[x1]"),
+		txn.MustParse(1, "W[x1]W[x1]"),
+	}
+	g := conflict.Build(w, conflict.Serializability)
+	phases := [][][]*txn.Transaction{{{w[0]}, {w[1]}}}
+	res := Run(phases, g, Config{Cost: opCost(), Noise: 0, MaxRetries: 3, Seed: 1})
+	if res.Committed != 2 {
+		t.Fatalf("committed %d", res.Committed)
+	}
+	if res.Retries > 6 {
+		t.Errorf("retries %d exceed bound", res.Retries)
+	}
+}
+
+func randomWorkload(n, nKeys, opsPer int, theta float64, seed int64) txn.Workload {
+	g := zipf.New(uint64(nKeys), theta, seed)
+	w := make(txn.Workload, n)
+	for i := range w {
+		tx := txn.New(i)
+		ops := int(g.Uniform(uint64(opsPer))) + 1
+		for j := 0; j < ops; j++ {
+			k := txn.MakeKey(0, g.Next())
+			if g.Float64() < 0.5 {
+				tx.R(k)
+			} else {
+				tx.W(k)
+			}
+		}
+		w[i] = tx
+	}
+	return w
+}

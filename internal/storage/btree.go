@@ -1,0 +1,175 @@
+package storage
+
+// btree.go implements the ordered index each table maintains alongside
+// its hash index, so range scans can enumerate rows in key order. It is
+// a classic B+ tree over uint64 row keys with row pointers in the
+// leaves. Structural operations are guarded by the table's tree lock
+// (writers exclusive, scans shared); the paper's workloads are
+// read-mostly at scan granularity, so a reader-writer lock is the
+// right tradeoff and keeps the tree simple.
+
+// btreeOrder is the fan-out: max keys per node. 32 keeps nodes within
+// a couple of cache lines while staying shallow at benchmark scale.
+const btreeOrder = 32
+
+type btreeNode struct {
+	// keys are the sorted keys in the node. For leaves, keys[i] maps
+	// to rows[i]; for branches, children[i] holds keys < keys[i] and
+	// children[len(keys)] holds the rest.
+	keys     []uint64
+	rows     []*Row       // leaves only
+	children []*btreeNode // branches only
+	next     *btreeNode   // leaf sibling chain for range scans
+}
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+// search returns the index of the first key >= k.
+func (n *btreeNode) search(k uint64) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// btree is the tree root holder.
+type btree struct {
+	root *btreeNode
+	size int
+}
+
+func newBtree() *btree {
+	return &btree{root: &btreeNode{}}
+}
+
+// insert adds (k, row); it reports whether the key was new.
+func (t *btree) insert(k uint64, row *Row) bool {
+	newKey, midKey, right := t.root.insert(k, row)
+	if right != nil {
+		t.root = &btreeNode{
+			keys:     []uint64{midKey},
+			children: []*btreeNode{t.root, right},
+		}
+	}
+	if newKey {
+		t.size++
+	}
+	return newKey
+}
+
+// insert descends to the leaf; on overflow it splits and returns the
+// separator key and new right sibling.
+func (n *btreeNode) insert(k uint64, row *Row) (newKey bool, midKey uint64, right *btreeNode) {
+	i := n.search(k)
+	if n.leaf() {
+		if i < len(n.keys) && n.keys[i] == k {
+			n.rows[i] = row
+			return false, 0, nil
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = k
+		n.rows = append(n.rows, nil)
+		copy(n.rows[i+1:], n.rows[i:])
+		n.rows[i] = row
+		newKey = true
+		if len(n.keys) > btreeOrder {
+			midKey, right = n.splitLeaf()
+		}
+		return newKey, midKey, right
+	}
+	child := n.children[min(i, len(n.children)-1)]
+	if i < len(n.keys) && n.keys[i] == k {
+		child = n.children[i+1]
+	}
+	newKey, ck, cr := child.insert(k, row)
+	if cr != nil {
+		ci := n.search(ck)
+		n.keys = append(n.keys, 0)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = ck
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = cr
+		if len(n.keys) > btreeOrder {
+			midKey, right = n.splitBranch()
+		}
+	}
+	return newKey, midKey, right
+}
+
+func (n *btreeNode) splitLeaf() (uint64, *btreeNode) {
+	mid := len(n.keys) / 2
+	right := &btreeNode{
+		keys: append([]uint64(nil), n.keys[mid:]...),
+		rows: append([]*Row(nil), n.rows[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid:mid]
+	n.rows = n.rows[:mid:mid]
+	n.next = right
+	return right.keys[0], right
+}
+
+func (n *btreeNode) splitBranch() (uint64, *btreeNode) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &btreeNode{
+		keys:     append([]uint64(nil), n.keys[mid+1:]...),
+		children: append([]*btreeNode(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right
+}
+
+// delete removes k; it reports whether the key was present. Leaves are
+// allowed to underflow (no rebalancing) — correctness is unaffected
+// and deletions are rare in the supported workloads.
+func (t *btree) delete(k uint64) bool {
+	n := t.root
+	for !n.leaf() {
+		i := n.search(k)
+		if i < len(n.keys) && n.keys[i] == k {
+			i++
+		}
+		n = n.children[min(i, len(n.children)-1)]
+	}
+	i := n.search(k)
+	if i >= len(n.keys) || n.keys[i] != k {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.rows = append(n.rows[:i], n.rows[i+1:]...)
+	t.size--
+	return true
+}
+
+// scan calls fn for every (key, row) with lo <= key <= hi, in key
+// order, until fn returns false.
+func (t *btree) scan(lo, hi uint64, fn func(uint64, *Row) bool) {
+	n := t.root
+	for !n.leaf() {
+		i := n.search(lo)
+		if i < len(n.keys) && n.keys[i] == lo {
+			i++
+		}
+		n = n.children[min(i, len(n.children)-1)]
+	}
+	for ; n != nil; n = n.next {
+		for i := n.search(lo); i < len(n.keys); i++ {
+			if n.keys[i] > hi {
+				return
+			}
+			if !fn(n.keys[i], n.rows[i]) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"tskd/internal/txn"
+)
+
+func TestBtreeInsertScanOrdered(t *testing.T) {
+	bt := newBtree()
+	keys := rand.New(rand.NewSource(1)).Perm(2000)
+	for _, k := range keys {
+		if !bt.insert(uint64(k), NewRow(txn.MakeKey(0, uint64(k)), 1)) {
+			t.Fatalf("insert %d reported duplicate", k)
+		}
+	}
+	if bt.size != 2000 {
+		t.Fatalf("size = %d", bt.size)
+	}
+	var got []uint64
+	bt.scan(0, 1<<62, func(k uint64, r *Row) bool {
+		if r.Key.Row() != k {
+			t.Fatalf("row mismatch at %d", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2000 {
+		t.Fatalf("scan returned %d keys", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("scan not in key order")
+	}
+}
+
+func TestBtreeDuplicateInsertReplaces(t *testing.T) {
+	bt := newBtree()
+	a := NewRow(txn.MakeKey(0, 5), 1)
+	b := NewRow(txn.MakeKey(0, 5), 1)
+	bt.insert(5, a)
+	if bt.insert(5, b) {
+		t.Error("duplicate insert reported new")
+	}
+	if bt.size != 1 {
+		t.Errorf("size = %d", bt.size)
+	}
+	bt.scan(5, 5, func(_ uint64, r *Row) bool {
+		if r != b {
+			t.Error("duplicate insert did not replace the row")
+		}
+		return true
+	})
+}
+
+func TestBtreeRangeBounds(t *testing.T) {
+	bt := newBtree()
+	for k := uint64(0); k < 100; k += 2 { // even keys only
+		bt.insert(k, NewRow(txn.MakeKey(0, k), 1))
+	}
+	var got []uint64
+	bt.scan(11, 21, func(k uint64, _ *Row) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("scan [11,21] = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan [11,21] = %v, want %v", got, want)
+		}
+	}
+	// Early termination.
+	n := 0
+	bt.scan(0, 1<<62, func(uint64, *Row) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+	// Empty range.
+	bt.scan(13, 13, func(uint64, *Row) bool {
+		t.Error("empty range yielded a key")
+		return false
+	})
+}
+
+func TestBtreeDelete(t *testing.T) {
+	bt := newBtree()
+	for k := uint64(0); k < 500; k++ {
+		bt.insert(k, NewRow(txn.MakeKey(0, k), 1))
+	}
+	for k := uint64(0); k < 500; k += 3 {
+		if !bt.delete(k) {
+			t.Fatalf("delete %d failed", k)
+		}
+	}
+	if bt.delete(0) {
+		t.Error("double delete succeeded")
+	}
+	if bt.delete(999) {
+		t.Error("delete of absent key succeeded")
+	}
+	count := 0
+	bt.scan(0, 1<<62, func(k uint64, _ *Row) bool {
+		if k%3 == 0 {
+			t.Fatalf("deleted key %d still present", k)
+		}
+		count++
+		return true
+	})
+	if want := 500 - (500+2)/3; count != want {
+		t.Errorf("remaining = %d, want %d", count, want)
+	}
+}
+
+// Property: tree scan agrees with a reference map for random
+// insert/delete sequences.
+func TestBtreeMatchesMapQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bt := newBtree()
+		ref := map[uint64]bool{}
+		for i := 0; i < 400; i++ {
+			k := uint64(rng.Intn(200))
+			if rng.Intn(3) == 0 {
+				got := bt.delete(k)
+				if got != ref[k] {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				got := bt.insert(k, NewRow(txn.MakeKey(0, k), 1))
+				if got == ref[k] { // new iff not in ref
+					return false
+				}
+				ref[k] = true
+			}
+		}
+		var fromTree []uint64
+		bt.scan(0, 1<<62, func(k uint64, _ *Row) bool {
+			fromTree = append(fromTree, k)
+			return true
+		})
+		if len(fromTree) != len(ref) {
+			return false
+		}
+		for _, k := range fromTree {
+			if !ref[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableScanAndSVer(t *testing.T) {
+	tbl := NewTable(0, "t", 1)
+	sv0 := tbl.SVer.Load()
+	for k := uint64(0); k < 50; k++ {
+		tbl.Insert(k)
+	}
+	if tbl.SVer.Load() != sv0+50 {
+		t.Errorf("SVer = %d after 50 inserts", tbl.SVer.Load())
+	}
+	var got []uint64
+	tbl.Scan(10, 14, func(r *Row) bool {
+		got = append(got, r.Key.Row())
+		return true
+	})
+	if len(got) != 5 || got[0] != 10 || got[4] != 14 {
+		t.Errorf("Scan [10,14] = %v", got)
+	}
+	tbl.Delete(12)
+	if tbl.SVer.Load() != sv0+51 {
+		t.Error("delete did not bump SVer")
+	}
+	got = got[:0]
+	tbl.Scan(10, 14, func(r *Row) bool {
+		got = append(got, r.Key.Row())
+		return true
+	})
+	if len(got) != 4 {
+		t.Errorf("Scan after delete = %v", got)
+	}
+	// Duplicate insert must not bump SVer.
+	sv := tbl.SVer.Load()
+	tbl.Insert(10)
+	if tbl.SVer.Load() != sv {
+		t.Error("duplicate insert bumped SVer")
+	}
+}
+
+func TestTableScanConcurrentWithInserts(t *testing.T) {
+	tbl := NewTable(0, "t", 1)
+	for k := uint64(0); k < 1000; k += 2 {
+		tbl.Insert(k)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := uint64(1); ; k += 2 {
+			select {
+			case <-stop:
+				return
+			default:
+				tbl.Insert(k % 2000)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		prev := uint64(0)
+		first := true
+		tbl.Scan(0, 1<<62, func(r *Row) bool {
+			k := r.Key.Row()
+			if !first && k <= prev {
+				t.Errorf("scan out of order: %d after %d", k, prev)
+				return false
+			}
+			prev, first = k, false
+			return true
+		})
+	}
+	close(stop)
+	wg.Wait()
+}

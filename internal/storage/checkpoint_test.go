@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"tskd/internal/txn"
+)
+
+func buildSample() *DB {
+	db := NewDB()
+	a := db.CreateTable(1, "alpha", 2)
+	b := db.CreateTable(7, "beta", 3)
+	for i := uint64(0); i < 200; i++ {
+		r, _ := a.Insert(i)
+		t := r.Load().Clone()
+		t.Fields[0], t.Fields[1] = i, i*2
+		r.Install(t)
+		r.Ver.Store((i % 5) << 1)
+	}
+	for i := uint64(0); i < 50; i++ {
+		r, _ := b.Insert(i * 10)
+		t := r.Load().Clone()
+		t.Fields[2] = 99
+		r.Install(t)
+	}
+	return db
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	db := buildSample()
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tables() != 2 {
+		t.Fatalf("tables = %d", got.Tables())
+	}
+	if got.Table(1).Name != "alpha" || got.Table(1).NFields != 2 {
+		t.Error("table metadata lost")
+	}
+	if got.Table(1).Len() != 200 || got.Table(7).Len() != 50 {
+		t.Fatalf("row counts = %d/%d", got.Table(1).Len(), got.Table(7).Len())
+	}
+	for i := uint64(0); i < 200; i++ {
+		orig := db.Resolve(txn.MakeKey(1, i))
+		rec := got.Resolve(txn.MakeKey(1, i))
+		if rec == nil {
+			t.Fatalf("row %d missing", i)
+		}
+		if rec.Field(0) != orig.Field(0) || rec.Field(1) != orig.Field(1) {
+			t.Fatalf("row %d fields differ", i)
+		}
+		if VerNumber(rec.Ver.Load()) != VerNumber(orig.Ver.Load()) {
+			t.Fatalf("row %d version differs", i)
+		}
+	}
+	// The ordered index must be rebuilt too.
+	n := 0
+	got.Table(7).Scan(0, 1<<62, func(*Row) bool { n++; return true })
+	if n != 50 {
+		t.Errorf("scan after restore = %d rows", n)
+	}
+}
+
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	db := buildSample()
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	data[20] ^= 0xFF
+	if _, err := ReadCheckpoint(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+	// Truncation.
+	if _, err := ReadCheckpoint(bytes.NewReader(data[:10])); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	// Garbage.
+	if _, err := ReadCheckpoint(bytes.NewReader([]byte("garbage-garbage"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCheckpointEmptyDB(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, NewDB()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tables() != 0 {
+		t.Error("empty checkpoint produced tables")
+	}
+}

@@ -1,0 +1,234 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"tskd/internal/txn"
+)
+
+func TestTableInsertGet(t *testing.T) {
+	tbl := NewTable(1, "t", 2)
+	r, ok := tbl.Insert(42)
+	if !ok || r == nil {
+		t.Fatal("first insert failed")
+	}
+	if r.Key != txn.MakeKey(1, 42) {
+		t.Errorf("row key = %v", r.Key)
+	}
+	r2, ok2 := tbl.Insert(42)
+	if ok2 {
+		t.Error("duplicate insert reported inserted=true")
+	}
+	if r2 != r {
+		t.Error("duplicate insert returned a different row")
+	}
+	if tbl.Get(42) != r {
+		t.Error("Get returned a different row")
+	}
+	if tbl.Get(43) != nil {
+		t.Error("Get of absent key returned a row")
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestTableDelete(t *testing.T) {
+	tbl := NewTable(0, "t", 1)
+	tbl.Insert(7)
+	if !tbl.Delete(7) {
+		t.Error("Delete of present key returned false")
+	}
+	if tbl.Delete(7) {
+		t.Error("Delete of absent key returned true")
+	}
+	if tbl.Get(7) != nil {
+		t.Error("deleted row still visible")
+	}
+}
+
+func TestTableRange(t *testing.T) {
+	tbl := NewTable(0, "t", 1)
+	for i := uint64(0); i < 100; i++ {
+		tbl.Insert(i)
+	}
+	seen := make(map[uint64]bool)
+	tbl.Range(func(r *Row) bool {
+		seen[r.Key.Row()] = true
+		return true
+	})
+	if len(seen) != 100 {
+		t.Errorf("Range visited %d rows, want 100", len(seen))
+	}
+	// Early exit.
+	n := 0
+	tbl.Range(func(*Row) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Errorf("Range early exit visited %d", n)
+	}
+}
+
+func TestConcurrentInsertsConverge(t *testing.T) {
+	tbl := NewTable(0, "t", 1)
+	const workers, keys = 8, 200
+	var wg sync.WaitGroup
+	rows := make([][]*Row, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rows[w] = make([]*Row, keys)
+			for k := uint64(0); k < keys; k++ {
+				r, _ := tbl.Insert(k)
+				rows[w][k] = r
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tbl.Len() != keys {
+		t.Fatalf("Len = %d, want %d", tbl.Len(), keys)
+	}
+	for k := 0; k < keys; k++ {
+		for w := 1; w < workers; w++ {
+			if rows[w][k] != rows[0][k] {
+				t.Fatalf("key %d: workers observed different rows", k)
+			}
+		}
+	}
+}
+
+func TestTupleCopyOnWrite(t *testing.T) {
+	r := NewRow(txn.MakeKey(0, 1), 3)
+	snap := r.Load()
+	nt := snap.Clone()
+	nt.Fields[0] = 99
+	r.Install(nt)
+	if snap.Fields[0] != 0 {
+		t.Error("old snapshot mutated")
+	}
+	if r.Field(0) != 99 {
+		t.Errorf("Field(0) = %d, want 99", r.Field(0))
+	}
+}
+
+func TestLatch(t *testing.T) {
+	r := NewRow(txn.MakeKey(0, 1), 1)
+	if !r.TryLatch() {
+		t.Fatal("TryLatch on free row failed")
+	}
+	if r.TryLatch() {
+		t.Fatal("TryLatch on latched row succeeded")
+	}
+	v0 := VerNumber(r.Ver.Load())
+	r.Unlatch(true)
+	if VerLocked(r.Ver.Load()) {
+		t.Error("lock bit not cleared")
+	}
+	if VerNumber(r.Ver.Load()) != v0+1 {
+		t.Error("version not bumped")
+	}
+	if !r.TryLatch() {
+		t.Error("row not re-latchable")
+	}
+	r.Unlatch(false)
+	if VerNumber(r.Ver.Load()) != v0+1 {
+		t.Error("version bumped on abort unlatch")
+	}
+}
+
+func TestLatchMutualExclusion(t *testing.T) {
+	r := NewRow(txn.MakeKey(0, 1), 1)
+	var held int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	maxHeld := int64(0)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if r.TryLatch() {
+					mu.Lock()
+					held++
+					if held > maxHeld {
+						maxHeld = held
+					}
+					held--
+					mu.Unlock()
+					r.Unlatch(false)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if maxHeld > 1 {
+		t.Errorf("latch held by %d goroutines simultaneously", maxHeld)
+	}
+}
+
+func TestDBCatalog(t *testing.T) {
+	db := NewDB()
+	a := db.CreateTable(1, "a", 2)
+	db.CreateTable(2, "b", 3)
+	if db.Tables() != 2 {
+		t.Errorf("Tables = %d", db.Tables())
+	}
+	if db.Table(1) != a {
+		t.Error("Table(1) mismatch")
+	}
+	if db.Table(9) != nil {
+		t.Error("absent table not nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate CreateTable did not panic")
+		}
+	}()
+	db.CreateTable(1, "dup", 1)
+}
+
+func TestDBResolve(t *testing.T) {
+	db := NewDB()
+	tbl := db.CreateTable(3, "t", 1)
+	tbl.Insert(5)
+	if db.Resolve(txn.MakeKey(3, 5)) == nil {
+		t.Error("Resolve missed existing row")
+	}
+	if db.Resolve(txn.MakeKey(3, 6)) != nil {
+		t.Error("Resolve invented a row")
+	}
+	if db.Resolve(txn.MakeKey(4, 5)) != nil {
+		t.Error("Resolve of unknown table not nil")
+	}
+	r := db.ResolveOrInsert(txn.MakeKey(3, 6))
+	if r == nil || tbl.Get(6) != r {
+		t.Error("ResolveOrInsert did not create the row")
+	}
+	if db.ResolveOrInsert(txn.MakeKey(9, 0)) != nil {
+		t.Error("ResolveOrInsert of unknown table not nil")
+	}
+}
+
+// Property: insert-then-get round-trips for arbitrary row keys.
+func TestInsertGetQuick(t *testing.T) {
+	tbl := NewTable(0, "t", 1)
+	f := func(raw uint64) bool {
+		row := raw & (1<<48 - 1)
+		r, _ := tbl.Insert(row)
+		return tbl.Get(row) == r && r.Key.Row() == row
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerWordHelpers(t *testing.T) {
+	if VerLocked(0) || !VerLocked(1) {
+		t.Error("VerLocked wrong")
+	}
+	if VerNumber(7) != 3 {
+		t.Errorf("VerNumber(7) = %d, want 3", VerNumber(7))
+	}
+}

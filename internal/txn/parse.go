@@ -1,0 +1,98 @@
+package txn
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a transaction from the paper's compact notation, e.g.
+//
+//	Parse(1, "R[x2]W[x2]R[x3]W[x3]R[x4]W[x4]")
+//
+// yields T1 of Example 1. Item names are of the form x<N> (table 0, row
+// N) or <table>:<row>. Whitespace between actions is ignored. An action
+// is R (read), W (write), I (insert) or U (read-modify-write).
+func Parse(id int, s string) (*Transaction, error) {
+	t := &Transaction{ID: id}
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		if len(rest) < 4 { // minimal action: R[x]
+			return nil, fmt.Errorf("txn.Parse: truncated action at %q", rest)
+		}
+		var kind OpKind
+		switch rest[0] {
+		case 'R':
+			kind = OpRead
+		case 'W':
+			kind = OpWrite
+		case 'I':
+			kind = OpInsert
+		case 'U':
+			kind = OpUpdate
+		default:
+			return nil, fmt.Errorf("txn.Parse: unknown action %q", rest[0])
+		}
+		if rest[1] != '[' {
+			return nil, fmt.Errorf("txn.Parse: expected '[' after %c in %q", rest[0], rest)
+		}
+		end := strings.IndexByte(rest, ']')
+		if end < 0 {
+			return nil, fmt.Errorf("txn.Parse: unterminated item in %q", rest)
+		}
+		key, err := parseItem(rest[2:end])
+		if err != nil {
+			return nil, err
+		}
+		t.Ops = append(t.Ops, Op{Kind: kind, Key: key})
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	return t, nil
+}
+
+// MustParse is Parse that panics on malformed input; for tests and
+// examples with literal transactions.
+func MustParse(id int, s string) *Transaction {
+	t, err := Parse(id, s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func parseItem(s string) (Key, error) {
+	if strings.HasPrefix(s, "x") {
+		n, err := strconv.ParseUint(s[1:], 10, 48)
+		if err != nil {
+			return 0, fmt.Errorf("txn.Parse: bad item %q: %v", s, err)
+		}
+		return MakeKey(0, n), nil
+	}
+	if table, row, ok := strings.Cut(s, ":"); ok {
+		tn, err := strconv.ParseUint(table, 10, 16)
+		if err != nil {
+			return 0, fmt.Errorf("txn.Parse: bad table in %q: %v", s, err)
+		}
+		rn, err := strconv.ParseUint(row, 10, 48)
+		if err != nil {
+			return 0, fmt.Errorf("txn.Parse: bad row in %q: %v", s, err)
+		}
+		return MakeKey(uint16(tn), rn), nil
+	}
+	return 0, fmt.Errorf("txn.Parse: bad item %q", s)
+}
+
+// MustParseWorkload parses one transaction per line; blank lines and
+// lines starting with '#' are skipped. IDs are assigned 0..n-1 in line
+// order.
+func MustParseWorkload(s string) Workload {
+	var w Workload
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		w = append(w, MustParse(len(w), line))
+	}
+	return w
+}

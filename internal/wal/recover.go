@@ -1,0 +1,29 @@
+package wal
+
+import (
+	"io"
+
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+// Recover replays a log into db: each update installs its redo image
+// when its version is newer than the row's current version (rows are
+// created as needed). Idempotent — recovering twice, or over a
+// partially current database, converges to the same state.
+func Recover(r io.Reader, db *storage.DB) (int, error) {
+	return Replay(r, func(rec Record) error {
+		for _, u := range rec.Writes {
+			row := db.ResolveOrInsert(txn.Key(u.Key))
+			if row == nil {
+				continue // table unknown to this catalog
+			}
+			if storage.VerNumber(row.Ver.Load()) >= u.Ver {
+				continue // already at or past this version
+			}
+			row.Install(&storage.Tuple{Fields: append([]uint64(nil), u.Fields...)})
+			row.Ver.Store(u.Ver << 1) // version word: counter above the lock bit
+		}
+		return nil
+	})
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"fmt"
+
+	"tskd/internal/storage"
+)
+
+// CheckTPCC runs the TPC-C consistency conditions this schema supports
+// against a database after execution:
+//
+//  1. For every warehouse, W_YTD equals the sum of its districts'
+//     D_YTD (TPC-C consistency condition 1).
+//  2. The sum of all HISTORY amounts equals the sum of all W_YTD
+//     (every payment is recorded exactly once).
+//  3. Every district's D_NEXT_O_ID never decreased below its load
+//     value (order ids are never reused).
+//
+// It returns the first violation found, or nil.
+func CheckTPCC(db *storage.DB, cfg TPCC) error {
+	cfg = cfg.withDefaults()
+	var wSum uint64
+	for w := 0; w < cfg.Warehouses; w++ {
+		row := db.Resolve(WarehouseKey(w))
+		if row == nil {
+			return fmt.Errorf("tpcc: warehouse %d missing", w)
+		}
+		wytd := row.Field(WYTD)
+		var dSum uint64
+		for d := 0; d < DistrictsPerWarehouse; d++ {
+			dr := db.Resolve(DistrictKey(w, d))
+			if dr == nil {
+				return fmt.Errorf("tpcc: district (%d,%d) missing", w, d)
+			}
+			dSum += dr.Field(DYTD)
+			if next := dr.Field(DNextOID); next < uint64(cfg.InitOrders) {
+				return fmt.Errorf("tpcc: district (%d,%d) D_NEXT_O_ID %d below load value %d",
+					w, d, next, cfg.InitOrders)
+			}
+		}
+		if wytd != dSum {
+			return fmt.Errorf("tpcc: warehouse %d: W_YTD %d != sum D_YTD %d", w, wytd, dSum)
+		}
+		wSum += wytd
+	}
+	var hSum uint64
+	db.Table(THistory).Range(func(r *storage.Row) bool {
+		hSum += r.Field(HAmount)
+		return true
+	})
+	if hSum != wSum {
+		return fmt.Errorf("tpcc: sum(history) %d != sum(W_YTD) %d", hSum, wSum)
+	}
+	return nil
+}

@@ -1,0 +1,553 @@
+package workload
+
+import (
+	"math/rand"
+
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+// TPC-C table ids.
+const (
+	TWarehouse uint16 = 2 + iota
+	TDistrict
+	TCustomer
+	THistory
+	TNewOrder
+	TOrder
+	TOrderLine
+	TItem
+	TStock
+)
+
+// TPC-C schema constants.
+const (
+	// DistrictsPerWarehouse is fixed at 10 by the TPC-C specification.
+	DistrictsPerWarehouse = 10
+	// orderSpace reserves the per-district order-id address space.
+	orderSpace = 1 << 20
+	// maxOrderLines is the TPC-C maximum of 15 lines per order.
+	maxOrderLines = 15
+)
+
+// Column indexes, by table.
+const (
+	// warehouse
+	WYTD = 0
+	WTax = 1
+	// district
+	DYTD     = 0
+	DNextOID = 1
+	DTax     = 2
+	// customer
+	CBalance     = 0
+	CYTDPayment  = 1
+	CPaymentCnt  = 2
+	CDeliveryCnt = 3
+	// history
+	HAmount = 0
+	// new-order
+	NOPending = 0
+	// order
+	OCID     = 0
+	OOLCnt   = 1
+	OCarrier = 2
+	// order-line
+	OLAmount   = 0
+	OLItem     = 1
+	OLDelivery = 2
+	OLQty      = 3
+	// item
+	IPrice = 0
+	// stock
+	SQuantity  = 0
+	SYTD       = 1
+	SOrderCnt  = 2
+	SRemoteCnt = 3
+)
+
+// InitialBalance seeds customer balances high enough that wrapping
+// subtraction never crosses zero in practice, keeping invariant checks
+// simple.
+const InitialBalance = uint64(1) << 40
+
+// Key constructors.
+
+// WarehouseKey returns the key of warehouse w.
+func WarehouseKey(w int) txn.Key { return txn.MakeKey(TWarehouse, uint64(w)) }
+
+// DistrictKey returns the key of district d of warehouse w.
+func DistrictKey(w, d int) txn.Key {
+	return txn.MakeKey(TDistrict, uint64(w*DistrictsPerWarehouse+d))
+}
+
+// CustomerKey returns the key of customer c of district (w, d), given
+// the customers-per-district scale cpd.
+func CustomerKey(w, d, c, cpd int) txn.Key {
+	return txn.MakeKey(TCustomer, uint64((w*DistrictsPerWarehouse+d)*cpd+c))
+}
+
+// ItemKey returns the key of item i.
+func ItemKey(i int) txn.Key { return txn.MakeKey(TItem, uint64(i)) }
+
+// StockKey returns the key of the stock row of item i at warehouse w,
+// given the item-count scale items.
+func StockKey(w, i, items int) txn.Key { return txn.MakeKey(TStock, uint64(w*items+i)) }
+
+// OrderKey returns the key of order o of district (w, d).
+func OrderKey(w, d, o int) txn.Key {
+	return txn.MakeKey(TOrder, uint64(w*DistrictsPerWarehouse+d)*orderSpace+uint64(o))
+}
+
+// NewOrderKey returns the key of the NEW-ORDER row of order o.
+func NewOrderKey(w, d, o int) txn.Key {
+	return txn.MakeKey(TNewOrder, uint64(w*DistrictsPerWarehouse+d)*orderSpace+uint64(o))
+}
+
+// OrderLineKey returns the key of line l of order o of district (w, d).
+func OrderLineKey(w, d, o, l int) txn.Key {
+	return txn.MakeKey(TOrderLine,
+		(uint64(w*DistrictsPerWarehouse+d)*orderSpace+uint64(o))*(maxOrderLines+1)+uint64(l))
+}
+
+// HistoryKey returns the key of the seq-th history row.
+func HistoryKey(seq int) txn.Key { return txn.MakeKey(THistory, uint64(seq)) }
+
+// TPCC generates the full TPC-C workload of Section 6.1: the standard
+// five-transaction mix (NewOrder 45%, Payment 43%, OrderStatus 4%,
+// Delivery 4%, StockLevel 4%), with insertions enabled in NewOrder and
+// Payment, and the originally hard-coded cross-warehouse percentage
+// exposed as the knob CrossPct (c%).
+type TPCC struct {
+	// Warehouses is #whn (paper range [20, 60], default 40).
+	Warehouses int
+	// CrossPct is c%, the fraction of NewOrder/Payment transactions
+	// that touch a remote warehouse (paper range [0.15, 0.35], default
+	// 0.25).
+	CrossPct float64
+	// Txns is the bundle size (paper default 10,000).
+	Txns int
+	// Items scales I_ID space (spec: 100k; default here 1,000 — a pure
+	// scale knob).
+	Items int
+	// CustomersPerDistrict scales C_ID space (spec: 3,000; default
+	// here 300).
+	CustomersPerDistrict int
+	// InitOrders is the number of pre-loaded orders per district, the
+	// last initUndelivered of which start undelivered.
+	InitOrders int
+	// Seed drives generation.
+	Seed int64
+}
+
+const initUndelivered = 10
+const initOrderLines = 10
+
+// DefaultTPCC returns the Table 1 defaults at test-friendly scale.
+func DefaultTPCC() TPCC {
+	return TPCC{
+		Warehouses:           40,
+		CrossPct:             0.25,
+		Txns:                 10_000,
+		Items:                1_000,
+		CustomersPerDistrict: 300,
+		InitOrders:           30,
+	}
+}
+
+// orderInfo is the generator's record of an order, enough to derive
+// the access sets of OrderStatus, Delivery and StockLevel
+// deterministically.
+type orderInfo struct {
+	cid    int
+	olCnt  int
+	sum    uint64
+	items  []int32
+	remote int // supplying warehouse of remote lines, -1 if local
+}
+
+// gen carries generation state across transactions.
+type gen struct {
+	cfg     TPCC
+	rng     *rand.Rand
+	nextOID []int                 // per district
+	dlvNext []int                 // per district: next undelivered order
+	orders  map[txn.Key]orderInfo // OrderKey -> info
+	// lastOrder tracks each customer's most recent order (OrderStatus
+	// reads "the customer's last order" per the specification).
+	lastOrder map[txn.Key]txn.Key // CustomerKey -> OrderKey
+	history   int
+}
+
+// Build populates a fresh database with the TPC-C tables and initial
+// rows, and returns the generated transaction bundle. IDs are dense in
+// [0, Txns).
+func (c TPCC) Build() (*storage.DB, txn.Workload) {
+	db := c.BuildDB()
+	return db, c.Generate()
+}
+
+// BuildDB creates and loads the nine TPC-C tables.
+func (c TPCC) BuildDB() *storage.DB {
+	c = c.withDefaults()
+	db := storage.NewDB()
+	wh := db.CreateTable(TWarehouse, "warehouse", 2)
+	di := db.CreateTable(TDistrict, "district", 3)
+	cu := db.CreateTable(TCustomer, "customer", 4)
+	db.CreateTable(THistory, "history", 1)
+	no := db.CreateTable(TNewOrder, "new_order", 1)
+	or := db.CreateTable(TOrder, "orders", 3)
+	ol := db.CreateTable(TOrderLine, "order_line", 4)
+	it := db.CreateTable(TItem, "item", 1)
+	st := db.CreateTable(TStock, "stock", 4)
+
+	set := func(t *storage.Table, row uint64, vals ...uint64) {
+		r, _ := t.Insert(row)
+		tu := r.Load().Clone()
+		copy(tu.Fields, vals)
+		r.Install(tu)
+	}
+	for i := 0; i < c.Items; i++ {
+		set(it, uint64(i), uint64(i%100)+1) // price
+	}
+	for w := 0; w < c.Warehouses; w++ {
+		set(wh, uint64(w), 0, uint64(w%20)) // ytd, tax
+		for i := 0; i < c.Items; i++ {
+			set(st, StockKey(w, i, c.Items).Row(), 100, 0, 0, 0)
+		}
+		for d := 0; d < DistrictsPerWarehouse; d++ {
+			set(di, DistrictKey(w, d).Row(), 0, uint64(c.InitOrders), uint64(d))
+			for cu2 := 0; cu2 < c.CustomersPerDistrict; cu2++ {
+				set(cu, CustomerKey(w, d, cu2, c.CustomersPerDistrict).Row(),
+					InitialBalance, 0, 0, 0)
+			}
+			// Initial orders, the last initUndelivered pending.
+			for o := 0; o < c.InitOrders; o++ {
+				cid := o % c.CustomersPerDistrict
+				set(or, OrderKey(w, d, o).Row(), uint64(cid), initOrderLines, 1)
+				for l := 0; l < initOrderLines; l++ {
+					item := (o*7 + l) % c.Items
+					set(ol, OrderLineKey(w, d, o, l).Row(), 10, uint64(item), 1, 5)
+				}
+				if o >= c.InitOrders-initUndelivered {
+					set(no, NewOrderKey(w, d, o).Row(), 1)
+					// Pending orders have no carrier or delivery date.
+					set(or, OrderKey(w, d, o).Row(), uint64(cid), initOrderLines, 0)
+				}
+			}
+		}
+	}
+	return db
+}
+
+func (c TPCC) withDefaults() TPCC {
+	d := DefaultTPCC()
+	if c.Warehouses <= 0 {
+		c.Warehouses = d.Warehouses
+	}
+	if c.Txns <= 0 {
+		c.Txns = d.Txns
+	}
+	if c.Items <= 0 {
+		c.Items = d.Items
+	}
+	if c.CustomersPerDistrict <= 0 {
+		c.CustomersPerDistrict = d.CustomersPerDistrict
+	}
+	if c.InitOrders <= 0 {
+		c.InitOrders = d.InitOrders
+	}
+	return c
+}
+
+// Generate produces the transaction bundle.
+func (c TPCC) Generate() txn.Workload {
+	c = c.withDefaults()
+	nd := c.Warehouses * DistrictsPerWarehouse
+	g := &gen{
+		cfg:       c,
+		rng:       rand.New(rand.NewSource(c.Seed)),
+		nextOID:   make([]int, nd),
+		dlvNext:   make([]int, nd),
+		orders:    make(map[txn.Key]orderInfo),
+		lastOrder: make(map[txn.Key]txn.Key),
+	}
+	for i := range g.nextOID {
+		g.nextOID[i] = c.InitOrders
+		g.dlvNext[i] = c.InitOrders - initUndelivered
+	}
+	// Register the pre-loaded pending orders so Delivery can target
+	// them.
+	for w := 0; w < c.Warehouses; w++ {
+		for d := 0; d < DistrictsPerWarehouse; d++ {
+			for o := 0; o < c.InitOrders; o++ {
+				items := make([]int32, initOrderLines)
+				var sum uint64
+				for l := range items {
+					items[l] = int32((o*7 + l) % c.Items)
+					sum += 10
+				}
+				g.orders[OrderKey(w, d, o)] = orderInfo{
+					cid: o % c.CustomersPerDistrict, olCnt: initOrderLines,
+					sum: sum, items: items, remote: -1,
+				}
+			}
+		}
+	}
+
+	w := make(txn.Workload, c.Txns)
+	for i := range w {
+		switch x := g.rng.Float64(); {
+		case x < 0.45:
+			w[i] = g.newOrder(i)
+		case x < 0.88:
+			w[i] = g.payment(i)
+		case x < 0.92:
+			w[i] = g.orderStatus(i)
+		case x < 0.96:
+			w[i] = g.delivery(i)
+		default:
+			w[i] = g.stockLevel(i)
+		}
+	}
+	return w
+}
+
+func (g *gen) district() (w, d int) {
+	return g.rng.Intn(g.cfg.Warehouses), g.rng.Intn(DistrictsPerWarehouse)
+}
+
+// lastNames returns the number of distinct customer last names per
+// district: the spec has 3000 customers sharing 1000 names (three per
+// name); the scaled ratio is preserved.
+func (c TPCC) lastNames() int {
+	n := c.CustomersPerDistrict / 3
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// byLastName resolves a last name to its candidate customer ids within
+// a district — deterministic from the name, exactly the property that
+// keeps access sets derivable from parameters. Per the spec, the
+// transaction examines all matching customers and operates on the
+// midpoint one.
+func (g *gen) byLastName(lname int) (candidates []int, mid int) {
+	n := g.cfg.lastNames()
+	for c := lname; c < g.cfg.CustomersPerDistrict; c += n {
+		candidates = append(candidates, c)
+	}
+	return candidates, candidates[len(candidates)/2]
+}
+
+// newOrder builds a NewOrder transaction: read warehouse and customer,
+// bump the district's next order id, read items and update stocks
+// (remote warehouse stock for cross-warehouse transactions), and insert
+// the order, new-order, and order-line rows.
+func (g *gen) newOrder(id int) *txn.Transaction {
+	c := g.cfg
+	wh, d := g.district()
+	dist := wh*DistrictsPerWarehouse + d
+	cid := g.rng.Intn(c.CustomersPerDistrict)
+	o := g.nextOID[dist]
+	g.nextOID[dist]++
+	cross := g.rng.Float64() < c.CrossPct
+
+	t := txn.New(id)
+	t.Template = "NewOrder"
+	t.Params = []uint64{uint64(wh), uint64(d), uint64(o)}
+	// Per the specification, ~1% of NewOrders hit an unused item id and
+	// roll back after executing (rbk). The engine executes and aborts
+	// them without retry.
+	if g.rng.Float64() < 0.01 {
+		t.UserAbort = true
+	}
+	t.R(WarehouseKey(wh))
+	t.R(CustomerKey(wh, d, cid, c.CustomersPerDistrict))
+	t.UF(DistrictKey(wh, d), DNextOID, 1)
+
+	olCnt := 5 + g.rng.Intn(11)
+	items := make([]int32, olCnt)
+	var sum uint64
+	remote := -1
+	for l := 0; l < olCnt; l++ {
+		item := g.rng.Intn(c.Items)
+		items[l] = int32(item)
+		supply := wh
+		if cross && g.rng.Float64() < 0.5 && c.Warehouses > 1 {
+			supply = g.rng.Intn(c.Warehouses - 1)
+			if supply >= wh {
+				supply++
+			}
+			remote = supply
+		}
+		qty := uint64(1 + g.rng.Intn(10))
+		amount := qty * (uint64(item%100) + 1)
+		sum += amount
+		t.R(ItemKey(item))
+		t.UF(StockKey(supply, item, c.Items), SQuantity, -qty) // wrapping decrement
+		t.IF(OrderLineKey(wh, d, o, l), OLAmount, amount)
+	}
+	t.IF(OrderKey(wh, d, o), OCID, uint64(cid))
+	t.IF(NewOrderKey(wh, d, o), NOPending, 1)
+	g.orders[OrderKey(wh, d, o)] = orderInfo{cid: cid, olCnt: olCnt, sum: sum, items: items, remote: remote}
+	if !t.UserAbort {
+		g.lastOrder[CustomerKey(wh, d, cid, c.CustomersPerDistrict)] = OrderKey(wh, d, o)
+	}
+	return t
+}
+
+// payment builds a Payment transaction: add the amount to the
+// warehouse and district YTDs, update the (possibly remote) customer,
+// and insert a history row.
+func (g *gen) payment(id int) *txn.Transaction {
+	c := g.cfg
+	wh, d := g.district()
+	amount := uint64(1 + g.rng.Intn(5000))
+	cw, cd := wh, d
+	if g.rng.Float64() < c.CrossPct && c.Warehouses > 1 {
+		cw = g.rng.Intn(c.Warehouses - 1)
+		if cw >= wh {
+			cw++
+		}
+		cd = g.rng.Intn(DistrictsPerWarehouse)
+	}
+	t := txn.New(id)
+	t.Template = "Payment"
+	t.UF(WarehouseKey(wh), WYTD, amount)
+	t.UF(DistrictKey(wh, d), DYTD, amount)
+
+	// Per the spec, 60% of Payments select the customer by last name:
+	// read every matching customer, operate on the midpoint one.
+	var cid int
+	if g.rng.Float64() < 0.6 {
+		lname := g.rng.Intn(c.lastNames())
+		candidates, mid := g.byLastName(lname)
+		for _, cand := range candidates {
+			if cand != mid {
+				t.R(CustomerKey(cw, cd, cand, c.CustomersPerDistrict))
+			}
+		}
+		cid = mid
+	} else {
+		cid = g.rng.Intn(c.CustomersPerDistrict)
+	}
+	t.Params = []uint64{uint64(wh), uint64(d), uint64(cid)}
+	ck := CustomerKey(cw, cd, cid, c.CustomersPerDistrict)
+	t.UF(ck, CBalance, -amount) // wrapping subtraction
+	t.UF(ck, CYTDPayment, amount)
+	t.UF(ck, CPaymentCnt, 1)
+	t.IF(HistoryKey(g.history), HAmount, amount)
+	g.history++
+	return t
+}
+
+// orderStatus builds the read-only OrderStatus transaction: read the
+// customer and the district's most recent order with its lines.
+func (g *gen) orderStatus(id int) *txn.Transaction {
+	c := g.cfg
+	wh, d := g.district()
+	dist := wh*DistrictsPerWarehouse + d
+	o := g.nextOID[dist] - 1
+
+	t := txn.New(id)
+	t.Template = "OrderStatus"
+	// 60% by last name, as in Payment.
+	var cid int
+	if g.rng.Float64() < 0.6 {
+		lname := g.rng.Intn(c.lastNames())
+		candidates, mid := g.byLastName(lname)
+		for _, cand := range candidates {
+			if cand != mid {
+				t.R(CustomerKey(wh, d, cand, c.CustomersPerDistrict))
+			}
+		}
+		cid = mid
+	} else {
+		cid = g.rng.Intn(c.CustomersPerDistrict)
+	}
+	t.Params = []uint64{uint64(wh), uint64(d), uint64(cid)}
+	ck := CustomerKey(wh, d, cid, c.CustomersPerDistrict)
+	t.R(ck)
+	// The customer's own last order when they have one in this bundle
+	// or the load; otherwise the district's most recent order.
+	ok := OrderKey(wh, d, o)
+	if own, has := g.lastOrder[ck]; has {
+		ok = own
+	}
+	t.R(ok)
+	info := g.orders[ok]
+	// Recover (w, d, o) from the key for the order-line reads.
+	odist := int(ok.Row() / orderSpace)
+	oid := int(ok.Row() % orderSpace)
+	ow, od := odist/DistrictsPerWarehouse, odist%DistrictsPerWarehouse
+	for l := 0; l < info.olCnt; l++ {
+		t.R(OrderLineKey(ow, od, oid, l))
+	}
+	return t
+}
+
+// delivery builds a Delivery transaction: for every district of the
+// warehouse, deliver the oldest undelivered order — clear its
+// NEW-ORDER row, stamp the order and its lines, and credit the
+// customer's balance.
+func (g *gen) delivery(id int) *txn.Transaction {
+	c := g.cfg
+	wh := g.rng.Intn(c.Warehouses)
+	carrier := uint64(1 + g.rng.Intn(10))
+
+	t := txn.New(id)
+	t.Template = "Delivery"
+	t.Params = []uint64{uint64(wh)}
+	for d := 0; d < DistrictsPerWarehouse; d++ {
+		dist := wh*DistrictsPerWarehouse + d
+		if g.dlvNext[dist] >= g.nextOID[dist] {
+			continue // no undelivered order in this district
+		}
+		o := g.dlvNext[dist]
+		g.dlvNext[dist]++
+		info := g.orders[OrderKey(wh, d, o)]
+		t.UF(NewOrderKey(wh, d, o), NOPending, ^uint64(0)) // wrapping -1: clear pending
+		t.R(OrderKey(wh, d, o))
+		t.WF(OrderKey(wh, d, o), OCarrier, carrier)
+		for l := 0; l < info.olCnt; l++ {
+			t.WF(OrderLineKey(wh, d, o, l), OLDelivery, 1)
+		}
+		ck := CustomerKey(wh, d, info.cid, c.CustomersPerDistrict)
+		t.UF(ck, CBalance, info.sum)
+		t.UF(ck, CDeliveryCnt, 1)
+	}
+	if len(t.Ops) == 0 {
+		// Degenerate: nothing to deliver anywhere; read the warehouse
+		// so the transaction is still well-formed.
+		t.R(WarehouseKey(wh))
+	}
+	return t
+}
+
+// stockLevel builds the read-only StockLevel transaction: read the
+// district and the stock rows of the items in its most recent orders.
+func (g *gen) stockLevel(id int) *txn.Transaction {
+	c := g.cfg
+	wh, d := g.district()
+	dist := wh*DistrictsPerWarehouse + d
+
+	t := txn.New(id)
+	t.Template = "StockLevel"
+	t.Params = []uint64{uint64(wh), uint64(d)}
+	t.R(DistrictKey(wh, d))
+	const recentOrders = 5
+	lo := g.nextOID[dist] - recentOrders
+	if lo < 0 {
+		lo = 0
+	}
+	for o := lo; o < g.nextOID[dist]; o++ {
+		info := g.orders[OrderKey(wh, d, o)]
+		for l := 0; l < info.olCnt; l++ {
+			t.R(OrderLineKey(wh, d, o, l))
+			t.R(StockKey(wh, int(info.items[l]), c.Items))
+		}
+	}
+	return t
+}

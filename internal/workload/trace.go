@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"tskd/internal/txn"
+)
+
+// traceRecord is the serialized form of one transaction. Using a
+// dedicated record type (rather than gob-encoding txn.Transaction
+// directly) keeps the trace format stable against internal changes to
+// the transaction struct.
+type traceRecord struct {
+	ID         int
+	Template   string
+	Params     []uint64
+	Ops        []traceOp
+	MinRuntime int64 // nanoseconds
+	IODelay    int64 // nanoseconds
+}
+
+type traceOp struct {
+	Kind  uint8
+	Key   uint64
+	Arg   uint64
+	Field uint8
+}
+
+// traceHeader versions the format.
+type traceHeader struct {
+	Magic   string
+	Version int
+	Count   int
+}
+
+const traceMagic = "tskd-trace"
+
+// SaveTrace writes the workload to w in a stable binary format, so
+// generated bundles can be replayed across runs and machines (the
+// bundled-workload model assumes the batch is known ahead of time —
+// a trace file is its natural serialization).
+func SaveTrace(out io.Writer, w txn.Workload) error {
+	bw := bufio.NewWriter(out)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{Magic: traceMagic, Version: 1, Count: len(w)}); err != nil {
+		return fmt.Errorf("workload: encoding trace header: %w", err)
+	}
+	for _, t := range w {
+		rec := traceRecord{
+			ID:         t.ID,
+			Template:   t.Template,
+			Params:     t.Params,
+			Ops:        make([]traceOp, len(t.Ops)),
+			MinRuntime: int64(t.MinRuntime),
+			IODelay:    int64(t.IODelay),
+		}
+		for i, op := range t.Ops {
+			rec.Ops[i] = traceOp{Kind: uint8(op.Kind), Key: uint64(op.Key), Arg: op.Arg, Field: op.Field}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("workload: encoding transaction %d: %w", t.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadTrace reads a workload written by SaveTrace.
+func LoadTrace(in io.Reader) (txn.Workload, error) {
+	dec := gob.NewDecoder(bufio.NewReader(in))
+	var h traceHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace header: %w", err)
+	}
+	if h.Magic != traceMagic {
+		return nil, fmt.Errorf("workload: not a tskd trace (magic %q)", h.Magic)
+	}
+	if h.Version != 1 {
+		return nil, fmt.Errorf("workload: unsupported trace version %d", h.Version)
+	}
+	w := make(txn.Workload, 0, h.Count)
+	for i := 0; i < h.Count; i++ {
+		var rec traceRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("workload: decoding transaction %d: %w", i, err)
+		}
+		t := &txn.Transaction{
+			ID:         rec.ID,
+			Template:   rec.Template,
+			Params:     rec.Params,
+			MinRuntime: time.Duration(rec.MinRuntime),
+			IODelay:    time.Duration(rec.IODelay),
+		}
+		t.Ops = make([]txn.Op, len(rec.Ops))
+		for j, op := range rec.Ops {
+			t.Ops[j] = txn.Op{Kind: txn.OpKind(op.Kind), Key: txn.Key(op.Key), Arg: op.Arg, Field: op.Field}
+		}
+		w = append(w, t)
+	}
+	return w, nil
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	w := smallTPCC(3).Generate()
+	ApplySkew(w, DefaultRuntimeSkew(), 10000, 1)
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(w) {
+		t.Fatalf("loaded %d of %d", len(got), len(w))
+	}
+	for i := range w {
+		if got[i].String() != w[i].String() {
+			t.Fatalf("txn %d mismatch:\n  %v\n  %v", i, got[i], w[i])
+		}
+		if got[i].Template != w[i].Template || got[i].MinRuntime != w[i].MinRuntime ||
+			got[i].IODelay != w[i].IODelay {
+			t.Fatalf("txn %d metadata mismatch", i)
+		}
+		if len(got[i].Params) != len(w[i].Params) {
+			t.Fatalf("txn %d params mismatch", i)
+		}
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, err := LoadTrace(strings.NewReader("not a trace at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadTrace(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestTraceTruncated(t *testing.T) {
+	w := smallYCSB(2).Generate()
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrace(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestTraceEmptyWorkload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Error("empty trace not empty")
+	}
+}

@@ -1,0 +1,110 @@
+// Package workload provides the two benchmarks the paper evaluates on
+// — YCSB (core workload A) and full TPC-C — plus the two benchmark
+// extensions of Section 6.1: runtime skewness (minT, p, θ_T) and
+// commit-time I/O latency (l_IO, θ_IO).
+//
+// Workload generators are deterministic per seed and produce
+// stored-procedure-style transactions whose access sets are fully
+// derivable from their parameters, the workload class partitioners and
+// TsPAR target.
+package workload
+
+import (
+	"time"
+
+	"tskd/internal/txn"
+	"tskd/internal/zipf"
+)
+
+// RuntimeSkew configures the runtime lower-bound extension: each
+// transaction is assigned a minimum runtime drawn from
+// [MinT·avg, P·MinT·avg] under a Zipfian distribution with skew
+// ThetaT. A transaction that would finish earlier delays its commit
+// until the lower bound has elapsed (the engine enforces this).
+type RuntimeSkew struct {
+	// MinT scales the unit lower bound relative to the average
+	// transaction runtime (paper range [1/8, 1], default 1/2). Zero
+	// disables the extension.
+	MinT float64
+	// P bounds the maximum lower bound as P·MinT·avg (paper range
+	// [32, 64], default 48).
+	P int
+	// ThetaT is the Zipf skew of the lower-bound distribution (paper
+	// range [0.7, 0.9], default 0.8). Smaller values produce more
+	// long-running transactions.
+	ThetaT float64
+}
+
+// DefaultRuntimeSkew returns the Table 1 defaults.
+func DefaultRuntimeSkew() RuntimeSkew { return RuntimeSkew{MinT: 0.5, P: 48, ThetaT: 0.8} }
+
+// skewBuckets discretizes the lower-bound range for the Zipf draw.
+const skewBuckets = 1024
+
+// ApplySkew assigns MinRuntime lower bounds to every transaction in w,
+// given the average transaction runtime avg. It is a no-op when
+// s.MinT <= 0 or avg <= 0.
+func ApplySkew(w txn.Workload, s RuntimeSkew, avg time.Duration, seed int64) {
+	if s.MinT <= 0 || avg <= 0 || len(w) == 0 {
+		return
+	}
+	p := s.P
+	if p < 1 {
+		p = 1
+	}
+	g := zipf.New(skewBuckets, safeTheta(s.ThetaT), seed)
+	lo := time.Duration(s.MinT * float64(avg))
+	hi := time.Duration(float64(p) * s.MinT * float64(avg))
+	for _, t := range w {
+		rank := g.Next() // rank 0 (most frequent) = shortest bound
+		t.MinRuntime = lo + time.Duration(float64(hi-lo)*float64(rank)/float64(skewBuckets-1))
+	}
+}
+
+// IOLatency configures the commit-time I/O latency extension: each
+// transaction receives an artificial delay at commit, drawn from
+// [0, LIO·MinIO] under a Zipfian distribution with skew ThetaIO.
+type IOLatency struct {
+	// LIO is max latency / min latency (paper range [0, 100]); zero
+	// disables the extension.
+	LIO int
+	// ThetaIO is the Zipf skew of the latency distribution (paper
+	// range [0.8, 1.6], default 1.2). Larger values mean a longer tail
+	// (most transactions see little delay).
+	ThetaIO float64
+	// MinIO is the unit latency (the paper uses 5000 CPU cycles,
+	// roughly 1/6–1/8 of a TPC-C/YCSB transaction runtime).
+	MinIO time.Duration
+}
+
+// DefaultIOLatency returns the Table 1 defaults with I/O disabled
+// (LIO = 0); I/O experiments set LIO explicitly.
+func DefaultIOLatency() IOLatency {
+	return IOLatency{LIO: 0, ThetaIO: 1.2, MinIO: 2 * time.Microsecond}
+}
+
+// ApplyIO assigns commit-time IODelay values to every transaction in
+// w. It is a no-op when io.LIO <= 0 or io.MinIO <= 0.
+func ApplyIO(w txn.Workload, io IOLatency, seed int64) {
+	if io.LIO <= 0 || io.MinIO <= 0 || len(w) == 0 {
+		return
+	}
+	g := zipf.New(skewBuckets, safeTheta(io.ThetaIO), seed)
+	hi := time.Duration(io.LIO) * io.MinIO
+	for _, t := range w {
+		rank := g.Next() // rank 0 = no delay; the tail gets up to hi
+		t.IODelay = time.Duration(float64(hi) * float64(rank) / float64(skewBuckets-1))
+	}
+}
+
+// safeTheta nudges theta away from the harmonic pole at 1.0 that the
+// generator cannot evaluate.
+func safeTheta(theta float64) float64 {
+	if theta <= 0 {
+		return 0.8
+	}
+	if theta == 1 {
+		return 1.0001
+	}
+	return theta
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"testing"
+
+	"tskd/internal/txn"
+)
+
+func TestYCSBPresets(t *testing.T) {
+	shrink := func(c YCSB) YCSB {
+		c.Records = 2000
+		c.Txns = 200
+		c.Seed = 4
+		return c
+	}
+	t.Run("B", func(t *testing.T) {
+		w := shrink(WorkloadB()).Generate()
+		reads, writes := opMix(w)
+		if frac := float64(reads) / float64(reads+writes); frac < 0.9 {
+			t.Errorf("workload B read fraction %.2f", frac)
+		}
+	})
+	t.Run("C", func(t *testing.T) {
+		w := shrink(WorkloadC()).Generate()
+		_, writes := opMix(w)
+		if writes != 0 {
+			t.Errorf("workload C has %d writes", writes)
+		}
+	})
+	t.Run("E", func(t *testing.T) {
+		w := shrink(WorkloadE()).Generate()
+		scans := 0
+		for _, tx := range w {
+			if tx.HasScan() {
+				scans++
+			}
+		}
+		if frac := float64(scans) / float64(len(w)); frac < 0.85 {
+			t.Errorf("workload E scan fraction %.2f", frac)
+		}
+	})
+	t.Run("F", func(t *testing.T) {
+		w := shrink(WorkloadF()).Generate()
+		for _, tx := range w {
+			for _, op := range tx.Ops {
+				if op.Kind == txn.OpWrite {
+					t.Fatal("workload F emitted a blind write")
+				}
+			}
+		}
+	})
+}
+
+func opMix(w txn.Workload) (reads, writes int) {
+	for _, tx := range w {
+		for _, op := range tx.Ops {
+			if op.Kind == txn.OpRead {
+				reads++
+			} else {
+				writes++
+			}
+		}
+	}
+	return
+}

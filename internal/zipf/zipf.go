@@ -1,0 +1,112 @@
+// Package zipf provides the Zipfian generator used to drive data
+// skewness (YCSB θ), runtime-skewness (θ_T) and I/O-latency skewness
+// (θ_IO) in the benchmark extensions of the paper (Table 1).
+//
+// The generator follows the classic Gray et al. "Quickly generating
+// billion-record synthetic databases" construction, the same one used
+// by the YCSB client and by DBx1000: item ranks are drawn with
+// P(rank=i) ∝ 1/i^θ over [0, n). Unlike math/rand's Zipf it supports
+// any θ > 0 (including θ < 1, the YCSB range) and is cheap to
+// re-parameterize.
+package zipf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Generator draws Zipf-distributed ranks in [0, n).
+//
+// A Generator is not safe for concurrent use; give each worker its own
+// (the engine does).
+type Generator struct {
+	rng   *rand.Rand
+	n     uint64
+	theta float64
+
+	alpha, zetan, eta float64
+	zeta2             float64
+}
+
+// New returns a generator over [0, n) with skew theta, seeded
+// deterministically from seed. It panics if n == 0 or theta <= 0 or
+// theta == 1 (the harmonic exponent must not be exactly 1 for this
+// construction; use 0.99 or 1.01).
+func New(n uint64, theta float64, seed int64) *Generator {
+	if n == 0 {
+		panic("zipf: n must be positive")
+	}
+	if theta <= 0 || theta == 1 {
+		panic(fmt.Sprintf("zipf: unsupported theta %v", theta))
+	}
+	g := &Generator{
+		rng:   rand.New(rand.NewSource(seed)),
+		n:     n,
+		theta: theta,
+	}
+	g.zeta2 = zeta(2, theta)
+	g.zetan = zeta(n, theta)
+	g.alpha = 1 / (1 - theta)
+	g.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - g.zeta2/g.zetan)
+	return g
+}
+
+// zeta computes the generalized harmonic number H_{n,theta}.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next rank in [0, n). Rank 0 is the hottest item.
+func (g *Generator) Next() uint64 {
+	u := g.rng.Float64()
+	uz := u * g.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, g.theta) {
+		return 1
+	}
+	r := uint64(float64(g.n) * math.Pow(g.eta*u-g.eta+1, g.alpha))
+	if r >= g.n {
+		r = g.n - 1
+	}
+	return r
+}
+
+// N returns the size of the rank space.
+func (g *Generator) N() uint64 { return g.n }
+
+// Theta returns the skew parameter.
+func (g *Generator) Theta() float64 { return g.theta }
+
+// NextRange maps a draw into [lo, hi] (inclusive), keeping rank 0 at
+// lo. It panics if hi < lo.
+func (g *Generator) NextRange(lo, hi uint64) uint64 {
+	if hi < lo {
+		panic("zipf: hi < lo")
+	}
+	span := hi - lo + 1
+	r := g.Next()
+	if g.n > span {
+		r %= span
+	}
+	return lo + r
+}
+
+// Uniform draws a uniformly distributed value in [0, n) from the same
+// underlying stream; handy for workload generators that mix skewed and
+// uniform choices without carrying two RNGs.
+func (g *Generator) Uniform(n uint64) uint64 {
+	if n == 0 {
+		panic("zipf: Uniform(0)")
+	}
+	return uint64(g.rng.Int63n(int64(n)))
+}
+
+// Float64 exposes a uniform [0,1) draw from the same stream.
+func (g *Generator) Float64() float64 { return g.rng.Float64() }

@@ -1,0 +1,145 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInRange(t *testing.T) {
+	g := New(1000, 0.8, 42)
+	for i := 0; i < 100000; i++ {
+		if r := g.Next(); r >= 1000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+func TestInRangeQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := uint64(nRaw)%1000 + 1
+		g := New(n, 0.8, seed)
+		for i := 0; i < 100; i++ {
+			if g.Next() >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, b := New(500, 0.9, 7), New(500, 0.9, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(500, 0.9, 8)
+	same := true
+	a2 := New(500, 0.9, 7)
+	for i := 0; i < 100; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// Higher theta must concentrate more mass on the hottest ranks.
+func TestSkewMonotonicInTheta(t *testing.T) {
+	hotShare := func(theta float64) float64 {
+		g := New(10000, theta, 1)
+		const draws = 200000
+		hot := 0
+		for i := 0; i < draws; i++ {
+			if g.Next() < 100 { // hottest 1%
+				hot++
+			}
+		}
+		return float64(hot) / draws
+	}
+	s70, s90 := hotShare(0.7), hotShare(0.9)
+	if s90 <= s70 {
+		t.Errorf("theta=0.9 hot share %.3f not above theta=0.7 %.3f", s90, s70)
+	}
+	if s70 < 0.2 {
+		t.Errorf("theta=0.7 hot share %.3f implausibly low for zipf", s70)
+	}
+}
+
+// The empirical frequency of rank 0 should approximate 1/zeta(n,theta).
+func TestRankZeroFrequency(t *testing.T) {
+	const n, theta = 1000, 0.8
+	g := New(n, theta, 3)
+	const draws = 500000
+	zero := 0
+	for i := 0; i < draws; i++ {
+		if g.Next() == 0 {
+			zero++
+		}
+	}
+	want := 1 / zeta(n, theta)
+	got := float64(zero) / draws
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("P(rank 0) = %.4f, want ≈ %.4f", got, want)
+	}
+}
+
+func TestNextRange(t *testing.T) {
+	g := New(100, 0.8, 5)
+	for i := 0; i < 10000; i++ {
+		v := g.NextRange(10, 19)
+		if v < 10 || v > 19 {
+			t.Fatalf("NextRange out of [10,19]: %d", v)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	g := New(10, 0.8, 5)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(5)
+		if v >= 5 {
+			t.Fatalf("Uniform out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("Uniform over 5 values hit only %d", len(seen))
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { New(0, 0.8, 1) },
+		func() { New(10, 0, 1) },
+		func() { New(10, 1, 1) },
+		func() { New(10, -0.5, 1) },
+		func() { New(10, 0.8, 1).NextRange(5, 4) },
+		func() { New(10, 0.8, 1).Uniform(0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	g := New(123, 0.85, 1)
+	if g.N() != 123 || g.Theta() != 0.85 {
+		t.Errorf("accessors wrong: N=%d Theta=%v", g.N(), g.Theta())
+	}
+}
