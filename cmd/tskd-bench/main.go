@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -31,7 +32,8 @@ func main() {
 		cores  = flag.Int("cores", 0, "override #core")
 		ccName = flag.String("cc", "", "override CC protocol")
 		opUS   = flag.Int("optime-us", -1, "override per-op work in microseconds")
-		csvDir = flag.String("csv", "", "also write each experiment's rows to <dir>/<id>.csv")
+		csvDir  = flag.String("csv", "", "also write each experiment's rows to <dir>/<id>.csv")
+		jsonDir = flag.String("json", "", "also write each experiment's rows to <dir>/<id>.json")
 	)
 	flag.Parse()
 
@@ -82,8 +84,14 @@ func main() {
 		}
 		t.Print(os.Stdout)
 		if *csvDir != "" {
-			if err := writeCSVFile(*csvDir, id, t); err != nil {
+			if err := writeTableFile(*csvDir, id+".csv", t.WriteCSV); err != nil {
 				fmt.Fprintf(os.Stderr, "tskd-bench: csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *jsonDir != "" {
+			if err := writeTableFile(*jsonDir, id+".json", t.WriteJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "tskd-bench: json: %v\n", err)
 				os.Exit(1)
 			}
 		}
@@ -95,14 +103,14 @@ func main() {
 	}
 }
 
-func writeCSVFile(dir, id string, t *harness.Table) error {
+func writeTableFile(dir, name string, write func(io.Writer) error) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	f, err := os.Create(filepath.Join(dir, name))
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return t.WriteCSV(f)
+	return write(f)
 }

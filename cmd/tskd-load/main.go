@@ -1,0 +1,328 @@
+// Command tskd-load benchmarks a tskd-serve instance end to end, in
+// the style of object-storage load generators like minio/warp: a
+// closed-loop mode (N concurrent clients, each submit-wait-repeat)
+// measures peak sustainable throughput, and an open-loop mode (target
+// arrival rate with Poisson or uniform interarrivals) measures latency
+// under a fixed offered load — the honest way to observe queueing
+// delay, since closed loops self-throttle.
+//
+// Usage:
+//
+//	tskd-load -addr localhost:7070 -mode closed -clients 16 -n 50000
+//	tskd-load -mode open -rate 20000 -arrival poisson -n 100000
+//
+// Transactions are YCSB-style: -theta, -opstxn, -readratio, -records
+// shape the generated access patterns (they must target the schema
+// tskd-serve loaded). Latency percentiles come from the repo's
+// log-bucketed histograms (internal/metrics).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"tskd/internal/client"
+	"tskd/internal/metrics"
+	"tskd/internal/workload"
+)
+
+type outcome struct {
+	status  string
+	retries int
+	raMS    int64         // retry-after hint on rejection
+	e2e     time.Duration // submit to response, wall clock
+	queue   time.Duration // server-reported admission wait
+	exec    time.Duration // server-reported virtual execution time
+}
+
+type tally struct {
+	sent, committed, rejected, aborted, canceled, errors uint64
+	retries                                              uint64
+	e2e, queue, exec                                     metrics.Histogram
+}
+
+func (ta *tally) add(o outcome) {
+	ta.sent++
+	switch o.status {
+	case client.StatusCommit:
+		ta.committed++
+		ta.retries += uint64(o.retries)
+		ta.e2e.Record(o.e2e)
+		ta.queue.Record(o.queue)
+		ta.exec.Record(o.exec)
+	case client.StatusRejected:
+		ta.rejected++
+	case client.StatusAbort:
+		ta.aborted++
+	case client.StatusCanceled:
+		ta.canceled++
+	default:
+		ta.errors++
+	}
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:7070", "tskd-serve transaction address")
+		mode      = flag.String("mode", "closed", "load mode: closed or open")
+		clients   = flag.Int("clients", 8, "closed-loop concurrent clients (each its own connection)")
+		conns     = flag.Int("conns", 4, "open-loop connections to spread submissions over")
+		rate      = flag.Float64("rate", 5000, "open-loop target arrival rate, txn/s")
+		arrival   = flag.String("arrival", "poisson", "open-loop interarrivals: poisson or uniform")
+		n         = flag.Int("n", 10_000, "total transactions to submit")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-submission timeout")
+		records   = flag.Int("records", 100_000, "YCSB key space (match the server's -records)")
+		theta     = flag.Float64("theta", 0.8, "YCSB zipf skew")
+		opsTxn    = flag.Int("opstxn", 16, "operations per transaction")
+		readRatio = flag.Float64("readratio", 0.5, "fraction of reads")
+		rmw       = flag.Bool("rmw", true, "read-modify-write updates (vs blind writes)")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		jsonOut   = flag.Bool("json", false, "print the summary as JSON")
+	)
+	flag.Parse()
+
+	gen := workload.YCSB{
+		Records: *records, Theta: *theta, OpsPerTxn: *opsTxn,
+		ReadRatio: *readRatio, RMW: *rmw,
+	}
+
+	var (
+		ta      tally
+		elapsed time.Duration
+		err     error
+	)
+	switch *mode {
+	case "closed":
+		elapsed, err = runClosed(*addr, gen, *clients, *n, *seed, *timeout, &ta)
+	case "open":
+		elapsed, err = runOpen(*addr, gen, *conns, *rate, *arrival, *n, *seed, *timeout, &ta)
+	default:
+		err = fmt.Errorf("unknown mode %q (closed, open)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-load:", err)
+		os.Exit(1)
+	}
+	report(*mode, elapsed, &ta, *jsonOut)
+	if ta.errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// makeRequests pre-generates a client's submission stream so encoding
+// cost stays off the timed path.
+func makeRequests(gen workload.YCSB, n int, seed int64) ([]client.Request, error) {
+	g := gen
+	g.Txns = n
+	g.Seed = seed
+	w := g.Generate()
+	reqs := make([]client.Request, len(w))
+	for i, t := range w {
+		req, err := client.NewRequest(0, t)
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = req
+	}
+	return reqs, nil
+}
+
+// runClosed drives k clients, each submit-wait-repeat over its own
+// connection. A rejected submission backs off by the server's
+// retry-after hint and retries — the closed-loop contract is that
+// every generated transaction eventually commits.
+func runClosed(addr string, gen workload.YCSB, k, total int, seed int64, timeout time.Duration, ta *tally) (time.Duration, error) {
+	perClient := (total + k - 1) / k
+	outcomes := make(chan outcome, 1024)
+	errs := make(chan error, k)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < k; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			reqs, err := makeRequests(gen, perClient, seed+int64(ci)*7919)
+			if err != nil {
+				errs <- err
+				return
+			}
+			conn, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			for _, req := range reqs {
+				for {
+					o, err := submitOne(conn, req, timeout)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if o.status != client.StatusRejected {
+						outcomes <- o
+						break
+					}
+					// Backpressure: honor the hint, then resubmit.
+					outcomes <- o
+					time.Sleep(time.Duration(maxI64(1, o.raMS)) * time.Millisecond)
+				}
+			}
+		}(ci)
+	}
+	collectDone := make(chan struct{})
+	go func() {
+		for o := range outcomes {
+			ta.add(o)
+		}
+		close(collectDone)
+	}()
+	wg.Wait()
+	close(outcomes)
+	<-collectDone
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return elapsed, err
+	default:
+		return elapsed, nil
+	}
+}
+
+// runOpen offers load at a fixed rate: arrivals fire on schedule
+// regardless of outstanding responses, spread round-robin over a small
+// connection pool. Rejections are recorded, not retried — in an open
+// system the arrival is lost offered load, which is exactly what the
+// rejection rate measures.
+func runOpen(addr string, gen workload.YCSB, nconns int, rate float64, arrival string, total int, seed int64, timeout time.Duration, ta *tally) (time.Duration, error) {
+	if rate <= 0 {
+		return 0, fmt.Errorf("open loop needs -rate > 0")
+	}
+	if arrival != "poisson" && arrival != "uniform" {
+		return 0, fmt.Errorf("unknown arrival process %q (poisson, uniform)", arrival)
+	}
+	reqs, err := makeRequests(gen, total, seed)
+	if err != nil {
+		return 0, err
+	}
+	pool := make([]*client.Conn, nconns)
+	for i := range pool {
+		c, err := client.Dial(addr)
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		pool[i] = c
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	mean := float64(time.Second) / rate
+	outcomes := make(chan outcome, 1024)
+	collectDone := make(chan struct{})
+	go func() {
+		for o := range outcomes {
+			ta.add(o)
+		}
+		close(collectDone)
+	}()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	next := start
+	for i, req := range reqs {
+		// Schedule the next arrival instant, then sleep until it.
+		var gap time.Duration
+		if arrival == "poisson" {
+			gap = time.Duration(rng.ExpFloat64() * mean)
+		} else {
+			gap = time.Duration(mean)
+		}
+		next = next.Add(gap)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		conn := pool[i%nconns]
+		wg.Add(1)
+		go func(req client.Request) {
+			defer wg.Done()
+			o, err := submitOne(conn, req, timeout)
+			if err != nil {
+				o = outcome{status: "error"}
+			}
+			outcomes <- o
+		}(req)
+	}
+	wg.Wait()
+	close(outcomes)
+	<-collectDone
+	return time.Since(start), nil
+}
+
+// submitOne submits and converts the response into an outcome.
+func submitOne(conn *client.Conn, req client.Request, timeout time.Duration) (outcome, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	t0 := time.Now()
+	resp, err := conn.Submit(ctx, req)
+	if err != nil {
+		return outcome{}, err
+	}
+	o := outcome{
+		status:  resp.Status,
+		retries: resp.Retries,
+		e2e:     time.Since(t0),
+		queue:   time.Duration(resp.QueueUS) * time.Microsecond,
+		exec:    time.Duration(resp.ExecUS) * time.Microsecond,
+	}
+	o.raMS = resp.RetryAfterMS
+	return o, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// report prints the run summary, human or JSON.
+func report(mode string, elapsed time.Duration, ta *tally, asJSON bool) {
+	tput := 0.0
+	if elapsed > 0 {
+		tput = float64(ta.committed) / elapsed.Seconds()
+	}
+	if asJSON {
+		out := map[string]any{
+			"mode":       mode,
+			"elapsed_s":  elapsed.Seconds(),
+			"sent":       ta.sent,
+			"committed":  ta.committed,
+			"rejected":   ta.rejected,
+			"aborted":    ta.aborted,
+			"canceled":   ta.canceled,
+			"errors":     ta.errors,
+			"retries":    ta.retries,
+			"throughput": tput,
+			"latency":    ta.e2e.Snapshot(),
+			"queue_wait": ta.queue.Snapshot(),
+			"exec":       ta.exec.Snapshot(),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+		return
+	}
+	fmt.Printf("tskd-load: mode=%s elapsed=%v\n", mode, elapsed.Round(time.Millisecond))
+	fmt.Printf(" sent=%d committed=%d rejected=%d aborted=%d canceled=%d errors=%d server-retries=%d\n",
+		ta.sent, ta.committed, ta.rejected, ta.aborted, ta.canceled, ta.errors, ta.retries)
+	fmt.Printf(" throughput=%.1f txn/s\n", tput)
+	ta.e2e.Print(os.Stdout, " latency  ")
+	ta.queue.Print(os.Stdout, " queuewait")
+	ta.exec.Print(os.Stdout, " exec     ")
+}

@@ -1,0 +1,147 @@
+// Command tskd-serve runs the TSKD serving layer: a TCP transaction
+// service that bundles open-system arrivals and schedules each bundle
+// with TSgen + TsDEFER over the chosen partitioner, streaming
+// per-transaction outcomes back to clients (wire protocol:
+// internal/client).
+//
+// Usage:
+//
+//	tskd-serve -schema ycsb -records 100000 -part strife -cc SILO
+//	tskd-serve -listen :7070 -http :7071 -bundle 512 -flush-interval 10ms
+//
+// /healthz and /metrics are served on -http. SIGINT/SIGTERM drains
+// gracefully: admission stops, in-flight bundles flush, then the
+// process exits. A second signal — or -drain-timeout expiring — hard-
+// cancels the in-flight bundle.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tskd/internal/core"
+	"tskd/internal/engine"
+	"tskd/internal/partition"
+	"tskd/internal/server"
+	"tskd/internal/storage"
+	"tskd/internal/workload"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":7070", "transaction listener address")
+		httpAddr  = flag.String("http", ":7071", "health/metrics address ('' disables)")
+		schema    = flag.String("schema", "ycsb", "database schema to load: ycsb or tpcc")
+		records   = flag.Int("records", 100_000, "YCSB table size")
+		whn       = flag.Int("whn", 40, "TPC-C warehouses")
+		part      = flag.String("part", "strife", "bundle partitioner: strife, schism, horticulture, none")
+		ccName    = flag.String("cc", "OCC", "CC protocol")
+		workers   = flag.Int("workers", 0, "execution threads (0 = GOMAXPROCS)")
+		bundle    = flag.Int("bundle", 512, "max transactions per bundle")
+		flushIv   = flag.Duration("flush-interval", 10*time.Millisecond, "max wait before a non-empty bundle flushes")
+		queue     = flag.Int("queue", 0, "admission queue depth (0 = 4x bundle)")
+		opUS      = flag.Int("optime-us", 0, "simulated per-op work in microseconds")
+		lookups   = flag.Int("lookups", 2, "TsDEFER #lookups (0 disables deferment)")
+		deferP    = flag.Float64("deferp", 0.6, "TsDEFER defer probability")
+		seed      = flag.Int64("seed", 1, "random seed")
+		drainTime = flag.Duration("drain-timeout", 30*time.Second, "max graceful drain time before hard cancel")
+	)
+	flag.Parse()
+
+	db, err := buildDB(*schema, *records, *whn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-serve:", err)
+		os.Exit(2)
+	}
+	p, err := buildPartitioner(*part, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-serve:", err)
+		os.Exit(2)
+	}
+
+	cfg := server.Config{
+		Addr:          *listen,
+		HTTPAddr:      *httpAddr,
+		Bundle:        *bundle,
+		FlushInterval: *flushIv,
+		QueueDepth:    *queue,
+		DB:            db,
+		Partitioner:   p,
+		Core: core.Options{
+			Workers:  *workers,
+			Protocol: *ccName,
+			OpTime:   time.Duration(*opUS) * time.Microsecond,
+			Defer:    &engine.DeferConfig{Lookups: *lookups, DeferP: *deferP, Horizon: 1, Alpha: 1, MaxDefers: 8, Exact: true},
+			Seed:     *seed,
+		},
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-serve:", err)
+		os.Exit(2)
+	}
+	if err := s.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-serve:", err)
+		os.Exit(1)
+	}
+	partName := "TSKD[0]"
+	if p != nil {
+		partName = p.Name()
+	}
+	fmt.Printf("tskd-serve: txns on %s, http on %s (schema=%s part=%s cc=%s bundle=%d flush=%v)\n",
+		s.Addr(), s.HTTPAddr(), *schema, partName, *ccName, *bundle, *flushIv)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("tskd-serve: draining (signal again to hard-stop)")
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTime)
+	defer cancel()
+	go func() {
+		<-sig
+		cancel()
+	}()
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-serve: hard stop:", err)
+	}
+	st := s.Stats()
+	fmt.Printf("tskd-serve: done — %d bundles, %d committed, %d retries, %d rejected, %d canceled\n",
+		st.Bundles, st.Committed, st.Retries, st.Rejected, st.Canceled)
+}
+
+func buildDB(schema string, records, whn int) (*storage.DB, error) {
+	switch strings.ToLower(schema) {
+	case "ycsb":
+		c := workload.DefaultYCSB()
+		c.Records = records
+		return c.BuildDB(), nil
+	case "tpcc":
+		c := workload.DefaultTPCC()
+		c.Warehouses = whn
+		return c.BuildDB(), nil
+	default:
+		return nil, fmt.Errorf("unknown schema %q (ycsb, tpcc)", schema)
+	}
+}
+
+func buildPartitioner(name string, seed int64) (partition.Partitioner, error) {
+	switch strings.ToLower(name) {
+	case "strife":
+		return partition.NewStrife(seed), nil
+	case "schism":
+		return partition.NewSchism(seed), nil
+	case "horticulture":
+		return partition.NewHorticulture(), nil
+	case "none", "":
+		return nil, nil // TSKD[0]: schedule from scratch
+	default:
+		return nil, fmt.Errorf("unknown partitioner %q (strife, schism, horticulture, none)", name)
+	}
+}

@@ -1,0 +1,138 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Conn is a client connection to a tskd-serve instance. It multiplexes
+// concurrent Submit calls over one TCP connection: a background reader
+// dispatches response lines to waiting callers by seq. Safe for
+// concurrent use.
+type Conn struct {
+	nc   net.Conn
+	wmu  sync.Mutex // serializes request lines
+	enc  *json.Encoder
+	seq  atomic.Uint64
+	mu   sync.Mutex // guards pending, err, closed
+	pend map[uint64]chan Response
+	err  error
+	done chan struct{}
+}
+
+// Dial connects to a server's transaction listener.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{
+		nc:   nc,
+		enc:  json.NewEncoder(nc),
+		pend: make(map[uint64]chan Response),
+		done: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop dispatches response lines until the connection dies; then
+// it fails every waiter.
+func (c *Conn) readLoop() {
+	sc := bufio.NewScanner(c.nc)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			c.fail(fmt.Errorf("client: bad response line: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pend[resp.Seq]
+		delete(c.pend, resp.Seq)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+	err := sc.Err()
+	if err == nil {
+		err = fmt.Errorf("client: connection closed by server")
+	}
+	c.fail(err)
+}
+
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		close(c.done)
+	}
+	pend := c.pend
+	c.pend = make(map[uint64]chan Response)
+	c.mu.Unlock()
+	for _, ch := range pend {
+		close(ch)
+	}
+}
+
+// Submit sends one transaction and blocks until its outcome arrives,
+// the context is done, or the connection fails. The request's Seq is
+// assigned by the connection (the caller's value is overwritten).
+func (c *Conn) Submit(ctx context.Context, req Request) (Response, error) {
+	req.Seq = c.seq.Add(1)
+	ch := make(chan Response, 1)
+
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return Response{}, err
+	}
+	c.pend[req.Seq] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := c.enc.Encode(&req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pend, req.Seq)
+		c.mu.Unlock()
+		return Response{}, err
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return Response{}, c.Err()
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pend, req.Seq)
+		c.mu.Unlock()
+		return Response{}, ctx.Err()
+	case <-c.done:
+		return Response{}, c.Err()
+	}
+}
+
+// Err returns the connection's terminal error, if any.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close tears down the connection; in-flight Submits fail.
+func (c *Conn) Close() error { return c.nc.Close() }

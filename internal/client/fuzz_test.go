@@ -1,0 +1,79 @@
+package client
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"tskd/internal/txn"
+)
+
+// FuzzRequestDecode checks that arbitrary bytes never panic the
+// envelope decoder and that anything accepted re-encodes to an
+// equivalent envelope — the server trusts this property when echoing
+// requests into bundles.
+func FuzzRequestDecode(f *testing.F) {
+	seeds := []string{
+		`{"seq":1,"ops":"R[x1]W[x2]"}`,
+		`{"seq":18446744073709551615,"template":"NewOrder","params":[1,2,3],"ops":"U[1:5]"}`,
+		`{}`,
+		`{"seq":-1}`,
+		`[]`,
+		`{"ops":42}`,
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req Request
+		if err := json.Unmarshal(data, &req); err != nil {
+			return
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+		var again Request
+		if err := json.Unmarshal(b, &again); err != nil {
+			t.Fatalf("re-encoded request does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("round trip changed envelope: %+v != %+v", again, req)
+		}
+	})
+}
+
+// FuzzNotation checks that any ops string the parser accepts survives
+// the Notation encoding round trip: Parse -> Notation -> Parse yields
+// the same operation list (ignoring args/fields, which the wire does
+// not carry and the parser never produces).
+func FuzzNotation(f *testing.F) {
+	seeds := []string{
+		"R[x1]W[x2]",
+		"U[3:17]I[2:5]",
+		"R[65535:281474976710655]",
+		"",
+		"W[0:0]W[0:0]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tx, err := txn.Parse(0, s)
+		if err != nil {
+			return
+		}
+		ops, err := Notation(tx)
+		if err != nil {
+			t.Fatalf("parser output has no notation: %v", err)
+		}
+		back, err := txn.Parse(0, ops)
+		if err != nil {
+			t.Fatalf("notation %q does not re-parse: %v", ops, err)
+		}
+		if !reflect.DeepEqual(tx.Ops, back.Ops) {
+			t.Fatalf("ops changed: %v -> %q -> %v", tx.Ops, ops, back.Ops)
+		}
+	})
+}

@@ -1,0 +1,115 @@
+// Package client is the wire protocol and client library of the TSKD
+// serving layer (internal/server). The protocol is deliberately plain:
+// newline-delimited JSON envelopes over a TCP connection, one request
+// line per transaction, one response line per outcome. Transactions
+// travel in the paper's compact notation (internal/txn/parse.go), so a
+// request is readable on the wire:
+//
+//	{"seq":7,"template":"YCSB-A","ops":"R[1:42]U[1:99]"}
+//	{"seq":7,"status":"commit","retries":1,"queue_us":812,"exec_us":96}
+//
+// Responses stream back on the submitting connection as bundles
+// complete; they are matched to requests by seq, which is
+// per-connection and chosen by the client. The server never reorders a
+// connection's responses relative to admission of the *same* seq, but
+// responses across seqs arrive in bundle-completion order, not
+// submission order.
+package client
+
+import (
+	"fmt"
+	"strings"
+
+	"tskd/internal/txn"
+)
+
+// Request is one transaction submission envelope.
+type Request struct {
+	// Seq correlates the response; unique per connection (the client
+	// assigns it, the server echoes it).
+	Seq uint64 `json:"seq"`
+	// Template optionally names the stored procedure (feeds the
+	// server's history-based cost estimator).
+	Template string `json:"template,omitempty"`
+	// Params are the template's instantiation parameters (estimator +
+	// TsDEFER access-set prediction).
+	Params []uint64 `json:"params,omitempty"`
+	// Ops is the operation list in compact notation, e.g.
+	// "R[x2]W[x2]R[x3]" or "U[1:42]I[2:7]".
+	Ops string `json:"ops"`
+}
+
+// Response statuses.
+const (
+	// StatusCommit: the transaction executed and committed.
+	StatusCommit = "commit"
+	// StatusAbort: the transaction executed and rolled back for
+	// application reasons (no retry).
+	StatusAbort = "abort"
+	// StatusRejected: admission backpressure — the queue was full (or
+	// the server is draining); nothing executed. Retry after
+	// RetryAfterMS.
+	StatusRejected = "rejected"
+	// StatusError: the request was malformed; nothing executed.
+	StatusError = "error"
+	// StatusCanceled: the transaction was admitted but the server shut
+	// down hard (deadline/kill) before it could commit.
+	StatusCanceled = "canceled"
+)
+
+// Response is one per-transaction outcome envelope.
+type Response struct {
+	Seq    uint64 `json:"seq"`
+	Status string `json:"status"`
+	// Retries is the number of aborted attempts before commit.
+	Retries int `json:"retries,omitempty"`
+	// QueueUS is the admission-to-execution queue wait in microseconds
+	// (time spent bundling + waiting for the bundle to start).
+	QueueUS int64 `json:"queue_us,omitempty"`
+	// ExecUS is the transaction's virtual on-core execution time in
+	// microseconds, including retried work.
+	ExecUS int64 `json:"exec_us,omitempty"`
+	// Bundle is the server-side bundle sequence number the transaction
+	// executed in.
+	Bundle int `json:"bundle,omitempty"`
+	// RetryAfterMS accompanies StatusRejected: the client should back
+	// off at least this long (derived from the server's flush
+	// interval).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Error describes a StatusError parse failure.
+	Error string `json:"error,omitempty"`
+}
+
+// Committed reports whether the response is a commit.
+func (r Response) Committed() bool { return r.Status == StatusCommit }
+
+// Rejected reports whether the response is an admission rejection.
+func (r Response) Rejected() bool { return r.Status == StatusRejected }
+
+// Notation renders t's operations in the compact wire notation
+// accepted by txn.Parse, e.g. "R[1:5]U[1:7]". Scans have no notation
+// (their access sets are unknown before execution) and op
+// arguments/fields are not carried — the serving protocol transports
+// access patterns, which is what scheduling, deferment and conflict
+// checking consume.
+func Notation(t *txn.Transaction) (string, error) {
+	var b strings.Builder
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case txn.OpRead, txn.OpWrite, txn.OpInsert, txn.OpUpdate:
+			fmt.Fprintf(&b, "%s[%d:%d]", op.Kind, op.Key.Table(), op.Key.Row())
+		default:
+			return "", fmt.Errorf("client: op kind %v has no wire notation", op.Kind)
+		}
+	}
+	return b.String(), nil
+}
+
+// NewRequest builds a request from a transaction, encoding its ops.
+func NewRequest(seq uint64, t *txn.Transaction) (Request, error) {
+	ops, err := Notation(t)
+	if err != nil {
+		return Request{}, err
+	}
+	return Request{Seq: seq, Template: t.Template, Params: t.Params, Ops: ops}, nil
+}

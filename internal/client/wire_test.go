@@ -1,0 +1,86 @@
+package client
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"tskd/internal/txn"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := Request{
+		Seq:      42,
+		Template: "YCSB-A",
+		Params:   []uint64{7, 9},
+		Ops:      "R[1:5]U[1:9]W[2:0]I[3:11]",
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	// The ops string must parse back into four operations.
+	tx, err := txn.Parse(0, out.Ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.Ops) != 4 {
+		t.Fatalf("parsed %d ops, want 4", len(tx.Ops))
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, in := range []Response{
+		{Seq: 1, Status: StatusCommit, Retries: 3, QueueUS: 812, ExecUS: 96, Bundle: 7},
+		{Seq: 2, Status: StatusRejected, RetryAfterMS: 10},
+		{Seq: 3, Status: StatusError, Error: "txn.Parse: bad item"},
+		{Seq: 4, Status: StatusAbort},
+		{Seq: 5, Status: StatusCanceled},
+	} {
+		b, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Response
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip: %+v != %+v", out, in)
+		}
+	}
+}
+
+func TestNotationRoundTrip(t *testing.T) {
+	src := txn.MustParse(5, "R[x2]W[x2]U[3:17]I[2:5]")
+	src.Template = "T"
+	src.Params = []uint64{1}
+	req, err := NewRequest(9, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Seq != 9 || req.Template != "T" {
+		t.Fatalf("envelope fields: %+v", req)
+	}
+	back, err := txn.Parse(5, req.Ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(src.Ops, back.Ops) {
+		t.Fatalf("ops differ: %v != %v", back.Ops, src.Ops)
+	}
+}
+
+func TestNotationRejectsScans(t *testing.T) {
+	s := txn.New(0).S(txn.MakeKey(1, 10), 5)
+	if _, err := Notation(s); err == nil {
+		t.Fatal("expected error for scan op")
+	}
+}

@@ -12,6 +12,8 @@
 package core
 
 import (
+	"context"
+	"runtime"
 	"time"
 
 	"tskd/internal/cc"
@@ -50,8 +52,26 @@ type Options struct {
 	// CostSink optionally receives observed execution costs, feeding
 	// the history-based estimator across bundles.
 	CostSink *estimator.History
+	// TraceSpans makes the engine record each commit's virtual-time
+	// span (with its retry count) into Result.Spans — the serving layer
+	// uses it to report per-transaction outcomes.
+	TraceSpans bool
+	// Ctx, when non-nil, cancels execution midway (deadlines, server
+	// shutdown); abandoned transactions count into Metrics.Canceled.
+	Ctx context.Context
 	// Seed drives all randomized pieces.
 	Seed int64
+}
+
+// normalized fills the defaults that every entry point shares: the
+// partitioners and TSgen need a concrete #core, so Workers <= 0
+// resolves to GOMAXPROCS here (the engine would do the same, but only
+// after partitioning).
+func (o Options) normalized() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
 }
 
 func (o Options) protocol() (cc.Protocol, error) {
@@ -116,6 +136,7 @@ func (r Result) OverheadR() float64 {
 // the partitioner produces one) spreads over all threads — everything
 // under the configured CC protocol.
 func RunBaseline(db *storage.DB, w txn.Workload, p partition.Partitioner, o Options) (Result, error) {
+	o = o.normalized()
 	proto, err := o.protocol()
 	if err != nil {
 		return Result{}, err
@@ -132,6 +153,7 @@ func RunBaseline(db *storage.DB, w txn.Workload, p partition.Partitioner, o Opti
 	m := engine.Run(w, phases, engine.Config{
 		Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 		Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx,
 	})
 	return Result{
 		Metrics: m, System: p.Name(),
@@ -148,6 +170,7 @@ func RunBaseline(db *storage.DB, w txn.Workload, p partition.Partitioner, o Opti
 // deployment. A nil partitioner yields TSKD[0]: scheduling from
 // scratch.
 func RunTSKD(db *storage.DB, w txn.Workload, p partition.Partitioner, o Options) (Result, error) {
+	o = o.normalized()
 	proto, err := o.protocol()
 	if err != nil {
 		return Result{}, err
@@ -182,6 +205,7 @@ func RunTSKD(db *storage.DB, w txn.Workload, p partition.Partitioner, o Options)
 	m := engine.Run(w, phases, engine.Config{
 		Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 		Defer: o.deferCfg(), Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx,
 	})
 	stats := s.Stats
 	return Result{
@@ -203,6 +227,7 @@ func RunTSKD(db *storage.DB, w txn.Workload, p partition.Partitioner, o Options)
 // deployed TSKD defaults to CC + TsDEFER (Section 3). Pair it with a
 // Recorder to measure how often estimates were good enough.
 func RunTSKDNoCC(db *storage.DB, w txn.Workload, p partition.Partitioner, o Options) (Result, error) {
+	o = o.normalized()
 	proto, err := o.protocol()
 	if err != nil {
 		return Result{}, err
@@ -229,12 +254,14 @@ func RunTSKDNoCC(db *storage.DB, w txn.Workload, p partition.Partitioner, o Opti
 	m := engine.Run(w, []engine.Phase{{PerThread: s.Queues}}, engine.Config{
 		Workers: o.Workers, Protocol: cc.NewNone(), DB: db, OpTime: o.OpTime,
 		Recorder: o.Recorder, Seed: o.Seed,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx,
 	})
 	// Phase 2: residual with CC (+ TsDEFER).
 	if len(s.Residual) > 0 {
 		m2 := engine.Run(w, []engine.Phase{engine.SpreadRoundRobin(s.Residual, o.Workers)}, engine.Config{
 			Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 			Defer: o.deferCfg(), Recorder: o.Recorder, Seed: o.Seed + 1,
+			TraceSpans: o.TraceSpans, Ctx: o.Ctx,
 		})
 		m.Add(m2)
 	}
@@ -261,6 +288,7 @@ func RunTsParOnly(db *storage.DB, w txn.Workload, p partition.Partitioner, o Opt
 // RunTsDeferOnly is the ablation with TsPAR disabled (Fig. 4j): the
 // partitioner's plan executes directly, but with TsDEFER enabled.
 func RunTsDeferOnly(db *storage.DB, w txn.Workload, p partition.Partitioner, o Options) (Result, error) {
+	o = o.normalized()
 	proto, err := o.protocol()
 	if err != nil {
 		return Result{}, err
@@ -277,6 +305,7 @@ func RunTsDeferOnly(db *storage.DB, w txn.Workload, p partition.Partitioner, o O
 	m := engine.Run(w, phases, engine.Config{
 		Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 		Defer: o.deferCfg(), Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx,
 	})
 	return Result{
 		Metrics: m, System: "TsDEFER",
@@ -288,6 +317,7 @@ func RunTsDeferOnly(db *storage.DB, w txn.Workload, p partition.Partitioner, o O
 // RunCC is DBCC: the engine's default unbundled path — round-robin
 // thread-local buffers, plain CC, no TSKD.
 func RunCC(db *storage.DB, w txn.Workload, o Options) (Result, error) {
+	o = o.normalized()
 	proto, err := o.protocol()
 	if err != nil {
 		return Result{}, err
@@ -295,6 +325,7 @@ func RunCC(db *storage.DB, w txn.Workload, o Options) (Result, error) {
 	m := engine.Run(w, []engine.Phase{engine.SpreadRoundRobin(w, o.Workers)}, engine.Config{
 		Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 		Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx,
 	})
 	return Result{Metrics: m, System: "DBCC"}, nil
 }
@@ -302,6 +333,7 @@ func RunCC(db *storage.DB, w txn.Workload, o Options) (Result, error) {
 // RunTSKDCC is TSKD[CC]: unbundled transactions, round-robin
 // assignment, CC plus TsDEFER (Section 6.3).
 func RunTSKDCC(db *storage.DB, w txn.Workload, o Options) (Result, error) {
+	o = o.normalized()
 	proto, err := o.protocol()
 	if err != nil {
 		return Result{}, err
@@ -309,6 +341,7 @@ func RunTSKDCC(db *storage.DB, w txn.Workload, o Options) (Result, error) {
 	m := engine.Run(w, []engine.Phase{engine.SpreadRoundRobin(w, o.Workers)}, engine.Config{
 		Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 		Defer: o.deferCfg(), Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx,
 	})
 	return Result{Metrics: m, System: "TSKD[CC]"}, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"tskd/internal/estimator"
 	"tskd/internal/partition"
 	"tskd/internal/storage"
@@ -43,7 +45,16 @@ func (pl *Pipeline) HistorySize() int { return pl.history.Len() }
 
 // Process schedules and executes one bundle, learning its costs.
 func (pl *Pipeline) Process(w txn.Workload) (Result, error) {
+	return pl.ProcessContext(context.Background(), w)
+}
+
+// ProcessContext is Process under a context: cancellation (a deadline,
+// or a serving drain turning into a hard stop) abandons the rest of
+// the bundle's execution — abandoned transactions are reported in
+// Result.Canceled and their costs are not learned.
+func (pl *Pipeline) ProcessContext(ctx context.Context, w txn.Workload) (Result, error) {
 	o := pl.Opts
+	o.Ctx = ctx
 	o.Estimator = pl.history
 	o.CostSink = pl.history
 	o.Seed = pl.Opts.Seed + int64(pl.bundles)*7919

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"tskd/internal/engine"
 	"tskd/internal/storage"
 	"tskd/internal/txn"
@@ -21,6 +23,15 @@ type StreamResult struct {
 // bundle: the progress tracker only ever sees the transactions that
 // have actually arrived, as in a live system.
 func RunStream(db *storage.DB, w txn.Workload, flushEvery int, o Options) (StreamResult, error) {
+	return RunStreamContext(context.Background(), db, w, flushEvery, o)
+}
+
+// RunStreamContext is RunStream under a context: once ctx is done, the
+// current flush finishes abandoning its in-flight work (counted in
+// Metrics.Canceled) and no further flushes start — transactions never
+// flushed are NOT counted as canceled, mirroring a live system that
+// stops admitting on shutdown.
+func RunStreamContext(ctx context.Context, db *storage.DB, w txn.Workload, flushEvery int, o Options) (StreamResult, error) {
 	proto, err := o.protocol()
 	if err != nil {
 		return StreamResult{}, err
@@ -30,6 +41,9 @@ func RunStream(db *storage.DB, w txn.Workload, flushEvery int, o Options) (Strea
 	}
 	var res StreamResult
 	for start := 0; start < len(w); start += flushEvery {
+		if ctx.Err() != nil {
+			break
+		}
 		end := start + flushEvery
 		if end > len(w) {
 			end = len(w)
@@ -38,6 +52,7 @@ func RunStream(db *storage.DB, w txn.Workload, flushEvery int, o Options) (Strea
 		m := engine.Run(batch, []engine.Phase{engine.SpreadRoundRobin(batch, o.Workers)}, engine.Config{
 			Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 			Defer: o.Defer, Recorder: o.Recorder, CostSink: o.CostSink,
+			TraceSpans: o.TraceSpans, Ctx: ctx,
 			Seed: o.Seed + int64(res.Flushes),
 		})
 		res.Metrics.Add(m)

@@ -15,6 +15,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -94,6 +95,12 @@ type Config struct {
 	// TraceSpans makes workers record each commit's virtual-time span
 	// into Metrics.Spans, for planned-vs-actual drift analysis (Drift).
 	TraceSpans bool
+	// Ctx, when non-nil, cancels the run: workers stop starting new
+	// transactions (and abandon retry loops) once the context is done.
+	// Abandoned transactions count into Metrics.Canceled — they neither
+	// committed nor aborted for application reasons. Nil means run to
+	// completion.
+	Ctx context.Context
 	// Seed drives worker-local randomness (backoff, probe choices).
 	Seed int64
 
@@ -114,6 +121,9 @@ type Metrics struct {
 	// UserAborts counts transactions rolled back by application logic
 	// (not retried; e.g. TPC-C's invalid-item NewOrders).
 	UserAborts uint64
+	// Canceled counts transactions abandoned because Config.Ctx was
+	// done before they could commit (never executed, or mid-retry).
+	Canceled uint64
 	// Contended counts contended lock/latch acquisitions
 	// (#contended_mutex).
 	Contended uint64
@@ -179,6 +189,8 @@ func (m *Metrics) Add(other Metrics) {
 	m.Committed += other.Committed
 	m.Retries += other.Retries
 	m.Defers += other.Defers
+	m.UserAborts += other.UserAborts
+	m.Canceled += other.Canceled
 	m.Contended += other.Contended
 	m.Elapsed += other.Elapsed
 	m.VirtualTime += other.VirtualTime
@@ -231,6 +243,7 @@ func Run(w txn.Workload, phases []Phase, cfg Config) Metrics {
 		total.Retries += m.Retries
 		total.Defers += m.Defers
 		total.UserAborts += m.UserAborts
+		total.Canceled += m.Canceled
 		total.Contended += m.Contended
 		total.VirtualTime += m.VirtualTime
 		lat.Merge(phaseLat)
@@ -330,6 +343,7 @@ func runPhase(phase Phase, byID map[int]*txn.Transaction, predicted [][]txn.Key,
 		m.Retries += stats[i].retries
 		m.Defers += stats[i].defers
 		m.UserAborts += stats[i].userAborts
+		m.Canceled += stats[i].canceled
 		m.Contended += ccStats[i].Contended
 		// Virtual k-core time of the phase: the busiest worker (the
 		// barrier makes the others wait for it).
@@ -356,6 +370,7 @@ type workerStats struct {
 	retries    uint64
 	defers     uint64
 	userAborts uint64
+	canceled   uint64
 	busy       time.Duration     // intended on-core work; see Metrics.VirtualTime
 	lat        metrics.Histogram // per-commit virtual latency
 	perTpl     map[string]*TemplateMetrics
@@ -401,12 +416,24 @@ func (wk *worker) opUnit() time.Duration {
 	return 500 * time.Nanosecond
 }
 
+// canceled reports whether the run's context is done.
+func (wk *worker) canceled() bool {
+	return wk.cfg.Ctx != nil && wk.cfg.Ctx.Err() != nil
+}
+
 // drain executes the worker's list, with TsDEFER reordering when
 // enabled.
 func (wk *worker) drain(list []*txn.Transaction) {
 	if wk.tracker == nil {
-		for _, t := range list {
-			wk.execute(t)
+		for i, t := range list {
+			if wk.canceled() {
+				wk.stats.canceled += uint64(len(list) - i)
+				return
+			}
+			if !wk.execute(t) {
+				wk.stats.canceled += uint64(len(list) - i)
+				return
+			}
 		}
 		return
 	}
@@ -420,6 +447,16 @@ func (wk *worker) drain(list []*txn.Transaction) {
 		if !ok {
 			return
 		}
+		if wk.canceled() {
+			// Count the head and everything still queued behind it.
+			for {
+				wk.stats.canceled++
+				wk.tracker.Advance(wk.id)
+				if _, more := wk.tracker.Peek(wk.id); !more {
+					return
+				}
+			}
+		}
 		t := wk.byID[id]
 		if deferCount[id] < maxDefers && wk.deferrer.ShouldDefer(wk.id, t, wk.rng) {
 			deferCount[id]++
@@ -427,14 +464,20 @@ func (wk *worker) drain(list []*txn.Transaction) {
 			wk.tracker.DeferHead(wk.id)
 			continue
 		}
-		wk.execute(t)
+		finished := wk.execute(t)
 		wk.tracker.Advance(wk.id)
+		if !finished {
+			wk.stats.canceled++
+		}
 	}
 }
 
 // execute runs t to commit, retrying on conflicts. Transactions marked
-// UserAbort execute and then roll back once, without retry.
-func (wk *worker) execute(t *txn.Transaction) {
+// UserAbort execute and then roll back once, without retry. It returns
+// false when the run's context was canceled before t reached a
+// terminal outcome (commit or user abort); the caller accounts the
+// abandonment.
+func (wk *worker) execute(t *txn.Transaction) bool {
 	proto := wk.cfg.Protocol
 	// Application-specified dependencies: wait until every dependency
 	// has committed. Schedules from sched.GenerateWithDeps order queue
@@ -442,6 +485,9 @@ func (wk *worker) execute(t *txn.Transaction) {
 	if wk.cfg.committed != nil {
 		for _, dep := range wk.cfg.Deps.Before(t.ID) {
 			for !wk.cfg.committed[dep].Load() {
+				if wk.canceled() {
+					return false
+				}
 				runtime.Gosched()
 			}
 		}
@@ -450,6 +496,12 @@ func (wk *worker) execute(t *txn.Transaction) {
 	var busy time.Duration // intended on-core time across attempts
 	contended0 := wk.ccStats.Contended
 	for attempt := 0; ; attempt++ {
+		if attempt > 0 && wk.canceled() {
+			// Mid-retry cancellation: give up without committing. The
+			// first attempt always runs so a canceled context cannot
+			// starve short uncontended transactions during drain.
+			return false
+		}
 		attemptStart := time.Now()
 		proto.Begin(wk.ctx)
 		wk.opsRun = 0
@@ -463,7 +515,7 @@ func (wk *worker) execute(t *txn.Transaction) {
 				// must not wait forever.
 				wk.cfg.committed[t.ID].Store(true)
 			}
-			return
+			return true
 		}
 		// Per-attempt cost: the operation work, floored by the runtime
 		// lower bound — every retry re-runs the transaction and re-pays
@@ -509,7 +561,7 @@ func (wk *worker) execute(t *txn.Transaction) {
 			}
 			if wk.cfg.TraceSpans {
 				wk.stats.spans = append(wk.stats.spans, ExecSpan{
-					TxnID: t.ID, Worker: wk.id,
+					TxnID: t.ID, Worker: wk.id, Retries: attempt,
 					Start: wk.stats.busy - busy, End: wk.stats.busy,
 				})
 			}
@@ -525,7 +577,7 @@ func (wk *worker) execute(t *txn.Transaction) {
 				units := clock.Units(float64(time.Since(start)) / float64(wk.unitScale))
 				wk.cfg.CostSink.Record(t.Template, t.Params, units)
 			}
-			return
+			return true
 		}
 		proto.Abort(wk.ctx)
 		wk.stats.retries++

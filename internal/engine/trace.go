@@ -14,8 +14,11 @@ import (
 type ExecSpan struct {
 	TxnID  int
 	Worker int
-	Start  time.Duration
-	End    time.Duration
+	// Retries is the number of aborted attempts before the span's
+	// committing attempt (0 = committed first try).
+	Retries int
+	Start   time.Duration
+	End     time.Duration
 }
 
 // DriftReport summarizes planned-vs-actual timing for a schedule

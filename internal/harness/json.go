@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonRow is the machine-readable form of one measurement, mirroring
+// the CSV columns.
+type jsonRow struct {
+	X          string             `json:"x"`
+	System     string             `json:"system"`
+	Throughput float64            `json:"throughput"`
+	Retry      float64            `json:"retry_per_100k"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+// jsonTable is the document WriteJSON emits.
+type jsonTable struct {
+	Experiment string    `json:"experiment"`
+	Title      string    `json:"title"`
+	XLabel     string    `json:"xlabel"`
+	Shape      string    `json:"shape,omitempty"`
+	Rows       []jsonRow `json:"rows"`
+}
+
+// WriteJSON emits the table as an indented JSON document (one object
+// with a rows array), the machine-readable sibling of WriteCSV — for
+// recording BENCH_*.json perf trajectories across PRs.
+func (t *Table) WriteJSON(w io.Writer) error {
+	doc := jsonTable{
+		Experiment: t.ID,
+		Title:      t.Title,
+		XLabel:     t.XLabel,
+		Shape:      t.Shape,
+		Rows:       make([]jsonRow, 0, len(t.Rows)),
+	}
+	for _, r := range t.Rows {
+		doc.Rows = append(doc.Rows, jsonRow{
+			X: r.X, System: r.System,
+			Throughput: r.Throughput, Retry: r.Retry,
+			Extra: r.Extra,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

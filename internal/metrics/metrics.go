@@ -142,6 +142,34 @@ func (h *Histogram) Print(w io.Writer, name string) {
 		name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.Max())
 }
 
+// HistogramSnapshot is an exported point-in-time view of a Histogram,
+// shaped for JSON (machine-readable bench output, the serving layer's
+// /metrics endpoint). Durations are microseconds.
+type HistogramSnapshot struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MinUS  float64 `json:"min_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// Snapshot exports the histogram's summary statistics.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count:  h.Count(),
+		MeanUS: us(h.Mean()),
+		P50US:  us(h.Quantile(0.50)),
+		P95US:  us(h.Quantile(0.95)),
+		P99US:  us(h.Quantile(0.99)),
+		MinUS:  us(h.Min()),
+		MaxUS:  us(h.Max()),
+	}
+}
+
 // Counters is a named counter set with deterministic iteration order.
 type Counters struct {
 	names  []string
@@ -175,3 +203,12 @@ func (c *Counters) Merge(other *Counters) {
 
 // Names returns the counter names in first-added order.
 func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
+
+// Snapshot exports the counters as a plain map (for JSON encoding).
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.names))
+	for _, n := range c.names {
+		out[n] = c.values[n]
+	}
+	return out
+}

@@ -1,0 +1,386 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"tskd/internal/client"
+	"tskd/internal/core"
+	"tskd/internal/history"
+	"tskd/internal/partition"
+	"tskd/internal/txn"
+	"tskd/internal/workload"
+)
+
+// startServer boots a loopback server over a fresh YCSB database.
+func startServer(t *testing.T, mut func(*Config)) (*Server, workload.YCSB) {
+	t.Helper()
+	ycsb := workload.YCSB{Records: 2000, Theta: 0.9, OpsPerTxn: 8, ReadRatio: 0.5, RMW: true}
+	cfg := Config{
+		Addr:          "127.0.0.1:0",
+		HTTPAddr:      "127.0.0.1:0",
+		Bundle:        64,
+		FlushInterval: 2 * time.Millisecond,
+		QueueDepth:    1024,
+		Partitioner:   partition.NewStrife(1),
+		DB:            ycsb.BuildDB(),
+		Core:          core.Options{Workers: 4, Protocol: "SILO", Seed: 1},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s, ycsb
+}
+
+// genRequests builds n wire requests from the YCSB generator.
+func genRequests(t *testing.T, ycsb workload.YCSB, n int, seed int64) []client.Request {
+	t.Helper()
+	c := ycsb
+	c.Txns = n
+	c.Seed = seed
+	w := c.Generate()
+	reqs := make([]client.Request, len(w))
+	for i, tx := range w {
+		req, err := client.NewRequest(0, tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs[i] = req
+	}
+	return reqs
+}
+
+// TestClosedLoopSerializable drives the server with concurrent
+// closed-loop clients and checks that every submission commits exactly
+// once and that everything committed is conflict-serializable.
+func TestClosedLoopSerializable(t *testing.T) {
+	rec := history.NewRecorder()
+	s, ycsb := startServer(t, func(c *Config) { c.Core.Recorder = rec })
+	defer s.Shutdown(context.Background())
+
+	const clients, perClient = 4, 150
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			conn, err := client.Dial(s.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			reqs := genRequests(t, ycsb, perClient, int64(100+ci))
+			for _, req := range reqs {
+				resp, err := conn.Submit(context.Background(), req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !resp.Committed() {
+					errs <- fmt.Errorf("client %d: status %q (%s)", ci, resp.Status, resp.Error)
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.Committed != clients*perClient {
+		t.Errorf("committed %d, want %d", st.Committed, clients*perClient)
+	}
+	if st.Admitted != clients*perClient || st.Rejected != 0 {
+		t.Errorf("admitted %d rejected %d, want %d/0", st.Admitted, st.Rejected, clients*perClient)
+	}
+	if st.ResultsStreamed != clients*perClient {
+		t.Errorf("results %d, want %d", st.ResultsStreamed, clients*perClient)
+	}
+	if st.Bundles == 0 {
+		t.Error("no bundles executed")
+	}
+	if rec.Len() != clients*perClient {
+		t.Errorf("recorder has %d commits, want %d", rec.Len(), clients*perClient)
+	}
+	if err := rec.Check(); err != nil {
+		t.Errorf("serializability: %v", err)
+	}
+}
+
+// TestOpenLoopAndMetrics fires submissions without waiting for
+// responses (open loop), asserts every one gets exactly one result,
+// and exercises /healthz and /metrics.
+func TestOpenLoopAndMetrics(t *testing.T) {
+	s, ycsb := startServer(t, nil)
+	defer s.Shutdown(context.Background())
+
+	conn, err := client.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const n = 400
+	reqs := genRequests(t, ycsb, n, 7)
+	rng := rand.New(rand.NewSource(7))
+	var wg sync.WaitGroup
+	statuses := make(chan string, n)
+	for _, req := range reqs {
+		// Poisson-ish arrivals at ~100k/s so the bundler's timer and
+		// size paths both trigger.
+		time.Sleep(time.Duration(rng.ExpFloat64() * float64(10*time.Microsecond)))
+		wg.Add(1)
+		go func(req client.Request) {
+			defer wg.Done()
+			resp, err := conn.Submit(context.Background(), req)
+			if err != nil {
+				statuses <- "err:" + err.Error()
+				return
+			}
+			statuses <- resp.Status
+		}(req)
+	}
+	wg.Wait()
+	close(statuses)
+	got := map[string]int{}
+	for st := range statuses {
+		got[st]++
+	}
+	if got[client.StatusCommit] != n {
+		t.Fatalf("statuses %v, want %d commits", got, n)
+	}
+
+	// Health endpoint.
+	resp, err := http.Get("http://" + s.HTTPAddr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d", resp.StatusCode)
+	}
+
+	// Metrics endpoint must expose the engine counters.
+	mresp, err := http.Get("http://" + s.HTTPAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("/metrics is not JSON: %v\n%s", err, body)
+	}
+	if st.Committed != n || st.Bundles == 0 || st.QueueCap == 0 {
+		t.Errorf("metrics snapshot: %+v", st)
+	}
+	if st.ExecLat.Count != n {
+		t.Errorf("exec latency count %d, want %d", st.ExecLat.Count, n)
+	}
+	if st.QueueWait.Count != n {
+		t.Errorf("queue wait count %d, want %d", st.QueueWait.Count, n)
+	}
+}
+
+// TestBackpressure saturates a tiny admission queue and checks that
+// overflow is rejected with a retry-after hint instead of buffering,
+// and that rejected transactions never execute.
+func TestBackpressure(t *testing.T) {
+	s, ycsb := startServer(t, func(c *Config) {
+		c.Bundle = 4
+		c.QueueDepth = 4
+		c.FlushInterval = 200 * time.Millisecond // slow flush: queue fills
+		c.Core.OpTime = 200 * time.Microsecond   // slow bundles: queue stays full
+	})
+	defer s.Shutdown(context.Background())
+
+	conn, err := client.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const n = 64
+	reqs := genRequests(t, ycsb, n, 3)
+	var wg sync.WaitGroup
+	results := make(chan client.Response, n)
+	for _, req := range reqs {
+		wg.Add(1)
+		go func(req client.Request) {
+			defer wg.Done()
+			resp, err := conn.Submit(context.Background(), req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results <- resp
+		}(req)
+	}
+	wg.Wait()
+	close(results)
+
+	var commits, rejects int
+	for resp := range results {
+		switch {
+		case resp.Committed():
+			commits++
+		case resp.Rejected():
+			rejects++
+			if resp.RetryAfterMS <= 0 {
+				t.Errorf("rejection without retry-after: %+v", resp)
+			}
+		default:
+			t.Errorf("unexpected status %+v", resp)
+		}
+	}
+	if rejects == 0 {
+		t.Fatalf("no rejections with queue depth 4 and %d concurrent submits", n)
+	}
+	if commits+rejects != n {
+		t.Fatalf("commits %d + rejects %d != %d", commits, rejects, n)
+	}
+	st := s.Stats()
+	if st.Committed != uint64(commits) || st.Rejected != uint64(rejects) {
+		t.Errorf("server stats %+v disagree with client view (%d commits, %d rejects)", st, commits, rejects)
+	}
+}
+
+// TestDrainFlushesAdmitted checks the graceful-shutdown contract:
+// everything admitted before Shutdown gets a result, new admissions
+// are rejected while draining, and the server refuses double shutdown.
+func TestDrainFlushesAdmitted(t *testing.T) {
+	s, ycsb := startServer(t, func(c *Config) {
+		c.Bundle = 512 // big bundle + long flush: drain must force the flush
+		c.FlushInterval = time.Hour
+	})
+
+	conn, err := client.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const n = 100
+	reqs := genRequests(t, ycsb, n, 11)
+	var wg sync.WaitGroup
+	results := make(chan client.Response, n)
+	for _, req := range reqs {
+		wg.Add(1)
+		go func(req client.Request) {
+			defer wg.Done()
+			resp, err := conn.Submit(context.Background(), req)
+			if err == nil {
+				results <- resp
+			}
+		}(req)
+	}
+
+	// Wait until everything is admitted, then drain: the hour-long
+	// flush interval means only Shutdown can release these.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := s.Stats(); st.Admitted == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admission stalled: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+	close(results)
+
+	var commits int
+	for resp := range results {
+		if resp.Committed() {
+			commits++
+		} else {
+			t.Errorf("admitted transaction did not commit: %+v", resp)
+		}
+	}
+	if commits != n {
+		t.Fatalf("drain dropped transactions: %d/%d committed", commits, n)
+	}
+	if err := s.Shutdown(context.Background()); err == nil {
+		t.Error("second shutdown should error")
+	}
+}
+
+// TestRejectedWhileDraining checks that a submission arriving on a
+// live connection after drain starts is rejected, not dropped.
+func TestRejectedWhileDraining(t *testing.T) {
+	s, ycsb := startServer(t, nil)
+	conn, err := client.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	reqs := genRequests(t, ycsb, 2, 5)
+	if resp, err := conn.Submit(context.Background(), reqs[0]); err != nil || !resp.Committed() {
+		t.Fatalf("pre-drain submit: %+v %v", resp, err)
+	}
+
+	done := make(chan struct{})
+	go func() { s.Shutdown(context.Background()); close(done) }()
+	// The connection stays open during drain; submissions must bounce.
+	// Shutdown may finish before or after the submit lands — both
+	// orders must reject or fail cleanly, never hang or drop.
+	resp, err := conn.Submit(context.Background(), reqs[1])
+	if err == nil && !resp.Rejected() {
+		t.Errorf("submit during drain: %+v", resp)
+	}
+	<-done
+}
+
+// TestMalformedRequests checks the error path of the wire protocol.
+func TestMalformedRequests(t *testing.T) {
+	s, _ := startServer(t, nil)
+	defer s.Shutdown(context.Background())
+
+	conn, err := client.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	resp, err := conn.Submit(context.Background(), client.Request{Ops: "R[x1]X[x2]"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != client.StatusError || resp.Error == "" {
+		t.Errorf("malformed ops: %+v", resp)
+	}
+	if st := s.Stats(); st.Malformed != 1 {
+		t.Errorf("malformed counter = %d", st.Malformed)
+	}
+	// The connection must still work afterwards.
+	good := txn.MustParse(0, "R[x1]W[x1]")
+	req, _ := client.NewRequest(0, good)
+	resp, err = conn.Submit(context.Background(), req)
+	if err != nil || !resp.Committed() {
+		t.Errorf("post-error submit: %+v %v", resp, err)
+	}
+}

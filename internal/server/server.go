@@ -1,0 +1,509 @@
+// Package server is the TSKD serving layer: a TCP front-end that turns
+// open-system arrivals into the paper's bundled workload model
+// (Section 2.1). Transactions arrive over the wire protocol of
+// internal/client, pass a bounded admission queue with explicit
+// backpressure, accumulate into bundles closed by size or by a flush
+// timer, and execute through core.Pipeline — TSgen scheduling plus
+// TsDEFER, with cost estimates learned from the execution history of
+// earlier bundles. Per-transaction outcomes (commit/abort, retries,
+// queue wait, execution latency) stream back on the submitting
+// connection.
+//
+// The admission queue is the only buffer between the network and the
+// engine, and it is bounded: when it is full — or the server is
+// draining — a submission is rejected immediately with a retry-after
+// hint, never buffered without limit. Graceful shutdown stops
+// admitting, flushes everything already admitted, and only then
+// returns; a hard deadline cancels the in-flight bundle through the
+// engine's context plumbing, reporting the abandoned transactions as
+// canceled rather than dropping them silently.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"tskd/internal/cc"
+	"tskd/internal/client"
+	"tskd/internal/core"
+	"tskd/internal/engine"
+	"tskd/internal/metrics"
+	"tskd/internal/partition"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the transaction listener address (e.g. ":7070"; use
+	// "127.0.0.1:0" in tests and read back Addr()).
+	Addr string
+	// HTTPAddr serves /healthz and /metrics; empty disables the HTTP
+	// listener.
+	HTTPAddr string
+	// Bundle closes a bundle once this many transactions have been
+	// collected (default 512).
+	Bundle int
+	// FlushInterval closes a non-empty bundle at latest this long
+	// after its first transaction was collected (default 10ms), so a
+	// trickle of arrivals is never stranded waiting for a full bundle.
+	FlushInterval time.Duration
+	// QueueDepth is the admission queue capacity (default 4×Bundle).
+	// Submissions beyond it are rejected with a retry-after hint.
+	QueueDepth int
+	// DB is the database the transactions run against; required.
+	DB *storage.DB
+	// Partitioner splits each bundle before TSgen; nil is TSKD[0]
+	// (scheduling from scratch).
+	Partitioner partition.Partitioner
+	// Core configures workers, CC protocol, TsDEFER and friends.
+	// Estimator, CostSink, TraceSpans and Ctx are managed by the
+	// server and must be left zero. Recorder may be set (tests) to
+	// capture commits for serializability checking.
+	Core core.Options
+}
+
+func (c *Config) withDefaults() error {
+	if c.DB == nil {
+		return errors.New("server: Config.DB is required")
+	}
+	if c.Bundle <= 0 {
+		c.Bundle = 512
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 10 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Bundle
+	}
+	name := c.Core.Protocol
+	if name == "" {
+		name = "OCC"
+	}
+	if _, err := cc.New(name); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the server's counters, the
+// payload of the /metrics endpoint.
+type Stats struct {
+	// Admission.
+	Admitted   uint64 `json:"admitted"`
+	Rejected   uint64 `json:"rejected"`
+	Malformed  uint64 `json:"malformed"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Draining   bool   `json:"draining"`
+
+	// Bundling.
+	Bundles         int     `json:"bundles"`
+	MeanOccupancy   float64 `json:"mean_bundle_occupancy"`
+	MaxOccupancy    int     `json:"max_bundle_occupancy"`
+	HistoryRecords  int     `json:"history_records"`
+	ResultsStreamed uint64  `json:"results_streamed"`
+
+	// Engine counters, accumulated across bundles.
+	Committed  uint64 `json:"committed"`
+	Retries    uint64 `json:"retries"`
+	Defers     uint64 `json:"defers"`
+	UserAborts uint64 `json:"user_aborts"`
+	Canceled   uint64 `json:"canceled"`
+	Contended  uint64 `json:"contended"`
+
+	// Throughput over the server's lifetime, commits per wall second.
+	Throughput float64 `json:"throughput"`
+
+	// Latency distributions.
+	QueueWait metrics.HistogramSnapshot `json:"queue_wait"`
+	ExecLat   metrics.HistogramSnapshot `json:"exec_latency"`
+}
+
+// pending is one admitted transaction awaiting execution.
+type pending struct {
+	t        *txn.Transaction
+	seq      uint64
+	conn     *connWriter
+	enqueued time.Time
+}
+
+// Server is a running tskd-serve instance.
+type Server struct {
+	cfg      Config
+	pipeline *core.Pipeline
+
+	ln      net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	admit     chan *pending
+	admitMu   sync.RWMutex // draining flips under the write lock
+	draining  bool
+	drainCh   chan struct{} // closed when draining starts
+	bundlerWG sync.WaitGroup
+
+	runCtx    context.Context
+	runCancel context.CancelFunc
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	start time.Time
+
+	mu        sync.Mutex // guards everything below
+	stats     Stats
+	queueWait metrics.Histogram
+	execLat   metrics.Histogram
+}
+
+// New validates cfg and returns an unstarted server.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	opts := cfg.Core
+	opts.TraceSpans = true // per-transaction outcomes come from spans
+	runCtx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:       cfg,
+		pipeline:  core.NewPipeline(cfg.DB, cfg.Partitioner, opts),
+		admit:     make(chan *pending, cfg.QueueDepth),
+		drainCh:   make(chan struct{}),
+		runCtx:    runCtx,
+		runCancel: cancel,
+		conns:     make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Start binds the listeners and launches the accept and bundler loops.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	if s.cfg.HTTPAddr != "" {
+		hln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		s.httpLn = hln
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", s.handleHealthz)
+		mux.HandleFunc("/metrics", s.handleMetrics)
+		s.httpSrv = &http.Server{Handler: mux}
+		go s.httpSrv.Serve(hln)
+	}
+	s.start = time.Now()
+	s.bundlerWG.Add(1)
+	go s.bundler()
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the transaction listener's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// HTTPAddr returns the HTTP listener's bound address ("" if disabled).
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// Shutdown drains gracefully: stop accepting connections and
+// admitting transactions, flush every bundle already admitted, then
+// close. If ctx expires first, the in-flight bundle is canceled
+// through the engine (its unfinished transactions respond "canceled")
+// and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admitMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.admitMu.Unlock()
+	if already {
+		return errors.New("server: already shut down")
+	}
+	s.ln.Close()
+	close(s.drainCh)
+
+	done := make(chan struct{})
+	go func() {
+		s.bundlerWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.runCancel() // hard stop: abandon the in-flight bundle
+		<-done
+		err = ctx.Err()
+	}
+
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+	s.connMu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.connMu.Unlock()
+	return err
+}
+
+// acceptLoop owns the transaction listener.
+func (s *Server) acceptLoop() {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (shutdown)
+		}
+		s.connMu.Lock()
+		s.conns[nc] = struct{}{}
+		s.connMu.Unlock()
+		go s.serveConn(nc)
+	}
+}
+
+// connWriter serializes response lines onto one connection. Sends
+// come from both the reader (rejections, parse errors) and the
+// bundler (outcomes).
+type connWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func (cw *connWriter) send(resp client.Response) {
+	cw.mu.Lock()
+	_ = cw.enc.Encode(&resp) // a dead client forfeits its results
+	cw.mu.Unlock()
+}
+
+// serveConn reads request lines, parses them, and admits them.
+func (s *Server) serveConn(nc net.Conn) {
+	defer func() {
+		nc.Close()
+		s.connMu.Lock()
+		delete(s.conns, nc)
+		s.connMu.Unlock()
+	}()
+	cw := &connWriter{enc: json.NewEncoder(nc)}
+	sc := bufio.NewScanner(nc)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req client.Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			s.count(func(st *Stats) { st.Malformed++ })
+			cw.send(client.Response{Status: client.StatusError, Error: "bad envelope: " + err.Error()})
+			continue
+		}
+		t, err := txn.Parse(0, req.Ops)
+		if err != nil {
+			s.count(func(st *Stats) { st.Malformed++ })
+			cw.send(client.Response{Seq: req.Seq, Status: client.StatusError, Error: err.Error()})
+			continue
+		}
+		t.Template = req.Template
+		t.Params = req.Params
+		p := &pending{t: t, seq: req.Seq, conn: cw, enqueued: time.Now()}
+		if s.tryAdmit(p) {
+			s.count(func(st *Stats) { st.Admitted++ })
+		} else {
+			s.count(func(st *Stats) { st.Rejected++ })
+			cw.send(client.Response{
+				Seq: req.Seq, Status: client.StatusRejected,
+				RetryAfterMS: s.cfg.FlushInterval.Milliseconds() + 1,
+			})
+		}
+	}
+}
+
+// tryAdmit enqueues p unless the queue is full or the server is
+// draining. The read lock pairs with Shutdown's write lock so that no
+// admission can slip in after draining flips: every pending the
+// bundler must flush is already in the channel when drainCh closes.
+func (s *Server) tryAdmit(p *pending) bool {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining {
+		return false
+	}
+	select {
+	case s.admit <- p:
+		return true
+	default:
+		return false
+	}
+}
+
+// bundler is the single consumer of the admission queue: it collects
+// bundles (size- or timer-closed) and executes them in admission
+// order.
+func (s *Server) bundler() {
+	defer s.bundlerWG.Done()
+	for {
+		var first *pending
+		select {
+		case first = <-s.admit:
+		case <-s.drainCh:
+			s.finalDrain()
+			return
+		}
+		batch := []*pending{first}
+		timer := time.NewTimer(s.cfg.FlushInterval)
+	collect:
+		for len(batch) < s.cfg.Bundle {
+			select {
+			case p := <-s.admit:
+				batch = append(batch, p)
+			case <-timer.C:
+				break collect
+			case <-s.drainCh:
+				break collect
+			}
+		}
+		timer.Stop()
+		s.runBundle(batch)
+	}
+}
+
+// finalDrain flushes whatever was admitted before draining flipped.
+func (s *Server) finalDrain() {
+	var batch []*pending
+	for {
+		select {
+		case p := <-s.admit:
+			batch = append(batch, p)
+			if len(batch) >= s.cfg.Bundle {
+				s.runBundle(batch)
+				batch = nil
+			}
+		default:
+			if len(batch) > 0 {
+				s.runBundle(batch)
+			}
+			return
+		}
+	}
+}
+
+// runBundle renumbers the batch densely, executes it through the
+// pipeline, and streams one response per transaction.
+func (s *Server) runBundle(batch []*pending) {
+	w := make(txn.Workload, len(batch))
+	for i, p := range batch {
+		p.t.ID = i
+		w[i] = p.t
+	}
+	bundleNo := s.pipeline.Bundles()
+	execStart := time.Now()
+	res, err := s.pipeline.ProcessContext(s.runCtx, w)
+	if err != nil {
+		// Unreachable with a validated Config; fail the batch loudly
+		// rather than dropping it.
+		for _, p := range batch {
+			p.conn.send(client.Response{Seq: p.seq, Status: client.StatusError, Error: err.Error()})
+		}
+		return
+	}
+
+	spans := make(map[int]engine.ExecSpan, len(res.Spans))
+	for _, sp := range res.Spans {
+		spans[sp.TxnID] = sp
+	}
+	s.mu.Lock()
+	for _, p := range batch {
+		resp := client.Response{Seq: p.seq, Bundle: bundleNo}
+		wait := execStart.Sub(p.enqueued)
+		resp.QueueUS = wait.Microseconds()
+		s.queueWait.Record(wait)
+		if sp, ok := spans[p.t.ID]; ok {
+			exec := sp.End - sp.Start
+			resp.Status = client.StatusCommit
+			resp.Retries = sp.Retries
+			resp.ExecUS = exec.Microseconds()
+			s.execLat.Record(exec)
+		} else if p.t.UserAbort {
+			resp.Status = client.StatusAbort
+		} else {
+			resp.Status = client.StatusCanceled
+		}
+		s.stats.ResultsStreamed++
+		p.conn.send(resp)
+	}
+	s.stats.Bundles++
+	if len(batch) > s.stats.MaxOccupancy {
+		s.stats.MaxOccupancy = len(batch)
+	}
+	s.stats.HistoryRecords = s.pipeline.HistorySize()
+	s.stats.Committed += res.Committed
+	s.stats.Retries += res.Retries
+	s.stats.Defers += res.Defers
+	s.stats.UserAborts += res.UserAborts
+	s.stats.Canceled += res.Canceled
+	s.stats.Contended += res.Contended
+	s.mu.Unlock()
+}
+
+// count applies a mutation to the stats under the lock.
+func (s *Server) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.admitMu.RLock()
+	draining := s.draining
+	s.admitMu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Draining = draining
+	st.QueueDepth = len(s.admit)
+	st.QueueCap = cap(s.admit)
+	if st.Bundles > 0 {
+		st.MeanOccupancy = float64(st.ResultsStreamed) / float64(st.Bundles)
+	}
+	if elapsed := time.Since(s.start); elapsed > 0 && st.Committed > 0 {
+		st.Throughput = float64(st.Committed) / elapsed.Seconds()
+	}
+	st.QueueWait = s.queueWait.Snapshot()
+	st.ExecLat = s.execLat.Snapshot()
+	return st
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.admitMu.RLock()
+	draining := s.draining
+	s.admitMu.RUnlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Stats())
+}
