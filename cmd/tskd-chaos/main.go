@@ -1,0 +1,93 @@
+// Command tskd-chaos runs the deterministic fault-injection harness
+// (internal/chaos) and prints one JSON verdict line per (scenario,
+// seed) pair. Verdict lines are a pure function of scenario and seed —
+// a failing seed from CI reproduces locally with nothing but
+//
+//	tskd-chaos -seed <S> [-scenario <name>]
+//
+// Exit status is 0 only if every scenario passed. -check-repro runs
+// everything twice and additionally fails if any verdict line is not
+// byte-identical across the runs, enforcing the determinism contract
+// itself.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tskd/internal/chaos"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base seed for the fault schedules")
+	n := flag.Int("n", 1, "number of consecutive seeds to run (seed, seed+1, ...)")
+	scenario := flag.String("scenario", "", "run only this scenario (default: all)")
+	list := flag.Bool("list", false, "list scenarios and exit")
+	checkRepro := flag.Bool("check-repro", false, "run every (scenario, seed) twice and fail on any verdict mismatch")
+	verbose := flag.Bool("v", false, "print verdict lines for passing runs too")
+	flag.Parse()
+
+	if *list {
+		for _, s := range chaos.Scenarios() {
+			fmt.Printf("%-20s %s\n", s.Name, s.Doc)
+		}
+		return
+	}
+
+	scenarios := chaos.Scenarios()
+	if *scenario != "" {
+		s := chaos.Find(*scenario)
+		if s == nil {
+			fmt.Fprintf(os.Stderr, "tskd-chaos: unknown scenario %q (use -list)\n", *scenario)
+			os.Exit(2)
+		}
+		scenarios = []chaos.Scenario{*s}
+	}
+
+	verdict := func(r chaos.Report) string {
+		b, err := json.Marshal(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tskd-chaos: marshal: %v\n", err)
+			os.Exit(2)
+		}
+		return string(b)
+	}
+
+	runs, failures, mismatches := 0, 0, 0
+	for i := 0; i < *n; i++ {
+		s := *seed + int64(i)
+		for _, sc := range scenarios {
+			r := sc.Run(s)
+			line := verdict(r)
+			runs++
+			if *checkRepro {
+				if again := verdict(sc.Run(s)); again != line {
+					mismatches++
+					fmt.Printf("%s\n", line)
+					fmt.Fprintf(os.Stderr, "tskd-chaos: NONDETERMINISTIC VERDICT for %s seed %d:\n  first:  %s\n  second: %s\n",
+						sc.Name, s, line, again)
+					continue
+				}
+			}
+			if !r.Pass {
+				failures++
+				fmt.Printf("%s\n", line)
+				fmt.Fprintf(os.Stderr, "tskd-chaos: FAIL %s seed %d — reproduce with: tskd-chaos -scenario %s -seed %d\n",
+					sc.Name, s, sc.Name, s)
+			} else if *verbose {
+				fmt.Printf("%s\n", line)
+			}
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "tskd-chaos: %d runs, %d failures", runs, failures)
+	if *checkRepro {
+		fmt.Fprintf(os.Stderr, ", %d nondeterministic verdicts", mismatches)
+	}
+	fmt.Fprintln(os.Stderr)
+	if failures > 0 || mismatches > 0 {
+		os.Exit(1)
+	}
+}

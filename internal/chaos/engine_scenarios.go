@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"time"
+
+	"tskd/internal/cc"
+	"tskd/internal/engine"
+	"tskd/internal/history"
+	"tskd/internal/sched"
+	"tskd/internal/txn"
+	"tskd/internal/workload"
+)
+
+// engineWorkload is the contended YCSB bundle the engine scenarios
+// share: hot enough (θ=0.9 over 2k records) that injected stalls and
+// latency spikes actually shift conflict windows, small enough that a
+// 20-seed matrix stays fast.
+func engineWorkload(seed int64) (workload.YCSB, txn.Workload) {
+	cfg := workload.YCSB{
+		Records: 2000, Theta: 0.9, Txns: 300, OpsPerTxn: 8,
+		ReadRatio: 0.5, RMW: true, Seed: seed,
+	}
+	return cfg, cfg.Generate()
+}
+
+// runEngineFaults executes a contended bundle under worker stalls,
+// per-access latency spikes and clock skew, then checks that every
+// transaction committed exactly once and the whole execution is
+// conflict-serializable.
+func runEngineFaults(seed int64) Report {
+	plan := NewPlan(seed)
+	var v violations
+	cfg, w := engineWorkload(seed)
+	db := cfg.BuildDB()
+	rec := history.NewRecorder()
+	proto, err := cc.New(plan.Protocol)
+	if err != nil {
+		v.addf("protocol: %v", err)
+		return report("engine-faults", seed, plan.engineSummary(), v)
+	}
+	var dc *engine.DeferConfig
+	if plan.Defer {
+		dc = engine.DefaultDefer()
+	}
+	m := engine.Run(w, []engine.Phase{engine.SpreadRoundRobin(w, plan.Workers)}, engine.Config{
+		Workers: plan.Workers, Protocol: proto, DB: db, Defer: dc,
+		Recorder: rec, Hooks: plan.EngineHooks(), Seed: seed,
+	})
+	if m.Committed != uint64(len(w)) {
+		v.addf("committed %d of %d", m.Committed, len(w))
+	}
+	checkExactlyOnce(&v, rec.Events(), len(w))
+	if err := rec.Check(); err != nil {
+		v.addf("serializability: %v", err)
+	}
+	return report("engine-faults", seed, plan.engineSummary(), v)
+}
+
+// depGap spaces the chain dependencies farther apart than the largest
+// worker count, so round-robin queue positions stay topologically
+// consistent (a dependency always sits at a strictly earlier queue
+// position, making the execution-time waits cycle-free by
+// construction — which is exactly what the watchdog then verifies
+// under injected dep-wait stalls).
+const depGap = 16
+
+// runEngineDepsFaults executes a dependency-constrained bundle under
+// the same fault schedule plus dep-wait stalls, with a watchdog: if
+// injected stalls could turn dependency waits into a deadlock, the run
+// never finishes and the scenario fails loudly instead of hanging CI.
+func runEngineDepsFaults(seed int64) Report {
+	plan := NewPlan(seed)
+	var v violations
+	cfg, w := engineWorkload(seed)
+	db := cfg.BuildDB()
+	rec := history.NewRecorder()
+	proto, err := cc.New(plan.Protocol)
+	if err != nil {
+		v.addf("protocol: %v", err)
+		return report("engine-deps-faults", seed, plan.engineSummary(), v)
+	}
+	deps := sched.NewDeps()
+	for i := depGap; i < len(w); i += 5 {
+		deps.Add(i-depGap, i)
+	}
+
+	type outcome struct{ m engine.Metrics }
+	done := make(chan outcome, 1)
+	go func() {
+		m := engine.Run(w, []engine.Phase{engine.SpreadRoundRobin(w, plan.Workers)}, engine.Config{
+			Workers: plan.Workers, Protocol: proto, DB: db, Deps: deps,
+			Recorder: rec, Hooks: plan.EngineHooks(), Seed: seed,
+		})
+		done <- outcome{m}
+	}()
+	select {
+	case o := <-done:
+		if o.m.Committed != uint64(len(w)) {
+			v.addf("committed %d of %d", o.m.Committed, len(w))
+		}
+		checkExactlyOnce(&v, rec.Events(), len(w))
+		if err := rec.Check(); err != nil {
+			v.addf("serializability: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		v.addf("deadlock: dependency-constrained run did not finish within 60s")
+	}
+	return report("engine-deps-faults", seed, plan.engineSummary(), v)
+}

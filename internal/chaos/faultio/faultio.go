@@ -1,0 +1,71 @@
+// Package faultio provides fault-injectable io wrappers for chaos
+// testing the durability path. It is a leaf package (no tskd imports)
+// so both internal/chaos and the wal tests can use it without cycles.
+package faultio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the error returned by a Writer once its planned fault
+// has fired.
+var ErrInjected = errors.New("faultio: injected write error")
+
+// Writer wraps an io.Writer with a deterministic, sticky write fault:
+// after FailAfter bytes have been accepted, the next write fails. In
+// torn mode the failing write still emits its prefix up to the fail
+// point — a torn write, the on-disk shape of a crash mid-flush. In
+// clean mode the failing write emits nothing. Either way the fault is
+// sticky: every subsequent write fails too, modelling a log device
+// that died (a WAL must not keep appending past a lost flush, because
+// recovery stops at the first hole).
+//
+// Writer is not safe for concurrent use; wal.Log serializes writes
+// under its own mutex, which is the intended deployment.
+type Writer struct {
+	// W is the underlying writer.
+	W io.Writer
+	// FailAfter is the number of bytes accepted before the fault
+	// fires; negative disables the fault entirely.
+	FailAfter int64
+	// Torn makes the failing write emit its prefix up to FailAfter
+	// (torn write); false suppresses the failing write entirely
+	// (clean write error).
+	Torn bool
+
+	written int64
+	failed  bool
+}
+
+// Written returns the number of bytes passed through to W.
+func (w *Writer) Written() int64 { return w.written }
+
+// Failed reports whether the fault has fired.
+func (w *Writer) Failed() bool { return w.failed }
+
+// Write implements io.Writer with the planned fault.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.failed {
+		return 0, ErrInjected
+	}
+	if w.FailAfter < 0 || w.written+int64(len(p)) <= w.FailAfter {
+		n, err := w.W.Write(p)
+		w.written += int64(n)
+		return n, err
+	}
+	w.failed = true
+	if !w.Torn {
+		return 0, ErrInjected
+	}
+	keep := w.FailAfter - w.written
+	if keep < 0 {
+		keep = 0
+	}
+	n, err := w.W.Write(p[:keep])
+	w.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, ErrInjected
+}

@@ -1,0 +1,71 @@
+package faultio
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPassThrough(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAfter: -1}
+	for i := 0; i < 10; i++ {
+		if n, err := w.Write([]byte("abcd")); n != 4 || err != nil {
+			t.Fatalf("write = %d, %v", n, err)
+		}
+	}
+	if buf.Len() != 40 || w.Written() != 40 || w.Failed() {
+		t.Fatalf("len=%d written=%d failed=%v", buf.Len(), w.Written(), w.Failed())
+	}
+}
+
+func TestTornWriteEmitsPrefixThenSticks(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAfter: 10, Torn: true}
+	if n, err := w.Write(make([]byte, 8)); n != 8 || err != nil {
+		t.Fatalf("first write = %d, %v", n, err)
+	}
+	// Crosses the fail point: 2 of 8 bytes land, then the injected error.
+	n, err := w.Write(make([]byte, 8))
+	if n != 2 || err != ErrInjected {
+		t.Fatalf("torn write = %d, %v", n, err)
+	}
+	if buf.Len() != 10 {
+		t.Fatalf("buffer holds %d bytes, want the 10-byte torn prefix", buf.Len())
+	}
+	// Sticky: nothing more gets through.
+	if n, err := w.Write([]byte("x")); n != 0 || err != ErrInjected {
+		t.Fatalf("post-fault write = %d, %v", n, err)
+	}
+	if buf.Len() != 10 {
+		t.Fatalf("post-fault bytes leaked: %d", buf.Len())
+	}
+}
+
+func TestCleanErrorEmitsNothing(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAfter: 4, Torn: false}
+	if _, err := w.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := w.Write([]byte("efgh"))
+	if n != 0 || err != ErrInjected {
+		t.Fatalf("failing write = %d, %v", n, err)
+	}
+	if buf.String() != "abcd" {
+		t.Fatalf("buffer = %q", buf.String())
+	}
+}
+
+func TestExactBoundaryDoesNotFire(t *testing.T) {
+	var buf bytes.Buffer
+	w := &Writer{W: &buf, FailAfter: 8, Torn: true}
+	if _, err := w.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write landing exactly on the boundary must succeed: %v", err)
+	}
+	if w.Failed() {
+		t.Fatal("fault fired without crossing the boundary")
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || err != ErrInjected {
+		t.Fatalf("next write = %d, %v", n, err)
+	}
+}

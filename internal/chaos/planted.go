@@ -1,0 +1,82 @@
+//go:build chaosbug
+
+// Planted isolation bug: a harness that cannot fail proves nothing, so
+// building with -tags chaosbug registers a scenario that MUST fail.
+// The bug is the classic "validation skipped under load" class: a
+// protocol that behaves like SILO except that every other commit goes
+// through the unvalidated install path (cc.None.Commit — staged writes
+// installed without read validation). Concurrent read-modify-writes on
+// hot rows then interleave as lost updates: two transactions read the
+// same version and both commit, which the serializability checker
+// surfaces as an rw/ww cycle. TestPlantedBug asserts the checker
+// catches it; CI runs that test on every push.
+
+package chaos
+
+import (
+	"sync/atomic"
+
+	"tskd/internal/cc"
+	"tskd/internal/engine"
+	"tskd/internal/history"
+	"tskd/internal/storage"
+	"tskd/internal/workload"
+)
+
+// brokenSilo is SILO with read validation skipped on every other
+// commit.
+type brokenSilo struct {
+	silo *cc.Silo
+	none *cc.None
+	n    atomic.Uint64
+}
+
+func (p *brokenSilo) Name() string         { return "BROKEN_SILO" }
+func (p *brokenSilo) Begin(c *cc.Ctx)      { p.silo.Begin(c) }
+func (p *brokenSilo) Abort(c *cc.Ctx)      { p.silo.Abort(c) }
+func (p *brokenSilo) Read(c *cc.Ctx, row *storage.Row) (*storage.Tuple, error) {
+	return p.silo.Read(c, row)
+}
+func (p *brokenSilo) Write(c *cc.Ctx, row *storage.Row, upd cc.UpdateFunc) error {
+	return p.silo.Write(c, row, upd)
+}
+func (p *brokenSilo) Commit(c *cc.Ctx) error {
+	if p.n.Add(1)%2 == 0 {
+		return p.none.Commit(c) // installs staged writes, validates nothing
+	}
+	return p.silo.Commit(c)
+}
+
+// runPlantedBug executes an extremely hot read-modify-write bundle
+// under the broken protocol. The expected verdict is FAIL with a
+// serialization cycle; a PASS here means the checker has gone blind.
+func runPlantedBug(seed int64) Report {
+	var v violations
+	cfg := workload.YCSB{
+		Records: 100, Theta: 0.99, Txns: 400, OpsPerTxn: 8,
+		ReadRatio: 0.5, RMW: true, Seed: seed,
+	}
+	w := cfg.Generate()
+	db := cfg.BuildDB()
+	rec := history.NewRecorder()
+	proto := &brokenSilo{silo: cc.NewSilo(), none: cc.NewNone()}
+	m := engine.Run(w, []engine.Phase{engine.SpreadRoundRobin(w, 8)}, engine.Config{
+		Workers: 8, Protocol: proto, DB: db, Recorder: rec, Seed: seed,
+	})
+	if m.Committed != uint64(len(w)) {
+		v.addf("committed %d of %d", m.Committed, len(w))
+	}
+	checkExactlyOnce(&v, rec.Events(), len(w))
+	if err := rec.Check(); err != nil {
+		v.addf("serializability: %v", err)
+	}
+	return report("planted-bug", seed, "proto=BROKEN_SILO workers=8 (expected verdict: FAIL)", v)
+}
+
+func init() {
+	plantedScenario = &Scenario{
+		Name: "planted-bug",
+		Doc:  "EXPECTED FAIL: SILO with validation skipped on half its commits; proves the checker can catch real bugs",
+		Run:  runPlantedBug,
+	}
+}

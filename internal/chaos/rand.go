@@ -1,0 +1,48 @@
+package chaos
+
+import "time"
+
+// The chaos harness must produce the same fault schedule for the same
+// seed no matter how the host interleaves worker goroutines. A shared
+// sequential PRNG cannot do that — the order in which concurrent
+// workers draw from it is racy — so every injection decision is instead
+// a pure function of (seed, fault point, site keys): an FNV-style fold
+// over the point name mixed with the keys, finished with the splitmix64
+// avalanche. Two runs with the same seed evaluate the same function at
+// every site, which is exactly the "replayable from -seed alone"
+// contract; which sites get *visited* (e.g. how many retries a
+// transaction needs) still depends on real concurrency, but the
+// schedule — the site→decision mapping — is bit-identical.
+
+// site hashes (seed, point, keys...) into a uniform 64-bit value.
+func site(seed int64, point string, keys ...int64) uint64 {
+	h := uint64(seed)*0x9E3779B97F4A7C15 + 0x632BE59BD9B4E019
+	for i := 0; i < len(point); i++ {
+		h = (h ^ uint64(point[i])) * 0x100000001B3
+	}
+	for _, k := range keys {
+		h ^= uint64(k) + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+	}
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// frac maps a hash to [0, 1).
+func frac(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// hit reports whether the site fires at the given rate.
+func hit(h uint64, rate float64) bool { return rate > 0 && frac(h) < rate }
+
+// stretch maps a hash to a duration in (0, max], reusing high bits so
+// hit and stretch on the same site stay independent enough.
+func stretch(h uint64, max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return 1 + time.Duration(float64(max-1)*frac(h*0x9E3779B97F4A7C15+1))
+}

@@ -1,0 +1,51 @@
+package chaos
+
+import (
+	"tskd/internal/clock"
+	"tskd/internal/conflict"
+	"tskd/internal/sim"
+	"tskd/internal/txn"
+)
+
+// runSimSkew exercises the discrete-event simulator under its
+// duration-noise model (the clock-skew analogue in pure virtual time):
+// estimates drift by up to ±SimNoise per attempt. The simulator's whole
+// value is bit-reproducibility — the same seed must yield the same
+// Result on any machine — so the invariant is replay equality, with and
+// without noise, plus completeness (noise delays transactions but may
+// never lose one).
+func runSimSkew(seed int64) Report {
+	plan := NewPlan(seed)
+	var v violations
+	_, w := engineWorkload(seed)
+	g := conflict.Build(w, conflict.Serializability)
+
+	phase := make([][]*txn.Transaction, plan.Workers)
+	for i, t := range w {
+		phase[i%plan.Workers] = append(phase[i%plan.Workers], t)
+	}
+	phases := [][][]*txn.Transaction{phase}
+	cost := func(t *txn.Transaction) clock.Units { return clock.Units(len(t.Ops)) }
+
+	run := func(noise float64) sim.Result {
+		return sim.Run(phases, g, sim.Config{Cost: cost, Noise: noise, Seed: seed})
+	}
+	noisy, noisyReplay := run(plan.SimNoise), run(plan.SimNoise)
+	if noisy != noisyReplay {
+		v.addf("sim replay diverged under noise %.3f: %+v vs %+v", plan.SimNoise, noisy, noisyReplay)
+	}
+	exact, exactReplay := run(0), run(0)
+	if exact != exactReplay {
+		v.addf("noise-free sim replay diverged: %+v vs %+v", exact, exactReplay)
+	}
+	if noisy.Committed != len(w) {
+		v.addf("noisy sim committed %d of %d", noisy.Committed, len(w))
+	}
+	if exact.Committed != len(w) {
+		v.addf("exact sim committed %d of %d", exact.Committed, len(w))
+	}
+	if noisy.Makespan <= 0 || exact.Makespan <= 0 {
+		v.addf("degenerate makespan: noisy %d, exact %d", int64(noisy.Makespan), int64(exact.Makespan))
+	}
+	return report("sim-skew", seed, plan.simSummary(), v)
+}

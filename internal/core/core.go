@@ -59,6 +59,9 @@ type Options struct {
 	// Ctx, when non-nil, cancels execution midway (deadlines, server
 	// shutdown); abandoned transactions count into Metrics.Canceled.
 	Ctx context.Context
+	// Hooks, when non-nil, enables the engine's fault-injection points
+	// (internal/chaos drives them); leave nil in production runs.
+	Hooks *engine.Hooks
 	// Seed drives all randomized pieces.
 	Seed int64
 }
@@ -153,7 +156,7 @@ func RunBaseline(db *storage.DB, w txn.Workload, p partition.Partitioner, o Opti
 	m := engine.Run(w, phases, engine.Config{
 		Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 		Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
-		TraceSpans: o.TraceSpans, Ctx: o.Ctx,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks,
 	})
 	return Result{
 		Metrics: m, System: p.Name(),
@@ -205,7 +208,7 @@ func RunTSKD(db *storage.DB, w txn.Workload, p partition.Partitioner, o Options)
 	m := engine.Run(w, phases, engine.Config{
 		Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 		Defer: o.deferCfg(), Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
-		TraceSpans: o.TraceSpans, Ctx: o.Ctx,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks,
 	})
 	stats := s.Stats
 	return Result{
@@ -254,14 +257,14 @@ func RunTSKDNoCC(db *storage.DB, w txn.Workload, p partition.Partitioner, o Opti
 	m := engine.Run(w, []engine.Phase{{PerThread: s.Queues}}, engine.Config{
 		Workers: o.Workers, Protocol: cc.NewNone(), DB: db, OpTime: o.OpTime,
 		Recorder: o.Recorder, Seed: o.Seed,
-		TraceSpans: o.TraceSpans, Ctx: o.Ctx,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks,
 	})
 	// Phase 2: residual with CC (+ TsDEFER).
 	if len(s.Residual) > 0 {
 		m2 := engine.Run(w, []engine.Phase{engine.SpreadRoundRobin(s.Residual, o.Workers)}, engine.Config{
 			Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 			Defer: o.deferCfg(), Recorder: o.Recorder, Seed: o.Seed + 1,
-			TraceSpans: o.TraceSpans, Ctx: o.Ctx,
+			TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks,
 		})
 		m.Add(m2)
 	}
@@ -305,7 +308,7 @@ func RunTsDeferOnly(db *storage.DB, w txn.Workload, p partition.Partitioner, o O
 	m := engine.Run(w, phases, engine.Config{
 		Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 		Defer: o.deferCfg(), Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
-		TraceSpans: o.TraceSpans, Ctx: o.Ctx,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks,
 	})
 	return Result{
 		Metrics: m, System: "TsDEFER",
@@ -325,7 +328,7 @@ func RunCC(db *storage.DB, w txn.Workload, o Options) (Result, error) {
 	m := engine.Run(w, []engine.Phase{engine.SpreadRoundRobin(w, o.Workers)}, engine.Config{
 		Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 		Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
-		TraceSpans: o.TraceSpans, Ctx: o.Ctx,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks,
 	})
 	return Result{Metrics: m, System: "DBCC"}, nil
 }
@@ -341,7 +344,7 @@ func RunTSKDCC(db *storage.DB, w txn.Workload, o Options) (Result, error) {
 	m := engine.Run(w, []engine.Phase{engine.SpreadRoundRobin(w, o.Workers)}, engine.Config{
 		Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 		Defer: o.deferCfg(), Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
-		TraceSpans: o.TraceSpans, Ctx: o.Ctx,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks,
 	})
 	return Result{Metrics: m, System: "TSKD[CC]"}, nil
 }

@@ -62,6 +62,40 @@ func DefaultDefer() *DeferConfig {
 	return &DeferConfig{Lookups: 2, DeferP: 0.6, Horizon: 1, Alpha: 1, MaxDefers: 8, Exact: true}
 }
 
+// Hooks is the engine's fault-injection surface: optional callbacks on
+// the execution, retry, dependency-wait and durability paths. The chaos
+// harness (internal/chaos) drives them from a seeded, site-keyed
+// deterministic schedule; production runs leave Hooks nil, which costs
+// a single pointer check per site. Hook implementations are called
+// concurrently from every worker and must be safe for concurrent use.
+type Hooks struct {
+	// BeforeAttempt runs before each execution attempt of a
+	// transaction (attempt 0 is the first try, >0 are retries). A
+	// positive return stalls the worker that long; the stall counts
+	// into the attempt's virtual busy time, shifting the transaction's
+	// execution interval exactly like an OS-level preemption.
+	BeforeAttempt func(worker, txnID, attempt int) time.Duration
+	// BeforeOp runs before each data access (opIdx counts the
+	// operations executed so far in this attempt). A positive return
+	// injects a per-access latency spike, also charged to busy time.
+	BeforeOp func(worker, txnID, opIdx int) time.Duration
+	// BeforeDepWait runs once per application-specified dependency
+	// before the worker starts spinning on it; a positive return
+	// stalls the worker first (wait time is not busy time, matching
+	// the engine's accounting of genuine dependency waits).
+	BeforeDepWait func(worker, txnID, dep int) time.Duration
+	// SkewBusy rewrites a commit's recorded busy time — clock skew on
+	// the worker's virtual-time progress tracking. It perturbs
+	// VirtualTime, latency percentiles and ExecSpans but must never
+	// affect isolation; the chaos checker verifies exactly that.
+	SkewBusy func(worker int, busy time.Duration) time.Duration
+	// OnWALError, when non-nil, is called instead of panicking when a
+	// commit's WAL append fails; the transaction stays committed in
+	// memory but its durability is not acknowledged. The chaos harness
+	// uses it to track which commits survived an injected log failure.
+	OnWALError func(t *txn.Transaction, err error)
+}
+
 // Config configures a run.
 type Config struct {
 	// Workers is the number of execution threads (#core).
@@ -101,6 +135,9 @@ type Config struct {
 	// committed nor aborted for application reasons. Nil means run to
 	// completion.
 	Ctx context.Context
+	// Hooks, when non-nil, enables fault injection on the execution,
+	// retry, dependency-wait and durability paths; see Hooks.
+	Hooks *Hooks
 	// Seed drives worker-local randomness (backoff, probe choices).
 	Seed int64
 
@@ -404,6 +441,10 @@ type worker struct {
 	// opsRun counts the operations executed in the current attempt,
 	// feeding the virtual-time accounting.
 	opsRun int
+	// injected accumulates fault-injected stall time in the current
+	// attempt; it is charged into the attempt's busy time so injected
+	// faults shift execution intervals in virtual time too.
+	injected time.Duration
 }
 
 // opUnit is the virtual cost charged per operation: the configured
@@ -484,6 +525,9 @@ func (wk *worker) execute(t *txn.Transaction) bool {
 	// positions topologically, so these waits cannot cycle.
 	if wk.cfg.committed != nil {
 		for _, dep := range wk.cfg.Deps.Before(t.ID) {
+			if h := wk.cfg.Hooks; h != nil && h.BeforeDepWait != nil {
+				clock.Spin(h.BeforeDepWait(wk.id, t.ID, int(dep)))
+			}
 			for !wk.cfg.committed[dep].Load() {
 				if wk.canceled() {
 					return false
@@ -505,11 +549,18 @@ func (wk *worker) execute(t *txn.Transaction) bool {
 		attemptStart := time.Now()
 		proto.Begin(wk.ctx)
 		wk.opsRun = 0
+		wk.injected = 0
+		if h := wk.cfg.Hooks; h != nil && h.BeforeAttempt != nil {
+			if d := h.BeforeAttempt(wk.id, t.ID, attempt); d > 0 {
+				clock.Spin(d)
+				wk.injected += d
+			}
+		}
 		err := wk.runOps(t)
 		if err == nil && t.UserAbort {
 			proto.Abort(wk.ctx)
 			wk.stats.userAborts++
-			wk.stats.busy += time.Duration(wk.opsRun) * wk.opUnit()
+			wk.stats.busy += time.Duration(wk.opsRun)*wk.opUnit() + wk.injected
 			if wk.cfg.committed != nil {
 				// The transaction finished (rolled back): dependents
 				// must not wait forever.
@@ -521,7 +572,7 @@ func (wk *worker) execute(t *txn.Transaction) bool {
 		// lower bound — every retry re-runs the transaction and re-pays
 		// its runtime, which is precisely why conflict penalties grow
 		// with transaction length (Section 6.1).
-		attemptWork := time.Duration(wk.opsRun) * wk.opUnit()
+		attemptWork := time.Duration(wk.opsRun)*wk.opUnit() + wk.injected
 		if err == nil {
 			// Runtime lower bound (minT extension): delay commit until
 			// the bound has elapsed for this attempt.
@@ -552,6 +603,9 @@ func (wk *worker) execute(t *txn.Transaction) bool {
 			// Charge a nominal stall per contended latch/mutex
 			// acquisition on top of the attempt work.
 			busy += time.Duration(wk.ccStats.Contended-contended0) * wk.opUnit()
+			if h := wk.cfg.Hooks; h != nil && h.SkewBusy != nil {
+				busy = h.SkewBusy(wk.id, busy)
+			}
 			wk.stats.busy += busy
 			wk.stats.lat.Record(busy)
 			if t.Template != "" {
@@ -591,6 +645,12 @@ func (wk *worker) runOps(t *txn.Transaction) error {
 	proto := wk.cfg.Protocol
 	db := wk.cfg.DB
 	for _, op := range t.Ops {
+		if h := wk.cfg.Hooks; h != nil && h.BeforeOp != nil {
+			if d := h.BeforeOp(wk.id, t.ID, wk.opsRun); d > 0 {
+				clock.Spin(d)
+				wk.injected += d
+			}
+		}
 		if op.Kind == txn.OpScan {
 			if err := wk.runScan(t, op); err != nil {
 				return err
@@ -698,8 +758,14 @@ func (wk *worker) logCommit(t *txn.Transaction) {
 		rec.Writes[i] = wal.Update{Key: uint64(w.Key), Ver: w.Ver, Fields: w.Fields}
 	}
 	// Log failures are fatal to durability but not to the in-memory
-	// execution; surface them loudly in tests via the panic below.
+	// execution; surface them loudly in tests via the panic below,
+	// unless a fault hook claims them (chaos runs inject log errors on
+	// purpose and track which commits lost durability).
 	if err := wk.cfg.WAL.Append(rec); err != nil {
+		if h := wk.cfg.Hooks; h != nil && h.OnWALError != nil {
+			h.OnWALError(t, err)
+			return
+		}
 		panic("engine: WAL append failed: " + err.Error())
 	}
 }

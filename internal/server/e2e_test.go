@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"sync"
 	"testing"
@@ -382,5 +383,103 @@ func TestMalformedRequests(t *testing.T) {
 	resp, err = conn.Submit(context.Background(), req)
 	if err != nil || !resp.Committed() {
 		t.Errorf("post-error submit: %+v %v", resp, err)
+	}
+}
+
+// TestClientDisconnectMidStream kills a client connection after its
+// transactions are admitted but (mostly) before their outcomes stream
+// back. The contract under test: admitted transactions still execute
+// exactly once — outcomes are forfeited by the dead client, never lost
+// by the server and never executed twice — and other connections are
+// unaffected. Unique marker inserts per submission make the execution
+// count observable through the recorder.
+func TestClientDisconnectMidStream(t *testing.T) {
+	rec := history.NewRecorder()
+	s, _ := startServer(t, func(c *Config) {
+		c.Core.Recorder = rec
+		c.FlushInterval = 50 * time.Millisecond // admit first, execute later
+	})
+
+	const markerBase = 1 << 20
+	marker := func(i int) uint64 { return markerBase + uint64(i) }
+	makeReq := func(t *testing.T, seq uint64, m uint64) client.Request {
+		tx := txn.New(0).
+			R(txn.MakeKey(workload.YCSBTable, m%64)).
+			U(txn.MakeKey(workload.YCSBTable, (m+7)%64), 1).
+			I(txn.MakeKey(workload.YCSBTable, m))
+		req, err := client.NewRequest(seq, tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return req
+	}
+
+	// The doomed client: fire-and-forget submissions on a raw
+	// connection, then slam it shut without reading a single response.
+	const doomed = 60
+	nc, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(nc)
+	for i := 0; i < doomed; i++ {
+		req := makeReq(t, uint64(i+1), marker(i))
+		if err := enc.Encode(&req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Admitted < doomed {
+		if time.Now().After(deadline) {
+			t.Fatalf("admission stalled: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	nc.Close() // mid-stream: admitted, outcomes still pending
+
+	// A healthy client on a separate connection must be unaffected.
+	const live = 40
+	conn, err := client.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < live; i++ {
+		resp, err := conn.Submit(context.Background(), makeReq(t, 0, marker(doomed+i)))
+		if err != nil {
+			t.Fatalf("live submit %d: %v", i, err)
+		}
+		if !resp.Committed() {
+			t.Fatalf("live submit %d: %+v", i, resp)
+		}
+	}
+
+	// Drain, then reconcile: every admitted transaction executed
+	// exactly once, dead connection or not.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	installs := make(map[uint64]int)
+	for _, e := range rec.Events() {
+		for _, w := range e.Writes {
+			if w.Key.Row() >= markerBase {
+				installs[w.Key.Row()]++
+			}
+		}
+	}
+	for i := 0; i < doomed+live; i++ {
+		if n := installs[marker(i)]; n != 1 {
+			t.Errorf("submission %d executed %d times, want exactly 1", i, n)
+		}
+	}
+	st := s.Stats()
+	if st.Admitted != doomed+live || st.Committed != doomed+live {
+		t.Errorf("admitted %d committed %d, want %d/%d", st.Admitted, st.Committed, doomed+live, doomed+live)
+	}
+	if st.ResultsStreamed != doomed+live {
+		t.Errorf("results streamed %d, want %d (dead client forfeits, server still streams)", st.ResultsStreamed, doomed+live)
+	}
+	if err := rec.Check(); err != nil {
+		t.Errorf("serializability: %v", err)
 	}
 }
