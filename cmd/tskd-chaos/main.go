@@ -21,6 +21,10 @@ import (
 )
 
 func main() {
+	// The kill-restart scenario re-execs this binary as its durable
+	// server child; in that mode MaybeServerChild never returns.
+	chaos.MaybeServerChild()
+
 	seed := flag.Int64("seed", 1, "base seed for the fault schedules")
 	n := flag.Int("n", 1, "number of consecutive seeds to run (seed, seed+1, ...)")
 	scenario := flag.String("scenario", "", "run only this scenario (default: all)")

@@ -15,6 +15,11 @@
 // shape the generated access patterns (they must target the schema
 // tskd-serve loaded). Latency percentiles come from the repo's
 // log-bucketed histograms (internal/metrics).
+//
+// -reliable switches closed-loop clients to the reconnecting client
+// (idempotency keys, resubmit on connection loss, jittered backoff):
+// the benchmark then survives a server crash-restart mid-run, and
+// against a -data-dir server every counted commit is exactly-once.
 package main
 
 import (
@@ -83,6 +88,7 @@ func main() {
 		readRatio = flag.Float64("readratio", 0.5, "fraction of reads")
 		rmw       = flag.Bool("rmw", true, "read-modify-write updates (vs blind writes)")
 		seed      = flag.Int64("seed", 1, "generation seed")
+		reliable  = flag.Bool("reliable", false, "closed loop: reconnect + resubmit under idempotency keys")
 		jsonOut   = flag.Bool("json", false, "print the summary as JSON")
 	)
 	flag.Parse()
@@ -99,7 +105,7 @@ func main() {
 	)
 	switch *mode {
 	case "closed":
-		elapsed, err = runClosed(*addr, gen, *clients, *n, *seed, *timeout, &ta)
+		elapsed, err = runClosed(*addr, gen, *clients, *n, *seed, *timeout, *reliable, &ta)
 	case "open":
 		elapsed, err = runOpen(*addr, gen, *conns, *rate, *arrival, *n, *seed, *timeout, &ta)
 	default:
@@ -136,8 +142,11 @@ func makeRequests(gen workload.YCSB, n int, seed int64) ([]client.Request, error
 // runClosed drives k clients, each submit-wait-repeat over its own
 // connection. A rejected submission backs off by the server's
 // retry-after hint and retries — the closed-loop contract is that
-// every generated transaction eventually commits.
-func runClosed(addr string, gen workload.YCSB, k, total int, seed int64, timeout time.Duration, ta *tally) (time.Duration, error) {
+// every generated transaction eventually commits. With reliable set,
+// each client is a ReliableConn instead: rejections, reconnects and
+// resubmissions happen inside Submit under a stable idempotency key,
+// so the loop keeps going through a server crash-restart.
+func runClosed(addr string, gen workload.YCSB, k, total int, seed int64, timeout time.Duration, reliable bool, ta *tally) (time.Duration, error) {
 	perClient := (total + k - 1) / k
 	outcomes := make(chan outcome, 1024)
 	errs := make(chan error, k)
@@ -150,6 +159,24 @@ func runClosed(addr string, gen workload.YCSB, k, total int, seed int64, timeout
 			reqs, err := makeRequests(gen, perClient, seed+int64(ci)*7919)
 			if err != nil {
 				errs <- err
+				return
+			}
+			if reliable {
+				// Zero Seed: fresh idempotency keyspace every run.
+				// Deriving it from -seed would make a re-run of the same
+				// benchmark against a durable server an all-duplicate
+				// no-op — the dedup window would answer every submission
+				// from cache instead of executing it.
+				rc := client.DialReliable(addr, client.RetryPolicy{})
+				defer rc.Close()
+				for _, req := range reqs {
+					o, err := submitReliable(rc, req, timeout)
+					if err != nil {
+						errs <- err
+						return
+					}
+					outcomes <- o
+				}
 				return
 			}
 			conn, err := client.Dial(addr)
@@ -262,6 +289,27 @@ func runOpen(addr string, gen workload.YCSB, nconns int, rate float64, arrival s
 	close(outcomes)
 	<-collectDone
 	return time.Since(start), nil
+}
+
+// submitReliable submits through a ReliableConn until the transaction
+// reaches a terminal outcome; the end-to-end latency includes every
+// backoff and reconnect, which is what a real caller experiences.
+func submitReliable(rc *client.ReliableConn, req client.Request, timeout time.Duration) (outcome, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	t0 := time.Now()
+	resp, err := rc.Submit(ctx, req)
+	if err != nil {
+		return outcome{}, err
+	}
+	return outcome{
+		status:  resp.Status,
+		retries: resp.Retries,
+		raMS:    resp.RetryAfterMS,
+		e2e:     time.Since(t0),
+		queue:   time.Duration(resp.QueueUS) * time.Microsecond,
+		exec:    time.Duration(resp.ExecUS) * time.Microsecond,
+	}, nil
 }
 
 // submitOne submits and converts the response into an outcome.

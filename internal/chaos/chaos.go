@@ -89,6 +89,11 @@ func Scenarios() []Scenario {
 			Run:  runServerFaults,
 		},
 		{
+			Name: "kill-restart",
+			Doc:  "durable server SIGKILLed mid-load, restarted, in-doubt txns resubmitted; no acked commit lost, exactly-once",
+			Run:  runKillRestart,
+		},
+		{
 			Name: "sim-skew",
 			Doc:  "discrete-event simulator under duration noise; bit-identical replay",
 			Run:  runSimSkew,

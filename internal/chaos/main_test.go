@@ -1,0 +1,14 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets the kill-restart scenario re-exec this test binary as
+// its durable server child: MaybeServerChild takes over (and exits)
+// when the child environment is set, and is a no-op otherwise.
+func TestMain(m *testing.M) {
+	MaybeServerChild()
+	os.Exit(m.Run())
+}

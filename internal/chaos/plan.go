@@ -36,6 +36,13 @@ const (
 	// PointSimNoise is the simulator's duration-noise model (the
 	// clock-skew model reused from internal/sim).
 	PointSimNoise = "sim/duration-noise"
+	// PointKillServer is the kill-and-restart scenario's process kill:
+	// the instant is chosen by the seed-derived acknowledged-commit
+	// threshold (Plan.KillAfterAcks), and PointKillRedeliver selects
+	// which acknowledged keys are redelivered after the restart (keys:
+	// client, submission index).
+	PointKillServer    = "server/kill"
+	PointKillRedeliver = "server/kill-redeliver"
 )
 
 // Plan is the seed-derived fault schedule for one chaos run: which
@@ -73,6 +80,17 @@ type Plan struct {
 
 	// Simulator clock-skew amplitude (sim.Config.Noise).
 	SimNoise float64
+
+	// Kill-and-restart scenario: a durable server child process is
+	// SIGKILLed once KillAfterAcks commits were acknowledged, restarted
+	// over the same data directory, and the in-doubt submissions are
+	// resubmitted under their original idempotency keys.
+	KillClients         int     // concurrent phase-1 clients
+	KillSubs            int     // submissions per client
+	KillAfterAcks       int     // SIGKILL once this many commits acked
+	KillSegmentBytes    int64   // child WAL segment rotation threshold
+	KillCheckpointBytes int64   // child checkpoint threshold
+	KillRedeliver       float64 // P(redeliver an acked key after restart)
 }
 
 // engineProtocols are the CC protocols the chaos scenarios rotate
@@ -110,6 +128,19 @@ func NewPlan(seed int64) Plan {
 		p.WALFailAfter = int64(1024 + rng.Intn(63*1024))
 		p.WALTorn = rng.Intn(2) == 0
 	}
+	// Kill-and-restart knobs, drawn after everything else so the other
+	// scenarios' schedules are unchanged per seed. The kill lands
+	// between ~20% and ~70% of the way through the load; the tiny
+	// segment and checkpoint thresholds force rotation + truncation to
+	// happen before the kill, so recovery crosses real checkpoint and
+	// truncation boundaries.
+	p.KillClients = 2 + rng.Intn(2)
+	p.KillSubs = 30 + rng.Intn(31)
+	total := p.KillClients * p.KillSubs
+	p.KillAfterAcks = total/5 + rng.Intn(total/2)
+	p.KillSegmentBytes = int64(4096 + rng.Intn(4096))
+	p.KillCheckpointBytes = int64(16384 + rng.Intn(16384))
+	p.KillRedeliver = 0.2 + 0.3*rng.Float64()
 	return p
 }
 
@@ -175,6 +206,19 @@ func (p Plan) simSummary() string {
 func (p Plan) serverSummary() string {
 	return fmt.Sprintf("proto=%s workers=%d drop=%.3f burst=%dx%d queue=%d",
 		p.Protocol, p.Workers, p.DropRate, p.BurstEvery, p.BurstSize, p.QueueDepth)
+}
+
+// killSummary renders the kill-and-restart schedule.
+func (p Plan) killSummary() string {
+	return fmt.Sprintf("proto=%s workers=%d load=%dx%d kill@%d seg=%d ckpt=%d redeliver=%.3f",
+		p.Protocol, p.Workers, p.KillClients, p.KillSubs, p.KillAfterAcks,
+		p.KillSegmentBytes, p.KillCheckpointBytes, p.KillRedeliver)
+}
+
+// redeliverAcked decides whether the acked submission (c, i) is
+// redelivered after the restart (expected verdict: Duplicate).
+func (p Plan) redeliverAcked(client, i int) bool {
+	return hit(site(p.Seed, PointKillRedeliver, int64(client), int64(i)), p.KillRedeliver)
 }
 
 // dropSubmission decides whether submission i of client c loses its

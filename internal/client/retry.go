@@ -1,0 +1,234 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// retry.go: the reliable client. A plain Conn surfaces every failure
+// to the caller — a lost connection mid-Submit leaves the outcome
+// unknown, because the transaction may have committed before the ack
+// was lost. ReliableConn closes that gap with idempotency keys: every
+// request carries a key, so resubmitting after a reconnect is safe —
+// a server that already committed the transaction (this incarnation or
+// a recovered one) answers from its dedup window with Duplicate set
+// instead of executing again. Combined with the server's WAL-backed
+// acknowledgments this yields exactly-once effects across client
+// reconnects AND server crash-restarts.
+//
+// Rejections (admission backpressure, in-flight duplicates) are
+// retried with jittered exponential backoff, never below the server's
+// retry-after hint.
+
+// RetryPolicy shapes ReliableConn's resubmission behavior.
+type RetryPolicy struct {
+	// Base is the first backoff step (default 2ms). Each retry doubles
+	// it up to Max (default 500ms); the actual sleep is jittered
+	// uniformly in [d/2, d) and never below the server's retry-after.
+	Base time.Duration
+	Max  time.Duration
+	// MaxAttempts bounds submissions of one transaction, reconnects
+	// included (default 20); exceeding it returns ErrRetriesExhausted.
+	MaxAttempts int
+	// RetryCanceled also resubmits transactions the server reported
+	// canceled (admitted, then hard-stopped before commit). Safe under
+	// idempotency keys and usually wanted: a canceled transaction's
+	// effects never became durable. Default true.
+	RetryCanceled *bool
+	// Seed fixes the jitter sequence (0: nondeterministic).
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Base <= 0 {
+		p.Base = 2 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 500 * time.Millisecond
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 20
+	}
+	if p.RetryCanceled == nil {
+		t := true
+		p.RetryCanceled = &t
+	}
+	return p
+}
+
+// ErrRetriesExhausted reports a transaction that exceeded
+// RetryPolicy.MaxAttempts without reaching a terminal outcome.
+var ErrRetriesExhausted = errors.New("client: retries exhausted")
+
+// ReliableConn is a self-healing client: it dials lazily, reconnects
+// on connection failure, and resubmits under stable idempotency keys
+// until each transaction reaches a terminal outcome. Safe for
+// concurrent use.
+type ReliableConn struct {
+	addr   string
+	policy RetryPolicy
+
+	mu   sync.Mutex
+	conn *Conn // current connection; nil between failures
+	rng  *rand.Rand
+	next uint64 // idempotency key counter (keyspace chosen at dial)
+}
+
+// DialReliable returns a reliable client for addr. No connection is
+// attempted until the first Submit, so it succeeds even while the
+// server is still down — Submit will keep redialing within its
+// attempt budget.
+func DialReliable(addr string, policy RetryPolicy) *ReliableConn {
+	policy = policy.withDefaults()
+	seed := policy.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ReliableConn{
+		addr:   addr,
+		policy: policy,
+		rng:    rng,
+		// Random keyspace start: two clients (or two incarnations of
+		// one) must not collide on keys within the server's window.
+		next: rng.Uint64() | 1,
+	}
+}
+
+// NextIdemKey returns a fresh idempotency key from the connection's
+// keyspace (callers that build requests themselves).
+func (r *ReliableConn) NextIdemKey() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextKeyLocked()
+}
+
+func (r *ReliableConn) nextKeyLocked() uint64 {
+	k := r.next
+	r.next++
+	if r.next == 0 {
+		r.next = 1 // zero means "no key" on the wire
+	}
+	return k
+}
+
+// current returns a live connection, dialing if necessary.
+func (r *ReliableConn) current() (*Conn, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conn != nil {
+		return r.conn, nil
+	}
+	c, err := Dial(r.addr)
+	if err != nil {
+		return nil, err
+	}
+	r.conn = c
+	return c, nil
+}
+
+// invalidate drops a failed connection so the next attempt redials.
+func (r *ReliableConn) invalidate(c *Conn) {
+	r.mu.Lock()
+	if r.conn == c {
+		r.conn = nil
+	}
+	r.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// backoff sleeps the jittered exponential step for attempt (0-based),
+// honoring the server's retry-after hint, unless ctx ends first.
+func (r *ReliableConn) backoff(ctx context.Context, attempt int, retryAfterMS int64) error {
+	d := r.policy.Base << uint(attempt)
+	if d > r.policy.Max || d <= 0 {
+		d = r.policy.Max
+	}
+	r.mu.Lock()
+	jittered := d/2 + time.Duration(r.rng.Int63n(int64(d/2)+1))
+	r.mu.Unlock()
+	if hint := time.Duration(retryAfterMS) * time.Millisecond; jittered < hint {
+		jittered = hint
+	}
+	select {
+	case <-time.After(jittered):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Submit sends one transaction and blocks until a terminal outcome:
+// commit (Duplicate set when an earlier attempt had already won),
+// abort, or error. A zero req.IdemKey is assigned automatically; a
+// nonzero one is kept, so a caller resuming after its own crash can
+// resubmit transactions it is unsure about under their original keys.
+func (r *ReliableConn) Submit(ctx context.Context, req Request) (Response, error) {
+	if req.IdemKey == 0 {
+		req.IdemKey = r.NextIdemKey()
+	}
+	var lastErr error
+	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
+		c, err := r.current()
+		if err != nil {
+			// Server unreachable: back off and redial.
+			lastErr = err
+			if err := r.backoff(ctx, attempt, 0); err != nil {
+				return Response{}, err
+			}
+			continue
+		}
+		resp, err := c.Submit(ctx, req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return Response{}, ctx.Err()
+			}
+			// Connection died with the outcome unknown — the exact
+			// case idempotency keys exist for. Reconnect and resubmit.
+			lastErr = err
+			r.invalidate(c)
+			if err := r.backoff(ctx, attempt, 0); err != nil {
+				return Response{}, err
+			}
+			continue
+		}
+		switch resp.Status {
+		case StatusCommit, StatusAbort, StatusError:
+			return resp, nil
+		case StatusCanceled:
+			if !*r.policy.RetryCanceled {
+				return resp, nil
+			}
+			lastErr = errors.New("client: transaction canceled by server")
+			if err := r.backoff(ctx, attempt, resp.RetryAfterMS); err != nil {
+				return Response{}, err
+			}
+		case StatusRejected:
+			lastErr = errors.New("client: rejected (backpressure)")
+			if err := r.backoff(ctx, attempt, resp.RetryAfterMS); err != nil {
+				return Response{}, err
+			}
+		default:
+			return resp, errors.New("client: unknown status " + resp.Status)
+		}
+	}
+	return Response{}, errors.Join(ErrRetriesExhausted, lastErr)
+}
+
+// Close tears down the current connection (a later Submit would
+// redial).
+func (r *ReliableConn) Close() error {
+	r.mu.Lock()
+	c := r.conn
+	r.conn = nil
+	r.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}

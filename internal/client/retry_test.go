@@ -1,0 +1,82 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestNextIdemKeyNeverZero checks the key generator's one hard rule:
+// zero means "no key" on the wire, so it is never handed out, even
+// when the counter wraps.
+func TestNextIdemKeyNeverZero(t *testing.T) {
+	r := DialReliable("127.0.0.1:1", RetryPolicy{Seed: 1})
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		k := r.NextIdemKey()
+		if k == 0 {
+			t.Fatal("zero idempotency key issued")
+		}
+		if seen[k] {
+			t.Fatalf("key %d issued twice", k)
+		}
+		seen[k] = true
+	}
+	// Force the wrap.
+	r.mu.Lock()
+	r.next = ^uint64(0)
+	r.mu.Unlock()
+	if k := r.NextIdemKey(); k != ^uint64(0) {
+		t.Fatalf("pre-wrap key = %d", k)
+	}
+	if k := r.NextIdemKey(); k == 0 {
+		t.Fatal("wrap issued the zero key")
+	}
+}
+
+// TestSubmitExhaustsRetriesOnDeadServer bounds the failure mode: with
+// no server at all, Submit returns ErrRetriesExhausted after
+// MaxAttempts dial attempts, not an infinite loop.
+func TestSubmitExhaustsRetriesOnDeadServer(t *testing.T) {
+	r := DialReliable("127.0.0.1:1", RetryPolicy{
+		Base: 100 * time.Microsecond, Max: time.Millisecond, MaxAttempts: 3, Seed: 7,
+	})
+	_, err := r.Submit(context.Background(), Request{Ops: "R[1:1]"})
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+}
+
+// TestSubmitHonorsContext checks that cancellation interrupts the
+// backoff sleep promptly.
+func TestSubmitHonorsContext(t *testing.T) {
+	r := DialReliable("127.0.0.1:1", RetryPolicy{
+		Base: time.Hour, Max: time.Hour, MaxAttempts: 5, Seed: 7,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := r.Submit(ctx, Request{Ops: "R[1:1]"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not interrupt the backoff")
+	}
+}
+
+// TestBackoffHonorsRetryAfter checks the server hint is a floor under
+// the jittered exponential step.
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	r := DialReliable("127.0.0.1:1", RetryPolicy{
+		Base: time.Microsecond, Max: 2 * time.Microsecond, Seed: 7,
+	})
+	start := time.Now()
+	if err := r.backoff(context.Background(), 0, 30); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("slept %v, retry-after hint was 30ms", d)
+	}
+}

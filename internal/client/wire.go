@@ -37,6 +37,13 @@ type Request struct {
 	// Ops is the operation list in compact notation, e.g.
 	// "R[x2]W[x2]R[x3]" or "U[1:42]I[2:7]".
 	Ops string `json:"ops"`
+	// IdemKey is an optional client-chosen idempotency key (nonzero to
+	// enable). Resubmitting the same key after a timeout or crash is
+	// safe: a server that already committed it replies commit with
+	// Duplicate set instead of executing again (exactly-once effects).
+	// Keys must be unique per logical transaction, e.g. drawn from a
+	// per-client random sequence.
+	IdemKey uint64 `json:"idem,omitempty"`
 }
 
 // Response statuses.
@@ -78,6 +85,11 @@ type Response struct {
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 	// Error describes a StatusError parse failure.
 	Error string `json:"error,omitempty"`
+	// Duplicate marks a commit response answered from the server's
+	// idempotency window rather than by executing: the transaction's
+	// effects were already applied by an earlier submission of the same
+	// IdemKey.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // Committed reports whether the response is a commit.

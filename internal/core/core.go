@@ -25,6 +25,7 @@ import (
 	"tskd/internal/sched"
 	"tskd/internal/storage"
 	"tskd/internal/txn"
+	"tskd/internal/wal"
 )
 
 // Options configures a run.
@@ -62,6 +63,10 @@ type Options struct {
 	// Hooks, when non-nil, enables the engine's fault-injection points
 	// (internal/chaos drives them); leave nil in production runs.
 	Hooks *engine.Hooks
+	// WAL, when non-nil, makes every commit append its redo record to
+	// the log and block until durable (the serving layer's durability
+	// path; see engine.Config.WAL).
+	WAL *wal.Log
 	// Seed drives all randomized pieces.
 	Seed int64
 }
@@ -156,7 +161,7 @@ func RunBaseline(db *storage.DB, w txn.Workload, p partition.Partitioner, o Opti
 	m := engine.Run(w, phases, engine.Config{
 		Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 		Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
-		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks, WAL: o.WAL,
 	})
 	return Result{
 		Metrics: m, System: p.Name(),
@@ -208,7 +213,7 @@ func RunTSKD(db *storage.DB, w txn.Workload, p partition.Partitioner, o Options)
 	m := engine.Run(w, phases, engine.Config{
 		Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 		Defer: o.deferCfg(), Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
-		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks, WAL: o.WAL,
 	})
 	stats := s.Stats
 	return Result{
@@ -257,14 +262,14 @@ func RunTSKDNoCC(db *storage.DB, w txn.Workload, p partition.Partitioner, o Opti
 	m := engine.Run(w, []engine.Phase{{PerThread: s.Queues}}, engine.Config{
 		Workers: o.Workers, Protocol: cc.NewNone(), DB: db, OpTime: o.OpTime,
 		Recorder: o.Recorder, Seed: o.Seed,
-		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks, WAL: o.WAL,
 	})
 	// Phase 2: residual with CC (+ TsDEFER).
 	if len(s.Residual) > 0 {
 		m2 := engine.Run(w, []engine.Phase{engine.SpreadRoundRobin(s.Residual, o.Workers)}, engine.Config{
 			Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 			Defer: o.deferCfg(), Recorder: o.Recorder, Seed: o.Seed + 1,
-			TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks,
+			TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks, WAL: o.WAL,
 		})
 		m.Add(m2)
 	}
@@ -308,7 +313,7 @@ func RunTsDeferOnly(db *storage.DB, w txn.Workload, p partition.Partitioner, o O
 	m := engine.Run(w, phases, engine.Config{
 		Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 		Defer: o.deferCfg(), Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
-		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks, WAL: o.WAL,
 	})
 	return Result{
 		Metrics: m, System: "TsDEFER",
@@ -328,7 +333,7 @@ func RunCC(db *storage.DB, w txn.Workload, o Options) (Result, error) {
 	m := engine.Run(w, []engine.Phase{engine.SpreadRoundRobin(w, o.Workers)}, engine.Config{
 		Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 		Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
-		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks, WAL: o.WAL,
 	})
 	return Result{Metrics: m, System: "DBCC"}, nil
 }
@@ -344,7 +349,7 @@ func RunTSKDCC(db *storage.DB, w txn.Workload, o Options) (Result, error) {
 	m := engine.Run(w, []engine.Phase{engine.SpreadRoundRobin(w, o.Workers)}, engine.Config{
 		Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
 		Defer: o.deferCfg(), Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
-		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks,
+		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks, WAL: o.WAL,
 	})
 	return Result{Metrics: m, System: "TSKD[CC]"}, nil
 }

@@ -753,7 +753,7 @@ func (wk *worker) logCommit(t *txn.Transaction) {
 	if len(cw) == 0 {
 		return // read-only: nothing to redo
 	}
-	rec := wal.Record{TxnID: int64(t.ID), Writes: make([]wal.Update, len(cw))}
+	rec := wal.Record{TxnID: int64(t.ID), IdemKey: t.IdemKey, Writes: make([]wal.Update, len(cw))}
 	for i, w := range cw {
 		rec.Writes[i] = wal.Update{Key: uint64(w.Key), Ver: w.Ver, Fields: w.Fields}
 	}

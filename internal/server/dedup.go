@@ -1,0 +1,201 @@
+package server
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"tskd/internal/client"
+)
+
+// dedup.go: the server's idempotency window, the state behind
+// exactly-once resubmission. A client that lost its connection cannot
+// know whether an in-flight transaction committed, so it resubmits
+// under the same idempotency key; the window remembers recently
+// committed keys (with their responses) and keys currently in flight,
+// and answers duplicates without executing them again.
+//
+// The committed side of the window survives crashes in two pieces:
+// keys whose WAL records still exist are re-collected during replay
+// (the engine stamps each commit record with its key), and keys whose
+// records a checkpoint already truncated are carried by a sidecar file
+// written atomically next to the checkpoint at the same LSN.
+
+// dedup states returned by begin.
+const (
+	dedupMiss     = iota // key unknown: caller proceeds, key is now inflight
+	dedupInflight        // an earlier submission is still executing
+	dedupHit             // key committed: answer from the cached response
+)
+
+type dedupWindow struct {
+	mu        sync.Mutex // reader goroutines and the bundler both touch it
+	inflight  map[uint64]struct{}
+	committed map[uint64]client.Response
+	order     []uint64 // committed keys, oldest first (FIFO eviction)
+	limit     int
+}
+
+func newDedupWindow(limit int) *dedupWindow {
+	return &dedupWindow{
+		inflight:  make(map[uint64]struct{}),
+		committed: make(map[uint64]client.Response),
+		limit:     limit,
+	}
+}
+
+// begin classifies key and, on a miss, marks it inflight. On dedupHit
+// the cached response is returned (Seq is the original submission's;
+// the caller rewrites it).
+func (d *dedupWindow) begin(key uint64) (int, client.Response) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if resp, ok := d.committed[key]; ok {
+		return dedupHit, resp
+	}
+	if _, ok := d.inflight[key]; ok {
+		return dedupInflight, client.Response{}
+	}
+	d.inflight[key] = struct{}{}
+	return dedupMiss, client.Response{}
+}
+
+// commit moves key from inflight to committed, caching resp for future
+// duplicates, and evicts the oldest committed keys beyond the limit.
+func (d *dedupWindow) commit(key uint64, resp client.Response) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.inflight, key)
+	if _, ok := d.committed[key]; !ok {
+		d.order = append(d.order, key)
+	}
+	d.committed[key] = resp
+	for len(d.order) > d.limit {
+		old := d.order[0]
+		d.order = d.order[1:]
+		delete(d.committed, old)
+	}
+}
+
+// release drops an inflight mark (abort, cancel, failed admission):
+// the client may retry the key.
+func (d *dedupWindow) release(key uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.inflight, key)
+}
+
+// restore inserts a recovered key as committed with a synthetic
+// response (the original's latency detail did not survive the crash;
+// the commit fact did).
+func (d *dedupWindow) restore(key uint64) {
+	d.commit(key, client.Response{Status: client.StatusCommit})
+}
+
+// committedKeys returns the committed window oldest-first, for the
+// checkpoint sidecar.
+func (d *dedupWindow) committedKeys() []uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]uint64(nil), d.order...)
+}
+
+func (d *dedupWindow) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.committed) + len(d.inflight)
+}
+
+// Sidecar file format (little endian):
+// "tskddedp" | u32 version | u32 count | count × u64 key | u32 CRC32
+// of everything before it.
+
+const dedupMagic = "tskddedp"
+
+func dedupName(lsn uint64) string {
+	return "dedup-" + lsnHex(lsn) + ".dd"
+}
+
+// writeDedupFile writes the key window to path atomically (tmp +
+// fsync + rename + dir fsync, mirroring storage.WriteCheckpointFile).
+func writeDedupFile(path string, keys []uint64, sync bool) error {
+	buf := make([]byte, 0, len(dedupMagic)+8+8*len(keys)+4)
+	buf = append(buf, dedupMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, 1)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint64(buf, k)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if sync {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		return d.Sync()
+	}
+	return nil
+}
+
+// readDedupFile loads a sidecar; a missing file is an empty window, a
+// corrupt one is an error (the matching checkpoint is then skipped).
+func readDedupFile(path string) ([]uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if len(data) < len(dedupMagic)+12 {
+		return nil, errCorruptDedup
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, errCorruptDedup
+	}
+	if string(body[:len(dedupMagic)]) != dedupMagic {
+		return nil, errCorruptDedup
+	}
+	off := len(dedupMagic)
+	if binary.LittleEndian.Uint32(body[off:]) != 1 {
+		return nil, errCorruptDedup
+	}
+	n := int(binary.LittleEndian.Uint32(body[off+4:]))
+	off += 8
+	if len(body) != off+8*n {
+		return nil, errCorruptDedup
+	}
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = binary.LittleEndian.Uint64(body[off:])
+		off += 8
+	}
+	return keys, nil
+}

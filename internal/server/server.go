@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sync"
@@ -38,6 +39,7 @@ import (
 	"tskd/internal/partition"
 	"tskd/internal/storage"
 	"tskd/internal/txn"
+	"tskd/internal/wal"
 )
 
 // Config configures a Server.
@@ -64,10 +66,15 @@ type Config struct {
 	// (scheduling from scratch).
 	Partitioner partition.Partitioner
 	// Core configures workers, CC protocol, TsDEFER and friends.
-	// Estimator, CostSink, TraceSpans and Ctx are managed by the
+	// Estimator, CostSink, TraceSpans, Ctx and WAL are managed by the
 	// server and must be left zero. Recorder may be set (tests) to
 	// capture commits for serializability checking.
 	Core core.Options
+	// Durability, when non-nil, makes the server durable: commits are
+	// WAL-logged and fsynced before they acknowledge, the database is
+	// checkpointed in the background, and New recovers the data
+	// directory (checkpoint + WAL tail) before any listener binds.
+	Durability *DurabilityOptions
 }
 
 func (c *Config) withDefaults() error {
@@ -89,6 +96,11 @@ func (c *Config) withDefaults() error {
 	}
 	if _, err := cc.New(name); err != nil {
 		return fmt.Errorf("server: %w", err)
+	}
+	if c.Durability != nil {
+		if err := c.Durability.withDefaults(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -118,6 +130,31 @@ type Stats struct {
 	UserAborts uint64 `json:"user_aborts"`
 	Canceled   uint64 `json:"canceled"`
 	Contended  uint64 `json:"contended"`
+
+	// Forfeited counts produced outcomes whose delivery failed because
+	// the submitting connection died (they are included in
+	// ResultsStreamed: produced, not delivered).
+	Forfeited uint64 `json:"forfeited"`
+	// RetryAfterMS is the backoff hint a rejection would carry right
+	// now: the flush interval scaled by admission-queue occupancy, so
+	// clients back off harder the deeper the backlog.
+	RetryAfterMS int64 `json:"retry_after_ms"`
+
+	// Durability (zero unless Config.Durability is set).
+	WALRecords        uint64 `json:"wal_records,omitempty"`
+	WALFlushes        uint64 `json:"wal_flushes,omitempty"`
+	WALSyncs          uint64 `json:"wal_syncs,omitempty"`
+	WALBytes          int64  `json:"wal_bytes,omitempty"`
+	Checkpoints       uint64 `json:"checkpoints,omitempty"`
+	CheckpointErrors  uint64 `json:"checkpoint_errors,omitempty"`
+	LastCheckpointLSN uint64 `json:"last_checkpoint_lsn,omitempty"`
+	TruncatedSegments uint64 `json:"truncated_segments,omitempty"`
+	// DedupHits counts submissions answered from the idempotency
+	// window (committed duplicates); DedupInflight counts duplicates
+	// rejected because the original was still executing.
+	DedupHits     uint64 `json:"dedup_hits,omitempty"`
+	DedupInflight uint64 `json:"dedup_inflight,omitempty"`
+	DedupSize     int    `json:"dedup_size,omitempty"`
 
 	// Throughput over the server's lifetime, commits per wall second.
 	Throughput float64 `json:"throughput"`
@@ -158,30 +195,59 @@ type Server struct {
 
 	start time.Time
 
+	// Durability (nil/zero unless cfg.Durability is set). log and
+	// dedup are internally synchronized; lastCkpt* are touched only by
+	// the bundler goroutine.
+	log           *wal.Log
+	dedup         *dedupWindow
+	recovery      RecoveryInfo
+	lastCkptLSN   uint64
+	lastCkptBytes int64
+
 	mu        sync.Mutex // guards everything below
 	stats     Stats
 	queueWait metrics.Histogram
 	execLat   metrics.Histogram
 }
 
-// New validates cfg and returns an unstarted server.
+// New validates cfg and returns an unstarted server. With
+// Config.Durability set, New also runs startup recovery — newest valid
+// checkpoint plus WAL tail — so by the time it returns, the server's
+// database holds every commit a previous incarnation ever
+// acknowledged; Start then binds the listeners over that state.
 func New(cfg Config) (*Server, error) {
 	if err := cfg.withDefaults(); err != nil {
 		return nil, err
 	}
-	opts := cfg.Core
-	opts.TraceSpans = true // per-transaction outcomes come from spans
 	runCtx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
-		pipeline:  core.NewPipeline(cfg.DB, cfg.Partitioner, opts),
 		admit:     make(chan *pending, cfg.QueueDepth),
 		drainCh:   make(chan struct{}),
 		runCtx:    runCtx,
 		runCancel: cancel,
 		conns:     make(map[net.Conn]struct{}),
-	}, nil
+	}
+	if cfg.Durability != nil {
+		if err := s.openDurable(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	opts := s.cfg.Core
+	opts.TraceSpans = true // per-transaction outcomes come from spans
+	opts.WAL = s.log       // nil unless durable
+	s.pipeline = core.NewPipeline(s.cfg.DB, s.cfg.Partitioner, opts)
+	return s, nil
 }
+
+// DB returns the database the server runs against — the recovered one
+// when Config.Durability is set.
+func (s *Server) DB() *storage.DB { return s.cfg.DB }
+
+// Recovery reports what startup recovery found (zero when the server
+// is not durable or the directory was fresh).
+func (s *Server) Recovery() RecoveryInfo { return s.recovery }
 
 // Start binds the listeners and launches the accept and bundler loops.
 func (s *Server) Start() error {
@@ -251,6 +317,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 	}
 
+	if s.log != nil {
+		// The bundler has exited: no commit can be in flight. Close
+		// flushes and fsyncs whatever the group window still held.
+		if cerr := s.log.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if s.httpSrv != nil {
 		s.httpSrv.Close()
 	}
@@ -278,16 +351,35 @@ func (s *Server) acceptLoop() {
 
 // connWriter serializes response lines onto one connection. Sends
 // come from both the reader (rejections, parse errors) and the
-// bundler (outcomes).
+// bundler (outcomes). The first encode error latches the writer dead:
+// a TCP write to a gone peer can block for the whole kernel timeout,
+// so retrying a dead connection once per outcome would stall the
+// bundler — instead every later send is skipped immediately and the
+// outcome counted as forfeited.
 type connWriter struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu   sync.Mutex
+	enc  *json.Encoder
+	dead bool
 }
 
-func (cw *connWriter) send(resp client.Response) {
+func newConnWriter(w io.Writer) *connWriter {
+	return &connWriter{enc: json.NewEncoder(w)}
+}
+
+// send encodes resp onto the connection, reporting whether it was
+// (apparently) delivered. False means the connection is dead and the
+// response was dropped.
+func (cw *connWriter) send(resp client.Response) bool {
 	cw.mu.Lock()
-	_ = cw.enc.Encode(&resp) // a dead client forfeits its results
-	cw.mu.Unlock()
+	defer cw.mu.Unlock()
+	if cw.dead {
+		return false
+	}
+	if err := cw.enc.Encode(&resp); err != nil {
+		cw.dead = true
+		return false
+	}
+	return true
 }
 
 // serveConn reads request lines, parses them, and admits them.
@@ -298,7 +390,7 @@ func (s *Server) serveConn(nc net.Conn) {
 		delete(s.conns, nc)
 		s.connMu.Unlock()
 	}()
-	cw := &connWriter{enc: json.NewEncoder(nc)}
+	cw := newConnWriter(nc)
 	sc := bufio.NewScanner(nc)
 	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
 	for sc.Scan() {
@@ -320,17 +412,54 @@ func (s *Server) serveConn(nc net.Conn) {
 		}
 		t.Template = req.Template
 		t.Params = req.Params
+		t.IdemKey = req.IdemKey
+		if req.IdemKey != 0 && s.dedup != nil {
+			switch state, cached := s.dedup.begin(req.IdemKey); state {
+			case dedupHit:
+				// Already committed (possibly in a previous
+				// incarnation): answer without executing.
+				cached.Seq = req.Seq
+				cached.Duplicate = true
+				s.count(func(st *Stats) { st.DedupHits++ })
+				cw.send(cached)
+				continue
+			case dedupInflight:
+				// The original is still executing; its outcome will
+				// reach whoever submitted it. Back off and retry: by
+				// then the key is either committed (answered above) or
+				// released (executes fresh).
+				s.count(func(st *Stats) { st.DedupInflight++ })
+				cw.send(client.Response{
+					Seq: req.Seq, Status: client.StatusRejected,
+					RetryAfterMS: s.retryAfterMS(),
+				})
+				continue
+			}
+		}
 		p := &pending{t: t, seq: req.Seq, conn: cw, enqueued: time.Now()}
 		if s.tryAdmit(p) {
 			s.count(func(st *Stats) { st.Admitted++ })
 		} else {
+			if req.IdemKey != 0 && s.dedup != nil {
+				s.dedup.release(req.IdemKey)
+			}
 			s.count(func(st *Stats) { st.Rejected++ })
 			cw.send(client.Response{
 				Seq: req.Seq, Status: client.StatusRejected,
-				RetryAfterMS: s.cfg.FlushInterval.Milliseconds() + 1,
+				RetryAfterMS: s.retryAfterMS(),
 			})
 		}
 	}
+}
+
+// retryAfterMS is the backoff hint for a rejection: the flush interval
+// (plus one tick) scaled by how many full bundles are already waiting
+// in the admission queue, so the hint grows with the backlog a
+// retrying client is behind.
+func (s *Server) retryAfterMS() int64 {
+	base := s.cfg.FlushInterval.Milliseconds() + 1
+	waiting := len(s.admit) / s.cfg.Bundle
+	return base * int64(1+waiting)
 }
 
 // tryAdmit enqueues p unless the queue is full or the server is
@@ -379,6 +508,7 @@ func (s *Server) bundler() {
 		}
 		timer.Stop()
 		s.runBundle(batch)
+		s.maybeCheckpoint()
 	}
 }
 
@@ -443,8 +573,20 @@ func (s *Server) runBundle(batch []*pending) {
 		} else {
 			resp.Status = client.StatusCanceled
 		}
+		if p.t.IdemKey != 0 && s.dedup != nil {
+			if resp.Status == client.StatusCommit {
+				// The commit is already durable (the engine blocks each
+				// commit on its WAL group flush), so remembering the
+				// key here keeps the window consistent with the log.
+				s.dedup.commit(p.t.IdemKey, resp)
+			} else {
+				s.dedup.release(p.t.IdemKey) // abort/cancel: retryable
+			}
+		}
 		s.stats.ResultsStreamed++
-		p.conn.send(resp)
+		if !p.conn.send(resp) {
+			s.stats.Forfeited++
+		}
 	}
 	s.stats.Bundles++
 	if len(batch) > s.stats.MaxOccupancy {
@@ -478,6 +620,14 @@ func (s *Server) Stats() Stats {
 	st.Draining = draining
 	st.QueueDepth = len(s.admit)
 	st.QueueCap = cap(s.admit)
+	st.RetryAfterMS = s.retryAfterMS()
+	if s.log != nil {
+		st.WALRecords, st.WALFlushes, st.WALSyncs = s.log.Counters()
+		st.WALBytes = s.log.AppendedBytes()
+	}
+	if s.dedup != nil {
+		st.DedupSize = s.dedup.size()
+	}
 	if st.Bundles > 0 {
 		st.MeanOccupancy = float64(st.ResultsStreamed) / float64(st.Bundles)
 	}

@@ -129,6 +129,12 @@ type Transaction struct {
 	// does not retry.
 	UserAbort bool
 
+	// IdemKey is the client-chosen idempotency key of the request that
+	// carried this transaction (0 = none). It rides into the WAL commit
+	// record so the serving layer's exactly-once dedup window survives
+	// crashes.
+	IdemKey uint64
+
 	readSet  []Key // lazily computed, sorted, deduplicated
 	writeSet []Key // lazily computed, sorted, deduplicated
 }

@@ -7,22 +7,44 @@ import (
 	"tskd/internal/txn"
 )
 
-// Recover replays a log into db: each update installs its redo image
-// when its version is newer than the row's current version (rows are
-// created as needed). Idempotent — recovering twice, or over a
-// partially current database, converges to the same state.
+// ApplyRecord installs one record's redo images into db: each update
+// applies only when its version is newer than the row's current
+// version (rows are created as needed), which makes application
+// idempotent and order-independent per key.
+func ApplyRecord(db *storage.DB, rec Record) {
+	for _, u := range rec.Writes {
+		row := db.ResolveOrInsert(txn.Key(u.Key))
+		if row == nil {
+			continue // table unknown to this catalog
+		}
+		if storage.VerNumber(row.Ver.Load()) >= u.Ver {
+			continue // already at or past this version
+		}
+		row.Install(&storage.Tuple{Fields: append([]uint64(nil), u.Fields...)})
+		row.Ver.Store(u.Ver << 1) // version word: counter above the lock bit
+	}
+}
+
+// Recover replays a log stream into db via ApplyRecord. Idempotent —
+// recovering twice, or over a partially current database, converges to
+// the same state.
 func Recover(r io.Reader, db *storage.DB) (int, error) {
 	return Replay(r, func(rec Record) error {
-		for _, u := range rec.Writes {
-			row := db.ResolveOrInsert(txn.Key(u.Key))
-			if row == nil {
-				continue // table unknown to this catalog
-			}
-			if storage.VerNumber(row.Ver.Load()) >= u.Ver {
-				continue // already at or past this version
-			}
-			row.Install(&storage.Tuple{Fields: append([]uint64(nil), u.Fields...)})
-			row.Ver.Store(u.Ver << 1) // version word: counter above the lock bit
+		ApplyRecord(db, rec)
+		return nil
+	})
+}
+
+// RecoverDir replays every segment under dir into db in LSN order,
+// reporting each record to onRecord (nil to skip). It returns the next
+// LSN — the StartLSN to reopen the directory at — and the number of
+// records applied. The serving layer's startup recovery runs this over
+// the checkpoint-restored database, then OpenDirs at the returned LSN.
+func RecoverDir(dir string, db *storage.DB, onRecord func(lsn uint64, rec Record)) (next uint64, applied int, err error) {
+	return ReplayDir(dir, func(lsn uint64, rec Record) error {
+		ApplyRecord(db, rec)
+		if onRecord != nil {
+			onRecord(lsn, rec)
 		}
 		return nil
 	})

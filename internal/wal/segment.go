@@ -1,0 +1,262 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// segment.go: the directory-backed form of the log. A data directory
+// holds a sequence of size-bounded segment files
+//
+//	wal-<startLSN-16-hex>.seg
+//
+// each a plain record stream in the package's wire format. The file
+// name carries the LSN of the segment's first record, so the set of
+// file names alone orders the log and locates any LSN. The active
+// segment is the one being appended to; all others are sealed and
+// immutable, which is what makes checkpoint-driven truncation a plain
+// file delete (TruncateSealed).
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+	// DefaultSegmentBytes is the rotation threshold when DirOptions
+	// leaves SegmentBytes zero.
+	DefaultSegmentBytes = 4 << 20
+)
+
+// SegmentInfo describes one segment file.
+type SegmentInfo struct {
+	// Start is the LSN of the segment's first record.
+	Start uint64
+	// End is the exclusive upper LSN bound (0 when unknown: the active
+	// segment, or a tail segment whose record count has not been
+	// established by replay).
+	End uint64
+	// Path is the file path.
+	Path string
+}
+
+func segName(start uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, start, segSuffix)
+}
+
+// ListSegments returns the segment files under dir ordered by start
+// LSN. Non-segment files are ignored.
+func ListSegments(dir string) ([]SegmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []SegmentInfo
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		start, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue // not a segment name after all
+		}
+		segs = append(segs, SegmentInfo{Start: start, Path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+	return segs, nil
+}
+
+// DirOptions configure OpenDir.
+type DirOptions struct {
+	// GroupWindow is the group-commit window (0 = flush per append).
+	GroupWindow time.Duration
+	// SegmentBytes rotates the active segment once it holds at least
+	// this many bytes (default DefaultSegmentBytes).
+	SegmentBytes int64
+	// StartLSN is the LSN of the first record the opened log will
+	// append — the NextLSN a prior recovery pass established (0 for a
+	// fresh directory).
+	StartLSN uint64
+	// NoSync skips the fsync barrier on flushes and rotations. Tests
+	// and benchmarks only: a NoSync log can acknowledge commits the
+	// machine then loses.
+	NoSync bool
+}
+
+// OpenDir opens a directory-backed log for appending. Pre-existing
+// segments are retained as sealed history (recovery replays them; the
+// caller passes the resulting next LSN as StartLSN) and a fresh active
+// segment is created at StartLSN. If a file with that exact name
+// already exists it necessarily holds zero intact records — StartLSN
+// is past every replayable record — so it is truncated and reused,
+// discarding any torn tail.
+func OpenDir(dir string, o DirOptions) (*Log, error) {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	active := filepath.Join(dir, segName(o.StartLSN))
+	var sealed []SegmentInfo
+	for i, s := range segs {
+		if s.Path == active {
+			continue // reused below
+		}
+		if i+1 < len(segs) {
+			s.End = segs[i+1].Start
+		} else {
+			s.End = o.StartLSN
+		}
+		sealed = append(sealed, s)
+	}
+	f, err := os.OpenFile(active, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if !o.NoSync {
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	l := &Log{
+		w:           f,
+		groupWindow: o.GroupWindow,
+		nextLSN:     o.StartLSN,
+		dir:         dir,
+		segBytes:    o.SegmentBytes,
+		segStart:    o.StartLSN,
+		active:      f,
+		sealed:      sealed,
+	}
+	if !o.NoSync {
+		l.sync = f
+	}
+	return l, nil
+}
+
+// rotateLocked seals the active segment and starts the next one at the
+// current LSN. Called under l.mu after a clean flush, so segment
+// boundaries always coincide with group-commit boundaries.
+func (l *Log) rotateLocked() error {
+	if err := l.active.Close(); err != nil {
+		return err
+	}
+	l.sealed = append(l.sealed, SegmentInfo{
+		Start: l.segStart,
+		End:   l.nextLSN,
+		Path:  l.active.Name(),
+	})
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.nextLSN)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if l.sync != nil {
+		if err := syncDir(l.dir); err != nil {
+			f.Close()
+			return err
+		}
+		l.sync = f
+	}
+	l.w = f
+	l.active = f
+	l.segStart = l.nextLSN
+	l.segWritten = 0
+	return nil
+}
+
+// SealedSegments returns the sealed (immutable) segments, oldest first.
+func (l *Log) SealedSegments() []SegmentInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]SegmentInfo(nil), l.sealed...)
+}
+
+// TruncateSealed deletes sealed segments every record of which is
+// below upTo — i.e. fully covered by a checkpoint taken at LSN upTo.
+// The active segment is never touched. Returns the number of segments
+// removed.
+func (l *Log) TruncateSealed(upTo uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	removed := 0
+	var kept []SegmentInfo
+	var firstErr error
+	for _, s := range l.sealed {
+		if firstErr == nil && s.End <= upTo {
+			if err := os.Remove(s.Path); err != nil && !os.IsNotExist(err) {
+				firstErr = err // keep it tracked, report the failure
+				kept = append(kept, s)
+				continue
+			}
+			removed++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.sealed = kept
+	if removed > 0 && l.sync != nil {
+		if err := syncDir(l.dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return removed, firstErr
+}
+
+// ReplayDir replays every segment under dir in LSN order, calling
+// apply with each intact record and its LSN. Torn or corrupt tails
+// terminate a segment's scan (standard crash semantics); later
+// segments still replay, since their names carry their own LSNs.
+// Returns the next LSN — the exclusive upper bound of the replayed
+// records, which is the StartLSN to reopen the directory at — and the
+// number of records applied.
+func ReplayDir(dir string, apply func(lsn uint64, rec Record) error) (next uint64, applied int, err error) {
+	segs, err := ListSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, err
+	}
+	for _, s := range segs {
+		f, err := os.Open(s.Path)
+		if err != nil {
+			return next, applied, err
+		}
+		lsn := s.Start
+		n, rerr := Replay(f, func(rec Record) error {
+			err := apply(lsn, rec)
+			lsn++
+			return err
+		})
+		f.Close()
+		applied += n
+		if lsn > next {
+			next = lsn
+		}
+		if rerr != nil {
+			return next, applied, rerr
+		}
+	}
+	return next, applied, nil
+}
+
+// syncDir fsyncs a directory so file creations and deletions inside it
+// are durable (the rename/creat barrier every journaled store needs).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

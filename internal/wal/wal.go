@@ -15,9 +15,19 @@
 //	u32 payload length | u32 CRC32(payload) | payload
 //
 // payload: i64 txnID | u32 nWrites | nWrites × (u64 key | u64 ver |
-// u16 nFields | nFields × u64). Replay stops cleanly at a torn or
+// u16 nFields | nFields × u64) | [u64 idemKey]. The trailing
+// idempotency key is optional (older logs omit it; decode treats a
+// missing tail as key 0), carrying the serving layer's exactly-once
+// dedup window through crashes. Replay stops cleanly at a torn or
 // corrupt tail, which is how crash recovery discards incomplete group
 // flushes.
+//
+// Records are addressed by LSN — the zero-based index of the record in
+// the log's lifetime append order. A Log opened over a directory
+// (OpenDir) rotates size-bounded segment files named by the LSN of
+// their first record, syncs every group flush through a Syncer (the
+// fsync that makes "durable" mean durable), and truncates sealed
+// segments once a checkpoint covers them (TruncateSealed).
 package wal
 
 import (
@@ -26,6 +36,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 	"sync"
 	"time"
 )
@@ -44,6 +55,19 @@ type Update struct {
 type Record struct {
 	TxnID  int64
 	Writes []Update
+	// IdemKey is the client-chosen idempotency key of the request that
+	// produced this commit (0 = none). Recovery feeds it back into the
+	// serving layer's dedup window so resubmission after a crash stays
+	// exactly-once.
+	IdemKey uint64
+}
+
+// Syncer is the stable-storage barrier a durable log flushes through:
+// *os.File satisfies it with fsync. A nil Syncer means group flushes
+// stop at the OS page cache (fine for tests and simulations, not for a
+// server that acknowledges commits).
+type Syncer interface {
+	Sync() error
 }
 
 // Log is a group-committing redo log over an io.Writer. Append is safe
@@ -53,6 +77,7 @@ type Record struct {
 type Log struct {
 	mu      sync.Mutex
 	w       io.Writer
+	sync    Syncer // nil: no stable-storage barrier
 	pending []byte
 	waiters []chan error
 
@@ -62,8 +87,22 @@ type Log struct {
 	flushTimer  *time.Timer
 	closed      bool
 
+	// LSN and byte accounting.
+	nextLSN uint64 // LSN the next appended record receives
+	bytes   int64  // total bytes appended over the log's lifetime
+
+	// Segmented (directory-backed) mode; zero values for plain logs.
+	dir        string
+	segBytes   int64
+	segStart   uint64 // first LSN of the active segment
+	segWritten int64  // bytes flushed into the active segment
+	active     *os.File
+	sealed     []SegmentInfo
+
 	// Flushes counts physical flushes (for observing group commit).
 	Flushes uint64
+	// Syncs counts Syncer barriers issued (one per flush when armed).
+	Syncs uint64
 	// Records counts appended records.
 	Records uint64
 }
@@ -72,6 +111,44 @@ type Log struct {
 // (0 = synchronous flush per record).
 func New(w io.Writer, groupWindow time.Duration) *Log {
 	return &Log{w: w, groupWindow: groupWindow}
+}
+
+// NewDurable is New with a stable-storage barrier: every group flush is
+// followed by sync.Sync() before waiters are released, so Append
+// returning nil means the record survived a crash of the process or
+// the OS. Pass the same *os.File as both w and sync for a plain
+// file-backed log; OpenDir builds on this with segment rotation.
+func NewDurable(w io.Writer, sync Syncer, groupWindow time.Duration) *Log {
+	return &Log{w: w, sync: sync, groupWindow: groupWindow}
+}
+
+// NextLSN returns the LSN the next appended record will receive —
+// equivalently, the number of records ever appended (plus the StartLSN
+// the log was opened at). Between bundles, with no append in flight,
+// it is the exclusive upper bound of the durable prefix and therefore
+// the LSN a checkpoint is taken at.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// AppendedBytes returns the total bytes appended over the log's
+// lifetime (headers included). The serving layer's checkpointer uses
+// the delta since the last checkpoint as its trigger.
+func (l *Log) AppendedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// Counters returns (records, flushes, syncs) under the log's mutex —
+// the race-safe way to observe a live log (the exported fields are for
+// single-threaded inspection after Close).
+func (l *Log) Counters() (records, flushes, syncs uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.Records, l.Flushes, l.Syncs
 }
 
 // ErrClosed reports appends to a closed log.
@@ -93,6 +170,8 @@ func (l *Log) Append(rec Record) error {
 	l.pending = append(l.pending, hdr[:]...)
 	l.pending = append(l.pending, payload...)
 	l.Records++
+	l.nextLSN++
+	l.bytes += int64(8 + len(payload))
 	if l.groupWindow <= 0 {
 		err := l.flushLocked()
 		l.mu.Unlock()
@@ -122,7 +201,8 @@ func (l *Log) Flush() error {
 	return err
 }
 
-// Close flushes and marks the log closed.
+// Close flushes and marks the log closed. Directory-backed logs also
+// sync and close their active segment file.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -133,6 +213,12 @@ func (l *Log) Close() error {
 		l.flushTimer.Stop()
 		l.flushTimer = nil
 	}
+	if l.active != nil {
+		if cerr := l.active.Close(); err == nil {
+			err = cerr
+		}
+		l.active = nil
+	}
 	return err
 }
 
@@ -140,9 +226,18 @@ func (l *Log) flushLocked() error {
 	if len(l.pending) == 0 {
 		return nil
 	}
+	n := len(l.pending)
 	_, err := l.w.Write(l.pending)
 	l.pending = l.pending[:0]
 	l.Flushes++
+	if err == nil && l.sync != nil {
+		err = l.sync.Sync()
+		l.Syncs++
+	}
+	l.segWritten += int64(n)
+	if err == nil && l.active != nil && l.segWritten >= l.segBytes {
+		err = l.rotateLocked()
+	}
 	return err
 }
 
@@ -154,7 +249,7 @@ func (l *Log) notifyLocked(err error) {
 }
 
 func encodePayload(rec Record) []byte {
-	size := 8 + 4
+	size := 8 + 4 + 8
 	for _, u := range rec.Writes {
 		size += 8 + 8 + 2 + 8*len(u.Fields)
 	}
@@ -168,6 +263,12 @@ func encodePayload(rec Record) []byte {
 		for _, f := range u.Fields {
 			buf = binary.LittleEndian.AppendUint64(buf, f)
 		}
+	}
+	// Trailing idempotency key: written only when set, so logs from
+	// clients that do not use idempotency stay byte-identical to the
+	// original format.
+	if rec.IdemKey != 0 {
+		buf = binary.LittleEndian.AppendUint64(buf, rec.IdemKey)
 	}
 	return buf
 }
@@ -233,6 +334,9 @@ func decodePayload(b []byte) (Record, error) {
 			off += 8
 		}
 		rec.Writes = append(rec.Writes, u)
+	}
+	if len(b) >= off+8 {
+		rec.IdemKey = binary.LittleEndian.Uint64(b[off : off+8])
 	}
 	return rec, nil
 }
