@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: test race bench-micro bench-serve
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/deferment/ ./internal/engine/ ./internal/wal/ ./internal/server/ ./internal/chaos/
+
+# Microbenchmarks with allocation counts: the wire codec, the WAL
+# append/flush path, and the engine phase loop.
+bench-micro:
+	$(GO) test -run xxx -bench 'BenchmarkWire' -benchmem ./internal/client/
+	$(GO) test -run xxx -bench 'BenchmarkWALFlush' -benchmem ./internal/wal/
+	$(GO) test -run xxx -bench 'BenchmarkPhaseLoop' -benchmem ./internal/engine/
+
+# End-to-end serve-path baseline: boots an in-process server, drives it
+# over TCP, and rewrites BENCH_serve.json (the old "current" becomes
+# "previous"). Pinned seed; see cmd/tskd-perf.
+bench-serve:
+	$(GO) run ./cmd/tskd-perf -seed 1 -out BENCH_serve.json -prev BENCH_serve.json

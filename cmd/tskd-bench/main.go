@@ -17,6 +17,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"tskd/internal/harness"
@@ -34,8 +36,41 @@ func main() {
 		opUS   = flag.Int("optime-us", -1, "override per-op work in microseconds")
 		csvDir  = flag.String("csv", "", "also write each experiment's rows to <dir>/<id>.csv")
 		jsonDir = flag.String("json", "", "also write each experiment's rows to <dir>/<id>.json")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after GC) to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tskd-bench:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tskd-bench:", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tskd-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tskd-bench:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range harness.ExperimentIDs() {

@@ -1,0 +1,281 @@
+// Command tskd-perf measures the serving hot path end to end: it boots
+// an in-process server over a YCSB database, drives it with concurrent
+// closed-loop clients over real TCP connections, and reports
+// throughput, client-observed latency percentiles, and allocations per
+// committed transaction (runtime Mallocs delta across the measured
+// load), plus the wire/WAL microbenchmark allocation rates.
+//
+// Results are written as JSON (default BENCH_serve.json). When -prev
+// points at an earlier results file, its "current" block is embedded as
+// "previous", so the committed baseline carries its own history:
+//
+//	tskd-perf -out BENCH_serve.json -prev BENCH_serve.json
+//
+// The CI bench job runs exactly that (pinned seed) and uploads the
+// file; compare runs with any JSON diff.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"tskd/internal/client"
+	"tskd/internal/core"
+	"tskd/internal/metrics"
+	"tskd/internal/server"
+	"tskd/internal/wal"
+	"tskd/internal/workload"
+)
+
+// Micro is the allocation rate of each wire/WAL micro-operation,
+// measured with testing.AllocsPerRun.
+type Micro struct {
+	WireEncodeAllocs         float64 `json:"wire_encode_allocs_per_op"`
+	WireDecodeRequestAllocs  float64 `json:"wire_decode_request_allocs_per_op"`
+	WireDecodeResponseAllocs float64 `json:"wire_decode_response_allocs_per_op"`
+	WALAppendAllocs          float64 `json:"wal_append_allocs_per_op"`
+}
+
+// Results is one measured serve-path run.
+type Results struct {
+	ThroughputTxnS float64 `json:"throughput_txn_s"`
+	P50US          int64   `json:"latency_p50_us"`
+	P95US          int64   `json:"latency_p95_us"`
+	P99US          int64   `json:"latency_p99_us"`
+	AllocsPerTxn   float64 `json:"allocs_per_txn"`
+	Committed      uint64  `json:"committed"`
+	Submitted      uint64  `json:"submitted"`
+	Micro          Micro   `json:"micro"`
+}
+
+// Report is the BENCH_serve.json document.
+type Report struct {
+	GeneratedAt string         `json:"generated_at"`
+	GoVersion   string         `json:"go_version"`
+	Config      map[string]any `json:"config"`
+	Current     Results        `json:"current"`
+	Previous    *Results       `json:"previous,omitempty"`
+}
+
+func main() {
+	var (
+		clients   = flag.Int("clients", 64, "concurrent closed-loop client connections")
+		perClient = flag.Int("per-client", 500, "transactions submitted per client")
+		records   = flag.Int("records", 100_000, "YCSB table size")
+		theta     = flag.Float64("theta", 0.8, "YCSB zipf skew")
+		ops       = flag.Int("ops", 16, "operations per transaction")
+		bundle    = flag.Int("bundle", 256, "server bundle size")
+		ccName    = flag.String("cc", "OCC", "CC protocol")
+		workers   = flag.Int("workers", 4, "engine workers")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		out       = flag.String("out", "BENCH_serve.json", "results file to write")
+		prev      = flag.String("prev", "", "earlier results file whose 'current' becomes 'previous'")
+	)
+	flag.Parse()
+
+	var previous *Results
+	if *prev != "" {
+		if b, err := os.ReadFile(*prev); err == nil {
+			var old Report
+			if json.Unmarshal(b, &old) == nil {
+				previous = &old.Current
+			}
+		}
+	}
+
+	res, err := measure(*clients, *perClient, *records, *theta, *ops, *bundle, *ccName, *workers, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-perf:", err)
+		os.Exit(1)
+	}
+	res.Micro = measureMicro()
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Config: map[string]any{
+			"clients": *clients, "per_client": *perClient, "records": *records,
+			"theta": *theta, "ops_per_txn": *ops, "bundle": *bundle,
+			"cc": *ccName, "workers": *workers, "seed": *seed,
+		},
+		Current:  res,
+		Previous: previous,
+	}
+	b, _ := json.MarshalIndent(rep, "", "  ")
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-perf:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serve path: %.0f txn/s, p50=%dus p95=%dus p99=%dus, %.1f allocs/txn (%d/%d committed)\n",
+		res.ThroughputTxnS, res.P50US, res.P95US, res.P99US, res.AllocsPerTxn, res.Committed, res.Submitted)
+	fmt.Printf("micro allocs/op: encode=%.1f decode-req=%.1f decode-resp=%.1f wal-append=%.1f\n",
+		res.Micro.WireEncodeAllocs, res.Micro.WireDecodeRequestAllocs,
+		res.Micro.WireDecodeResponseAllocs, res.Micro.WALAppendAllocs)
+	fmt.Println("wrote", *out)
+}
+
+func measure(clients, perClient, records int, theta float64, ops, bundle int, ccName string, workers int, seed int64) (Results, error) {
+	gen := workload.YCSB{Records: records, Theta: theta, OpsPerTxn: ops, ReadRatio: 0.5, RMW: true}
+	db := gen.BuildDB()
+	s, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		Bundle:        bundle,
+		FlushInterval: 2 * time.Millisecond,
+		DB:            db,
+		Core:          core.Options{Workers: workers, Protocol: ccName, Seed: seed},
+	})
+	if err != nil {
+		return Results{}, err
+	}
+	if err := s.Start(); err != nil {
+		return Results{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	load := func(record bool) (committed uint64, lat *metrics.Histogram, err error) {
+		var (
+			wg     sync.WaitGroup
+			mu     sync.Mutex
+			werr   error
+			merged metrics.Histogram
+		)
+		for ci := 0; ci < clients; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				g := gen
+				g.Txns = perClient
+				g.Seed = seed + int64(ci)
+				w := g.Generate()
+				conn, err := client.Dial(s.Addr())
+				if err != nil {
+					mu.Lock()
+					werr = err
+					mu.Unlock()
+					return
+				}
+				defer conn.Close()
+				var n uint64
+				var h metrics.Histogram
+				for _, tx := range w {
+					req, err := client.NewRequest(0, tx)
+					if err != nil {
+						mu.Lock()
+						werr = err
+						mu.Unlock()
+						return
+					}
+					for {
+						t0 := time.Now()
+						resp, err := conn.Submit(context.Background(), req)
+						if err != nil {
+							mu.Lock()
+							werr = err
+							mu.Unlock()
+							return
+						}
+						if resp.Status == client.StatusRejected {
+							time.Sleep(time.Duration(resp.RetryAfterMS) * time.Millisecond)
+							continue
+						}
+						if record {
+							h.Record(time.Since(t0))
+						}
+						if resp.Committed() {
+							n++
+						}
+						break
+					}
+				}
+				mu.Lock()
+				committed += n
+				merged.Merge(&h)
+				mu.Unlock()
+			}(ci)
+		}
+		wg.Wait()
+		return committed, &merged, werr
+	}
+
+	if _, _, err := load(false); err != nil { // warm pools, connections, JIT-ish caches
+		return Results{}, err
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	committed, lat, err := load(true)
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return Results{}, err
+	}
+	total := uint64(clients * perClient)
+	return Results{
+		ThroughputTxnS: float64(committed) / elapsed.Seconds(),
+		P50US:          lat.Quantile(0.50).Microseconds(),
+		P95US:          lat.Quantile(0.95).Microseconds(),
+		P99US:          lat.Quantile(0.99).Microseconds(),
+		AllocsPerTxn:   float64(m1.Mallocs-m0.Mallocs) / float64(total),
+		Committed:      committed,
+		Submitted:      total,
+	}, nil
+}
+
+func measureMicro() Micro {
+	req := client.Request{
+		Seq: 123456, Template: "ycsb",
+		Params: []uint64{17, 4242, 99, 100000, 7, 8, 9, 10},
+		Ops:    "R[x17]U[x4242]R[x99]W[x100000]R[x7]R[x8]U[x9]W[x10]",
+	}
+	resp := client.Response{Seq: 123456, Status: client.StatusCommit, Retries: 2, QueueUS: 1500, ExecUS: 870, Bundle: 42}
+	var buf []byte
+	enc := testing.AllocsPerRun(2000, func() {
+		buf = client.AppendResponse(buf[:0], &resp)
+	})
+	reqLine := client.AppendRequest(nil, &req)
+	reqLine = reqLine[:len(reqLine)-1]
+	var dreq client.Request
+	dr := testing.AllocsPerRun(2000, func() {
+		if err := client.DecodeRequest(reqLine, &dreq); err != nil {
+			panic(err)
+		}
+	})
+	respLine := client.AppendResponse(nil, &resp)
+	respLine = respLine[:len(respLine)-1]
+	var dresp client.Response
+	dp := testing.AllocsPerRun(2000, func() {
+		if err := client.DecodeResponse(respLine, &dresp); err != nil {
+			panic(err)
+		}
+	})
+	l := wal.New(io.Discard, 0)
+	rec := wal.Record{TxnID: 7, Writes: []wal.Update{
+		{Key: 1, Ver: 10, Fields: []uint64{1, 2, 3, 4}},
+		{Key: 2, Ver: 11, Fields: []uint64{5, 6, 7, 8}},
+	}}
+	wa := testing.AllocsPerRun(2000, func() {
+		if err := l.Append(rec); err != nil {
+			panic(err)
+		}
+	})
+	return Micro{
+		WireEncodeAllocs:         enc,
+		WireDecodeRequestAllocs:  dr,
+		WireDecodeResponseAllocs: dp,
+		WALAppendAllocs:          wa,
+	}
+}

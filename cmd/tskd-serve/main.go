@@ -45,6 +45,7 @@ func main() {
 	var (
 		listen    = flag.String("listen", ":7070", "transaction listener address")
 		httpAddr  = flag.String("http", ":7071", "health/metrics address ('' disables)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -http")
 		schema    = flag.String("schema", "ycsb", "database schema to load: ycsb or tpcc")
 		records   = flag.Int("records", 100_000, "YCSB table size")
 		whn       = flag.Int("whn", 40, "TPC-C warehouses")
@@ -83,6 +84,7 @@ func main() {
 	cfg := server.Config{
 		Addr:          *listen,
 		HTTPAddr:      *httpAddr,
+		EnablePprof:   *pprofOn,
 		Bundle:        *bundle,
 		FlushInterval: *flushIv,
 		QueueDepth:    *queue,

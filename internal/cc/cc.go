@@ -21,7 +21,7 @@ package cc
 
 import (
 	"errors"
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"tskd/internal/storage"
@@ -76,6 +76,11 @@ type Ctx struct {
 	scans []scanEntry
 	// parts tracks partition locks held under HSTORE (sorted).
 	parts []int
+	// freeTuples recycles staged read-your-writes images across
+	// attempts. Only staged images ever enter the pool: an installed
+	// tuple is published to lock-free readers (and retained by MVCC
+	// version chains), so it must never be reused.
+	freeTuples []*storage.Tuple
 }
 
 type scanEntry struct {
@@ -108,6 +113,10 @@ type writeEntry struct {
 	// reads make the recomputation identical to the staged image).
 	upd    UpdateFunc
 	locked bool // 2PL: exclusive lock held; SILO/TICTOC/OCC: latched during commit
+	// stagedOwned marks tuple as a pool-owned staged image (recyclable
+	// once the attempt ends). install flips it off when it replaces the
+	// staged image with the installed one.
+	stagedOwned bool
 	// installedVer is the version number this commit installed,
 	// captured while the row latch is held (valid after Commit
 	// succeeds).
@@ -128,13 +137,40 @@ func NewCtx(stats *Stats) *Ctx {
 
 // Reset clears the context for a fresh attempt (same or different
 // transaction). The timestamp is not reallocated here; Begin does that.
+// Staged images the previous attempt abandoned (abort paths) return to
+// the tuple pool here.
 func (c *Ctx) Reset() {
+	for i := range c.writes {
+		c.recycleStaged(&c.writes[i])
+	}
 	c.reads = c.reads[:0]
 	c.writes = c.writes[:0]
 	c.scans = c.scans[:0]
 	c.parts = c.parts[:0]
 	clear(c.pending)
 	clear(c.locks)
+}
+
+// stagedClone builds the transaction-private read-your-writes image of
+// src, reusing a recycled tuple when one is available.
+func (c *Ctx) stagedClone(src *storage.Tuple) *storage.Tuple {
+	if n := len(c.freeTuples); n > 0 {
+		t := c.freeTuples[n-1]
+		c.freeTuples = c.freeTuples[:n-1]
+		t.Fields = append(t.Fields[:0], src.Fields...)
+		return t
+	}
+	return src.Clone()
+}
+
+// recycleStaged returns w's staged image to the pool if w still owns
+// one. Safe to call more than once.
+func (c *Ctx) recycleStaged(w *writeEntry) {
+	if w.stagedOwned && w.tuple != nil {
+		c.freeTuples = append(c.freeTuples, w.tuple)
+		w.tuple = nil
+	}
+	w.stagedOwned = false
 }
 
 // RecordScan notes that the transaction is about to range-scan table,
@@ -186,9 +222,9 @@ func (c *Ctx) stage(row *storage.Row, upd UpdateFunc) {
 		upd(e.tuple)
 		return
 	}
-	img := row.Load().Clone()
+	img := c.stagedClone(row.Load())
 	upd(img)
-	c.writes = append(c.writes, writeEntry{row: row, tuple: img, upd: upd})
+	c.writes = append(c.writes, writeEntry{row: row, tuple: img, upd: upd, stagedOwned: true})
 	c.pending[row] = len(c.writes)
 }
 
@@ -197,11 +233,12 @@ func (c *Ctx) stage(row *storage.Row, upd UpdateFunc) {
 // exclusive lock plus the latch); it returns the installed version
 // number. The committed image is retained in the entry so redo logging
 // can read it after Commit returns.
-func (w *writeEntry) install() uint64 {
+func (w *writeEntry) install(c *Ctx) uint64 {
 	fresh := w.row.Load().Clone()
 	w.upd(fresh)
 	w.installedVer = storage.VerNumber(w.row.Ver.Load()) + 1
 	w.row.Install(fresh)
+	c.recycleStaged(w)
 	w.tuple = fresh
 	return w.installedVer
 }
@@ -220,20 +257,32 @@ type CommittedWrite struct {
 // attempt, for write-ahead logging. Only meaningful after Commit
 // succeeded.
 func (c *Ctx) CommittedWrites() []CommittedWrite {
-	out := make([]CommittedWrite, 0, len(c.writes))
+	return c.AppendCommittedWrites(make([]CommittedWrite, 0, len(c.writes)))
+}
+
+// AppendCommittedWrites appends the redo images of the last committed
+// attempt to dst and returns the extended slice, so a caller on the
+// commit hot path can reuse one buffer across commits.
+func (c *Ctx) AppendCommittedWrites(dst []CommittedWrite) []CommittedWrite {
 	for i := range c.writes {
 		w := &c.writes[i]
-		out = append(out, CommittedWrite{Key: w.row.Key, Ver: w.installedVer, Fields: w.tuple.Fields})
+		dst = append(dst, CommittedWrite{Key: w.row.Key, Ver: w.installedVer, Fields: w.tuple.Fields})
 	}
-	return out
+	return dst
 }
 
 // sortedWrites orders the write entries by row key to guarantee a
 // global latch-acquisition order (deadlock freedom for the optimistic
 // protocols' commit phases).
 func (c *Ctx) sortedWrites() []writeEntry {
-	sort.Slice(c.writes, func(i, j int) bool {
-		return c.writes[i].row.Key < c.writes[j].row.Key
+	slices.SortFunc(c.writes, func(a, b writeEntry) int {
+		switch {
+		case a.row.Key < b.row.Key:
+			return -1
+		case a.row.Key > b.row.Key:
+			return 1
+		}
+		return 0
 	})
 	// Re-index pending after the sort.
 	for i := range c.writes {

@@ -127,7 +127,7 @@ func (p *HStore) Commit(c *Ctx) error {
 		for !w.row.TryLatch() {
 			runtime.Gosched()
 		}
-		w.install()
+		w.install(c)
 		w.row.Unlatch(true)
 	}
 	p.release(c)

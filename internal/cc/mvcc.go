@@ -136,7 +136,7 @@ func (p *MVCC) Commit(c *Ctx) error {
 			WTS:    w.row.WTS.Load(),
 			Tuple:  cur,
 		})
-		w.install()
+		w.install(c)
 		w.row.WTS.Store(c.TS)
 		w.row.Unlatch(true)
 		w.locked = false

@@ -66,7 +66,7 @@ func (p *None) Commit(c *Ctx) error {
 			c.Stats.Contended++
 			runtime.Gosched()
 		}
-		w.install()
+		w.install(c)
 		w.row.Unlatch(true)
 	}
 	return nil

@@ -105,7 +105,7 @@ func (p *OCC) Commit(c *Ctx) error {
 			c.Stats.Contended++
 			runtime.Gosched()
 		}
-		w.install()
+		w.install(c)
 		w.row.Unlatch(true)
 	}
 	return nil

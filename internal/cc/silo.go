@@ -81,7 +81,7 @@ func (p *Silo) Commit(c *Ctx) error {
 	}
 	// Phase 3: install and release with version bumps.
 	for i := range writes {
-		writes[i].install()
+		writes[i].install(c)
 	}
 	p.unlatchWrites(c, true)
 	return nil

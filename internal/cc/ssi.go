@@ -149,7 +149,7 @@ func (p *SSI) Commit(c *Ctx) error {
 			WTS:    w.row.WTS.Load(),
 			Tuple:  cur,
 		})
-		w.install()
+		w.install(c)
 		w.row.WTS.Store(commitTS)
 		w.row.Unlatch(true)
 		w.locked = false

@@ -121,7 +121,7 @@ func (p *TicToc) Commit(c *Ctx) error {
 	}
 	// Phase 4: install writes at commitTS.
 	for i := range writes {
-		writes[i].install()
+		writes[i].install(c)
 	}
 	p.unlatchWrites(c, commitTS)
 	return nil

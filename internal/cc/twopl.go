@@ -179,7 +179,7 @@ func (p *TwoPL) Commit(c *Ctx) error {
 			// with momentary readers only.
 			runtime.Gosched()
 		}
-		w.install()
+		w.install(c)
 		w.row.Unlatch(true)
 	}
 	p.releaseAll(c)

@@ -1,0 +1,100 @@
+package client
+
+import (
+	"testing"
+)
+
+// Benchmark fixtures sized like real serve-path traffic: an 8-op YCSB
+// transaction with params, and the response that acknowledges it.
+var (
+	benchReq = Request{
+		Seq:      123456,
+		Template: "ycsb",
+		Params:   []uint64{17, 4242, 99, 100000, 7, 8, 9, 10},
+		Ops:      "R[x17]U[x4242]R[x99]W[x100000]R[x7]R[x8]U[x9]W[x10]",
+		IdemKey:  987654321,
+	}
+	benchResp = Response{
+		Seq:     123456,
+		Status:  StatusCommit,
+		Retries: 2,
+		QueueUS: 1500,
+		ExecUS:  870,
+		Bundle:  42,
+	}
+)
+
+// BenchmarkWireEncode measures the append-style response encoder — the
+// per-outcome hot path of the server's result streaming.
+func BenchmarkWireEncode(b *testing.B) {
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendResponse(buf[:0], &benchResp)
+	}
+	_ = buf
+}
+
+// BenchmarkWireDecodeRequest measures the server-side request decode
+// with a reused Request (params backing array recycled across lines).
+func BenchmarkWireDecodeRequest(b *testing.B) {
+	line := AppendRequest(nil, &benchReq)
+	line = line[:len(line)-1] // DecodeRequest takes the line without '\n'
+	var r Request
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeRequest(line, &r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecodeResponse measures the client-side response decode.
+func BenchmarkWireDecodeResponse(b *testing.B) {
+	line := AppendResponse(nil, &benchResp)
+	line = line[:len(line)-1]
+	var r Response
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeResponse(line, &r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Alloc budgets for the wire codec, gating regressions on the serve
+// path's per-message cost:
+//
+//   - encode: 0 allocs — appends into the caller's buffer;
+//   - response decode: 0 allocs — fixed fields, interned status;
+//   - request decode: ≤2 allocs — the Template and Ops strings must be
+//     materialized (they outlive the read buffer); params reuse the
+//     Request's backing array.
+func TestWireCodecAllocBudgets(t *testing.T) {
+	var buf []byte
+	if n := testing.AllocsPerRun(200, func() {
+		buf = AppendResponse(buf[:0], &benchResp)
+	}); n > 0 {
+		t.Errorf("AppendResponse allocs/op = %v, budget 0", n)
+	}
+	respLine := AppendResponse(nil, &benchResp)
+	respLine = respLine[:len(respLine)-1]
+	var resp Response
+	if n := testing.AllocsPerRun(200, func() {
+		if err := DecodeResponse(respLine, &resp); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("DecodeResponse allocs/op = %v, budget 0", n)
+	}
+	reqLine := AppendRequest(nil, &benchReq)
+	reqLine = reqLine[:len(reqLine)-1]
+	var req Request
+	if n := testing.AllocsPerRun(200, func() {
+		if err := DecodeRequest(reqLine, &req); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 2 {
+		t.Errorf("DecodeRequest allocs/op = %v, budget 2", n)
+	}
+}

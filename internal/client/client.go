@@ -3,7 +3,6 @@ package client
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
@@ -17,12 +16,17 @@ import (
 type Conn struct {
 	nc   net.Conn
 	wmu  sync.Mutex // serializes request lines
-	enc  *json.Encoder
+	wbuf []byte     // encode scratch, owned by wmu
 	seq  atomic.Uint64
 	mu   sync.Mutex // guards pending, err, closed
 	pend map[uint64]chan Response
 	err  error
 	done chan struct{}
+
+	// chans recycles the one-shot response channels Submit waits on;
+	// a channel is returned to the pool only after its single send has
+	// been received, so a pooled channel is always empty.
+	chans sync.Pool
 }
 
 // Dial connects to a server's transaction listener.
@@ -33,10 +37,10 @@ func Dial(addr string) (*Conn, error) {
 	}
 	c := &Conn{
 		nc:   nc,
-		enc:  json.NewEncoder(nc),
 		pend: make(map[uint64]chan Response),
 		done: make(chan struct{}),
 	}
+	c.chans.New = func() any { return make(chan Response, 1) }
 	go c.readLoop()
 	return c, nil
 }
@@ -46,13 +50,13 @@ func Dial(addr string) (*Conn, error) {
 func (c *Conn) readLoop() {
 	sc := bufio.NewScanner(c.nc)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var resp Response
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		var resp Response
-		if err := json.Unmarshal(line, &resp); err != nil {
+		if err := DecodeResponse(line, &resp); err != nil {
 			c.fail(fmt.Errorf("client: bad response line: %w", err))
 			return
 		}
@@ -90,24 +94,28 @@ func (c *Conn) fail(err error) {
 // assigned by the connection (the caller's value is overwritten).
 func (c *Conn) Submit(ctx context.Context, req Request) (Response, error) {
 	req.Seq = c.seq.Add(1)
-	ch := make(chan Response, 1)
+	ch := c.chans.Get().(chan Response)
 
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
+		c.chans.Put(ch)
 		return Response{}, err
 	}
 	c.pend[req.Seq] = ch
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err := c.enc.Encode(&req)
+	c.wbuf = AppendRequest(c.wbuf[:0], &req)
+	_, err := c.nc.Write(c.wbuf)
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pend, req.Seq)
 		c.mu.Unlock()
+		// The channel cannot be recycled: readLoop (or fail) may still
+		// hold a reference to it.
 		return Response{}, err
 	}
 
@@ -116,11 +124,14 @@ func (c *Conn) Submit(ctx context.Context, req Request) (Response, error) {
 		if !ok {
 			return Response{}, c.Err()
 		}
+		c.chans.Put(ch)
 		return resp, nil
 	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pend, req.Seq)
 		c.mu.Unlock()
+		// Not recycled: readLoop may have grabbed the channel before
+		// the delete and still send into it.
 		return Response{}, ctx.Err()
 	case <-c.done:
 		return Response{}, c.Err()

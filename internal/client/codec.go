@@ -1,0 +1,497 @@
+// Hand-rolled wire codec for the two fixed envelope shapes. The
+// serving hot path encodes one Response and decodes one Request per
+// transaction; encoding/json's reflection costs several allocations
+// per line, which dominates the serve path once scheduling removes the
+// CC-level contention. The append-style encoders write into a
+// caller-owned buffer (zero allocations when the buffer has capacity),
+// and the decoders parse the flat JSON objects directly, falling back
+// to encoding/json on anything they do not recognize — unknown keys,
+// escaped strings, non-integer numbers — so wire behaviour is exactly
+// encoding/json's, only faster on the common shapes.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"unicode/utf8"
+)
+
+// AppendRequest appends the JSON encoding of r and a trailing newline
+// to dst, returning the extended buffer. The output parses back to an
+// identical Request via DecodeRequest or encoding/json.
+func AppendRequest(dst []byte, r *Request) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = appendUint(dst, r.Seq)
+	if r.Template != "" {
+		dst = append(dst, `,"template":`...)
+		dst = appendJSONString(dst, r.Template)
+	}
+	if len(r.Params) > 0 {
+		dst = append(dst, `,"params":[`...)
+		for i, p := range r.Params {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendUint(dst, p)
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `,"ops":`...)
+	dst = appendJSONString(dst, r.Ops)
+	if r.IdemKey != 0 {
+		dst = append(dst, `,"idem":`...)
+		dst = appendUint(dst, r.IdemKey)
+	}
+	return append(dst, '}', '\n')
+}
+
+// AppendResponse appends the JSON encoding of r and a trailing newline
+// to dst, returning the extended buffer. The output parses back to an
+// identical Response via DecodeResponse or encoding/json.
+func AppendResponse(dst []byte, r *Response) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = appendUint(dst, r.Seq)
+	dst = append(dst, `,"status":`...)
+	dst = appendJSONString(dst, r.Status)
+	if r.Retries != 0 {
+		dst = append(dst, `,"retries":`...)
+		dst = appendInt(dst, int64(r.Retries))
+	}
+	if r.QueueUS != 0 {
+		dst = append(dst, `,"queue_us":`...)
+		dst = appendInt(dst, r.QueueUS)
+	}
+	if r.ExecUS != 0 {
+		dst = append(dst, `,"exec_us":`...)
+		dst = appendInt(dst, r.ExecUS)
+	}
+	if r.Bundle != 0 {
+		dst = append(dst, `,"bundle":`...)
+		dst = appendInt(dst, int64(r.Bundle))
+	}
+	if r.RetryAfterMS != 0 {
+		dst = append(dst, `,"retry_after_ms":`...)
+		dst = appendInt(dst, r.RetryAfterMS)
+	}
+	if r.Error != "" {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONString(dst, r.Error)
+	}
+	if r.Duplicate {
+		dst = append(dst, `,"duplicate":true`...)
+	}
+	return append(dst, '}', '\n')
+}
+
+func appendUint(dst []byte, v uint64) []byte {
+	if v == 0 {
+		return append(dst, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(dst, tmp[i:]...)
+}
+
+func appendInt(dst []byte, v int64) []byte {
+	if v < 0 {
+		dst = append(dst, '-')
+		return appendUint(dst, uint64(-v))
+	}
+	return appendUint(dst, uint64(v))
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a quoted JSON string, escaping quotes,
+// backslashes and control characters. Valid multi-byte UTF-8 passes
+// through verbatim; invalid sequences become U+FFFD, exactly as
+// encoding/json coerces them.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch c {
+			case '"':
+				dst = append(dst, '\\', '"')
+			case '\\':
+				dst = append(dst, '\\', '\\')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `�`...)
+			i++
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// DecodeResponse parses one response line into r, overwriting every
+// field. Identical in behaviour to json.Unmarshal(line, r) — the fast
+// path handles the encoder's own output allocation-free (known status
+// strings are interned), and anything it does not recognize is
+// re-parsed with encoding/json.
+func DecodeResponse(line []byte, r *Response) error {
+	*r = Response{}
+	if fastDecodeResponse(line, r) {
+		return nil
+	}
+	*r = Response{}
+	return json.Unmarshal(line, r)
+}
+
+// DecodeRequest parses one request line into r, overwriting every
+// field. r.Params keeps its backing array when capacity allows, so a
+// caller that hands the params off must nil the field before the next
+// decode.
+func DecodeRequest(line []byte, r *Request) error {
+	scratch := r.Params[:0]
+	*r = Request{}
+	if fastDecodeRequest(line, r, scratch) {
+		return nil
+	}
+	*r = Request{}
+	return json.Unmarshal(line, r)
+}
+
+// internStatus maps the wire status strings onto the package constants
+// so decoding a response does not allocate for its status.
+func internStatus(b []byte) string {
+	switch string(b) { // compiled to allocation-free comparisons
+	case StatusCommit:
+		return StatusCommit
+	case StatusAbort:
+		return StatusAbort
+	case StatusRejected:
+		return StatusRejected
+	case StatusError:
+		return StatusError
+	case StatusCanceled:
+		return StatusCanceled
+	}
+	return string(b)
+}
+
+// errSlow makes the fast decoders bail to encoding/json.
+var errSlow = errors.New("client: fall back to encoding/json")
+
+type scanner struct {
+	b []byte
+	i int
+}
+
+func (s *scanner) ws() {
+	for s.i < len(s.b) {
+		switch s.b[s.i] {
+		case ' ', '\t', '\n', '\r':
+			s.i++
+		default:
+			return
+		}
+	}
+}
+
+func (s *scanner) expect(c byte) error {
+	s.ws()
+	if s.i >= len(s.b) || s.b[s.i] != c {
+		return errSlow
+	}
+	s.i++
+	return nil
+}
+
+// str scans a JSON string and returns its raw contents. Escapes bail
+// to the slow path (only the rare Error field ever carries them).
+func (s *scanner) str() ([]byte, error) {
+	if err := s.expect('"'); err != nil {
+		return nil, err
+	}
+	start := s.i
+	ascii := true
+	for s.i < len(s.b) {
+		switch c := s.b[s.i]; {
+		case c == '\\':
+			return nil, errSlow
+		case c == '"':
+			out := s.b[start:s.i]
+			s.i++
+			// encoding/json coerces invalid UTF-8 to U+FFFD; punt those
+			// rare strings to it rather than replicating the coercion.
+			if !ascii && !utf8.Valid(out) {
+				return nil, errSlow
+			}
+			return out, nil
+		case c < 0x20:
+			return nil, errSlow // raw control char: invalid JSON, let encoding/json reject it
+		case c >= utf8.RuneSelf:
+			ascii = false
+		}
+		s.i++
+	}
+	return nil, errSlow
+}
+
+// uint scans a plain non-negative integer (no sign, fraction or
+// exponent; anything else bails to the slow path).
+func (s *scanner) uint() (uint64, error) {
+	s.ws()
+	start := s.i
+	var v uint64
+	for s.i < len(s.b) {
+		c := s.b[s.i]
+		if c < '0' || c > '9' {
+			break
+		}
+		d := uint64(c - '0')
+		if v > (1<<64-1-d)/10 {
+			return 0, errSlow // overflow: let encoding/json report it
+		}
+		v = v*10 + d
+		s.i++
+	}
+	if s.i == start {
+		return 0, errSlow
+	}
+	if s.b[start] == '0' && s.i > start+1 {
+		return 0, errSlow // leading zero: not JSON; let encoding/json reject it
+	}
+	if s.i < len(s.b) {
+		switch s.b[s.i] {
+		case '.', 'e', 'E':
+			return 0, errSlow
+		}
+	}
+	return v, nil
+}
+
+func (s *scanner) int() (int64, error) {
+	s.ws()
+	neg := false
+	if s.i < len(s.b) && s.b[s.i] == '-' {
+		neg = true
+		s.i++
+	}
+	v, err := s.uint()
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		if v > 1<<63 {
+			return 0, errSlow
+		}
+		return -int64(v), nil
+	}
+	if v > 1<<63-1 {
+		return 0, errSlow
+	}
+	return int64(v), nil
+}
+
+func (s *scanner) bool() (bool, error) {
+	s.ws()
+	rest := s.b[s.i:]
+	if len(rest) >= 4 && string(rest[:4]) == "true" {
+		s.i += 4
+		return true, nil
+	}
+	if len(rest) >= 5 && string(rest[:5]) == "false" {
+		s.i += 5
+		return false, nil
+	}
+	return false, errSlow
+}
+
+// object drives the generic key:value walk shared by both decoders;
+// field dispatches on the key. Trailing garbage after the closing
+// brace (other than whitespace) bails out, matching Unmarshal's error.
+func (s *scanner) object(field func(key []byte) error) error {
+	if err := s.expect('{'); err != nil {
+		return err
+	}
+	s.ws()
+	if s.i < len(s.b) && s.b[s.i] == '}' {
+		s.i++
+		return s.end()
+	}
+	for {
+		key, err := s.str()
+		if err != nil {
+			return err
+		}
+		if err := s.expect(':'); err != nil {
+			return err
+		}
+		if err := field(key); err != nil {
+			return err
+		}
+		s.ws()
+		if s.i >= len(s.b) {
+			return errSlow
+		}
+		switch s.b[s.i] {
+		case ',':
+			s.i++
+			s.ws()
+		case '}':
+			s.i++
+			return s.end()
+		default:
+			return errSlow
+		}
+	}
+}
+
+func (s *scanner) end() error {
+	s.ws()
+	if s.i != len(s.b) {
+		return errSlow
+	}
+	return nil
+}
+
+func fastDecodeResponse(line []byte, r *Response) bool {
+	s := scanner{b: line}
+	err := s.object(func(key []byte) error {
+		var err error
+		switch string(key) {
+		case "seq":
+			r.Seq, err = s.uint()
+		case "status":
+			var b []byte
+			if b, err = s.str(); err == nil {
+				r.Status = internStatus(b)
+			}
+		case "retries":
+			var v int64
+			if v, err = s.int(); err == nil {
+				r.Retries = int(v)
+			}
+		case "queue_us":
+			r.QueueUS, err = s.int()
+		case "exec_us":
+			r.ExecUS, err = s.int()
+		case "bundle":
+			var v int64
+			if v, err = s.int(); err == nil {
+				r.Bundle = int(v)
+			}
+		case "retry_after_ms":
+			r.RetryAfterMS, err = s.int()
+		case "error":
+			var b []byte
+			if b, err = s.str(); err == nil {
+				r.Error = string(b)
+			}
+		case "duplicate":
+			r.Duplicate, err = s.bool()
+		default:
+			err = errSlow // unknown key: encoding/json decides
+		}
+		return err
+	})
+	return err == nil
+}
+
+func fastDecodeRequest(line []byte, r *Request, scratch []uint64) bool {
+	s := scanner{b: line}
+	err := s.object(func(key []byte) error {
+		var err error
+		switch string(key) {
+		case "seq":
+			r.Seq, err = s.uint()
+		case "template":
+			var b []byte
+			if b, err = s.str(); err == nil {
+				r.Template = string(b)
+			}
+		case "params":
+			err = s.uintArray(&r.Params, scratch)
+		case "ops":
+			var b []byte
+			if b, err = s.str(); err == nil {
+				r.Ops = string(b)
+			}
+		case "idem":
+			r.IdemKey, err = s.uint()
+		default:
+			err = errSlow
+		}
+		return err
+	})
+	return err == nil
+}
+
+// emptyUints distinguishes "params":[] (non-nil empty, matching
+// encoding/json) from an absent or null field (nil) without allocating.
+var emptyUints = make([]uint64, 0)
+
+func (s *scanner) uintArray(out *[]uint64, scratch []uint64) error {
+	s.ws()
+	// null leaves the field nil, exactly as encoding/json does.
+	if rest := s.b[s.i:]; len(rest) >= 4 && string(rest[:4]) == "null" {
+		s.i += 4
+		return nil
+	}
+	if err := s.expect('['); err != nil {
+		return err
+	}
+	a := scratch
+	if a == nil {
+		a = emptyUints
+	}
+	s.ws()
+	if s.i < len(s.b) && s.b[s.i] == ']' {
+		s.i++
+		*out = a
+		return nil
+	}
+	for {
+		v, err := s.uint()
+		if err != nil {
+			return err
+		}
+		a = append(a, v)
+		s.ws()
+		if s.i >= len(s.b) {
+			return errSlow
+		}
+		switch s.b[s.i] {
+		case ',':
+			s.i++
+		case ']':
+			s.i++
+			*out = a
+			return nil
+		default:
+			return errSlow
+		}
+	}
+}

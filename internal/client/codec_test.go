@@ -1,0 +1,138 @@
+package client
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+var codecRequests = []Request{
+	{},
+	{Seq: 7, Ops: "R[1:42]U[1:99]"},
+	{Seq: 7, Template: "YCSB-A", Params: []uint64{1, 2, 3}, Ops: "R[x2]W[x2]"},
+	{Seq: 1<<64 - 1, Template: `quo"te\slash`, Ops: "R[x1]", IdemKey: 123456789},
+	{Seq: 1, Template: "tab\tnl\nctrl\x01", Params: []uint64{0, 1 << 63}, Ops: ""},
+	{Seq: 42, Template: "unicode-é世", Ops: "W[2:7]", IdemKey: 1},
+}
+
+var codecResponses = []Response{
+	{},
+	{Seq: 9, Status: StatusCommit, Retries: 3, QueueUS: 812, ExecUS: 9613, Bundle: 42},
+	{Seq: 1, Status: StatusRejected, RetryAfterMS: 11},
+	{Seq: 2, Status: StatusError, Error: `bad envelope: invalid character '\n'`},
+	{Seq: 3, Status: StatusAbort, QueueUS: -1, ExecUS: -2},
+	{Seq: 4, Status: StatusCommit, Duplicate: true},
+	{Seq: 5, Status: "weird-future-status"},
+}
+
+// The append encoders must produce JSON that encoding/json parses back
+// to the original value — the encoder's contract with foreign clients.
+func TestAppendRequestRoundTrip(t *testing.T) {
+	for _, in := range codecRequests {
+		line := AppendRequest(nil, &in)
+		if line[len(line)-1] != '\n' {
+			t.Fatalf("no trailing newline: %q", line)
+		}
+		var viaJSON Request
+		if err := json.Unmarshal(line, &viaJSON); err != nil {
+			t.Fatalf("encoding/json rejects %q: %v", line, err)
+		}
+		if !reflect.DeepEqual(in, viaJSON) {
+			t.Errorf("json round trip mismatch:\n in=%+v\nout=%+v\nline=%s", in, viaJSON, line)
+		}
+		var viaFast Request
+		if err := DecodeRequest(line, &viaFast); err != nil {
+			t.Fatalf("DecodeRequest(%q): %v", line, err)
+		}
+		if !reflect.DeepEqual(in, viaFast) {
+			t.Errorf("fast round trip mismatch:\n in=%+v\nout=%+v\nline=%s", in, viaFast, line)
+		}
+	}
+}
+
+func TestAppendResponseRoundTrip(t *testing.T) {
+	for _, in := range codecResponses {
+		line := AppendResponse(nil, &in)
+		var viaJSON Response
+		if err := json.Unmarshal(line, &viaJSON); err != nil {
+			t.Fatalf("encoding/json rejects %q: %v", line, err)
+		}
+		if in != viaJSON {
+			t.Errorf("json round trip mismatch:\n in=%+v\nout=%+v\nline=%s", in, viaJSON, line)
+		}
+		var viaFast Response
+		if err := DecodeResponse(line, &viaFast); err != nil {
+			t.Fatalf("DecodeResponse(%q): %v", line, err)
+		}
+		if in != viaFast {
+			t.Errorf("fast round trip mismatch:\n in=%+v\nout=%+v\nline=%s", in, viaFast, line)
+		}
+	}
+}
+
+// The decoders must agree with encoding/json on arbitrary lines —
+// including ones the fast path punts on (escapes, floats, unknown
+// keys) and malformed ones (both must error).
+func TestDecodeMatchesEncodingJSON(t *testing.T) {
+	lines := []string{
+		`{}`,
+		`{"seq":7,"ops":"R[x1]"}`,
+		` { "seq" : 7 , "ops" : "R[x1]" } `,
+		`{"seq":7,"unknown":{"nested":[1,2]},"ops":"R[x1]"}`,
+		`{"seq":7,"template":"aAb","ops":"R[x1]"}`,
+		`{"seq":7,"params":null,"ops":"R[x1]"}`,
+		`{"seq":7,"params":[],"ops":"R[x1]"}`,
+		`{"seq":007}`,
+		`{"seq":7.5}`,
+		`{"seq":1e3}`,
+		`{"seq":-1}`,
+		`{"seq":18446744073709551615}`,
+		`{"seq":18446744073709551616}`,
+		`{"status":"commit","duplicate":false}`,
+		`{"retries":-3,"queue_us":-10}`,
+		`{"seq":1}{"seq":2}`,
+		`{"seq":1} garbage`,
+		`{"seq"}`,
+		`[1,2,3]`,
+		`not json`,
+		`{"params":[1,"two"]}`,
+		`{"duplicate":1}`,
+	}
+	for _, line := range lines {
+		var jreq, freq Request
+		jerr := json.Unmarshal([]byte(line), &jreq)
+		ferr := DecodeRequest([]byte(line), &freq)
+		if (jerr == nil) != (ferr == nil) {
+			t.Errorf("request %q: json err=%v, fast err=%v", line, jerr, ferr)
+		} else if jerr == nil && !reflect.DeepEqual(jreq, freq) {
+			t.Errorf("request %q: json=%+v fast=%+v", line, jreq, freq)
+		}
+		var jresp, fresp Response
+		jerr = json.Unmarshal([]byte(line), &jresp)
+		ferr = DecodeResponse([]byte(line), &fresp)
+		if (jerr == nil) != (ferr == nil) {
+			t.Errorf("response %q: json err=%v, fast err=%v", line, jerr, ferr)
+		} else if jerr == nil && jresp != fresp {
+			t.Errorf("response %q: json=%+v fast=%+v", line, jresp, fresp)
+		}
+	}
+}
+
+// DecodeRequest reuses the params backing array across calls when the
+// caller leaves it in place — and must not when the caller nils it.
+func TestDecodeRequestParamsReuse(t *testing.T) {
+	var req Request
+	if err := DecodeRequest([]byte(`{"seq":1,"params":[1,2,3,4],"ops":"R[x1]"}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	first := &req.Params[0]
+	if err := DecodeRequest([]byte(`{"seq":2,"params":[9,9],"ops":"R[x1]"}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if &req.Params[0] != first {
+		t.Error("params backing array was not reused")
+	}
+	if !reflect.DeepEqual(req.Params, []uint64{9, 9}) {
+		t.Errorf("params = %v, want [9 9]", req.Params)
+	}
+}

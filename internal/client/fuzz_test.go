@@ -44,6 +44,91 @@ func FuzzRequestDecode(f *testing.F) {
 	})
 }
 
+// FuzzDecodeParity differentially tests the hand-rolled wire decoders
+// against encoding/json on arbitrary lines: both must agree on
+// accept/reject, and on every accepted line they must produce the same
+// struct. This is the property that lets the fast path silently replace
+// json.Unmarshal on the serve path.
+func FuzzDecodeParity(f *testing.F) {
+	seeds := []string{
+		`{"seq":1,"ops":"R[x1]W[x2]"}`,
+		`{"seq":9,"status":"commit","retries":2,"queue_us":81,"exec_us":96,"bundle":4}`,
+		`{"seq":2,"status":"error","error":"bad A envelope","duplicate":true}`,
+		`{"seq":18446744073709551615,"template":"NewOrder","params":[1,2,3],"ops":"U[1:5]"}`,
+		`{"seq":007,"params":[],"unknown":null}`,
+		`{"seq":1.5,"retry_after_ms":-3}`,
+		`{} trailing`,
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var jreq, freq Request
+		jerr := json.Unmarshal(data, &jreq)
+		ferr := DecodeRequest(data, &freq)
+		if (jerr == nil) != (ferr == nil) {
+			t.Fatalf("request accept mismatch on %q: json err=%v, fast err=%v", data, jerr, ferr)
+		}
+		if jerr == nil && !reflect.DeepEqual(jreq, freq) {
+			t.Fatalf("request value mismatch on %q: json=%+v fast=%+v", data, jreq, freq)
+		}
+		var jresp, fresp Response
+		jerr = json.Unmarshal(data, &jresp)
+		ferr = DecodeResponse(data, &fresp)
+		if (jerr == nil) != (ferr == nil) {
+			t.Fatalf("response accept mismatch on %q: json err=%v, fast err=%v", data, jerr, ferr)
+		}
+		if jerr == nil && jresp != fresp {
+			t.Fatalf("response value mismatch on %q: json=%+v fast=%+v", data, jresp, fresp)
+		}
+	})
+}
+
+// FuzzAppendEncodeParity checks that the append-style encoders are
+// drop-in replacements for json.Marshal: for arbitrary field values —
+// including strings that need escaping or carry invalid UTF-8 — a
+// consumer using encoding/json sees exactly the same struct it would
+// have seen from a Marshal-encoded line.
+func FuzzAppendEncodeParity(f *testing.F) {
+	f.Add(uint64(1), "YCSB-A", "R[x1]", uint64(7), "commit", "", int64(81), true)
+	f.Add(uint64(0), "quo\"te\\\n", "", uint64(0), "error", "some \x01 error", int64(-5), false)
+	f.Fuzz(func(t *testing.T, seq uint64, template, ops string, idem uint64,
+		status, errStr string, us int64, dup bool) {
+		req := Request{Seq: seq, Template: template, Ops: ops, IdemKey: idem}
+		jsonLine, err := json.Marshal(&req)
+		if err != nil {
+			t.Skip()
+		}
+		var viaJSON, viaAppend Request
+		if err := json.Unmarshal(jsonLine, &viaJSON); err != nil {
+			t.Skip()
+		}
+		if err := json.Unmarshal(AppendRequest(nil, &req), &viaAppend); err != nil {
+			t.Fatalf("encoded request rejected by encoding/json: %v", err)
+		}
+		if !reflect.DeepEqual(viaJSON, viaAppend) {
+			t.Fatalf("request encoders disagree: json=%+v append=%+v", viaJSON, viaAppend)
+		}
+		resp := Response{Seq: seq, Status: status, QueueUS: us, ExecUS: -us,
+			RetryAfterMS: us, Error: errStr, Duplicate: dup}
+		jsonLine, err = json.Marshal(&resp)
+		if err != nil {
+			t.Skip()
+		}
+		var jresp, aresp Response
+		if err := json.Unmarshal(jsonLine, &jresp); err != nil {
+			t.Skip()
+		}
+		if err := json.Unmarshal(AppendResponse(nil, &resp), &aresp); err != nil {
+			t.Fatalf("encoded response rejected by encoding/json: %v", err)
+		}
+		if jresp != aresp {
+			t.Fatalf("response encoders disagree: json=%+v append=%+v", jresp, aresp)
+		}
+	})
+}
+
 // FuzzNotation checks that any ops string the parser accepts survives
 // the Notation encoding round trip: Parse -> Notation -> Parse yields
 // the same operation list (ignoring args/fields, which the wire does

@@ -1,0 +1,90 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedServer accepts one connection and answers each request line
+// with a response whose ExecUS echoes the request's Seq, after asking
+// the script how long to stall that particular seq. It lets the tests
+// below interleave late responses with new submissions.
+func scriptedServer(t *testing.T, delay func(seq uint64) time.Duration) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		sc := bufio.NewScanner(nc)
+		for sc.Scan() {
+			var req Request
+			if err := DecodeRequest(sc.Bytes(), &req); err != nil {
+				return
+			}
+			go func(seq uint64) {
+				if d := delay(seq); d > 0 {
+					time.Sleep(d)
+				}
+				resp := Response{Seq: seq, Status: StatusCommit, ExecUS: int64(seq)}
+				nc.Write(AppendResponse(nil, &resp))
+			}(req.Seq)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestSubmitPooledChannelNoStaleDelivery cancels a Submit whose
+// response is still in flight, lets that late response land, then runs
+// many more submissions on the same connection. The recycled response
+// channels must never hand a caller someone else's outcome: every
+// response's ExecUS echo must match the seq the caller submitted.
+func TestSubmitPooledChannelNoStaleDelivery(t *testing.T) {
+	var stallFirst atomic.Bool
+	stallFirst.Store(true)
+	addr := scriptedServer(t, func(seq uint64) time.Duration {
+		if seq == 1 && stallFirst.Load() {
+			return 150 * time.Millisecond
+		}
+		return 0
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.Submit(ctx, Request{Ops: "R[x1]"}); err != context.DeadlineExceeded {
+		t.Fatalf("stalled submit: err = %v, want deadline exceeded", err)
+	}
+
+	// The stale response for seq 1 lands mid-way through these; none of
+	// them may observe it, and no seq may be delivered twice.
+	seen := make(map[uint64]bool)
+	for i := 0; i < 200; i++ {
+		resp, err := c.Submit(context.Background(), Request{Ops: "R[x" + strconv.Itoa(i) + "]"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(resp.ExecUS) != resp.Seq || resp.Seq == 1 {
+			t.Fatalf("submission %d got someone else's response: %+v", i, resp)
+		}
+		if seen[resp.Seq] {
+			t.Fatalf("seq %d delivered twice", resp.Seq)
+		}
+		seen[resp.Seq] = true
+	}
+}

@@ -2,7 +2,7 @@ package deferment
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"tskd/internal/txn"
 )
@@ -172,6 +172,14 @@ func MaskWriteSets(w txn.Workload, alpha float64, seed int64) [][]txn.Key {
 	out := make([][]txn.Key, w.MaxID()+1)
 	for _, t := range w {
 		ws := t.WriteSet()
+		if alpha == 1 {
+			// Exact sets (the common production setting): share the
+			// transaction's own sorted write set instead of copying and
+			// re-sorting it. The tracker treats predicted sets as
+			// read-only, so aliasing is safe.
+			out[t.ID] = ws
+			continue
+		}
 		n := int(float64(len(ws))*alpha + 0.9999)
 		if n > len(ws) {
 			n = len(ws)
@@ -179,7 +187,7 @@ func MaskWriteSets(w txn.Workload, alpha float64, seed int64) [][]txn.Key {
 		cp := append([]txn.Key(nil), ws...)
 		rng.Shuffle(len(cp), func(i, j int) { cp[i], cp[j] = cp[j], cp[i] })
 		cp = cp[:n]
-		sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+		slices.Sort(cp)
 		out[t.ID] = cp
 	}
 	return out

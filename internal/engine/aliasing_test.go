@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"testing"
+
+	"tskd/internal/cc"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+// TestRunPhaseFoldDoesNotCorruptCallerLists pins the fix for a slice
+// aliasing bug in runPhase: when a phase has more per-thread lists than
+// workers, the extras are folded round-robin with append. The folded
+// lists start as copies of the caller's slice headers, so if those
+// slices have spare capacity — here, four lists cut from one backing
+// array — the appends used to grow into the caller's backing array,
+// overwriting the next list's transactions. The symptoms were a
+// mutated Phase (bad for callers that reuse or inspect it) and
+// transactions silently executed twice or never.
+func TestRunPhaseFoldDoesNotCorruptCallerLists(t *testing.T) {
+	db := storage.NewDB()
+	tbl := db.CreateTable(0, "t", 1)
+	const n = 4
+	backing := make([]*txn.Transaction, n)
+	for i := range backing {
+		tbl.Insert(uint64(i))
+		// Each transaction increments only its own row, so a clobbered
+		// list shows up as a row updated twice or not at all.
+		backing[i] = txn.New(i).U(txn.MakeKey(0, uint64(i)), 100)
+	}
+	// Four single-transaction lists sharing one backing array: list i
+	// is backing[i:i+1] with spare capacity reaching into list i+1.
+	phase := Phase{PerThread: make([][]*txn.Transaction, n)}
+	for i := range phase.PerThread {
+		phase.PerThread[i] = backing[i : i+1]
+	}
+
+	m := Run(txn.Workload(backing), []Phase{phase}, Config{
+		Workers: 2, Protocol: cc.NewSilo(), DB: db, Seed: 7,
+	})
+	if m.Committed != n {
+		t.Fatalf("committed %d of %d", m.Committed, n)
+	}
+	for i := range phase.PerThread {
+		if len(phase.PerThread[i]) != 1 || phase.PerThread[i][0] != backing[i] {
+			t.Errorf("caller's PerThread[%d] was rewritten: got %v", i, phase.PerThread[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := tbl.Get(uint64(i))
+		if row == nil {
+			t.Fatalf("row %d missing", i)
+		}
+		if got := row.Load().Fields[0]; got != 100 {
+			t.Errorf("row %d = %d, want 100 (transaction ran %d times)", i, got, got/100)
+		}
+	}
+}

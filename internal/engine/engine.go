@@ -258,9 +258,13 @@ func Run(w txn.Workload, phases []Phase, cfg Config) Metrics {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	byID := w.ByID()
+	nID := w.MaxID() + 1
+	byID := make([]*txn.Transaction, nID)
+	for _, t := range w {
+		byID[t.ID] = t
+	}
 	if cfg.Deps != nil && cfg.Deps.Len() > 0 {
-		cfg.committed = make([]atomic.Bool, w.MaxID()+1)
+		cfg.committed = make([]atomic.Bool, nID)
 	}
 	var predicted [][]txn.Key
 	if cfg.Defer != nil && cfg.Defer.Lookups > 0 {
@@ -271,11 +275,43 @@ func Run(w txn.Workload, phases []Phase, cfg Config) Metrics {
 		predicted = deferment.MaskWriteSets(w, alpha, cfg.Seed)
 	}
 
+	// All per-phase scaffolding — worker structs, CC contexts, RNGs,
+	// stat sinks, list headers — is allocated once here and recycled
+	// across phases, so a multi-phase run allocates no per-phase worker
+	// state (the paper's bundles run two phases per bundle; the serve
+	// path calls Run once per bundle).
+	k := cfg.Workers
+	sc := &phaseScratch{
+		lists:   make([][]*txn.Transaction, k),
+		stats:   make([]workerStats, k),
+		ccStats: make([]cc.Stats, k),
+		workers: make([]worker, k),
+	}
+	for i := range sc.workers {
+		wk := &sc.workers[i]
+		wk.id = i
+		wk.cfg = cfg
+		wk.src = rand.NewSource(cfg.Seed)
+		wk.rng = rand.New(wk.src)
+		wk.ccStats = &sc.ccStats[i]
+		wk.byID = byID
+		wk.stats = &sc.stats[i]
+		wk.unitScale = cfg.OpTime
+		if wk.unitScale <= 0 {
+			wk.unitScale = time.Microsecond
+		}
+		wk.ctx = cc.NewCtx(wk.ccStats)
+		wk.ctx.Observe = cfg.Recorder != nil
+		if predicted != nil {
+			wk.deferCount = make([]int32, nID)
+		}
+	}
+
 	total := Metrics{}
 	var lat metrics.Histogram
 	start := time.Now()
 	for pi, phase := range phases {
-		m, phaseLat := runPhase(phase, byID, predicted, cfg, int64(pi))
+		m, phaseLat := runPhase(phase, sc, predicted, cfg, int64(pi))
 		total.Committed += m.Committed
 		total.Retries += m.Retries
 		total.Defers += m.Defers
@@ -304,12 +340,31 @@ func Run(w txn.Workload, phases []Phase, cfg Config) Metrics {
 	return total
 }
 
-func runPhase(phase Phase, byID map[int]*txn.Transaction, predicted [][]txn.Key, cfg Config, salt int64) (Metrics, *metrics.Histogram) {
+// phaseScratch is the run-level pool of per-phase worker scaffolding;
+// see Run. Everything in it is reset (not reallocated) between phases.
+type phaseScratch struct {
+	lists   [][]*txn.Transaction
+	stats   []workerStats
+	ccStats []cc.Stats
+	workers []worker
+	ids     []int // tracker.Load staging (Load copies)
+}
+
+func runPhase(phase Phase, sc *phaseScratch, predicted [][]txn.Key, cfg Config, salt int64) (Metrics, *metrics.Histogram) {
 	k := cfg.Workers
-	lists := make([][]*txn.Transaction, k)
+	lists := sc.lists
+	for i := range lists {
+		lists[i] = nil
+	}
 	copy(lists, phase.PerThread)
 	if len(phase.PerThread) > k {
-		// More lists than workers: fold the extras round-robin.
+		// More lists than workers: fold the extras round-robin. Clamp
+		// each copied list's capacity to its length first so the
+		// appends below reallocate instead of growing into (and
+		// corrupting) the caller's phase.PerThread backing arrays.
+		for i := range lists {
+			lists[i] = lists[i][:len(lists[i]):len(lists[i])]
+		}
 		for i := k; i < len(phase.PerThread); i++ {
 			lists[i%k] = append(lists[i%k], phase.PerThread[i]...)
 		}
@@ -325,71 +380,63 @@ func runPhase(phase Phase, byID map[int]*txn.Transaction, predicted [][]txn.Key,
 	if predicted != nil {
 		tracker = deferment.NewTracker(k, maxLen)
 		tracker.SetWriteSets(predicted)
+		ids := sc.ids
 		for i, l := range lists {
-			ids := make([]int, len(l))
-			for j, t := range l {
-				ids[j] = t.ID
+			ids = ids[:0]
+			for _, t := range l {
+				ids = append(ids, t.ID)
 			}
 			tracker.Load(i, ids)
 		}
+		sc.ids = ids
 	}
 
-	stats := make([]workerStats, k)
-	ccStats := make([]cc.Stats, k)
 	var wg sync.WaitGroup
 	for i := 0; i < k; i++ {
+		wk := &sc.workers[i]
+		wk.stats.reset()
+		*wk.ccStats = cc.Stats{}
+		wk.src.Seed(cfg.Seed ^ salt<<32 ^ int64(i)*0x9E3779B9)
+		wk.tracker = tracker
+		wk.deferrer = nil
+		if tracker != nil {
+			wk.deferrer = deferment.NewDeferrer(tracker)
+			wk.deferrer.Lookups = cfg.Defer.Lookups
+			wk.deferrer.DeferP = cfg.Defer.DeferP
+			wk.deferrer.Exact = cfg.Defer.Exact
+			if cfg.Defer.Adaptive {
+				wk.deferrer.EnableAdaptive()
+			}
+			if cfg.Defer.Horizon > 0 {
+				wk.deferrer.Horizon = cfg.Defer.Horizon
+			}
+		}
 		wg.Add(1)
-		go func(i int) {
+		go func(wk *worker, list []*txn.Transaction) {
 			defer wg.Done()
-			wk := &worker{
-				id:        i,
-				cfg:       cfg,
-				rng:       rand.New(rand.NewSource(cfg.Seed ^ salt<<32 ^ int64(i)*0x9E3779B9)),
-				ccStats:   &ccStats[i],
-				byID:      byID,
-				tracker:   tracker,
-				stats:     &stats[i],
-				unitScale: cfg.OpTime,
-			}
-			if wk.unitScale <= 0 {
-				wk.unitScale = time.Microsecond
-			}
-			wk.ctx = cc.NewCtx(wk.ccStats)
-			wk.ctx.Observe = cfg.Recorder != nil
-			if tracker != nil {
-				wk.deferrer = deferment.NewDeferrer(tracker)
-				wk.deferrer.Lookups = cfg.Defer.Lookups
-				wk.deferrer.DeferP = cfg.Defer.DeferP
-				wk.deferrer.Exact = cfg.Defer.Exact
-				if cfg.Defer.Adaptive {
-					wk.deferrer.EnableAdaptive()
-				}
-				if cfg.Defer.Horizon > 0 {
-					wk.deferrer.Horizon = cfg.Defer.Horizon
-				}
-			}
-			wk.drain(lists[i])
-		}(i)
+			wk.drain(list)
+		}(wk, lists[i])
 	}
 	wg.Wait()
 
 	var m Metrics
 	lat := &metrics.Histogram{}
-	for i := range stats {
-		m.Committed += stats[i].committed
-		m.Retries += stats[i].retries
-		m.Defers += stats[i].defers
-		m.UserAborts += stats[i].userAborts
-		m.Canceled += stats[i].canceled
-		m.Contended += ccStats[i].Contended
+	for i := range sc.stats {
+		stats := &sc.stats[i]
+		m.Committed += stats.committed
+		m.Retries += stats.retries
+		m.Defers += stats.defers
+		m.UserAborts += stats.userAborts
+		m.Canceled += stats.canceled
+		m.Contended += sc.ccStats[i].Contended
 		// Virtual k-core time of the phase: the busiest worker (the
 		// barrier makes the others wait for it).
-		if stats[i].busy > m.VirtualTime {
-			m.VirtualTime = stats[i].busy
+		if stats.busy > m.VirtualTime {
+			m.VirtualTime = stats.busy
 		}
-		lat.Merge(&stats[i].lat)
-		m.Spans = append(m.Spans, stats[i].spans...)
-		for name, tm := range stats[i].perTpl {
+		lat.Merge(&stats.lat)
+		m.Spans = append(m.Spans, stats.spans...)
+		for name, tm := range stats.perTpl {
 			if m.PerTemplate == nil {
 				m.PerTemplate = make(map[string]TemplateMetrics)
 			}
@@ -414,6 +461,16 @@ type workerStats struct {
 	spans      []ExecSpan
 }
 
+// reset clears the stats for a new phase, keeping the spans slice's
+// capacity (the aggregation loop copies values out before reuse).
+func (ws *workerStats) reset() {
+	ws.committed, ws.retries, ws.defers, ws.userAborts, ws.canceled = 0, 0, 0, 0, 0
+	ws.busy = 0
+	ws.lat = metrics.Histogram{}
+	clear(ws.perTpl)
+	ws.spans = ws.spans[:0]
+}
+
 func (ws *workerStats) tpl(name string) *TemplateMetrics {
 	if ws.perTpl == nil {
 		ws.perTpl = make(map[string]*TemplateMetrics)
@@ -426,14 +483,16 @@ func (ws *workerStats) tpl(name string) *TemplateMetrics {
 	return tm
 }
 
-// worker executes one thread's list for one phase.
+// worker executes one thread's list for one phase. Workers live for the
+// whole run; runPhase reseeds src and swaps the tracker between phases.
 type worker struct {
 	id        int
 	cfg       Config
+	src       rand.Source
 	rng       *rand.Rand
 	ctx       *cc.Ctx
 	ccStats   *cc.Stats
-	byID      map[int]*txn.Transaction
+	byID      []*txn.Transaction
 	tracker   *deferment.Tracker
 	deferrer  *deferment.Deferrer
 	stats     *workerStats
@@ -445,6 +504,15 @@ type worker struct {
 	// attempt; it is charged into the attempt's busy time so injected
 	// faults shift execution intervals in virtual time too.
 	injected time.Duration
+	// deferCount[id] counts how many times this worker deferred txn id
+	// in the current drain (dense by txn ID; cleared per drain). Nil
+	// when deferment is off.
+	deferCount []int32
+	// ccWrites/walWrites/scanRows are per-worker scratch buffers reused
+	// across commits (logCommit) and scans (runScan).
+	ccWrites  []cc.CommittedWrite
+	walWrites []wal.Update
+	scanRows  []*storage.Row
 }
 
 // opUnit is the virtual cost charged per operation: the configured
@@ -482,7 +550,7 @@ func (wk *worker) drain(list []*txn.Transaction) {
 	if maxDefers <= 0 {
 		maxDefers = 8
 	}
-	deferCount := make(map[int]int)
+	clear(wk.deferCount)
 	for {
 		id, ok := wk.tracker.Peek(wk.id)
 		if !ok {
@@ -499,8 +567,8 @@ func (wk *worker) drain(list []*txn.Transaction) {
 			}
 		}
 		t := wk.byID[id]
-		if deferCount[id] < maxDefers && wk.deferrer.ShouldDefer(wk.id, t, wk.rng) {
-			deferCount[id]++
+		if int(wk.deferCount[id]) < maxDefers && wk.deferrer.ShouldDefer(wk.id, t, wk.rng) {
+			wk.deferCount[id]++
 			wk.stats.defers++
 			wk.tracker.DeferHead(wk.id)
 			continue
@@ -725,11 +793,12 @@ func (wk *worker) runScan(t *txn.Transaction, op txn.Op) error {
 		return nil
 	}
 	wk.ctx.RecordScan(table)
-	rows := make([]*storage.Row, 0, 32)
+	rows := wk.scanRows[:0]
 	table.Scan(op.Key.Row(), op.Arg, func(r *storage.Row) bool {
 		rows = append(rows, r)
 		return true
 	})
+	wk.scanRows = rows
 	proto := wk.cfg.Protocol
 	for _, row := range rows {
 		if _, err := proto.Read(wk.ctx, row); err != nil {
@@ -749,14 +818,20 @@ func (wk *worker) runScan(t *txn.Transaction, op txn.Op) error {
 // blocks until it is durable (the write-ahead rule: acknowledge only
 // after the log reached stable storage).
 func (wk *worker) logCommit(t *txn.Transaction) {
-	cw := wk.ctx.CommittedWrites()
+	cw := wk.ctx.AppendCommittedWrites(wk.ccWrites[:0])
+	wk.ccWrites = cw
 	if len(cw) == 0 {
 		return // read-only: nothing to redo
 	}
-	rec := wal.Record{TxnID: int64(t.ID), IdemKey: t.IdemKey, Writes: make([]wal.Update, len(cw))}
-	for i, w := range cw {
-		rec.Writes[i] = wal.Update{Key: uint64(w.Key), Ver: w.Ver, Fields: w.Fields}
+	// The scratch Writes buffer is safe to reuse next commit: Append
+	// serializes the record before returning (it only blocks on the
+	// group flush afterwards).
+	upd := wk.walWrites[:0]
+	for _, w := range cw {
+		upd = append(upd, wal.Update{Key: uint64(w.Key), Ver: w.Ver, Fields: w.Fields})
 	}
+	wk.walWrites = upd
+	rec := wal.Record{TxnID: int64(t.ID), IdemKey: t.IdemKey, Writes: upd}
 	// Log failures are fatal to durability but not to the in-memory
 	// execution; surface them loudly in tests via the panic below,
 	// unless a fault hook claims them (chaos runs inject log errors on

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -481,5 +482,37 @@ func TestClientDisconnectMidStream(t *testing.T) {
 	}
 	if err := rec.Check(); err != nil {
 		t.Errorf("serializability: %v", err)
+	}
+}
+
+// TestPprofEndpoint verifies that EnablePprof mounts live profile
+// handlers on the metrics mux: the heap profile must be retrievable
+// from a running server, and must be absent when the flag is off.
+func TestPprofEndpoint(t *testing.T) {
+	s, _ := startServer(t, func(c *Config) { c.EnablePprof = true })
+	defer s.Shutdown(context.Background())
+
+	resp, err := http.Get("http://" + s.HTTPAddr() + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/heap = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "heap profile") {
+		t.Errorf("heap profile body looks wrong: %.80s", body)
+	}
+
+	off, _ := startServer(t, nil)
+	defer off.Shutdown(context.Background())
+	resp2, err := http.Get("http://" + off.HTTPAddr() + "/debug/pprof/heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof disabled but /debug/pprof/heap = %d", resp2.StatusCode)
 	}
 }

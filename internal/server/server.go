@@ -28,6 +28,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -50,6 +51,11 @@ type Config struct {
 	// HTTPAddr serves /healthz and /metrics; empty disables the HTTP
 	// listener.
 	HTTPAddr string
+	// EnablePprof additionally mounts net/http/pprof under
+	// /debug/pprof/ on the HTTP listener, so CPU, heap and allocation
+	// profiles can be pulled from a live server. No effect when
+	// HTTPAddr is empty.
+	EnablePprof bool
 	// Bundle closes a bundle once this many transactions have been
 	// collected (default 512).
 	Bundle int
@@ -164,12 +170,33 @@ type Stats struct {
 	ExecLat   metrics.HistogramSnapshot `json:"exec_latency"`
 }
 
-// pending is one admitted transaction awaiting execution.
+// pending is one admitted transaction awaiting execution. Pendings and
+// their embedded transactions are pooled: the serve path allocates
+// neither in steady state. Ownership moves with the struct — the
+// reader goroutine owns it from getPending until tryAdmit succeeds,
+// then the bundler owns it until the response has been buffered on the
+// connection, at which point putPending recycles it.
 type pending struct {
 	t        *txn.Transaction
 	seq      uint64
 	conn     *connWriter
 	enqueued time.Time
+}
+
+var pendingPool = sync.Pool{
+	New: func() any { return &pending{t: &txn.Transaction{}} },
+}
+
+func getPending() *pending { return pendingPool.Get().(*pending) }
+
+// putPending recycles p. The transaction keeps its Ops and access-set
+// capacity but drops references (template string, params) so a pooled
+// pending pins no request memory.
+func putPending(p *pending) {
+	p.t.Template = ""
+	p.t.Params = nil
+	p.conn = nil
+	pendingPool.Put(p)
 }
 
 // Server is a running tskd-serve instance.
@@ -208,6 +235,13 @@ type Server struct {
 	stats     Stats
 	queueWait metrics.Histogram
 	execLat   metrics.Histogram
+
+	// Bundle scaffolding, owned by the bundler goroutine and reused
+	// across bundles so steady-state bundling does not allocate.
+	batch    []*pending
+	work     txn.Workload
+	spans    []engine.ExecSpan // dense by in-bundle txn ID
+	haveSpan []bool
 }
 
 // New validates cfg and returns an unstarted server. With
@@ -266,6 +300,13 @@ func (s *Server) Start() error {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/healthz", s.handleHealthz)
 		mux.HandleFunc("/metrics", s.handleMetrics)
+		if s.cfg.EnablePprof {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		s.httpSrv = &http.Server{Handler: mux}
 		go s.httpSrv.Serve(hln)
 	}
@@ -351,35 +392,71 @@ func (s *Server) acceptLoop() {
 
 // connWriter serializes response lines onto one connection. Sends
 // come from both the reader (rejections, parse errors) and the
-// bundler (outcomes). The first encode error latches the writer dead:
-// a TCP write to a gone peer can block for the whole kernel timeout,
-// so retrying a dead connection once per outcome would stall the
-// bundler — instead every later send is skipped immediately and the
-// outcome counted as forfeited.
+// bundler (outcomes). Responses are encoded into a per-connection
+// scratch buffer (no per-send allocation) and written through a
+// bufio.Writer: reader-path sends flush immediately, bundle outcomes
+// stay buffered until the bundler's per-bundle flush so a bundle costs
+// one syscall per connection instead of one per transaction. The first
+// write error latches the writer dead: a TCP write to a gone peer can
+// block for the whole kernel timeout, so retrying a dead connection
+// once per outcome would stall the bundler — instead every later send
+// is skipped immediately and the outcome counted as forfeited.
 type connWriter struct {
 	mu   sync.Mutex
-	enc  *json.Encoder
+	bw   *bufio.Writer
+	buf  []byte // encode scratch, owned by mu
 	dead bool
 }
 
 func newConnWriter(w io.Writer) *connWriter {
-	return &connWriter{enc: json.NewEncoder(w)}
+	return &connWriter{bw: bufio.NewWriterSize(w, 16<<10)}
 }
 
-// send encodes resp onto the connection, reporting whether it was
-// (apparently) delivered. False means the connection is dead and the
-// response was dropped.
+// send encodes resp onto the connection and flushes, reporting whether
+// it was (apparently) delivered. False means the connection is dead
+// and the response was dropped.
 func (cw *connWriter) send(resp client.Response) bool {
+	return cw.write(&resp, true)
+}
+
+// sendBuffered encodes resp into the connection's write buffer without
+// flushing. The caller must arrange a flush (the bundler flushes once
+// per bundle per connection); until then the response is not on the
+// wire.
+func (cw *connWriter) sendBuffered(resp *client.Response) bool {
+	return cw.write(resp, false)
+}
+
+func (cw *connWriter) write(resp *client.Response, flush bool) bool {
 	cw.mu.Lock()
 	defer cw.mu.Unlock()
 	if cw.dead {
 		return false
 	}
-	if err := cw.enc.Encode(&resp); err != nil {
+	cw.buf = client.AppendResponse(cw.buf[:0], resp)
+	if _, err := cw.bw.Write(cw.buf); err != nil {
 		cw.dead = true
 		return false
 	}
+	if flush {
+		if err := cw.bw.Flush(); err != nil {
+			cw.dead = true
+			return false
+		}
+	}
 	return true
+}
+
+// flush pushes any buffered responses to the socket.
+func (cw *connWriter) flush() {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.dead || cw.bw.Buffered() == 0 {
+		return
+	}
+	if err := cw.bw.Flush(); err != nil {
+		cw.dead = true
+	}
 }
 
 // serveConn reads request lines, parses them, and admits them.
@@ -393,31 +470,30 @@ func (s *Server) serveConn(nc net.Conn) {
 	cw := newConnWriter(nc)
 	sc := bufio.NewScanner(nc)
 	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	var req client.Request // reused across lines; Params handed off below
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		var req client.Request
-		if err := json.Unmarshal(line, &req); err != nil {
+		if err := client.DecodeRequest(line, &req); err != nil {
 			s.count(func(st *Stats) { st.Malformed++ })
 			cw.send(client.Response{Status: client.StatusError, Error: "bad envelope: " + err.Error()})
 			continue
 		}
-		t, err := txn.Parse(0, req.Ops)
-		if err != nil {
+		p := getPending()
+		if err := txn.ParseInto(p.t, 0, req.Ops); err != nil {
+			putPending(p)
 			s.count(func(st *Stats) { st.Malformed++ })
 			cw.send(client.Response{Seq: req.Seq, Status: client.StatusError, Error: err.Error()})
 			continue
 		}
-		t.Template = req.Template
-		t.Params = req.Params
-		t.IdemKey = req.IdemKey
 		if req.IdemKey != 0 && s.dedup != nil {
 			switch state, cached := s.dedup.begin(req.IdemKey); state {
 			case dedupHit:
 				// Already committed (possibly in a previous
 				// incarnation): answer without executing.
+				putPending(p)
 				cached.Seq = req.Seq
 				cached.Duplicate = true
 				s.count(func(st *Stats) { st.DedupHits++ })
@@ -428,6 +504,7 @@ func (s *Server) serveConn(nc net.Conn) {
 				// reach whoever submitted it. Back off and retry: by
 				// then the key is either committed (answered above) or
 				// released (executes fresh).
+				putPending(p)
 				s.count(func(st *Stats) { st.DedupInflight++ })
 				cw.send(client.Response{
 					Seq: req.Seq, Status: client.StatusRejected,
@@ -436,13 +513,18 @@ func (s *Server) serveConn(nc net.Conn) {
 				continue
 			}
 		}
-		p := &pending{t: t, seq: req.Seq, conn: cw, enqueued: time.Now()}
+		p.t.Template = req.Template
+		p.t.Params = req.Params
+		req.Params = nil // the transaction owns the backing array until bundle end
+		p.t.IdemKey = req.IdemKey
+		p.seq, p.conn, p.enqueued = req.Seq, cw, time.Now()
 		if s.tryAdmit(p) {
 			s.count(func(st *Stats) { st.Admitted++ })
 		} else {
 			if req.IdemKey != 0 && s.dedup != nil {
 				s.dedup.release(req.IdemKey)
 			}
+			putPending(p)
 			s.count(func(st *Stats) { st.Rejected++ })
 			cw.send(client.Response{
 				Seq: req.Seq, Status: client.StatusRejected,
@@ -493,7 +575,7 @@ func (s *Server) bundler() {
 			s.finalDrain()
 			return
 		}
-		batch := []*pending{first}
+		batch := append(s.batch[:0], first)
 		timer := time.NewTimer(s.cfg.FlushInterval)
 	collect:
 		for len(batch) < s.cfg.Bundle {
@@ -507,6 +589,7 @@ func (s *Server) bundler() {
 			}
 		}
 		timer.Stop()
+		s.batch = batch
 		s.runBundle(batch)
 		s.maybeCheckpoint()
 	}
@@ -514,32 +597,37 @@ func (s *Server) bundler() {
 
 // finalDrain flushes whatever was admitted before draining flipped.
 func (s *Server) finalDrain() {
-	var batch []*pending
+	batch := s.batch[:0]
 	for {
 		select {
 		case p := <-s.admit:
 			batch = append(batch, p)
 			if len(batch) >= s.cfg.Bundle {
 				s.runBundle(batch)
-				batch = nil
+				batch = batch[:0]
 			}
 		default:
 			if len(batch) > 0 {
 				s.runBundle(batch)
 			}
+			s.batch = batch[:0]
 			return
 		}
 	}
 }
 
 // runBundle renumbers the batch densely, executes it through the
-// pipeline, and streams one response per transaction.
+// pipeline, and streams one response per transaction. Responses are
+// buffered per connection and flushed once at the bundle boundary —
+// one write syscall per connection per bundle — and the batch's
+// pendings (with their transactions) return to the pool afterwards.
 func (s *Server) runBundle(batch []*pending) {
-	w := make(txn.Workload, len(batch))
+	w := s.work[:0]
 	for i, p := range batch {
 		p.t.ID = i
-		w[i] = p.t
+		w = append(w, p.t)
 	}
+	s.work = w
 	bundleNo := s.pipeline.Bundles()
 	execStart := time.Now()
 	res, err := s.pipeline.ProcessContext(s.runCtx, w)
@@ -549,12 +637,24 @@ func (s *Server) runBundle(batch []*pending) {
 		for _, p := range batch {
 			p.conn.send(client.Response{Seq: p.seq, Status: client.StatusError, Error: err.Error()})
 		}
+		s.releaseBatch(batch)
 		return
 	}
 
-	spans := make(map[int]engine.ExecSpan, len(res.Spans))
+	// Transaction IDs are dense 0..len(batch)-1, so span lookup is a
+	// slice index, not a map.
+	if cap(s.spans) < len(batch) {
+		s.spans = make([]engine.ExecSpan, len(batch))
+		s.haveSpan = make([]bool, len(batch))
+	}
+	spans, have := s.spans[:len(batch)], s.haveSpan[:len(batch)]
+	for i := range have {
+		have[i] = false
+	}
 	for _, sp := range res.Spans {
-		spans[sp.TxnID] = sp
+		if sp.TxnID >= 0 && sp.TxnID < len(batch) {
+			spans[sp.TxnID], have[sp.TxnID] = sp, true
+		}
 	}
 	s.mu.Lock()
 	for _, p := range batch {
@@ -562,7 +662,8 @@ func (s *Server) runBundle(batch []*pending) {
 		wait := execStart.Sub(p.enqueued)
 		resp.QueueUS = wait.Microseconds()
 		s.queueWait.Record(wait)
-		if sp, ok := spans[p.t.ID]; ok {
+		if have[p.t.ID] {
+			sp := spans[p.t.ID]
 			exec := sp.End - sp.Start
 			resp.Status = client.StatusCommit
 			resp.Retries = sp.Retries
@@ -584,7 +685,7 @@ func (s *Server) runBundle(batch []*pending) {
 			}
 		}
 		s.stats.ResultsStreamed++
-		if !p.conn.send(resp) {
+		if !p.conn.sendBuffered(&resp) {
 			s.stats.Forfeited++
 		}
 	}
@@ -600,6 +701,25 @@ func (s *Server) runBundle(batch []*pending) {
 	s.stats.Canceled += res.Canceled
 	s.stats.Contended += res.Contended
 	s.mu.Unlock()
+	// Push the bundle's responses onto the wire, then recycle. Flushing
+	// the same connection twice is a cheap no-op, so no dirty-set
+	// bookkeeping is needed.
+	for _, p := range batch {
+		p.conn.flush()
+	}
+	s.releaseBatch(batch)
+}
+
+// releaseBatch returns a bundle's pendings to the pool and drops the
+// workload's references so pooled transactions are not pinned by the
+// retained scaffolding.
+func (s *Server) releaseBatch(batch []*pending) {
+	for i, p := range batch {
+		if i < len(s.work) {
+			s.work[i] = nil
+		}
+		putPending(p)
+	}
 }
 
 // count applies a mutation to the stats under the lock.

@@ -14,11 +14,27 @@ import (
 // N) or <table>:<row>. Whitespace between actions is ignored. An action
 // is R (read), W (write), I (insert) or U (read-modify-write).
 func Parse(id int, s string) (*Transaction, error) {
-	t := &Transaction{ID: id}
+	t := &Transaction{}
+	if err := ParseInto(t, id, s); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseInto parses s into t, resetting every field first. The Ops
+// slice and cached access-set backing arrays are reused when capacity
+// allows, so a pooled Transaction parses without allocating. On error
+// t is left in the reset (empty) state.
+func ParseInto(t *Transaction, id int, s string) error {
+	ops := t.Ops[:0]
+	if n := strings.Count(s, "["); cap(ops) < n {
+		ops = make([]Op, 0, n)
+	}
+	*t = Transaction{ID: id, Ops: ops, readSet: t.readSet[:0], writeSet: t.writeSet[:0]}
 	rest := strings.TrimSpace(s)
 	for rest != "" {
 		if len(rest) < 4 { // minimal action: R[x]
-			return nil, fmt.Errorf("txn.Parse: truncated action at %q", rest)
+			return t.parseFail("txn.Parse: truncated action at %q", rest)
 		}
 		var kind OpKind
 		switch rest[0] {
@@ -31,23 +47,29 @@ func Parse(id int, s string) (*Transaction, error) {
 		case 'U':
 			kind = OpUpdate
 		default:
-			return nil, fmt.Errorf("txn.Parse: unknown action %q", rest[0])
+			return t.parseFail("txn.Parse: unknown action %q", rest[0])
 		}
 		if rest[1] != '[' {
-			return nil, fmt.Errorf("txn.Parse: expected '[' after %c in %q", rest[0], rest)
+			return t.parseFail("txn.Parse: expected '[' after %c in %q", rest[0], rest)
 		}
 		end := strings.IndexByte(rest, ']')
 		if end < 0 {
-			return nil, fmt.Errorf("txn.Parse: unterminated item in %q", rest)
+			return t.parseFail("txn.Parse: unterminated item in %q", rest)
 		}
 		key, err := parseItem(rest[2:end])
 		if err != nil {
-			return nil, err
+			return t.parseFail("%w", err)
 		}
 		t.Ops = append(t.Ops, Op{Kind: kind, Key: key})
 		rest = strings.TrimSpace(rest[end+1:])
 	}
-	return t, nil
+	return nil
+}
+
+// parseFail empties the half-parsed transaction and formats the error.
+func (t *Transaction) parseFail(format string, args ...any) error {
+	t.Ops = t.Ops[:0]
+	return fmt.Errorf(format, args...)
 }
 
 // MustParse is Parse that panics on malformed input; for tests and

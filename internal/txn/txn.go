@@ -13,6 +13,7 @@ package txn
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -135,8 +136,9 @@ type Transaction struct {
 	// crashes.
 	IdemKey uint64
 
-	readSet  []Key // lazily computed, sorted, deduplicated
-	writeSet []Key // lazily computed, sorted, deduplicated
+	readSet   []Key // lazily computed, sorted, deduplicated
+	writeSet  []Key // lazily computed, sorted, deduplicated
+	setsValid bool  // readSet/writeSet reflect Ops (capacity is reused)
 }
 
 // New returns a transaction with the given id and operations.
@@ -216,14 +218,17 @@ func (t *Transaction) HasScan() bool {
 	return false
 }
 
+// invalidate marks the cached access sets stale. Their backing arrays
+// are kept and rewritten by the next computeSets, so a caller holding a
+// previously returned set must not mutate the transaction.
 func (t *Transaction) invalidate() {
-	t.readSet, t.writeSet = nil, nil
+	t.setsValid = false
 }
 
 // ReadSet returns the sorted, deduplicated set of keys read by t.
 // The result is cached; callers must not mutate it.
 func (t *Transaction) ReadSet() []Key {
-	if t.readSet == nil {
+	if !t.setsValid {
 		t.computeSets()
 	}
 	return t.readSet
@@ -233,15 +238,15 @@ func (t *Transaction) ReadSet() []Key {
 // (including inserts) by t. The result is cached; callers must not
 // mutate it.
 func (t *Transaction) WriteSet() []Key {
-	if t.writeSet == nil {
+	if !t.setsValid {
 		t.computeSets()
 	}
 	return t.writeSet
 }
 
 func (t *Transaction) computeSets() {
-	rs := make([]Key, 0, len(t.Ops))
-	ws := make([]Key, 0, len(t.Ops))
+	rs := t.readSet[:0]
+	ws := t.writeSet[:0]
 	for _, op := range t.Ops {
 		switch op.Kind {
 		case OpRead:
@@ -255,14 +260,15 @@ func (t *Transaction) computeSets() {
 	}
 	t.readSet = dedupe(rs)
 	t.writeSet = dedupe(ws)
-	// Guarantee non-nil so the lazy computation runs once even for
-	// transactions with no reads or no writes.
+	// Guarantee non-nil: the zero Transaction's sets start nil and some
+	// callers distinguish "computed empty" from "absent".
 	if t.readSet == nil {
 		t.readSet = []Key{}
 	}
 	if t.writeSet == nil {
 		t.writeSet = []Key{}
 	}
+	t.setsValid = true
 }
 
 // AccessSet returns the sorted, deduplicated union of the read and
@@ -278,7 +284,7 @@ func dedupe(ks []Key) []Key {
 	if len(ks) == 0 {
 		return ks
 	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	slices.Sort(ks)
 	out := ks[:1]
 	for _, k := range ks[1:] {
 		if k != out[len(out)-1] {

@@ -154,30 +154,42 @@ func (l *Log) Counters() (records, flushes, syncs uint64) {
 // ErrClosed reports appends to a closed log.
 var ErrClosed = errors.New("wal: closed")
 
+// encodeBufPool recycles record encode buffers across appends: a record
+// is serialized (with its 8-byte header backfilled) into a pooled
+// buffer outside the log mutex, copied into the pending group under it,
+// and the buffer returned before the append blocks on durability.
+var encodeBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// waiterPool recycles the single-use durability-notification channels.
+// Every registered waiter is sent exactly one error (flush, Close) and
+// its appender receives exactly once before recycling, so a pooled
+// channel is always empty when reused.
+var waiterPool = sync.Pool{New: func() any { return make(chan error, 1) }}
+
 // Append serializes rec into the current group and blocks until that
 // group is durable.
 func (l *Log) Append(rec Record) error {
-	payload := encodePayload(rec)
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	bp := encodeBufPool.Get().(*[]byte)
+	buf := appendRecord((*bp)[:0], rec)
+	*bp = buf
 
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
+		encodeBufPool.Put(bp)
 		return ErrClosed
 	}
-	l.pending = append(l.pending, hdr[:]...)
-	l.pending = append(l.pending, payload...)
+	l.pending = append(l.pending, buf...)
 	l.Records++
 	l.nextLSN++
-	l.bytes += int64(8 + len(payload))
+	l.bytes += int64(len(buf))
 	if l.groupWindow <= 0 {
 		err := l.flushLocked()
 		l.mu.Unlock()
+		encodeBufPool.Put(bp)
 		return err
 	}
-	ch := make(chan error, 1)
+	ch := waiterPool.Get().(chan error)
 	l.waiters = append(l.waiters, ch)
 	if l.flushTimer == nil {
 		l.flushTimer = time.AfterFunc(l.groupWindow, func() {
@@ -189,7 +201,10 @@ func (l *Log) Append(rec Record) error {
 		})
 	}
 	l.mu.Unlock()
-	return <-ch
+	encodeBufPool.Put(bp)
+	err := <-ch
+	waiterPool.Put(ch)
+	return err
 }
 
 // Flush forces the current group out.
@@ -248,12 +263,13 @@ func (l *Log) notifyLocked(err error) {
 	l.waiters = l.waiters[:0]
 }
 
-func encodePayload(rec Record) []byte {
-	size := 8 + 4 + 8
-	for _, u := range rec.Writes {
-		size += 8 + 8 + 2 + 8*len(u.Fields)
-	}
-	buf := make([]byte, 0, size)
+// appendRecord appends rec's framed encoding (length/CRC header plus
+// payload) to buf: the header bytes are reserved first and backfilled
+// once the payload is serialized, so the whole record is built in one
+// buffer with no intermediate payload allocation.
+func appendRecord(buf []byte, rec Record) []byte {
+	head := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.TxnID))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Writes)))
 	for _, u := range rec.Writes {
@@ -270,6 +286,9 @@ func encodePayload(rec Record) []byte {
 	if rec.IdemKey != 0 {
 		buf = binary.LittleEndian.AppendUint64(buf, rec.IdemKey)
 	}
+	payload := buf[head+8:]
+	binary.LittleEndian.PutUint32(buf[head:head+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[head+4:head+8], crc32.ChecksumIEEE(payload))
 	return buf
 }
 
