@@ -7,7 +7,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/deferment/ ./internal/engine/ ./internal/wal/ ./internal/server/ ./internal/chaos/
+	$(GO) test -race ./internal/deferment/ ./internal/engine/ ./internal/wal/ ./internal/overload/ ./internal/server/ ./internal/chaos/
 
 # Microbenchmarks with allocation counts: the wire codec, the WAL
 # append/flush path, and the engine phase loop.

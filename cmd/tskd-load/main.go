@@ -48,6 +48,7 @@ type outcome struct {
 
 type tally struct {
 	sent, committed, rejected, aborted, canceled, errors uint64
+	expired, shed                                        uint64
 	retries                                              uint64
 	e2e, queue, exec                                     metrics.Histogram
 }
@@ -63,6 +64,10 @@ func (ta *tally) add(o outcome) {
 		ta.exec.Record(o.exec)
 	case client.StatusRejected:
 		ta.rejected++
+	case client.StatusShed:
+		ta.shed++
+	case client.StatusExpired:
+		ta.expired++
 	case client.StatusAbort:
 		ta.aborted++
 	case client.StatusCanceled:
@@ -70,6 +75,14 @@ func (ta *tally) add(o outcome) {
 	default:
 		ta.errors++
 	}
+}
+
+// terminal reports how many submissions reached a terminal decision —
+// the denominator of throughput, versus goodput's committed-only
+// numerator. Rejected and shed attempts are excluded: in a closed loop
+// they are resubmitted, in an open loop they are lost offered load.
+func (ta *tally) terminal() uint64 {
+	return ta.committed + ta.aborted + ta.canceled + ta.expired
 }
 
 func main() {
@@ -89,6 +102,8 @@ func main() {
 		rmw       = flag.Bool("rmw", true, "read-modify-write updates (vs blind writes)")
 		seed      = flag.Int64("seed", 1, "generation seed")
 		reliable  = flag.Bool("reliable", false, "closed loop: reconnect + resubmit under idempotency keys")
+		deadline  = flag.Duration("deadline", 0, "end-to-end deadline stamped on every submission (0 = none)")
+		lowpri    = flag.Float64("lowpri", 0, "fraction of submissions marked low priority (shed first)")
 		jsonOut   = flag.Bool("json", false, "print the summary as JSON")
 	)
 	flag.Parse()
@@ -97,6 +112,7 @@ func main() {
 		Records: *records, Theta: *theta, OpsPerTxn: *opsTxn,
 		ReadRatio: *readRatio, RMW: *rmw,
 	}
+	shape := reqShape{deadlineMS: deadlineMS(*deadline), lowpri: *lowpri}
 
 	var (
 		ta      tally
@@ -105,9 +121,9 @@ func main() {
 	)
 	switch *mode {
 	case "closed":
-		elapsed, err = runClosed(*addr, gen, *clients, *n, *seed, *timeout, *reliable, &ta)
+		elapsed, err = runClosed(*addr, gen, shape, *clients, *n, *seed, *timeout, *reliable, &ta)
 	case "open":
-		elapsed, err = runOpen(*addr, gen, *conns, *rate, *arrival, *n, *seed, *timeout, &ta)
+		elapsed, err = runOpen(*addr, gen, shape, *conns, *rate, *arrival, *n, *seed, *timeout, &ta)
 	default:
 		err = fmt.Errorf("unknown mode %q (closed, open)", *mode)
 	}
@@ -121,9 +137,39 @@ func main() {
 	}
 }
 
+// reqShape decorates generated requests with the overload-resilience
+// wire fields: a relative deadline budget and a low-priority fraction.
+type reqShape struct {
+	deadlineMS int64
+	lowpri     float64
+}
+
+func deadlineMS(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	if ms := d.Milliseconds(); ms >= 1 {
+		return ms
+	}
+	return 1
+}
+
+func (rs reqShape) apply(reqs []client.Request, seed int64) {
+	if rs.deadlineMS == 0 && rs.lowpri <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x10ad))
+	for i := range reqs {
+		reqs[i].DeadlineMS = rs.deadlineMS
+		if rs.lowpri > 0 && rng.Float64() < rs.lowpri {
+			reqs[i].Priority = 1
+		}
+	}
+}
+
 // makeRequests pre-generates a client's submission stream so encoding
 // cost stays off the timed path.
-func makeRequests(gen workload.YCSB, n int, seed int64) ([]client.Request, error) {
+func makeRequests(gen workload.YCSB, shape reqShape, n int, seed int64) ([]client.Request, error) {
 	g := gen
 	g.Txns = n
 	g.Seed = seed
@@ -136,17 +182,22 @@ func makeRequests(gen workload.YCSB, n int, seed int64) ([]client.Request, error
 		}
 		reqs[i] = req
 	}
+	shape.apply(reqs, seed)
 	return reqs, nil
 }
 
 // runClosed drives k clients, each submit-wait-repeat over its own
-// connection. A rejected submission backs off by the server's
-// retry-after hint and retries — the closed-loop contract is that
-// every generated transaction eventually commits. With reliable set,
-// each client is a ReliableConn instead: rejections, reconnects and
-// resubmissions happen inside Submit under a stable idempotency key,
-// so the loop keeps going through a server crash-restart.
-func runClosed(addr string, gen workload.YCSB, k, total int, seed int64, timeout time.Duration, reliable bool, ta *tally) (time.Duration, error) {
+// connection. A rejected or shed submission backs off by the server's
+// retry-after hint and retries; an expired one is terminal — its
+// deadline budget is spent, so retrying it is exactly the wasted work
+// deadlines exist to avoid. The closed-loop contract is that every
+// generated transaction eventually reaches a terminal outcome. With
+// reliable set, each client is a ReliableConn instead: rejections,
+// shedding, reconnects and resubmissions happen inside Submit under a
+// stable idempotency key (and Submit itself stops retrying a
+// deadline-doomed request), so the loop keeps going through a server
+// crash-restart.
+func runClosed(addr string, gen workload.YCSB, shape reqShape, k, total int, seed int64, timeout time.Duration, reliable bool, ta *tally) (time.Duration, error) {
 	perClient := (total + k - 1) / k
 	outcomes := make(chan outcome, 1024)
 	errs := make(chan error, k)
@@ -156,7 +207,7 @@ func runClosed(addr string, gen workload.YCSB, k, total int, seed int64, timeout
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			reqs, err := makeRequests(gen, perClient, seed+int64(ci)*7919)
+			reqs, err := makeRequests(gen, shape, perClient, seed+int64(ci)*7919)
 			if err != nil {
 				errs <- err
 				return
@@ -192,7 +243,7 @@ func runClosed(addr string, gen workload.YCSB, k, total int, seed int64, timeout
 						errs <- err
 						return
 					}
-					if o.status != client.StatusRejected {
+					if o.status != client.StatusRejected && o.status != client.StatusShed {
 						outcomes <- o
 						break
 					}
@@ -227,14 +278,14 @@ func runClosed(addr string, gen workload.YCSB, k, total int, seed int64, timeout
 // connection pool. Rejections are recorded, not retried — in an open
 // system the arrival is lost offered load, which is exactly what the
 // rejection rate measures.
-func runOpen(addr string, gen workload.YCSB, nconns int, rate float64, arrival string, total int, seed int64, timeout time.Duration, ta *tally) (time.Duration, error) {
+func runOpen(addr string, gen workload.YCSB, shape reqShape, nconns int, rate float64, arrival string, total int, seed int64, timeout time.Duration, ta *tally) (time.Duration, error) {
 	if rate <= 0 {
 		return 0, fmt.Errorf("open loop needs -rate > 0")
 	}
 	if arrival != "poisson" && arrival != "uniform" {
 		return 0, fmt.Errorf("unknown arrival process %q (poisson, uniform)", arrival)
 	}
-	reqs, err := makeRequests(gen, total, seed)
+	reqs, err := makeRequests(gen, shape, total, seed)
 	if err != nil {
 		return 0, err
 	}
@@ -339,11 +390,15 @@ func maxI64(a, b int64) int64 {
 	return b
 }
 
-// report prints the run summary, human or JSON.
+// report prints the run summary, human or JSON. Throughput counts
+// terminal decisions per second (committed, aborted, canceled,
+// expired); goodput counts only commits — under overload the gap
+// between the two is the work the server concluded without doing.
 func report(mode string, elapsed time.Duration, ta *tally, asJSON bool) {
-	tput := 0.0
+	tput, goodput := 0.0, 0.0
 	if elapsed > 0 {
-		tput = float64(ta.committed) / elapsed.Seconds()
+		tput = float64(ta.terminal()) / elapsed.Seconds()
+		goodput = float64(ta.committed) / elapsed.Seconds()
 	}
 	if asJSON {
 		out := map[string]any{
@@ -352,11 +407,14 @@ func report(mode string, elapsed time.Duration, ta *tally, asJSON bool) {
 			"sent":       ta.sent,
 			"committed":  ta.committed,
 			"rejected":   ta.rejected,
+			"shed":       ta.shed,
+			"expired":    ta.expired,
 			"aborted":    ta.aborted,
 			"canceled":   ta.canceled,
 			"errors":     ta.errors,
 			"retries":    ta.retries,
 			"throughput": tput,
+			"goodput":    goodput,
 			"latency":    ta.e2e.Snapshot(),
 			"queue_wait": ta.queue.Snapshot(),
 			"exec":       ta.exec.Snapshot(),
@@ -367,9 +425,9 @@ func report(mode string, elapsed time.Duration, ta *tally, asJSON bool) {
 		return
 	}
 	fmt.Printf("tskd-load: mode=%s elapsed=%v\n", mode, elapsed.Round(time.Millisecond))
-	fmt.Printf(" sent=%d committed=%d rejected=%d aborted=%d canceled=%d errors=%d server-retries=%d\n",
-		ta.sent, ta.committed, ta.rejected, ta.aborted, ta.canceled, ta.errors, ta.retries)
-	fmt.Printf(" throughput=%.1f txn/s\n", tput)
+	fmt.Printf(" sent=%d committed=%d rejected=%d shed=%d expired=%d aborted=%d canceled=%d errors=%d server-retries=%d\n",
+		ta.sent, ta.committed, ta.rejected, ta.shed, ta.expired, ta.aborted, ta.canceled, ta.errors, ta.retries)
+	fmt.Printf(" throughput=%.1f txn/s goodput=%.1f txn/s\n", tput, goodput)
 	ta.e2e.Print(os.Stdout, " latency  ")
 	ta.queue.Print(os.Stdout, " queuewait")
 	ta.exec.Print(os.Stdout, " exec     ")

@@ -56,13 +56,37 @@ type Results struct {
 	Micro          Micro   `json:"micro"`
 }
 
+// OverloadResults is the overload phase: an open-loop burst offered at
+// a multiple of the measured closed-loop throughput, every submission
+// carrying a deadline. The point is graceful degradation — accepted
+// work keeps a bounded p99 while the excess is shed or expired, rather
+// than every response drowning in queueing delay.
+type OverloadResults struct {
+	Multiplier      float64 `json:"multiplier"`
+	OfferedRateTxnS float64 `json:"offered_rate_txn_s"`
+	DeadlineMS      int64   `json:"deadline_ms"`
+	Submitted       uint64  `json:"submitted"`
+	Committed       uint64  `json:"committed"`
+	Rejected        uint64  `json:"rejected"`
+	Shed            uint64  `json:"shed"`
+	Expired         uint64  `json:"expired"`
+	Other           uint64  `json:"other"`
+	Errors          uint64  `json:"errors"`
+	GoodputTxnS     float64 `json:"goodput_txn_s"`
+	AcceptedP50US   int64   `json:"accepted_latency_p50_us"`
+	AcceptedP99US   int64   `json:"accepted_latency_p99_us"`
+	ServerShedLevel float64 `json:"server_shed_level"`
+	ServerBrownouts uint64  `json:"server_brownout_enters"`
+}
+
 // Report is the BENCH_serve.json document.
 type Report struct {
-	GeneratedAt string         `json:"generated_at"`
-	GoVersion   string         `json:"go_version"`
-	Config      map[string]any `json:"config"`
-	Current     Results        `json:"current"`
-	Previous    *Results       `json:"previous,omitempty"`
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	Config      map[string]any   `json:"config"`
+	Current     Results          `json:"current"`
+	Overload    *OverloadResults `json:"overload,omitempty"`
+	Previous    *Results         `json:"previous,omitempty"`
 }
 
 func main() {
@@ -76,6 +100,9 @@ func main() {
 		ccName    = flag.String("cc", "OCC", "CC protocol")
 		workers   = flag.Int("workers", 4, "engine workers")
 		seed      = flag.Int64("seed", 1, "workload seed")
+		overload  = flag.Float64("overload", 2, "overload phase: offered rate as a multiple of measured throughput (0 disables)")
+		overDL    = flag.Duration("overload-deadline", 250*time.Millisecond, "deadline stamped on overload-phase submissions")
+		overN     = flag.Int("overload-n", 0, "overload-phase submissions (0 = two seconds of offered load)")
 		out       = flag.String("out", "BENCH_serve.json", "results file to write")
 		prev      = flag.String("prev", "", "earlier results file whose 'current' becomes 'previous'")
 	)
@@ -98,6 +125,17 @@ func main() {
 	}
 	res.Micro = measureMicro()
 
+	var over *OverloadResults
+	if *overload > 0 && res.ThroughputTxnS > 0 {
+		o, err := measureOverload(*records, *theta, *ops, *bundle, *ccName, *workers, *seed,
+			*overload, res.ThroughputTxnS, *overDL, *overN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tskd-perf: overload phase:", err)
+			os.Exit(1)
+		}
+		over = &o
+	}
+
 	rep := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -105,8 +143,10 @@ func main() {
 			"clients": *clients, "per_client": *perClient, "records": *records,
 			"theta": *theta, "ops_per_txn": *ops, "bundle": *bundle,
 			"cc": *ccName, "workers": *workers, "seed": *seed,
+			"overload": *overload, "overload_deadline_ms": overDL.Milliseconds(),
 		},
 		Current:  res,
+		Overload: over,
 		Previous: previous,
 	}
 	b, _ := json.MarshalIndent(rep, "", "  ")
@@ -120,6 +160,12 @@ func main() {
 	fmt.Printf("micro allocs/op: encode=%.1f decode-req=%.1f decode-resp=%.1f wal-append=%.1f\n",
 		res.Micro.WireEncodeAllocs, res.Micro.WireDecodeRequestAllocs,
 		res.Micro.WireDecodeResponseAllocs, res.Micro.WALAppendAllocs)
+	if over != nil {
+		fmt.Printf("overload %.1fx (%.0f txn/s offered, %dms deadline): goodput=%.0f txn/s, accepted p99=%dus, shed=%d expired=%d rejected=%d (level=%.2f brownouts=%d)\n",
+			over.Multiplier, over.OfferedRateTxnS, over.DeadlineMS, over.GoodputTxnS,
+			over.AcceptedP99US, over.Shed, over.Expired, over.Rejected,
+			over.ServerShedLevel, over.ServerBrownouts)
+	}
 	fmt.Println("wrote", *out)
 }
 
@@ -233,6 +279,134 @@ func measure(clients, perClient, records int, theta float64, ops, bundle int, cc
 		Committed:      committed,
 		Submitted:      total,
 	}, nil
+}
+
+// measureOverload boots a fresh server and offers an open-loop burst
+// at multiplier × the measured closed-loop throughput, every
+// submission stamped with the deadline. Arrivals fire on schedule
+// regardless of outstanding responses — the honest overload model —
+// and rejections, sheds and expiries are recorded, not retried.
+func measureOverload(records int, theta float64, ops, bundle int, ccName string, workers int, seed int64, multiplier, baseRate float64, deadline time.Duration, n int) (OverloadResults, error) {
+	gen := workload.YCSB{Records: records, Theta: theta, OpsPerTxn: ops, ReadRatio: 0.5, RMW: true}
+	db := gen.BuildDB()
+	s, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		Bundle:        bundle,
+		FlushInterval: 2 * time.Millisecond,
+		DB:            db,
+		Core:          core.Options{Workers: workers, Protocol: ccName, Seed: seed},
+	})
+	if err != nil {
+		return OverloadResults{}, err
+	}
+	if err := s.Start(); err != nil {
+		return OverloadResults{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	rate := multiplier * baseRate
+	if n <= 0 {
+		n = int(rate * 2) // two seconds of offered load
+	}
+	if n < 2000 {
+		n = 2000
+	}
+	if n > 100_000 {
+		n = 100_000
+	}
+	g := gen
+	g.Txns = n
+	g.Seed = seed + 424243
+	w := g.Generate()
+	reqs := make([]client.Request, len(w))
+	dlMS := deadline.Milliseconds()
+	if dlMS < 1 {
+		dlMS = 1
+	}
+	for i, tx := range w {
+		req, err := client.NewRequest(0, tx)
+		if err != nil {
+			return OverloadResults{}, err
+		}
+		req.DeadlineMS = dlMS
+		reqs[i] = req
+	}
+
+	const nconns = 16
+	pool := make([]*client.Conn, nconns)
+	for i := range pool {
+		c, err := client.Dial(s.Addr())
+		if err != nil {
+			return OverloadResults{}, err
+		}
+		defer c.Close()
+		pool[i] = c
+	}
+
+	var (
+		mu       sync.Mutex
+		res      OverloadResults
+		accepted metrics.Histogram
+		wg       sync.WaitGroup
+	)
+	mean := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	next := start
+	for i := range reqs {
+		next = next.Add(mean)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		conn := pool[i%nconns]
+		wg.Add(1)
+		go func(req client.Request) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), deadline*4+10*time.Second)
+			t0 := time.Now()
+			resp, err := conn.Submit(ctx, req)
+			e2e := time.Since(t0)
+			cancel()
+			mu.Lock()
+			defer mu.Unlock()
+			res.Submitted++
+			if err != nil {
+				res.Errors++
+				return
+			}
+			switch resp.Status {
+			case client.StatusCommit:
+				res.Committed++
+				accepted.Record(e2e)
+			case client.StatusRejected:
+				res.Rejected++
+			case client.StatusShed:
+				res.Shed++
+			case client.StatusExpired:
+				res.Expired++
+			default:
+				res.Other++
+			}
+		}(reqs[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := s.Stats()
+	res.Multiplier = multiplier
+	res.OfferedRateTxnS = rate
+	res.DeadlineMS = dlMS
+	if elapsed > 0 {
+		res.GoodputTxnS = float64(res.Committed) / elapsed.Seconds()
+	}
+	res.AcceptedP50US = accepted.Quantile(0.50).Microseconds()
+	res.AcceptedP99US = accepted.Quantile(0.99).Microseconds()
+	res.ServerShedLevel = st.ShedLevel
+	res.ServerBrownouts = st.BrownoutEnters
+	return res, nil
 }
 
 func measureMicro() Micro {

@@ -61,6 +61,14 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		drainTime = flag.Duration("drain-timeout", 30*time.Second, "max graceful drain time before hard cancel")
 
+		deadlineDefault = flag.Duration("deadline-default", 0, "deadline stamped on requests that carry none (0 = none)")
+		shedTarget      = flag.Duration("shed-target", 0, "acceptable bundle queue sojourn before shedding arms (0 = 2x flush interval)")
+		shedWindow      = flag.Duration("shed-window", 0, "standing-queue window before shedding engages (0 = default 100ms)")
+		noShed          = flag.Bool("no-shed", false, "disable adaptive load shedding and brownout mode")
+		breakerLatency  = flag.Duration("breaker-latency", 0, "WAL group-flush latency that trips the circuit breaker (0 = default 50ms)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 0, "how long the tripped breaker stays open before probing (0 = default 250ms)")
+		noBreaker       = flag.Bool("no-breaker", false, "disable the WAL-stall circuit breaker")
+
 		dataDir   = flag.String("data-dir", "", "durable data directory ('' = memory-only, no WAL)")
 		walWindow = flag.Duration("wal-window", 2*time.Millisecond, "WAL group-commit window")
 		segBytes  = flag.Int64("segment-bytes", 0, "WAL segment rotation size (0 = default)")
@@ -96,6 +104,15 @@ func main() {
 			OpTime:   time.Duration(*opUS) * time.Microsecond,
 			Defer:    &engine.DeferConfig{Lookups: *lookups, DeferP: *deferP, Horizon: 1, Alpha: 1, MaxDefers: 8, Exact: true},
 			Seed:     *seed,
+		},
+		Overload: server.OverloadOptions{
+			DefaultDeadline: *deadlineDefault,
+			ShedTarget:      *shedTarget,
+			ShedWindow:      *shedWindow,
+			DisableShed:     *noShed,
+			BreakerLatency:  *breakerLatency,
+			BreakerCooldown: *breakerCooldown,
+			DisableBreaker:  *noBreaker,
 		},
 	}
 	if *dataDir != "" {
@@ -147,8 +164,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tskd-serve: hard stop:", err)
 	}
 	st := s.Stats()
-	fmt.Printf("tskd-serve: done — %d bundles, %d committed, %d retries, %d rejected, %d canceled\n",
-		st.Bundles, st.Committed, st.Retries, st.Rejected, st.Canceled)
+	fmt.Printf("tskd-serve: done — %d bundles, %d committed, %d retries, %d rejected, %d shed, %d expired, %d canceled\n",
+		st.Bundles, st.Committed, st.Retries, st.Rejected, st.Shed, st.Expired, st.Canceled)
 }
 
 func buildDB(schema string, records, whn int) (*storage.DB, error) {

@@ -89,6 +89,11 @@ func Scenarios() []Scenario {
 			Run:  runServerFaults,
 		},
 		{
+			Name: "overload-wal-stall",
+			Doc:  "durable server under fsync stall + deadline/priority burst; breaker trips and recovers, no acked-then-lost, no expired commit",
+			Run:  runOverloadWALStall,
+		},
+		{
 			Name: "kill-restart",
 			Doc:  "durable server SIGKILLed mid-load, restarted, in-doubt txns resubmitted; no acked commit lost, exactly-once",
 			Run:  runKillRestart,

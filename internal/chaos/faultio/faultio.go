@@ -6,6 +6,8 @@ package faultio
 import (
 	"errors"
 	"io"
+	"sync"
+	"time"
 )
 
 // ErrInjected is the error returned by a Writer once its planned fault
@@ -68,4 +70,59 @@ func (w *Writer) Write(p []byte) (int, error) {
 		return n, err
 	}
 	return n, ErrInjected
+}
+
+// SlowSyncer wraps a stable-storage barrier with a controllable stall:
+// every Sync sleeps for the configured delay before (and in addition
+// to) the underlying barrier. It models a log device whose fsync
+// latency degrades — the condition a WAL-stall circuit breaker exists
+// to detect. Arm and disarm it mid-run with SetDelay; SetInner lets
+// the WAL's segment rotation hand it each new active file. Safe for
+// concurrent use (chaos scenarios toggle the delay while flushes run).
+type SlowSyncer struct {
+	mu    sync.Mutex
+	inner interface{ Sync() error } // nil: stall only, no real barrier
+	delay time.Duration
+	syncs int
+}
+
+// SetInner replaces the wrapped barrier (nil = none).
+func (s *SlowSyncer) SetInner(inner interface{ Sync() error }) {
+	s.mu.Lock()
+	s.inner = inner
+	s.mu.Unlock()
+}
+
+// SetDelay arms (d > 0) or disarms (d = 0) the stall for subsequent
+// Sync calls.
+func (s *SlowSyncer) SetDelay(d time.Duration) {
+	s.mu.Lock()
+	s.delay = d
+	s.mu.Unlock()
+}
+
+// Syncs returns how many Sync calls have completed.
+func (s *SlowSyncer) Syncs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncs
+}
+
+// Sync stalls for the armed delay, then syncs the wrapped barrier.
+func (s *SlowSyncer) Sync() error {
+	s.mu.Lock()
+	d := s.delay
+	inner := s.inner
+	s.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	var err error
+	if inner != nil {
+		err = inner.Sync()
+	}
+	s.mu.Lock()
+	s.syncs++
+	s.mu.Unlock()
+	return err
 }

@@ -43,6 +43,9 @@ const (
 	// client, submission index).
 	PointKillServer    = "server/kill"
 	PointKillRedeliver = "server/kill-redeliver"
+	// PointOverloadPri assigns the overload scenario's burst submissions
+	// their priority class (keys: client, submission index).
+	PointOverloadPri = "server/overload-pri"
 )
 
 // Plan is the seed-derived fault schedule for one chaos run: which
@@ -91,6 +94,15 @@ type Plan struct {
 	KillSegmentBytes    int64   // child WAL segment rotation threshold
 	KillCheckpointBytes int64   // child checkpoint threshold
 	KillRedeliver       float64 // P(redeliver an acked key after restart)
+
+	// Overload + WAL-stall scenario: a burst of deadline-carrying,
+	// mixed-priority submissions lands while the log's fsync device is
+	// stalled far past the breaker's trip latency.
+	OverClients    int           // concurrent burst clients
+	OverBurst      int           // submissions per burst client
+	OverStall      time.Duration // injected per-fsync latency
+	OverDeadlineMS int64         // burst deadline budget (milliseconds)
+	OverLowPri     float64       // P(a burst submission is low priority)
 }
 
 // engineProtocols are the CC protocols the chaos scenarios rotate
@@ -103,16 +115,16 @@ var engineProtocols = []string{"OCC", "SILO", "TICTOC", "NO_WAIT", "WAIT_DIE"}
 func NewPlan(seed int64) Plan {
 	rng := rand.New(rand.NewSource(seed ^ 0x5EEDC4A05))
 	p := Plan{
-		Seed:      seed,
-		Protocol:  engineProtocols[rng.Intn(len(engineProtocols))],
-		Workers:   2 + rng.Intn(7), // 2..8
-		StallRate: 0.01 + 0.04*rng.Float64(),
-		StallMax:  time.Duration(50+rng.Intn(450)) * time.Microsecond,
-		OpLatRate: 0.02 + 0.08*rng.Float64(),
-		OpLatMax:  time.Duration(10+rng.Intn(190)) * time.Microsecond,
-		DepStall:  time.Duration(rng.Intn(200)) * time.Microsecond,
-		Skew:      0.3 * rng.Float64(),
-		DropRate:  0.05 + 0.15*rng.Float64(),
+		Seed:       seed,
+		Protocol:   engineProtocols[rng.Intn(len(engineProtocols))],
+		Workers:    2 + rng.Intn(7), // 2..8
+		StallRate:  0.01 + 0.04*rng.Float64(),
+		StallMax:   time.Duration(50+rng.Intn(450)) * time.Microsecond,
+		OpLatRate:  0.02 + 0.08*rng.Float64(),
+		OpLatMax:   time.Duration(10+rng.Intn(190)) * time.Microsecond,
+		DepStall:   time.Duration(rng.Intn(200)) * time.Microsecond,
+		Skew:       0.3 * rng.Float64(),
+		DropRate:   0.05 + 0.15*rng.Float64(),
 		BurstEvery: 8 + rng.Intn(8),
 		BurstSize:  8 + rng.Intn(17),
 		QueueDepth: 8 + rng.Intn(57),
@@ -141,6 +153,16 @@ func NewPlan(seed int64) Plan {
 	p.KillSegmentBytes = int64(4096 + rng.Intn(4096))
 	p.KillCheckpointBytes = int64(16384 + rng.Intn(16384))
 	p.KillRedeliver = 0.2 + 0.3*rng.Float64()
+	// Overload + WAL-stall knobs, drawn after the kill knobs for the
+	// same reason: earlier scenarios' per-seed schedules must not shift.
+	// The stall always exceeds the scenario's 10ms trip latency and the
+	// deadlines always undercut the stall, so every seed exercises both
+	// the breaker trip and deadline expiry under queueing.
+	p.OverClients = 2 + rng.Intn(2)
+	p.OverBurst = 24 + rng.Intn(17)
+	p.OverStall = time.Duration(60+rng.Intn(91)) * time.Millisecond
+	p.OverDeadlineMS = int64(40 + rng.Intn(41))
+	p.OverLowPri = 0.3 + 0.4*rng.Float64()
 	return p
 }
 
@@ -213,6 +235,18 @@ func (p Plan) killSummary() string {
 	return fmt.Sprintf("proto=%s workers=%d load=%dx%d kill@%d seg=%d ckpt=%d redeliver=%.3f",
 		p.Protocol, p.Workers, p.KillClients, p.KillSubs, p.KillAfterAcks,
 		p.KillSegmentBytes, p.KillCheckpointBytes, p.KillRedeliver)
+}
+
+// overloadSummary renders the overload + WAL-stall schedule.
+func (p Plan) overloadSummary() string {
+	return fmt.Sprintf("proto=%s workers=%d burst=%dx%d stall=%s deadline=%dms lowpri=%.3f",
+		p.Protocol, p.Workers, p.OverClients, p.OverBurst, p.OverStall, p.OverDeadlineMS, p.OverLowPri)
+}
+
+// lowPriority decides the priority class of overload burst submission
+// (c, i).
+func (p Plan) lowPriority(c, i int) bool {
+	return hit(site(p.Seed, PointOverloadPri, int64(c), int64(i)), p.OverLowPri)
 }
 
 // redeliverAcked decides whether the acked submission (c, i) is

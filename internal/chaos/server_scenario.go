@@ -206,6 +206,15 @@ func runServerFaults(seed int64) Report {
 			if n != 0 {
 				v.addf("rejected marker %d executed %d times", o.marker, n)
 			}
+		case client.StatusShed:
+			// The adaptive shedder may engage if the bursts hold a
+			// standing queue; a shed submission backs off and never ran.
+			if o.retry <= 0 {
+				v.addf("shed without retry-after (marker %d)", o.marker)
+			}
+			if n != 0 {
+				v.addf("shed marker %d executed %d times", o.marker, n)
+			}
 		case "dropped":
 			if n > 1 {
 				v.addf("at-most-once: dropped marker %d executed %d times", o.marker, n)

@@ -42,6 +42,14 @@ func AppendRequest(dst []byte, r *Request) []byte {
 		dst = append(dst, `,"idem":`...)
 		dst = appendUint(dst, r.IdemKey)
 	}
+	if r.DeadlineMS != 0 {
+		dst = append(dst, `,"deadline_ms":`...)
+		dst = appendInt(dst, r.DeadlineMS)
+	}
+	if r.Priority != 0 {
+		dst = append(dst, `,"pri":`...)
+		dst = appendUint(dst, uint64(r.Priority))
+	}
 	return append(dst, '}', '\n')
 }
 
@@ -196,6 +204,10 @@ func internStatus(b []byte) string {
 		return StatusError
 	case StatusCanceled:
 		return StatusCanceled
+	case StatusExpired:
+		return StatusExpired
+	case StatusShed:
+		return StatusShed
 	}
 	return string(b)
 }
@@ -441,6 +453,17 @@ func fastDecodeRequest(line []byte, r *Request, scratch []uint64) bool {
 			}
 		case "idem":
 			r.IdemKey, err = s.uint()
+		case "deadline_ms":
+			r.DeadlineMS, err = s.int()
+		case "pri":
+			var v uint64
+			if v, err = s.uint(); err == nil {
+				if v > 255 {
+					err = errSlow // out of range: let encoding/json report it
+				} else {
+					r.Priority = uint8(v)
+				}
+			}
 		default:
 			err = errSlow
 		}

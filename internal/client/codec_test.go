@@ -13,6 +13,8 @@ var codecRequests = []Request{
 	{Seq: 1<<64 - 1, Template: `quo"te\slash`, Ops: "R[x1]", IdemKey: 123456789},
 	{Seq: 1, Template: "tab\tnl\nctrl\x01", Params: []uint64{0, 1 << 63}, Ops: ""},
 	{Seq: 42, Template: "unicode-é世", Ops: "W[2:7]", IdemKey: 1},
+	{Seq: 8, Ops: "R[x1]", DeadlineMS: 250, Priority: 1},
+	{Seq: 9, Ops: "R[x1]", DeadlineMS: -1, Priority: 255},
 }
 
 var codecResponses = []Response{
@@ -23,6 +25,8 @@ var codecResponses = []Response{
 	{Seq: 3, Status: StatusAbort, QueueUS: -1, ExecUS: -2},
 	{Seq: 4, Status: StatusCommit, Duplicate: true},
 	{Seq: 5, Status: "weird-future-status"},
+	{Seq: 6, Status: StatusExpired},
+	{Seq: 7, Status: StatusShed, RetryAfterMS: 40},
 }
 
 // The append encoders must produce JSON that encoding/json parses back
@@ -97,6 +101,13 @@ func TestDecodeMatchesEncodingJSON(t *testing.T) {
 		`not json`,
 		`{"params":[1,"two"]}`,
 		`{"duplicate":1}`,
+		`{"seq":7,"deadline_ms":250,"pri":1,"ops":"R[x1]"}`,
+		`{"seq":7,"deadline_ms":-5}`,
+		`{"pri":256}`,
+		`{"pri":-1}`,
+		`{"pri":1.5}`,
+		`{"status":"expired"}`,
+		`{"status":"shed","retry_after_ms":12}`,
 	}
 	for _, line := range lines {
 		var jreq, freq Request

@@ -172,8 +172,24 @@ func (r *ReliableConn) Submit(ctx context.Context, req Request) (Response, error
 	if req.IdemKey == 0 {
 		req.IdemKey = r.NextIdemKey()
 	}
+	// A deadlined request is never worth resubmitting once its budget
+	// has elapsed client-side: the server would only expire it again
+	// (or worse, waste engine time discovering that). Track the budget
+	// from the first submission.
+	var doomed func() bool
+	if req.DeadlineMS > 0 {
+		budget := time.Duration(req.DeadlineMS) * time.Millisecond
+		start := time.Now()
+		doomed = func() bool { return time.Since(start) >= budget }
+	}
 	var lastErr error
 	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
+		if doomed != nil && doomed() {
+			// Synthesized terminal outcome: nothing in flight, the
+			// deadline has passed, the caller should not see a retry
+			// error for work that is simply dead.
+			return Response{Seq: req.Seq, Status: StatusExpired}, nil
+		}
 		c, err := r.current()
 		if err != nil {
 			// Server unreachable: back off and redial.
@@ -198,7 +214,11 @@ func (r *ReliableConn) Submit(ctx context.Context, req Request) (Response, error
 			continue
 		}
 		switch resp.Status {
-		case StatusCommit, StatusAbort, StatusError:
+		case StatusCommit, StatusAbort, StatusError, StatusExpired:
+			// Expired is terminal: the server dropped the transaction
+			// without committing and a resubmission would be just as
+			// dead. The caller decides whether to try again with a
+			// fresh deadline.
 			return resp, nil
 		case StatusCanceled:
 			if !*r.policy.RetryCanceled {
@@ -208,8 +228,8 @@ func (r *ReliableConn) Submit(ctx context.Context, req Request) (Response, error
 			if err := r.backoff(ctx, attempt, resp.RetryAfterMS); err != nil {
 				return Response{}, err
 			}
-		case StatusRejected:
-			lastErr = errors.New("client: rejected (backpressure)")
+		case StatusRejected, StatusShed:
+			lastErr = errors.New("client: " + resp.Status + " (backpressure)")
 			if err := r.backoff(ctx, attempt, resp.RetryAfterMS); err != nil {
 				return Response{}, err
 			}

@@ -66,6 +66,27 @@ func TestSubmitHonorsContext(t *testing.T) {
 	}
 }
 
+// TestSubmitDeadlineDoomed checks that a deadlined request stops
+// retrying once its budget elapses client-side: with an unreachable
+// server the reliable client gives up with a synthesized StatusExpired
+// instead of burning the whole attempt budget on dead work.
+func TestSubmitDeadlineDoomed(t *testing.T) {
+	r := DialReliable("127.0.0.1:1", RetryPolicy{
+		Base: 5 * time.Millisecond, Max: 10 * time.Millisecond, MaxAttempts: 1000, Seed: 7,
+	})
+	start := time.Now()
+	resp, err := r.Submit(context.Background(), Request{Seq: 3, Ops: "R[1:1]", DeadlineMS: 25})
+	if err != nil {
+		t.Fatalf("err = %v, want synthesized expired response", err)
+	}
+	if resp.Status != StatusExpired || resp.Seq != 3 {
+		t.Fatalf("resp = %+v, want StatusExpired seq=3", resp)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("took %v: deadline did not bound the retry loop", d)
+	}
+}
+
 // TestBackoffHonorsRetryAfter checks the server hint is a floor under
 // the jittered exponential step.
 func TestBackoffHonorsRetryAfter(t *testing.T) {

@@ -44,6 +44,18 @@ type Request struct {
 	// Keys must be unique per logical transaction, e.g. drawn from a
 	// per-client random sequence.
 	IdemKey uint64 `json:"idem,omitempty"`
+	// DeadlineMS is the end-to-end deadline in milliseconds, relative
+	// to the server's admission instant (relative, so the protocol
+	// needs no clock synchronization). Past the deadline the server
+	// drops the transaction wherever it finds it — admission, bundle
+	// formation, between execution attempts — and answers StatusExpired
+	// instead of executing dead work. Zero means no deadline; negative
+	// means already expired (used by clients that know they gave up).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Priority is the request's shedding class: 0 (default) is high
+	// priority, any nonzero value is low priority, which the server's
+	// overload controller sheds first.
+	Priority uint8 `json:"pri,omitempty"`
 }
 
 // Response statuses.
@@ -62,6 +74,14 @@ const (
 	// StatusCanceled: the transaction was admitted but the server shut
 	// down hard (deadline/kill) before it could commit.
 	StatusCanceled = "canceled"
+	// StatusExpired: the request's DeadlineMS elapsed before the
+	// transaction committed; it was dropped without (further) execution
+	// and never committed. Terminal — retrying dead work only inflates
+	// runtime conflicts for live transactions.
+	StatusExpired = "expired"
+	// StatusShed: the overload controller dropped the admission to
+	// protect latency; nothing executed. Retry after RetryAfterMS.
+	StatusShed = "shed"
 )
 
 // Response is one per-transaction outcome envelope.

@@ -67,6 +67,12 @@ type Options struct {
 	// the log and block until durable (the serving layer's durability
 	// path; see engine.Config.WAL).
 	WAL *wal.Log
+	// Brownout degrades RunTSKD for overload shedding: TsPAR refinement
+	// is skipped (the partitioner's plan executes directly, a nil
+	// partitioner degenerating to round-robin spread) and deferp is
+	// raised, trading schedule quality for lower scheduling latency and
+	// more proactive deferment while the serving layer is saturated.
+	Brownout bool
 	// Seed drives all randomized pieces.
 	Seed int64
 }
@@ -195,6 +201,30 @@ func RunTSKD(db *storage.DB, w txn.Workload, p partition.Partitioner, o Options)
 		plan.Residual = append(plan.Residual, w...)
 	}
 	partTime := time.Since(t0)
+
+	if o.Brownout {
+		// Brownout: skip TSgen — its refinement latency is the one cost
+		// the bundle path can drop without touching correctness — and
+		// execute the partitioner's plan directly (round-robin when
+		// there is no partitioner) with a raised defer probability, so
+		// TsDEFER sidesteps conflicts the skipped schedule would have.
+		phases := []engine.Phase{{PerThread: plan.Parts}}
+		if len(plan.Residual) > 0 {
+			phases = append(phases, engine.SpreadRoundRobin(plan.Residual, o.Workers))
+		}
+		d := *o.deferCfg()
+		d.DeferP = brownoutDeferP(d.DeferP)
+		m := engine.Run(w, phases, engine.Config{
+			Workers: o.Workers, Protocol: proto, DB: db, OpTime: o.OpTime,
+			Defer: &d, Recorder: o.Recorder, CostSink: o.CostSink, Seed: o.Seed,
+			TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks, WAL: o.WAL,
+		})
+		return Result{
+			Metrics: m, System: name + "-brownout",
+			LoadRatio:     plan.LoadRatio(),
+			PartitionTime: partTime,
+		}, nil
+	}
 
 	t1 := time.Now()
 	if p != nil && len(plan.Residual) == 0 {
@@ -352,6 +382,16 @@ func RunTSKDCC(db *storage.DB, w txn.Workload, o Options) (Result, error) {
 		TraceSpans: o.TraceSpans, Ctx: o.Ctx, Hooks: o.Hooks, WAL: o.WAL,
 	})
 	return Result{Metrics: m, System: "TSKD[CC]"}, nil
+}
+
+// brownoutDeferP raises the defer probability for brownout runs,
+// capped so deferment cannot livelock a drain.
+func brownoutDeferP(p float64) float64 {
+	p += 0.3
+	if p > 0.95 {
+		p = 0.95
+	}
+	return p
 }
 
 // instanceLetter maps a partitioner to the paper's instance letter:

@@ -25,8 +25,9 @@ type Pipeline struct {
 	// the pipeline and must be left nil.
 	Opts Options
 
-	history *estimator.History
-	bundles int
+	history  *estimator.History
+	bundles  int
+	brownout bool
 }
 
 // NewPipeline returns a pipeline over db.
@@ -43,6 +44,11 @@ func (pl *Pipeline) Bundles() int { return pl.bundles }
 // HistorySize returns the number of exact cost records learned so far.
 func (pl *Pipeline) HistorySize() int { return pl.history.Len() }
 
+// SetBrownout toggles degraded processing for subsequent bundles (see
+// Options.Brownout). Call it from the same goroutine that calls
+// Process — the serving layer's bundler — between bundles.
+func (pl *Pipeline) SetBrownout(on bool) { pl.brownout = on }
+
 // Process schedules and executes one bundle, learning its costs.
 func (pl *Pipeline) Process(w txn.Workload) (Result, error) {
 	return pl.ProcessContext(context.Background(), w)
@@ -58,6 +64,7 @@ func (pl *Pipeline) ProcessContext(ctx context.Context, w txn.Workload) (Result,
 	o.Estimator = pl.history
 	o.CostSink = pl.history
 	o.Seed = pl.Opts.Seed + int64(pl.bundles)*7919
+	o.Brownout = pl.brownout
 	res, err := RunTSKD(pl.DB, w, pl.Partitioner, o)
 	if err != nil {
 		return Result{}, err

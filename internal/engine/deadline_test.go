@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"tskd/internal/cc"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+// TestDeadlineDropsBeforeFirstAttempt: transactions admitted with an
+// already-passed deadline are counted expired and never executed —
+// their writes must not land.
+func TestDeadlineDropsBeforeFirstAttempt(t *testing.T) {
+	db, w := ycsbBundle(3, 100)
+	past := time.Now().Add(-time.Second)
+	for _, tx := range w {
+		tx.Deadline = past
+	}
+	m := Run(w, []Phase{SpreadRoundRobin(w, 4)}, Config{
+		Workers: 4, Protocol: cc.NewOCC(), DB: db, Seed: 3,
+	})
+	if m.Expired != 100 || m.Committed != 0 {
+		t.Fatalf("expired=%d committed=%d, want 100/0", m.Expired, m.Committed)
+	}
+}
+
+// TestDeadlineMixedDrain: expired transactions are dropped
+// individually; live ones in the same drain still commit.
+func TestDeadlineMixedDrain(t *testing.T) {
+	db, w := ycsbBundle(4, 200)
+	past := time.Now().Add(-time.Second)
+	future := time.Now().Add(time.Hour)
+	for i, tx := range w {
+		if i%2 == 0 {
+			tx.Deadline = past
+		} else {
+			tx.Deadline = future
+		}
+	}
+	m := Run(w, []Phase{SpreadRoundRobin(w, 4)}, Config{
+		Workers: 4, Protocol: cc.NewOCC(), DB: db, Seed: 4,
+	})
+	if m.Expired != 100 {
+		t.Fatalf("expired = %d, want 100", m.Expired)
+	}
+	if m.Committed != 100 {
+		t.Fatalf("committed = %d, want 100", m.Committed)
+	}
+}
+
+// TestDeadlineExpiresBetweenRetries: a deadline that passes while a
+// transaction is retrying stops its retry loop — dropped, not
+// committed. A single hot row under OCC with per-op work keeps the
+// drain busy well past the 5ms deadline, so later transactions (and
+// mid-retry ones) must expire rather than execute.
+func TestDeadlineExpiresBetweenRetries(t *testing.T) {
+	db, w := hotRowWorkload(400)
+	deadline := time.Now().Add(5 * time.Millisecond)
+	for _, tx := range w {
+		tx.Deadline = deadline
+	}
+	m := Run(w, []Phase{SpreadRoundRobin(w, 8)}, Config{
+		Workers: 8, Protocol: cc.NewOCC(), DB: db, Seed: 5,
+		OpTime: 50 * time.Microsecond,
+	})
+	if m.Expired == 0 {
+		t.Fatalf("no transactions expired under a 5ms deadline on a contended drain (committed=%d retries=%d)", m.Committed, m.Retries)
+	}
+	if m.Committed+m.Expired+m.UserAborts != 400 {
+		t.Fatalf("committed=%d expired=%d: outcomes do not cover the workload", m.Committed, m.Expired)
+	}
+}
+
+func hotRowWorkload(n int) (*storage.DB, txn.Workload) {
+	db := storage.NewDB()
+	tbl := db.CreateTable(0, "hot", 1)
+	tbl.Insert(0)
+	w := make(txn.Workload, n)
+	for i := range w {
+		w[i] = txn.New(i).R(txn.MakeKey(0, 0)).U(txn.MakeKey(0, 0), 1)
+	}
+	return db, w
+}

@@ -161,6 +161,10 @@ type Metrics struct {
 	// Canceled counts transactions abandoned because Config.Ctx was
 	// done before they could commit (never executed, or mid-retry).
 	Canceled uint64
+	// Expired counts transactions dropped because their Deadline passed
+	// before commit (never executed, or between retries). An expired
+	// transaction never commits.
+	Expired uint64
 	// Contended counts contended lock/latch acquisitions
 	// (#contended_mutex).
 	Contended uint64
@@ -228,6 +232,7 @@ func (m *Metrics) Add(other Metrics) {
 	m.Defers += other.Defers
 	m.UserAborts += other.UserAborts
 	m.Canceled += other.Canceled
+	m.Expired += other.Expired
 	m.Contended += other.Contended
 	m.Elapsed += other.Elapsed
 	m.VirtualTime += other.VirtualTime
@@ -317,6 +322,7 @@ func Run(w txn.Workload, phases []Phase, cfg Config) Metrics {
 		total.Defers += m.Defers
 		total.UserAborts += m.UserAborts
 		total.Canceled += m.Canceled
+		total.Expired += m.Expired
 		total.Contended += m.Contended
 		total.VirtualTime += m.VirtualTime
 		lat.Merge(phaseLat)
@@ -428,6 +434,7 @@ func runPhase(phase Phase, sc *phaseScratch, predicted [][]txn.Key, cfg Config, 
 		m.Defers += stats.defers
 		m.UserAborts += stats.userAborts
 		m.Canceled += stats.canceled
+		m.Expired += stats.expired
 		m.Contended += sc.ccStats[i].Contended
 		// Virtual k-core time of the phase: the busiest worker (the
 		// barrier makes the others wait for it).
@@ -455,6 +462,7 @@ type workerStats struct {
 	defers     uint64
 	userAborts uint64
 	canceled   uint64
+	expired    uint64
 	busy       time.Duration     // intended on-core work; see Metrics.VirtualTime
 	lat        metrics.Histogram // per-commit virtual latency
 	perTpl     map[string]*TemplateMetrics
@@ -464,7 +472,7 @@ type workerStats struct {
 // reset clears the stats for a new phase, keeping the spans slice's
 // capacity (the aggregation loop copies values out before reuse).
 func (ws *workerStats) reset() {
-	ws.committed, ws.retries, ws.defers, ws.userAborts, ws.canceled = 0, 0, 0, 0, 0
+	ws.committed, ws.retries, ws.defers, ws.userAborts, ws.canceled, ws.expired = 0, 0, 0, 0, 0, 0
 	ws.busy = 0
 	ws.lat = metrics.Histogram{}
 	clear(ws.perTpl)
@@ -539,7 +547,7 @@ func (wk *worker) drain(list []*txn.Transaction) {
 				wk.stats.canceled += uint64(len(list) - i)
 				return
 			}
-			if !wk.execute(t) {
+			if wk.execute(t) == execCanceled {
 				wk.stats.canceled += uint64(len(list) - i)
 				return
 			}
@@ -573,21 +581,52 @@ func (wk *worker) drain(list []*txn.Transaction) {
 			wk.tracker.DeferHead(wk.id)
 			continue
 		}
-		finished := wk.execute(t)
+		outcome := wk.execute(t)
 		wk.tracker.Advance(wk.id)
-		if !finished {
+		if outcome == execCanceled {
 			wk.stats.canceled++
 		}
 	}
 }
 
+// execOutcome classifies how execute left a transaction. Expired is
+// distinct from canceled: an expired transaction is dropped alone and
+// the drain continues, while cancellation abandons the whole run.
+type execOutcome int8
+
+const (
+	execDone     execOutcome = iota // committed or user-aborted
+	execCanceled                    // run context done before a terminal outcome
+	execExpired                     // t.Deadline passed before commit; dropped
+)
+
+// expire drops t if its deadline has passed: it counts the drop and
+// releases dependents (they wait on completion, not on effects — a
+// dropped dependency must not stall them forever). Reports true when t
+// is dead. Checked before the first attempt and between retries, so an
+// expired transaction never (re-)executes — work the caller has
+// abandoned only inflates runtime conflicts for live transactions.
+func (wk *worker) expire(t *txn.Transaction) bool {
+	if t.Deadline.IsZero() || !time.Now().After(t.Deadline) {
+		return false
+	}
+	wk.stats.expired++
+	if wk.cfg.committed != nil {
+		wk.cfg.committed[t.ID].Store(true)
+	}
+	return true
+}
+
 // execute runs t to commit, retrying on conflicts. Transactions marked
 // UserAbort execute and then roll back once, without retry. It returns
-// false when the run's context was canceled before t reached a
-// terminal outcome (commit or user abort); the caller accounts the
-// abandonment.
-func (wk *worker) execute(t *txn.Transaction) bool {
+// execCanceled when the run's context was canceled, and execExpired
+// when t's deadline passed, before t reached a terminal outcome
+// (commit or user abort); the caller accounts the abandonment.
+func (wk *worker) execute(t *txn.Transaction) execOutcome {
 	proto := wk.cfg.Protocol
+	if wk.expire(t) {
+		return execExpired
+	}
 	// Application-specified dependencies: wait until every dependency
 	// has committed. Schedules from sched.GenerateWithDeps order queue
 	// positions topologically, so these waits cannot cycle.
@@ -598,7 +637,10 @@ func (wk *worker) execute(t *txn.Transaction) bool {
 			}
 			for !wk.cfg.committed[dep].Load() {
 				if wk.canceled() {
-					return false
+					return execCanceled
+				}
+				if wk.expire(t) {
+					return execExpired
 				}
 				runtime.Gosched()
 			}
@@ -608,11 +650,17 @@ func (wk *worker) execute(t *txn.Transaction) bool {
 	var busy time.Duration // intended on-core time across attempts
 	contended0 := wk.ccStats.Contended
 	for attempt := 0; ; attempt++ {
-		if attempt > 0 && wk.canceled() {
-			// Mid-retry cancellation: give up without committing. The
-			// first attempt always runs so a canceled context cannot
-			// starve short uncontended transactions during drain.
-			return false
+		if attempt > 0 {
+			if wk.canceled() {
+				// Mid-retry cancellation: give up without committing.
+				// The first attempt always runs so a canceled context
+				// cannot starve short uncontended transactions during
+				// drain.
+				return execCanceled
+			}
+			if wk.expire(t) {
+				return execExpired
+			}
 		}
 		attemptStart := time.Now()
 		proto.Begin(wk.ctx)
@@ -634,7 +682,7 @@ func (wk *worker) execute(t *txn.Transaction) bool {
 				// must not wait forever.
 				wk.cfg.committed[t.ID].Store(true)
 			}
-			return true
+			return execDone
 		}
 		// Per-attempt cost: the operation work, floored by the runtime
 		// lower bound — every retry re-runs the transaction and re-pays
@@ -699,7 +747,7 @@ func (wk *worker) execute(t *txn.Transaction) bool {
 				units := clock.Units(float64(time.Since(start)) / float64(wk.unitScale))
 				wk.cfg.CostSink.Record(t.Template, t.Params, units)
 			}
-			return true
+			return execDone
 		}
 		proto.Abort(wk.ctx)
 		wk.stats.retries++

@@ -1,0 +1,221 @@
+package overload
+
+import (
+	"sync"
+	"time"
+
+	"tskd/internal/clock"
+)
+
+// BreakerState is the circuit breaker's state.
+type BreakerState int32
+
+const (
+	// BreakerClosed: WAL healthy, durable admissions flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the log device is stalling; durable admissions fail
+	// fast with a retry-after hint instead of queueing unbounded acks.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed; a bounded number of probe
+	// admissions are let through, and the next flush verdict decides
+	// between Closed and Open.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes the WAL-stall breaker. Zero values take
+// defaults.
+type BreakerConfig struct {
+	// TripLatency trips the breaker two ways: a finished group flush
+	// slower than this, or an in-flight flush older than this at
+	// admission time (the in-flight check catches a hung fsync before
+	// it ever returns). Default 50ms.
+	TripLatency time.Duration
+	// Cooldown is how long the breaker stays open before half-opening.
+	// Default 250ms.
+	Cooldown time.Duration
+	// HalfOpenProbes bounds admissions allowed while half-open and
+	// awaiting a flush verdict. Default 64.
+	HalfOpenProbes int
+	// Clock supplies now; nil means the wall clock.
+	Clock clock.Clock
+	// OnTransition, when set, observes every state change. It is called
+	// with the breaker's mutex held and must not call back into the
+	// breaker or into the WAL (it runs inside flush completion).
+	OnTransition func(from, to BreakerState)
+}
+
+func (c *BreakerConfig) withDefaults() {
+	if c.TripLatency <= 0 {
+		c.TripLatency = 50 * time.Millisecond
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 250 * time.Millisecond
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 64
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+}
+
+// Breaker is the WAL-stall circuit breaker. It implements the WAL's
+// FlushMonitor interface (FlushStart/FlushEnd bracket every physical
+// group flush, write plus fsync), and the server consults Allow on
+// every durable admission. Its mutex is a leaf: it never acquires the
+// log's or the server's locks, so it is safe to call from inside the
+// WAL flush path and from connection goroutines concurrently.
+type Breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+
+	state       BreakerState
+	openedAt    time.Time // when the breaker last tripped
+	inFlight    bool
+	flightStart time.Time
+	probesLeft  int
+	probeWave   time.Time // when the current half-open probe wave was armed
+	trips       uint64
+}
+
+// NewBreaker returns a closed breaker with cfg's defaults applied.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.withDefaults()
+	return &Breaker{cfg: cfg}
+}
+
+// FlushStart marks a physical group flush entering the device.
+func (b *Breaker) FlushStart() {
+	now := b.cfg.Clock.Now()
+	b.mu.Lock()
+	b.inFlight = true
+	b.flightStart = now
+	b.mu.Unlock()
+}
+
+// FlushEnd delivers a flush verdict: an error or a flush slower than
+// TripLatency trips the breaker from any state; a fast clean flush
+// while half-open closes it.
+func (b *Breaker) FlushEnd(d time.Duration, err error) {
+	now := b.cfg.Clock.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.inFlight = false
+	if err != nil || d > b.cfg.TripLatency {
+		b.tripLocked(now)
+		return
+	}
+	if b.state == BreakerHalfOpen {
+		b.setLocked(BreakerClosed)
+	}
+}
+
+// Allow reports whether a durable admission may proceed. When it may
+// not, retryAfter is the hint to return to the client (how long until
+// the breaker could half-open, with the flush window as a floor).
+func (b *Breaker) Allow() (ok bool, retryAfter time.Duration) {
+	now := b.cfg.Clock.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if b.inFlight && now.Sub(b.flightStart) > b.cfg.TripLatency {
+			// A flush is hung past the trip threshold: trip now rather
+			// than queue another ack behind a dead device.
+			b.tripLocked(now)
+			return false, b.cfg.Cooldown
+		}
+		return true, 0
+	case BreakerOpen:
+		remaining := b.cfg.Cooldown - now.Sub(b.openedAt)
+		if remaining > 0 {
+			return false, remaining
+		}
+		b.setLocked(BreakerHalfOpen)
+		b.probesLeft = b.cfg.HalfOpenProbes
+		b.probeWave = now
+		fallthrough
+	default: // BreakerHalfOpen
+		if b.inFlight && now.Sub(b.flightStart) > b.cfg.TripLatency {
+			b.tripLocked(now)
+			return false, b.cfg.Cooldown
+		}
+		if b.probesLeft > 0 {
+			b.probesLeft--
+			return true, 0
+		}
+		if !b.inFlight && now.Sub(b.probeWave) > b.cfg.TripLatency {
+			// The whole probe wave died without producing a flush
+			// verdict — shed, expired before execution, or its
+			// connection dropped — and nothing is in flight to deliver
+			// one. Arm a fresh wave rather than reject forever.
+			b.probeWave = now
+			b.probesLeft = b.cfg.HalfOpenProbes - 1
+			return true, 0
+		}
+		// Probe budget spent; wait for the in-flight verdict.
+		return false, b.cfg.TripLatency
+	}
+}
+
+// RetryAfter is the state-scaled backoff hint folded into the server's
+// retryAfterMS: zero while closed, the remaining cooldown while open,
+// and the trip latency while half-open (one flush verdict away).
+func (b *Breaker) RetryAfter() time.Duration {
+	now := b.cfg.Clock.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if remaining := b.cfg.Cooldown - now.Sub(b.openedAt); remaining > 0 {
+			return remaining
+		}
+		return b.cfg.TripLatency
+	case BreakerHalfOpen:
+		return b.cfg.TripLatency
+	}
+	return 0
+}
+
+// State returns the current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has tripped (entered Open
+// from another state).
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+func (b *Breaker) tripLocked(now time.Time) {
+	b.openedAt = now
+	if b.state != BreakerOpen {
+		b.trips++
+		b.setLocked(BreakerOpen)
+	}
+}
+
+func (b *Breaker) setLocked(to BreakerState) {
+	from := b.state
+	b.state = to
+	if b.cfg.OnTransition != nil && from != to {
+		b.cfg.OnTransition(from, to)
+	}
+}

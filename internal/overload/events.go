@@ -1,0 +1,70 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured mode transition (brownout enter/exit,
+// breaker state change), exposed in /metrics so operators can see when
+// and why the server degraded.
+type Event struct {
+	UnixMS int64  `json:"unix_ms"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// EventLog is a fixed-capacity ring of recent events. Its mutex is a
+// leaf (Record never calls out), so it is safe to record from inside
+// breaker transitions, which themselves run inside WAL flush
+// completion.
+type EventLog struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	total uint64
+}
+
+// NewEventLog returns a ring holding the most recent capacity events.
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &EventLog{ring: make([]Event, 0, capacity)}
+}
+
+// Record appends an event stamped now.
+func (e *EventLog) Record(now time.Time, kind, detail string) {
+	ev := Event{UnixMS: now.UnixMilli(), Kind: kind, Detail: detail}
+	e.mu.Lock()
+	if len(e.ring) < cap(e.ring) {
+		e.ring = append(e.ring, ev)
+	} else {
+		e.ring[e.next] = ev
+		e.next = (e.next + 1) % cap(e.ring)
+	}
+	e.total++
+	e.mu.Unlock()
+}
+
+// Snapshot returns the retained events oldest-first.
+func (e *EventLog) Snapshot() []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Event, 0, len(e.ring))
+	if len(e.ring) == cap(e.ring) {
+		out = append(out, e.ring[e.next:]...)
+		out = append(out, e.ring[:e.next]...)
+	} else {
+		out = append(out, e.ring...)
+	}
+	return out
+}
+
+// Total returns how many events have ever been recorded (including
+// ones the ring has since evicted).
+func (e *EventLog) Total() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.total
+}

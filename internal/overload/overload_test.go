@@ -1,0 +1,361 @@
+package overload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"tskd/internal/clock"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestShedderTraces drives the shedder with hand-written sojourn
+// timelines on a fake clock and checks the resulting level and per-
+// class drop probabilities at each step. No sleeps: time only moves
+// when the trace says so.
+func TestShedderTraces(t *testing.T) {
+	const (
+		target = 5 * time.Millisecond
+		window = 100 * time.Millisecond
+	)
+	type step struct {
+		advance time.Duration // clock movement before the observation
+		sojourn time.Duration
+		level   float64 // expected level after the observation
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			// Below target: level stays at zero, nothing sheds.
+			name: "idle",
+			steps: []step{
+				{10 * time.Millisecond, 1 * time.Millisecond, 0},
+				{10 * time.Millisecond, 4 * time.Millisecond, 0},
+				{10 * time.Millisecond, 5 * time.Millisecond, 0},
+			},
+		},
+		{
+			// A burst shorter than the window never engages shedding:
+			// sojourn spikes but drops back before Window elapses.
+			name: "short burst tolerated",
+			steps: []step{
+				{0, 20 * time.Millisecond, 0},                     // goes above; arms the window
+				{50 * time.Millisecond, 20 * time.Millisecond, 0}, // still inside the window
+				{30 * time.Millisecond, 2 * time.Millisecond, 0},  // drains before 100ms
+				{10 * time.Millisecond, 20 * time.Millisecond, 0}, // new burst re-arms
+				{90 * time.Millisecond, 15 * time.Millisecond, 0}, // 90ms < window
+				{5 * time.Millisecond, 1 * time.Millisecond, 0},   // drains again
+			},
+		},
+		{
+			// A standing queue ramps the level: sojourn 2x target held
+			// past the window adds Step*(2-1)=0.1 per observation.
+			name: "standing queue ramps",
+			steps: []step{
+				{0, 10 * time.Millisecond, 0},                        // arms
+				{100 * time.Millisecond, 10 * time.Millisecond, 0.1}, // window elapsed
+				{10 * time.Millisecond, 10 * time.Millisecond, 0.2},
+				{10 * time.Millisecond, 10 * time.Millisecond, 0.3},
+			},
+		},
+		{
+			// The per-observation increment is capped at 4*Step even for
+			// huge excess, and the level saturates at 1.
+			name: "increment cap and saturation",
+			steps: []step{
+				{0, time.Second, 0},
+				{100 * time.Millisecond, time.Second, 0.4},
+				{10 * time.Millisecond, time.Second, 0.8},
+				{10 * time.Millisecond, time.Second, 1.0},
+				{10 * time.Millisecond, time.Second, 1.0},
+			},
+		},
+		{
+			// Recovery decays linearly once sojourn is back under target.
+			name: "decay",
+			steps: []step{
+				{0, 10 * time.Millisecond, 0},
+				{100 * time.Millisecond, 10 * time.Millisecond, 0.1},
+				{10 * time.Millisecond, 10 * time.Millisecond, 0.2},
+				{10 * time.Millisecond, 1 * time.Millisecond, 0.15},
+				{10 * time.Millisecond, 1 * time.Millisecond, 0.1},
+				{10 * time.Millisecond, 1 * time.Millisecond, 0.05},
+				{10 * time.Millisecond, 1 * time.Millisecond, 0},
+				{10 * time.Millisecond, 1 * time.Millisecond, 0},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fc := clock.NewFake(time.Unix(0, 0))
+			s := NewShedder(ShedConfig{Target: target, Window: window, Clock: fc})
+			for i, st := range tc.steps {
+				fc.Advance(st.advance)
+				s.Observe(st.sojourn)
+				if got := s.Level(); !almost(got, st.level) {
+					t.Fatalf("step %d: level = %v, want %v", i, got, st.level)
+				}
+				wantLow := math.Min(1, 2*st.level)
+				wantHigh := math.Min(MaxHighShedProb, math.Max(0, 2*st.level-1))
+				if got := s.Prob(PriLow); !almost(got, wantLow) {
+					t.Fatalf("step %d: P(shed|low) = %v, want %v", i, got, wantLow)
+				}
+				if got := s.Prob(PriHigh); !almost(got, wantHigh) {
+					t.Fatalf("step %d: P(shed|high) = %v, want %v", i, got, wantHigh)
+				}
+			}
+		})
+	}
+}
+
+// TestShedderPriority pins the low-sheds-first contract at
+// characteristic levels via the pure ShouldShed decision.
+func TestShedderPriority(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	s := NewShedder(ShedConfig{Target: time.Millisecond, Window: 10 * time.Millisecond, Step: 0.25, Clock: fc})
+	// Ramp to level 0.25: low sheds at p=0.5, high not at all.
+	s.Observe(2 * time.Millisecond)
+	fc.Advance(10 * time.Millisecond)
+	s.Observe(2 * time.Millisecond) // +0.25
+	if got := s.Level(); !almost(got, 0.25) {
+		t.Fatalf("level = %v, want 0.25", got)
+	}
+	if s.ShouldShed(PriHigh, 0.0) {
+		t.Fatal("high priority shed below saturation")
+	}
+	if !s.ShouldShed(PriLow, 0.49) || s.ShouldShed(PriLow, 0.51) {
+		t.Fatal("low priority should shed exactly below p=0.5")
+	}
+	if s.Saturated() {
+		t.Fatal("saturated at level 0.25")
+	}
+	// Two more observations: level 0.75, all low shed, high at p=0.5.
+	s.Observe(2 * time.Millisecond)
+	s.Observe(2 * time.Millisecond)
+	if got := s.Level(); !almost(got, 0.75) {
+		t.Fatalf("level = %v, want 0.75", got)
+	}
+	if !s.Saturated() {
+		t.Fatal("not saturated at level 0.75")
+	}
+	if !s.ShouldShed(PriLow, 0.999) {
+		t.Fatal("low priority not fully shed at level 0.75")
+	}
+	if !s.ShouldShed(PriHigh, 0.49) || s.ShouldShed(PriHigh, 0.51) {
+		t.Fatal("high priority should shed exactly below p=0.5 at level 0.75")
+	}
+	if s.Backoff() <= 0 {
+		t.Fatal("no backoff hint while shedding")
+	}
+}
+
+// TestShedderHighPriorityProbeTrickle pins the lockout safeguard: even
+// fully saturated, some high-priority traffic must survive — the level
+// only decays through bundle observations, so a total shed would have
+// nothing left to observe recovery with.
+func TestShedderHighPriorityProbeTrickle(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	s := NewShedder(ShedConfig{Target: time.Millisecond, Window: 10 * time.Millisecond, Clock: fc})
+	s.Observe(time.Second)
+	fc.Advance(20 * time.Millisecond)
+	s.Observe(time.Second)
+	s.Observe(time.Second)
+	s.Observe(time.Second)
+	if got := s.Level(); !almost(got, 1.0) {
+		t.Fatalf("level = %v, want saturated at 1", got)
+	}
+	if got := s.Prob(PriLow); !almost(got, 1.0) {
+		t.Fatalf("P(shed|low) = %v at level 1, want 1", got)
+	}
+	if got := s.Prob(PriHigh); !almost(got, MaxHighShedProb) {
+		t.Fatalf("P(shed|high) = %v at level 1, want cap %v", got, MaxHighShedProb)
+	}
+	if s.ShouldShed(PriHigh, MaxHighShedProb+1e-6) {
+		t.Fatal("high-priority probe trickle shed at full saturation")
+	}
+}
+
+// TestBreakerTransitions walks the breaker through a scripted timeline
+// of flushes and admissions on a fake clock.
+func TestBreakerTransitions(t *testing.T) {
+	const (
+		trip     = 50 * time.Millisecond
+		cooldown = 200 * time.Millisecond
+	)
+	fc := clock.NewFake(time.Unix(0, 0))
+	var transitions []string
+	b := NewBreaker(BreakerConfig{
+		TripLatency: trip, Cooldown: cooldown, HalfOpenProbes: 2, Clock: fc,
+		OnTransition: func(from, to BreakerState) {
+			transitions = append(transitions, fmt.Sprintf("%s->%s", from, to))
+		},
+	})
+
+	// Healthy flushes keep it closed.
+	b.FlushStart()
+	fc.Advance(2 * time.Millisecond)
+	b.FlushEnd(2*time.Millisecond, nil)
+	if ok, _ := b.Allow(); !ok || b.State() != BreakerClosed {
+		t.Fatal("healthy breaker should admit")
+	}
+
+	// A slow flush trips it.
+	b.FlushStart()
+	fc.Advance(120 * time.Millisecond)
+	b.FlushEnd(120*time.Millisecond, nil)
+	if b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("state = %v trips = %d after slow flush", b.State(), b.Trips())
+	}
+	if ok, ra := b.Allow(); ok || ra <= 0 {
+		t.Fatalf("open breaker admitted (ok=%v retryAfter=%v)", ok, ra)
+	}
+	if b.RetryAfter() <= 0 {
+		t.Fatal("open breaker should hint a retry-after")
+	}
+
+	// Cooldown elapses: half-open, probe budget of 2.
+	fc.Advance(cooldown)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("first half-open probe refused")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("second half-open probe refused")
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("third admission should wait for the flush verdict")
+	}
+
+	// The probe's flush comes back fast: closed again.
+	b.FlushStart()
+	fc.Advance(time.Millisecond)
+	b.FlushEnd(time.Millisecond, nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after clean probe flush, want closed", b.State())
+	}
+
+	// An in-flight flush hung past the threshold trips at admission
+	// time, before FlushEnd ever runs.
+	b.FlushStart()
+	fc.Advance(trip + time.Millisecond)
+	if ok, ra := b.Allow(); ok || ra <= 0 {
+		t.Fatal("hung in-flight flush should trip at admission")
+	}
+	if b.State() != BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("state = %v trips = %d after hung flush", b.State(), b.Trips())
+	}
+	// The hung flush finally fails: stays open, no double trip count
+	// for an already-open breaker.
+	b.FlushEnd(trip+time.Millisecond, errors.New("device died"))
+	if b.State() != BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("state = %v trips = %d after late failure", b.State(), b.Trips())
+	}
+
+	// A slow probe flush re-opens from half-open.
+	fc.Advance(cooldown)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("probe refused after second cooldown")
+	}
+	b.FlushStart()
+	fc.Advance(trip * 2)
+	b.FlushEnd(trip*2, nil)
+	if b.State() != BreakerOpen || b.Trips() != 3 {
+		t.Fatalf("state = %v trips = %d after slow probe", b.State(), b.Trips())
+	}
+
+	want := []string{
+		"closed->open", "open->half-open", "half-open->closed",
+		"closed->open", "open->half-open", "half-open->open",
+	}
+	if fmt.Sprint(transitions) != fmt.Sprint(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+}
+
+// TestBreakerProbeWaveRearm pins the half-open starvation safeguard: if
+// every granted probe dies upstream (shed, expired before execution, a
+// dropped connection) the flush verdict the breaker is waiting for
+// never arrives. With nothing in flight and the wave older than the
+// trip latency, Allow must arm a fresh wave instead of rejecting
+// forever.
+func TestBreakerProbeWaveRearm(t *testing.T) {
+	const (
+		trip     = 50 * time.Millisecond
+		cooldown = 200 * time.Millisecond
+	)
+	fc := clock.NewFake(time.Unix(0, 0))
+	b := NewBreaker(BreakerConfig{TripLatency: trip, Cooldown: cooldown, HalfOpenProbes: 2, Clock: fc})
+	b.FlushStart()
+	fc.Advance(trip * 2)
+	b.FlushEnd(trip*2, nil) // trip
+	fc.Advance(cooldown)
+
+	// Drain the probe wave; while it is fresh the breaker holds the
+	// line awaiting a verdict.
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("probe %d refused", i)
+		}
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("fresh exhausted wave should wait for the flush verdict")
+	}
+
+	// The probes all died without a flush. Past the trip latency with
+	// nothing in flight, a new wave arms.
+	fc.Advance(trip + time.Millisecond)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("stale verdict-less wave not re-armed")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v after re-arm, want half-open", b.State())
+	}
+
+	// But an in-flight flush blocks the re-arm: the verdict is coming.
+	for ok, _ := b.Allow(); ok; ok, _ = b.Allow() {
+	}
+	fc.Advance(40 * time.Millisecond)
+	b.FlushStart()
+	fc.Advance(20 * time.Millisecond) // wave 60ms stale, flight only 20ms old
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("re-armed despite an in-flight flush")
+	}
+	b.FlushEnd(20*time.Millisecond, nil) // fast enough: closes
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after clean flush, want closed", b.State())
+	}
+}
+
+// TestBreakerFlushError pins that an erroring flush trips regardless of
+// latency.
+func TestBreakerFlushError(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	b := NewBreaker(BreakerConfig{Clock: fc})
+	b.FlushStart()
+	b.FlushEnd(time.Microsecond, errors.New("EIO"))
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after flush error, want open", b.State())
+	}
+}
+
+func TestEventLogRing(t *testing.T) {
+	e := NewEventLog(3)
+	now := time.Unix(100, 0)
+	for i := 0; i < 5; i++ {
+		e.Record(now.Add(time.Duration(i)*time.Second), "k", fmt.Sprint(i))
+	}
+	snap := e.Snapshot()
+	if len(snap) != 3 || snap[0].Detail != "2" || snap[2].Detail != "4" {
+		t.Fatalf("snapshot = %+v, want details 2..4 oldest-first", snap)
+	}
+	if e.Total() != 5 {
+		t.Fatalf("total = %d, want 5", e.Total())
+	}
+}

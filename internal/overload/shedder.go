@@ -1,0 +1,218 @@
+// Package overload holds the serving layer's overload-resilience state
+// machines: a CoDel-style adaptive load shedder driven by bundle
+// sojourn time, and a circuit breaker that fails durable admissions
+// fast while the WAL's fsync device is stalling. Both are deterministic
+// given their inputs and take an injectable clock (internal/clock), so
+// they are table-testable with hand-written timelines and replayable by
+// the chaos harness. The paper's framing motivates both: a transaction
+// executed after its caller gave up is pure wasted contention — it
+// inflates runtime conflicts for everyone still waiting — so the right
+// move under overload is to shed before the engine sees the work.
+package overload
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"tskd/internal/clock"
+)
+
+// Priority is the request priority class carried on the wire (the
+// request's "pri" byte). High priority is the zero value so requests
+// that do not set the field keep today's behavior.
+type Priority uint8
+
+const (
+	// PriHigh is the default class: shed only when the controller is
+	// past half intensity.
+	PriHigh Priority = 0
+	// PriLow sheds first: any nonzero wire priority maps here.
+	PriLow Priority = 1
+)
+
+// ShedConfig parameterizes the shedder. Zero values take defaults.
+type ShedConfig struct {
+	// Target is the acceptable bundle sojourn time (queue wait from
+	// admission to execution start). Default 5ms.
+	Target time.Duration
+	// Window is how long the minimum sojourn must stay above Target
+	// before shedding engages — CoDel's standing-queue interval, which
+	// keeps bursts shorter than Window unshed. Default 100ms.
+	Window time.Duration
+	// Step scales how fast the shed level climbs per observation while
+	// the standing queue persists; the increment is Step times the
+	// relative excess (sojourn/Target - 1), capped at Step*4. Default
+	// 0.1.
+	Step float64
+	// Decay is the per-observation level decrease once sojourn drops
+	// back under Target. Default 0.05.
+	Decay float64
+	// Clock supplies now; nil means the wall clock.
+	Clock clock.Clock
+	// Seed seeds the internal RNG behind Decide.
+	Seed int64
+}
+
+func (c *ShedConfig) withDefaults() {
+	if c.Target <= 0 {
+		c.Target = 5 * time.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = 100 * time.Millisecond
+	}
+	if c.Step <= 0 {
+		c.Step = 0.1
+	}
+	if c.Decay <= 0 {
+		c.Decay = 0.05
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+}
+
+// Shedder is a CoDel-style admission controller. The serving layer
+// feeds it one observation per bundle — the minimum queue sojourn of
+// the bundle's transactions, CoDel's estimator of the standing queue
+// (the minimum ignores transient bursts that drain by themselves).
+// Once the minimum sojourn has exceeded Target continuously for
+// Window, the shed level ramps up proportionally to the excess; when
+// sojourn falls back under Target the level decays linearly. The level
+// maps to per-class drop probabilities so low priority sheds first:
+//
+//	P(shed | low)  = min(1, 2·level)
+//	P(shed | high) = max(0, 2·level - 1)
+//
+// At level ½ all low-priority traffic is shed and high-priority is
+// untouched; only past ½ does high-priority traffic start dropping.
+// Level ≥ ½ is also the Saturated signal the server uses to enter
+// brownout mode. P(shed | high) is capped at MaxHighShedProb: the
+// level only decays through bundle observations, so shedding the last
+// high-priority admission would starve the controller of the very
+// signal it needs to recover — a trickle must always get through.
+type Shedder struct {
+	mu  sync.Mutex
+	cfg ShedConfig
+	rng *rand.Rand
+
+	above      bool      // minimum sojourn currently above Target
+	aboveSince time.Time // when it first went above
+	level      float64   // shed intensity in [0, 1]
+}
+
+// NewShedder returns a shedder with cfg's defaults applied.
+func NewShedder(cfg ShedConfig) *Shedder {
+	cfg.withDefaults()
+	return &Shedder{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Observe records one bundle's minimum queue sojourn and updates the
+// shed level. Called once per bundle by the server's bundler goroutine.
+func (s *Shedder) Observe(sojourn time.Duration) {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sojourn <= s.cfg.Target {
+		s.above = false
+		s.level -= s.cfg.Decay
+		if s.level < 0 {
+			s.level = 0
+		}
+		return
+	}
+	if !s.above {
+		s.above = true
+		s.aboveSince = now
+		return
+	}
+	if now.Sub(s.aboveSince) < s.cfg.Window {
+		return // burst, not yet a standing queue
+	}
+	excess := float64(sojourn)/float64(s.cfg.Target) - 1
+	inc := s.cfg.Step * excess
+	if max := s.cfg.Step * 4; inc > max {
+		inc = max
+	}
+	s.level += inc
+	if s.level > 1 {
+		s.level = 1
+	}
+}
+
+// Level returns the current shed intensity in [0, 1].
+func (s *Shedder) Level() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.level
+}
+
+// Saturated reports whether the controller is past half intensity —
+// all low-priority traffic shedding and high-priority about to — the
+// server's trigger for brownout mode.
+func (s *Shedder) Saturated() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.level >= 0.5
+}
+
+// Prob returns the drop probability for the given class at the current
+// level.
+func (s *Shedder) Prob(pri Priority) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return prob(s.level, pri)
+}
+
+// MaxHighShedProb caps the high-priority drop probability. Without it
+// a saturated controller (level 1) sheds every admission; with no
+// admissions no bundles form, no sojourns are observed, and the level
+// never decays — a permanent lockout. The cap keeps a high-priority
+// probe trickle flowing so recovery is observable.
+const MaxHighShedProb = 0.9
+
+func prob(level float64, pri Priority) float64 {
+	if pri == PriHigh {
+		p := 2*level - 1
+		if p < 0 {
+			return 0
+		}
+		if p > MaxHighShedProb {
+			return MaxHighShedProb
+		}
+		return p
+	}
+	p := 2 * level
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ShouldShed is the pure decision: drop iff u (a uniform sample in
+// [0,1)) falls under the class's drop probability. Tests and replays
+// supply u explicitly.
+func (s *Shedder) ShouldShed(pri Priority, u float64) bool {
+	return u < s.Prob(pri)
+}
+
+// Decide samples the internal seeded RNG and reports whether this
+// admission should be shed.
+func (s *Shedder) Decide(pri Priority) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := prob(s.level, pri)
+	if p <= 0 {
+		return false
+	}
+	return s.rng.Float64() < p
+}
+
+// Backoff is the retry-after hint to attach to shed responses: the
+// controller window scaled by the current level, so clients back off
+// harder the deeper the overload.
+func (s *Shedder) Backoff() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return time.Duration(s.level * float64(s.cfg.Window))
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"tskd/internal/overload"
 	"tskd/internal/storage"
 	"tskd/internal/wal"
 )
@@ -56,6 +57,11 @@ type DurabilityOptions struct {
 	// NoSync skips every fsync (tests only: a crash of the OS can then
 	// lose acknowledged commits; a crash of the process cannot).
 	NoSync bool
+	// WrapSyncer, when set, decorates the log's fsync syncer — on the
+	// initial segment and again after every rotation. Fault injection
+	// only (the chaos harness stalls fsyncs through it); ignored under
+	// NoSync.
+	WrapSyncer func(wal.Syncer) wal.Syncer
 }
 
 func (d *DurabilityOptions) withDefaults() error {
@@ -212,12 +218,26 @@ func (s *Server) openDurable() error {
 		SegmentBytes: d.SegmentBytes,
 		StartLSN:     info.NextLSN,
 		NoSync:       d.NoSync,
+		WrapSyncer:   d.WrapSyncer,
 	})
 	if err != nil {
 		return err
 	}
 	s.cfg.DB = db
 	s.log = log
+	if !s.cfg.Overload.DisableBreaker {
+		s.breaker = overload.NewBreaker(overload.BreakerConfig{
+			TripLatency: s.cfg.Overload.BreakerLatency,
+			Cooldown:    s.cfg.Overload.BreakerCooldown,
+			OnTransition: func(from, to overload.BreakerState) {
+				// Runs with the breaker's mutex held, possibly inside
+				// WAL flush completion: the event log is a leaf, so
+				// this never deadlocks.
+				s.events.Record(time.Now(), "breaker", from.String()+"->"+to.String())
+			},
+		})
+		log.SetMonitor(s.breaker)
+	}
 	s.recovery = info
 	s.dedup = newDedupWindow(d.DedupWindow)
 	for _, k := range keys {

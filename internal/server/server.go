@@ -37,6 +37,7 @@ import (
 	"tskd/internal/core"
 	"tskd/internal/engine"
 	"tskd/internal/metrics"
+	"tskd/internal/overload"
 	"tskd/internal/partition"
 	"tskd/internal/storage"
 	"tskd/internal/txn"
@@ -81,6 +82,11 @@ type Config struct {
 	// checkpointed in the background, and New recovers the data
 	// directory (checkpoint + WAL tail) before any listener binds.
 	Durability *DurabilityOptions
+	// Overload configures deadlines, adaptive shedding, and the
+	// WAL-stall circuit breaker (see overload.go). The zero value
+	// enables shedding and — on durable servers — the breaker, with
+	// defaults.
+	Overload OverloadOptions
 }
 
 func (c *Config) withDefaults() error {
@@ -108,6 +114,7 @@ func (c *Config) withDefaults() error {
 			return err
 		}
 	}
+	c.Overload.withDefaults(c.FlushInterval)
 	return nil
 }
 
@@ -142,9 +149,29 @@ type Stats struct {
 	// ResultsStreamed: produced, not delivered).
 	Forfeited uint64 `json:"forfeited"`
 	// RetryAfterMS is the backoff hint a rejection would carry right
-	// now: the flush interval scaled by admission-queue occupancy, so
-	// clients back off harder the deeper the backlog.
+	// now: the flush interval scaled by admission-queue occupancy,
+	// raised to the breaker's and the shedder's own hints when either
+	// is backing traffic off.
 	RetryAfterMS int64 `json:"retry_after_ms"`
+
+	// Overload resilience. Expired counts transactions dropped past
+	// their deadline anywhere on the path (submission, bundle
+	// formation, or inside the engine between attempts); Shed counts
+	// admissions dropped by the adaptive controller; BreakerRejected
+	// counts durable admissions failed fast while the WAL breaker was
+	// not closed. The three are disjoint from each other and from
+	// Rejected (static queue-full).
+	Expired         uint64  `json:"expired"`
+	Shed            uint64  `json:"shed"`
+	BreakerRejected uint64  `json:"breaker_rejected,omitempty"`
+	BreakerTrips    uint64  `json:"breaker_trips,omitempty"`
+	BreakerState    string  `json:"breaker_state,omitempty"`
+	ShedLevel       float64 `json:"shed_level"`
+	Brownout        bool    `json:"brownout"`
+	BrownoutEnters  uint64  `json:"brownout_enters,omitempty"`
+	// OverloadEvents is the recent mode-transition history (breaker
+	// state changes, brownout enter/exit), oldest first.
+	OverloadEvents []overload.Event `json:"overload_events,omitempty"`
 
 	// Durability (zero unless Config.Durability is set).
 	WALRecords        uint64 `json:"wal_records,omitempty"`
@@ -231,6 +258,17 @@ type Server struct {
 	lastCkptLSN   uint64
 	lastCkptBytes int64
 
+	// Overload resilience. shed and breaker are internally
+	// synchronized leaves (safe from connection goroutines and from
+	// inside WAL flush completion); events likewise. brownoutOn is
+	// owned by the bundler goroutine. breaker is nil unless the server
+	// is durable and the breaker enabled; shed is nil when shedding is
+	// disabled.
+	shed       *overload.Shedder
+	breaker    *overload.Breaker
+	events     *overload.EventLog
+	brownoutOn bool
+
 	mu        sync.Mutex // guards everything below
 	stats     Stats
 	queueWait metrics.Histogram
@@ -261,6 +299,14 @@ func New(cfg Config) (*Server, error) {
 		runCtx:    runCtx,
 		runCancel: cancel,
 		conns:     make(map[net.Conn]struct{}),
+		events:    overload.NewEventLog(0),
+	}
+	if !cfg.Overload.DisableShed {
+		s.shed = overload.NewShedder(overload.ShedConfig{
+			Target: cfg.Overload.ShedTarget,
+			Window: cfg.Overload.ShedWindow,
+			Seed:   cfg.Core.Seed + 1,
+		})
 	}
 	if cfg.Durability != nil {
 		if err := s.openDurable(); err != nil {
@@ -517,19 +563,16 @@ func (s *Server) serveConn(nc net.Conn) {
 		p.t.Params = req.Params
 		req.Params = nil // the transaction owns the backing array until bundle end
 		p.t.IdemKey = req.IdemKey
-		p.seq, p.conn, p.enqueued = req.Seq, cw, time.Now()
+		now := time.Now()
+		p.seq, p.conn, p.enqueued = req.Seq, cw, now
+		if !s.gate(&req, p, cw, now) {
+			continue // answered: breaker-rejected, shed, or expired
+		}
 		if s.tryAdmit(p) {
 			s.count(func(st *Stats) { st.Admitted++ })
 		} else {
-			if req.IdemKey != 0 && s.dedup != nil {
-				s.dedup.release(req.IdemKey)
-			}
-			putPending(p)
-			s.count(func(st *Stats) { st.Rejected++ })
-			cw.send(client.Response{
-				Seq: req.Seq, Status: client.StatusRejected,
-				RetryAfterMS: s.retryAfterMS(),
-			})
+			s.refuse(&req, p, cw, client.StatusRejected, s.retryAfterMS(),
+				func(st *Stats) { st.Rejected++ })
 		}
 	}
 }
@@ -537,11 +580,24 @@ func (s *Server) serveConn(nc net.Conn) {
 // retryAfterMS is the backoff hint for a rejection: the flush interval
 // (plus one tick) scaled by how many full bundles are already waiting
 // in the admission queue, so the hint grows with the backlog a
-// retrying client is behind.
+// retrying client is behind. When the breaker is open or the shedder
+// engaged, their own hints take over if larger — there is no point
+// retrying sooner than the WAL can recover or the backlog can drain.
 func (s *Server) retryAfterMS() int64 {
 	base := s.cfg.FlushInterval.Milliseconds() + 1
 	waiting := len(s.admit) / s.cfg.Bundle
-	return base * int64(1+waiting)
+	ms := base * int64(1+waiting)
+	if s.breaker != nil {
+		if bra := s.breaker.RetryAfter().Milliseconds(); bra > ms {
+			ms = bra
+		}
+	}
+	if s.shed != nil {
+		if sra := s.shed.Backoff().Milliseconds(); sra > ms {
+			ms = sra
+		}
+	}
+	return ms
 }
 
 // tryAdmit enqueues p unless the queue is full or the server is
@@ -622,6 +678,10 @@ func (s *Server) finalDrain() {
 // one write syscall per connection per bundle — and the batch's
 // pendings (with their transactions) return to the pool afterwards.
 func (s *Server) runBundle(batch []*pending) {
+	batch = s.dropExpired(batch)
+	if len(batch) == 0 {
+		return
+	}
 	w := s.work[:0]
 	for i, p := range batch {
 		p.t.ID = i
@@ -656,6 +716,7 @@ func (s *Server) runBundle(batch []*pending) {
 			spans[sp.TxnID], have[sp.TxnID] = sp, true
 		}
 	}
+	respNow := time.Now()
 	s.mu.Lock()
 	for _, p := range batch {
 		resp := client.Response{Seq: p.seq, Bundle: bundleNo}
@@ -671,6 +732,10 @@ func (s *Server) runBundle(batch []*pending) {
 			s.execLat.Record(exec)
 		} else if p.t.UserAbort {
 			resp.Status = client.StatusAbort
+		} else if !p.t.Deadline.IsZero() && respNow.After(p.t.Deadline) {
+			// No span, no user abort, deadline passed: the engine
+			// dropped it (before its first attempt or between retries).
+			resp.Status = client.StatusExpired
 		} else {
 			resp.Status = client.StatusCanceled
 		}
@@ -700,6 +765,7 @@ func (s *Server) runBundle(batch []*pending) {
 	s.stats.UserAborts += res.UserAborts
 	s.stats.Canceled += res.Canceled
 	s.stats.Contended += res.Contended
+	s.stats.Expired += res.Expired
 	s.mu.Unlock()
 	// Push the bundle's responses onto the wire, then recycle. Flushing
 	// the same connection twice is a cheap no-op, so no dirty-set
@@ -748,6 +814,15 @@ func (s *Server) Stats() Stats {
 	if s.dedup != nil {
 		st.DedupSize = s.dedup.size()
 	}
+	// shed, breaker, and events are leaf-locked: safe under s.mu.
+	if s.shed != nil {
+		st.ShedLevel = s.shed.Level()
+	}
+	if s.breaker != nil {
+		st.BreakerState = s.breaker.State().String()
+		st.BreakerTrips = s.breaker.Trips()
+	}
+	st.OverloadEvents = s.events.Snapshot()
 	if st.Bundles > 0 {
 		st.MeanOccupancy = float64(st.ResultsStreamed) / float64(st.Bundles)
 	}

@@ -136,6 +136,14 @@ type Transaction struct {
 	// crashes.
 	IdemKey uint64
 
+	// Deadline, when nonzero, is the wall-clock instant past which the
+	// transaction must not (re-)execute: the engine drops it before the
+	// first attempt and between retries, and the serving layer drops it
+	// at bundle formation, answering StatusExpired. A transaction past
+	// its deadline is abandoned work — executing it only inflates
+	// runtime conflicts for live transactions.
+	Deadline time.Time
+
 	readSet   []Key // lazily computed, sorted, deduplicated
 	writeSet  []Key // lazily computed, sorted, deduplicated
 	setsValid bool  // readSet/writeSet reflect Ops (capacity is reused)

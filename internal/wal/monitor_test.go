@@ -1,0 +1,67 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+type recordingMonitor struct {
+	mu     sync.Mutex
+	starts int
+	ends   int
+	errs   int
+	minDur time.Duration
+}
+
+func (m *recordingMonitor) FlushStart() {
+	m.mu.Lock()
+	m.starts++
+	m.mu.Unlock()
+}
+
+func (m *recordingMonitor) FlushEnd(d time.Duration, err error) {
+	m.mu.Lock()
+	m.ends++
+	if err != nil {
+		m.errs++
+	}
+	if m.minDur == 0 || d < m.minDur {
+		m.minDur = d
+	}
+	m.mu.Unlock()
+}
+
+type errSyncer struct{ err error }
+
+func (s errSyncer) Sync() error { return s.err }
+
+// TestFlushMonitor pins the monitor contract: one Start/End pair per
+// physical flush, the End carrying the flush's outcome.
+func TestFlushMonitor(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, 0)
+	var m recordingMonitor
+	l.SetMonitor(&m)
+	for i := 0; i < 3; i++ {
+		if err := l.Append(Record{TxnID: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.starts != 3 || m.ends != 3 || m.errs != 0 {
+		t.Fatalf("monitor saw starts=%d ends=%d errs=%d, want 3/3/0", m.starts, m.ends, m.errs)
+	}
+
+	// A failing sync barrier surfaces through FlushEnd's error.
+	le := NewDurable(&buf, errSyncer{errors.New("EIO")}, 0)
+	m = recordingMonitor{}
+	le.SetMonitor(&m)
+	if err := le.Append(Record{TxnID: 9}); err == nil {
+		t.Fatal("append over failing syncer should error")
+	}
+	if m.starts != 1 || m.ends != 1 || m.errs != 1 {
+		t.Fatalf("monitor saw starts=%d ends=%d errs=%d, want 1/1/1", m.starts, m.ends, m.errs)
+	}
+}

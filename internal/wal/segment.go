@@ -85,6 +85,12 @@ type DirOptions struct {
 	// and benchmarks only: a NoSync log can acknowledge commits the
 	// machine then loses.
 	NoSync bool
+	// WrapSyncer, when set, decorates the stable-storage barrier of the
+	// active segment file — applied at open and again on every rotation,
+	// so an injected fault (a stalling or failing fsync) follows the log
+	// across segments. Ignored under NoSync (there is no barrier to
+	// wrap). Chaos testing only.
+	WrapSyncer func(Syncer) Syncer
 }
 
 // OpenDir opens a directory-backed log for appending. Pre-existing
@@ -140,6 +146,10 @@ func OpenDir(dir string, o DirOptions) (*Log, error) {
 	}
 	if !o.NoSync {
 		l.sync = f
+		if o.WrapSyncer != nil {
+			l.wrapSync = o.WrapSyncer
+			l.sync = l.wrapSync(f)
+		}
 	}
 	return l, nil
 }
@@ -166,6 +176,9 @@ func (l *Log) rotateLocked() error {
 			return err
 		}
 		l.sync = f
+		if l.wrapSync != nil {
+			l.sync = l.wrapSync(f)
+		}
 	}
 	l.w = f
 	l.active = f

@@ -70,6 +70,17 @@ type Syncer interface {
 	Sync() error
 }
 
+// FlushMonitor observes physical group flushes (write plus Syncer
+// barrier). FlushStart is called as a flush enters the device and
+// FlushEnd with its duration and outcome; the pair lets an overload
+// breaker watch both finished-flush latency and the age of a flush
+// that never returns. The monitor is called under the log's mutex and
+// must not call back into the Log.
+type FlushMonitor interface {
+	FlushStart()
+	FlushEnd(d time.Duration, err error)
+}
+
 // Log is a group-committing redo log over an io.Writer. Append is safe
 // for concurrent use; records become durable when the group they
 // joined is flushed (Append returns after the flush, i.e. commits are
@@ -78,8 +89,12 @@ type Log struct {
 	mu      sync.Mutex
 	w       io.Writer
 	sync    Syncer // nil: no stable-storage barrier
-	pending []byte
-	waiters []chan error
+	monitor FlushMonitor
+	// wrapSync decorates the stable-storage barrier (fault injection);
+	// rotation re-applies it to each new segment file.
+	wrapSync func(Syncer) Syncer
+	pending  []byte
+	waiters  []chan error
 
 	// GroupWindow batches appends for up to this long before flushing
 	// (group commit). Zero flushes on every append.
@@ -140,6 +155,14 @@ func (l *Log) AppendedBytes() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.bytes
+}
+
+// SetMonitor installs the flush monitor (nil removes it). Install
+// before traffic: the monitor is read under the log's mutex.
+func (l *Log) SetMonitor(m FlushMonitor) {
+	l.mu.Lock()
+	l.monitor = m
+	l.mu.Unlock()
 }
 
 // Counters returns (records, flushes, syncs) under the log's mutex —
@@ -242,12 +265,20 @@ func (l *Log) flushLocked() error {
 		return nil
 	}
 	n := len(l.pending)
+	var start time.Time
+	if l.monitor != nil {
+		l.monitor.FlushStart()
+		start = time.Now()
+	}
 	_, err := l.w.Write(l.pending)
 	l.pending = l.pending[:0]
 	l.Flushes++
 	if err == nil && l.sync != nil {
 		err = l.sync.Sync()
 		l.Syncs++
+	}
+	if l.monitor != nil {
+		l.monitor.FlushEnd(time.Since(start), err)
 	}
 	l.segWritten += int64(n)
 	if err == nil && l.active != nil && l.segWritten >= l.segBytes {
