@@ -16,6 +16,11 @@
 // tskd-serve loaded). Latency percentiles come from the repo's
 // log-bucketed histograms (internal/metrics).
 //
+// Against a sharded server (tskd-serve -shards N), pass the matching
+// -shards here and -multi-key F to make fraction F of the generated
+// transactions span two shards (exercising the server's two-phase
+// commit path); the remainder are confined to a single shard.
+//
 // -reliable switches closed-loop clients to the reconnecting client
 // (idempotency keys, resubmit on connection loss, jittered backoff):
 // the benchmark then survives a server crash-restart mid-run, and
@@ -34,6 +39,7 @@ import (
 
 	"tskd/internal/client"
 	"tskd/internal/metrics"
+	"tskd/internal/shard"
 	"tskd/internal/workload"
 )
 
@@ -102,6 +108,8 @@ func main() {
 		rmw       = flag.Bool("rmw", true, "read-modify-write updates (vs blind writes)")
 		seed      = flag.Int64("seed", 1, "generation seed")
 		reliable  = flag.Bool("reliable", false, "closed loop: reconnect + resubmit under idempotency keys")
+		shards    = flag.Int("shards", 1, "server shard count (match tskd-serve -shards); enables -multi-key")
+		multiKey  = flag.Float64("multi-key", 0, "fraction of transactions whose keys span 2+ shards (needs -shards > 1)")
 		deadline  = flag.Duration("deadline", 0, "end-to-end deadline stamped on every submission (0 = none)")
 		lowpri    = flag.Float64("lowpri", 0, "fraction of submissions marked low priority (shed first)")
 		jsonOut   = flag.Bool("json", false, "print the summary as JSON")
@@ -112,7 +120,14 @@ func main() {
 		Records: *records, Theta: *theta, OpsPerTxn: *opsTxn,
 		ReadRatio: *readRatio, RMW: *rmw,
 	}
-	shape := reqShape{deadlineMS: deadlineMS(*deadline), lowpri: *lowpri}
+	if *multiKey > 0 && *shards <= 1 {
+		fmt.Fprintln(os.Stderr, "tskd-load: -multi-key needs -shards > 1")
+		os.Exit(2)
+	}
+	shape := reqShape{
+		deadlineMS: deadlineMS(*deadline), lowpri: *lowpri,
+		shards: *shards, multiKey: *multiKey,
+	}
 
 	var (
 		ta      tally
@@ -138,10 +153,15 @@ func main() {
 }
 
 // reqShape decorates generated requests with the overload-resilience
-// wire fields: a relative deadline budget and a low-priority fraction.
+// wire fields — a relative deadline budget and a low-priority fraction
+// — and, against a sharded server, reshapes key footprints so a
+// configurable fraction of transactions span two shards (the rest are
+// confined to one).
 type reqShape struct {
 	deadlineMS int64
 	lowpri     float64
+	shards     int
+	multiKey   float64
 }
 
 func deadlineMS(d time.Duration) int64 {
@@ -174,6 +194,9 @@ func makeRequests(gen workload.YCSB, shape reqShape, n int, seed int64) ([]clien
 	g.Txns = n
 	g.Seed = seed
 	w := g.Generate()
+	if shape.shards > 1 {
+		shard.Confine(w, shape.shards, shape.multiKey, uint64(gen.Records), seed)
+	}
 	reqs := make([]client.Request, len(w))
 	for i, t := range w {
 		req, err := client.NewRequest(0, t)

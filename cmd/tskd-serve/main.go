@@ -9,6 +9,16 @@
 //	tskd-serve -schema ycsb -records 100000 -part strife -cc SILO
 //	tskd-serve -listen :7070 -http :7071 -bundle 512 -flush-interval 10ms
 //	tskd-serve -data-dir /var/lib/tskd -checkpoint-bytes 67108864
+//	tskd-serve -shards 4 -data-dir /var/lib/tskd
+//
+// With -shards N > 1 the key space is hash-partitioned over N
+// independent engine instances, each with its own store, WAL
+// directory, and checkpoint/dedup sidecars. Requests touching one
+// shard flow through that shard's bundler; cross-shard requests
+// commit via coordinator-driven two-phase commit (presumed abort).
+// Startup recovery replays every shard to a consistent cut, resolving
+// in-doubt prepares against the coordinator log, before the listener
+// accepts traffic. /metrics gains per-shard and 2PC counters.
 //
 // With -data-dir the server is durable: commits are acknowledged only
 // after their WAL group flush fsyncs, checkpoints truncate sealed
@@ -59,6 +69,7 @@ func main() {
 		lookups   = flag.Int("lookups", 2, "TsDEFER #lookups (0 disables deferment)")
 		deferP    = flag.Float64("deferp", 0.6, "TsDEFER defer probability")
 		seed      = flag.Int64("seed", 1, "random seed")
+		shards    = flag.Int("shards", 1, "hash-partitioned shards; >1 routes by key ownership, cross-shard txns commit via 2PC")
 		drainTime = flag.Duration("drain-timeout", 30*time.Second, "max graceful drain time before hard cancel")
 
 		deadlineDefault = flag.Duration("deadline-default", 0, "deadline stamped on requests that carry none (0 = none)")
@@ -78,16 +89,23 @@ func main() {
 	)
 	flag.Parse()
 
-	db, err := buildDB(*schema, *records, *whn)
-	if err != nil {
+	if _, err := buildPartitioner(*part, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "tskd-serve:", err)
 		os.Exit(2)
 	}
-	p, err := buildPartitioner(*part, *seed)
-	if err != nil {
+	var db *storage.DB
+	if *shards <= 1 {
+		var err error
+		db, err = buildDB(*schema, *records, *whn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tskd-serve:", err)
+			os.Exit(2)
+		}
+	} else if _, err := buildDB(*schema, 1, 1); err != nil {
 		fmt.Fprintln(os.Stderr, "tskd-serve:", err)
 		os.Exit(2)
 	}
+	p, _ := buildPartitioner(*part, *seed)
 
 	cfg := server.Config{
 		Addr:          *listen,
@@ -115,6 +133,24 @@ func main() {
 			DisableBreaker:  *noBreaker,
 		},
 	}
+	if *shards > 1 {
+		// Sharded mode: each shard owns its own full replica of the
+		// schema (ownership is by key hash; a shard simply never touches
+		// rows it does not own) and its own partitioner instance, seeded
+		// per shard so bundle clustering stays independent.
+		schemaName, n, w := *schema, *records, *whn
+		partName, baseSeed := *part, *seed
+		cfg.DB, cfg.Partitioner = nil, nil
+		cfg.Shards = *shards
+		cfg.ShardDB = func(int) *storage.DB {
+			d, _ := buildDB(schemaName, n, w)
+			return d
+		}
+		cfg.ShardPartitioner = func(i int) partition.Partitioner {
+			sp, _ := buildPartitioner(partName, baseSeed+int64(i))
+			return sp
+		}
+	}
 	if *dataDir != "" {
 		cfg.Durability = &server.DurabilityOptions{
 			Dir:             *dataDir,
@@ -133,7 +169,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tskd-serve:", err)
 		os.Exit(2)
 	}
-	if *dataDir != "" {
+	if *dataDir != "" && *shards > 1 {
+		r := s.ShardRecovery()
+		var replayed, prepares, committed, aborted int
+		for _, sh := range r.Shards {
+			replayed += sh.Replayed
+			prepares += sh.Prepares
+			committed += sh.ResolvedCommitted
+			aborted += sh.ResolvedAborted
+		}
+		fmt.Printf("tskd-serve: recovered %s — %d shards, %d records replayed, %d coordinator decisions, %d in-doubt prepares (%d committed, %d presumed aborted)\n",
+			*dataDir, len(r.Shards), replayed, r.CoordDecisions, prepares, committed, aborted)
+	} else if *dataDir != "" {
 		r := s.Recovery()
 		fmt.Printf("tskd-serve: recovered %s — checkpoint lsn=%d, %d records replayed, %d idempotency keys, %d segments, next lsn=%d\n",
 			*dataDir, r.CheckpointLSN, r.Replayed, r.DedupRestored, r.Segments, r.NextLSN)
@@ -146,8 +193,8 @@ func main() {
 	if p != nil {
 		partName = p.Name()
 	}
-	fmt.Printf("tskd-serve: txns on %s, http on %s (schema=%s part=%s cc=%s bundle=%d flush=%v)\n",
-		s.Addr(), s.HTTPAddr(), *schema, partName, *ccName, *bundle, *flushIv)
+	fmt.Printf("tskd-serve: txns on %s, http on %s (schema=%s part=%s cc=%s bundle=%d flush=%v shards=%d)\n",
+		s.Addr(), s.HTTPAddr(), *schema, partName, *ccName, *bundle, *flushIv, *shards)
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -99,6 +99,11 @@ func Scenarios() []Scenario {
 			Run:  runKillRestart,
 		},
 		{
+			Name: "shard-crash",
+			Doc:  "durable multi-shard server SIGKILLed mid-2PC, restarted; no acked commit lost, no dangling in-doubt",
+			Run:  runShardCrash,
+		},
+		{
 			Name: "sim-skew",
 			Doc:  "discrete-event simulator under duration noise; bit-identical replay",
 			Run:  runSimSkew,

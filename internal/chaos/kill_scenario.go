@@ -49,6 +49,9 @@ const (
 	envKillDataDir  = "TSKD_CHAOS_DATA_DIR"
 	envKillAddrFile = "TSKD_CHAOS_ADDR_FILE"
 	envKillSeed     = "TSKD_CHAOS_SEED"
+	// envKillShards > 1 turns the child into a multi-shard server (the
+	// shard-crash scenario); absent or 1 keeps the single-pipeline one.
+	envKillShards = "TSKD_CHAOS_SHARDS"
 	// envKillDataRoot (parent side) overrides where scenario data
 	// directories are created (default os.TempDir()); CI points it at a
 	// workspace path so failing runs can be uploaded as artifacts.
@@ -85,7 +88,7 @@ func MaybeServerChild() {
 		die(fmt.Errorf("bad %s: %v", envKillSeed, err))
 	}
 	plan := NewPlan(seed)
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Addr:          "127.0.0.1:0",
 		Bundle:        16,
 		FlushInterval: time.Millisecond,
@@ -102,7 +105,19 @@ func MaybeServerChild() {
 			// Real fsync: the whole point is racing SIGKILL against
 			// actual durability barriers.
 		},
-	})
+	}
+	if shards, _ := strconv.Atoi(os.Getenv(envKillShards)); shards > 1 {
+		// Shard-crash scenario: the same durable server, but multi-shard.
+		// Each shard starts from its own full base replica; the kill now
+		// additionally races 2PC prepares, coordinator decisions and
+		// participant installs.
+		cfg.DB = nil
+		cfg.Shards = shards
+		cfg.ShardDB = func(int) *storage.DB { return killBaseDB().BuildDB() }
+		cfg.Durability.SegmentBytes = plan.ShardSegBytes
+		cfg.Durability.CheckpointBytes = plan.ShardCkptBytes
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		die(err)
 	}
@@ -134,7 +149,7 @@ func MaybeServerChild() {
 // waits for it to publish its address — which a durable server only
 // does after recovery completed, so a successful spawn is itself
 // evidence that recovery runs before the listener accepts.
-func spawnServerChild(seed int64, dataDir, addrFile string) (*exec.Cmd, string, error) {
+func spawnServerChild(seed int64, dataDir, addrFile string, shards int) (*exec.Cmd, string, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, "", err
@@ -144,7 +159,8 @@ func spawnServerChild(seed int64, dataDir, addrFile string) (*exec.Cmd, string, 
 		envKillChild+"=1",
 		envKillDataDir+"="+dataDir,
 		envKillAddrFile+"="+addrFile,
-		envKillSeed+"="+strconv.FormatInt(seed, 10))
+		envKillSeed+"="+strconv.FormatInt(seed, 10),
+		envKillShards+"="+strconv.Itoa(shards))
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		return nil, "", err
@@ -192,7 +208,7 @@ func runKillRestart(seed int64) Report {
 	// Phase 1: load the first incarnation and SIGKILL it once enough
 	// commits were acknowledged. Submissions whose response never
 	// arrived are in doubt — exactly what phase 2 resolves.
-	cmd1, addr, err := spawnServerChild(seed, dataDir, filepath.Join(dataDir, "addr-1"))
+	cmd1, addr, err := spawnServerChild(seed, dataDir, filepath.Join(dataDir, "addr-1"), 0)
 	if err != nil {
 		v.addf("phase 1 spawn: %v", err)
 		return fail()
@@ -256,7 +272,7 @@ func runKillRestart(seed int64) Report {
 	// answered as duplicates, never-executed ones run now), and
 	// redeliver a seed-chosen sample of the acknowledged keys, which
 	// the recovered dedup window must answer without re-executing.
-	cmd2, addr2, err := spawnServerChild(seed, dataDir, filepath.Join(dataDir, "addr-2"))
+	cmd2, addr2, err := spawnServerChild(seed, dataDir, filepath.Join(dataDir, "addr-2"), 0)
 	if err != nil {
 		v.addf("phase 2 spawn: %v", err)
 		return fail()

@@ -46,6 +46,12 @@ const (
 	// PointOverloadPri assigns the overload scenario's burst submissions
 	// their priority class (keys: client, submission index).
 	PointOverloadPri = "server/overload-pri"
+	// PointShardCross decides whether shard-crash submission (c, i)
+	// spans two shards (commits via 2PC) or stays on one.
+	PointShardCross = "shard/cross"
+	// PointShardRedeliver selects which acknowledged shard-crash keys
+	// are redelivered after the restart (keys: client, submission index).
+	PointShardRedeliver = "shard/redeliver"
 )
 
 // Plan is the seed-derived fault schedule for one chaos run: which
@@ -103,6 +109,20 @@ type Plan struct {
 	OverStall      time.Duration // injected per-fsync latency
 	OverDeadlineMS int64         // burst deadline budget (milliseconds)
 	OverLowPri     float64       // P(a burst submission is low priority)
+
+	// Shard-crash scenario: a durable multi-shard server child is
+	// SIGKILLed mid-load — racing 2PC prepares, decisions and
+	// participant installs against the kill — restarted over the same
+	// directory, and every in-doubt submission resubmitted under its
+	// original idempotency key.
+	ShardCount     int     // shards in the child server (>= 2)
+	ShardClients   int     // concurrent phase-1 clients
+	ShardSubs      int     // submissions per client
+	ShardAfterAcks int     // SIGKILL once this many commits acked
+	ShardCross     float64 // P(a submission spans two shards)
+	ShardRedeliver float64 // P(redeliver an acked key after restart)
+	ShardSegBytes  int64   // child WAL segment rotation threshold
+	ShardCkptBytes int64   // child checkpoint threshold
 }
 
 // engineProtocols are the CC protocols the chaos scenarios rotate
@@ -163,6 +183,19 @@ func NewPlan(seed int64) Plan {
 	p.OverStall = time.Duration(60+rng.Intn(91)) * time.Millisecond
 	p.OverDeadlineMS = int64(40 + rng.Intn(41))
 	p.OverLowPri = 0.3 + 0.4*rng.Float64()
+	// Shard-crash knobs, drawn last for the same reason again. The kill
+	// lands between ~20% and ~70% of the way through the load; the cross
+	// fraction keeps a steady stream of 2PC rounds in flight so the kill
+	// has prepared-but-undecided transactions to land on.
+	p.ShardCount = 2 + rng.Intn(3) // 2..4
+	p.ShardClients = 2 + rng.Intn(2)
+	p.ShardSubs = 30 + rng.Intn(31)
+	stotal := p.ShardClients * p.ShardSubs
+	p.ShardAfterAcks = stotal/5 + rng.Intn(stotal/2)
+	p.ShardCross = 0.25 + 0.5*rng.Float64()
+	p.ShardRedeliver = 0.2 + 0.3*rng.Float64()
+	p.ShardSegBytes = int64(4096 + rng.Intn(4096))
+	p.ShardCkptBytes = int64(16384 + rng.Intn(16384))
 	return p
 }
 
@@ -235,6 +268,26 @@ func (p Plan) killSummary() string {
 	return fmt.Sprintf("proto=%s workers=%d load=%dx%d kill@%d seg=%d ckpt=%d redeliver=%.3f",
 		p.Protocol, p.Workers, p.KillClients, p.KillSubs, p.KillAfterAcks,
 		p.KillSegmentBytes, p.KillCheckpointBytes, p.KillRedeliver)
+}
+
+// shardSummary renders the shard-crash schedule.
+func (p Plan) shardSummary() string {
+	return fmt.Sprintf("proto=%s workers=%d shards=%d load=%dx%d kill@%d cross=%.3f seg=%d ckpt=%d redeliver=%.3f",
+		p.Protocol, p.Workers, p.ShardCount, p.ShardClients, p.ShardSubs, p.ShardAfterAcks,
+		p.ShardCross, p.ShardSegBytes, p.ShardCkptBytes, p.ShardRedeliver)
+}
+
+// crossShard decides whether shard-crash submission (c, i) spans two
+// shards.
+func (p Plan) crossShard(c, i int) bool {
+	return hit(site(p.Seed, PointShardCross, int64(c), int64(i)), p.ShardCross)
+}
+
+// redeliverShardAcked decides whether the acked shard-crash submission
+// (c, i) is redelivered after the restart (expected verdict:
+// Duplicate).
+func (p Plan) redeliverShardAcked(client, i int) bool {
+	return hit(site(p.Seed, PointShardRedeliver, int64(client), int64(i)), p.ShardRedeliver)
 }
 
 // overloadSummary renders the overload + WAL-stall schedule.

@@ -13,8 +13,14 @@
 // single-node TsPAR; distributed transactions form the residual and
 // execute afterwards with the 2PC surcharge. Evaluation is analytic
 // (virtual time, like internal/sim), which matches the remark's scope:
-// this demonstrates the scheduling generalization, not a full
-// distributed runtime.
+// this demonstrates the scheduling generalization.
+//
+// The real counterpart of this model is internal/shard: a running
+// multi-shard runtime with actual two-phase commit. This package is a
+// thin analytic wrapper over the same placement — Home and Split
+// delegate to shard.Router, so the model and the runtime agree on
+// ownership by construction and the model's local/distributed
+// classification is exactly the runtime's single-/cross-shard one.
 package dist
 
 import (
@@ -22,6 +28,7 @@ import (
 	"tskd/internal/conflict"
 	"tskd/internal/estimator"
 	"tskd/internal/sched"
+	"tskd/internal/shard"
 	"tskd/internal/txn"
 )
 
@@ -37,10 +44,12 @@ type Cluster struct {
 	NetRTT clock.Units
 }
 
-// Home returns the node owning a key (hash partitioning).
-func (c Cluster) Home(k txn.Key) int {
-	return int((uint64(k) * 0x9E3779B97F4A7C15 >> 32) % uint64(c.Nodes))
-}
+// router returns the runtime router for this cluster's node count.
+func (c Cluster) router() shard.Router { return shard.Router{Shards: c.Nodes} }
+
+// Home returns the node owning a key: shard.Router's hash
+// partitioning, so modeled placement is runtime placement.
+func (c Cluster) Home(k txn.Key) int { return c.router().Home(k) }
 
 // Placement is the outcome of distributing a workload.
 type Placement struct {
@@ -53,27 +62,22 @@ type Placement struct {
 	Participants map[int]int
 }
 
-// Split classifies the workload by node locality.
+// Split classifies the workload by node locality, delegating the
+// participant computation to the runtime router.
 func (c Cluster) Split(w txn.Workload) Placement {
 	p := Placement{
 		Local:        make([][]*txn.Transaction, c.Nodes),
 		Participants: make(map[int]int),
 	}
+	r := c.router()
+	var buf []int
 	for _, t := range w {
-		nodes := map[int]bool{}
-		for _, k := range t.AccessSet() {
-			nodes[c.Home(k)] = true
-		}
-		switch len(nodes) {
-		case 0:
-			p.Local[0] = append(p.Local[0], t) // no accesses: trivially local
-		case 1:
-			for n := range nodes {
-				p.Local[n] = append(p.Local[n], t)
-			}
-		default:
+		buf = r.Participants(t, buf[:0])
+		if len(buf) == 1 {
+			p.Local[buf[0]] = append(p.Local[buf[0]], t)
+		} else {
 			p.Distributed = append(p.Distributed, t)
-			p.Participants[t.ID] = len(nodes)
+			p.Participants[t.ID] = len(buf)
 		}
 	}
 	return p

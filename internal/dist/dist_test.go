@@ -5,6 +5,7 @@ import (
 
 	"tskd/internal/conflict"
 	"tskd/internal/estimator"
+	"tskd/internal/shard"
 	"tskd/internal/txn"
 	"tskd/internal/zipf"
 )
@@ -122,5 +123,34 @@ func TestMoreNodesMoreDistributed(t *testing.T) {
 	if eight.DistributedCount <= two.DistributedCount {
 		t.Errorf("more nodes should strand more cross-node transactions: %d vs %d",
 			eight.DistributedCount, two.DistributedCount)
+	}
+}
+
+func TestPlacementMatchesShardRouter(t *testing.T) {
+	// The analytic model delegates placement to the runtime router, so
+	// a transaction the model calls "local" is exactly one the runtime
+	// executes single-shard, and vice versa.
+	c := Cluster{Nodes: 5, ThreadsPerNode: 2}
+	r := shard.Router{Shards: 5}
+	for row := uint64(0); row < 2048; row++ {
+		k := txn.MakeKey(0, row)
+		if c.Home(k) != r.Home(k) {
+			t.Fatalf("Home(%v): model %d != runtime %d", k, c.Home(k), r.Home(k))
+		}
+	}
+	w := workload(400, 11)
+	p := c.Split(w)
+	for _, tx := range p.Distributed {
+		if n := len(r.Participants(tx, nil)); n < 2 {
+			t.Fatalf("model calls T%d distributed, runtime sees %d participant(s)", tx.ID, n)
+		}
+	}
+	for node, local := range p.Local {
+		for _, tx := range local {
+			parts := r.Participants(tx, nil)
+			if len(parts) != 1 || parts[0] != node {
+				t.Fatalf("model homes T%d on node %d, runtime says %v", tx.ID, node, parts)
+			}
+		}
 	}
 }

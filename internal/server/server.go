@@ -39,6 +39,7 @@ import (
 	"tskd/internal/metrics"
 	"tskd/internal/overload"
 	"tskd/internal/partition"
+	"tskd/internal/shard"
 	"tskd/internal/storage"
 	"tskd/internal/txn"
 	"tskd/internal/wal"
@@ -87,10 +88,29 @@ type Config struct {
 	// enables shedding and — on durable servers — the breaker, with
 	// defaults.
 	Overload OverloadOptions
+	// Shards, when > 1, runs the server in sharded mode: the key space
+	// is hash-partitioned over this many independent engine instances
+	// (internal/shard), each with its own bundling loop — and, when
+	// Durability is set, its own WAL directory and checkpoints under
+	// Durability.Dir — while cross-shard transactions commit through
+	// two-phase commit. DB and Partitioner are ignored in sharded mode;
+	// ShardDB (and optionally ShardPartitioner) take their place.
+	// Deadline stamping still applies, but the shedder and the WAL
+	// breaker do not (each shard's bounded queue is the backpressure).
+	Shards int
+	// ShardDB builds shard i's initial store; required in sharded mode.
+	ShardDB func(i int) *storage.DB
+	// ShardPartitioner builds shard i's bundle partitioner (sharded
+	// mode only; nil is TSKD[0] on every shard).
+	ShardPartitioner func(i int) partition.Partitioner
 }
 
 func (c *Config) withDefaults() error {
-	if c.DB == nil {
+	if c.Shards > 1 {
+		if c.ShardDB == nil {
+			return errors.New("server: Config.ShardDB is required in sharded mode")
+		}
+	} else if c.DB == nil {
 		return errors.New("server: Config.DB is required")
 	}
 	if c.Bundle <= 0 {
@@ -189,6 +209,14 @@ type Stats struct {
 	DedupInflight uint64 `json:"dedup_inflight,omitempty"`
 	DedupSize     int    `json:"dedup_size,omitempty"`
 
+	// Sharded runtime (empty unless Config.Shards > 1): per-shard
+	// counters plus the cross-shard 2PC counters
+	// (prepared/committed/aborted/in-doubt and friends). The top-level
+	// engine counters above are rolled up across shards, with 2PC
+	// commits included in Committed.
+	Shards []shard.ShardStats `json:"shards,omitempty"`
+	TwoPC  *shard.TwoPCStats  `json:"twopc,omitempty"`
+
 	// Throughput over the server's lifetime, commits per wall second.
 	Throughput float64 `json:"throughput"`
 
@@ -230,6 +258,7 @@ func putPending(p *pending) {
 type Server struct {
 	cfg      Config
 	pipeline *core.Pipeline
+	rt       *shard.Runtime // non-nil in sharded mode; pipeline is nil
 
 	ln      net.Listener
 	httpLn  net.Listener
@@ -301,6 +330,18 @@ func New(cfg Config) (*Server, error) {
 		conns:     make(map[net.Conn]struct{}),
 		events:    overload.NewEventLog(0),
 	}
+	if cfg.Shards > 1 {
+		// Sharded mode: the multi-shard runtime replaces the pipeline,
+		// the WAL, the dedup window, the shedder and the breaker — each
+		// shard runs its own bundling loop over its own slice of the key
+		// space, and recovery (when durable) resolves every in-doubt
+		// prepared transaction before Open returns.
+		if err := s.openSharded(); err != nil {
+			cancel()
+			return nil, err
+		}
+		return s, nil
+	}
 	if !cfg.Overload.DisableShed {
 		s.shed = overload.NewShedder(overload.ShedConfig{
 			Target: cfg.Overload.ShedTarget,
@@ -357,8 +398,10 @@ func (s *Server) Start() error {
 		go s.httpSrv.Serve(hln)
 	}
 	s.start = time.Now()
-	s.bundlerWG.Add(1)
-	go s.bundler()
+	if s.rt == nil {
+		s.bundlerWG.Add(1)
+		go s.bundler()
+	}
 	go s.acceptLoop()
 	return nil
 }
@@ -402,6 +445,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.runCancel() // hard stop: abandon the in-flight bundle
 		<-done
 		err = ctx.Err()
+	}
+	if s.rt != nil {
+		// The runtime drains its own shards (in-flight 2PCs decide and
+		// apply first) and closes its logs.
+		if rerr := s.rt.Shutdown(ctx); err == nil {
+			err = rerr
+		}
 	}
 
 	if s.log != nil {
@@ -525,6 +575,10 @@ func (s *Server) serveConn(nc net.Conn) {
 		if err := client.DecodeRequest(line, &req); err != nil {
 			s.count(func(st *Stats) { st.Malformed++ })
 			cw.send(client.Response{Status: client.StatusError, Error: "bad envelope: " + err.Error()})
+			continue
+		}
+		if s.rt != nil {
+			s.serveSharded(&req, cw)
 			continue
 		}
 		p := getPending()
@@ -807,6 +861,9 @@ func (s *Server) Stats() Stats {
 	st.QueueDepth = len(s.admit)
 	st.QueueCap = cap(s.admit)
 	st.RetryAfterMS = s.retryAfterMS()
+	if s.rt != nil {
+		s.mergeShardStats(&st)
+	}
 	if s.log != nil {
 		st.WALRecords, st.WALFlushes, st.WALSyncs = s.log.Counters()
 		st.WALBytes = s.log.AppendedBytes()

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"time"
+
+	"tskd/internal/client"
+	"tskd/internal/shard"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+// sharded.go: the serving layer's sharded mode. With Config.Shards > 1
+// the single pipeline/WAL/dedup stack is replaced by a shard.Runtime —
+// N independent bundling loops over hash-partitioned slices of the key
+// space, cross-shard transactions committing via 2PC — and the serve
+// path routes each request by key ownership. The wire protocol, the
+// deadline stamping, and the /metrics endpoint are unchanged; /metrics
+// additionally reports per-shard and 2PC counters.
+
+// openSharded builds the multi-shard runtime (running recovery first
+// when durable) and wires it into the server.
+func (s *Server) openSharded() error {
+	var d *shard.Durability
+	if o := s.cfg.Durability; o != nil {
+		d = &shard.Durability{
+			Dir:             o.Dir,
+			GroupWindow:     o.GroupWindow,
+			SegmentBytes:    o.SegmentBytes,
+			CheckpointBytes: o.CheckpointBytes,
+			DedupWindow:     o.DedupWindow,
+			NoSync:          o.NoSync,
+		}
+	}
+	rt, err := shard.Open(shard.Config{
+		Shards:        s.cfg.Shards,
+		DB:            s.cfg.ShardDB,
+		Partitioner:   s.cfg.ShardPartitioner,
+		Bundle:        s.cfg.Bundle,
+		FlushInterval: s.cfg.FlushInterval,
+		QueueDepth:    s.cfg.QueueDepth,
+		Core:          s.cfg.Core,
+		Durability:    d,
+	})
+	if err != nil {
+		return err
+	}
+	s.rt = rt
+	return nil
+}
+
+// Runtime returns the sharded runtime (nil unless Config.Shards > 1).
+func (s *Server) Runtime() *shard.Runtime { return s.rt }
+
+// ShardRecovery reports what sharded startup recovery found (zero
+// value when not sharded, not durable, or the directory was fresh).
+func (s *Server) ShardRecovery() shard.RecoveryInfo {
+	if s.rt == nil {
+		return shard.RecoveryInfo{}
+	}
+	return s.rt.Recovery()
+}
+
+// RecoverSharded inspects a sharded data directory read-only: the
+// multi-shard analogue of Recover, used by chaos audits and tools. It
+// resolves in-doubt prepares against the coordinator log exactly as a
+// restarting server would.
+func RecoverSharded(dir string, shards int, base func(i int) *storage.DB) (*shard.RecoverState, error) {
+	return shard.Recover(dir, shards, base)
+}
+
+// serveSharded handles one decoded request in sharded mode: parse,
+// stamp the deadline, and hand the transaction to the runtime, which
+// answers asynchronously through the connection writer. Transactions
+// are not pooled here — the runtime owns each one until its response
+// callback has run, and the sharded hot path favors simplicity.
+func (s *Server) serveSharded(req *client.Request, cw *connWriter) {
+	t := &txn.Transaction{}
+	if err := txn.ParseInto(t, 0, req.Ops); err != nil {
+		s.count(func(st *Stats) { st.Malformed++ })
+		cw.send(client.Response{Seq: req.Seq, Status: client.StatusError, Error: err.Error()})
+		return
+	}
+	t.Template = req.Template
+	t.Params = req.Params
+	req.Params = nil // the transaction owns the backing array now
+	t.IdemKey = req.IdemKey
+	now := time.Now()
+	switch {
+	case req.DeadlineMS < 0:
+		// Expired before it ever reached us; terminal, no retry hint.
+		s.count(func(st *Stats) { st.Expired++ })
+		cw.send(client.Response{Seq: req.Seq, Status: client.StatusExpired})
+		return
+	case req.DeadlineMS > 0:
+		t.Deadline = now.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	case s.cfg.Overload.DefaultDeadline > 0:
+		t.Deadline = now.Add(s.cfg.Overload.DefaultDeadline)
+	}
+	seq := req.Seq
+	s.rt.Submit(t, func(resp client.Response) {
+		resp.Seq = seq
+		delivered := cw.send(resp)
+		s.count(func(st *Stats) {
+			st.ResultsStreamed++
+			if !delivered {
+				st.Forfeited++
+			}
+		})
+	})
+}
+
+// mergeShardStats rolls the runtime's counters up into the flat Stats
+// so dashboards keyed on the single-shard fields keep working, and
+// attaches the per-shard and 2PC breakdowns. Called under s.mu.
+func (s *Server) mergeShardStats(st *Stats) {
+	rst := s.rt.Stats()
+	st.Shards = rst.Shards
+	st.TwoPC = &rst.TwoPC
+	queue, queueCap := 0, 0
+	for _, sh := range rst.Shards {
+		st.Admitted += sh.Admitted
+		st.Rejected += sh.Rejected
+		st.Bundles += int(sh.Bundles)
+		st.Committed += sh.Committed
+		st.Retries += sh.Retries
+		st.UserAborts += sh.UserAborts
+		st.Canceled += sh.Canceled
+		st.Contended += sh.Contended
+		st.Expired += sh.Expired
+		st.WALRecords += sh.WALRecords
+		st.WALFlushes += sh.WALFlushes
+		st.WALSyncs += sh.WALSyncs
+		st.WALBytes += sh.WALBytes
+		st.Checkpoints += sh.Checkpoints
+		st.DedupHits += sh.DedupHits
+		st.DedupInflight += sh.DedupInflight
+		st.DedupSize += sh.DedupSize
+		queue += sh.QueueDepth
+		queueCap += s.cfg.QueueDepth
+	}
+	st.QueueDepth = queue
+	st.QueueCap = queueCap
+	// A 2PC commit is one committed transaction from the client's view;
+	// its per-shard sub-commits are not in the shard Committed counters
+	// (participant installs bypass the engines).
+	st.Committed += rst.TwoPC.Committed
+	st.UserAborts += rst.TwoPC.UserAborts
+	st.Rejected += rst.TwoPC.Rejected
+	st.DedupHits += rst.TwoPC.DedupHits
+	st.DedupInflight += rst.TwoPC.DedupInflight
+}

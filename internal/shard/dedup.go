@@ -1,0 +1,179 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"tskd/internal/client"
+)
+
+// dedup.go: the runtime's idempotency windows. Single-shard
+// transactions dedup at their owning shard (routing is deterministic
+// by key, so a resubmission always lands on the shard that remembers
+// it); cross-shard transactions dedup at the coordinator, whose window
+// is rebuilt from decision records (each decision carries the
+// transaction's idempotency key). The mechanics mirror the serving
+// layer's single-shard window: inflight marks, committed responses,
+// FIFO eviction, and a checkpoint sidecar in the same file format.
+
+const (
+	dedupMiss     = iota // key unknown: caller proceeds, key now inflight
+	dedupInflight        // an earlier submission is still executing
+	dedupHit             // key committed: answer from the cached response
+)
+
+type window struct {
+	mu        sync.Mutex
+	inflight  map[uint64]struct{}
+	committed map[uint64]client.Response
+	order     []uint64
+	limit     int
+}
+
+func newWindow(limit int) *window {
+	return &window{
+		inflight:  make(map[uint64]struct{}),
+		committed: make(map[uint64]client.Response),
+		limit:     limit,
+	}
+}
+
+func (d *window) begin(key uint64) (int, client.Response) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if resp, ok := d.committed[key]; ok {
+		return dedupHit, resp
+	}
+	if _, ok := d.inflight[key]; ok {
+		return dedupInflight, client.Response{}
+	}
+	d.inflight[key] = struct{}{}
+	return dedupMiss, client.Response{}
+}
+
+func (d *window) commit(key uint64, resp client.Response) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.inflight, key)
+	if _, ok := d.committed[key]; !ok {
+		d.order = append(d.order, key)
+	}
+	d.committed[key] = resp
+	for len(d.order) > d.limit {
+		old := d.order[0]
+		d.order = d.order[1:]
+		delete(d.committed, old)
+	}
+}
+
+func (d *window) release(key uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.inflight, key)
+}
+
+func (d *window) restore(key uint64) {
+	d.commit(key, client.Response{Status: client.StatusCommit})
+}
+
+func (d *window) committedKeys() []uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]uint64(nil), d.order...)
+}
+
+func (d *window) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.committed) + len(d.inflight)
+}
+
+// Sidecar file format, shared with the serving layer's single-shard
+// window (little endian):
+// "tskddedp" | u32 version | u32 count | count × u64 key | u32 CRC32.
+
+const dedupMagic = "tskddedp"
+
+var errCorruptDedup = errors.New("shard: corrupt dedup sidecar")
+
+func writeDedupFile(path string, keys []uint64, sync bool) error {
+	buf := make([]byte, 0, len(dedupMagic)+8+8*len(keys)+4)
+	buf = append(buf, dedupMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, 1)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint64(buf, k)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if sync {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		return d.Sync()
+	}
+	return nil
+}
+
+func readDedupFile(path string) ([]uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if len(data) < len(dedupMagic)+12 {
+		return nil, errCorruptDedup
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, errCorruptDedup
+	}
+	if string(body[:len(dedupMagic)]) != dedupMagic {
+		return nil, errCorruptDedup
+	}
+	off := len(dedupMagic)
+	if binary.LittleEndian.Uint32(body[off:]) != 1 {
+		return nil, errCorruptDedup
+	}
+	n := int(binary.LittleEndian.Uint32(body[off+4:]))
+	off += 8
+	if len(body) != off+8*n {
+		return nil, errCorruptDedup
+	}
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = binary.LittleEndian.Uint64(body[off:])
+		off += 8
+	}
+	return keys, nil
+}

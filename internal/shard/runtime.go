@@ -1,0 +1,560 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tskd/internal/client"
+	"tskd/internal/clock"
+	"tskd/internal/core"
+	"tskd/internal/partition"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+	"tskd/internal/wal"
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// Shards is the number of shards (1..MaxShards); required.
+	Shards int
+	// DB builds shard i's initial store; required. Each shard must get
+	// its own *storage.DB instance (they are mutated independently).
+	// With Durability set it seeds recovery when shard i has no
+	// checkpoint — it must be the same initial store every incarnation.
+	DB func(i int) *storage.DB
+	// Partitioner builds shard i's bundle partitioner; nil is TSKD[0]
+	// (scheduling from scratch) on every shard.
+	Partitioner func(i int) partition.Partitioner
+	// Bundle closes a shard's bundle at this many transactions
+	// (default 512).
+	Bundle int
+	// FlushInterval closes a non-empty bundle at latest this long after
+	// its first transaction (default 10ms).
+	FlushInterval time.Duration
+	// QueueDepth is each shard's admission queue capacity (default
+	// 4×Bundle).
+	QueueDepth int
+	// Core configures each shard's pipeline (workers, CC protocol,
+	// TsDEFER...). Workers is per shard. Estimator, CostSink, Ctx and
+	// WAL are managed by the runtime and must be left zero.
+	Core core.Options
+	// Durability, when non-nil, gives every shard its own WAL directory
+	// with checkpoint/dedup sidecars plus a coordinator decision log,
+	// and Open recovers all of them to a consistent cut first.
+	Durability *Durability
+	// PrepareTimeout bounds a cross-shard prepare phase (default 2s).
+	PrepareTimeout time.Duration
+	// MaxCross bounds concurrently in-flight cross-shard commits
+	// (default 64); excess submissions are rejected with backpressure.
+	MaxCross int
+	// Clock feeds the 2PC coordinators (nil = wall clock; fake in
+	// tests).
+	Clock clock.Clock
+}
+
+func (c *Config) withDefaults() error {
+	if c.Shards < 1 || c.Shards > MaxShards {
+		return fmt.Errorf("shard: Shards must be in 1..%d, got %d", MaxShards, c.Shards)
+	}
+	if c.DB == nil {
+		return errors.New("shard: Config.DB is required")
+	}
+	if c.Bundle <= 0 {
+		c.Bundle = 512
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 10 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Bundle
+	}
+	if c.PrepareTimeout <= 0 {
+		c.PrepareTimeout = 2 * time.Second
+	}
+	if c.MaxCross <= 0 {
+		c.MaxCross = 64
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	if c.Durability != nil {
+		if err := c.Durability.withDefaults(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TwoPCStats are the cross-shard commit counters.
+type TwoPCStats struct {
+	// Started counts cross-shard transactions that entered 2PC.
+	Started uint64 `json:"started"`
+	// Prepared counts yes-votes across all shards (one per participant
+	// per transaction).
+	Prepared uint64 `json:"prepared"`
+	// Committed / Aborted count coordinator decisions.
+	Committed uint64 `json:"committed"`
+	Aborted   uint64 `json:"aborted"`
+	// AbortedVote / AbortedTimeout split Aborted by cause; UserAborts
+	// are transactions that prepared everywhere and then rolled back
+	// for application reasons (also included in Aborted).
+	AbortedVote    uint64 `json:"aborted_vote"`
+	AbortedTimeout uint64 `json:"aborted_timeout"`
+	UserAborts     uint64 `json:"user_aborts"`
+	// InDoubt is the current number of prepared-undecided transactions
+	// across all shards (a gauge; nonzero only mid-2PC).
+	InDoubt int `json:"in_doubt"`
+	// DuplicateDecisions counts decision deliveries for already-resolved
+	// transactions (idempotently ignored).
+	DuplicateDecisions uint64 `json:"duplicate_decisions"`
+	// Rejected counts cross-shard submissions refused for backpressure
+	// (MaxCross in flight).
+	Rejected uint64 `json:"rejected"`
+	// DedupHits / DedupInflight are the coordinator window's counters.
+	DedupHits     uint64 `json:"dedup_hits"`
+	DedupInflight uint64 `json:"dedup_inflight"`
+}
+
+// Stats is a point-in-time snapshot of the runtime's counters.
+type Stats struct {
+	Shards []ShardStats `json:"shards"`
+	TwoPC  TwoPCStats   `json:"twopc"`
+}
+
+// Runtime is a running multi-shard execution layer.
+type Runtime struct {
+	cfg    Config
+	router Router
+	units  []*unit
+
+	// Coordinator state: the decision log (nil when not durable), the
+	// cross-shard idempotency window, and global-txn-id assignment
+	// (epoch from the boot-record count keeps gids unique across
+	// incarnations).
+	coordLog   *wal.Log
+	coordDedup *window
+	gidEpoch   uint64
+	gidSeq     atomic.Uint64
+	crossSem   chan struct{}
+	crossWG    sync.WaitGroup
+
+	recovery RecoveryInfo
+
+	admitMu  sync.RWMutex // draining flips under the write lock
+	draining bool
+	drainCh  chan struct{}
+	unitWG   sync.WaitGroup
+
+	runCtx    context.Context
+	runCancel context.CancelFunc
+
+	tmu sync.Mutex
+	tpc TwoPCStats
+}
+
+// Open validates cfg, recovers the data directory (when durable) to a
+// consistent cut across every shard, and starts the shard loops. By
+// the time Open returns, every in-doubt prepared transaction has been
+// resolved from the coordinator log — no shard serves traffic before
+// that.
+func Open(cfg Config) (*Runtime, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	rt := &Runtime{
+		cfg:      cfg,
+		router:   Router{Shards: cfg.Shards},
+		crossSem: make(chan struct{}, cfg.MaxCross),
+		drainCh:  make(chan struct{}),
+		runCtx:   runCtx, runCancel: cancel,
+	}
+
+	dbs := make([]*storage.DB, cfg.Shards)
+	keys := make([][]uint64, cfg.Shards)
+	nextLSN := make([]uint64, cfg.Shards)
+	lastCkpt := make([]uint64, cfg.Shards)
+	dedupLimit := 65536
+	if d := cfg.Durability; d != nil {
+		dedupLimit = d.DedupWindow
+		st, err := Recover(d.Dir, cfg.Shards, cfg.DB)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		rt.recovery = st.Info
+		for i := range dbs {
+			dbs[i] = st.DBs[i]
+			keys[i] = st.ShardKeys[i]
+			nextLSN[i] = st.Info.Shards[i].NextLSN
+			lastCkpt[i] = st.Info.Shards[i].CheckpointLSN
+		}
+		// Open the coordinator log and stamp this incarnation: the boot
+		// record's epoch keeps global transaction ids unique across
+		// restarts, so a recovered prepare can never alias a new one.
+		rt.coordLog, err = wal.OpenDir(coordDir(d.Dir), wal.DirOptions{
+			GroupWindow: d.GroupWindow, SegmentBytes: d.SegmentBytes,
+			StartLSN: st.Info.CoordNextLSN, NoSync: d.NoSync,
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		rt.gidEpoch = uint64(st.Info.Boots) + 1
+		if err := rt.coordLog.Append(wal.Record{TxnID: int64(rt.gidEpoch), Kind: wal.RecordBoot}); err != nil {
+			rt.coordLog.Close()
+			cancel()
+			return nil, err
+		}
+		rt.coordDedup = newWindow(dedupLimit)
+		for _, k := range st.CrossKeys {
+			rt.coordDedup.restore(k)
+		}
+	} else {
+		for i := range dbs {
+			dbs[i] = cfg.DB(i)
+		}
+		rt.gidEpoch = 1
+		rt.coordDedup = newWindow(dedupLimit)
+	}
+
+	rt.units = make([]*unit, cfg.Shards)
+	for i := range rt.units {
+		u := &unit{
+			id: i, rt: rt, db: dbs[i],
+			in:       make(chan *task, cfg.QueueDepth),
+			ops:      make(chan *shardOp, 2*cfg.MaxCross+8),
+			indoubt:  make(map[uint64]*indoubtTxn),
+			keyDoubt: make(map[txn.Key]uint64),
+			dedup:    newWindow(dedupLimit),
+		}
+		u.stats.Shard = i
+		for _, k := range keys[i] {
+			u.dedup.restore(k)
+		}
+		if d := cfg.Durability; d != nil {
+			log, err := wal.OpenDir(shardDir(d.Dir, i), wal.DirOptions{
+				GroupWindow: d.GroupWindow, SegmentBytes: d.SegmentBytes,
+				StartLSN: nextLSN[i], NoSync: d.NoSync,
+			})
+			if err != nil {
+				rt.closeLogs()
+				cancel()
+				return nil, err
+			}
+			u.log = log
+			u.lastCkptLSN = lastCkpt[i]
+			u.lastCkptBytes = log.AppendedBytes()
+		}
+		opts := cfg.Core
+		opts.TraceSpans = true // per-transaction outcomes come from spans
+		opts.WAL = u.log
+		// Decorrelate the shards' per-bundle seeds.
+		opts.Seed = cfg.Core.Seed + int64(i)*1_000_003
+		var p partition.Partitioner
+		if cfg.Partitioner != nil {
+			p = cfg.Partitioner(i)
+		}
+		u.pipeline = core.NewPipeline(u.db, p, opts)
+		rt.units[i] = u
+	}
+	for _, u := range rt.units {
+		rt.unitWG.Add(1)
+		go u.run()
+	}
+	return rt, nil
+}
+
+// Recovery reports what startup recovery found (zero when the runtime
+// is not durable or the directory was fresh).
+func (rt *Runtime) Recovery() RecoveryInfo { return rt.recovery }
+
+// DB returns shard i's store (the recovered one when durable).
+func (rt *Runtime) DB(i int) *storage.DB { return rt.units[i].db }
+
+// Router returns the runtime's key-ownership router.
+func (rt *Runtime) Router() Router { return rt.router }
+
+// Submit routes t by key ownership and eventually calls done exactly
+// once with the outcome (Seq left zero: the caller stamps its own).
+// done may run synchronously — dedup hits and rejections answer
+// inline — or later from a shard or coordinator goroutine; it must not
+// block for long.
+func (rt *Runtime) Submit(t *txn.Transaction, done func(client.Response)) {
+	if t.HasScan() && rt.cfg.Shards > 1 {
+		done(client.Response{Status: client.StatusError,
+			Error: "range scans are not supported on a sharded runtime"})
+		return
+	}
+	parts := rt.router.Participants(t, nil)
+	if len(parts) == 1 {
+		rt.submitLocal(rt.units[parts[0]], t, done)
+		return
+	}
+	rt.submitCross(t, parts, done)
+}
+
+func (rt *Runtime) submitLocal(u *unit, t *txn.Transaction, done func(client.Response)) {
+	if t.IdemKey != 0 {
+		switch state, cached := u.dedup.begin(t.IdemKey); state {
+		case dedupHit:
+			cached.Duplicate = true
+			u.count(func(s *ShardStats) { s.DedupHits++ })
+			done(cached)
+			return
+		case dedupInflight:
+			u.count(func(s *ShardStats) { s.DedupInflight++ })
+			done(client.Response{Status: client.StatusRejected, RetryAfterMS: rt.retryAfterMS(u)})
+			return
+		}
+	}
+	tk := &task{t: t, done: done, enqueued: time.Now()}
+	rt.admitMu.RLock()
+	admitted := false
+	if !rt.draining {
+		select {
+		case u.in <- tk:
+			admitted = true
+		default:
+		}
+	}
+	rt.admitMu.RUnlock()
+	if admitted {
+		u.count(func(s *ShardStats) { s.Admitted++ })
+		return
+	}
+	if t.IdemKey != 0 {
+		u.dedup.release(t.IdemKey)
+	}
+	u.count(func(s *ShardStats) { s.Rejected++ })
+	done(client.Response{Status: client.StatusRejected, RetryAfterMS: rt.retryAfterMS(u)})
+}
+
+func (rt *Runtime) submitCross(t *txn.Transaction, parts []int, done func(client.Response)) {
+	if t.IdemKey != 0 {
+		switch state, cached := rt.coordDedup.begin(t.IdemKey); state {
+		case dedupHit:
+			cached.Duplicate = true
+			rt.countTPC(func(s *TwoPCStats) { s.DedupHits++ })
+			done(cached)
+			return
+		case dedupInflight:
+			rt.countTPC(func(s *TwoPCStats) { s.DedupInflight++ })
+			done(client.Response{Status: client.StatusRejected, RetryAfterMS: rt.retryAfterMS(nil)})
+			return
+		}
+	}
+	rt.admitMu.RLock()
+	started := false
+	if !rt.draining {
+		select {
+		case rt.crossSem <- struct{}{}:
+			rt.crossWG.Add(1)
+			started = true
+		default:
+		}
+	}
+	rt.admitMu.RUnlock()
+	if !started {
+		if t.IdemKey != 0 {
+			rt.coordDedup.release(t.IdemKey)
+		}
+		rt.countTPC(func(s *TwoPCStats) { s.Rejected++ })
+		done(client.Response{Status: client.StatusRejected, RetryAfterMS: rt.retryAfterMS(nil)})
+		return
+	}
+	go rt.runTwoPC(t, parts, done)
+}
+
+// runTwoPC is one coordinator: prepare every participant, decide,
+// make a commit decision durable, acknowledge, and release the
+// participants' in-doubt state. Runs on its own goroutine; the Coord
+// state machine (twopc.go) makes the decision.
+func (rt *Runtime) runTwoPC(t *txn.Transaction, parts []int, done func(client.Response)) {
+	defer func() { <-rt.crossSem; rt.crossWG.Done() }()
+	rt.countTPC(func(s *TwoPCStats) { s.Started++ })
+	start := time.Now()
+	finish := func(resp client.Response) {
+		resp.ExecUS = time.Since(start).Microseconds()
+		if t.IdemKey != 0 {
+			if resp.Status == client.StatusCommit {
+				rt.coordDedup.commit(t.IdemKey, resp)
+			} else {
+				rt.coordDedup.release(t.IdemKey)
+			}
+		}
+		done(resp)
+	}
+
+	if !t.Deadline.IsZero() && time.Now().After(t.Deadline) {
+		rt.countTPC(func(s *TwoPCStats) { s.Aborted++ })
+		finish(client.Response{Status: client.StatusExpired})
+		return
+	}
+
+	gid := rt.gidEpoch<<32 | rt.gidSeq.Add(1)
+	c := NewCoord(gid, parts, CoordConfig{Clock: rt.cfg.Clock, PrepareTimeout: rt.cfg.PrepareTimeout})
+	votes := make(chan vote, len(parts))
+	for _, p := range parts {
+		rt.units[p].ops <- &shardOp{kind: opPrepare, gid: gid, ops: subOps(t.Ops, rt.router, p), votes: votes}
+	}
+	timer := time.NewTimer(rt.cfg.PrepareTimeout)
+	state := c.State()
+	for state == StatePreparing {
+		select {
+		case v := <-votes:
+			state = c.Vote(v.shard, v.yes)
+		case <-timer.C:
+			state = c.Tick()
+		}
+	}
+	timer.Stop()
+
+	// A user abort prepares everywhere and then rolls back: the global
+	// transaction has no effects, by design.
+	commit := state == StateCommitted && !t.UserAbort
+	if commit && rt.coordLog != nil {
+		// The durability point: a commit decision that cannot be logged
+		// must abort (presumed abort would otherwise resolve the
+		// prepares the wrong way after a crash).
+		if err := rt.coordLog.Append(wal.Record{TxnID: int64(gid), Kind: wal.RecordDecision, IdemKey: t.IdemKey}); err != nil {
+			commit = false
+			state = StateAborted
+		}
+	}
+	var dwg sync.WaitGroup
+	dwg.Add(len(parts))
+	for _, p := range parts {
+		rt.units[p].ops <- &shardOp{kind: opDecide, gid: gid, commit: commit, wg: &dwg}
+	}
+
+	var resp client.Response
+	switch {
+	case commit:
+		resp.Status = client.StatusCommit
+		rt.countTPC(func(s *TwoPCStats) { s.Committed++ })
+	case state == StateCommitted: // user abort after full prepare
+		resp.Status = client.StatusAbort
+		rt.countTPC(func(s *TwoPCStats) { s.Aborted++; s.UserAborts++ })
+	case c.Cause() == CauseTimeout:
+		resp.Status = client.StatusRejected
+		resp.RetryAfterMS = rt.retryAfterMS(nil)
+		rt.countTPC(func(s *TwoPCStats) { s.Aborted++; s.AbortedTimeout++ })
+	default: // a participant voted no (conflict): retryable
+		resp.Status = client.StatusRejected
+		resp.RetryAfterMS = rt.retryAfterMS(nil)
+		rt.countTPC(func(s *TwoPCStats) { s.Aborted++; s.AbortedVote++ })
+	}
+	// Acknowledge as soon as the decision is durable; installation
+	// happens under the participants' key quiescence, so no later
+	// transaction can observe pre-decision state on those keys.
+	finish(resp)
+	dwg.Wait()
+}
+
+// subOps returns the operations of ops homed on shard p, in order.
+func subOps(ops []txn.Op, r Router, p int) []txn.Op {
+	var sub []txn.Op
+	for _, o := range ops {
+		if r.Home(o.Key) == p {
+			sub = append(sub, o)
+		}
+	}
+	return sub
+}
+
+// retryAfterMS is the backoff hint for a rejection: the flush interval
+// scaled by the target shard's queue occupancy (u nil for cross-shard
+// rejections, which use the base hint).
+func (rt *Runtime) retryAfterMS(u *unit) int64 {
+	base := rt.cfg.FlushInterval.Milliseconds() + 1
+	if u == nil {
+		return base
+	}
+	return base * int64(1+len(u.in)/rt.cfg.Bundle)
+}
+
+func (rt *Runtime) countTPC(f func(*TwoPCStats)) {
+	rt.tmu.Lock()
+	f(&rt.tpc)
+	rt.tmu.Unlock()
+}
+
+// Stats snapshots every shard's counters plus the 2PC counters.
+func (rt *Runtime) Stats() Stats {
+	st := Stats{Shards: make([]ShardStats, len(rt.units))}
+	inDoubt := 0
+	for i, u := range rt.units {
+		st.Shards[i] = u.snapshot()
+		st.TwoPC.Prepared += st.Shards[i].CrossPrepared
+		inDoubt += st.Shards[i].InDoubt
+	}
+	rt.tmu.Lock()
+	tpc := rt.tpc
+	rt.tmu.Unlock()
+	tpc.Prepared = st.TwoPC.Prepared
+	tpc.InDoubt = inDoubt
+	st.TwoPC = tpc
+	return st
+}
+
+// Shutdown drains gracefully: stop admitting, let in-flight 2PCs
+// decide and apply, flush every shard's admitted work, then close the
+// logs. If ctx expires first, in-flight bundles are canceled through
+// the engines' context plumbing and ctx.Err() is returned.
+func (rt *Runtime) Shutdown(ctx context.Context) error {
+	rt.admitMu.Lock()
+	already := rt.draining
+	rt.draining = true
+	rt.admitMu.Unlock()
+	if already {
+		return errors.New("shard: already shut down")
+	}
+	// Coordinators first: every decide is applied before the shard
+	// loops drain, so no in-doubt state can survive a graceful stop.
+	crossDone := make(chan struct{})
+	go func() { rt.crossWG.Wait(); close(crossDone) }()
+	var err error
+	select {
+	case <-crossDone:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	close(rt.drainCh)
+	unitsDone := make(chan struct{})
+	go func() { rt.unitWG.Wait(); close(unitsDone) }()
+	select {
+	case <-unitsDone:
+	case <-ctx.Done():
+		rt.runCancel() // hard stop: abandon in-flight bundles
+		<-unitsDone
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	if cerr := rt.closeLogs(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (rt *Runtime) closeLogs() error {
+	var err error
+	for _, u := range rt.units {
+		if u != nil && u.log != nil {
+			if cerr := u.log.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	if rt.coordLog != nil {
+		if cerr := rt.coordLog.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

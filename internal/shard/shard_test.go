@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"testing"
+
+	"tskd/internal/txn"
+	"tskd/internal/workload"
+)
+
+func TestRouterHome(t *testing.T) {
+	r := Router{Shards: 4}
+	seen := make(map[int]int)
+	for row := uint64(0); row < 4096; row++ {
+		h := r.Home(txn.MakeKey(workload.YCSBTable, row))
+		if h < 0 || h >= 4 {
+			t.Fatalf("Home out of range: %d", h)
+		}
+		if h != r.Home(txn.MakeKey(workload.YCSBTable, row)) {
+			t.Fatal("Home not deterministic")
+		}
+		seen[h]++
+	}
+	for s := 0; s < 4; s++ {
+		if seen[s] < 512 {
+			t.Fatalf("shard %d owns only %d of 4096 keys: degenerate hash", s, seen[s])
+		}
+	}
+	if (Router{Shards: 1}).Home(txn.MakeKey(1, 99)) != 0 {
+		t.Fatal("single shard must own everything")
+	}
+}
+
+func TestParticipants(t *testing.T) {
+	r := Router{Shards: 8}
+	// Build a transaction touching three known shards.
+	want := map[int]bool{}
+	tx := txn.New(0)
+	for row := uint64(0); len(want) < 3; row++ {
+		k := txn.MakeKey(workload.YCSBTable, row)
+		h := r.Home(k)
+		if !want[h] {
+			want[h] = true
+			tx.U(k, 1)
+		}
+	}
+	parts := r.Participants(tx, nil)
+	if len(parts) != 3 {
+		t.Fatalf("got %d participants, want 3", len(parts))
+	}
+	for i, p := range parts {
+		if !want[p] {
+			t.Fatalf("unexpected participant %d", p)
+		}
+		if i > 0 && parts[i-1] >= p {
+			t.Fatal("participants not sorted ascending")
+		}
+	}
+	if got := r.Participants(txn.New(1), nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("empty transaction should home to shard 0, got %v", got)
+	}
+}
+
+func TestConfine(t *testing.T) {
+	const n, rows = 4, 10_000
+	r := Router{Shards: n}
+	gen := func() txn.Workload {
+		return workload.YCSB{Records: rows, Txns: 300, OpsPerTxn: 4, Theta: 0.6, RMW: true, Seed: 7}.Generate()
+	}
+
+	w := gen()
+	single, cross := Confine(w, n, 0, rows, 42)
+	if single != len(w) || cross != 0 {
+		t.Fatalf("crossFrac=0: got single=%d cross=%d", single, cross)
+	}
+	for _, tx := range w {
+		parts := r.Participants(tx, nil)
+		if len(parts) != 1 {
+			t.Fatalf("crossFrac=0 left a cross-shard transaction: %v", tx)
+		}
+		for _, op := range tx.Ops {
+			if op.Key.Row() >= rows {
+				t.Fatalf("confined key out of row bound: %v", op.Key)
+			}
+		}
+	}
+
+	w = gen()
+	single, cross = Confine(w, n, 1, rows, 42)
+	if cross == 0 || single+cross != len(w) {
+		t.Fatalf("crossFrac=1: got single=%d cross=%d", single, cross)
+	}
+	nCross := 0
+	for _, tx := range w {
+		if len(r.Participants(tx, nil)) == 2 {
+			nCross++
+		}
+	}
+	if nCross != cross {
+		t.Fatalf("reported cross=%d but %d transactions span 2 shards", cross, nCross)
+	}
+
+	// Seed purity: same seed, same outcome.
+	w1, w2 := gen(), gen()
+	Confine(w1, n, 0.3, rows, 99)
+	Confine(w2, n, 0.3, rows, 99)
+	for i := range w1 {
+		for j := range w1[i].Ops {
+			if w1[i].Ops[j] != w2[i].Ops[j] {
+				t.Fatal("Confine is not deterministic for a fixed seed")
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package shard
+
+import (
+	"time"
+
+	"tskd/internal/clock"
+)
+
+// twopc.go: the coordinator's decision state machine, factored out of
+// the runtime so it can be table-tested on a fake clock with no sleeps
+// (the same pattern as internal/overload's shedder and breaker). The
+// runtime drives one Coord per cross-shard transaction with real
+// events — votes arriving on a channel, a timer tick for the prepare
+// deadline — and the machine decides; everything durable (prepare
+// records, the decision record) happens outside it.
+
+// CoordState is the coordinator's decision state for one global
+// transaction.
+type CoordState uint8
+
+const (
+	// StatePreparing: votes outstanding, no decision yet.
+	StatePreparing CoordState = iota
+	// StateCommitted: every participant voted yes. The caller must make
+	// the decision durable (coordinator log) before acting on it.
+	StateCommitted
+	// StateAborted: a participant voted no, or the prepare deadline
+	// passed. Presumed abort — nothing is logged.
+	StateAborted
+)
+
+func (s CoordState) String() string {
+	switch s {
+	case StatePreparing:
+		return "preparing"
+	case StateCommitted:
+		return "committed"
+	default:
+		return "aborted"
+	}
+}
+
+// AbortCause distinguishes why a coordinator aborted.
+type AbortCause uint8
+
+const (
+	// CauseNone: not aborted.
+	CauseNone AbortCause = iota
+	// CauseVote: a participant voted no (conflict with an in-doubt
+	// prepare, or a failed sub-plan).
+	CauseVote
+	// CauseTimeout: the prepare deadline passed with votes outstanding.
+	CauseTimeout
+)
+
+// CoordConfig configures a coordinator instance.
+type CoordConfig struct {
+	// Clock supplies time; nil is the wall clock.
+	Clock clock.Clock
+	// PrepareTimeout bounds the prepare phase: a coordinator whose
+	// votes have not all arrived by then aborts (presumed abort), so a
+	// stuck participant can never strand keys in doubt forever.
+	PrepareTimeout time.Duration
+}
+
+// Coord decides one global transaction. Not safe for concurrent use:
+// the owning goroutine feeds it votes and ticks.
+type Coord struct {
+	// GID is the global transaction id (unique across incarnations).
+	GID uint64
+
+	clk      clock.Clock
+	deadline time.Time
+	waiting  uint64 // mask of participants whose vote is outstanding
+	state    CoordState
+	cause    AbortCause
+}
+
+// NewCoord starts the prepare phase for participants (shard indexes).
+func NewCoord(gid uint64, participants []int, cfg CoordConfig) *Coord {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	c := &Coord{GID: gid, clk: clk, deadline: clk.Now().Add(cfg.PrepareTimeout)}
+	for _, p := range participants {
+		c.waiting |= 1 << uint(p)
+	}
+	if c.waiting == 0 {
+		c.state = StateCommitted // vacuous: no participants
+	}
+	return c
+}
+
+// Vote records participant p's vote and returns the resulting state.
+// Duplicate votes and votes from unknown participants are ignored, and
+// votes arriving after a decision never change it — decisions are
+// monotone.
+func (c *Coord) Vote(p int, yes bool) CoordState {
+	if c.state != StatePreparing {
+		return c.state
+	}
+	bit := uint64(1) << uint(p)
+	if c.waiting&bit == 0 {
+		return c.state // unknown participant or duplicate vote
+	}
+	if !yes {
+		c.state, c.cause = StateAborted, CauseVote
+		c.waiting = 0 // decided: nothing is awaited anymore
+		return c.state
+	}
+	c.waiting &^= bit
+	if c.waiting == 0 {
+		c.state = StateCommitted
+	}
+	return c.state
+}
+
+// Tick checks the prepare deadline against the clock: past it with
+// votes outstanding, the coordinator aborts (presumed abort).
+func (c *Coord) Tick() CoordState {
+	if c.state == StatePreparing && !c.clk.Now().Before(c.deadline) {
+		c.state, c.cause = StateAborted, CauseTimeout
+		c.waiting = 0 // decided: nothing is awaited anymore
+	}
+	return c.state
+}
+
+// State returns the current decision state.
+func (c *Coord) State() CoordState { return c.state }
+
+// Cause returns why the coordinator aborted (CauseNone otherwise).
+func (c *Coord) Cause() AbortCause { return c.cause }
+
+// Outstanding returns how many votes are still outstanding.
+func (c *Coord) Outstanding() int {
+	n := 0
+	for m := c.waiting; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,88 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"tskd/internal/clock"
+)
+
+// Table-driven coordinator tests on a fake clock — no sleeps, the same
+// discipline as internal/overload's shedder and breaker tests.
+
+type coordEvent struct {
+	vote    int // participant index (when advance == 0)
+	yes     bool
+	advance time.Duration // >0: advance the clock and Tick instead
+}
+
+func adv(d time.Duration) coordEvent { return coordEvent{advance: d} }
+func yes(p int) coordEvent           { return coordEvent{vote: p, yes: true} }
+func no(p int) coordEvent            { return coordEvent{vote: p} }
+
+func TestCoordTable(t *testing.T) {
+	const timeout = 100 * time.Millisecond
+	cases := []struct {
+		name        string
+		parts       []int
+		events      []coordEvent
+		want        CoordState
+		cause       AbortCause
+		outstanding int
+	}{
+		{"no participants is vacuously committed", nil, nil, StateCommitted, CauseNone, 0},
+		{"partial votes stay preparing", []int{0, 2, 5}, []coordEvent{yes(0), yes(5)}, StatePreparing, CauseNone, 1},
+		{"all yes commits", []int{0, 2, 5}, []coordEvent{yes(5), yes(0), yes(2)}, StateCommitted, CauseNone, 0},
+		{"one no aborts", []int{0, 1}, []coordEvent{yes(0), no(1)}, StateAborted, CauseVote, 0},
+		{"no before any yes aborts", []int{0, 1}, []coordEvent{no(0)}, StateAborted, CauseVote, 0},
+		{"duplicate yes is not progress", []int{0, 1}, []coordEvent{yes(0), yes(0), yes(0)}, StatePreparing, CauseNone, 1},
+		{"unknown participant ignored", []int{0, 1}, []coordEvent{yes(7), yes(63)}, StatePreparing, CauseNone, 2},
+		{"timeout with votes outstanding aborts", []int{0, 1}, []coordEvent{yes(0), adv(timeout)}, StateAborted, CauseTimeout, 0},
+		{"tick before deadline is harmless", []int{0, 1}, []coordEvent{yes(0), adv(timeout - 1), yes(1)}, StateCommitted, CauseNone, 0},
+		{"late yes after timeout cannot commit", []int{0, 1}, []coordEvent{adv(timeout), yes(0), yes(1)}, StateAborted, CauseTimeout, 0},
+		{"late no after commit cannot abort", []int{0}, []coordEvent{yes(0), no(0)}, StateCommitted, CauseNone, 0},
+		{"vote after vote-abort ignored", []int{0, 1}, []coordEvent{no(0), yes(1)}, StateAborted, CauseVote, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fc := clock.NewFake(time.Unix(1000, 0))
+			c := NewCoord(42, tc.parts, CoordConfig{Clock: fc, PrepareTimeout: timeout})
+			for _, ev := range tc.events {
+				if ev.advance > 0 {
+					fc.Advance(ev.advance)
+					c.Tick()
+				} else {
+					c.Vote(ev.vote, ev.yes)
+				}
+			}
+			if c.State() != tc.want {
+				t.Fatalf("state = %v, want %v", c.State(), tc.want)
+			}
+			if c.Cause() != tc.cause {
+				t.Fatalf("cause = %d, want %d", c.Cause(), tc.cause)
+			}
+			if c.Outstanding() != tc.outstanding {
+				t.Fatalf("outstanding = %d, want %d", c.Outstanding(), tc.outstanding)
+			}
+		})
+	}
+}
+
+func TestCoordDecisionIsMonotone(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	c := NewCoord(1, []int{0, 1}, CoordConfig{Clock: fc, PrepareTimeout: time.Second})
+	c.Vote(0, true)
+	c.Vote(1, true)
+	if c.State() != StateCommitted {
+		t.Fatal("expected committed")
+	}
+	// Nothing flips a decision: not a late tick past the deadline, not a
+	// no-vote, not another yes.
+	fc.Advance(time.Hour)
+	if c.Tick() != StateCommitted || c.Vote(0, false) != StateCommitted || c.Vote(1, true) != StateCommitted {
+		t.Fatal("decision changed after being made")
+	}
+	if c.Cause() != CauseNone {
+		t.Fatal("committed coordinator must have no abort cause")
+	}
+}

@@ -215,6 +215,15 @@ func (t *Transaction) S(lo Key, span uint64) *Transaction {
 	return t
 }
 
+// SetOps replaces the operation list wholesale and invalidates the
+// cached access sets. Workload rewriters (the sharded confinement
+// helper) use it after mutating Ops in place, since direct writes
+// through the Ops slice would leave previously computed sets stale.
+func (t *Transaction) SetOps(ops []Op) {
+	t.Ops = ops
+	t.invalidate()
+}
+
 // HasScan reports whether t contains a range scan (and therefore has a
 // partially unknown access set).
 func (t *Transaction) HasScan() bool {

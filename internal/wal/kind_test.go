@@ -1,0 +1,79 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+)
+
+// TestKindRoundTrip pins the trailer encoding for every record kind:
+// non-commit kinds always carry idemKey + kind byte, commit records
+// keep the legacy format (idemKey only when set), and decode recovers
+// every combination.
+func TestKindRoundTrip(t *testing.T) {
+	recs := []Record{
+		{TxnID: 1, Writes: []Update{{Key: 9, Ver: 3, Fields: []uint64{7}}}},
+		{TxnID: 2, IdemKey: 0xABCD, Writes: []Update{{Key: 9, Ver: 4, Fields: []uint64{8}}}},
+		{TxnID: 3, Kind: RecordPrepare, Writes: []Update{{Key: 10, Ver: 1, Fields: []uint64{5}}}},
+		{TxnID: 3, Kind: RecordPrepare, IdemKey: 0x77},
+		{TxnID: 3, Kind: RecordDecision, IdemKey: 0x77},
+		{TxnID: 1, Kind: RecordBoot},
+	}
+	var buf bytes.Buffer
+	l := New(&buf, 0)
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	var got []Record
+	n, err := Replay(bytes.NewReader(buf.Bytes()), func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil || n != len(recs) {
+		t.Fatalf("replay = %d, %v; want %d", n, err, len(recs))
+	}
+	for i, want := range recs {
+		g := got[i]
+		if g.TxnID != want.TxnID || g.Kind != want.Kind || g.IdemKey != want.IdemKey {
+			t.Errorf("record %d: got {txn=%d kind=%d idem=%#x}, want {txn=%d kind=%d idem=%#x}",
+				i, g.TxnID, g.Kind, g.IdemKey, want.TxnID, want.Kind, want.IdemKey)
+		}
+		if len(g.Writes) != len(want.Writes) {
+			t.Errorf("record %d: %d writes, want %d", i, len(g.Writes), len(want.Writes))
+		}
+	}
+}
+
+// TestCommitRecordFormatUnchanged: a commit record with no idemKey must
+// encode byte-identically to the original format — no kind byte.
+func TestCommitRecordFormatUnchanged(t *testing.T) {
+	rec := Record{TxnID: 5, Writes: []Update{{Key: 1, Ver: 2, Fields: []uint64{3}}}}
+	buf := appendRecord(nil, rec)
+	// header(8) + txnID(8) + nWrites(4) + key(8)+ver(8)+nFields(2)+field(8)
+	if want := 8 + 8 + 4 + 8 + 8 + 2 + 8; len(buf) != want {
+		t.Fatalf("commit record encodes to %d bytes, want %d (format drifted)", len(buf), want)
+	}
+}
+
+// TestApplyRecordSkipsProtocolKinds: replaying a log that interleaves
+// prepares and decisions with commits installs only the commits —
+// prepared writes must not leak into the store before resolution.
+func TestApplyRecordSkipsProtocolKinds(t *testing.T) {
+	db := storage.NewDB()
+	db.CreateTable(1, "t", 1)
+	k := uint64(txn.MakeKey(1, 42))
+	ApplyRecord(db, Record{TxnID: 1, Kind: RecordPrepare, Writes: []Update{{Key: k, Ver: 1, Fields: []uint64{99}}}})
+	if row := db.Table(1).Get(42); row != nil {
+		t.Fatal("prepare record applied to the store")
+	}
+	ApplyRecord(db, Record{TxnID: 2, Writes: []Update{{Key: k, Ver: 1, Fields: []uint64{7}}}})
+	row := db.Table(1).Get(42)
+	if row == nil || row.Field(0) != 7 {
+		t.Fatal("commit record did not apply")
+	}
+}

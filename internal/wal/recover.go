@@ -10,8 +10,14 @@ import (
 // ApplyRecord installs one record's redo images into db: each update
 // applies only when its version is newer than the row's current
 // version (rows are created as needed), which makes application
-// idempotent and order-independent per key.
+// idempotent and order-independent per key. Only RecordCommit records
+// apply; prepares and coordinator records are protocol state, not
+// redo — the sharded recovery path resolves prepares against the
+// coordinator log and re-applies the committed ones itself.
 func ApplyRecord(db *storage.DB, rec Record) {
+	if rec.Kind != RecordCommit {
+		return
+	}
 	for _, u := range rec.Writes {
 		row := db.ResolveOrInsert(txn.Key(u.Key))
 		if row == nil {

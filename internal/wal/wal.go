@@ -15,12 +15,17 @@
 //	u32 payload length | u32 CRC32(payload) | payload
 //
 // payload: i64 txnID | u32 nWrites | nWrites × (u64 key | u64 ver |
-// u16 nFields | nFields × u64) | [u64 idemKey]. The trailing
+// u16 nFields | nFields × u64) | [u64 idemKey [u8 kind]]. The trailing
 // idempotency key is optional (older logs omit it; decode treats a
 // missing tail as key 0), carrying the serving layer's exactly-once
-// dedup window through crashes. Replay stops cleanly at a torn or
-// corrupt tail, which is how crash recovery discards incomplete group
-// flushes.
+// dedup window through crashes. The kind byte after it distinguishes
+// the multi-shard runtime's record roles — 2PC prepares, coordinator
+// commit decisions, coordinator boot marks — from plain redo; it is
+// written only for non-commit kinds, so commit records stay
+// byte-identical to the original format and the trailer remains
+// unambiguous by length (8 bytes = idemKey only, 9 = idemKey + kind).
+// Replay stops cleanly at a torn or corrupt tail, which is how crash
+// recovery discards incomplete group flushes.
 //
 // Records are addressed by LSN — the zero-based index of the record in
 // the log's lifetime append order. A Log opened over a directory
@@ -51,7 +56,34 @@ type Update struct {
 	Fields []uint64
 }
 
-// Record is one transaction's commit record.
+// RecordKind distinguishes the roles a log record can play. Plain redo
+// (RecordCommit) is the zero value and the only kind replay applies to
+// the store; the other kinds carry the multi-shard runtime's two-phase
+// commit protocol state through crashes.
+type RecordKind uint8
+
+const (
+	// RecordCommit is a committed transaction's redo images — the only
+	// kind ApplyRecord installs.
+	RecordCommit RecordKind = iota
+	// RecordPrepare is a 2PC participant's prepared redo: the write set
+	// a shard voted yes on, not yet decided. Recovery parks it until the
+	// coordinator log resolves the global transaction (TxnID carries the
+	// global transaction id); absence of a decision means abort.
+	RecordPrepare
+	// RecordDecision is a coordinator's durable commit decision for the
+	// global transaction in TxnID (presumed abort: only commits are
+	// logged). It carries no writes; IdemKey rides along so cross-shard
+	// exactly-once survives crashes.
+	RecordDecision
+	// RecordBoot marks a coordinator incarnation in its log. Counting
+	// boot records yields a monotonic epoch that keeps global
+	// transaction ids unique across restarts.
+	RecordBoot
+)
+
+// Record is one transaction's commit record (or, for non-commit kinds,
+// one 2PC protocol record).
 type Record struct {
 	TxnID  int64
 	Writes []Update
@@ -60,6 +92,8 @@ type Record struct {
 	// serving layer's dedup window so resubmission after a crash stays
 	// exactly-once.
 	IdemKey uint64
+	// Kind is the record's role; the zero value is plain redo.
+	Kind RecordKind
 }
 
 // Syncer is the stable-storage barrier a durable log flushes through:
@@ -313,8 +347,12 @@ func appendRecord(buf []byte, rec Record) []byte {
 	}
 	// Trailing idempotency key: written only when set, so logs from
 	// clients that do not use idempotency stay byte-identical to the
-	// original format.
-	if rec.IdemKey != 0 {
+	// original format. Non-commit kinds always write the key plus a
+	// kind byte; the trailer stays unambiguous by length.
+	if rec.Kind != RecordCommit {
+		buf = binary.LittleEndian.AppendUint64(buf, rec.IdemKey)
+		buf = append(buf, byte(rec.Kind))
+	} else if rec.IdemKey != 0 {
 		buf = binary.LittleEndian.AppendUint64(buf, rec.IdemKey)
 	}
 	payload := buf[head+8:]
@@ -385,7 +423,11 @@ func decodePayload(b []byte) (Record, error) {
 		}
 		rec.Writes = append(rec.Writes, u)
 	}
-	if len(b) >= off+8 {
+	switch rest := len(b) - off; {
+	case rest >= 9:
+		rec.IdemKey = binary.LittleEndian.Uint64(b[off : off+8])
+		rec.Kind = RecordKind(b[off+8])
+	case rest >= 8:
 		rec.IdemKey = binary.LittleEndian.Uint64(b[off : off+8])
 	}
 	return rec, nil
