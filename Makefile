@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: test race bench-micro bench-serve
+.PHONY: test race bench-micro bench-serve bench-cmp
 
 test:
 	$(GO) build ./...
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/deferment/ ./internal/engine/ ./internal/wal/ ./internal/overload/ ./internal/server/ ./internal/chaos/
+	$(GO) test -race ./internal/deferment/ ./internal/engine/ ./internal/wal/ ./internal/overload/ ./internal/server/ ./internal/shard/ ./internal/chaos/ ./internal/bench/
 
 # Microbenchmarks with allocation counts: the wire codec, the WAL
 # append/flush path, and the engine phase loop.
@@ -18,6 +18,13 @@ bench-micro:
 
 # End-to-end serve-path baseline: boots an in-process server, drives it
 # over TCP, and rewrites BENCH_serve.json (the old "current" becomes
-# "previous"). Pinned seed; see cmd/tskd-perf.
+# "previous"). Pinned seed, 3 serve reps (for cmp's CI rule), and the
+# distributed 1-vs-4-agent phase; see cmd/tskd-perf.
 bench-serve:
-	$(GO) run ./cmd/tskd-perf -seed 1 -out BENCH_serve.json -prev BENCH_serve.json
+	$(GO) run ./cmd/tskd-perf -seed 1 -reps 3 -agents 4 -out BENCH_serve.json -prev BENCH_serve.json
+
+# Local version of the CI regression gate: rerun the gated phases and
+# cmp against the committed baseline (exit 1 = significant regression).
+bench-cmp:
+	$(GO) run ./cmd/tskd-perf -seed 1 -reps 3 -overload 0 -shards 0 -agents 0 -out /tmp/tskd-bench-new.json
+	$(GO) run ./cmd/tskd-perf cmp BENCH_serve.json /tmp/tskd-bench-new.json

@@ -26,14 +26,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (or 'all')")
-		scale  = flag.String("scale", "full", "parameter scale: full, mid, or quick")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		seed   = flag.Int64("seed", 1, "random seed")
-		bundle = flag.Int("bundle", 0, "override bundle size")
-		cores  = flag.Int("cores", 0, "override #core")
-		ccName = flag.String("cc", "", "override CC protocol")
-		opUS   = flag.Int("optime-us", -1, "override per-op work in microseconds")
+		exp     = flag.String("exp", "", "experiment id (or 'all')")
+		scale   = flag.String("scale", "full", "parameter scale: full, mid, or quick")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		seed    = flag.Int64("seed", 1, "random seed")
+		bundle  = flag.Int("bundle", 0, "override bundle size")
+		cores   = flag.Int("cores", 0, "override #core")
+		ccName  = flag.String("cc", "", "override CC protocol")
+		opUS    = flag.Int("optime-us", -1, "override per-op work in microseconds")
 		csvDir  = flag.String("csv", "", "also write each experiment's rows to <dir>/<id>.csv")
 		jsonDir = flag.String("json", "", "also write each experiment's rows to <dir>/<id>.json")
 

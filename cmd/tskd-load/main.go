@@ -11,6 +11,21 @@
 //	tskd-load -addr localhost:7070 -mode closed -clients 16 -n 50000
 //	tskd-load -mode open -rate 20000 -arrival poisson -n 100000
 //
+// Distributed generation (warp-style agent/coordinator): run one agent
+// per load machine, then point a coordinator at the fleet. The
+// coordinator splits the workload, starts every agent on a synchronized
+// wall-clock barrier, and merges the shipped histograms — percentiles
+// come from the combined population, never from averaging per-agent
+// percentiles.
+//
+//	tskd-load -agent :7071                 # on each load machine
+//	tskd-load -agents lg1:7071,lg2:7071 -mode open -rate 80000 -n 400000
+//	tskd-load -local-agents 4 -mode open -rate 80000 -n 400000
+//
+// -local-agents N forks N agent subprocesses of this binary on
+// ephemeral ports and coordinates them — multi-process load generation
+// on one box with no external orchestration (what CI uses).
+//
 // Transactions are YCSB-style: -theta, -opstxn, -readratio, -records
 // shape the generated access patterns (they must target the schema
 // tskd-serve loaded). Latency percentiles come from the repo's
@@ -32,64 +47,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
+	"log"
+	"net"
 	"os"
-	"sync"
+	"strings"
 	"time"
 
-	"tskd/internal/client"
-	"tskd/internal/metrics"
-	"tskd/internal/shard"
-	"tskd/internal/workload"
+	"tskd/internal/bench"
 )
-
-type outcome struct {
-	status  string
-	retries int
-	raMS    int64         // retry-after hint on rejection
-	e2e     time.Duration // submit to response, wall clock
-	queue   time.Duration // server-reported admission wait
-	exec    time.Duration // server-reported virtual execution time
-}
-
-type tally struct {
-	sent, committed, rejected, aborted, canceled, errors uint64
-	expired, shed                                        uint64
-	retries                                              uint64
-	e2e, queue, exec                                     metrics.Histogram
-}
-
-func (ta *tally) add(o outcome) {
-	ta.sent++
-	switch o.status {
-	case client.StatusCommit:
-		ta.committed++
-		ta.retries += uint64(o.retries)
-		ta.e2e.Record(o.e2e)
-		ta.queue.Record(o.queue)
-		ta.exec.Record(o.exec)
-	case client.StatusRejected:
-		ta.rejected++
-	case client.StatusShed:
-		ta.shed++
-	case client.StatusExpired:
-		ta.expired++
-	case client.StatusAbort:
-		ta.aborted++
-	case client.StatusCanceled:
-		ta.canceled++
-	default:
-		ta.errors++
-	}
-}
-
-// terminal reports how many submissions reached a terminal decision —
-// the denominator of throughput, versus goodput's committed-only
-// numerator. Rejected and shed attempts are excluded: in a closed loop
-// they are resubmitted, in an open loop they are lost offered load.
-func (ta *tally) terminal() uint64 {
-	return ta.committed + ta.aborted + ta.canceled + ta.expired
-}
 
 func main() {
 	var (
@@ -113,55 +78,131 @@ func main() {
 		deadline  = flag.Duration("deadline", 0, "end-to-end deadline stamped on every submission (0 = none)")
 		lowpri    = flag.Float64("lowpri", 0, "fraction of submissions marked low priority (shed first)")
 		jsonOut   = flag.Bool("json", false, "print the summary as JSON")
+
+		agentAddr  = flag.String("agent", "", "run as a load agent listening on this control address (e.g. :7071)")
+		agents     = flag.String("agents", "", "coordinate these comma-separated agent control addresses")
+		localN     = flag.Int("local-agents", 0, "spawn N local agent subprocesses and coordinate them")
+		startDelay = flag.Duration("start-delay", 500*time.Millisecond, "coordinator: lead time before the synchronized start barrier")
 	)
 	flag.Parse()
 
-	gen := workload.YCSB{
-		Records: *records, Theta: *theta, OpsPerTxn: *opsTxn,
-		ReadRatio: *readRatio, RMW: *rmw,
+	if *agentAddr != "" {
+		runAgent(*agentAddr)
+		return
 	}
-	if *multiKey > 0 && *shards <= 1 {
-		fmt.Fprintln(os.Stderr, "tskd-load: -multi-key needs -shards > 1")
-		os.Exit(2)
+
+	nshards := *shards
+	if nshards <= 1 {
+		nshards = 0
 	}
-	shape := reqShape{
-		deadlineMS: deadlineMS(*deadline), lowpri: *lowpri,
-		shards: *shards, multiKey: *multiKey,
+	spec := bench.Spec{
+		Addr: *addr, Mode: *mode,
+		Clients: *clients, Rate: *rate, Arrival: *arrival, N: *n,
+		TimeoutMS: (*timeout).Milliseconds(),
+		Records:   *records, Theta: *theta, OpsPerTxn: *opsTxn,
+		ReadRatio: *readRatio, RMW: *rmw, Seed: *seed,
+		Reliable: *reliable,
+		Shards:   nshards, MultiKey: *multiKey,
+		DeadlineMS: deadlineMS(*deadline), LowPri: *lowpri,
+	}
+	if *mode == "open" {
+		spec.Conns = *conns
 	}
 
 	var (
-		ta      tally
-		elapsed time.Duration
+		summary bench.Summary
 		err     error
 	)
-	switch *mode {
-	case "closed":
-		elapsed, err = runClosed(*addr, gen, shape, *clients, *n, *seed, *timeout, *reliable, &ta)
-	case "open":
-		elapsed, err = runOpen(*addr, gen, shape, *conns, *rate, *arrival, *n, *seed, *timeout, &ta)
+	switch {
+	case *agents != "" && *localN > 0:
+		err = fmt.Errorf("-agents and -local-agents are mutually exclusive")
+	case *agents != "":
+		summary, err = coordinate(strings.Split(*agents, ","), spec, *startDelay, *timeout)
+	case *localN > 0:
+		summary, err = coordinateLocal(*localN, spec, *startDelay, *timeout)
 	default:
-		err = fmt.Errorf("unknown mode %q (closed, open)", *mode)
+		var res bench.Result
+		res, err = bench.RunLocal(context.Background(), spec)
+		if err == nil {
+			summary, err = bench.Merge([]bench.Result{res})
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tskd-load:", err)
 		os.Exit(1)
 	}
-	report(*mode, elapsed, &ta, *jsonOut)
-	if ta.errors > 0 {
+	report(*mode, summary, *jsonOut)
+	if summary.Counts.Errors > 0 {
 		os.Exit(1)
 	}
 }
 
-// reqShape decorates generated requests with the overload-resilience
-// wire fields — a relative deadline budget and a low-priority fraction
-// — and, against a sharded server, reshapes key footprints so a
-// configurable fraction of transactions span two shards (the rest are
-// confined to one).
-type reqShape struct {
-	deadlineMS int64
-	lowpri     float64
-	shards     int
-	multiKey   float64
+// runAgent turns the process into a load agent: bind the control
+// listener, announce the bound address on stdout (spawners scan for the
+// banner to learn an ephemeral port), serve coordinators until killed.
+func runAgent(listen string) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-load:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s%s\n", bench.ListenBanner, ln.Addr())
+	os.Stdout.Sync()
+	logger := log.New(os.Stderr, "tskd-load agent: ", log.LstdFlags)
+	if err := bench.ServeAgent(ln, ln.Addr().String(), logger.Printf); err != nil {
+		logger.Printf("listener: %v", err)
+		os.Exit(1)
+	}
+}
+
+// coordinate fans spec out across already-running agents and merges
+// their results.
+func coordinate(addrs []string, spec bench.Spec, startDelay, timeout time.Duration) (bench.Summary, error) {
+	var fleet []*bench.AgentClient
+	defer func() {
+		for _, a := range fleet {
+			a.Close()
+		}
+	}()
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		a, err := bench.DialAgent(addr)
+		if err != nil {
+			return bench.Summary{}, err
+		}
+		fleet = append(fleet, a)
+	}
+	if len(fleet) == 0 {
+		return bench.Summary{}, fmt.Errorf("no agent addresses in -agents")
+	}
+	return coordinateFleet(fleet, spec, startDelay, timeout)
+}
+
+// coordinateLocal spawns n agent subprocesses of this binary and
+// coordinates them — a multi-process fleet on one machine.
+func coordinateLocal(n int, spec bench.Spec, startDelay, timeout time.Duration) (bench.Summary, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return bench.Summary{}, err
+	}
+	fleet, stop, err := bench.SpawnLocalAgents(n, self, "-agent", "127.0.0.1:0")
+	if err != nil {
+		return bench.Summary{}, err
+	}
+	defer stop()
+	return coordinateFleet(fleet, spec, startDelay, timeout)
+}
+
+func coordinateFleet(fleet []*bench.AgentClient, spec bench.Spec, startDelay, timeout time.Duration) (bench.Summary, error) {
+	collect := 2*timeout + 10*time.Minute // run length is workload-bound, not timeout-bound
+	results, err := bench.Coordinate(fleet, spec.Split(len(fleet)), startDelay, collect)
+	if err != nil {
+		return bench.Summary{}, err
+	}
+	return bench.Merge(results)
 }
 
 func deadlineMS(d time.Duration) int64 {
@@ -174,284 +215,27 @@ func deadlineMS(d time.Duration) int64 {
 	return 1
 }
 
-func (rs reqShape) apply(reqs []client.Request, seed int64) {
-	if rs.deadlineMS == 0 && rs.lowpri <= 0 {
-		return
-	}
-	rng := rand.New(rand.NewSource(seed ^ 0x10ad))
-	for i := range reqs {
-		reqs[i].DeadlineMS = rs.deadlineMS
-		if rs.lowpri > 0 && rng.Float64() < rs.lowpri {
-			reqs[i].Priority = 1
-		}
-	}
-}
-
-// makeRequests pre-generates a client's submission stream so encoding
-// cost stays off the timed path.
-func makeRequests(gen workload.YCSB, shape reqShape, n int, seed int64) ([]client.Request, error) {
-	g := gen
-	g.Txns = n
-	g.Seed = seed
-	w := g.Generate()
-	if shape.shards > 1 {
-		shard.Confine(w, shape.shards, shape.multiKey, uint64(gen.Records), seed)
-	}
-	reqs := make([]client.Request, len(w))
-	for i, t := range w {
-		req, err := client.NewRequest(0, t)
-		if err != nil {
-			return nil, err
-		}
-		reqs[i] = req
-	}
-	shape.apply(reqs, seed)
-	return reqs, nil
-}
-
-// runClosed drives k clients, each submit-wait-repeat over its own
-// connection. A rejected or shed submission backs off by the server's
-// retry-after hint and retries; an expired one is terminal — its
-// deadline budget is spent, so retrying it is exactly the wasted work
-// deadlines exist to avoid. The closed-loop contract is that every
-// generated transaction eventually reaches a terminal outcome. With
-// reliable set, each client is a ReliableConn instead: rejections,
-// shedding, reconnects and resubmissions happen inside Submit under a
-// stable idempotency key (and Submit itself stops retrying a
-// deadline-doomed request), so the loop keeps going through a server
-// crash-restart.
-func runClosed(addr string, gen workload.YCSB, shape reqShape, k, total int, seed int64, timeout time.Duration, reliable bool, ta *tally) (time.Duration, error) {
-	perClient := (total + k - 1) / k
-	outcomes := make(chan outcome, 1024)
-	errs := make(chan error, k)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for ci := 0; ci < k; ci++ {
-		wg.Add(1)
-		go func(ci int) {
-			defer wg.Done()
-			reqs, err := makeRequests(gen, shape, perClient, seed+int64(ci)*7919)
-			if err != nil {
-				errs <- err
-				return
-			}
-			if reliable {
-				// Zero Seed: fresh idempotency keyspace every run.
-				// Deriving it from -seed would make a re-run of the same
-				// benchmark against a durable server an all-duplicate
-				// no-op — the dedup window would answer every submission
-				// from cache instead of executing it.
-				rc := client.DialReliable(addr, client.RetryPolicy{})
-				defer rc.Close()
-				for _, req := range reqs {
-					o, err := submitReliable(rc, req, timeout)
-					if err != nil {
-						errs <- err
-						return
-					}
-					outcomes <- o
-				}
-				return
-			}
-			conn, err := client.Dial(addr)
-			if err != nil {
-				errs <- err
-				return
-			}
-			defer conn.Close()
-			for _, req := range reqs {
-				for {
-					o, err := submitOne(conn, req, timeout)
-					if err != nil {
-						errs <- err
-						return
-					}
-					if o.status != client.StatusRejected && o.status != client.StatusShed {
-						outcomes <- o
-						break
-					}
-					// Backpressure: honor the hint, then resubmit.
-					outcomes <- o
-					time.Sleep(time.Duration(maxI64(1, o.raMS)) * time.Millisecond)
-				}
-			}
-		}(ci)
-	}
-	collectDone := make(chan struct{})
-	go func() {
-		for o := range outcomes {
-			ta.add(o)
-		}
-		close(collectDone)
-	}()
-	wg.Wait()
-	close(outcomes)
-	<-collectDone
-	elapsed := time.Since(start)
-	select {
-	case err := <-errs:
-		return elapsed, err
-	default:
-		return elapsed, nil
-	}
-}
-
-// runOpen offers load at a fixed rate: arrivals fire on schedule
-// regardless of outstanding responses, spread round-robin over a small
-// connection pool. Rejections are recorded, not retried — in an open
-// system the arrival is lost offered load, which is exactly what the
-// rejection rate measures.
-func runOpen(addr string, gen workload.YCSB, shape reqShape, nconns int, rate float64, arrival string, total int, seed int64, timeout time.Duration, ta *tally) (time.Duration, error) {
-	if rate <= 0 {
-		return 0, fmt.Errorf("open loop needs -rate > 0")
-	}
-	if arrival != "poisson" && arrival != "uniform" {
-		return 0, fmt.Errorf("unknown arrival process %q (poisson, uniform)", arrival)
-	}
-	reqs, err := makeRequests(gen, shape, total, seed)
-	if err != nil {
-		return 0, err
-	}
-	pool := make([]*client.Conn, nconns)
-	for i := range pool {
-		c, err := client.Dial(addr)
-		if err != nil {
-			return 0, err
-		}
-		defer c.Close()
-		pool[i] = c
-	}
-
-	rng := rand.New(rand.NewSource(seed))
-	mean := float64(time.Second) / rate
-	outcomes := make(chan outcome, 1024)
-	collectDone := make(chan struct{})
-	go func() {
-		for o := range outcomes {
-			ta.add(o)
-		}
-		close(collectDone)
-	}()
-
-	var wg sync.WaitGroup
-	start := time.Now()
-	next := start
-	for i, req := range reqs {
-		// Schedule the next arrival instant, then sleep until it.
-		var gap time.Duration
-		if arrival == "poisson" {
-			gap = time.Duration(rng.ExpFloat64() * mean)
-		} else {
-			gap = time.Duration(mean)
-		}
-		next = next.Add(gap)
-		if d := time.Until(next); d > 0 {
-			time.Sleep(d)
-		}
-		conn := pool[i%nconns]
-		wg.Add(1)
-		go func(req client.Request) {
-			defer wg.Done()
-			o, err := submitOne(conn, req, timeout)
-			if err != nil {
-				o = outcome{status: "error"}
-			}
-			outcomes <- o
-		}(req)
-	}
-	wg.Wait()
-	close(outcomes)
-	<-collectDone
-	return time.Since(start), nil
-}
-
-// submitReliable submits through a ReliableConn until the transaction
-// reaches a terminal outcome; the end-to-end latency includes every
-// backoff and reconnect, which is what a real caller experiences.
-func submitReliable(rc *client.ReliableConn, req client.Request, timeout time.Duration) (outcome, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	t0 := time.Now()
-	resp, err := rc.Submit(ctx, req)
-	if err != nil {
-		return outcome{}, err
-	}
-	return outcome{
-		status:  resp.Status,
-		retries: resp.Retries,
-		raMS:    resp.RetryAfterMS,
-		e2e:     time.Since(t0),
-		queue:   time.Duration(resp.QueueUS) * time.Microsecond,
-		exec:    time.Duration(resp.ExecUS) * time.Microsecond,
-	}, nil
-}
-
-// submitOne submits and converts the response into an outcome.
-func submitOne(conn *client.Conn, req client.Request, timeout time.Duration) (outcome, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	t0 := time.Now()
-	resp, err := conn.Submit(ctx, req)
-	if err != nil {
-		return outcome{}, err
-	}
-	o := outcome{
-		status:  resp.Status,
-		retries: resp.Retries,
-		e2e:     time.Since(t0),
-		queue:   time.Duration(resp.QueueUS) * time.Microsecond,
-		exec:    time.Duration(resp.ExecUS) * time.Microsecond,
-	}
-	o.raMS = resp.RetryAfterMS
-	return o, nil
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// report prints the run summary, human or JSON. Throughput counts
+// report prints the merged summary, human or JSON. Throughput counts
 // terminal decisions per second (committed, aborted, canceled,
 // expired); goodput counts only commits — under overload the gap
 // between the two is the work the server concluded without doing.
-func report(mode string, elapsed time.Duration, ta *tally, asJSON bool) {
-	tput, goodput := 0.0, 0.0
-	if elapsed > 0 {
-		tput = float64(ta.terminal()) / elapsed.Seconds()
-		goodput = float64(ta.committed) / elapsed.Seconds()
-	}
+func report(mode string, s bench.Summary, asJSON bool) {
 	if asJSON {
-		out := map[string]any{
-			"mode":       mode,
-			"elapsed_s":  elapsed.Seconds(),
-			"sent":       ta.sent,
-			"committed":  ta.committed,
-			"rejected":   ta.rejected,
-			"shed":       ta.shed,
-			"expired":    ta.expired,
-			"aborted":    ta.aborted,
-			"canceled":   ta.canceled,
-			"errors":     ta.errors,
-			"retries":    ta.retries,
-			"throughput": tput,
-			"goodput":    goodput,
-			"latency":    ta.e2e.Snapshot(),
-			"queue_wait": ta.queue.Snapshot(),
-			"exec":       ta.exec.Snapshot(),
-		}
+		out := struct {
+			Mode string `json:"mode"`
+			bench.Summary
+		}{mode, s}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		enc.Encode(out)
 		return
 	}
-	fmt.Printf("tskd-load: mode=%s elapsed=%v\n", mode, elapsed.Round(time.Millisecond))
+	c := s.Counts
+	fmt.Printf("tskd-load: mode=%s agents=%d elapsed=%.3fs\n", mode, s.Agents, s.ElapsedS)
 	fmt.Printf(" sent=%d committed=%d rejected=%d shed=%d expired=%d aborted=%d canceled=%d errors=%d server-retries=%d\n",
-		ta.sent, ta.committed, ta.rejected, ta.shed, ta.expired, ta.aborted, ta.canceled, ta.errors, ta.retries)
-	fmt.Printf(" throughput=%.1f txn/s goodput=%.1f txn/s\n", tput, goodput)
-	ta.e2e.Print(os.Stdout, " latency  ")
-	ta.queue.Print(os.Stdout, " queuewait")
-	ta.exec.Print(os.Stdout, " exec     ")
+		c.Sent, c.Committed, c.Rejected, c.Shed, c.Expired, c.Aborted, c.Canceled, c.Errors, c.Retries)
+	fmt.Printf(" throughput=%.1f txn/s goodput=%.1f txn/s\n", s.ThroughputTxnS, s.GoodputTxnS)
+	fmt.Printf(" latency   p50=%dus p90=%dus p99=%dus p999=%dus max=%dus mean=%dus (merged across %d agent population(s))\n",
+		s.P50US, s.P90US, s.P99US, s.P999US, s.MaxUS, s.MeanUS, s.Agents)
+	fmt.Printf(" queuewait p99=%dus  exec p99=%dus\n", s.QueueP99US, s.ExecP99US)
 }

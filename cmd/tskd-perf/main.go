@@ -3,678 +3,254 @@
 // closed-loop clients over real TCP connections, and reports
 // throughput, client-observed latency percentiles, and allocations per
 // committed transaction (runtime Mallocs delta across the measured
-// load), plus the wire/WAL microbenchmark allocation rates.
+// load), plus the wire/WAL microbenchmark allocation rates. Optional
+// phases add overload (open-loop burst with deadlines), sharded
+// scaling, and distributed load generation (1 vs N agent subprocesses
+// coordinated over the warp-style control protocol).
 //
-// Results are written as JSON (default BENCH_serve.json). When -prev
-// points at an earlier results file, its "current" block is embedded as
-// "previous", so the committed baseline carries its own history:
+// Results are written as JSON (default BENCH_serve.json) stamped with
+// the measuring environment (go version, GOOS/GOARCH, GOMAXPROCS,
+// commit). When -prev points at an earlier results file, its "current"
+// block is embedded as "previous", so the committed baseline carries
+// its own history. -reps N repeats the serve phase and records the raw
+// per-rep samples, enabling cmp's confidence-interval rule.
 //
-//	tskd-perf -out BENCH_serve.json -prev BENCH_serve.json
+// Subcommands:
 //
-// The CI bench job runs exactly that (pinned seed) and uploads the
-// file; compare runs with any JSON diff.
+//	tskd-perf                         # measure, write BENCH_serve.json
+//	tskd-perf analyze BENCH_serve.json
+//	tskd-perf cmp OLD.json NEW.json   # exit 1 on significant regression
+//	tskd-perf agent 127.0.0.1:0       # internal: load-agent subprocess
+//
+// cmp refuses comparisons across incompatible environments (different
+// go toolchain or platform) unless -allow-env-mismatch is passed; CI
+// passes it deliberately, with loosened thresholds, when gating a PR
+// against the committed baseline. The gate itself can be bypassed by
+// labeling the PR `perf-override` (see .github/workflows/ci.yml).
 package main
 
 import (
-	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
+	"log"
+	"net"
 	"os"
 	"runtime"
-	"sync"
-	"testing"
 	"time"
 
-	"tskd/internal/client"
-	"tskd/internal/core"
-	"tskd/internal/metrics"
-	"tskd/internal/server"
-	"tskd/internal/shard"
-	"tskd/internal/storage"
-	"tskd/internal/wal"
-	"tskd/internal/workload"
+	"tskd/internal/bench"
 )
 
-// Micro is the allocation rate of each wire/WAL micro-operation,
-// measured with testing.AllocsPerRun.
-type Micro struct {
-	WireEncodeAllocs         float64 `json:"wire_encode_allocs_per_op"`
-	WireDecodeRequestAllocs  float64 `json:"wire_decode_request_allocs_per_op"`
-	WireDecodeResponseAllocs float64 `json:"wire_decode_response_allocs_per_op"`
-	WALAppendAllocs          float64 `json:"wal_append_allocs_per_op"`
-}
-
-// Results is one measured serve-path run.
-type Results struct {
-	ThroughputTxnS float64 `json:"throughput_txn_s"`
-	P50US          int64   `json:"latency_p50_us"`
-	P95US          int64   `json:"latency_p95_us"`
-	P99US          int64   `json:"latency_p99_us"`
-	AllocsPerTxn   float64 `json:"allocs_per_txn"`
-	Committed      uint64  `json:"committed"`
-	Submitted      uint64  `json:"submitted"`
-	Micro          Micro   `json:"micro"`
-}
-
-// OverloadResults is the overload phase: an open-loop burst offered at
-// a multiple of the measured closed-loop throughput, every submission
-// carrying a deadline. The point is graceful degradation — accepted
-// work keeps a bounded p99 while the excess is shed or expired, rather
-// than every response drowning in queueing delay.
-type OverloadResults struct {
-	Multiplier      float64 `json:"multiplier"`
-	OfferedRateTxnS float64 `json:"offered_rate_txn_s"`
-	DeadlineMS      int64   `json:"deadline_ms"`
-	Submitted       uint64  `json:"submitted"`
-	Committed       uint64  `json:"committed"`
-	Rejected        uint64  `json:"rejected"`
-	Shed            uint64  `json:"shed"`
-	Expired         uint64  `json:"expired"`
-	Other           uint64  `json:"other"`
-	Errors          uint64  `json:"errors"`
-	GoodputTxnS     float64 `json:"goodput_txn_s"`
-	AcceptedP50US   int64   `json:"accepted_latency_p50_us"`
-	AcceptedP99US   int64   `json:"accepted_latency_p99_us"`
-	ServerShedLevel float64 `json:"server_shed_level"`
-	ServerBrownouts uint64  `json:"server_brownout_enters"`
-}
-
-// ShardedPoint is one sharded serve-path measurement: a closed-loop
-// run against a server with the given shard count, crossFrac of the
-// generated transactions spanning two shards (committing via 2PC).
-type ShardedPoint struct {
-	Shards         int     `json:"shards"`
-	CrossFrac      float64 `json:"cross_frac"`
-	BundlePerShard int     `json:"bundle_per_shard"`
-	ThroughputTxnS float64 `json:"throughput_txn_s"`
-	P50US          int64   `json:"latency_p50_us"`
-	P99US          int64   `json:"latency_p99_us"`
-	Committed      uint64  `json:"committed"`
-	Cross2PC       uint64  `json:"cross_2pc_committed"`
-}
-
-// ShardedResults is the sharded phase: the same total admission batch
-// (-shard-bundle) either scheduled as one bundle on one engine, or
-// hash-split by key ownership into N independent per-shard bundles of
-// bundle/N. The phase runs its own operating point — a small, highly
-// skewed table (-shard-records, -shard-theta) under a deep pipelined
-// closed loop — because the win sharding buys on one box is a
-// scheduling-cost effect, not core-count parallelism: conflict
-// analysis is O(sum over keys of c_k^2) in the per-key access counts,
-// so splitting a hot bundle N ways cuts both the bundle width and
-// each hot key's accessor count, shrinking the quadratic term ~N^2/N
-// = N-fold per transaction. At low skew or narrow bundles the
-// partition-invariant per-request cost (wire, parse, respond)
-// dominates and the ratio honestly approaches 1x, which is why the
-// phase pins the contended configuration rather than inheriting the
-// main phase's.
-type ShardedResults struct {
-	Points  []ShardedPoint `json:"points"`
-	Speedup float64        `json:"speedup_sharded_0cross"`
-}
-
-// Report is the BENCH_serve.json document.
-type Report struct {
-	GeneratedAt string           `json:"generated_at"`
-	GoVersion   string           `json:"go_version"`
-	Config      map[string]any   `json:"config"`
-	Current     Results          `json:"current"`
-	Overload    *OverloadResults `json:"overload,omitempty"`
-	Sharded     *ShardedResults  `json:"sharded,omitempty"`
-	Previous    *Results         `json:"previous,omitempty"`
-}
-
 func main() {
-	var (
-		clients   = flag.Int("clients", 64, "concurrent closed-loop client connections")
-		perClient = flag.Int("per-client", 500, "transactions submitted per client")
-		records   = flag.Int("records", 100_000, "YCSB table size")
-		theta     = flag.Float64("theta", 0.8, "YCSB zipf skew")
-		ops       = flag.Int("ops", 16, "operations per transaction")
-		bundle    = flag.Int("bundle", 256, "server bundle size")
-		ccName    = flag.String("cc", "OCC", "CC protocol")
-		workers   = flag.Int("workers", 4, "engine workers")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		overload  = flag.Float64("overload", 2, "overload phase: offered rate as a multiple of measured throughput (0 disables)")
-		overDL    = flag.Duration("overload-deadline", 250*time.Millisecond, "deadline stamped on overload-phase submissions")
-		overN     = flag.Int("overload-n", 0, "overload-phase submissions (0 = two seconds of offered load)")
-		shardN    = flag.Int("shards", 4, "sharded phase: shard count to compare against single-shard (0 disables the phase)")
-		shardCli  = flag.Int("shard-clients", 2048, "sharded phase: pipelined in-flight submitters (shared over a 16-conn pool)")
-		shardPer  = flag.Int("shard-per-client", 6, "sharded phase: transactions per submitter")
-		shardBun  = flag.Int("shard-bundle", 2048, "sharded phase: total admission batch (split per shard in sharded mode)")
-		shardRec  = flag.Int("shard-records", 1000, "sharded phase: YCSB table size")
-		shardTh   = flag.Float64("shard-theta", 0.99, "sharded phase: YCSB zipf skew")
-		out       = flag.String("out", "BENCH_serve.json", "results file to write")
-		prev      = flag.String("prev", "", "earlier results file whose 'current' becomes 'previous'")
-	)
-	flag.Parse()
-
-	var previous *Results
-	if *prev != "" {
-		if b, err := os.ReadFile(*prev); err == nil {
-			var old Report
-			if json.Unmarshal(b, &old) == nil {
-				previous = &old.Current
-			}
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "analyze":
+			os.Exit(analyzeMain(os.Args[2:]))
+		case "cmp":
+			os.Exit(cmpMain(os.Args[2:]))
+		case "agent":
+			agentMain(os.Args[2:])
+			return
 		}
 	}
+	os.Exit(measureMain(os.Args[1:]))
+}
 
-	res, err := measure(*clients, *perClient, *records, *theta, *ops, *bundle, *ccName, *workers, *seed)
+// analyzeMain pretty-prints one results file.
+func analyzeMain(args []string) int {
+	fs := flag.NewFlagSet("tskd-perf analyze", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tskd-perf analyze <result.json>")
+		return 2
+	}
+	rep, err := bench.ReadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-perf:", err)
+		return 2
+	}
+	bench.Analyze(os.Stdout, rep)
+	return 0
+}
+
+// cmpMain diffs two results files and exits 1 when any metric
+// regresses beyond the significance rule — the CI gate's teeth.
+func cmpMain(args []string) int {
+	fs := flag.NewFlagSet("tskd-perf cmp", flag.ExitOnError)
+	var (
+		tputDrop    = fs.Float64("tput-drop", bench.DefaultThresholds.TputDrop, "relative throughput drop that fails (threshold rule)")
+		goodputDrop = fs.Float64("goodput-drop", bench.DefaultThresholds.GoodputDrop, "relative overload-goodput drop that fails")
+		p99Grow     = fs.Float64("p99-grow", bench.DefaultThresholds.P99Grow, "relative p99 growth that fails")
+		allocsGrow  = fs.Float64("allocs-grow", bench.DefaultThresholds.AllocsGrow, "relative allocs/txn growth that fails")
+		noiseFloor  = fs.Float64("noise-floor", 0.02, "minimum relative delta treated as meaningful under the CI-overlap rule")
+		allowEnv    = fs.Bool("allow-env-mismatch", false, "compare across incompatible environments anyway (warns instead of refusing)")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tskd-perf cmp [flags] <old.json> <new.json>")
+		return 2
+	}
+	oldRep, err := bench.ReadReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-perf:", err)
+		return 2
+	}
+	newRep, err := bench.ReadReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-perf:", err)
+		return 2
+	}
+	opt := bench.CmpOptions{
+		Thresholds: bench.Thresholds{
+			TputDrop: *tputDrop, GoodputDrop: *goodputDrop,
+			P99Grow: *p99Grow, AllocsGrow: *allocsGrow,
+		},
+		AllowEnvMismatch: *allowEnv,
+		NoiseFloor:       *noiseFloor,
+	}
+	verdicts, warnings, err := bench.Compare(oldRep, newRep, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-perf:", err)
+		return 2
+	}
+	fmt.Printf("cmp %s -> %s\n", fs.Arg(0), fs.Arg(1))
+	bench.FormatVerdicts(os.Stdout, verdicts, warnings)
+	if bench.HasRegression(verdicts) {
+		fmt.Println("result: REGRESSION")
+		return 1
+	}
+	fmt.Println("result: ok")
+	return 0
+}
+
+// agentMain is the subprocess side of the distributed phase: bind a
+// control listener, announce it, serve coordinators until killed.
+func agentMain(args []string) {
+	listen := "127.0.0.1:0"
+	if len(args) > 0 {
+		listen = args[0]
+	}
+	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tskd-perf:", err)
 		os.Exit(1)
 	}
+	fmt.Printf("%s%s\n", bench.ListenBanner, ln.Addr())
+	os.Stdout.Sync()
+	logger := log.New(os.Stderr, "tskd-perf agent: ", log.LstdFlags)
+	if err := bench.ServeAgent(ln, ln.Addr().String(), logger.Printf); err != nil {
+		logger.Printf("listener: %v", err)
+		os.Exit(1)
+	}
+}
+
+func measureMain(args []string) int {
+	fs := flag.NewFlagSet("tskd-perf", flag.ExitOnError)
+	var (
+		clients   = fs.Int("clients", 64, "concurrent closed-loop client connections")
+		perClient = fs.Int("per-client", 500, "transactions submitted per client")
+		records   = fs.Int("records", 100_000, "YCSB table size")
+		theta     = fs.Float64("theta", 0.8, "YCSB zipf skew")
+		ops       = fs.Int("ops", 16, "operations per transaction")
+		bundle    = fs.Int("bundle", 256, "server bundle size")
+		ccName    = fs.String("cc", "OCC", "CC protocol")
+		workers   = fs.Int("workers", 4, "engine workers")
+		seed      = fs.Int64("seed", 1, "workload seed")
+		reps      = fs.Int("reps", 1, "serve-phase repetitions; >1 records per-rep samples for cmp's CI rule")
+		overload  = fs.Float64("overload", 2, "overload phase: offered rate as a multiple of measured throughput (0 disables)")
+		overDL    = fs.Duration("overload-deadline", 250*time.Millisecond, "deadline stamped on overload-phase submissions")
+		overN     = fs.Int("overload-n", 0, "overload-phase submissions (0 = two seconds of offered load)")
+		shardN    = fs.Int("shards", 4, "sharded phase: shard count to compare against single-shard (0 disables the phase)")
+		shardCli  = fs.Int("shard-clients", 2048, "sharded phase: pipelined in-flight submitters (shared over a 16-conn pool)")
+		shardPer  = fs.Int("shard-per-client", 6, "sharded phase: transactions per submitter")
+		shardBun  = fs.Int("shard-bundle", 2048, "sharded phase: total admission batch (split per shard in sharded mode)")
+		shardRec  = fs.Int("shard-records", 1000, "sharded phase: YCSB table size")
+		shardTh   = fs.Float64("shard-theta", 0.99, "sharded phase: YCSB zipf skew")
+		agents    = fs.Int("agents", 0, "distributed phase: agent subprocesses to compare against one (0 disables the phase)")
+		agentRate = fs.Float64("agent-rate", 80_000, "distributed phase: aggregate open-loop target rate, txn/s (pinned past the single-process ceiling)")
+		agentDur  = fs.Duration("agent-dur", time.Second, "distributed phase: target run length at the target rate")
+		out       = fs.String("out", "BENCH_serve.json", "results file to write")
+		prev      = fs.String("prev", "", "earlier results file whose 'current' becomes 'previous'")
+	)
+	fs.Parse(args)
+
+	var previous *bench.Results
+	if *prev != "" {
+		if old, err := bench.ReadReport(*prev); err == nil {
+			previous = &old.Current
+		}
+	}
+
+	res, err := measureRepeated(*reps, *clients, *perClient, *records, *theta, *ops, *bundle, *ccName, *workers, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-perf:", err)
+		return 1
+	}
 	res.Micro = measureMicro()
 
-	var over *OverloadResults
+	var over *bench.OverloadResults
 	if *overload > 0 && res.ThroughputTxnS > 0 {
 		o, err := measureOverload(*records, *theta, *ops, *bundle, *ccName, *workers, *seed,
 			*overload, res.ThroughputTxnS, *overDL, *overN)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tskd-perf: overload phase:", err)
-			os.Exit(1)
+			return 1
 		}
 		over = &o
 	}
 
-	var sharded *ShardedResults
+	var sharded *bench.ShardedResults
 	if *shardN > 1 {
 		sh, err := measureSharded(*shardRec, *shardTh, *ops, *shardBun, *ccName, *workers, *seed,
 			*shardN, *shardCli, *shardPer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tskd-perf: sharded phase:", err)
-			os.Exit(1)
+			return 1
 		}
 		sharded = &sh
 	}
 
-	rep := Report{
+	var distributed *bench.DistributedResults
+	if *agents > 1 {
+		d, err := measureDistributed(*agents, *records, *theta, *ops, *bundle, *ccName, *workers, *seed,
+			*agentRate, *agentDur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tskd-perf: distributed phase:", err)
+			return 1
+		}
+		distributed = &d
+	}
+
+	env := bench.CaptureEnv()
+	rep := bench.Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
+		Env:         &env,
 		Config: map[string]any{
 			"clients": *clients, "per_client": *perClient, "records": *records,
 			"theta": *theta, "ops_per_txn": *ops, "bundle": *bundle,
-			"cc": *ccName, "workers": *workers, "seed": *seed,
+			"cc": *ccName, "workers": *workers, "seed": *seed, "reps": *reps,
 			"overload": *overload, "overload_deadline_ms": overDL.Milliseconds(),
 			"shards": *shardN, "shard_bundle": *shardBun, "shard_records": *shardRec,
 			"shard_theta": *shardTh, "shard_clients": *shardCli, "shard_per_client": *shardPer,
+			"agents": *agents, "agent_rate": *agentRate,
 		},
-		Current:  res,
-		Overload: over,
-		Sharded:  sharded,
-		Previous: previous,
+		Current:     res,
+		Overload:    over,
+		Sharded:     sharded,
+		Distributed: distributed,
+		Previous:    previous,
 	}
-	b, _ := json.MarshalIndent(rep, "", "  ")
-	b = append(b, '\n')
+	b, err := bench.EncodeReport(rep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-perf:", err)
+		return 1
+	}
 	if err := os.WriteFile(*out, b, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "tskd-perf:", err)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("serve path: %.0f txn/s, p50=%dus p95=%dus p99=%dus, %.1f allocs/txn (%d/%d committed)\n",
-		res.ThroughputTxnS, res.P50US, res.P95US, res.P99US, res.AllocsPerTxn, res.Committed, res.Submitted)
-	fmt.Printf("micro allocs/op: encode=%.1f decode-req=%.1f decode-resp=%.1f wal-append=%.1f\n",
-		res.Micro.WireEncodeAllocs, res.Micro.WireDecodeRequestAllocs,
-		res.Micro.WireDecodeResponseAllocs, res.Micro.WALAppendAllocs)
-	if over != nil {
-		fmt.Printf("overload %.1fx (%.0f txn/s offered, %dms deadline): goodput=%.0f txn/s, accepted p99=%dus, shed=%d expired=%d rejected=%d (level=%.2f brownouts=%d)\n",
-			over.Multiplier, over.OfferedRateTxnS, over.DeadlineMS, over.GoodputTxnS,
-			over.AcceptedP99US, over.Shed, over.Expired, over.Rejected,
-			over.ServerShedLevel, over.ServerBrownouts)
-	}
-	if sharded != nil {
-		for _, p := range sharded.Points {
-			fmt.Printf("sharded %d@%.0f%%: %.0f txn/s (p50=%dus p99=%dus, %d via 2PC)\n",
-				p.Shards, 100*p.CrossFrac, p.ThroughputTxnS, p.P50US, p.P99US, p.Cross2PC)
-		}
-		fmt.Printf("sharded speedup at 0%% cross: %.2fx\n", sharded.Speedup)
-	}
+	bench.Analyze(os.Stdout, rep)
 	fmt.Println("wrote", *out)
-}
-
-// measureSharded runs the sharded phase: single-shard baseline, then
-// N shards at 0%% and 10%% cross-shard, all over the same generated
-// workload shapes and the same total admission batch (-shard-bundle,
-// split per shard in sharded mode).
-func measureSharded(records int, theta float64, ops, bundle int, ccName string, workers int, seed int64, shards, clients, perClient int) (ShardedResults, error) {
-	var out ShardedResults
-	cases := []struct {
-		shards    int
-		crossFrac float64
-	}{{1, 0}, {shards, 0}, {shards, 0.10}}
-	for _, c := range cases {
-		p, err := measureShardedPoint(records, theta, ops, bundle, ccName, workers, seed,
-			c.shards, c.crossFrac, clients, perClient)
-		if err != nil {
-			return out, err
-		}
-		out.Points = append(out.Points, p)
-	}
-	if base := out.Points[0].ThroughputTxnS; base > 0 {
-		out.Speedup = out.Points[1].ThroughputTxnS / base
-	}
-	return out, nil
-}
-
-// measureShardedPoint boots one server (sharded when shards > 1,
-// the ordinary single-pipeline one otherwise) and drives a closed
-// loop whose key footprints are confined by shard.Confine: crossFrac
-// of the transactions span two shards, the rest stay on one.
-func measureShardedPoint(records int, theta float64, ops, bundle int, ccName string, workers int, seed int64, shards int, crossFrac float64, clients, perClient int) (ShardedPoint, error) {
-	gen := workload.YCSB{Records: records, Theta: theta, OpsPerTxn: ops, ReadRatio: 0.5, RMW: true}
-	perShardBundle := bundle
-	cfg := server.Config{
-		Addr:          "127.0.0.1:0",
-		FlushInterval: 2 * time.Millisecond,
-		Core:          core.Options{Workers: workers, Protocol: ccName, Seed: seed},
-	}
-	if shards > 1 {
-		perShardBundle = bundle / shards
-		if perShardBundle < 1 {
-			perShardBundle = 1
-		}
-		cfg.Shards = shards
-		cfg.ShardDB = func(int) *storage.DB { return gen.BuildDB() }
-	} else {
-		cfg.DB = gen.BuildDB()
-	}
-	cfg.Bundle = perShardBundle
-	s, err := server.New(cfg)
-	if err != nil {
-		return ShardedPoint{}, err
-	}
-	if err := s.Start(); err != nil {
-		return ShardedPoint{}, err
-	}
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		s.Shutdown(ctx)
-	}()
-
-	// Pipelined closed loop: `clients` submitter goroutines share a
-	// small connection pool, so a thousand-plus transactions stay in
-	// flight over a handful of sockets and the admission queue — and
-	// therefore the bundles — actually fill to the configured size.
-	// One socket per submitter would hit fd limits long before the
-	// bundle width that makes the scheduling term measurable.
-	const nconns = 16
-	pool := make([]*client.Conn, nconns)
-	for i := range pool {
-		c, err := client.Dial(s.Addr())
-		if err != nil {
-			return ShardedPoint{}, err
-		}
-		defer c.Close()
-		pool[i] = c
-	}
-	load := func(record bool) (uint64, *metrics.Histogram, error) {
-		var (
-			wg        sync.WaitGroup
-			mu        sync.Mutex
-			werr      error
-			merged    metrics.Histogram
-			committed uint64
-		)
-		for ci := 0; ci < clients; ci++ {
-			wg.Add(1)
-			go func(ci int) {
-				defer wg.Done()
-				g := gen
-				g.Txns = perClient
-				g.Seed = seed + int64(ci)*101
-				w := g.Generate()
-				shard.Confine(w, shards, crossFrac, uint64(records), g.Seed)
-				conn := pool[ci%nconns]
-				var n uint64
-				var h metrics.Histogram
-				for _, tx := range w {
-					req, err := client.NewRequest(0, tx)
-					if err != nil {
-						mu.Lock()
-						werr = err
-						mu.Unlock()
-						return
-					}
-					for {
-						t0 := time.Now()
-						resp, err := conn.Submit(context.Background(), req)
-						if err != nil {
-							mu.Lock()
-							werr = err
-							mu.Unlock()
-							return
-						}
-						if resp.Status == client.StatusRejected {
-							time.Sleep(time.Duration(resp.RetryAfterMS) * time.Millisecond)
-							continue
-						}
-						if record {
-							h.Record(time.Since(t0))
-						}
-						if resp.Committed() {
-							n++
-						}
-						break
-					}
-				}
-				mu.Lock()
-				committed += n
-				merged.Merge(&h)
-				mu.Unlock()
-			}(ci)
-		}
-		wg.Wait()
-		return committed, &merged, werr
-	}
-
-	if _, _, err := load(false); err != nil { // warm-up
-		return ShardedPoint{}, err
-	}
-	t0 := time.Now()
-	committed, lat, err := load(true)
-	elapsed := time.Since(t0)
-	if err != nil {
-		return ShardedPoint{}, err
-	}
-	p := ShardedPoint{
-		Shards:         shards,
-		CrossFrac:      crossFrac,
-		BundlePerShard: perShardBundle,
-		ThroughputTxnS: float64(committed) / elapsed.Seconds(),
-		P50US:          lat.Quantile(0.50).Microseconds(),
-		P99US:          lat.Quantile(0.99).Microseconds(),
-		Committed:      committed,
-	}
-	st := s.Stats()
-	if st.TwoPC != nil {
-		p.Cross2PC = st.TwoPC.Committed
-	}
-	return p, nil
-}
-
-func measure(clients, perClient, records int, theta float64, ops, bundle int, ccName string, workers int, seed int64) (Results, error) {
-	gen := workload.YCSB{Records: records, Theta: theta, OpsPerTxn: ops, ReadRatio: 0.5, RMW: true}
-	db := gen.BuildDB()
-	s, err := server.New(server.Config{
-		Addr:          "127.0.0.1:0",
-		Bundle:        bundle,
-		FlushInterval: 2 * time.Millisecond,
-		DB:            db,
-		Core:          core.Options{Workers: workers, Protocol: ccName, Seed: seed},
-	})
-	if err != nil {
-		return Results{}, err
-	}
-	if err := s.Start(); err != nil {
-		return Results{}, err
-	}
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		s.Shutdown(ctx)
-	}()
-
-	load := func(record bool) (committed uint64, lat *metrics.Histogram, err error) {
-		var (
-			wg     sync.WaitGroup
-			mu     sync.Mutex
-			werr   error
-			merged metrics.Histogram
-		)
-		for ci := 0; ci < clients; ci++ {
-			wg.Add(1)
-			go func(ci int) {
-				defer wg.Done()
-				g := gen
-				g.Txns = perClient
-				g.Seed = seed + int64(ci)
-				w := g.Generate()
-				conn, err := client.Dial(s.Addr())
-				if err != nil {
-					mu.Lock()
-					werr = err
-					mu.Unlock()
-					return
-				}
-				defer conn.Close()
-				var n uint64
-				var h metrics.Histogram
-				for _, tx := range w {
-					req, err := client.NewRequest(0, tx)
-					if err != nil {
-						mu.Lock()
-						werr = err
-						mu.Unlock()
-						return
-					}
-					for {
-						t0 := time.Now()
-						resp, err := conn.Submit(context.Background(), req)
-						if err != nil {
-							mu.Lock()
-							werr = err
-							mu.Unlock()
-							return
-						}
-						if resp.Status == client.StatusRejected {
-							time.Sleep(time.Duration(resp.RetryAfterMS) * time.Millisecond)
-							continue
-						}
-						if record {
-							h.Record(time.Since(t0))
-						}
-						if resp.Committed() {
-							n++
-						}
-						break
-					}
-				}
-				mu.Lock()
-				committed += n
-				merged.Merge(&h)
-				mu.Unlock()
-			}(ci)
-		}
-		wg.Wait()
-		return committed, &merged, werr
-	}
-
-	if _, _, err := load(false); err != nil { // warm pools, connections, JIT-ish caches
-		return Results{}, err
-	}
-	var m0, m1 runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&m0)
-	t0 := time.Now()
-	committed, lat, err := load(true)
-	elapsed := time.Since(t0)
-	runtime.ReadMemStats(&m1)
-	if err != nil {
-		return Results{}, err
-	}
-	total := uint64(clients * perClient)
-	return Results{
-		ThroughputTxnS: float64(committed) / elapsed.Seconds(),
-		P50US:          lat.Quantile(0.50).Microseconds(),
-		P95US:          lat.Quantile(0.95).Microseconds(),
-		P99US:          lat.Quantile(0.99).Microseconds(),
-		AllocsPerTxn:   float64(m1.Mallocs-m0.Mallocs) / float64(total),
-		Committed:      committed,
-		Submitted:      total,
-	}, nil
-}
-
-// measureOverload boots a fresh server and offers an open-loop burst
-// at multiplier × the measured closed-loop throughput, every
-// submission stamped with the deadline. Arrivals fire on schedule
-// regardless of outstanding responses — the honest overload model —
-// and rejections, sheds and expiries are recorded, not retried.
-func measureOverload(records int, theta float64, ops, bundle int, ccName string, workers int, seed int64, multiplier, baseRate float64, deadline time.Duration, n int) (OverloadResults, error) {
-	gen := workload.YCSB{Records: records, Theta: theta, OpsPerTxn: ops, ReadRatio: 0.5, RMW: true}
-	db := gen.BuildDB()
-	s, err := server.New(server.Config{
-		Addr:          "127.0.0.1:0",
-		Bundle:        bundle,
-		FlushInterval: 2 * time.Millisecond,
-		DB:            db,
-		Core:          core.Options{Workers: workers, Protocol: ccName, Seed: seed},
-	})
-	if err != nil {
-		return OverloadResults{}, err
-	}
-	if err := s.Start(); err != nil {
-		return OverloadResults{}, err
-	}
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		s.Shutdown(ctx)
-	}()
-
-	rate := multiplier * baseRate
-	if n <= 0 {
-		n = int(rate * 2) // two seconds of offered load
-	}
-	if n < 2000 {
-		n = 2000
-	}
-	if n > 100_000 {
-		n = 100_000
-	}
-	g := gen
-	g.Txns = n
-	g.Seed = seed + 424243
-	w := g.Generate()
-	reqs := make([]client.Request, len(w))
-	dlMS := deadline.Milliseconds()
-	if dlMS < 1 {
-		dlMS = 1
-	}
-	for i, tx := range w {
-		req, err := client.NewRequest(0, tx)
-		if err != nil {
-			return OverloadResults{}, err
-		}
-		req.DeadlineMS = dlMS
-		reqs[i] = req
-	}
-
-	const nconns = 16
-	pool := make([]*client.Conn, nconns)
-	for i := range pool {
-		c, err := client.Dial(s.Addr())
-		if err != nil {
-			return OverloadResults{}, err
-		}
-		defer c.Close()
-		pool[i] = c
-	}
-
-	var (
-		mu       sync.Mutex
-		res      OverloadResults
-		accepted metrics.Histogram
-		wg       sync.WaitGroup
-	)
-	mean := time.Duration(float64(time.Second) / rate)
-	start := time.Now()
-	next := start
-	for i := range reqs {
-		next = next.Add(mean)
-		if d := time.Until(next); d > 0 {
-			time.Sleep(d)
-		}
-		conn := pool[i%nconns]
-		wg.Add(1)
-		go func(req client.Request) {
-			defer wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), deadline*4+10*time.Second)
-			t0 := time.Now()
-			resp, err := conn.Submit(ctx, req)
-			e2e := time.Since(t0)
-			cancel()
-			mu.Lock()
-			defer mu.Unlock()
-			res.Submitted++
-			if err != nil {
-				res.Errors++
-				return
-			}
-			switch resp.Status {
-			case client.StatusCommit:
-				res.Committed++
-				accepted.Record(e2e)
-			case client.StatusRejected:
-				res.Rejected++
-			case client.StatusShed:
-				res.Shed++
-			case client.StatusExpired:
-				res.Expired++
-			default:
-				res.Other++
-			}
-		}(reqs[i])
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	st := s.Stats()
-	res.Multiplier = multiplier
-	res.OfferedRateTxnS = rate
-	res.DeadlineMS = dlMS
-	if elapsed > 0 {
-		res.GoodputTxnS = float64(res.Committed) / elapsed.Seconds()
-	}
-	res.AcceptedP50US = accepted.Quantile(0.50).Microseconds()
-	res.AcceptedP99US = accepted.Quantile(0.99).Microseconds()
-	res.ServerShedLevel = st.ShedLevel
-	res.ServerBrownouts = st.BrownoutEnters
-	return res, nil
-}
-
-func measureMicro() Micro {
-	req := client.Request{
-		Seq: 123456, Template: "ycsb",
-		Params: []uint64{17, 4242, 99, 100000, 7, 8, 9, 10},
-		Ops:    "R[x17]U[x4242]R[x99]W[x100000]R[x7]R[x8]U[x9]W[x10]",
-	}
-	resp := client.Response{Seq: 123456, Status: client.StatusCommit, Retries: 2, QueueUS: 1500, ExecUS: 870, Bundle: 42}
-	var buf []byte
-	enc := testing.AllocsPerRun(2000, func() {
-		buf = client.AppendResponse(buf[:0], &resp)
-	})
-	reqLine := client.AppendRequest(nil, &req)
-	reqLine = reqLine[:len(reqLine)-1]
-	var dreq client.Request
-	dr := testing.AllocsPerRun(2000, func() {
-		if err := client.DecodeRequest(reqLine, &dreq); err != nil {
-			panic(err)
-		}
-	})
-	respLine := client.AppendResponse(nil, &resp)
-	respLine = respLine[:len(respLine)-1]
-	var dresp client.Response
-	dp := testing.AllocsPerRun(2000, func() {
-		if err := client.DecodeResponse(respLine, &dresp); err != nil {
-			panic(err)
-		}
-	})
-	l := wal.New(io.Discard, 0)
-	rec := wal.Record{TxnID: 7, Writes: []wal.Update{
-		{Key: 1, Ver: 10, Fields: []uint64{1, 2, 3, 4}},
-		{Key: 2, Ver: 11, Fields: []uint64{5, 6, 7, 8}},
-	}}
-	wa := testing.AllocsPerRun(2000, func() {
-		if err := l.Append(rec); err != nil {
-			panic(err)
-		}
-	})
-	return Micro{
-		WireEncodeAllocs:         enc,
-		WireDecodeRequestAllocs:  dr,
-		WireDecodeResponseAllocs: dp,
-		WALAppendAllocs:          wa,
-	}
+	return 0
 }

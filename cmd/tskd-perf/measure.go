@@ -1,0 +1,623 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"tskd/internal/bench"
+	"tskd/internal/client"
+	"tskd/internal/core"
+	"tskd/internal/metrics"
+	"tskd/internal/server"
+	"tskd/internal/shard"
+	"tskd/internal/storage"
+	"tskd/internal/wal"
+	"tskd/internal/workload"
+)
+
+// measureSharded runs the sharded phase: single-shard baseline, then
+// N shards at 0%% and 10%% cross-shard, all over the same generated
+// workload shapes and the same total admission batch (-shard-bundle,
+// split per shard in sharded mode). The phase runs its own operating
+// point — a small, highly skewed table under a deep pipelined closed
+// loop — because the win sharding buys on one box is a scheduling-cost
+// effect, not core-count parallelism: conflict analysis is
+// O(sum over keys of c_k^2) in the per-key access counts, so splitting
+// a hot bundle N ways cuts both the bundle width and each hot key's
+// accessor count, shrinking the quadratic term N-fold per transaction.
+func measureSharded(records int, theta float64, ops, bundle int, ccName string, workers int, seed int64, shards, clients, perClient int) (bench.ShardedResults, error) {
+	var out bench.ShardedResults
+	cases := []struct {
+		shards    int
+		crossFrac float64
+	}{{1, 0}, {shards, 0}, {shards, 0.10}}
+	for _, c := range cases {
+		p, err := measureShardedPoint(records, theta, ops, bundle, ccName, workers, seed,
+			c.shards, c.crossFrac, clients, perClient)
+		if err != nil {
+			return out, err
+		}
+		out.Points = append(out.Points, p)
+	}
+	if base := out.Points[0].ThroughputTxnS; base > 0 {
+		out.Speedup = out.Points[1].ThroughputTxnS / base
+	}
+	return out, nil
+}
+
+// measureShardedPoint boots one server (sharded when shards > 1,
+// the ordinary single-pipeline one otherwise) and drives a closed
+// loop whose key footprints are confined by shard.Confine: crossFrac
+// of the transactions span two shards, the rest stay on one.
+func measureShardedPoint(records int, theta float64, ops, bundle int, ccName string, workers int, seed int64, shards int, crossFrac float64, clients, perClient int) (bench.ShardedPoint, error) {
+	gen := workload.YCSB{Records: records, Theta: theta, OpsPerTxn: ops, ReadRatio: 0.5, RMW: true}
+	perShardBundle := bundle
+	cfg := server.Config{
+		Addr:          "127.0.0.1:0",
+		FlushInterval: 2 * time.Millisecond,
+		Core:          core.Options{Workers: workers, Protocol: ccName, Seed: seed},
+	}
+	if shards > 1 {
+		perShardBundle = bundle / shards
+		if perShardBundle < 1 {
+			perShardBundle = 1
+		}
+		cfg.Shards = shards
+		cfg.ShardDB = func(int) *storage.DB { return gen.BuildDB() }
+	} else {
+		cfg.DB = gen.BuildDB()
+	}
+	cfg.Bundle = perShardBundle
+	s, err := server.New(cfg)
+	if err != nil {
+		return bench.ShardedPoint{}, err
+	}
+	if err := s.Start(); err != nil {
+		return bench.ShardedPoint{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	// Pipelined closed loop: `clients` submitter goroutines share a
+	// small connection pool, so a thousand-plus transactions stay in
+	// flight over a handful of sockets and the admission queue — and
+	// therefore the bundles — actually fill to the configured size.
+	// One socket per submitter would hit fd limits long before the
+	// bundle width that makes the scheduling term measurable.
+	const nconns = 16
+	pool := make([]*client.Conn, nconns)
+	for i := range pool {
+		c, err := client.Dial(s.Addr())
+		if err != nil {
+			return bench.ShardedPoint{}, err
+		}
+		defer c.Close()
+		pool[i] = c
+	}
+	load := func(record bool) (uint64, *metrics.Histogram, error) {
+		var (
+			wg        sync.WaitGroup
+			mu        sync.Mutex
+			werr      error
+			merged    metrics.Histogram
+			committed uint64
+		)
+		for ci := 0; ci < clients; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				g := gen
+				g.Txns = perClient
+				g.Seed = seed + int64(ci)*101
+				w := g.Generate()
+				shard.Confine(w, shards, crossFrac, uint64(records), g.Seed)
+				conn := pool[ci%nconns]
+				var n uint64
+				var h metrics.Histogram
+				for _, tx := range w {
+					req, err := client.NewRequest(0, tx)
+					if err != nil {
+						mu.Lock()
+						werr = err
+						mu.Unlock()
+						return
+					}
+					for {
+						t0 := time.Now()
+						resp, err := conn.Submit(context.Background(), req)
+						if err != nil {
+							mu.Lock()
+							werr = err
+							mu.Unlock()
+							return
+						}
+						if resp.Status == client.StatusRejected {
+							time.Sleep(time.Duration(resp.RetryAfterMS) * time.Millisecond)
+							continue
+						}
+						if record {
+							h.Record(time.Since(t0))
+						}
+						if resp.Committed() {
+							n++
+						}
+						break
+					}
+				}
+				mu.Lock()
+				committed += n
+				merged.Merge(&h)
+				mu.Unlock()
+			}(ci)
+		}
+		wg.Wait()
+		return committed, &merged, werr
+	}
+
+	if _, _, err := load(false); err != nil { // warm-up
+		return bench.ShardedPoint{}, err
+	}
+	t0 := time.Now()
+	committed, lat, err := load(true)
+	elapsed := time.Since(t0)
+	if err != nil {
+		return bench.ShardedPoint{}, err
+	}
+	p := bench.ShardedPoint{
+		Shards:         shards,
+		CrossFrac:      crossFrac,
+		BundlePerShard: perShardBundle,
+		ThroughputTxnS: float64(committed) / elapsed.Seconds(),
+		P50US:          lat.Quantile(0.50).Microseconds(),
+		P99US:          lat.Quantile(0.99).Microseconds(),
+		Committed:      committed,
+	}
+	st := s.Stats()
+	if st.TwoPC != nil {
+		p.Cross2PC = st.TwoPC.Committed
+	}
+	return p, nil
+}
+
+func measure(clients, perClient, records int, theta float64, ops, bundle int, ccName string, workers int, seed int64) (bench.Results, error) {
+	gen := workload.YCSB{Records: records, Theta: theta, OpsPerTxn: ops, ReadRatio: 0.5, RMW: true}
+	db := gen.BuildDB()
+	s, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		Bundle:        bundle,
+		FlushInterval: 2 * time.Millisecond,
+		DB:            db,
+		Core:          core.Options{Workers: workers, Protocol: ccName, Seed: seed},
+	})
+	if err != nil {
+		return bench.Results{}, err
+	}
+	if err := s.Start(); err != nil {
+		return bench.Results{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	load := func(record bool) (committed uint64, lat *metrics.Histogram, err error) {
+		var (
+			wg     sync.WaitGroup
+			mu     sync.Mutex
+			werr   error
+			merged metrics.Histogram
+		)
+		for ci := 0; ci < clients; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				g := gen
+				g.Txns = perClient
+				g.Seed = seed + int64(ci)
+				w := g.Generate()
+				conn, err := client.Dial(s.Addr())
+				if err != nil {
+					mu.Lock()
+					werr = err
+					mu.Unlock()
+					return
+				}
+				defer conn.Close()
+				var n uint64
+				var h metrics.Histogram
+				for _, tx := range w {
+					req, err := client.NewRequest(0, tx)
+					if err != nil {
+						mu.Lock()
+						werr = err
+						mu.Unlock()
+						return
+					}
+					for {
+						t0 := time.Now()
+						resp, err := conn.Submit(context.Background(), req)
+						if err != nil {
+							mu.Lock()
+							werr = err
+							mu.Unlock()
+							return
+						}
+						if resp.Status == client.StatusRejected {
+							time.Sleep(time.Duration(resp.RetryAfterMS) * time.Millisecond)
+							continue
+						}
+						if record {
+							h.Record(time.Since(t0))
+						}
+						if resp.Committed() {
+							n++
+						}
+						break
+					}
+				}
+				mu.Lock()
+				committed += n
+				merged.Merge(&h)
+				mu.Unlock()
+			}(ci)
+		}
+		wg.Wait()
+		return committed, &merged, werr
+	}
+
+	if _, _, err := load(false); err != nil { // warm pools, connections, JIT-ish caches
+		return bench.Results{}, err
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	committed, lat, err := load(true)
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return bench.Results{}, err
+	}
+	total := uint64(clients * perClient)
+	return bench.Results{
+		ThroughputTxnS: float64(committed) / elapsed.Seconds(),
+		P50US:          lat.Quantile(0.50).Microseconds(),
+		P95US:          lat.Quantile(0.95).Microseconds(),
+		P99US:          lat.Quantile(0.99).Microseconds(),
+		AllocsPerTxn:   float64(m1.Mallocs-m0.Mallocs) / float64(total),
+		Committed:      committed,
+		Submitted:      total,
+	}, nil
+}
+
+// measureRepeated runs the serve-path measurement -reps times and
+// returns the per-rep samples plus a Results whose headline numbers are
+// sample means. The samples feed cmp's confidence-interval rule, which
+// beats a blunt fixed threshold whenever both sides carry them.
+func measureRepeated(reps, clients, perClient, records int, theta float64, ops, bundle int, ccName string, workers int, seed int64) (bench.Results, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var (
+		res     bench.Results
+		samples bench.Samples
+	)
+	for r := 0; r < reps; r++ {
+		one, err := measure(clients, perClient, records, theta, ops, bundle, ccName, workers, seed)
+		if err != nil {
+			return bench.Results{}, err
+		}
+		if r == 0 {
+			res = one
+		}
+		samples.ThroughputTxnS = append(samples.ThroughputTxnS, one.ThroughputTxnS)
+		samples.P99US = append(samples.P99US, float64(one.P99US))
+		samples.AllocsPerTxn = append(samples.AllocsPerTxn, one.AllocsPerTxn)
+		if reps > 1 {
+			fmt.Fprintf(os.Stderr, "tskd-perf: rep %d/%d: %.0f txn/s p99=%dus allocs/txn=%.1f\n",
+				r+1, reps, one.ThroughputTxnS, one.P99US, one.AllocsPerTxn)
+		}
+	}
+	if reps > 1 {
+		res.ThroughputTxnS = mean(samples.ThroughputTxnS)
+		res.P99US = int64(mean(samples.P99US))
+		res.AllocsPerTxn = mean(samples.AllocsPerTxn)
+		res.Samples = &samples
+	}
+	return res, nil
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// measureOverload boots a fresh server and offers an open-loop burst
+// at multiplier × the measured closed-loop throughput, every
+// submission stamped with the deadline. Arrivals fire on schedule
+// regardless of outstanding responses — the honest overload model —
+// and rejections, sheds and expiries are recorded, not retried.
+func measureOverload(records int, theta float64, ops, bundle int, ccName string, workers int, seed int64, multiplier, baseRate float64, deadline time.Duration, n int) (bench.OverloadResults, error) {
+	gen := workload.YCSB{Records: records, Theta: theta, OpsPerTxn: ops, ReadRatio: 0.5, RMW: true}
+	db := gen.BuildDB()
+	s, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		Bundle:        bundle,
+		FlushInterval: 2 * time.Millisecond,
+		DB:            db,
+		Core:          core.Options{Workers: workers, Protocol: ccName, Seed: seed},
+	})
+	if err != nil {
+		return bench.OverloadResults{}, err
+	}
+	if err := s.Start(); err != nil {
+		return bench.OverloadResults{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	rate := multiplier * baseRate
+	if n <= 0 {
+		n = int(rate * 2) // two seconds of offered load
+	}
+	if n < 2000 {
+		n = 2000
+	}
+	if n > 100_000 {
+		n = 100_000
+	}
+	g := gen
+	g.Txns = n
+	g.Seed = seed + 424243
+	w := g.Generate()
+	reqs := make([]client.Request, len(w))
+	dlMS := deadline.Milliseconds()
+	if dlMS < 1 {
+		dlMS = 1
+	}
+	for i, tx := range w {
+		req, err := client.NewRequest(0, tx)
+		if err != nil {
+			return bench.OverloadResults{}, err
+		}
+		req.DeadlineMS = dlMS
+		reqs[i] = req
+	}
+
+	const nconns = 16
+	pool := make([]*client.Conn, nconns)
+	for i := range pool {
+		c, err := client.Dial(s.Addr())
+		if err != nil {
+			return bench.OverloadResults{}, err
+		}
+		defer c.Close()
+		pool[i] = c
+	}
+
+	var (
+		mu       sync.Mutex
+		res      bench.OverloadResults
+		accepted metrics.Histogram
+		wg       sync.WaitGroup
+	)
+	mean := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	next := start
+	for i := range reqs {
+		next = next.Add(mean)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		conn := pool[i%nconns]
+		wg.Add(1)
+		go func(req client.Request) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), deadline*4+10*time.Second)
+			t0 := time.Now()
+			resp, err := conn.Submit(ctx, req)
+			e2e := time.Since(t0)
+			cancel()
+			mu.Lock()
+			defer mu.Unlock()
+			res.Submitted++
+			if err != nil {
+				res.Errors++
+				return
+			}
+			switch resp.Status {
+			case client.StatusCommit:
+				res.Committed++
+				accepted.Record(e2e)
+			case client.StatusRejected:
+				res.Rejected++
+			case client.StatusShed:
+				res.Shed++
+			case client.StatusExpired:
+				res.Expired++
+			default:
+				res.Other++
+			}
+		}(reqs[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := s.Stats()
+	res.Multiplier = multiplier
+	res.OfferedRateTxnS = rate
+	res.DeadlineMS = dlMS
+	if elapsed > 0 {
+		res.GoodputTxnS = float64(res.Committed) / elapsed.Seconds()
+	}
+	res.AcceptedP50US = accepted.Quantile(0.50).Microseconds()
+	res.AcceptedP99US = accepted.Quantile(0.99).Microseconds()
+	res.ServerShedLevel = st.ShedLevel
+	res.ServerBrownouts = st.BrownoutEnters
+	return res, nil
+}
+
+// measureDistributed runs the distributed load phase: the same
+// aggregate open-loop target rate offered by 1 agent subprocess, then
+// by nAgents of them, against a fresh sharded server each time. The
+// measured quantity is the offered rate the fleet actually achieved —
+// on a loaded box a single dispatcher process tops out well short of
+// the target (one runtime, one timer wheel, one fair-share CPU slice),
+// which is the single-process ceiling distributed generation exists to
+// break. Percentiles in each point come from the merged population.
+func measureDistributed(nAgents, records int, theta float64, ops, bundle int, ccName string, workers int, seed int64, targetRate float64, runFor time.Duration) (bench.DistributedResults, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return bench.DistributedResults{}, err
+	}
+	var out bench.DistributedResults
+	for _, fleet := range []int{1, nAgents} {
+		p, err := distributedPoint(self, fleet, records, theta, ops, bundle, ccName, workers, seed, targetRate, runFor)
+		if err != nil {
+			return bench.DistributedResults{}, err
+		}
+		out.Points = append(out.Points, p)
+		fmt.Fprintf(os.Stderr, "tskd-perf: distributed %d agent(s): offered %.0f/%.0f txn/s\n",
+			fleet, p.OfferedRateTxnS, p.TargetRateTxnS)
+	}
+	if single := out.Points[0].OfferedRateTxnS; single > 0 {
+		out.OfferedGain = out.Points[len(out.Points)-1].OfferedRateTxnS / single
+	}
+	return out, nil
+}
+
+func distributedPoint(self string, fleet, records int, theta float64, ops, bundle int, ccName string, workers int, seed int64, targetRate float64, runFor time.Duration) (bench.DistributedPoint, error) {
+	gen := workload.YCSB{Records: records, Theta: theta, OpsPerTxn: ops, ReadRatio: 0.5, RMW: true}
+	const shards = 4
+	perShard := bundle / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	s, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		Bundle:        perShard,
+		FlushInterval: 2 * time.Millisecond,
+		Shards:        shards,
+		ShardDB:       func(int) *storage.DB { return gen.BuildDB() },
+		Core:          core.Options{Workers: workers, Protocol: ccName, Seed: seed},
+	})
+	if err != nil {
+		return bench.DistributedPoint{}, err
+	}
+	if err := s.Start(); err != nil {
+		return bench.DistributedPoint{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	n := int(targetRate * runFor.Seconds())
+	if n < 1000 {
+		n = 1000
+	}
+	spec := bench.Spec{
+		Addr: s.Addr(), Mode: "open", Arrival: "poisson",
+		Conns: 4 * fleet, Rate: targetRate, N: n,
+		TimeoutMS: 10_000,
+		Records:   records, Theta: theta, OpsPerTxn: ops, ReadRatio: 0.5, RMW: true,
+		Seed:   seed,
+		Shards: shards,
+		// Deadlines keep the overloaded server shedding instead of
+		// queueing without bound, so the run length stays arrival-bound.
+		DeadlineMS: 250,
+	}
+	agents, stop, err := bench.SpawnLocalAgents(fleet, self, "agent", "127.0.0.1:0")
+	if err != nil {
+		return bench.DistributedPoint{}, err
+	}
+	defer stop()
+	results, err := bench.Coordinate(agents, spec.Split(fleet), 500*time.Millisecond, 10*time.Minute)
+	if err != nil {
+		return bench.DistributedPoint{}, err
+	}
+	sum, err := bench.Merge(results)
+	if err != nil {
+		return bench.DistributedPoint{}, err
+	}
+	p := bench.DistributedPoint{
+		Agents:         fleet,
+		TargetRateTxnS: targetRate,
+		GoodputTxnS:    sum.GoodputTxnS,
+		P50US:          sum.P50US,
+		P99US:          sum.P99US,
+		P999US:         sum.P999US,
+		Sent:           sum.Counts.Sent,
+		Committed:      sum.Counts.Committed,
+		Rejected:       sum.Counts.Rejected,
+		Shed:           sum.Counts.Shed,
+		Expired:        sum.Counts.Expired,
+		Errors:         sum.Counts.Errors,
+	}
+	if sum.ElapsedS > 0 {
+		p.OfferedRateTxnS = float64(sum.Counts.Sent) / sum.ElapsedS
+	}
+	return p, nil
+}
+
+func measureMicro() bench.Micro {
+	req := client.Request{
+		Seq: 123456, Template: "ycsb",
+		Params: []uint64{17, 4242, 99, 100000, 7, 8, 9, 10},
+		Ops:    "R[x17]U[x4242]R[x99]W[x100000]R[x7]R[x8]U[x9]W[x10]",
+	}
+	resp := client.Response{Seq: 123456, Status: client.StatusCommit, Retries: 2, QueueUS: 1500, ExecUS: 870, Bundle: 42}
+	var buf []byte
+	enc := testing.AllocsPerRun(2000, func() {
+		buf = client.AppendResponse(buf[:0], &resp)
+	})
+	reqLine := client.AppendRequest(nil, &req)
+	reqLine = reqLine[:len(reqLine)-1]
+	var dreq client.Request
+	dr := testing.AllocsPerRun(2000, func() {
+		if err := client.DecodeRequest(reqLine, &dreq); err != nil {
+			panic(err)
+		}
+	})
+	respLine := client.AppendResponse(nil, &resp)
+	respLine = respLine[:len(respLine)-1]
+	var dresp client.Response
+	dp := testing.AllocsPerRun(2000, func() {
+		if err := client.DecodeResponse(respLine, &dresp); err != nil {
+			panic(err)
+		}
+	})
+	l := wal.New(io.Discard, 0)
+	rec := wal.Record{TxnID: 7, Writes: []wal.Update{
+		{Key: 1, Ver: 10, Fields: []uint64{1, 2, 3, 4}},
+		{Key: 2, Ver: 11, Fields: []uint64{5, 6, 7, 8}},
+	}}
+	wa := testing.AllocsPerRun(2000, func() {
+		if err := l.Append(rec); err != nil {
+			panic(err)
+		}
+	})
+	return bench.Micro{
+		WireEncodeAllocs:         enc,
+		WireDecodeRequestAllocs:  dr,
+		WireDecodeResponseAllocs: dp,
+		WALAppendAllocs:          wa,
+	}
+}

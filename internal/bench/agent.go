@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// The agent control protocol is NDJSON over one TCP connection, in
+// lockstep except for stop:
+//
+//	coordinator → agent:  {"cmd":"prepare","spec":{...}}
+//	agent → coordinator:  {"ok":true} | {"ok":false,"err":"..."}
+//	coordinator → agent:  {"cmd":"start","start_at_unix_nano":T}
+//	  (agent sleeps until T, runs the prepared load)
+//	agent → coordinator:  {"ok":true,"result":{...}} | {"ok":false,...}
+//	coordinator → agent:  {"cmd":"stop"}   (any time; aborts a run,
+//	  which then replies with an error; stop itself is unacknowledged)
+//
+// The wall-clock barrier assumes coordinator and agents share a clock
+// to within the start delay — true for the intended deployments (same
+// box, or a cluster under NTP).
+
+// ListenBanner is the line prefix an agent process prints once its
+// control listener is bound; spawners scan stdout for it to learn the
+// ephemeral port.
+const ListenBanner = "tskd-agent listening "
+
+type ctrlRequest struct {
+	Cmd             string `json:"cmd"`
+	Spec            *Spec  `json:"spec,omitempty"`
+	StartAtUnixNano int64  `json:"start_at_unix_nano,omitempty"`
+}
+
+type ctrlReply struct {
+	OK     bool    `json:"ok"`
+	Err    string  `json:"err,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+// ServeAgent turns the caller into a load agent: it accepts
+// coordinators on ln (one at a time) and executes their
+// prepare/start/stop commands. name labels this agent's results.
+// It returns when the listener closes.
+func ServeAgent(ln net.Listener, name string, logf func(format string, args ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		logf("coordinator connected: %s", nc.RemoteAddr())
+		serveCoordinator(nc, name, logf)
+		logf("coordinator done: %s", nc.RemoteAddr())
+	}
+}
+
+// serveCoordinator runs one coordinator session to completion.
+func serveCoordinator(nc net.Conn, name string, logf func(string, ...any)) {
+	defer nc.Close()
+	var (
+		dec      = json.NewDecoder(nc)
+		wmu      sync.Mutex
+		enc      = json.NewEncoder(nc)
+		prepared *Prepared
+		cancel   context.CancelFunc
+		running  sync.WaitGroup
+	)
+	reply := func(r ctrlReply) {
+		wmu.Lock()
+		enc.Encode(r)
+		wmu.Unlock()
+	}
+	defer func() {
+		if cancel != nil {
+			cancel()
+		}
+		running.Wait()
+		if prepared != nil {
+			prepared.Close()
+		}
+	}()
+	for {
+		var req ctrlRequest
+		if err := dec.Decode(&req); err != nil {
+			if err != io.EOF {
+				logf("control read: %v", err)
+			}
+			return
+		}
+		switch req.Cmd {
+		case "prepare":
+			running.Wait() // a prior run must finish before re-preparing
+			if prepared != nil {
+				prepared.Close()
+				prepared = nil
+			}
+			if req.Spec == nil {
+				reply(ctrlReply{Err: "prepare without spec"})
+				continue
+			}
+			p, err := Prepare(*req.Spec)
+			if err != nil {
+				logf("prepare: %v", err)
+				reply(ctrlReply{Err: err.Error()})
+				continue
+			}
+			prepared = p
+			logf("prepared: %s %s n=%d", req.Spec.Mode, req.Spec.Addr, req.Spec.N)
+			reply(ctrlReply{OK: true})
+		case "start":
+			if prepared == nil {
+				reply(ctrlReply{Err: "start before successful prepare"})
+				continue
+			}
+			p := prepared
+			prepared = nil
+			ctx, cancelRun := context.WithCancel(context.Background())
+			cancel = cancelRun
+			startAt := time.Unix(0, req.StartAtUnixNano)
+			if req.StartAtUnixNano == 0 {
+				startAt = time.Time{}
+			}
+			running.Add(1)
+			go func() {
+				defer running.Done()
+				defer cancelRun()
+				defer p.Close()
+				res, err := p.Run(ctx, startAt)
+				if err != nil {
+					logf("run: %v", err)
+					reply(ctrlReply{Err: err.Error()})
+					return
+				}
+				res.Agent = name
+				logf("run done: %d sent, %d committed in %v",
+					res.Counts.Sent, res.Counts.Committed, res.Elapsed().Round(time.Millisecond))
+				reply(ctrlReply{OK: true, Result: &res})
+			}()
+		case "stop":
+			if cancel != nil {
+				cancel()
+			}
+		default:
+			reply(ctrlReply{Err: fmt.Sprintf("unknown command %q", req.Cmd)})
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Analyze pretty-prints one report: environment, configuration, every
+// phase, and — when the file carries its own previous block — the
+// in-file delta.
+func Analyze(w io.Writer, r Report) {
+	fmt.Fprintf(w, "generated: %s  (%s)\n", r.GeneratedAt, r.GoVersion)
+	if r.Env != nil {
+		e := r.Env
+		fmt.Fprintf(w, "env: %s %s/%s GOMAXPROCS=%d cpus=%d", e.GoVersion, e.GOOS, e.GOARCH, e.GOMAXPROCS, e.NumCPU)
+		if e.Commit != "" {
+			commit := e.Commit
+			if len(commit) > 12 {
+				commit = commit[:12]
+			}
+			fmt.Fprintf(w, " commit=%s", commit)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(r.Config) > 0 {
+		keys := make([]string, 0, len(r.Config))
+		for k := range r.Config {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(w, "config:")
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%v", k, r.Config[k])
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintln(w, "serve:")
+	printResults(w, "  ", r.Current)
+	if r.Previous != nil {
+		fmt.Fprintln(w, "previous (in-file baseline):")
+		printResults(w, "  ", *r.Previous)
+		if r.Previous.ThroughputTxnS > 0 {
+			fmt.Fprintf(w, "  delta: throughput %+.1f%%, p99 %+.1f%%, allocs/txn %+.2f%%\n",
+				100*(r.Current.ThroughputTxnS-r.Previous.ThroughputTxnS)/r.Previous.ThroughputTxnS,
+				pctDelta(float64(r.Current.P99US), float64(r.Previous.P99US)),
+				pctDelta(r.Current.AllocsPerTxn, r.Previous.AllocsPerTxn))
+		}
+	}
+	if o := r.Overload; o != nil {
+		fmt.Fprintf(w, "overload: %.1fx offered (%.0f txn/s, %dms deadline)\n", o.Multiplier, o.OfferedRateTxnS, o.DeadlineMS)
+		fmt.Fprintf(w, "  goodput=%.0f txn/s accepted p50=%dus p99=%dus\n", o.GoodputTxnS, o.AcceptedP50US, o.AcceptedP99US)
+		fmt.Fprintf(w, "  submitted=%d committed=%d rejected=%d shed=%d expired=%d errors=%d (shed level %.2f, brownouts %d)\n",
+			o.Submitted, o.Committed, o.Rejected, o.Shed, o.Expired, o.Errors, o.ServerShedLevel, o.ServerBrownouts)
+	}
+	if s := r.Sharded; s != nil {
+		fmt.Fprintln(w, "sharded:")
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "  %d shard(s) @ %g%% cross (bundle/shard %d): %.0f txn/s p50=%dus p99=%dus committed=%d 2pc=%d\n",
+				p.Shards, 100*p.CrossFrac, p.BundlePerShard, p.ThroughputTxnS, p.P50US, p.P99US, p.Committed, p.Cross2PC)
+		}
+		fmt.Fprintf(w, "  speedup at 0%% cross: %.2fx\n", s.Speedup)
+	}
+	if d := r.Distributed; d != nil {
+		fmt.Fprintln(w, "distributed:")
+		for _, p := range d.Points {
+			fmt.Fprintf(w, "  %d agent(s): offered %.0f/%.0f txn/s goodput=%.0f p50=%dus p99=%dus p999=%dus (sent=%d committed=%d shed=%d expired=%d)\n",
+				p.Agents, p.OfferedRateTxnS, p.TargetRateTxnS, p.GoodputTxnS,
+				p.P50US, p.P99US, p.P999US, p.Sent, p.Committed, p.Shed, p.Expired)
+		}
+		fmt.Fprintf(w, "  offered-load gain multi vs single process: %.2fx\n", d.OfferedGain)
+	}
+}
+
+func printResults(w io.Writer, indent string, res Results) {
+	fmt.Fprintf(w, "%s%.0f txn/s p50=%dus p95=%dus p99=%dus allocs/txn=%.1f (%d/%d committed)\n",
+		indent, res.ThroughputTxnS, res.P50US, res.P95US, res.P99US, res.AllocsPerTxn, res.Committed, res.Submitted)
+	fmt.Fprintf(w, "%smicro allocs/op: encode=%.1f decode-req=%.1f decode-resp=%.1f wal-append=%.1f\n",
+		indent, res.Micro.WireEncodeAllocs, res.Micro.WireDecodeRequestAllocs,
+		res.Micro.WireDecodeResponseAllocs, res.Micro.WALAppendAllocs)
+	if s := res.Samples; s != nil && len(s.ThroughputTxnS) > 1 {
+		mean, lo, hi := meanCI(s.ThroughputTxnS)
+		fmt.Fprintf(w, "%s%d reps: throughput %.0f ±%.0f txn/s (95%% CI)\n", indent, len(s.ThroughputTxnS), mean, (hi-lo)/2)
+	}
+}
+
+func pctDelta(cur, prev float64) float64 {
+	if prev == 0 {
+		return 0
+	}
+	return 100 * (cur - prev) / prev
+}

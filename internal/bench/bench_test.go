@@ -1,0 +1,537 @@
+package bench
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tskd/internal/core"
+	"tskd/internal/metrics"
+	"tskd/internal/server"
+	"tskd/internal/workload"
+)
+
+// histData records the durations into a fresh histogram and exports it.
+func histData(ds ...time.Duration) metrics.HistogramData {
+	var h metrics.Histogram
+	for _, d := range ds {
+		h.Record(d)
+	}
+	return h.Data()
+}
+
+func repeatDur(d time.Duration, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+// Golden merge math: a known population split unevenly across four
+// agents must produce these exact merged percentiles. The sample
+// values are exact bucket lower bounds of the log-bucketed histogram
+// (powers of two), so quantiles are exact, not approximations:
+// 500×524288ns, 300×1048576ns, 200×2097152ns.
+func TestMergeGoldenPercentiles(t *testing.T) {
+	pop := append(repeatDur(524288, 500), append(repeatDur(1048576, 300), repeatDur(2097152, 200)...)...)
+	rng := rand.New(rand.NewSource(42))
+	rng.Shuffle(len(pop), func(i, j int) { pop[i], pop[j] = pop[j], pop[i] })
+	shares := []int{350, 250, 250, 150} // uneven on purpose
+	var results []Result
+	off := 0
+	for i, n := range shares {
+		part := pop[off : off+n]
+		off += n
+		elapsed := int64(1e9)
+		if i == 0 {
+			elapsed = 2e9 // slowest agent defines the merged window
+		}
+		results = append(results, Result{
+			ElapsedNS: elapsed,
+			Counts:    Counts{Sent: uint64(n), Committed: uint64(n)},
+			Latency:   histData(part...),
+		})
+	}
+	s, err := Merge(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Summary{
+		Agents:         4,
+		ElapsedS:       2.0,
+		ThroughputTxnS: 500, // 1000 terminal / 2s
+		GoodputTxnS:    500,
+		P50US:          524,  // 524288ns
+		P90US:          2097, // 2097152ns (rank 899 falls past the 800 cumulative)
+		P99US:          2097,
+		P999US:         2097,
+		MaxUS:          2097,
+		MeanUS:         996, // (500·524288 + 300·1048576 + 200·2097152)/1000 ns
+	}
+	got := s
+	got.Counts = Counts{}
+	got.PerSecond = nil
+	got.QueueP99US, got.ExecP99US = 0, 0
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged summary:\n got %+v\nwant %+v", got, want)
+	}
+	if s.Counts.Committed != 1000 || s.Counts.Sent != 1000 {
+		t.Errorf("merged counts: %+v", s.Counts)
+	}
+}
+
+// Property: merged percentiles must equal whole-population percentiles
+// exactly — the coordinator's merge math may never depend on how the
+// population was partitioned across agents.
+func TestMergedPercentilesEqualPopulation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nAgents := 1 + rng.Intn(6)
+		var whole metrics.Histogram
+		parts := make([]metrics.Histogram, nAgents)
+		counts := make([]uint64, nAgents)
+		for i := 0; i < 3000; i++ {
+			d := time.Duration(rng.Intn(1<<33) + 1)
+			a := rng.Intn(nAgents)
+			whole.Record(d)
+			parts[a].Record(d)
+			counts[a]++
+		}
+		results := make([]Result, nAgents)
+		for i := range results {
+			results[i] = Result{
+				ElapsedNS: 1e9,
+				Counts:    Counts{Sent: counts[i], Committed: counts[i]},
+				Latency:   parts[i].Data(),
+			}
+		}
+		s, err := Merge(results)
+		if err != nil {
+			return false
+		}
+		return s.P50US == whole.Quantile(0.50).Microseconds() &&
+			s.P90US == whole.Quantile(0.90).Microseconds() &&
+			s.P99US == whole.Quantile(0.99).Microseconds() &&
+			s.P999US == whole.Quantile(0.999).Microseconds() &&
+			s.MaxUS == whole.Max().Microseconds()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeRejectsCorruptResult(t *testing.T) {
+	good := Result{ElapsedNS: 1e9, Counts: Counts{Sent: 1, Committed: 1}, Latency: histData(time.Millisecond)}
+	bad := good
+	bad.Latency.Total++ // bucket sum no longer matches
+	if _, err := Merge([]Result{good, bad}); err == nil {
+		t.Error("merge accepted corrupt histogram data")
+	}
+	if _, err := Merge(nil); err == nil {
+		t.Error("merge accepted empty result set")
+	}
+	lying := good
+	lying.Counts.Committed = 0 // fewer commits than latency samples
+	if _, err := Merge([]Result{lying}); err == nil {
+		t.Error("merge accepted more latency samples than commits")
+	}
+}
+
+func TestSpecSplit(t *testing.T) {
+	spec := Spec{
+		Mode: "closed", Addr: "x", Clients: 10, Conns: 7, N: 103,
+		Rate: 9000, Records: 100, OpsPerTxn: 4, Seed: 5,
+	}
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		parts := spec.Split(n)
+		if len(parts) != n {
+			t.Fatalf("split %d: %d parts", n, len(parts))
+		}
+		var totalN, totalClients int
+		var totalRate float64
+		seeds := map[int64]bool{}
+		for _, p := range parts {
+			totalN += p.N
+			totalClients += p.Clients
+			totalRate += p.Rate
+			seeds[p.Seed] = true
+		}
+		if totalN != spec.N {
+			t.Errorf("split %d: N sums to %d", n, totalN)
+		}
+		if n <= spec.Clients && totalClients != spec.Clients {
+			t.Errorf("split %d: clients sum to %d", n, totalClients)
+		}
+		if totalRate < spec.Rate-1e-6 || totalRate > spec.Rate+1e-6 {
+			t.Errorf("split %d: rate sums to %f", n, totalRate)
+		}
+		if len(seeds) != n {
+			t.Errorf("split %d: seeds not distinct", n)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Addr: "a", Mode: "closed", Clients: 1, N: 1, Records: 1, OpsPerTxn: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{},
+		{Addr: "a", Mode: "sideways", Clients: 1, N: 1, Records: 1, OpsPerTxn: 1},
+		{Addr: "a", Mode: "closed", Clients: 0, N: 1, Records: 1, OpsPerTxn: 1},
+		{Addr: "a", Mode: "open", Conns: 1, Rate: 0, N: 1, Records: 1, OpsPerTxn: 1},
+		{Addr: "a", Mode: "open", Conns: 0, Rate: 1, N: 1, Records: 1, OpsPerTxn: 1},
+		{Addr: "a", Mode: "open", Conns: 1, Rate: 1, N: 1, Records: 1, OpsPerTxn: 1, Arrival: "bursty"},
+		{Addr: "a", Mode: "closed", Clients: 1, N: 0, Records: 1, OpsPerTxn: 1},
+		{Addr: "a", Mode: "closed", Clients: 1, N: 1, Records: 1, OpsPerTxn: 1, MultiKey: 0.5},
+		{Addr: "a", Mode: "closed", Clients: 1, N: 1, Records: 1, OpsPerTxn: 1, Reliable: true, Conns: 2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func startTestServer(t *testing.T) *server.Server {
+	t.Helper()
+	gen := workload.YCSB{Records: 2000, Theta: 0.5, OpsPerTxn: 4, ReadRatio: 0.5, RMW: true}
+	s, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		Bundle:        64,
+		FlushInterval: time.Millisecond,
+		DB:            gen.BuildDB(),
+		Core:          core.Options{Workers: 2, Protocol: "OCC", Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// End to end: two in-process agents driven by a coordinator against a
+// live server. Every generated transaction must reach exactly one
+// terminal outcome and the merged histogram must cover every commit.
+func TestAgentCoordinatorEndToEnd(t *testing.T) {
+	srv := startTestServer(t)
+	var agents []*AgentClient
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go ServeAgent(ln, ln.Addr().String(), nil)
+		a, err := DialAgent(ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(a.Close)
+		agents = append(agents, a)
+	}
+	total := Spec{
+		Addr: srv.Addr(), Mode: "closed", Clients: 4, N: 300,
+		Records: 2000, Theta: 0.5, OpsPerTxn: 4, ReadRatio: 0.5, RMW: true, Seed: 7,
+	}
+	results, err := Coordinate(agents, total.Split(len(agents)), 200*time.Millisecond, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Merge(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Counts.Errors != 0 {
+		t.Errorf("errors: %+v", s.Counts)
+	}
+	if got := s.Counts.Terminal(); got != 300 {
+		t.Errorf("terminal outcomes = %d, want 300 (%+v)", got, s.Counts)
+	}
+	if s.Counts.Committed == 0 || s.ThroughputTxnS <= 0 || s.P50US <= 0 {
+		t.Errorf("implausible summary: %+v", s)
+	}
+	for i, r := range results {
+		if r.Agent == "" {
+			t.Errorf("result %d unlabeled", i)
+		}
+	}
+	// The control connection is reusable: a second, smaller round.
+	total.N, total.Seed = 60, 8
+	results, err = Coordinate(agents, total.Split(len(agents)), 200*time.Millisecond, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = Merge(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Counts.Terminal() != 60 {
+		t.Errorf("second round terminal = %d", s.Counts.Terminal())
+	}
+}
+
+// The agent must reject a malformed spec at prepare rather than fail at
+// start, and survive to serve a correct session afterwards.
+func TestAgentRejectsBadSpec(t *testing.T) {
+	srv := startTestServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go ServeAgent(ln, "a1", nil)
+	a, err := DialAgent(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	if err := a.Prepare(Spec{Mode: "sideways"}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	good := Spec{Addr: srv.Addr(), Mode: "closed", Clients: 1, N: 10,
+		Records: 2000, Theta: 0.5, OpsPerTxn: 4, ReadRatio: 0.5, RMW: true, Seed: 1}
+	if err := a.Prepare(good); err != nil {
+		t.Fatalf("good spec after bad one: %v", err)
+	}
+	if err := a.Start(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Collect(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Terminal() != 10 {
+		t.Errorf("terminal = %d", res.Counts.Terminal())
+	}
+}
+
+func makeReport(tput, p99, allocs float64) Report {
+	env := CaptureEnv()
+	return Report{
+		GoVersion: env.GoVersion,
+		Env:       &env,
+		Current: Results{
+			ThroughputTxnS: tput, P99US: int64(p99), AllocsPerTxn: allocs,
+			P50US: int64(p99) / 3, P95US: int64(p99) / 2,
+			Committed: 1000, Submitted: 1000,
+		},
+		Overload: &OverloadResults{GoodputTxnS: tput * 1.5, AcceptedP99US: int64(p99) * 4},
+		Sharded: &ShardedResults{
+			Points: []ShardedPoint{
+				{Shards: 1, CrossFrac: 0, ThroughputTxnS: tput / 3},
+				{Shards: 4, CrossFrac: 0, ThroughputTxnS: tput},
+			},
+			Speedup: 3.0,
+		},
+		Distributed: &DistributedResults{
+			Points: []DistributedPoint{
+				{Agents: 1, OfferedRateTxnS: tput},
+				{Agents: 4, OfferedRateTxnS: tput * 2},
+			},
+			OfferedGain: 2.0,
+		},
+	}
+}
+
+func TestCompareSelfIsClean(t *testing.T) {
+	r := makeReport(8000, 15000, 98)
+	vs, warns, err := Compare(r, r, CmpOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Errorf("warnings on self-compare: %v", warns)
+	}
+	if HasRegression(vs) {
+		t.Errorf("self-compare flagged a regression: %+v", vs)
+	}
+	if len(vs) < 7 {
+		t.Errorf("expected verdicts across all phases, got %d", len(vs))
+	}
+}
+
+func TestCompareFlagsInjectedRegressions(t *testing.T) {
+	base := makeReport(8000, 15000, 98)
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		phase  string
+	}{
+		{"throughput drop", func(r *Report) { r.Current.ThroughputTxnS *= 0.6 }, "serve"},
+		{"p99 blowup", func(r *Report) { r.Current.P99US *= 3 }, "serve"},
+		{"alloc creep", func(r *Report) { r.Current.AllocsPerTxn *= 1.10 }, "serve"},
+		{"goodput drop", func(r *Report) { r.Overload.GoodputTxnS *= 0.5 }, "overload"},
+		{"sharded point drop", func(r *Report) { r.Sharded.Points[1].ThroughputTxnS *= 0.5 }, "sharded 4@0%"},
+		{"distributed gain lost", func(r *Report) { r.Distributed.OfferedGain = 1.0 }, "distributed"},
+	}
+	for _, tc := range cases {
+		cand := makeReport(8000, 15000, 98)
+		tc.mutate(&cand)
+		vs, _, err := Compare(base, cand, CmpOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		found := false
+		for _, v := range vs {
+			if v.Regression && strings.HasPrefix(v.Phase, tc.phase) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no regression flagged in phase %q: %+v", tc.name, tc.phase, vs)
+		}
+	}
+	// Improvements must not trip the gate.
+	better := makeReport(12000, 9000, 80)
+	vs, _, err := Compare(base, better, CmpOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasRegression(vs) {
+		t.Errorf("improvement flagged as regression: %+v", vs)
+	}
+}
+
+func TestCompareSamplesRule(t *testing.T) {
+	base := makeReport(100, 15000, 98)
+	cand := makeReport(100, 15000, 98)
+	base.Current.Samples = &Samples{ThroughputTxnS: []float64{99, 100, 101}}
+	// Tight samples, clearly lower: CI-overlap rule fires even though
+	// the 8% drop is under the 10% fixed threshold.
+	cand.Current.Samples = &Samples{ThroughputTxnS: []float64{91, 92, 93}}
+	cand.Current.ThroughputTxnS = 92
+	vs, _, err := Compare(base, cand, CmpOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tput Verdict
+	for _, v := range vs {
+		if v.Phase == "serve" && v.Metric == "txn/s" {
+			tput = v
+		}
+	}
+	if tput.Rule != "ci-overlap" || !tput.Regression {
+		t.Errorf("expected ci-overlap regression, got %+v", tput)
+	}
+	// Noisy overlapping samples: same mean shift must NOT be
+	// significant.
+	base.Current.Samples = &Samples{ThroughputTxnS: []float64{80, 100, 120}}
+	cand.Current.Samples = &Samples{ThroughputTxnS: []float64{72, 92, 112}}
+	vs, _, err = Compare(base, cand, CmpOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		if v.Phase == "serve" && v.Metric == "txn/s" && v.Regression {
+			t.Errorf("overlapping CIs flagged: %+v", v)
+		}
+	}
+}
+
+func TestCompareRefusesCrossEnvironment(t *testing.T) {
+	base := makeReport(8000, 15000, 98)
+	cand := makeReport(8000, 15000, 98)
+	cand.Env.GoVersion = "go1.11"
+	if _, _, err := Compare(base, cand, CmpOptions{}); err == nil {
+		t.Fatal("cross-toolchain comparison not refused")
+	}
+	vs, warns, err := Compare(base, cand, CmpOptions{AllowEnvMismatch: true})
+	if err != nil {
+		t.Fatalf("override did not work: %v", err)
+	}
+	if len(warns) == 0 {
+		t.Error("override produced no warning")
+	}
+	if HasRegression(vs) {
+		t.Errorf("identical numbers flagged: %+v", vs)
+	}
+}
+
+func TestCompareSkipsMissingPhases(t *testing.T) {
+	base := makeReport(8000, 15000, 98)
+	cand := makeReport(8000, 15000, 98)
+	cand.Sharded = nil
+	cand.Distributed = nil
+	vs, _, err := Compare(base, cand, CmpOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasRegression(vs) {
+		t.Errorf("missing phase treated as regression: %+v", vs)
+	}
+	skips := 0
+	for _, v := range vs {
+		if v.Rule == "skipped" {
+			skips++
+		}
+	}
+	if skips != 2 {
+		t.Errorf("expected 2 skip verdicts, got %d: %+v", skips, vs)
+	}
+}
+
+func TestFormatAndAnalyzeSmoke(t *testing.T) {
+	base := makeReport(8000, 15000, 98)
+	cand := makeReport(8000, 15000, 98)
+	cand.Current.ThroughputTxnS = 4000
+	vs, warns, err := Compare(base, cand, CmpOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	FormatVerdicts(&sb, vs, warns)
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("format output missing regression line:\n%s", sb.String())
+	}
+	sb.Reset()
+	prev := base.Current
+	base.Previous = &prev
+	base.Config = map[string]any{"seed": 1}
+	Analyze(&sb, base)
+	for _, want := range []string{"serve:", "overload:", "sharded:", "distributed:", "env:", "delta:"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("analyze output missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	var h metrics.Histogram
+	h.Record(time.Millisecond)
+	h.Record(2 * time.Millisecond)
+	r := Result{
+		Agent: "a0", ElapsedNS: 123456789,
+		Counts:    Counts{Sent: 3, Committed: 2, Aborted: 1},
+		Latency:   h.Data(),
+		PerSecond: []uint64{2, 1},
+	}
+	got, err := DecodeResult(EncodeResult(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err1 := Merge([]Result{r})
+	s2, err2 := Merge([]Result{got})
+	if err1 != nil || err2 != nil || s1.P99US != s2.P99US || s1.Counts != s2.Counts {
+		t.Errorf("round trip changed the result: %+v vs %+v", s1, s2)
+	}
+	// Lying per-second series must be rejected.
+	r.PerSecond = []uint64{100, 100}
+	if _, err := DecodeResult(EncodeResult(r)); err == nil {
+		t.Error("oversized per-second series accepted")
+	}
+}

@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Thresholds are the fixed per-metric regression limits used when a
+// metric has no repeated samples: relative drop for higher-is-better
+// metrics, relative growth for lower-is-better ones. They are
+// deliberately loose — on shared CI runners, tight thresholds gate on
+// the neighbor's noisy tenancy, not on the PR.
+type Thresholds struct {
+	TputDrop    float64 // throughput (higher better): fail below (1-TputDrop)×old
+	GoodputDrop float64 // overload goodput (higher better)
+	P99Grow     float64 // latency p99 (lower better): fail above (1+P99Grow)×old
+	AllocsGrow  float64 // allocs/txn (lower better; near-deterministic, so tight)
+}
+
+// DefaultThresholds is tuned for same-machine comparisons; CI passes
+// looser values for shared runners.
+var DefaultThresholds = Thresholds{
+	TputDrop:    0.10,
+	GoodputDrop: 0.10,
+	P99Grow:     0.50,
+	AllocsGrow:  0.05,
+}
+
+// CmpOptions configures Compare.
+type CmpOptions struct {
+	Thresholds
+	// AllowEnvMismatch downgrades the hard environment refusal to a
+	// warning — for deliberate cross-machine comparisons (CI runner vs
+	// the committed baseline's machine).
+	AllowEnvMismatch bool
+	// NoiseFloor is the minimum relative delta treated as meaningful
+	// even when confidence intervals separate (default 2%).
+	NoiseFloor float64
+}
+
+// Verdict is one metric comparison.
+type Verdict struct {
+	Phase      string // "serve", "overload", "sharded 4@0%", ...
+	Metric     string // "txn/s", "p99_us", ...
+	Old, New   float64
+	Delta      float64 // relative change, signed ((new-old)/old)
+	Regression bool    // significant change in the bad direction
+	Rule       string  // "ci-overlap" or "threshold"
+	Note       string
+}
+
+// higherBetter=false flips the bad direction (latency, allocs).
+type metricCmp struct {
+	phase, metric string
+	old, new      float64
+	oldSamples    []float64
+	newSamples    []float64
+	higherBetter  bool
+	limit         float64 // threshold-rule relative limit in the bad direction
+}
+
+// Compare diffs two BENCH_serve.json-shaped reports phase by phase and
+// returns per-metric verdicts. It refuses (returns an error) when the
+// two reports come from incompatible environments, unless
+// AllowEnvMismatch is set. Phases present in only one report are
+// skipped with an informational verdict — a missing phase is a
+// coverage change, not a regression.
+func Compare(base, cand Report, opt CmpOptions) ([]Verdict, []string, error) {
+	if opt.Thresholds == (Thresholds{}) {
+		opt.Thresholds = DefaultThresholds
+	}
+	if opt.NoiseFloor == 0 {
+		opt.NoiseFloor = 0.02
+	}
+	oldEnv, newEnv := base.EnvOrLegacy(), cand.EnvOrLegacy()
+	warnings := oldEnv.Warnings(newEnv)
+	if err := oldEnv.CompatibleWith(newEnv); err != nil {
+		if !opt.AllowEnvMismatch {
+			return nil, warnings, fmt.Errorf("bench: cmp: refusing cross-environment comparison (%w); rerun on matching environments or pass -allow-env-mismatch", err)
+		}
+		warnings = append(warnings, "environment mismatch overridden: "+err.Error())
+	}
+
+	var cmps []metricCmp
+	oc, nc := base.Current, cand.Current
+	cmps = append(cmps,
+		metricCmp{"serve", "txn/s", oc.ThroughputTxnS, nc.ThroughputTxnS,
+			samples(oc.Samples).ThroughputTxnS, samples(nc.Samples).ThroughputTxnS, true, opt.TputDrop},
+		metricCmp{"serve", "p99_us", float64(oc.P99US), float64(nc.P99US),
+			samples(oc.Samples).P99US, samples(nc.Samples).P99US, false, opt.P99Grow},
+		metricCmp{"serve", "allocs/txn", oc.AllocsPerTxn, nc.AllocsPerTxn,
+			samples(oc.Samples).AllocsPerTxn, samples(nc.Samples).AllocsPerTxn, false, opt.AllocsGrow},
+	)
+
+	var verdicts []Verdict
+	if base.Overload != nil && cand.Overload != nil {
+		cmps = append(cmps,
+			metricCmp{"overload", "goodput_txn/s", base.Overload.GoodputTxnS, cand.Overload.GoodputTxnS, nil, nil, true, opt.GoodputDrop},
+			metricCmp{"overload", "accepted_p99_us", float64(base.Overload.AcceptedP99US), float64(cand.Overload.AcceptedP99US), nil, nil, false, opt.P99Grow},
+		)
+	} else if (base.Overload != nil) != (cand.Overload != nil) {
+		verdicts = append(verdicts, skipped("overload", base.Overload == nil))
+	}
+	if base.Sharded != nil && cand.Sharded != nil {
+		for _, op := range base.Sharded.Points {
+			np, ok := matchShardedPoint(cand.Sharded.Points, op)
+			if !ok {
+				continue
+			}
+			phase := fmt.Sprintf("sharded %d@%g%%", op.Shards, 100*op.CrossFrac)
+			cmps = append(cmps, metricCmp{phase, "txn/s", op.ThroughputTxnS, np.ThroughputTxnS, nil, nil, true, opt.TputDrop})
+		}
+	} else if (base.Sharded != nil) != (cand.Sharded != nil) {
+		verdicts = append(verdicts, skipped("sharded", base.Sharded == nil))
+	}
+	if base.Distributed != nil && cand.Distributed != nil {
+		cmps = append(cmps, metricCmp{"distributed", "offered_gain", base.Distributed.OfferedGain, cand.Distributed.OfferedGain, nil, nil, true, opt.TputDrop})
+		for _, op := range base.Distributed.Points {
+			np, ok := matchDistributedPoint(cand.Distributed.Points, op.Agents)
+			if !ok {
+				continue
+			}
+			phase := fmt.Sprintf("distributed %d-agent", op.Agents)
+			cmps = append(cmps, metricCmp{phase, "offered_txn/s", op.OfferedRateTxnS, np.OfferedRateTxnS, nil, nil, true, opt.TputDrop})
+		}
+	} else if (base.Distributed != nil) != (cand.Distributed != nil) {
+		verdicts = append(verdicts, skipped("distributed", base.Distributed == nil))
+	}
+
+	for _, c := range cmps {
+		verdicts = append(verdicts, judge(c, opt))
+	}
+	return verdicts, warnings, nil
+}
+
+func skipped(phase string, missingInOld bool) Verdict {
+	side := "candidate"
+	if missingInOld {
+		side = "baseline"
+	}
+	return Verdict{Phase: phase, Metric: "-", Rule: "skipped",
+		Note: fmt.Sprintf("phase absent from %s report; not compared", side)}
+}
+
+func samples(s *Samples) Samples {
+	if s == nil {
+		return Samples{}
+	}
+	return *s
+}
+
+func matchShardedPoint(pts []ShardedPoint, want ShardedPoint) (ShardedPoint, bool) {
+	for _, p := range pts {
+		if p.Shards == want.Shards && p.CrossFrac == want.CrossFrac {
+			return p, true
+		}
+	}
+	return ShardedPoint{}, false
+}
+
+func matchDistributedPoint(pts []DistributedPoint, agents int) (DistributedPoint, bool) {
+	for _, p := range pts {
+		if p.Agents == agents {
+			return p, true
+		}
+	}
+	return DistributedPoint{}, false
+}
+
+// judge applies the significance rule to one metric. With >= 2 samples
+// on both sides, a regression requires the two ~95% confidence
+// intervals (mean ± 2·stderr) to be disjoint in the bad direction AND
+// the mean shift to clear the noise floor — the repeated-samples
+// analogue of benchstat. Otherwise the fixed per-metric threshold on
+// the point values decides.
+func judge(c metricCmp, opt CmpOptions) Verdict {
+	v := Verdict{Phase: c.phase, Metric: c.metric, Old: c.old, New: c.new}
+	if len(c.oldSamples) >= 2 && len(c.newSamples) >= 2 {
+		v.Rule = "ci-overlap"
+		oldMean, oldLo, oldHi := meanCI(c.oldSamples)
+		newMean, newLo, newHi := meanCI(c.newSamples)
+		v.Old, v.New = oldMean, newMean
+		if oldMean != 0 {
+			v.Delta = (newMean - oldMean) / math.Abs(oldMean)
+		}
+		worse := v.Delta < 0
+		if !c.higherBetter {
+			worse = v.Delta > 0
+		}
+		disjoint := newLo > oldHi || newHi < oldLo
+		if worse && disjoint && math.Abs(v.Delta) > opt.NoiseFloor {
+			v.Regression = true
+			v.Note = fmt.Sprintf("CIs disjoint: old [%.4g, %.4g] vs new [%.4g, %.4g]", oldLo, oldHi, newLo, newHi)
+		}
+		return v
+	}
+	v.Rule = "threshold"
+	if c.old == 0 {
+		v.Note = "no baseline value; not compared"
+		return v
+	}
+	v.Delta = (c.new - c.old) / math.Abs(c.old)
+	if c.higherBetter {
+		v.Regression = v.Delta < -c.limit
+	} else {
+		v.Regression = v.Delta > c.limit
+	}
+	if v.Regression {
+		v.Note = fmt.Sprintf("beyond ±%.0f%% threshold", 100*c.limit)
+	}
+	return v
+}
+
+// meanCI returns the mean and a ~95% confidence interval
+// (mean ± 2·stderr) of the samples.
+func meanCI(xs []float64) (mean, lo, hi float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	sd := math.Sqrt(ss / (n - 1))
+	half := 2 * sd / math.Sqrt(n)
+	return mean, mean - half, mean + half
+}
+
+// HasRegression reports whether any verdict is a significant
+// regression.
+func HasRegression(vs []Verdict) bool {
+	for _, v := range vs {
+		if v.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// FormatVerdicts writes the comparison as an aligned table, regressions
+// first.
+func FormatVerdicts(w io.Writer, vs []Verdict, warnings []string) {
+	for _, warn := range warnings {
+		fmt.Fprintf(w, "warning: %s\n", warn)
+	}
+	ordered := append([]Verdict(nil), vs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Regression && !ordered[j].Regression })
+	for _, v := range ordered {
+		mark := "ok"
+		if v.Regression {
+			mark = "REGRESSION"
+		}
+		if v.Rule == "skipped" {
+			fmt.Fprintf(w, "  skip       %-22s %-16s %s\n", v.Phase, v.Metric, v.Note)
+			continue
+		}
+		note := v.Note
+		if note != "" {
+			note = " (" + note + ")"
+		}
+		fmt.Fprintf(w, "  %-10s %-22s %-16s %12.4g -> %12.4g  %+6.1f%% [%s]%s\n",
+			mark, v.Phase, v.Metric, v.Old, v.New, 100*v.Delta, v.Rule, note)
+	}
+}

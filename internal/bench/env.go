@@ -1,0 +1,111 @@
+// Package bench is the distributed load-generation and benchmark
+// regression-analysis subsystem. It has four parts:
+//
+//   - A load runner (Run/Prepare) shared by tskd-load's local mode and
+//     agent mode: closed- or open-loop generation against a tskd-serve
+//     address, with per-worker tallies whose histograms are merged —
+//     never averaged — into whole-population percentiles.
+//   - An agent control protocol (ServeAgent / AgentClient / Coordinate):
+//     a coordinator fans a workload spec out to N agents over small
+//     NDJSON control connections, starts them on a synchronized
+//     wall-clock barrier, and collects full-resolution results.
+//   - Exact merge math (Merge): agents ship compressed latency
+//     histograms (metrics.HistogramData) and per-second throughput
+//     series; merging reconstructs the unified population, so merged
+//     p50/p99/p999 equal what one process observing every request would
+//     have reported.
+//   - Report analysis (ReadReport / Analyze / Compare): the
+//     BENCH_serve.json schema with environment metadata, and the
+//     significance rule CI uses to gate on regressions — overlapping
+//     confidence intervals when repeated samples exist, fixed
+//     per-metric thresholds otherwise.
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+)
+
+// Env records where a benchmark ran. Comparing numbers taken on
+// different hardware or toolchains is noise dressed as signal, so cmp
+// refuses hard mismatches (toolchain, OS, architecture) and warns on
+// soft drift (CPU budget, commit).
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Commit     string `json:"commit,omitempty"`
+}
+
+// CaptureEnv snapshots the current process's environment. The commit
+// comes from TSKD_COMMIT when set (CI exports it), else from the build
+// info VCS stamp when the binary was built inside a checkout.
+func CaptureEnv() Env {
+	e := Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if c := os.Getenv("TSKD_COMMIT"); c != "" {
+		e.Commit = c
+		return e
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				e.Commit = s.Value
+				break
+			}
+		}
+	}
+	return e
+}
+
+// IsZero reports whether the environment was never recorded (reports
+// written before environment stamping existed).
+func (e Env) IsZero() bool {
+	return e.GoVersion == "" && e.GOOS == "" && e.GOARCH == "" && e.GOMAXPROCS == 0
+}
+
+// CompatibleWith returns a descriptive error when results from e and o
+// must not be compared: different toolchains, operating systems, or
+// architectures change what the numbers mean. A zero environment on
+// either side is tolerated (pre-stamping files) — drift then shows up
+// in Warnings instead.
+func (e Env) CompatibleWith(o Env) error {
+	if e.IsZero() || o.IsZero() {
+		return nil
+	}
+	if e.GoVersion != o.GoVersion {
+		return fmt.Errorf("go toolchain mismatch: baseline %s vs candidate %s", e.GoVersion, o.GoVersion)
+	}
+	if e.GOOS != o.GOOS || e.GOARCH != o.GOARCH {
+		return fmt.Errorf("platform mismatch: baseline %s/%s vs candidate %s/%s", e.GOOS, e.GOARCH, o.GOOS, o.GOARCH)
+	}
+	return nil
+}
+
+// Warnings lists soft environment drift between e and o — comparisons
+// proceed, but the reader should know the floor moved.
+func (e Env) Warnings(o Env) []string {
+	var ws []string
+	if e.IsZero() || o.IsZero() {
+		if e.IsZero() != o.IsZero() {
+			ws = append(ws, "one side has no environment metadata (pre-PR7 report); comparison is best-effort")
+		}
+		return ws
+	}
+	if e.GOMAXPROCS != o.GOMAXPROCS {
+		ws = append(ws, fmt.Sprintf("GOMAXPROCS differs: baseline %d vs candidate %d", e.GOMAXPROCS, o.GOMAXPROCS))
+	}
+	if e.NumCPU != o.NumCPU {
+		ws = append(ws, fmt.Sprintf("CPU count differs: baseline %d vs candidate %d", e.NumCPU, o.NumCPU))
+	}
+	return ws
+}

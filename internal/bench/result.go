@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"tskd/internal/metrics"
+)
+
+// Counts tallies terminal outcomes of one agent's run. Sent counts
+// submissions (a closed-loop retry after rejection is a new
+// submission); the rest partition responses by status.
+type Counts struct {
+	Sent      uint64 `json:"sent"`
+	Committed uint64 `json:"committed"`
+	Rejected  uint64 `json:"rejected"`
+	Shed      uint64 `json:"shed"`
+	Expired   uint64 `json:"expired"`
+	Aborted   uint64 `json:"aborted"`
+	Canceled  uint64 `json:"canceled"`
+	Errors    uint64 `json:"errors"`
+	Retries   uint64 `json:"retries"`
+}
+
+// Add folds o into c.
+func (c *Counts) Add(o Counts) {
+	c.Sent += o.Sent
+	c.Committed += o.Committed
+	c.Rejected += o.Rejected
+	c.Shed += o.Shed
+	c.Expired += o.Expired
+	c.Aborted += o.Aborted
+	c.Canceled += o.Canceled
+	c.Errors += o.Errors
+	c.Retries += o.Retries
+}
+
+// Terminal reports how many submissions reached a terminal decision —
+// the denominator of throughput, versus goodput's committed-only
+// numerator. Rejected and shed attempts are excluded: in a closed loop
+// they are resubmitted, in an open loop they are lost offered load.
+func (c Counts) Terminal() uint64 {
+	return c.Committed + c.Aborted + c.Canceled + c.Expired
+}
+
+// Result is what one agent (or the local runner) produces: elapsed
+// wall clock, outcome counts, full-resolution latency histograms, and
+// a per-second series of terminal decisions since the start barrier.
+// Histograms ride as bucket data, not percentiles, precisely so the
+// coordinator can merge populations instead of averaging summaries.
+type Result struct {
+	Agent     string                `json:"agent,omitempty"`
+	ElapsedNS int64                 `json:"elapsed_ns"`
+	Counts    Counts                `json:"counts"`
+	Latency   metrics.HistogramData `json:"latency"`
+	Queue     metrics.HistogramData `json:"queue"`
+	Exec      metrics.HistogramData `json:"exec"`
+	PerSecond []uint64              `json:"per_second,omitempty"`
+}
+
+// Elapsed returns the run's wall-clock duration.
+func (r Result) Elapsed() time.Duration { return time.Duration(r.ElapsedNS) }
+
+// maxPerSecond bounds the per-second series a decoded result may carry
+// (24h of bins); anything longer is a corrupt or hostile file.
+const maxPerSecond = 24 * 3600
+
+// Validate checks the cross-field invariants a decoded result must
+// hold. Histogram bucket data is validated by metrics.FromData.
+func (r Result) Validate() error {
+	if r.ElapsedNS < 0 {
+		return fmt.Errorf("bench: result: negative elapsed %d", r.ElapsedNS)
+	}
+	if len(r.PerSecond) > maxPerSecond {
+		return fmt.Errorf("bench: result: per-second series too long (%d bins)", len(r.PerSecond))
+	}
+	for _, d := range []struct {
+		name string
+		data metrics.HistogramData
+	}{{"latency", r.Latency}, {"queue", r.Queue}, {"exec", r.Exec}} {
+		if _, err := metrics.FromData(d.data); err != nil {
+			return fmt.Errorf("bench: result: %s histogram: %w", d.name, err)
+		}
+	}
+	if r.Latency.Total > r.Counts.Committed {
+		return fmt.Errorf("bench: result: %d latency samples for %d commits", r.Latency.Total, r.Counts.Committed)
+	}
+	var perSec uint64
+	for _, n := range r.PerSecond {
+		perSec += n
+	}
+	if perSec > r.Counts.Terminal() {
+		return fmt.Errorf("bench: result: per-second sum %d exceeds terminal count %d", perSec, r.Counts.Terminal())
+	}
+	return nil
+}
+
+// EncodeResult marshals a result for the control connection or a file.
+func EncodeResult(r Result) []byte {
+	b, _ := json.Marshal(r)
+	return b
+}
+
+// DecodeResult parses and validates a result produced by EncodeResult.
+// It is the untrusted-input surface for agent-shipped payloads, so it
+// must reject anything inconsistent rather than propagate it into
+// merged numbers (and it is fuzzed).
+func DecodeResult(b []byte) (Result, error) {
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Result{}, fmt.Errorf("bench: decode result: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return Result{}, err
+	}
+	return r, nil
+}

@@ -31,9 +31,9 @@ type brokenSilo struct {
 	n    atomic.Uint64
 }
 
-func (p *brokenSilo) Name() string         { return "BROKEN_SILO" }
-func (p *brokenSilo) Begin(c *cc.Ctx)      { p.silo.Begin(c) }
-func (p *brokenSilo) Abort(c *cc.Ctx)      { p.silo.Abort(c) }
+func (p *brokenSilo) Name() string    { return "BROKEN_SILO" }
+func (p *brokenSilo) Begin(c *cc.Ctx) { p.silo.Begin(c) }
+func (p *brokenSilo) Abort(c *cc.Ctx) { p.silo.Abort(c) }
 func (p *brokenSilo) Read(c *cc.Ctx, row *storage.Row) (*storage.Tuple, error) {
 	return p.silo.Read(c, row)
 }

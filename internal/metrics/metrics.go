@@ -170,6 +170,84 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 }
 
+// HistogramData is a portable full-resolution export of a Histogram:
+// the sparse bucket counts plus the summary moments, shaped for JSON.
+// Unlike HistogramSnapshot (which carries only pre-computed quantiles),
+// HistogramData round-trips losslessly through FromData, so histograms
+// recorded in different processes can be shipped over a wire and merged
+// into exact whole-population percentiles — merging data, never
+// averaging per-source percentiles.
+type HistogramData struct {
+	// Buckets holds [bucketIndex, count] pairs for non-empty buckets,
+	// in ascending index order.
+	Buckets [][2]uint64 `json:"buckets,omitempty"`
+	Total   uint64      `json:"total"`
+	SumNS   int64       `json:"sum_ns"`
+	MinNS   int64       `json:"min_ns"`
+	MaxNS   int64       `json:"max_ns"`
+}
+
+// Data exports the histogram's full bucket contents.
+func (h *Histogram) Data() HistogramData {
+	d := HistogramData{
+		Total: h.total,
+		SumNS: int64(h.sum),
+		MinNS: int64(h.min),
+		MaxNS: int64(h.max),
+	}
+	for i, c := range h.counts {
+		if c != 0 {
+			d.Buckets = append(d.Buckets, [2]uint64{uint64(i), c})
+		}
+	}
+	return d
+}
+
+// FromData reconstructs a histogram from an export, validating the
+// invariants a hostile or corrupted file could violate: bucket indices
+// in range and strictly ascending, counts non-zero, and the bucket sum
+// equal to the declared total.
+func FromData(d HistogramData) (*Histogram, error) {
+	h := &Histogram{}
+	if d.Total == 0 {
+		if len(d.Buckets) != 0 {
+			return nil, fmt.Errorf("metrics: histogram data: %d buckets but total=0", len(d.Buckets))
+		}
+		return h, nil
+	}
+	var sum uint64
+	last := -1
+	for _, b := range d.Buckets {
+		idx, c := b[0], b[1]
+		if idx >= uint64(len(h.counts)) {
+			return nil, fmt.Errorf("metrics: histogram data: bucket index %d out of range", idx)
+		}
+		if int(idx) <= last {
+			return nil, fmt.Errorf("metrics: histogram data: bucket index %d not ascending", idx)
+		}
+		if c == 0 {
+			return nil, fmt.Errorf("metrics: histogram data: empty bucket %d present", idx)
+		}
+		if sum+c < sum {
+			return nil, fmt.Errorf("metrics: histogram data: bucket counts overflow")
+		}
+		last = int(idx)
+		h.counts[idx] = c
+		sum += c
+	}
+	if sum != d.Total {
+		return nil, fmt.Errorf("metrics: histogram data: bucket sum %d != total %d", sum, d.Total)
+	}
+	if d.MinNS < 0 || d.MaxNS < 0 || d.SumNS < 0 || d.MinNS > d.MaxNS {
+		return nil, fmt.Errorf("metrics: histogram data: inconsistent min/max/sum (%d/%d/%d)", d.MinNS, d.MaxNS, d.SumNS)
+	}
+	h.total = d.Total
+	h.sum = time.Duration(d.SumNS)
+	h.min = time.Duration(d.MinNS)
+	h.max = time.Duration(d.MaxNS)
+	return h, nil
+}
+
 // Counters is a named counter set with deterministic iteration order.
 type Counters struct {
 	names  []string

@@ -146,6 +146,74 @@ func TestHistogramPrint(t *testing.T) {
 	}
 }
 
+func TestHistogramDataRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.Record(time.Duration(rng.Intn(1<<32) + 1))
+	}
+	got, err := FromData(h.Data())
+	if err != nil {
+		t.Fatalf("FromData: %v", err)
+	}
+	if *got != h {
+		t.Error("round trip not identical")
+	}
+	// Empty round-trips too.
+	var empty Histogram
+	got, err = FromData(empty.Data())
+	if err != nil || got.Count() != 0 {
+		t.Errorf("empty round trip: %v, count=%d", err, got.Count())
+	}
+}
+
+// Reconstructing per-worker histograms from exported data and merging
+// them must equal recording the whole population into one histogram —
+// the invariant the distributed bench coordinator relies on.
+func TestHistogramDataMergeEqualsPopulation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var whole Histogram
+		parts := make([]Histogram, 1+rng.Intn(6))
+		for i := 0; i < 2000; i++ {
+			d := time.Duration(rng.Intn(1 << 34))
+			whole.Record(d)
+			parts[rng.Intn(len(parts))].Record(d)
+		}
+		var merged Histogram
+		for i := range parts {
+			p, err := FromData(parts[i].Data())
+			if err != nil {
+				return false
+			}
+			merged.Merge(p)
+		}
+		return merged == whole
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramDataRejectsCorrupt(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	base := h.Data()
+	cases := map[string]HistogramData{
+		"index out of range": {Buckets: [][2]uint64{{9999, 1}}, Total: 1, MinNS: 1, MaxNS: 1, SumNS: 1},
+		"not ascending":      {Buckets: [][2]uint64{{5, 1}, {5, 1}}, Total: 2, MinNS: 1, MaxNS: 1, SumNS: 2},
+		"zero-count bucket":  {Buckets: [][2]uint64{{5, 0}}, Total: 0, MinNS: 0, MaxNS: 0},
+		"sum mismatch":       {Buckets: base.Buckets, Total: base.Total + 1, MinNS: base.MinNS, MaxNS: base.MaxNS, SumNS: base.SumNS},
+		"min above max":      {Buckets: base.Buckets, Total: base.Total, MinNS: 10, MaxNS: 1, SumNS: base.SumNS},
+		"negative sum":       {Buckets: base.Buckets, Total: base.Total, MinNS: base.MinNS, MaxNS: base.MaxNS, SumNS: -1},
+	}
+	for name, d := range cases {
+		if _, err := FromData(d); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestCounters(t *testing.T) {
 	c := NewCounters()
 	c.Add("commits", 5)
