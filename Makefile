@@ -26,5 +26,5 @@ bench-serve:
 # Local version of the CI regression gate: rerun the gated phases and
 # cmp against the committed baseline (exit 1 = significant regression).
 bench-cmp:
-	$(GO) run ./cmd/tskd-perf -seed 1 -reps 3 -overload 0 -shards 0 -agents 0 -out /tmp/tskd-bench-new.json
+	$(GO) run ./cmd/tskd-perf -seed 1 -reps 3 -overload 0 -shards 0 -agents 0 -replica-clients 0 -out /tmp/tskd-bench-new.json
 	$(GO) run ./cmd/tskd-perf cmp BENCH_serve.json /tmp/tskd-bench-new.json

@@ -5,7 +5,9 @@
 // committed transaction (runtime Mallocs delta across the measured
 // load), plus the wire/WAL microbenchmark allocation rates. Optional
 // phases add overload (open-loop burst with deadlines), sharded
-// scaling, and distributed load generation (1 vs N agent subprocesses
+// scaling, replication (a durable server with WAL shipping off vs
+// async vs sync, quantifying the synchronous-ack tail-latency cost),
+// and distributed load generation (1 vs N agent subprocesses
 // coordinated over the warp-style control protocol).
 //
 // Results are written as JSON (default BENCH_serve.json) stamped with
@@ -166,6 +168,9 @@ func measureMain(args []string) int {
 		shardBun  = fs.Int("shard-bundle", 2048, "sharded phase: total admission batch (split per shard in sharded mode)")
 		shardRec  = fs.Int("shard-records", 1000, "sharded phase: YCSB table size")
 		shardTh   = fs.Float64("shard-theta", 0.99, "sharded phase: YCSB zipf skew")
+		replCli   = fs.Int("replica-clients", 32, "replica phase: concurrent closed-loop clients (0 disables the phase)")
+		replPer   = fs.Int("replica-per-client", 250, "replica phase: transactions per client")
+		replRec   = fs.Int("replica-records", 20_000, "replica phase: YCSB table size")
 		agents    = fs.Int("agents", 0, "distributed phase: agent subprocesses to compare against one (0 disables the phase)")
 		agentRate = fs.Float64("agent-rate", 80_000, "distributed phase: aggregate open-loop target rate, txn/s (pinned past the single-process ceiling)")
 		agentDur  = fs.Duration("agent-dur", time.Second, "distributed phase: target run length at the target rate")
@@ -210,6 +215,16 @@ func measureMain(args []string) int {
 		sharded = &sh
 	}
 
+	var replicaRes *bench.ReplicaResults
+	if *replCli > 0 {
+		rp, err := measureReplica(*replRec, *theta, *ops, *bundle, *ccName, *workers, *seed, *replCli, *replPer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tskd-perf: replica phase:", err)
+			return 1
+		}
+		replicaRes = &rp
+	}
+
 	var distributed *bench.DistributedResults
 	if *agents > 1 {
 		d, err := measureDistributed(*agents, *records, *theta, *ops, *bundle, *ccName, *workers, *seed,
@@ -234,11 +249,13 @@ func measureMain(args []string) int {
 			"shards": *shardN, "shard_bundle": *shardBun, "shard_records": *shardRec,
 			"shard_theta": *shardTh, "shard_clients": *shardCli, "shard_per_client": *shardPer,
 			"agents": *agents, "agent_rate": *agentRate,
+			"replica_clients": *replCli, "replica_per_client": *replPer, "replica_records": *replRec,
 		},
 		Current:     res,
 		Overload:    over,
 		Sharded:     sharded,
 		Distributed: distributed,
+		Replica:     replicaRes,
 		Previous:    previous,
 	}
 	b, err := bench.EncodeReport(rep)

@@ -14,6 +14,7 @@ import (
 	"tskd/internal/client"
 	"tskd/internal/core"
 	"tskd/internal/metrics"
+	"tskd/internal/replica"
 	"tskd/internal/server"
 	"tskd/internal/shard"
 	"tskd/internal/storage"
@@ -573,6 +574,182 @@ func distributedPoint(self string, fleet, records int, theta float64, ops, bundl
 	}
 	if sum.ElapsedS > 0 {
 		p.OfferedRateTxnS = float64(sum.Counts.Sent) / sum.ElapsedS
+	}
+	return p, nil
+}
+
+// measureReplica runs the replication phase: the same closed-loop
+// load against a durable server with replication off, shipping
+// asynchronously, and shipping synchronously (client ack waits for
+// the backup flush) to an in-process backup over loopback TCP. All
+// three points run with NoSync on both sides so the numbers isolate
+// the shipping protocol's overhead — the framing, the extra loopback
+// round trip, and (sync only) the ack wait on the flush path — rather
+// than the disk's fsync latency, which would dominate and vary by
+// box. The headline is the sync point's p99 relative to off.
+func measureReplica(records int, theta float64, ops, bundle int, ccName string, workers int, seed int64, clients, perClient int) (bench.ReplicaResults, error) {
+	var out bench.ReplicaResults
+	for _, mode := range []string{"off", "async", "sync"} {
+		p, err := measureReplicaPoint(records, theta, ops, bundle, ccName, workers, seed, clients, perClient, mode)
+		if err != nil {
+			return out, fmt.Errorf("mode %s: %w", mode, err)
+		}
+		out.Points = append(out.Points, p)
+		fmt.Fprintf(os.Stderr, "tskd-perf: replica %-5s: %.0f txn/s p99=%dus\n", mode, p.ThroughputTxnS, p.P99US)
+	}
+	off, sync := out.Points[0], out.Points[2]
+	if off.P99US > 0 {
+		out.SyncP99OverheadPct = 100 * float64(sync.P99US-off.P99US) / float64(off.P99US)
+	}
+	if off.ThroughputTxnS > 0 {
+		out.SyncTputFrac = sync.ThroughputTxnS / off.ThroughputTxnS
+	}
+	return out, nil
+}
+
+func measureReplicaPoint(records int, theta float64, ops, bundle int, ccName string, workers int, seed int64, clients, perClient int, mode string) (bench.ReplicaPoint, error) {
+	gen := workload.YCSB{Records: records, Theta: theta, OpsPerTxn: ops, ReadRatio: 0.5, RMW: true}
+	primaryDir, err := os.MkdirTemp("", "tskd-perf-primary-*")
+	if err != nil {
+		return bench.ReplicaPoint{}, err
+	}
+	defer os.RemoveAll(primaryDir)
+
+	var ship *replica.Shipper
+	if mode != "off" {
+		backupDir, err := os.MkdirTemp("", "tskd-perf-backup-*")
+		if err != nil {
+			return bench.ReplicaPoint{}, err
+		}
+		defer os.RemoveAll(backupDir)
+		recv, err := replica.NewServer(replica.ServerConfig{Dir: backupDir, NoSync: true})
+		if err != nil {
+			return bench.ReplicaPoint{}, err
+		}
+		if err := recv.Start("127.0.0.1:0"); err != nil {
+			return bench.ReplicaPoint{}, err
+		}
+		defer recv.Close()
+		ship, err = replica.NewShipper(replica.ShipperConfig{Addr: recv.Addr(), Sync: mode == "sync"})
+		if err != nil {
+			return bench.ReplicaPoint{}, err
+		}
+		defer ship.Close()
+	}
+
+	s, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		Bundle:        bundle,
+		FlushInterval: 2 * time.Millisecond,
+		DB:            gen.BuildDB(),
+		Core:          core.Options{Workers: workers, Protocol: ccName, Seed: seed},
+		Durability:    &server.DurabilityOptions{Dir: primaryDir, NoSync: true, Replication: ship},
+	})
+	if err != nil {
+		return bench.ReplicaPoint{}, err
+	}
+	if err := s.Start(); err != nil {
+		return bench.ReplicaPoint{}, err
+	}
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}
+	defer shutdown()
+
+	load := func(record bool) (uint64, *metrics.Histogram, error) {
+		var (
+			wg        sync.WaitGroup
+			mu        sync.Mutex
+			werr      error
+			merged    metrics.Histogram
+			committed uint64
+		)
+		for ci := 0; ci < clients; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				g := gen
+				g.Txns = perClient
+				g.Seed = seed + int64(ci)*13
+				w := g.Generate()
+				conn, err := client.Dial(s.Addr())
+				if err != nil {
+					mu.Lock()
+					werr = err
+					mu.Unlock()
+					return
+				}
+				defer conn.Close()
+				var n uint64
+				var h metrics.Histogram
+				for _, tx := range w {
+					req, err := client.NewRequest(0, tx)
+					if err != nil {
+						mu.Lock()
+						werr = err
+						mu.Unlock()
+						return
+					}
+					for {
+						t0 := time.Now()
+						resp, err := conn.Submit(context.Background(), req)
+						if err != nil {
+							mu.Lock()
+							werr = err
+							mu.Unlock()
+							return
+						}
+						if resp.Status == client.StatusRejected {
+							time.Sleep(time.Duration(resp.RetryAfterMS) * time.Millisecond)
+							continue
+						}
+						if record {
+							h.Record(time.Since(t0))
+						}
+						if resp.Committed() {
+							n++
+						}
+						break
+					}
+				}
+				mu.Lock()
+				committed += n
+				merged.Merge(&h)
+				mu.Unlock()
+			}(ci)
+		}
+		wg.Wait()
+		return committed, &merged, werr
+	}
+
+	if _, _, err := load(false); err != nil { // warm-up
+		return bench.ReplicaPoint{}, err
+	}
+	t0 := time.Now()
+	committed, lat, err := load(true)
+	elapsed := time.Since(t0)
+	if err != nil {
+		return bench.ReplicaPoint{}, err
+	}
+	p := bench.ReplicaPoint{
+		Mode:           mode,
+		ThroughputTxnS: float64(committed) / elapsed.Seconds(),
+		P50US:          lat.Quantile(0.50).Microseconds(),
+		P99US:          lat.Quantile(0.99).Microseconds(),
+		Committed:      committed,
+	}
+	if ship != nil {
+		// Snapshot after shutdown so async shipping has drained and
+		// EndLagBytes reflects the steady state, not mid-flush chatter.
+		shutdown()
+		st := ship.Stats()
+		p.ShippedGroups = st.ShippedGroups
+		p.ShippedBytes = st.ShippedBytes
+		p.SyncWaits = st.SyncWaits
+		p.SyncTimeouts = st.SyncTimeouts
+		p.EndLagBytes = st.LagBytes
 	}
 	return p, nil
 }

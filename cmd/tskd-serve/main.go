@@ -27,6 +27,22 @@
 // accepts a single connection — kill -9 and restart never loses an
 // acknowledged commit. Without it the server is memory-only.
 //
+// Replication pairs two durable processes:
+//
+//	tskd-serve -replica-listen :7072 -data-dir /var/lib/tskd-b   # backup
+//	tskd-serve -data-dir /var/lib/tskd -replica-of backup:7072 -replica-sync
+//	tskd-serve -data-dir /var/lib/tskd-b -promote                # failover
+//
+// A primary (-replica-of) ships every fsynced WAL flush to the backup;
+// with -replica-sync a commit is acknowledged only after the backup's
+// fsync. A backup (-replica-listen) runs the receiver only — no
+// transaction listener — and mirrors the primary's directory layout,
+// never truncating. To fail over, stop the backup receiver and restart
+// it as a server over the same directory with -promote: the promotion
+// bumps the fencing epoch, so the old primary (should it come back) is
+// refused by every future backup and fails its flushes with a fencing
+// error instead of acknowledging commits on a dead timeline.
+//
 // /healthz and /metrics are served on -http. SIGINT/SIGTERM drains
 // gracefully: admission stops, in-flight bundles flush, then the
 // process exits. A second signal — or -drain-timeout expiring — hard-
@@ -35,8 +51,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,6 +64,7 @@ import (
 	"tskd/internal/core"
 	"tskd/internal/engine"
 	"tskd/internal/partition"
+	"tskd/internal/replica"
 	"tskd/internal/server"
 	"tskd/internal/storage"
 	"tskd/internal/workload"
@@ -86,8 +105,34 @@ func main() {
 		ckptBytes = flag.Int64("checkpoint-bytes", 0, "checkpoint once this many WAL bytes accumulate (0 = default)")
 		dedupWin  = flag.Int("dedup-window", 0, "committed idempotency keys remembered (0 = default)")
 		noSync    = flag.Bool("no-sync", false, "skip fsync (testing only: an OS crash may lose acked commits)")
+
+		replicaOf     = flag.String("replica-of", "", "backup replication address to ship WAL flushes to (requires -data-dir)")
+		replicaListen = flag.String("replica-listen", "", "run as a backup: receive WAL shipments on this address (requires -data-dir; no transaction listener)")
+		replicaSync   = flag.Bool("replica-sync", false, "with -replica-of: ack commits only after the backup's fsync")
+		promote       = flag.Bool("promote", false, "bump the data directory's fencing epoch before serving (failover of a shipped backup dir)")
 	)
 	flag.Parse()
+
+	if (*replicaOf != "" || *replicaListen != "" || *promote) && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "tskd-serve: -replica-of/-replica-listen/-promote require -data-dir")
+		os.Exit(2)
+	}
+	if *replicaOf != "" && *replicaListen != "" {
+		fmt.Fprintln(os.Stderr, "tskd-serve: -replica-of and -replica-listen are mutually exclusive")
+		os.Exit(2)
+	}
+	if *promote {
+		epoch, err := replica.Promote(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tskd-serve: promote:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tskd-serve: promoted %s to epoch %d\n", *dataDir, epoch)
+	}
+	if *replicaListen != "" {
+		runBackup(*dataDir, *replicaListen, *httpAddr, *noSync)
+		return
+	}
 
 	if _, err := buildPartitioner(*part, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "tskd-serve:", err)
@@ -151,6 +196,7 @@ func main() {
 			return sp
 		}
 	}
+	var ship *replica.Shipper
 	if *dataDir != "" {
 		cfg.Durability = &server.DurabilityOptions{
 			Dir:             *dataDir,
@@ -159,6 +205,31 @@ func main() {
 			CheckpointBytes: *ckptBytes,
 			DedupWindow:     *dedupWin,
 			NoSync:          *noSync,
+		}
+		if *replicaOf != "" {
+			// The shipper dials before recovery runs: registration of the
+			// directory streams (and their catch-up snapshots) happens
+			// inside server.New, before any log opens for appending.
+			epoch, err := replica.ReadEpoch(*dataDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tskd-serve:", err)
+				os.Exit(1)
+			}
+			ship, err = replica.NewShipper(replica.ShipperConfig{
+				Addr:  *replicaOf,
+				Epoch: epoch,
+				Sync:  *replicaSync,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tskd-serve: replication:", err)
+				os.Exit(1)
+			}
+			cfg.Durability.Replication = ship
+			mode := "async"
+			if *replicaSync {
+				mode = "sync"
+			}
+			fmt.Printf("tskd-serve: replicating to %s (%s, epoch %d)\n", *replicaOf, mode, epoch)
 		}
 	}
 	// New runs recovery (checkpoint restore + WAL tail replay) when
@@ -210,9 +281,56 @@ func main() {
 	if err := s.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "tskd-serve: hard stop:", err)
 	}
+	if ship != nil {
+		// After Shutdown every log is closed; no flush can race the
+		// teardown of the replication connection.
+		ship.Close()
+	}
 	st := s.Stats()
 	fmt.Printf("tskd-serve: done — %d bundles, %d committed, %d retries, %d rejected, %d shed, %d expired, %d canceled\n",
 		st.Bundles, st.Committed, st.Retries, st.Rejected, st.Shed, st.Expired, st.Canceled)
+}
+
+// runBackup is -replica-listen mode: the replication receiver over the
+// data directory, with /healthz and /metrics on the HTTP address, and
+// no transaction listener — a backup serves no reads or writes until
+// it is promoted.
+func runBackup(dataDir, listenAddr, httpAddr string, noSync bool) {
+	srv, err := replica.NewServer(replica.ServerConfig{Dir: dataDir, NoSync: noSync})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-serve: backup:", err)
+		os.Exit(1)
+	}
+	if err := srv.Start(listenAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-serve: backup:", err)
+		os.Exit(1)
+	}
+	if httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintf(w, "ok\nrole=backup epoch=%d\n", srv.Epoch())
+		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Role string `json:"role"`
+				replica.ServerStats
+			}{"backup", srv.Stats()})
+		})
+		go http.ListenAndServe(httpAddr, mux)
+	}
+	fmt.Printf("tskd-serve: backup receiving on %s over %s (epoch %d), http on %s\n",
+		srv.Addr(), dataDir, srv.Epoch(), httpAddr)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	st := srv.Stats()
+	fmt.Printf("tskd-serve: backup done — %d snapshots, %d appends, %d bytes, last seq %d\n",
+		st.Snapshots, st.Appends, st.AppendedBytes, st.LastSeq)
 }
 
 func buildDB(schema string, records, whn int) (*storage.DB, error) {

@@ -62,6 +62,20 @@ func Analyze(w io.Writer, r Report) {
 		}
 		fmt.Fprintf(w, "  speedup at 0%% cross: %.2fx\n", s.Speedup)
 	}
+	if rp := r.Replica; rp != nil {
+		fmt.Fprintln(w, "replica:")
+		for _, p := range rp.Points {
+			fmt.Fprintf(w, "  %-5s %.0f txn/s p50=%dus p99=%dus committed=%d", p.Mode, p.ThroughputTxnS, p.P50US, p.P99US, p.Committed)
+			if p.Mode != "off" {
+				fmt.Fprintf(w, " shipped=%dB/%d groups lag=%dB", p.ShippedBytes, p.ShippedGroups, p.EndLagBytes)
+			}
+			if p.Mode == "sync" {
+				fmt.Fprintf(w, " waits=%d timeouts=%d", p.SyncWaits, p.SyncTimeouts)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "  sync overhead: p99 %+.1f%%, throughput retained %.2fx\n", rp.SyncP99OverheadPct, rp.SyncTputFrac)
+	}
 	if d := r.Distributed; d != nil {
 		fmt.Fprintln(w, "distributed:")
 		for _, p := range d.Points {

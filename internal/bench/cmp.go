@@ -128,6 +128,17 @@ func Compare(base, cand Report, opt CmpOptions) ([]Verdict, []string, error) {
 	} else if (base.Distributed != nil) != (cand.Distributed != nil) {
 		verdicts = append(verdicts, skipped("distributed", base.Distributed == nil))
 	}
+	if base.Replica != nil && cand.Replica != nil {
+		for _, op := range base.Replica.Points {
+			np, ok := matchReplicaPoint(cand.Replica.Points, op.Mode)
+			if !ok {
+				continue
+			}
+			cmps = append(cmps, metricCmp{"replica " + op.Mode, "txn/s", op.ThroughputTxnS, np.ThroughputTxnS, nil, nil, true, opt.TputDrop})
+		}
+	} else if (base.Replica != nil) != (cand.Replica != nil) {
+		verdicts = append(verdicts, skipped("replica", base.Replica == nil))
+	}
 
 	for _, c := range cmps {
 		verdicts = append(verdicts, judge(c, opt))
@@ -149,6 +160,15 @@ func samples(s *Samples) Samples {
 		return Samples{}
 	}
 	return *s
+}
+
+func matchReplicaPoint(pts []ReplicaPoint, mode string) (ReplicaPoint, bool) {
+	for _, p := range pts {
+		if p.Mode == mode {
+			return p, true
+		}
+	}
+	return ReplicaPoint{}, false
 }
 
 func matchShardedPoint(pts []ShardedPoint, want ShardedPoint) (ShardedPoint, bool) {

@@ -104,6 +104,11 @@ func Scenarios() []Scenario {
 			Run:  runShardCrash,
 		},
 		{
+			Name: "replica-failover",
+			Doc:  "replicating primary SIGKILLed mid-2PC, backup promoted under a bumped epoch; no acked commit lost, deposed epoch fenced",
+			Run:  runReplicaFailover,
+		},
+		{
 			Name: "sim-skew",
 			Doc:  "discrete-event simulator under duration noise; bit-identical replay",
 			Run:  runSimSkew,

@@ -16,6 +16,7 @@ import (
 	"tskd/internal/client"
 	"tskd/internal/core"
 	"tskd/internal/history"
+	"tskd/internal/replica"
 	"tskd/internal/server"
 	"tskd/internal/storage"
 	"tskd/internal/txn"
@@ -56,6 +57,10 @@ const (
 	// directories are created (default os.TempDir()); CI points it at a
 	// workspace path so failing runs can be uploaded as artifacts.
 	envKillDataRoot = "TSKD_CHAOS_DATA_ROOT"
+	// envReplicaAddr turns the child into a replicating primary: it
+	// ships every WAL flush to this backup replication address, in sync
+	// mode (acks wait for the backup's fsync while the pair is healthy).
+	envReplicaAddr = "TSKD_CHAOS_REPLICA_ADDR"
 )
 
 // killBaseDB is the initial store both server incarnations start from;
@@ -117,6 +122,23 @@ func MaybeServerChild() {
 		cfg.Durability.SegmentBytes = plan.ShardSegBytes
 		cfg.Durability.CheckpointBytes = plan.ShardCkptBytes
 	}
+	if addr := os.Getenv(envReplicaAddr); addr != "" {
+		// Replica-failover scenario: the child is a replicating primary.
+		// Sync mode, so the SIGKILL races ack-after-replication — every
+		// acknowledged commit must already be on the backup's disk or in
+		// its receive path when the process dies.
+		epoch, err := replica.ReadEpoch(cfg.Durability.Dir)
+		if err != nil {
+			die(err)
+		}
+		ship, err := replica.NewShipper(replica.ShipperConfig{
+			Addr: addr, Epoch: epoch, Sync: true,
+		})
+		if err != nil {
+			die(err)
+		}
+		cfg.Durability.Replication = ship
+	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		die(err)
@@ -149,7 +171,7 @@ func MaybeServerChild() {
 // waits for it to publish its address — which a durable server only
 // does after recovery completed, so a successful spawn is itself
 // evidence that recovery runs before the listener accepts.
-func spawnServerChild(seed int64, dataDir, addrFile string, shards int) (*exec.Cmd, string, error) {
+func spawnServerChild(seed int64, dataDir, addrFile string, shards int, extraEnv ...string) (*exec.Cmd, string, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, "", err
@@ -161,6 +183,7 @@ func spawnServerChild(seed int64, dataDir, addrFile string, shards int) (*exec.C
 		envKillAddrFile+"="+addrFile,
 		envKillSeed+"="+strconv.FormatInt(seed, 10),
 		envKillShards+"="+strconv.Itoa(shards))
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		return nil, "", err

@@ -52,6 +52,11 @@ const (
 	// PointShardRedeliver selects which acknowledged shard-crash keys
 	// are redelivered after the restart (keys: client, submission index).
 	PointShardRedeliver = "shard/redeliver"
+	// PointReplCross / PointReplRedeliver are the replica-failover
+	// scenario's analogues of the shard points (separate sites so the
+	// two scenarios' schedules stay independent per seed).
+	PointReplCross     = "replica/cross"
+	PointReplRedeliver = "replica/redeliver"
 )
 
 // Plan is the seed-derived fault schedule for one chaos run: which
@@ -123,6 +128,18 @@ type Plan struct {
 	ShardRedeliver float64 // P(redeliver an acked key after restart)
 	ShardSegBytes  int64   // child WAL segment rotation threshold
 	ShardCkptBytes int64   // child checkpoint threshold
+
+	// Replica-failover scenario: a durable multi-shard primary ships
+	// every WAL flush synchronously to a backup receiver and is
+	// SIGKILLed mid-2PC; the backup directory is promoted (epoch bump)
+	// and a second incarnation serves over it. The primary's own
+	// directory is abandoned — the promoted timeline is the truth.
+	ReplShards     int     // shards in the primary (>= 2)
+	ReplClients    int     // concurrent phase-1 clients
+	ReplSubs       int     // submissions per client
+	ReplAfterAcks  int     // SIGKILL the primary once this many commits acked
+	ReplCross      float64 // P(a submission spans two shards)
+	ReplRedeliver  float64 // P(redeliver an acked key after failover)
 }
 
 // engineProtocols are the CC protocols the chaos scenarios rotate
@@ -196,6 +213,17 @@ func NewPlan(seed int64) Plan {
 	p.ShardRedeliver = 0.2 + 0.3*rng.Float64()
 	p.ShardSegBytes = int64(4096 + rng.Intn(4096))
 	p.ShardCkptBytes = int64(16384 + rng.Intn(16384))
+	// Replica-failover knobs, drawn last — the standing rule: new knobs
+	// append after every existing draw so earlier scenarios' per-seed
+	// schedules never shift. The child reuses the shard-crash segment
+	// and checkpoint thresholds (it is the same sharded server).
+	p.ReplShards = 2 + rng.Intn(2) // 2..3
+	p.ReplClients = 2 + rng.Intn(2)
+	p.ReplSubs = 25 + rng.Intn(26)
+	rtotal := p.ReplClients * p.ReplSubs
+	p.ReplAfterAcks = rtotal/5 + rng.Intn(rtotal/2)
+	p.ReplCross = 0.25 + 0.5*rng.Float64()
+	p.ReplRedeliver = 0.2 + 0.3*rng.Float64()
 	return p
 }
 
@@ -275,6 +303,26 @@ func (p Plan) shardSummary() string {
 	return fmt.Sprintf("proto=%s workers=%d shards=%d load=%dx%d kill@%d cross=%.3f seg=%d ckpt=%d redeliver=%.3f",
 		p.Protocol, p.Workers, p.ShardCount, p.ShardClients, p.ShardSubs, p.ShardAfterAcks,
 		p.ShardCross, p.ShardSegBytes, p.ShardCkptBytes, p.ShardRedeliver)
+}
+
+// replicaSummary renders the replica-failover schedule.
+func (p Plan) replicaSummary() string {
+	return fmt.Sprintf("proto=%s workers=%d shards=%d load=%dx%d kill@%d cross=%.3f seg=%d ckpt=%d redeliver=%.3f",
+		p.Protocol, p.Workers, p.ReplShards, p.ReplClients, p.ReplSubs, p.ReplAfterAcks,
+		p.ReplCross, p.ShardSegBytes, p.ShardCkptBytes, p.ReplRedeliver)
+}
+
+// replCross decides whether replica-failover submission (c, i) spans
+// two shards.
+func (p Plan) replCross(c, i int) bool {
+	return hit(site(p.Seed, PointReplCross, int64(c), int64(i)), p.ReplCross)
+}
+
+// redeliverReplAcked decides whether the acked replica-failover
+// submission (c, i) is redelivered after the failover (expected
+// verdict: Duplicate).
+func (p Plan) redeliverReplAcked(client, i int) bool {
+	return hit(site(p.Seed, PointReplRedeliver, int64(client), int64(i)), p.ReplRedeliver)
 }
 
 // crossShard decides whether shard-crash submission (c, i) spans two

@@ -1,0 +1,386 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"tskd/internal/client"
+	"tskd/internal/history"
+	"tskd/internal/replica"
+	"tskd/internal/shard"
+	"tskd/internal/storage"
+	"tskd/internal/txn"
+	"tskd/internal/wal"
+	"tskd/internal/workload"
+)
+
+// replica_scenario.go: the failover scenario. A durable multi-shard
+// primary (a server child, as in shard-crash) ships every WAL flush —
+// shard redo, 2PC prepares, coordinator decisions — synchronously to a
+// backup receiver running in the parent, and is SIGKILLed mid-load at
+// a seeded acknowledged-commit count. The primary's directory is then
+// abandoned: the backup directory is promoted (fencing epoch bump) and
+// a second incarnation recovers and serves over it. The verdict audits
+// the promoted timeline:
+//
+//   - no acknowledged commit is lost — in sync mode the ack waited for
+//     the backup, so every acked marker must survive on the backup's
+//     recovered shards, never the primary's disk being needed at all;
+//   - exactly-once: markers at version 1, redelivered acked keys are
+//     answered from the shipped dedup windows as duplicates;
+//   - fencing: promotion leaves the directory at epoch 1, a shipper
+//     presenting the deposed epoch is refused at the handshake, and
+//     the shipped coordinator log's boot records carry non-decreasing
+//     epochs ending at the promoted one;
+//   - no dangling in-doubt, no phantom or misrouted markers, and the
+//     surviving WAL tails install each version exactly once
+//     (serializability of the shipped history);
+//   - recovery over the shipped directory is idempotent.
+
+// replKey is the stable idempotency key of submission (c, i) — its own
+// site, disjoint from the other scenarios' key spaces.
+func replKey(seed int64, c, i int) uint64 {
+	return site(seed, "replica/kill", int64(c), int64(i)) | 1
+}
+
+// replTxn builds replica-failover submission (c, i): the shard-crash
+// shape (two contended updates + unique marker insert) over ReplShards
+// shards, with the cross-shard decision drawn from this scenario's own
+// site.
+func (p Plan) replTxn(c, i int, marker uint64) *txn.Transaction {
+	r := shard.Router{Shards: p.ReplShards}
+	mk := txn.MakeKey(workload.YCSBTable, marker)
+	home := r.Home(mk)
+	cross := p.replCross(c, i)
+	t := txn.New(0)
+	for j := 0; j < 2; j++ {
+		row := site(p.Seed, "replica/key", int64(c), int64(i), int64(j)) % shardCrashRows
+		want := home
+		if cross && j == 1 {
+			want = (home + 1) % p.ReplShards
+		}
+		t.U(probeHomeRow(r, row, want), 1)
+	}
+	return t.I(mk)
+}
+
+// runReplicaFailover drives the replica-failover scenario for one seed.
+func runReplicaFailover(seed int64) Report {
+	plan := NewPlan(seed)
+	var v violations
+	fail := func() Report { return report("replica-failover", seed, plan.replicaSummary(), v) }
+
+	root := os.Getenv(envKillDataRoot)
+	if root == "" {
+		root = os.TempDir()
+	}
+	dataDir, err := os.MkdirTemp(root, fmt.Sprintf("tskd-replica-%d-", seed))
+	if err != nil {
+		v.addf("mkdir data dir: %v", err)
+		return fail()
+	}
+	defer func() {
+		if len(v) == 0 {
+			os.RemoveAll(dataDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "chaos: replica-failover seed %d failed, data dir kept at %s\n", seed, dataDir)
+		}
+	}()
+	primaryDir := filepath.Join(dataDir, "primary")
+	backupDir := filepath.Join(dataDir, "backup")
+	for _, d := range []string{primaryDir, backupDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			v.addf("mkdir %s: %v", d, err)
+			return fail()
+		}
+	}
+
+	// The backup receiver runs in this process with real fsync — its
+	// disk is what the sync-mode acks vouched for.
+	recv, err := replica.NewServer(replica.ServerConfig{Dir: backupDir})
+	if err != nil {
+		v.addf("backup receiver: %v", err)
+		return fail()
+	}
+	if err := recv.Start("127.0.0.1:0"); err != nil {
+		v.addf("backup receiver start: %v", err)
+		return fail()
+	}
+	defer recv.Close()
+
+	// Phase 1: load the replicating primary, SIGKILL once enough commits
+	// were acknowledged — the kill races 2PC rounds, group flushes and
+	// the replication stream itself.
+	cmd1, addr, err := spawnServerChild(seed, primaryDir, filepath.Join(dataDir, "addr-1"),
+		plan.ReplShards, envReplicaAddr+"="+recv.Addr())
+	if err != nil {
+		v.addf("phase 1 spawn: %v", err)
+		return fail()
+	}
+	total := plan.ReplClients * plan.ReplSubs
+	const (
+		outUnknown = iota
+		outAcked
+	)
+	outcome := make([]int32, total)
+	var ackCount atomic.Int64
+	var killOnce sync.Once
+	kill := func() { killOnce.Do(func() { cmd1.Process.Kill() }) }
+	errs := make(chan string, plan.ReplClients)
+	var wg sync.WaitGroup
+	for c := 0; c < plan.ReplClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := client.Dial(addr)
+			if err != nil {
+				errs <- fmt.Sprintf("phase 1 client %d dial: %v", c, err)
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < plan.ReplSubs; i++ {
+				req, err := client.NewRequest(0, plan.replTxn(c, i, liveMarker(c, i)))
+				if err != nil {
+					errs <- fmt.Sprintf("phase 1 client %d req: %v", c, err)
+					return
+				}
+				req.IdemKey = replKey(seed, c, i)
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+				resp, err := conn.Submit(ctx, req)
+				cancel()
+				if err == nil && resp.Status == client.StatusCommit {
+					outcome[c*plan.ReplSubs+i] = outAcked
+					if ackCount.Add(1) >= int64(plan.ReplAfterAcks) {
+						kill()
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	kill()
+	cmd1.Wait()
+	for msg := range errs {
+		v.addf("%s", msg)
+	}
+	if len(v) > 0 {
+		return fail()
+	}
+
+	// Drain the replication stream: the primary's death closes the
+	// connection once every in-flight frame was consumed; everything
+	// the receiver read is fsynced before it acks, so after the last
+	// connection goes away the backup directory is quiescent.
+	drainDeadline := time.Now().Add(30 * time.Second)
+	for recv.Stats().Conns > 0 {
+		if time.Now().After(drainDeadline) {
+			v.addf("replication stream never drained after the kill")
+			return fail()
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	recv.Close()
+
+	// Failover: promote the shipped directory. The epoch bump is the
+	// fence — a returning primary at the old epoch must be refused.
+	epoch, err := replica.Promote(backupDir)
+	if err != nil {
+		v.addf("promote: %v", err)
+		return fail()
+	}
+	if epoch != 1 {
+		v.addf("promoted epoch %d, want 1", epoch)
+	}
+	fence, err := replica.NewServer(replica.ServerConfig{Dir: backupDir})
+	if err != nil {
+		v.addf("post-promotion receiver: %v", err)
+		return fail()
+	}
+	if err := fence.Start("127.0.0.1:0"); err != nil {
+		v.addf("post-promotion receiver start: %v", err)
+		return fail()
+	}
+	if _, err := replica.NewShipper(replica.ShipperConfig{Addr: fence.Addr(), Epoch: 0}); !errors.Is(err, replica.ErrFenced) {
+		v.addf("deposed primary (epoch 0) not fenced: %v", err)
+	}
+	if s, err := replica.NewShipper(replica.ShipperConfig{Addr: fence.Addr(), Epoch: epoch}); err != nil {
+		v.addf("promoted epoch %d refused: %v", epoch, err)
+	} else {
+		s.Close()
+	}
+	fence.Close()
+
+	// Phase 2: a fresh incarnation over the promoted directory. Its
+	// recovery resolves every in-doubt prepare from the shipped
+	// coordinator log before the address is published. Resubmit every
+	// in-doubt submission and redeliver a seed-chosen sample of the
+	// acknowledged ones.
+	cmd2, addr2, err := spawnServerChild(seed, backupDir, filepath.Join(dataDir, "addr-2"), plan.ReplShards)
+	if err != nil {
+		v.addf("phase 2 spawn: %v", err)
+		return fail()
+	}
+	rc := client.DialReliable(addr2, client.RetryPolicy{Seed: seed ^ 0x7265706C})
+	for c := 0; c < plan.ReplClients; c++ {
+		for i := 0; i < plan.ReplSubs; i++ {
+			idx := c*plan.ReplSubs + i
+			redeliver := outcome[idx] == outAcked && plan.redeliverReplAcked(c, i)
+			if outcome[idx] == outAcked && !redeliver {
+				continue
+			}
+			req, err := client.NewRequest(0, plan.replTxn(c, i, liveMarker(c, i)))
+			if err != nil {
+				v.addf("phase 2 req (%d,%d): %v", c, i, err)
+				continue
+			}
+			req.IdemKey = replKey(seed, c, i)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			resp, err := rc.Submit(ctx, req)
+			cancel()
+			if err != nil {
+				v.addf("phase 2 submit (%d,%d): %v", c, i, err)
+				continue
+			}
+			if resp.Status != client.StatusCommit {
+				v.addf("phase 2 submit (%d,%d): status %s, want commit", c, i, resp.Status)
+				continue
+			}
+			if redeliver && !resp.Duplicate {
+				v.addf("redelivered acked key (%d,%d) re-executed instead of deduplicated", c, i)
+			}
+			outcome[idx] = outAcked
+		}
+	}
+	rc.Close()
+	cmd2.Process.Signal(syscall.SIGTERM)
+	cmd2.Wait()
+
+	// Verdict: recover the promoted directory read-only and audit what
+	// the pair together had to make durable. The primary's directory is
+	// deliberately never consulted — the shipped copy must suffice.
+	st, err := shard.Recover(backupDir, plan.ReplShards, shardBase)
+	if err != nil {
+		v.addf("recover: %v", err)
+		return fail()
+	}
+	r := shard.Router{Shards: plan.ReplShards}
+	localKeys := make([]map[uint64]bool, plan.ReplShards)
+	for s := range localKeys {
+		localKeys[s] = make(map[uint64]bool, len(st.ShardKeys[s]))
+		for _, k := range st.ShardKeys[s] {
+			localKeys[s][k] = true
+		}
+	}
+	crossKeys := make(map[uint64]bool, len(st.CrossKeys))
+	for _, k := range st.CrossKeys {
+		crossKeys[k] = true
+	}
+	submitted := make(map[uint64]bool, total)
+	var parts []int
+	for c := 0; c < plan.ReplClients; c++ {
+		for i := 0; i < plan.ReplSubs; i++ {
+			marker := liveMarker(c, i)
+			submitted[marker] = true
+			if outcome[c*plan.ReplSubs+i] != outAcked {
+				continue // already reported as a phase-2 violation
+			}
+			t := plan.replTxn(c, i, marker)
+			parts = r.Participants(t, parts[:0])
+			home := r.Home(txn.MakeKey(workload.YCSBTable, marker))
+			row := st.DBs[home].Table(workload.YCSBTable).Get(marker)
+			if row == nil {
+				v.addf("lost acked commit: marker (%d,%d) missing from shipped shard %d", c, i, home)
+				continue
+			}
+			if n := storage.VerNumber(row.Ver.Load()); n != 1 {
+				v.addf("marker (%d,%d) at version %d, want 1 (double apply)", c, i, n)
+			}
+			key := replKey(seed, c, i)
+			if len(parts) == 1 {
+				if !localKeys[parts[0]][key] {
+					v.addf("acked single-shard key (%d,%d) missing from shipped shard %d dedup window", c, i, parts[0])
+				}
+			} else if !crossKeys[key] {
+				v.addf("acked cross-shard key (%d,%d) missing from shipped coordinator dedup window", c, i)
+			}
+		}
+	}
+	// No phantom or misrouted markers on the promoted timeline.
+	for s := 0; s < plan.ReplShards; s++ {
+		st.DBs[s].Table(workload.YCSBTable).Scan(liveMarkerBase, ^uint64(0), func(row *storage.Row) bool {
+			if !submitted[row.Key.Row()] {
+				v.addf("phantom marker %d on shard %d installed by no submission", row.Key.Row(), s)
+			} else if r.Home(row.Key) != s {
+				v.addf("marker %d misrouted: on shard %d, owned by %d", row.Key.Row(), s, r.Home(row.Key))
+			}
+			return true
+		})
+	}
+	// No dangling in-doubt on the shipped tails.
+	for _, sh := range st.Info.Shards {
+		if sh.Prepares != sh.ResolvedCommitted+sh.ResolvedAborted {
+			v.addf("shard %d: %d prepares, only %d committed + %d aborted resolved",
+				sh.Shard, sh.Prepares, sh.ResolvedCommitted, sh.ResolvedAborted)
+		}
+	}
+	// Fencing evidence in the log itself: the directory sits at the
+	// promoted epoch, and the shipped coordinator log's boot records
+	// carry non-decreasing epochs ending there — exactly one boot per
+	// incarnation (the killed primary, then the promoted one).
+	if e, err := replica.ReadEpoch(backupDir); err != nil || e != 1 {
+		v.addf("promoted directory epoch %d (%v), want 1", e, err)
+	}
+	var bootEpochs []uint64
+	if _, _, err := wal.ReplayDir(filepath.Join(backupDir, "coord"), func(_ uint64, rec wal.Record) error {
+		if rec.Kind == wal.RecordBoot {
+			bootEpochs = append(bootEpochs, rec.IdemKey)
+		}
+		return nil
+	}); err != nil {
+		v.addf("coord replay: %v", err)
+	} else if !reflect.DeepEqual(bootEpochs, []uint64{0, 1}) {
+		v.addf("boot record epochs %v, want [0 1]", bootEpochs)
+	}
+	// The shipped WAL tails must install each version of each row
+	// exactly once across commits and decided prepares.
+	var events []history.Event
+	for s := 0; s < plan.ReplShards; s++ {
+		dir := filepath.Join(backupDir, fmt.Sprintf("shard-%02d", s))
+		if _, _, err := wal.ReplayDir(dir, func(lsn uint64, rec wal.Record) error {
+			install := rec.Kind == wal.RecordCommit
+			if rec.Kind == wal.RecordPrepare {
+				_, install = st.Committed[uint64(rec.TxnID)]
+			}
+			if !install {
+				return nil
+			}
+			e := history.Event{TxnID: len(events)}
+			for _, w := range rec.Writes {
+				e.Writes = append(e.Writes, history.Obs{Key: txn.Key(w.Key), Ver: w.Ver})
+			}
+			events = append(events, e)
+			return nil
+		}); err != nil {
+			v.addf("shard %d wal replay: %v", s, err)
+		}
+	}
+	if err := history.CheckEvents(events); err != nil {
+		v.addf("wal tails: %v", err)
+	}
+	// Recovery over the shipped directory is idempotent.
+	if st2, err := shard.Recover(backupDir, plan.ReplShards, shardBase); err != nil {
+		v.addf("second recover: %v", err)
+	} else if !reflect.DeepEqual(st2.Info, st.Info) {
+		v.addf("recovery not idempotent: %+v then %+v", st.Info, st2.Info)
+	}
+	return fail()
+}

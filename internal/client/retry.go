@@ -65,23 +65,51 @@ var ErrRetriesExhausted = errors.New("client: retries exhausted")
 
 // ReliableConn is a self-healing client: it dials lazily, reconnects
 // on connection failure, and resubmits under stable idempotency keys
-// until each transaction reaches a terminal outcome. Safe for
-// concurrent use.
+// until each transaction reaches a terminal outcome. With more than
+// one address it also fails over: a failed dial advances to the next
+// address round-robin, and an address whose connections keep dying is
+// abandoned once its reconnect grace is exhausted (failoverAfter
+// consecutive deaths), so a client pointed at a primary/backup pair
+// follows the survivor after a failover (idempotency keys make the
+// switch safe — the promoted server's recovered dedup window answers
+// anything the old one already committed). Safe for concurrent use.
 type ReliableConn struct {
-	addr   string
+	addrs  []string
 	policy RetryPolicy
 
-	mu   sync.Mutex
-	conn *Conn // current connection; nil between failures
-	rng  *rand.Rand
-	next uint64 // idempotency key counter (keyspace chosen at dial)
+	mu        sync.Mutex
+	cur       int   // index into addrs currently dialed
+	conn      *Conn // current connection; nil between failures
+	connFails int   // consecutive connection deaths on addrs[cur]
+	rng       *rand.Rand
+	next      uint64 // idempotency key counter (keyspace chosen at dial)
 }
+
+// failoverAfter is the number of consecutive connection deaths on one
+// address (reconnects included) before the client gives up on it and
+// rotates to the next candidate. A single death redials the same
+// address first — transient resets shouldn't abandon a healthy server
+// — but an address whose accepted connections keep dying (a flapping
+// or crash-looping server) is exhausted quickly.
+const failoverAfter = 2
 
 // DialReliable returns a reliable client for addr. No connection is
 // attempted until the first Submit, so it succeeds even while the
 // server is still down — Submit will keep redialing within its
 // attempt budget.
 func DialReliable(addr string, policy RetryPolicy) *ReliableConn {
+	return DialReliableMulti([]string{addr}, policy)
+}
+
+// DialReliableMulti returns a reliable client over a list of candidate
+// addresses (e.g. primary first, backup second). Submissions use one
+// address at a time; every failed dial advances to the next, wrapping
+// around, so the client converges on whichever server is accepting
+// connections.
+func DialReliableMulti(addrs []string, policy RetryPolicy) *ReliableConn {
+	if len(addrs) == 0 {
+		addrs = []string{""} // dials fail; Submit reports them cleanly
+	}
 	policy = policy.withDefaults()
 	seed := policy.Seed
 	if seed == 0 {
@@ -89,7 +117,7 @@ func DialReliable(addr string, policy RetryPolicy) *ReliableConn {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	return &ReliableConn{
-		addr:   addr,
+		addrs:  append([]string(nil), addrs...),
 		policy: policy,
 		rng:    rng,
 		// Random keyspace start: two clients (or two incarnations of
@@ -115,31 +143,61 @@ func (r *ReliableConn) nextKeyLocked() uint64 {
 	return k
 }
 
-// current returns a live connection, dialing if necessary.
+// current returns a live connection, dialing if necessary. A failed
+// dial rotates to the next candidate address before reporting the
+// error, so the following attempt tries the next server over.
 func (r *ReliableConn) current() (*Conn, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.conn != nil {
 		return r.conn, nil
 	}
-	c, err := Dial(r.addr)
+	c, err := Dial(r.addrs[r.cur])
 	if err != nil {
+		// A refused dial is hard evidence the server is gone: rotate
+		// immediately rather than burning the reconnect grace.
+		r.cur = (r.cur + 1) % len(r.addrs)
+		r.connFails = 0
 		return nil, err
 	}
 	r.conn = c
 	return c, nil
 }
 
-// invalidate drops a failed connection so the next attempt redials.
+// Addr reports the address the client is currently pointed at (the
+// one the next dial would use).
+func (r *ReliableConn) Addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addrs[r.cur]
+}
+
+// invalidate drops a dead connection so the next attempt redials, and
+// charges the death against the current address: once reconnects to it
+// are exhausted (failoverAfter consecutive deaths with no successful
+// response in between), the cursor rotates to the next candidate.
 func (r *ReliableConn) invalidate(c *Conn) {
 	r.mu.Lock()
 	if r.conn == c {
 		r.conn = nil
+		r.connFails++
+		if r.connFails >= failoverAfter {
+			r.cur = (r.cur + 1) % len(r.addrs)
+			r.connFails = 0
+		}
 	}
 	r.mu.Unlock()
 	if c != nil {
 		c.Close()
 	}
+}
+
+// markHealthy resets the current address's failure budget after a
+// successful round trip.
+func (r *ReliableConn) markHealthy() {
+	r.mu.Lock()
+	r.connFails = 0
+	r.mu.Unlock()
 }
 
 // backoff sleeps the jittered exponential step for attempt (0-based),
@@ -213,6 +271,7 @@ func (r *ReliableConn) Submit(ctx context.Context, req Request) (Response, error
 			}
 			continue
 		}
+		r.markHealthy()
 		switch resp.Status {
 		case StatusCommit, StatusAbort, StatusError, StatusExpired:
 			// Expired is terminal: the server dropped the transaction

@@ -1,8 +1,11 @@
 package client
 
 import (
+	"bufio"
 	"context"
 	"errors"
+	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -99,5 +102,107 @@ func TestBackoffHonorsRetryAfter(t *testing.T) {
 	}
 	if d := time.Since(start); d < 30*time.Millisecond {
 		t.Fatalf("slept %v, retry-after hint was 30ms", d)
+	}
+}
+
+// flappingListener accepts connections and immediately closes each one
+// before a single response is written — a server stuck in a crash
+// loop. It counts the connections it slammed.
+func flappingListener(t *testing.T) (string, *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var slammed atomic.Int64
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			slammed.Add(1)
+			nc.Close()
+		}
+	}()
+	return ln.Addr().String(), &slammed
+}
+
+// steadyServer answers every request on every connection with a
+// commit.
+func steadyServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				sc := bufio.NewScanner(nc)
+				for sc.Scan() {
+					var req Request
+					if err := DecodeRequest(sc.Bytes(), &req); err != nil {
+						return
+					}
+					resp := Response{Seq: req.Seq, Status: StatusCommit}
+					nc.Write(AppendResponse(nil, &resp))
+				}
+			}(nc)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestMultiAddrFailsOverFromFlappingServer points a multi-address
+// reliable client at a flapping listener first and a healthy server
+// second: submissions must converge on the healthy one and commit,
+// with the flapping address actually having been tried.
+func TestMultiAddrFailsOverFromFlappingServer(t *testing.T) {
+	flapAddr, slammed := flappingListener(t)
+	goodAddr := steadyServer(t)
+	r := DialReliableMulti([]string{flapAddr, goodAddr}, RetryPolicy{
+		Base: time.Millisecond, Max: 5 * time.Millisecond, MaxAttempts: 20, Seed: 11,
+	})
+	defer r.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := r.Submit(context.Background(), Request{Seq: uint64(i), Ops: "R[1:1]"})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if resp.Status != StatusCommit {
+			t.Fatalf("submit %d: status %s", i, resp.Status)
+		}
+	}
+	if slammed.Load() == 0 {
+		t.Fatal("flapping address was never tried")
+	}
+	if got := r.Addr(); got != goodAddr {
+		t.Fatalf("client points at %s, want the healthy %s", got, goodAddr)
+	}
+}
+
+// TestMultiAddrRotatesThroughDeadAddresses: with every address dead,
+// the dial failures must rotate round-robin through the whole list
+// before retries exhaust — no address is permanently sticky.
+func TestMultiAddrRotatesThroughDeadAddresses(t *testing.T) {
+	r := DialReliableMulti([]string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"}, RetryPolicy{
+		Base: 100 * time.Microsecond, Max: time.Millisecond, MaxAttempts: 6, Seed: 3,
+	})
+	start := r.Addr()
+	if _, err := r.Submit(context.Background(), Request{Ops: "R[1:1]"}); !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	// 6 failed dials over 3 addresses: the cursor visited every
+	// address twice and wrapped back to the start.
+	if r.Addr() != start {
+		t.Fatalf("cursor at %s after 6 attempts over 3 addrs, want wrap to %s", r.Addr(), start)
 	}
 }

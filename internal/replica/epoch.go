@@ -1,0 +1,101 @@
+package replica
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// epoch.go: the fencing epoch. Every data directory — primary and
+// backup alike — carries its incarnation's epoch in a plain-text EPOCH
+// file. A fresh directory is epoch 0. Promotion bumps the file under
+// the backup directory before the promoted server starts; the number
+// then rides every handshake and append frame, and a receiver refuses
+// anything below its own persisted epoch. Monotonicity is the whole
+// invariant: the file is only ever written with a value >= what it
+// held, and the write is atomic (tmp + fsync + rename + dir fsync).
+
+// EpochFile is the epoch file's name under a data directory.
+const EpochFile = "EPOCH"
+
+// ReadEpoch returns the epoch persisted under dir (0 when the file
+// does not exist — a never-replicated or first-incarnation directory).
+func ReadEpoch(dir string) (uint64, error) {
+	b, err := os.ReadFile(filepath.Join(dir, EpochFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	e, err := strconv.ParseUint(string(bytes.TrimSpace(b)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("replica: corrupt %s: %w", EpochFile, err)
+	}
+	return e, nil
+}
+
+// WriteEpoch persists epoch under dir, atomically and durably. It
+// refuses to move the epoch backwards.
+func WriteEpoch(dir string, epoch uint64) error {
+	if cur, err := ReadEpoch(dir); err != nil {
+		return err
+	} else if epoch < cur {
+		return fmt.Errorf("replica: epoch moving backwards: %d < persisted %d", epoch, cur)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, EpochFile)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(strconv.FormatUint(epoch, 10) + "\n"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncPath(dir)
+}
+
+// Promote fences off the old primary: it bumps the epoch persisted
+// under dir (a backup's shipped directory) and returns the new epoch.
+// A server subsequently started over dir boots with that epoch, and
+// any deposed primary still holding the old one is refused by every
+// receiver that saw the new number. Promote itself never touches the
+// WAL or checkpoint files — recovery over the shipped directory is the
+// ordinary startup path.
+func Promote(dir string) (uint64, error) {
+	cur, err := ReadEpoch(dir)
+	if err != nil {
+		return 0, err
+	}
+	next := cur + 1
+	if err := WriteEpoch(dir, next); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// syncPath fsyncs a file or directory by path (the rename barrier).
+func syncPath(p string) error {
+	d, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

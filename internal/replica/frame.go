@@ -1,0 +1,226 @@
+// Package replica implements per-shard primary/backup WAL shipping
+// with fenced failover — the layer that makes an acknowledged commit
+// survive the loss of the primary's disk, not just its process.
+//
+// The primary attaches a Shipper to every WAL directory it appends to
+// (each shard's log and the never-truncated 2PC coordinator log); the
+// wal package hands the shipper every group flush after the local
+// fsync, and in sync mode the flush — and therefore every client ack
+// riding on it — completes only once the backup acknowledged its own
+// fsync of the same bytes. The backup (Server) mirrors the primary's
+// directory layout and never truncates, so promotion is nothing more
+// than bumping the fencing epoch and running the ordinary recovery
+// path over the shipped directory.
+//
+// Failover is fenced by a monotonic epoch persisted in an EPOCH file
+// under each data directory. The epoch rides the handshake and every
+// append frame; a backup refuses anything below its persisted epoch.
+// Promote bumps the backup's epoch, so a deposed primary that comes
+// back keeps its stale epoch and is refused — it can flush locally but
+// in sync mode can no longer acknowledge clients (split-brain safety).
+//
+// Failure detection is availability-first (semi-synchronous): a
+// Monitor state machine on an injectable clock degrades sync shipping
+// to async when the backup goes quiet, and stops shipping entirely
+// (failed-over) when the silence or the unacked lag exceeds its
+// bounds. The states surface in /metrics; an operator (or the chaos
+// harness) decides whether to promote.
+package replica
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types. The wire form of every frame is
+//
+//	u32 payloadLen | payload
+//
+// little endian, payload starting with the one-byte type. Field
+// layouts per type are documented on the constants; trailing bytes
+// are the Data field where one is named, and are rejected otherwise.
+const (
+	// FrameHello opens a shipping connection: u64 epoch. The receiver
+	// answers FrameHelloAck or FrameFence.
+	FrameHello = byte(iota + 1)
+	// FrameHelloAck accepts a hello: u64 epoch (the backup's adopted
+	// epoch, >= the hello's).
+	FrameHelloAck
+	// FrameFence refuses a stale peer: u64 epoch (the backup's
+	// persisted epoch, which the refused peer's epoch is below).
+	FrameFence
+	// FrameFile is a whole-file catch-up snapshot: u8 streamLen |
+	// stream | u8 nameLen | name | data. The receiver replaces
+	// <dir>/<stream>/<name> atomically.
+	FrameFile
+	// FrameAppend is one flushed WAL group: u8 streamLen | stream |
+	// u64 epoch | u64 seq | u64 firstLSN | u32 records | data. The
+	// receiver appends the bytes to the stream's active segment,
+	// fsyncs, and answers FrameAck{seq}.
+	FrameAppend
+	// FrameAck acknowledges the append or heartbeat carrying seq:
+	// u64 seq. Acks are cumulative — frames are processed in order, so
+	// an ack for seq covers everything below it.
+	FrameAck
+	// FrameHeartbeat is a liveness probe: u64 seq | u64 epoch. The
+	// receiver answers FrameAck{seq}; the round-trip feeds the
+	// primary's failure detector.
+	FrameHeartbeat
+)
+
+// MaxFrameBytes bounds a frame payload; larger lengths are treated as
+// stream corruption. Generous: the largest legitimate frame is a
+// checkpoint file snapshot.
+const MaxFrameBytes = 256 << 20
+
+// Frame is the decoded form of any replication frame; which fields
+// are meaningful depends on Type.
+type Frame struct {
+	Type     byte
+	Epoch    uint64
+	Seq      uint64
+	FirstLSN uint64
+	Records  uint32
+	Stream   string
+	Name     string
+	Data     []byte
+}
+
+var errShortFrame = errors.New("replica: short frame")
+
+// AppendFrame appends f's full wire encoding (length prefix included)
+// to buf and returns the extended slice.
+func AppendFrame(buf []byte, f Frame) []byte {
+	lenAt := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // backfilled below
+	buf = append(buf, f.Type)
+	switch f.Type {
+	case FrameHello, FrameHelloAck, FrameFence:
+		buf = binary.LittleEndian.AppendUint64(buf, f.Epoch)
+	case FrameFile:
+		buf = append(buf, byte(len(f.Stream)))
+		buf = append(buf, f.Stream...)
+		buf = append(buf, byte(len(f.Name)))
+		buf = append(buf, f.Name...)
+		buf = append(buf, f.Data...)
+	case FrameAppend:
+		buf = append(buf, byte(len(f.Stream)))
+		buf = append(buf, f.Stream...)
+		buf = binary.LittleEndian.AppendUint64(buf, f.Epoch)
+		buf = binary.LittleEndian.AppendUint64(buf, f.Seq)
+		buf = binary.LittleEndian.AppendUint64(buf, f.FirstLSN)
+		buf = binary.LittleEndian.AppendUint32(buf, f.Records)
+		buf = append(buf, f.Data...)
+	case FrameAck:
+		buf = binary.LittleEndian.AppendUint64(buf, f.Seq)
+	case FrameHeartbeat:
+		buf = binary.LittleEndian.AppendUint64(buf, f.Seq)
+		buf = binary.LittleEndian.AppendUint64(buf, f.Epoch)
+	}
+	binary.LittleEndian.PutUint32(buf[lenAt:lenAt+4], uint32(len(buf)-lenAt-4))
+	return buf
+}
+
+// DecodeFrame parses one frame payload (the bytes after the length
+// prefix). Data aliases b; callers that retain the frame past the
+// buffer's lifetime must copy it.
+func DecodeFrame(b []byte) (Frame, error) {
+	var f Frame
+	if len(b) < 1 {
+		return f, errShortFrame
+	}
+	f.Type = b[0]
+	b = b[1:]
+	u64 := func() (uint64, bool) {
+		if len(b) < 8 {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(b[:8])
+		b = b[8:]
+		return v, true
+	}
+	str := func() (string, bool) {
+		if len(b) < 1 {
+			return "", false
+		}
+		n := int(b[0])
+		if len(b) < 1+n {
+			return "", false
+		}
+		s := string(b[1 : 1+n])
+		b = b[1+n:]
+		return s, true
+	}
+	ok := true
+	switch f.Type {
+	case FrameHello, FrameHelloAck, FrameFence:
+		f.Epoch, ok = u64()
+		if ok && len(b) != 0 {
+			return f, fmt.Errorf("replica: %d trailing bytes in frame type %d", len(b), f.Type)
+		}
+	case FrameFile:
+		if f.Stream, ok = str(); ok {
+			f.Name, ok = str()
+		}
+		f.Data = b
+	case FrameAppend:
+		f.Stream, ok = str()
+		if ok {
+			f.Epoch, ok = u64()
+		}
+		if ok {
+			f.Seq, ok = u64()
+		}
+		if ok {
+			f.FirstLSN, ok = u64()
+		}
+		if ok && len(b) >= 4 {
+			f.Records = binary.LittleEndian.Uint32(b[:4])
+			b = b[4:]
+		} else {
+			ok = false
+		}
+		f.Data = b
+	case FrameAck:
+		f.Seq, ok = u64()
+		if ok && len(b) != 0 {
+			return f, fmt.Errorf("replica: %d trailing bytes in ack", len(b))
+		}
+	case FrameHeartbeat:
+		f.Seq, ok = u64()
+		if ok {
+			f.Epoch, ok = u64()
+		}
+		if ok && len(b) != 0 {
+			return f, fmt.Errorf("replica: %d trailing bytes in heartbeat", len(b))
+		}
+	default:
+		return f, fmt.Errorf("replica: unknown frame type %d", f.Type)
+	}
+	if !ok {
+		return f, errShortFrame
+	}
+	return f, nil
+}
+
+// ReadFrame reads one length-prefixed frame from r. The returned
+// frame's Data is freshly allocated (it does not alias an internal
+// buffer).
+func ReadFrame(r *bufio.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrameBytes {
+		return Frame{}, fmt.Errorf("replica: frame length %d out of range", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, err
+	}
+	return DecodeFrame(payload)
+}

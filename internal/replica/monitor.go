@@ -1,0 +1,207 @@
+package replica
+
+import (
+	"sync"
+	"time"
+
+	"tskd/internal/clock"
+)
+
+// monitor.go: the primary-side failure detector, a Breaker-style state
+// machine (internal/overload) on an injectable clock. The shipper
+// feeds it ship/ack/failure observations; the monitor decides what
+// shipping mode the pair is actually in:
+//
+//	StateSync      acks are flowing. Sync-mode flushes wait for the
+//	               backup before releasing client acks.
+//	StateDegraded  the backup is late or the link hiccupped. Shipping
+//	               continues asynchronously (acks release on local
+//	               fsync alone) with the unacked lag tracked — the
+//	               availability-over-consistency half of semi-sync.
+//	StateFailed    silence outlasted FailAfter or the lag outgrew
+//	               MaxLagBytes. Shipping stops; the state surfaces in
+//	               /metrics and the operator (or chaos harness)
+//	               decides whether to promote the backup. Absorbing
+//	               until Reset.
+//
+// Degraded heals back to sync the moment an ack arrives with the lag
+// back inside bounds. All transitions run under the monitor's mutex —
+// it is a leaf: OnTransition must not call back into the monitor or
+// the shipper.
+
+// State is the replication health state.
+type State int
+
+const (
+	// StateSync: healthy, backup acking promptly.
+	StateSync State = iota
+	// StateDegraded: async with bounded lag, trying to heal.
+	StateDegraded
+	// StateFailed: failed over; shipping stopped.
+	StateFailed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateSync:
+		return "sync"
+	case StateDegraded:
+		return "degraded"
+	case StateFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// MonitorConfig tunes the failure detector.
+type MonitorConfig struct {
+	// AckTimeout is the ack/heartbeat silence that degrades sync to
+	// async (default 500ms). It is also the longest a sync-mode flush
+	// waits on the backup before releasing locally.
+	AckTimeout time.Duration
+	// FailAfter is the silence that declares the pair failed over
+	// (default 10s). Must exceed AckTimeout.
+	FailAfter time.Duration
+	// MaxLagBytes bounds the unacked backlog a degraded pair may carry
+	// before failing over (default 64 MiB).
+	MaxLagBytes int64
+	// Clock injects time (default the wall clock).
+	Clock clock.Clock
+	// OnTransition, when set, observes every state change. Called under
+	// the monitor's mutex: must not call back into monitor or shipper.
+	OnTransition func(from, to State)
+}
+
+func (c *MonitorConfig) withDefaults() {
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 500 * time.Millisecond
+	}
+	if c.FailAfter <= c.AckTimeout {
+		c.FailAfter = 10 * time.Second
+		if c.FailAfter <= c.AckTimeout {
+			c.FailAfter = 20 * c.AckTimeout
+		}
+	}
+	if c.MaxLagBytes <= 0 {
+		c.MaxLagBytes = 64 << 20
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+}
+
+// Monitor is the failure-detector state machine. Safe for concurrent
+// use.
+type Monitor struct {
+	mu      sync.Mutex
+	cfg     MonitorConfig
+	state   State
+	lastAck time.Time
+	lag     int64
+}
+
+// NewMonitor builds a monitor starting in StateSync with the ack clock
+// running from now.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	cfg.withDefaults()
+	return &Monitor{cfg: cfg, lastAck: cfg.Clock.Now()}
+}
+
+// ObserveShip records bytes shipped but not yet acknowledged, and
+// re-evaluates (a blown lag bound fails the pair over even while acks
+// trickle). Returns the state after the observation.
+func (m *Monitor) ObserveShip(bytes int64) State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lag += bytes
+	return m.evalLocked(m.cfg.Clock.Now())
+}
+
+// ObserveAck records an acknowledgment that leaves lag unacked bytes
+// outstanding. An ack heals degraded back to sync when the lag is back
+// inside bounds; nothing heals failed (Reset does).
+func (m *Monitor) ObserveAck(lag int64) State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.cfg.Clock.Now()
+	m.lastAck = now
+	m.lag = lag
+	if m.state == StateDegraded && m.lag <= m.cfg.MaxLagBytes {
+		m.setLocked(StateSync)
+	}
+	return m.evalLocked(now)
+}
+
+// ObserveFailure records a transport failure (dial, write or read
+// error): sync degrades immediately rather than waiting out the ack
+// timeout.
+func (m *Monitor) ObserveFailure() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state == StateSync {
+		m.setLocked(StateDegraded)
+	}
+	return m.evalLocked(m.cfg.Clock.Now())
+}
+
+// Tick re-evaluates the timeouts against the clock and returns the
+// current state. The shipper calls it on every flush and heartbeat, so
+// silence is noticed even with no acks arriving.
+func (m *Monitor) Tick() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evalLocked(m.cfg.Clock.Now())
+}
+
+// State returns the current state without re-evaluating timeouts.
+func (m *Monitor) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
+
+// Lag returns the unacked backlog in bytes.
+func (m *Monitor) Lag() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lag
+}
+
+// Reset re-arms a failed monitor (a reconnected shipper starting a
+// fresh catch-up): back to sync with an empty backlog.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lag = 0
+	m.lastAck = m.cfg.Clock.Now()
+	if m.state != StateSync {
+		m.setLocked(StateSync)
+	}
+}
+
+// evalLocked applies the timeout and lag rules at instant now.
+func (m *Monitor) evalLocked(now time.Time) State {
+	if m.state == StateFailed {
+		return m.state
+	}
+	silence := now.Sub(m.lastAck)
+	switch {
+	case silence >= m.cfg.FailAfter || m.lag > m.cfg.MaxLagBytes:
+		m.setLocked(StateFailed)
+	case silence >= m.cfg.AckTimeout && m.state == StateSync:
+		m.setLocked(StateDegraded)
+	}
+	return m.state
+}
+
+func (m *Monitor) setLocked(to State) {
+	from := m.state
+	if from == to {
+		return
+	}
+	m.state = to
+	if m.cfg.OnTransition != nil {
+		m.cfg.OnTransition(from, to)
+	}
+}

@@ -1,0 +1,133 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"tskd/internal/clock"
+)
+
+// monitor_test.go: table tests on a fake clock, the internal/overload
+// discipline — every timeline is hand-written, no sleeps anywhere.
+
+func newTestMonitor(t *testing.T) (*Monitor, *clock.Fake, *[]string) {
+	t.Helper()
+	fake := clock.NewFake(time.Unix(1000, 0))
+	var transitions []string
+	m := NewMonitor(MonitorConfig{
+		AckTimeout:  time.Second,
+		FailAfter:   10 * time.Second,
+		MaxLagBytes: 1000,
+		Clock:       fake,
+		OnTransition: func(from, to State) {
+			transitions = append(transitions, from.String()+"->"+to.String())
+		},
+	})
+	return m, fake, &transitions
+}
+
+func TestMonitorTimeline(t *testing.T) {
+	type step struct {
+		advance time.Duration
+		do      func(m *Monitor)
+		want    State
+	}
+	cases := []struct {
+		name        string
+		steps       []step
+		transitions []string
+	}{
+		{
+			name: "healthy acks stay sync",
+			steps: []step{
+				{advance: 500 * time.Millisecond, do: func(m *Monitor) { m.ObserveShip(100) }, want: StateSync},
+				{advance: 100 * time.Millisecond, do: func(m *Monitor) { m.ObserveAck(0) }, want: StateSync},
+				{advance: 900 * time.Millisecond, do: func(m *Monitor) { m.ObserveAck(0) }, want: StateSync},
+			},
+			transitions: nil,
+		},
+		{
+			name: "silence degrades then heals on ack",
+			steps: []step{
+				{advance: time.Second, do: func(m *Monitor) { m.Tick() }, want: StateDegraded},
+				{advance: time.Second, do: func(m *Monitor) { m.Tick() }, want: StateDegraded},
+				{advance: 0, do: func(m *Monitor) { m.ObserveAck(0) }, want: StateSync},
+			},
+			transitions: []string{"sync->degraded", "degraded->sync"},
+		},
+		{
+			name: "silence past FailAfter fails over, absorbing",
+			steps: []step{
+				{advance: time.Second, do: func(m *Monitor) { m.Tick() }, want: StateDegraded},
+				{advance: 9 * time.Second, do: func(m *Monitor) { m.Tick() }, want: StateFailed},
+				// Nothing heals failed, not even acks.
+				{advance: 0, do: func(m *Monitor) { m.ObserveAck(0) }, want: StateFailed},
+			},
+			transitions: []string{"sync->degraded", "degraded->failed"},
+		},
+		{
+			name: "lag bound fails over even while acks flow",
+			steps: []step{
+				{advance: 100 * time.Millisecond, do: func(m *Monitor) { m.ObserveShip(600) }, want: StateSync},
+				{advance: 100 * time.Millisecond, do: func(m *Monitor) { m.ObserveAck(600) }, want: StateSync},
+				{advance: 100 * time.Millisecond, do: func(m *Monitor) { m.ObserveShip(600) }, want: StateFailed},
+			},
+			transitions: []string{"sync->failed"},
+		},
+		{
+			name: "transport failure degrades immediately",
+			steps: []step{
+				{advance: 10 * time.Millisecond, do: func(m *Monitor) { m.ObserveFailure() }, want: StateDegraded},
+				{advance: 0, do: func(m *Monitor) { m.ObserveAck(0) }, want: StateSync},
+			},
+			transitions: []string{"sync->degraded", "degraded->sync"},
+		},
+		{
+			name: "ack with lag still over bound does not heal",
+			steps: []step{
+				{advance: 0, do: func(m *Monitor) { m.ObserveFailure() }, want: StateDegraded},
+				{advance: 0, do: func(m *Monitor) { m.ObserveAck(1500) }, want: StateFailed},
+			},
+			transitions: []string{"sync->degraded", "degraded->failed"},
+		},
+		{
+			name: "reset re-arms a failed pair",
+			steps: []step{
+				{advance: 10 * time.Second, do: func(m *Monitor) { m.Tick() }, want: StateFailed},
+				{advance: 0, do: func(m *Monitor) { m.Reset() }, want: StateSync},
+				{advance: 500 * time.Millisecond, do: func(m *Monitor) { m.Tick() }, want: StateSync},
+			},
+			transitions: []string{"sync->failed", "failed->sync"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, fake, transitions := newTestMonitor(t)
+			for i, s := range tc.steps {
+				fake.Advance(s.advance)
+				s.do(m)
+				if got := m.State(); got != s.want {
+					t.Fatalf("step %d: state %v, want %v", i, got, s.want)
+				}
+			}
+			if len(*transitions) != len(tc.transitions) {
+				t.Fatalf("transitions %v, want %v", *transitions, tc.transitions)
+			}
+			for i := range tc.transitions {
+				if (*transitions)[i] != tc.transitions[i] {
+					t.Fatalf("transitions %v, want %v", *transitions, tc.transitions)
+				}
+			}
+		})
+	}
+}
+
+func TestMonitorDefaults(t *testing.T) {
+	m := NewMonitor(MonitorConfig{})
+	if m.cfg.AckTimeout <= 0 || m.cfg.FailAfter <= m.cfg.AckTimeout || m.cfg.MaxLagBytes <= 0 {
+		t.Fatalf("bad defaults: %+v", m.cfg)
+	}
+	if m.State() != StateSync {
+		t.Fatalf("fresh monitor in %v", m.State())
+	}
+}

@@ -1,0 +1,330 @@
+package replica
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"tskd/internal/wal"
+)
+
+// replica_test.go: end-to-end pair tests over loopback TCP — a real
+// wal.Log shipping into a real Server, then the shipped directory
+// recovered with the ordinary wal.ReplayDir path and compared against
+// the primary's.
+
+func testShipper(t *testing.T, addr string, epoch uint64, sync bool) *Shipper {
+	t.Helper()
+	s, err := NewShipper(ShipperConfig{
+		Addr:       addr,
+		Epoch:      epoch,
+		Sync:       sync,
+		AckTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testServer(t *testing.T, dir string) *Server {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func replayAll(t *testing.T, dir string) (recs []wal.Record, next uint64) {
+	t.Helper()
+	next, _, err := wal.ReplayDir(dir, func(_ uint64, rec wal.Record) error {
+		recs = append(recs, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay %s: %v", dir, err)
+	}
+	return recs, next
+}
+
+func rec(id int64, key, ver uint64) wal.Record {
+	return wal.Record{TxnID: id, Writes: []wal.Update{{Key: key, Ver: ver, Fields: []uint64{ver}}}}
+}
+
+// TestShipAndRecover runs the whole life of a pair in sync mode: a
+// primary log with pre-existing history (catch-up snapshot), live
+// appends with rotation, then promotion — the shipped directory must
+// replay identically to the primary's.
+func TestShipAndRecover(t *testing.T) {
+	primary := t.TempDir()
+	backup := t.TempDir()
+
+	// Pre-replication history, including a sidecar-style file that
+	// catch-up must carry over byte-for-byte.
+	l0, err := wal.OpenDir(primary, wal.DirOptions{SegmentBytes: 256, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l0.Append(rec(int64(i), uint64(i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sidecar := []byte("checkpoint image bytes")
+	if err := os.WriteFile(filepath.Join(primary, "ckpt-000000000000000a.ckpt"), sidecar, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := testServer(t, backup)
+	ship := testShipper(t, srv.Addr(), 0, true)
+	defer ship.Close()
+
+	// Catch-up, then reopen the log for appending with the stream
+	// attached — the startup order the server wiring uses.
+	next, _, err := wal.ReplayDir(primary, func(uint64, wal.Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := ship.Stream(".", primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.OpenDir(primary, wal.DirOptions{SegmentBytes: 256, NoSync: true, StartLSN: next, Shipper: stream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 40; i++ {
+		if err := l.Append(rec(int64(i), uint64(i), 1)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := ship.Stats(); st.State != "sync" || st.LagBytes != 0 {
+		t.Fatalf("after sync shipping: %+v", st)
+	}
+	ship.Close()
+
+	// Promote and compare: shipped directory == primary directory as
+	// far as replay is concerned, sidecar included.
+	epoch, err := Promote(backup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("promoted epoch %d, want 1", epoch)
+	}
+	prec, pnext := replayAll(t, primary)
+	brec, bnext := replayAll(t, backup)
+	if pnext != bnext || !reflect.DeepEqual(prec, brec) {
+		t.Fatalf("shipped replay diverges: primary (%d recs, next %d) vs backup (%d recs, next %d)",
+			len(prec), pnext, len(brec), bnext)
+	}
+	got, err := os.ReadFile(filepath.Join(backup, "ckpt-000000000000000a.ckpt"))
+	if err != nil || string(got) != string(sidecar) {
+		t.Fatalf("sidecar snapshot: %q, %v", got, err)
+	}
+}
+
+// TestSplitBrainFenced is the deposed-primary case: after promotion
+// bumps the backup's epoch, a shipper holding the old epoch must be
+// refused at the handshake, and one already connected must have its
+// appends fenced — in both cases the stale primary cannot ack.
+func TestSplitBrainFenced(t *testing.T) {
+	backup := t.TempDir()
+	srv := testServer(t, backup)
+
+	// Old primary connects at epoch 0 and ships healthily.
+	old := testShipper(t, srv.Addr(), 0, true)
+	defer old.Close()
+	stream, err := old.Stream(".", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Ship(0, 1, []byte("x")); err != nil {
+		t.Fatalf("healthy ship: %v", err)
+	}
+
+	// Failover: epoch bumps (the promoted incarnation would ship at 1;
+	// here the bump alone is the fence).
+	if err := WriteEpoch(backup, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Promote(backup); err != nil { // now 2
+		t.Fatal(err)
+	}
+	srv.mu.Lock()
+	srv.epoch = 2 // the running receiver picks up the persisted bump
+	srv.mu.Unlock()
+
+	// The connected stale shipper's next append must be fenced and the
+	// error must reach the flush (so the deposed primary cannot ack).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := stream.Ship(1, 1, []byte("y"))
+		if errors.Is(err, ErrFenced) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("ship: %v, want ErrFenced", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stale shipper never fenced")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !old.Stats().Fenced {
+		t.Fatal("shipper stats do not report fenced")
+	}
+
+	// A deposed primary reconnecting is refused at the handshake.
+	if _, err := NewShipper(ShipperConfig{Addr: srv.Addr(), Epoch: 0}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale handshake: %v, want ErrFenced", err)
+	}
+	// The promoted epoch is accepted.
+	fresh, err := NewShipper(ShipperConfig{Addr: srv.Addr(), Epoch: 2})
+	if err != nil {
+		t.Fatalf("promoted-epoch handshake: %v", err)
+	}
+	fresh.Close()
+}
+
+// TestEpochPersistence: the adopted epoch must survive a backup
+// restart, so fencing holds even if the backup crashes between the
+// promotion and the stale primary's return.
+func TestEpochPersistence(t *testing.T) {
+	dir := t.TempDir()
+	srv := testServer(t, dir)
+	ship := testShipper(t, srv.Addr(), 5, false)
+	ship.Close()
+	srv.Close()
+
+	e, err := ReadEpoch(dir)
+	if err != nil || e != 5 {
+		t.Fatalf("persisted epoch %d, %v; want 5", e, err)
+	}
+	srv2 := testServer(t, dir)
+	if _, err := NewShipper(ShipperConfig{Addr: srv2.Addr(), Epoch: 4}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("restarted backup accepted stale epoch: %v", err)
+	}
+	if e, _ := ReadEpoch(dir); e != 5 {
+		t.Fatalf("epoch moved to %d", e)
+	}
+}
+
+// TestWriteEpochMonotonic: the epoch file never moves backwards.
+func TestWriteEpochMonotonic(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteEpoch(dir, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEpoch(dir, 2); err == nil {
+		t.Fatal("backwards epoch write accepted")
+	}
+	if e, _ := ReadEpoch(dir); e != 3 {
+		t.Fatalf("epoch %d after refused write, want 3", e)
+	}
+}
+
+// TestAsyncModeDoesNotBlock: with Sync off, Ship returns without an
+// ack round-trip; the backlog drains and the backup still converges.
+func TestAsyncModeDoesNotBlock(t *testing.T) {
+	primary := t.TempDir()
+	backup := t.TempDir()
+	srv := testServer(t, backup)
+	ship := testShipper(t, srv.Addr(), 0, false)
+	defer ship.Close()
+
+	stream, err := ship.Stream(".", primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.OpenDir(primary, wal.DirOptions{NoSync: true, Shipper: stream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if err := l.Append(rec(int64(i), uint64(i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Convergence: acks are async, so wait for the lag to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		brec, _ := replayAll(t, backup)
+		if len(brec) == 25 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backup converged to %d records, want 25", len(brec))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	prec, _ := replayAll(t, primary)
+	brec, _ := replayAll(t, backup)
+	if !reflect.DeepEqual(prec, brec) {
+		t.Fatal("async shipped replay diverges")
+	}
+}
+
+// TestBackupDownDegrades: with no backup reachable the shipper cannot
+// even be built; with the backup dying mid-life, sync flushes must
+// degrade (release locally) rather than wedge, and the monitor must
+// leave StateSync.
+func TestBackupDownDegrades(t *testing.T) {
+	backup := t.TempDir()
+	srv := testServer(t, backup)
+	ship, err := NewShipper(ShipperConfig{
+		Addr: srv.Addr(), Epoch: 0, Sync: true,
+		AckTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ship.Close()
+	stream, err := ship.Stream(".", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Ship(0, 1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // backup dies
+
+	// Every subsequent flush must complete (nil), never wedge, and the
+	// monitor must degrade.
+	done := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; i < 5 && err == nil; i++ {
+			err = stream.Ship(uint64(1+i), 1, []byte("b"))
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ship after backup death: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ship wedged after backup death")
+	}
+	if st := ship.Monitor().State(); st == StateSync {
+		t.Fatalf("monitor still %v after backup death", st)
+	}
+}

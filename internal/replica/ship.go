@@ -1,0 +1,444 @@
+package replica
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"tskd/internal/clock"
+)
+
+// ship.go: the primary side. One Shipper owns one connection to the
+// backup and multiplexes every WAL directory the primary appends to as
+// a named stream ("." for a single-pipeline data dir, "shard-NN" and
+// "coord" for the sharded layout — stream names are the relative
+// directory names, so the backup mirrors the layout verbatim).
+//
+// Stream registration happens during startup recovery, before the
+// corresponding log opens for appending; it ships every file already
+// in the directory (segments, checkpoints, dedup sidecars) as
+// whole-file snapshots, which is what lets a backup join mid-life:
+// the primary truncates sealed segments at checkpoints, so the
+// snapshot is the only complete prefix the backup will ever see. After
+// the snapshot, the wal package hands the stream every flushed group
+// and the backup appends forever, never truncating — promotion then
+// recovers the shipped directory with the ordinary startup path.
+//
+// Ship is called under the owning log's mutex with the group already
+// fsynced locally. In sync mode (while the monitor holds StateSync)
+// it blocks until the backup acknowledged the group's seq — the
+// ack-after-replication point — and on timeout degrades to async
+// rather than failing the flush: semi-synchronous semantics, where
+// the one hard failure is fencing. A fenced shipper fails every
+// subsequent flush with ErrFenced, because a deposed primary must not
+// acknowledge commits that the promoted timeline will never contain.
+
+// ErrFenced reports a backup refusing this shipper's epoch: a newer
+// incarnation was promoted and this primary is deposed.
+var ErrFenced = errors.New("replica: fenced: backup holds a newer epoch")
+
+// ShipperConfig configures the primary side of a pair.
+type ShipperConfig struct {
+	// Addr is the backup's replication listener.
+	Addr string
+	// Epoch is this primary's fencing epoch (from its data directory's
+	// EPOCH file; 0 for a first incarnation).
+	Epoch uint64
+	// Sync makes flushes wait for the backup's ack while the pair is
+	// healthy; false ships purely asynchronously.
+	Sync bool
+	// AckTimeout / FailAfter / MaxLagBytes tune the failure detector
+	// (see MonitorConfig); AckTimeout also bounds a sync flush's wait.
+	AckTimeout  time.Duration
+	FailAfter   time.Duration
+	MaxLagBytes int64
+	// HeartbeatEvery is the idle liveness-probe interval (default
+	// AckTimeout/2). Heartbeat acks keep an idle pair in StateSync.
+	HeartbeatEvery time.Duration
+	// DialTimeout bounds the connect + handshake (default 5s).
+	DialTimeout time.Duration
+	// Clock injects time into the failure detector.
+	Clock clock.Clock
+	// OnTransition observes monitor state changes (see MonitorConfig).
+	OnTransition func(from, to State)
+}
+
+// ShipperStats is a point-in-time snapshot for /metrics.
+type ShipperStats struct {
+	Epoch         uint64 `json:"epoch"`
+	Sync          bool   `json:"sync"`
+	State         string `json:"state"`
+	LagBytes      int64  `json:"lag_bytes"`
+	ShippedGroups uint64 `json:"shipped_groups"`
+	ShippedBytes  uint64 `json:"shipped_bytes"`
+	AckedSeq      uint64 `json:"acked_seq"`
+	SyncWaits     uint64 `json:"sync_waits"`
+	SyncTimeouts  uint64 `json:"sync_timeouts"`
+	Fenced        bool   `json:"fenced"`
+}
+
+type ackWaiter struct {
+	seq uint64
+	ch  chan error
+}
+
+type pendingGroup struct {
+	seq   uint64
+	bytes int64
+}
+
+// Shipper is the primary-side replication client. Safe for concurrent
+// use by many logs.
+type Shipper struct {
+	cfg     ShipperConfig
+	conn    net.Conn
+	monitor *Monitor
+
+	wmu  sync.Mutex // serializes frame writes
+	wbuf []byte
+
+	mu        sync.Mutex // seq/ack state
+	nextSeq   uint64
+	ackedSeq  uint64
+	lagBytes  int64
+	pending   []pendingGroup // unacked groups, seq ascending
+	waiters   []ackWaiter    // sync flushes parked on acks, seq ascending
+	err       error          // sticky transport error
+	fenced    bool
+	closed    bool
+	shipped   uint64
+	shippedB  uint64
+	syncWaits uint64
+	syncTOs   uint64
+
+	done chan struct{} // closes when the reader loop exits
+	hbT  *time.Ticker
+	hbQ  chan struct{}
+	hbWG sync.WaitGroup
+}
+
+// NewShipper dials the backup and performs the epoch handshake. A
+// backup holding a newer epoch refuses the handshake with ErrFenced —
+// a deposed primary finds out before it serves a single request.
+func NewShipper(cfg ShipperConfig) (*Shipper, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 500 * time.Millisecond
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = cfg.AckTimeout / 2
+	}
+	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("replica: dial backup %s: %w", cfg.Addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(cfg.DialTimeout))
+	if _, err := conn.Write(AppendFrame(nil, Frame{Type: FrameHello, Epoch: cfg.Epoch})); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("replica: hello: %w", err)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	resp, err := ReadFrame(br)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("replica: handshake: %w", err)
+	}
+	switch resp.Type {
+	case FrameHelloAck:
+	case FrameFence:
+		conn.Close()
+		return nil, fmt.Errorf("%w (ours %d, backup %d)", ErrFenced, cfg.Epoch, resp.Epoch)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("replica: handshake: unexpected frame type %d", resp.Type)
+	}
+	conn.SetDeadline(time.Time{})
+
+	s := &Shipper{
+		cfg:  cfg,
+		conn: conn,
+		monitor: NewMonitor(MonitorConfig{
+			AckTimeout:   cfg.AckTimeout,
+			FailAfter:    cfg.FailAfter,
+			MaxLagBytes:  cfg.MaxLagBytes,
+			Clock:        cfg.Clock,
+			OnTransition: cfg.OnTransition,
+		}),
+		done: make(chan struct{}),
+		hbQ:  make(chan struct{}),
+	}
+	go s.readLoop(br)
+	s.hbT = time.NewTicker(cfg.HeartbeatEvery)
+	s.hbWG.Add(1)
+	go s.heartbeatLoop()
+	return s, nil
+}
+
+// Epoch returns the epoch this shipper ships under.
+func (s *Shipper) Epoch() uint64 { return s.cfg.Epoch }
+
+// Monitor exposes the failure detector (read-only use).
+func (s *Shipper) Monitor() *Monitor { return s.monitor }
+
+// Stats snapshots the shipper for /metrics.
+func (s *Shipper) Stats() ShipperStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ShipperStats{
+		Epoch:         s.cfg.Epoch,
+		Sync:          s.cfg.Sync,
+		State:         s.monitor.Tick().String(),
+		LagBytes:      s.lagBytes,
+		ShippedGroups: s.shipped,
+		ShippedBytes:  s.shippedB,
+		AckedSeq:      s.ackedSeq,
+		SyncWaits:     s.syncWaits,
+		SyncTimeouts:  s.syncTOs,
+		Fenced:        s.fenced,
+	}
+}
+
+// Stream registers a named stream backed by dir and ships every file
+// already in it as catch-up snapshots (dir may not exist yet: nothing
+// to snapshot). The returned value implements wal.Shipper; attach it
+// to the directory's log via wal.DirOptions.Shipper before the log
+// opens for appending, so no flush escapes the stream.
+func (s *Shipper) Stream(name, dir string) (*Stream, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || e.Name() == EpochFile {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		if err := s.writeFrame(Frame{Type: FrameFile, Stream: name, Name: e.Name(), Data: data}); err != nil {
+			return nil, fmt.Errorf("replica: catch-up %s/%s: %w", name, e.Name(), err)
+		}
+	}
+	return &Stream{s: s, name: name}, nil
+}
+
+// Stream is one WAL directory's shipping endpoint; it satisfies
+// wal.Shipper.
+type Stream struct {
+	s    *Shipper
+	name string
+}
+
+// Ship forwards one flushed group (see the package comment for the
+// blocking and error contract).
+func (st *Stream) Ship(firstLSN uint64, records int, data []byte) error {
+	return st.s.ship(st.name, firstLSN, records, data)
+}
+
+func (s *Shipper) ship(stream string, firstLSN uint64, records int, data []byte) error {
+	s.mu.Lock()
+	if s.fenced {
+		s.mu.Unlock()
+		return ErrFenced
+	}
+	if s.closed || s.err != nil || s.monitor.Tick() == StateFailed {
+		// Failed over (or torn down): the pair is broken, the local log
+		// is the only copy, and the flush proceeds locally. Surfaced via
+		// Stats, decided by the operator.
+		s.mu.Unlock()
+		return nil
+	}
+	s.nextSeq++
+	seq := s.nextSeq
+	s.lagBytes += int64(len(data))
+	s.pending = append(s.pending, pendingGroup{seq: seq, bytes: int64(len(data))})
+	s.shipped++
+	s.shippedB += uint64(len(data))
+	wantSync := s.cfg.Sync && s.monitor.State() == StateSync
+	var ch chan error
+	if wantSync {
+		ch = make(chan error, 1)
+		s.waiters = append(s.waiters, ackWaiter{seq: seq, ch: ch})
+		s.syncWaits++
+	}
+	s.mu.Unlock()
+	s.monitor.ObserveShip(int64(len(data)))
+
+	err := s.writeFrame(Frame{
+		Type: FrameAppend, Stream: stream, Epoch: s.cfg.Epoch,
+		Seq: seq, FirstLSN: firstLSN, Records: uint32(records), Data: data,
+	})
+	if err != nil {
+		s.transportError(err)
+		if s.isFenced() {
+			return ErrFenced
+		}
+		return nil // degraded: local durability already holds
+	}
+	if !wantSync {
+		return nil
+	}
+	t := time.NewTimer(s.cfg.AckTimeout)
+	defer t.Stop()
+	select {
+	case werr := <-ch:
+		if werr != nil {
+			return werr // fencing: the one error that must fail the ack
+		}
+		return nil
+	case <-t.C:
+		s.mu.Lock()
+		s.syncTOs++
+		s.dropWaiterLocked(seq)
+		s.mu.Unlock()
+		s.monitor.Tick() // silence >= AckTimeout: degrades
+		return nil
+	}
+}
+
+// dropWaiterLocked removes the waiter for seq (its flush timed out and
+// released locally; a late ack must not send on an abandoned channel).
+func (s *Shipper) dropWaiterLocked(seq uint64) {
+	for i, w := range s.waiters {
+		if w.seq == seq {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *Shipper) writeFrame(f Frame) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.wbuf = AppendFrame(s.wbuf[:0], f)
+	_, err := s.conn.Write(s.wbuf)
+	return err
+}
+
+// readLoop drains acks and fence frames from the backup.
+func (s *Shipper) readLoop(br *bufio.Reader) {
+	defer close(s.done)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			s.transportError(err)
+			return
+		}
+		switch f.Type {
+		case FrameAck:
+			s.mu.Lock()
+			if f.Seq > s.ackedSeq {
+				s.ackedSeq = f.Seq
+			}
+			for len(s.pending) > 0 && s.pending[0].seq <= f.Seq {
+				s.lagBytes -= s.pending[0].bytes
+				s.pending = s.pending[1:]
+			}
+			lag := s.lagBytes
+			var release []ackWaiter
+			for len(s.waiters) > 0 && s.waiters[0].seq <= f.Seq {
+				release = append(release, s.waiters[0])
+				s.waiters = s.waiters[1:]
+			}
+			s.mu.Unlock()
+			s.monitor.ObserveAck(lag)
+			for _, w := range release {
+				w.ch <- nil
+			}
+		case FrameFence:
+			s.fence()
+			return
+		}
+	}
+}
+
+// fence marks the shipper deposed and fails every parked flush.
+func (s *Shipper) fence() {
+	s.mu.Lock()
+	s.fenced = true
+	s.err = ErrFenced
+	release := s.waiters
+	s.waiters = nil
+	s.mu.Unlock()
+	for _, w := range release {
+		w.ch <- ErrFenced
+	}
+}
+
+// transportError latches a connection failure and releases parked
+// flushes locally (degraded, not failed).
+func (s *Shipper) transportError(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	release := s.waiters
+	s.waiters = nil
+	closed := s.closed
+	s.mu.Unlock()
+	if !closed {
+		s.monitor.ObserveFailure()
+	}
+	for _, w := range release {
+		w.ch <- nil
+	}
+}
+
+func (s *Shipper) isFenced() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fenced
+}
+
+// heartbeatLoop keeps an idle pair's failure detector fed.
+func (s *Shipper) heartbeatLoop() {
+	defer s.hbWG.Done()
+	for {
+		select {
+		case <-s.hbQ:
+			return
+		case <-s.done:
+			return
+		case <-s.hbT.C:
+		}
+		s.mu.Lock()
+		if s.closed || s.err != nil {
+			s.mu.Unlock()
+			return
+		}
+		s.nextSeq++
+		seq := s.nextSeq
+		s.mu.Unlock()
+		if err := s.writeFrame(Frame{Type: FrameHeartbeat, Seq: seq, Epoch: s.cfg.Epoch}); err != nil {
+			s.transportError(err)
+			return
+		}
+		s.monitor.Tick()
+	}
+}
+
+// Close tears the shipper down. Call after the logs it serves are
+// closed, so no flush ships into a closing connection.
+func (s *Shipper) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.hbT.Stop()
+	close(s.hbQ)
+	err := s.conn.Close()
+	<-s.done
+	s.hbWG.Wait()
+	return err
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tskd/internal/overload"
+	"tskd/internal/replica"
 	"tskd/internal/storage"
 	"tskd/internal/wal"
 )
@@ -62,6 +63,13 @@ type DurabilityOptions struct {
 	// only (the chaos harness stalls fsyncs through it); ignored under
 	// NoSync.
 	WrapSyncer func(wal.Syncer) wal.Syncer
+	// Replication, when set, makes this server a replicating primary:
+	// every WAL flush is shipped through this live shipper to a backup
+	// (internal/replica) after the local fsync, and in sync mode the
+	// flush — and therefore the client ack — waits for the backup's
+	// own fsync. The server does not own the shipper: close it after
+	// Shutdown.
+	Replication *replica.Shipper
 }
 
 func (d *DurabilityOptions) withDefaults() error {
@@ -213,13 +221,27 @@ func (s *Server) openDurable() error {
 	if err != nil {
 		return err
 	}
-	log, err := wal.OpenDir(d.Dir, wal.DirOptions{
+	opts := wal.DirOptions{
 		GroupWindow:  d.GroupWindow,
 		SegmentBytes: d.SegmentBytes,
 		StartLSN:     info.NextLSN,
 		NoSync:       d.NoSync,
 		WrapSyncer:   d.WrapSyncer,
-	})
+	}
+	// Attach replication before the log opens for appending: Stream
+	// snapshots every existing file (the catch-up copy), then live
+	// flushes ship through the returned hook.
+	if d.Replication != nil {
+		s.replicaEpoch = d.Replication.Epoch()
+		stream, serr := d.Replication.Stream(".", d.Dir)
+		if serr != nil {
+			return serr
+		}
+		opts.Shipper = stream
+	} else if s.replicaEpoch, err = replica.ReadEpoch(d.Dir); err != nil {
+		return err
+	}
+	log, err := wal.OpenDir(d.Dir, opts)
 	if err != nil {
 		return err
 	}

@@ -38,6 +38,7 @@ import (
 	"tskd/internal/engine"
 	"tskd/internal/metrics"
 	"tskd/internal/overload"
+	"tskd/internal/replica"
 	"tskd/internal/partition"
 	"tskd/internal/shard"
 	"tskd/internal/storage"
@@ -209,6 +210,12 @@ type Stats struct {
 	DedupInflight uint64 `json:"dedup_inflight,omitempty"`
 	DedupSize     int    `json:"dedup_size,omitempty"`
 
+	// Replication (nil unless this server ships to a backup): the
+	// pair's role, fencing epoch, health state, and lag. The epoch is
+	// also reported on /healthz so operators can spot a deposed
+	// primary at a glance.
+	Replication *ReplicationStats `json:"replication,omitempty"`
+
 	// Sharded runtime (empty unless Config.Shards > 1): per-shard
 	// counters plus the cross-shard 2PC counters
 	// (prepared/committed/aborted/in-doubt and friends). The top-level
@@ -223,6 +230,16 @@ type Stats struct {
 	// Latency distributions.
 	QueueWait metrics.HistogramSnapshot `json:"queue_wait"`
 	ExecLat   metrics.HistogramSnapshot `json:"exec_latency"`
+}
+
+// ReplicationStats is the /metrics replication block: the pair role
+// ("primary" while shipping; a receiver-mode process reports its own)
+// plus the shipper's counters — epoch, sync flag, monitor state,
+// lag_bytes, shipped/acked progress, and whether this primary has been
+// fenced by a promoted backup.
+type ReplicationStats struct {
+	Role string `json:"role"`
+	replica.ShipperStats
 }
 
 // pending is one admitted transaction awaiting execution. Pendings and
@@ -286,6 +303,11 @@ type Server struct {
 	recovery      RecoveryInfo
 	lastCkptLSN   uint64
 	lastCkptBytes int64
+
+	// replicaEpoch is the fencing epoch this incarnation runs under
+	// (the shipper's when replicating, the directory's persisted epoch
+	// after a promotion, 0 otherwise). Immutable after New.
+	replicaEpoch uint64
 
 	// Overload resilience. shed and breaker are internally
 	// synchronized leaves (safe from connection goroutines and from
@@ -871,6 +893,9 @@ func (s *Server) Stats() Stats {
 	if s.dedup != nil {
 		st.DedupSize = s.dedup.size()
 	}
+	if d := s.cfg.Durability; d != nil && d.Replication != nil {
+		st.Replication = &ReplicationStats{Role: "primary", ShipperStats: d.Replication.Stats()}
+	}
 	// shed, breaker, and events are leaf-locked: safe under s.mu.
 	if s.shed != nil {
 		st.ShedLevel = s.shed.Level()
@@ -901,6 +926,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
+	if d := s.cfg.Durability; d != nil && d.Replication != nil {
+		rst := d.Replication.Stats()
+		fmt.Fprintf(w, "role=primary epoch=%d replication=%s lag_bytes=%d\n",
+			rst.Epoch, rst.State, rst.LagBytes)
+	} else if s.cfg.Durability != nil && s.replicaEpoch > 0 {
+		fmt.Fprintf(w, "role=promoted epoch=%d\n", s.replicaEpoch)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

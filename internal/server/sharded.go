@@ -29,6 +29,7 @@ func (s *Server) openSharded() error {
 			CheckpointBytes: o.CheckpointBytes,
 			DedupWindow:     o.DedupWindow,
 			NoSync:          o.NoSync,
+			Replication:     o.Replication,
 		}
 	}
 	rt, err := shard.Open(shard.Config{
@@ -45,6 +46,7 @@ func (s *Server) openSharded() error {
 		return err
 	}
 	s.rt = rt
+	s.replicaEpoch = rt.ReplicaEpoch()
 	return nil
 }
 

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"tskd/internal/replica"
 )
 
 // durability.go: the sharded data directory layout and its naming
@@ -39,6 +41,14 @@ type Durability struct {
 	DedupWindow int
 	// NoSync skips fsync everywhere (tests only; crash safety is gone).
 	NoSync bool
+	// Replication, when set, ships every log in the directory — each
+	// shard's WAL and the coordinator log — through this live shipper
+	// to a backup (internal/replica). Open registers one stream per
+	// directory (named by its relative path, so the backup mirrors the
+	// layout) before opening the log for appending, and stamps the
+	// shipper's fencing epoch on this incarnation's boot record. The
+	// runtime does not own the shipper: close it after Shutdown.
+	Replication *replica.Shipper
 }
 
 func (d *Durability) withDefaults() error {

@@ -1,0 +1,178 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tskd/internal/client"
+	"tskd/internal/core"
+	"tskd/internal/replica"
+	"tskd/internal/txn"
+)
+
+// replication_test.go: the sharded runtime shipping every log — both
+// shard WALs and the coordinator decision log — to a backup, then the
+// backup promoted and recovered as if it were the primary's directory.
+
+func TestConfigRejectsTooManyShards(t *testing.T) {
+	for _, shards := range []int{0, -1, MaxShards + 1, 1000} {
+		_, err := Open(Config{Shards: shards, DB: ycsbBase})
+		if err == nil {
+			t.Fatalf("Shards=%d accepted", shards)
+		}
+		if !strings.Contains(err.Error(), "1..64") {
+			t.Fatalf("Shards=%d error does not name the bound: %v", shards, err)
+		}
+	}
+}
+
+// TestShardedReplicationFailover is the full pair life at the runtime
+// layer: a 2-shard primary ships synchronously to a backup, commits
+// single- and cross-shard transactions, then the backup is promoted
+// and must recover to exactly the primary's state — including the
+// restored idempotency windows — under the bumped fencing epoch.
+func TestShardedReplicationFailover(t *testing.T) {
+	primary, backup := t.TempDir(), t.TempDir()
+
+	srv, err := replica.NewServer(replica.ServerConfig{Dir: backup, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ship, err := replica.NewShipper(replica.ShipperConfig{
+		Addr: srv.Addr(), Sync: true, AckTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ship.Close()
+
+	rt := openTest(t, 2, &Durability{Dir: primary, NoSync: true, Replication: ship})
+	if rt.ReplicaEpoch() != 0 {
+		t.Fatalf("fresh pair epoch %d, want 0", rt.ReplicaEpoch())
+	}
+	r := rt.Router()
+	k0, k0b, k1 := keyOn(r, 0, 0), keyOn(r, 0, 200), keyOn(r, 1, 100)
+	base0, base0b, base1 := fieldOf(rt.DB(0), k0), fieldOf(rt.DB(0), k0b), fieldOf(rt.DB(1), k1)
+
+	single := txn.New(0).U(k0, 10)
+	single.IdemKey = 301
+	if resp := submitWait(t, rt, single); resp.Status != client.StatusCommit {
+		t.Fatalf("single: %+v", resp)
+	}
+	cross := txn.New(0).U(k0b, 1).U(k1, 2)
+	cross.IdemKey = 302
+	if resp := submitWait(t, rt, cross); resp.Status != client.StatusCommit {
+		t.Fatalf("cross: %+v", resp)
+	}
+	shutdown(t, rt)
+	if st := ship.Stats(); st.State != "sync" || st.LagBytes != 0 {
+		t.Fatalf("pair not caught up after sync shipping: %+v", st)
+	}
+	ship.Close()
+
+	// Failover: promote the shipped directory and recover it exactly as
+	// a restart of the primary would.
+	epoch, err := replica.Promote(backup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("promoted epoch %d, want 1", epoch)
+	}
+	st, err := Recover(backup, 2, ycsbBase)
+	if err != nil {
+		t.Fatalf("Recover over shipped dir: %v", err)
+	}
+	if got := fieldOf(st.DBs[0], k0); got != base0+10 {
+		t.Fatalf("shipped single-shard write lost: %d != %d", got, base0+10)
+	}
+	if got := fieldOf(st.DBs[0], k0b); got != base0b+1 {
+		t.Fatalf("shipped cross write (shard 0) lost: %d != %d", got, base0b+1)
+	}
+	if got := fieldOf(st.DBs[1], k1); got != base1+2 {
+		t.Fatalf("shipped cross write (shard 1) lost: %d != %d", got, base1+2)
+	}
+	if st.Info.Boots != 1 || st.Info.CoordDecisions != 1 {
+		t.Fatalf("shipped coordinator log off: %+v", st.Info)
+	}
+
+	// The promoted backup serves under the bumped epoch, with the dedup
+	// windows intact: replayed idempotency keys are hits, not reapplies.
+	rt2, err := Open(Config{
+		Shards: 2, DB: ycsbBase,
+		Bundle: 16, FlushInterval: time.Millisecond, QueueDepth: 4096,
+		Core:       core.Options{Workers: 2},
+		Durability: &Durability{Dir: backup, NoSync: true},
+	})
+	if err != nil {
+		t.Fatalf("open promoted backup: %v", err)
+	}
+	defer shutdown(t, rt2)
+	if rt2.ReplicaEpoch() != 1 {
+		t.Fatalf("promoted runtime epoch %d, want 1", rt2.ReplicaEpoch())
+	}
+	single2 := txn.New(0).U(k0, 10)
+	single2.IdemKey = 301
+	if resp := submitWait(t, rt2, single2); resp.Status != client.StatusCommit || !resp.Duplicate {
+		t.Fatalf("shipped single-shard dedup miss: %+v", resp)
+	}
+	cross2 := txn.New(0).U(k0b, 1).U(k1, 2)
+	cross2.IdemKey = 302
+	if resp := submitWait(t, rt2, cross2); resp.Status != client.StatusCommit || !resp.Duplicate {
+		t.Fatalf("shipped cross-shard dedup miss: %+v", resp)
+	}
+	if got := fieldOf(rt2.DB(0), k0); got != base0+10 {
+		t.Fatalf("dedup hit reapplied on promoted backup: %d", got)
+	}
+}
+
+// TestShardedReplicationAsync: with Sync off the runtime never waits
+// for acks, but the backup still converges to the primary's state.
+func TestShardedReplicationAsync(t *testing.T) {
+	primary, backup := t.TempDir(), t.TempDir()
+
+	srv, err := replica.NewServer(replica.ServerConfig{Dir: backup, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ship, err := replica.NewShipper(replica.ShipperConfig{Addr: srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ship.Close()
+
+	rt := openTest(t, 2, &Durability{Dir: primary, NoSync: true, Replication: ship})
+	r := rt.Router()
+	k0, k1 := keyOn(r, 0, 0), keyOn(r, 1, 100)
+	base0, base1 := fieldOf(rt.DB(0), k0), fieldOf(rt.DB(1), k1)
+	tx := txn.New(0).U(k0, 7).U(k1, 9)
+	if resp := submitWait(t, rt, tx); resp.Status != client.StatusCommit {
+		t.Fatalf("cross: %+v", resp)
+	}
+	shutdown(t, rt)
+
+	// Acks are asynchronous: wait for the backlog to drain before the
+	// shipper goes away, then audit the shipped directory.
+	waitFor(t, "replication lag drain", func() bool { return ship.Stats().LagBytes == 0 })
+	ship.Close()
+	st, err := Recover(backup, 2, ycsbBase)
+	if err != nil {
+		t.Fatalf("Recover over shipped dir: %v", err)
+	}
+	if got := fieldOf(st.DBs[0], k0); got != base0+7 {
+		t.Fatalf("shipped write (shard 0) lost: %d != %d", got, base0+7)
+	}
+	if got := fieldOf(st.DBs[1], k1); got != base1+9 {
+		t.Fatalf("shipped write (shard 1) lost: %d != %d", got, base1+9)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"tskd/internal/clock"
 	"tskd/internal/core"
 	"tskd/internal/partition"
+	"tskd/internal/replica"
 	"tskd/internal/storage"
 	"tskd/internal/txn"
 	"tskd/internal/wal"
@@ -142,6 +143,10 @@ type Runtime struct {
 	crossSem   chan struct{}
 	crossWG    sync.WaitGroup
 
+	// replicaEpoch is the fencing epoch this incarnation runs under
+	// (stamped on the boot record; 0 when never replicated).
+	replicaEpoch uint64
+
 	recovery RecoveryInfo
 
 	admitMu  sync.RWMutex // draining flips under the write lock
@@ -193,19 +198,41 @@ func Open(cfg Config) (*Runtime, error) {
 			nextLSN[i] = st.Info.Shards[i].NextLSN
 			lastCkpt[i] = st.Info.Shards[i].CheckpointLSN
 		}
+		// The replica fencing epoch this incarnation runs under: the
+		// live shipper's when replicating, otherwise whatever the data
+		// directory carries (a promoted backup boots with the bumped
+		// epoch even before it gets a backup of its own).
+		if d.Replication != nil {
+			rt.replicaEpoch = d.Replication.Epoch()
+		} else if rt.replicaEpoch, err = replica.ReadEpoch(d.Dir); err != nil {
+			cancel()
+			return nil, err
+		}
 		// Open the coordinator log and stamp this incarnation: the boot
 		// record's epoch keeps global transaction ids unique across
 		// restarts, so a recovered prepare can never alias a new one.
-		rt.coordLog, err = wal.OpenDir(coordDir(d.Dir), wal.DirOptions{
+		// The replica epoch rides in the boot record's IdemKey (the
+		// coordinator replay ignores it; audits read it), so the log
+		// itself records which fencing epoch wrote each suffix.
+		coordOpts := wal.DirOptions{
 			GroupWindow: d.GroupWindow, SegmentBytes: d.SegmentBytes,
 			StartLSN: st.Info.CoordNextLSN, NoSync: d.NoSync,
-		})
+		}
+		if d.Replication != nil {
+			stream, serr := d.Replication.Stream("coord", coordDir(d.Dir))
+			if serr != nil {
+				cancel()
+				return nil, serr
+			}
+			coordOpts.Shipper = stream
+		}
+		rt.coordLog, err = wal.OpenDir(coordDir(d.Dir), coordOpts)
 		if err != nil {
 			cancel()
 			return nil, err
 		}
 		rt.gidEpoch = uint64(st.Info.Boots) + 1
-		if err := rt.coordLog.Append(wal.Record{TxnID: int64(rt.gidEpoch), Kind: wal.RecordBoot}); err != nil {
+		if err := rt.coordLog.Append(wal.Record{TxnID: int64(rt.gidEpoch), IdemKey: rt.replicaEpoch, Kind: wal.RecordBoot}); err != nil {
 			rt.coordLog.Close()
 			cancel()
 			return nil, err
@@ -237,10 +264,20 @@ func Open(cfg Config) (*Runtime, error) {
 			u.dedup.restore(k)
 		}
 		if d := cfg.Durability; d != nil {
-			log, err := wal.OpenDir(shardDir(d.Dir, i), wal.DirOptions{
+			unitOpts := wal.DirOptions{
 				GroupWindow: d.GroupWindow, SegmentBytes: d.SegmentBytes,
 				StartLSN: nextLSN[i], NoSync: d.NoSync,
-			})
+			}
+			if d.Replication != nil {
+				stream, serr := d.Replication.Stream(fmt.Sprintf("shard-%02d", i), shardDir(d.Dir, i))
+				if serr != nil {
+					rt.closeLogs()
+					cancel()
+					return nil, serr
+				}
+				unitOpts.Shipper = stream
+			}
+			log, err := wal.OpenDir(shardDir(d.Dir, i), unitOpts)
 			if err != nil {
 				rt.closeLogs()
 				cancel()
@@ -272,6 +309,11 @@ func Open(cfg Config) (*Runtime, error) {
 // Recovery reports what startup recovery found (zero when the runtime
 // is not durable or the directory was fresh).
 func (rt *Runtime) Recovery() RecoveryInfo { return rt.recovery }
+
+// ReplicaEpoch is the fencing epoch this incarnation runs under: the
+// shipper's when replicating, the directory's persisted epoch after a
+// promotion, and 0 when the directory was never part of a pair.
+func (rt *Runtime) ReplicaEpoch() uint64 { return rt.replicaEpoch }
 
 // DB returns shard i's store (the recovered one when durable).
 func (rt *Runtime) DB(i int) *storage.DB { return rt.units[i].db }

@@ -91,6 +91,10 @@ type DirOptions struct {
 	// across segments. Ignored under NoSync (there is no barrier to
 	// wrap). Chaos testing only.
 	WrapSyncer func(Syncer) Syncer
+	// Shipper, when set, receives every flushed group after the local
+	// fsync (see Shipper); its error fails the flush, so appenders —
+	// and therefore client acks — wait on replication.
+	Shipper Shipper
 }
 
 // OpenDir opens a directory-backed log for appending. Pre-existing
@@ -137,6 +141,7 @@ func OpenDir(dir string, o DirOptions) (*Log, error) {
 	l := &Log{
 		w:           f,
 		groupWindow: o.GroupWindow,
+		shipper:     o.Shipper,
 		nextLSN:     o.StartLSN,
 		dir:         dir,
 		segBytes:    o.SegmentBytes,

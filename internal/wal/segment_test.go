@@ -281,3 +281,59 @@ func TestRecoverDirVersionGating(t *testing.T) {
 		}
 	}
 }
+
+// TestReplayDirEmptyNewestSegment simulates a crash right after
+// rotation: the newest segment file exists but holds zero records.
+// Recovery must succeed and resume at that segment's start LSN rather
+// than erroring on the empty tail.
+func TestReplayDirEmptyNewestSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenDir(dir, DirOptions{SegmentBytes: 1 << 20, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 7
+	for i := 0; i < n; i++ {
+		if err := l.Append(segRec(int64(i), uint64(i), uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The empty post-rotation segment: created, never written.
+	empty := filepath.Join(dir, segName(n))
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	next, applied, err := ReplayDir(dir, func(lsn uint64, r Record) error {
+		if r.TxnID != int64(lsn) {
+			t.Fatalf("record at lsn %d has txn id %d", lsn, r.TxnID)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReplayDir over empty newest segment: %v", err)
+	}
+	if applied != n || next != n {
+		t.Fatalf("ReplayDir = (next %d, applied %d), want (%d, %d)", next, applied, n, n)
+	}
+
+	// Reopening at the recovered LSN reuses the empty file and appends
+	// continue the sequence.
+	l2, err := OpenDir(dir, DirOptions{SegmentBytes: 1 << 20, NoSync: true, StartLSN: next})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(segRec(n, n, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	next2, applied2, err := ReplayDir(dir, func(uint64, Record) error { return nil })
+	if err != nil || next2 != n+1 || applied2 != n+1 {
+		t.Fatalf("ReplayDir after reopen = (%d, %d, %v), want (%d, %d, nil)", next2, applied2, err, n+1, n+1)
+	}
+}

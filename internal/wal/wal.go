@@ -115,6 +115,21 @@ type FlushMonitor interface {
 	FlushEnd(d time.Duration, err error)
 }
 
+// Shipper receives every flushed group after it reached stable storage
+// locally — the replication hook. firstLSN is the LSN of the group's
+// first record, records the count in the group, and data the exact
+// bytes written (framed records, replayable as-is). A non-nil return
+// fails the flush: every appender waiting on the group gets the error
+// instead of a durability ack, which is how synchronous replication
+// withholds client acks until the backup confirmed the bytes. Ship is
+// called under the log's mutex after the local fsync and after the
+// FlushMonitor saw the flush (so a WAL-stall breaker never charges
+// network latency to the disk); it must not call back into the Log,
+// and data is only valid for the duration of the call.
+type Shipper interface {
+	Ship(firstLSN uint64, records int, data []byte) error
+}
+
 // Log is a group-committing redo log over an io.Writer. Append is safe
 // for concurrent use; records become durable when the group they
 // joined is flushed (Append returns after the flush, i.e. commits are
@@ -124,6 +139,11 @@ type Log struct {
 	w       io.Writer
 	sync    Syncer // nil: no stable-storage barrier
 	monitor FlushMonitor
+	shipper Shipper
+	// shipStart is the LSN of the first record in the pending group
+	// (meaningful only while pending is non-empty): nextLSN advances per
+	// append, so the group's base must be pinned when the group opens.
+	shipStart uint64
 	// wrapSync decorates the stable-storage barrier (fault injection);
 	// rotation re-applies it to each new segment file.
 	wrapSync func(Syncer) Syncer
@@ -199,6 +219,14 @@ func (l *Log) SetMonitor(m FlushMonitor) {
 	l.mu.Unlock()
 }
 
+// SetShipper installs the replication shipper (nil removes it).
+// Install before traffic: the shipper is read under the log's mutex.
+func (l *Log) SetShipper(s Shipper) {
+	l.mu.Lock()
+	l.shipper = s
+	l.mu.Unlock()
+}
+
 // Counters returns (records, flushes, syncs) under the log's mutex —
 // the race-safe way to observe a live log (the exported fields are for
 // single-threaded inspection after Close).
@@ -235,6 +263,9 @@ func (l *Log) Append(rec Record) error {
 		l.mu.Unlock()
 		encodeBufPool.Put(bp)
 		return ErrClosed
+	}
+	if len(l.pending) == 0 {
+		l.shipStart = l.nextLSN
 	}
 	l.pending = append(l.pending, buf...)
 	l.Records++
@@ -299,12 +330,18 @@ func (l *Log) flushLocked() error {
 		return nil
 	}
 	n := len(l.pending)
+	// The group's bytes stay valid through the Ship call below: pending
+	// is reset to length zero but the backing array is untouched, and no
+	// append can reuse it while the mutex is held.
+	group := l.pending
+	first := l.shipStart
+	records := int(l.nextLSN - l.shipStart)
 	var start time.Time
 	if l.monitor != nil {
 		l.monitor.FlushStart()
 		start = time.Now()
 	}
-	_, err := l.w.Write(l.pending)
+	_, err := l.w.Write(group)
 	l.pending = l.pending[:0]
 	l.Flushes++
 	if err == nil && l.sync != nil {
@@ -313,6 +350,9 @@ func (l *Log) flushLocked() error {
 	}
 	if l.monitor != nil {
 		l.monitor.FlushEnd(time.Since(start), err)
+	}
+	if err == nil && l.shipper != nil {
+		err = l.shipper.Ship(first, records, group)
 	}
 	l.segWritten += int64(n)
 	if err == nil && l.active != nil && l.segWritten >= l.segBytes {
