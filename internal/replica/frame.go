@@ -92,8 +92,14 @@ type Frame struct {
 var errShortFrame = errors.New("replica: short frame")
 
 // AppendFrame appends f's full wire encoding (length prefix included)
-// to buf and returns the extended slice.
+// to buf and returns the extended slice. Stream and Name ride a u8
+// length on the wire; AppendFrame panics if either exceeds 255 bytes
+// rather than silently truncating into a corrupt frame (Shipper.Stream
+// validates at registration, so reaching the panic is a caller bug).
 func AppendFrame(buf []byte, f Frame) []byte {
+	if len(f.Stream) > 255 || len(f.Name) > 255 {
+		panic(fmt.Sprintf("replica: frame stream %q / name %q exceeds 255 bytes", f.Stream, f.Name))
+	}
 	lenAt := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // backfilled below
 	buf = append(buf, f.Type)

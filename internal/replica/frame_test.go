@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -80,6 +81,18 @@ func TestDecodeFrameRejects(t *testing.T) {
 			t.Errorf("case %d (% x): decoded without error", i, c)
 		}
 	}
+}
+
+// TestAppendFramePanicsOnLongName: u8 wire lengths cannot carry a
+// >255-byte stream or file name; AppendFrame must refuse loudly
+// instead of truncating into a corrupt frame.
+func TestAppendFramePanicsOnLongName(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendFrame encoded a 256-byte stream name without panicking")
+		}
+	}()
+	AppendFrame(nil, Frame{Type: FrameAppend, Stream: strings.Repeat("x", 256)})
 }
 
 // FuzzDecodeFrame is the CI fuzz target for the replication stream

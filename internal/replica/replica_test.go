@@ -1,10 +1,15 @@
 package replica
 
 import (
+	"bufio"
 	"errors"
+	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -326,5 +331,168 @@ func TestBackupDownDegrades(t *testing.T) {
 	}
 	if st := ship.Monitor().State(); st == StateSync {
 		t.Fatalf("monitor still %v after backup death", st)
+	}
+}
+
+// TestWireOrderMatchesSeq: acks are cumulative, so the backup must see
+// seqs in allocation order even when many streams and a fast heartbeat
+// ship concurrently — an out-of-order frame would let a lower seq's
+// ack release a not-yet-written sync flush, losing an acked group on
+// failover. A fake backup asserts strict seq sequencing on the wire.
+func TestWireOrderMatchesSeq(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	violation := make(chan string, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReaderSize(conn, 1<<20)
+		hello, err := ReadFrame(br)
+		if err != nil || hello.Type != FrameHello {
+			return
+		}
+		conn.Write(AppendFrame(nil, Frame{Type: FrameHelloAck, Epoch: hello.Epoch}))
+		var last uint64
+		for {
+			f, err := ReadFrame(br)
+			if err != nil {
+				return
+			}
+			if f.Type != FrameAppend && f.Type != FrameHeartbeat {
+				continue
+			}
+			if f.Seq != last+1 {
+				select {
+				case violation <- fmt.Sprintf("seq %d on the wire after %d", f.Seq, last):
+				default:
+				}
+			}
+			last = f.Seq
+			conn.Write(AppendFrame(nil, Frame{Type: FrameAck, Seq: f.Seq}))
+		}
+	}()
+
+	ship, err := NewShipper(ShipperConfig{
+		Addr: ln.Addr().String(), Epoch: 0, Sync: true,
+		AckTimeout:     2 * time.Second,
+		HeartbeatEvery: time.Millisecond, // contend hard with the appends
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ship.Close()
+
+	const workers, ships = 4, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		stream, err := ship.Stream(fmt.Sprintf("shard-%02d", w), t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(st *Stream) {
+			defer wg.Done()
+			for i := 0; i < ships; i++ {
+				if err := st.Ship(uint64(i), 1, []byte("payload")); err != nil {
+					t.Errorf("ship: %v", err)
+					return
+				}
+			}
+		}(stream)
+	}
+	wg.Wait()
+	select {
+	case v := <-violation:
+		t.Fatal(v)
+	default:
+	}
+	if st := ship.Stats(); st.ShippedGroups != workers*ships {
+		t.Fatalf("shipped %d groups, want %d", st.ShippedGroups, workers*ships)
+	}
+}
+
+// TestSecondPrimaryDeposesFirst: epochs cannot order two primaries at
+// the SAME epoch (a restarted primary racing its deposed predecessor's
+// still-draining connection), so the newest handshake must depose the
+// older connection — the deposed one's appends may no longer reach the
+// shipped directory, which holds exactly the newcomer's timeline.
+func TestSecondPrimaryDeposesFirst(t *testing.T) {
+	backup := t.TempDir()
+	srv := testServer(t, backup)
+
+	a := testShipper(t, srv.Addr(), 0, true)
+	defer a.Close()
+	sa, err := a.Stream("shard-00", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Ship(0, 1, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+
+	b := testShipper(t, srv.Addr(), 0, true) // same epoch: deposes a
+	defer b.Close()
+	sb, err := b.Stream("shard-00", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Ship(0, 1, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The deposed shipper's flushes must degrade locally (nil, never
+	// wedge) and must not land on the backup.
+	for i := 0; i < 5; i++ {
+		if err := sa.Ship(uint64(1+i), 1, []byte("stale")); err != nil {
+			t.Fatalf("deposed ship: %v", err)
+		}
+	}
+	seg := filepath.Join(backup, "shard-00", "wal-0000000000000000.seg")
+	got, err := os.ReadFile(seg)
+	if err != nil || string(got) != "new" {
+		t.Fatalf("segment after depose: %q, %v; want %q", got, err, "new")
+	}
+}
+
+// TestStreamRejectsOversizedCatchup: a catch-up file too large for one
+// frame must fail registration with a descriptive error rather than
+// ship a frame the backup rejects as corruption on every attempt.
+func TestStreamRejectsOversizedCatchup(t *testing.T) {
+	backup := t.TempDir()
+	srv := testServer(t, backup)
+	ship := testShipper(t, srv.Addr(), 0, false)
+	defer ship.Close()
+
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "ckpt-0000000000000000.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(MaxFrameBytes + 1); err != nil { // sparse: no real I/O
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ship.Stream(".", dir); err == nil || !strings.Contains(err.Error(), "frame limit") {
+		t.Fatalf("oversized catch-up: %v, want frame-limit error", err)
+	}
+}
+
+// TestStreamRejectsLongName: stream names ride a u8 wire length;
+// registration must refuse anything longer than 255 bytes up front.
+func TestStreamRejectsLongName(t *testing.T) {
+	backup := t.TempDir()
+	srv := testServer(t, backup)
+	ship := testShipper(t, srv.Addr(), 0, false)
+	defer ship.Close()
+	if _, err := ship.Stream(strings.Repeat("s", 256), t.TempDir()); err == nil {
+		t.Fatal("256-byte stream name accepted")
 	}
 }

@@ -2,6 +2,7 @@ package replica
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -29,7 +30,13 @@ import (
 // Anything below the persisted epoch gets FrameFence and the
 // connection closed; anything at or above it is adopted and persisted
 // before the hello is acknowledged, so the fence survives a backup
-// restart.
+// restart. Epochs alone cannot order two primaries at the SAME epoch
+// (a restarted primary racing its deposed predecessor's still-draining
+// connection), so the backup additionally admits only one shipping
+// connection at a time: a completed handshake deposes any previous
+// connection, and a deposed connection can no longer mutate the
+// shipped directory — its appends would otherwise O_TRUNC and
+// interleave with the newcomer's into the same segment files.
 
 // ServerConfig configures a backup receiver.
 type ServerConfig struct {
@@ -59,8 +66,14 @@ type Server struct {
 	mu     sync.Mutex
 	epoch  uint64
 	conns  map[net.Conn]struct{}
+	active net.Conn // the one connection allowed to mutate the directory
 	closed bool
 	stats  ServerStats
+
+	// applyMu serializes directory mutations across connection
+	// turnover: a deposed connection's in-flight apply completes before
+	// its successor's first one, and nothing applies after deposition.
+	applyMu sync.Mutex
 
 	wg sync.WaitGroup
 }
@@ -111,6 +124,9 @@ func (s *Server) Start(addr string) error {
 				s.serveConn(conn)
 				s.mu.Lock()
 				delete(s.conns, conn)
+				if s.active == conn {
+					s.active = nil
+				}
 				s.stats.Conns--
 				s.mu.Unlock()
 			}()
@@ -211,6 +227,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	if err := s.adoptEpoch(hello.Epoch); err != nil {
 		return
 	}
+	// Single writer: the newest handshake deposes any previous shipping
+	// connection — epochs cannot order two primaries at the same epoch,
+	// so connection turnover must (see the fencing comment above).
+	s.mu.Lock()
+	prev := s.active
+	s.active = conn
+	s.mu.Unlock()
+	if prev != nil {
+		prev.Close()
+	}
 	if !reply(Frame{Type: FrameHelloAck, Epoch: hello.Epoch}) {
 		return
 	}
@@ -225,7 +251,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			if !validStream(f.Stream) || !validName(f.Name) {
 				return
 			}
-			if err := s.writeSnapshot(f.Stream, f.Name, f.Data); err != nil {
+			if err := s.applyActive(conn, func() error {
+				return s.writeSnapshot(f.Stream, f.Name, f.Data)
+			}); err != nil {
 				return
 			}
 			s.mu.Lock()
@@ -239,7 +267,9 @@ func (s *Server) serveConn(conn net.Conn) {
 				fence()
 				return
 			}
-			if err := s.applyAppend(streams, f); err != nil {
+			if err := s.applyActive(conn, func() error {
+				return s.applyAppend(streams, f)
+			}); err != nil {
 				return
 			}
 			s.mu.Lock()
@@ -258,10 +288,16 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			s.mu.Lock()
-			if f.Seq > s.stats.LastSeq {
+			deposed := s.active != conn
+			if !deposed && f.Seq > s.stats.LastSeq {
 				s.stats.LastSeq = f.Seq
 			}
 			s.mu.Unlock()
+			if deposed {
+				// A deposed primary must not keep reading healthy
+				// heartbeat acks off a dying connection.
+				return
+			}
 			if !reply(Frame{Type: FrameAck, Seq: f.Seq}) {
 				return
 			}
@@ -269,6 +305,23 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+var errDeposed = errors.New("replica: connection deposed by a newer handshake")
+
+// applyActive runs fn only while conn is still the active shipping
+// connection, holding applyMu so mutations from a deposed connection
+// and its successor never interleave (see the Server.applyMu comment).
+func (s *Server) applyActive(conn net.Conn, fn func() error) error {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	s.mu.Lock()
+	active := s.active == conn
+	s.mu.Unlock()
+	if !active {
+		return errDeposed
+	}
+	return fn()
 }
 
 func (s *Server) staleEpoch(e uint64) bool {

@@ -211,6 +211,9 @@ func (s *Shipper) Stats() ShipperStats {
 // to the directory's log via wal.DirOptions.Shipper before the log
 // opens for appending, so no flush escapes the stream.
 func (s *Shipper) Stream(name, dir string) (*Stream, error) {
+	if len(name) > 255 {
+		return nil, fmt.Errorf("replica: stream name %q exceeds 255 bytes (u8 wire length)", name)
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, err
@@ -218,6 +221,20 @@ func (s *Shipper) Stream(name, dir string) (*Stream, error) {
 	for _, e := range entries {
 		if e.IsDir() || e.Name() == EpochFile {
 			continue
+		}
+		if len(e.Name()) > 255 {
+			return nil, fmt.Errorf("replica: catch-up %s/%s: file name exceeds 255 bytes", name, e.Name())
+		}
+		// A FrameFile carries the whole file in one frame; anything the
+		// backup's ReadFrame would reject as oversized must fail here,
+		// descriptively, instead of tearing down every catch-up attempt.
+		info, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		if maxData := int64(MaxFrameBytes) - int64(3+len(name)+len(e.Name())); info.Size() > maxData {
+			return nil, fmt.Errorf("replica: catch-up %s/%s: %d bytes exceeds the %d-byte frame limit",
+				name, e.Name(), info.Size(), MaxFrameBytes)
 		}
 		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
@@ -244,9 +261,17 @@ func (st *Stream) Ship(firstLSN uint64, records int, data []byte) error {
 }
 
 func (s *Shipper) ship(stream string, firstLSN uint64, records int, data []byte) error {
+	// Seq allocation and the wire write are one unit under wmu: acks
+	// are cumulative (see FrameAck), so wire order must match seq
+	// order. If a concurrent shipper or the heartbeat could write a
+	// higher seq first, its ack would release this flush's sync waiter
+	// before these bytes reached the backup — losing the acked group
+	// on failover.
+	s.wmu.Lock()
 	s.mu.Lock()
 	if s.fenced {
 		s.mu.Unlock()
+		s.wmu.Unlock()
 		return ErrFenced
 	}
 	if s.closed || s.err != nil || s.monitor.Tick() == StateFailed {
@@ -254,6 +279,7 @@ func (s *Shipper) ship(stream string, firstLSN uint64, records int, data []byte)
 		// is the only copy, and the flush proceeds locally. Surfaced via
 		// Stats, decided by the operator.
 		s.mu.Unlock()
+		s.wmu.Unlock()
 		return nil
 	}
 	s.nextSeq++
@@ -272,10 +298,12 @@ func (s *Shipper) ship(stream string, firstLSN uint64, records int, data []byte)
 	s.mu.Unlock()
 	s.monitor.ObserveShip(int64(len(data)))
 
-	err := s.writeFrame(Frame{
+	s.wbuf = AppendFrame(s.wbuf[:0], Frame{
 		Type: FrameAppend, Stream: stream, Epoch: s.cfg.Epoch,
 		Seq: seq, FirstLSN: firstLSN, Records: uint32(records), Data: data,
 	})
+	_, err := s.conn.Write(s.wbuf)
+	s.wmu.Unlock()
 	if err != nil {
 		s.transportError(err)
 		if s.isFenced() {
@@ -315,6 +343,10 @@ func (s *Shipper) dropWaiterLocked(seq uint64) {
 	}
 }
 
+// writeFrame ships one seq-less frame (catch-up snapshots). Frames
+// carrying a seq are encoded and written inline under wmu in ship()
+// and heartbeatLoop(), so that seq allocation and the wire write are
+// atomic.
 func (s *Shipper) writeFrame(f Frame) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
@@ -409,15 +441,23 @@ func (s *Shipper) heartbeatLoop() {
 			return
 		case <-s.hbT.C:
 		}
+		// Same wmu-spans-seq-and-write discipline as ship(): a
+		// heartbeat shares the seq space, so one written ahead of an
+		// already-allocated append seq would ack that append early.
+		s.wmu.Lock()
 		s.mu.Lock()
 		if s.closed || s.err != nil {
 			s.mu.Unlock()
+			s.wmu.Unlock()
 			return
 		}
 		s.nextSeq++
 		seq := s.nextSeq
 		s.mu.Unlock()
-		if err := s.writeFrame(Frame{Type: FrameHeartbeat, Seq: seq, Epoch: s.cfg.Epoch}); err != nil {
+		s.wbuf = AppendFrame(s.wbuf[:0], Frame{Type: FrameHeartbeat, Seq: seq, Epoch: s.cfg.Epoch})
+		_, err := s.conn.Write(s.wbuf)
+		s.wmu.Unlock()
+		if err != nil {
 			s.transportError(err)
 			return
 		}
