@@ -36,6 +36,15 @@
 // transactions span two shards (exercising the server's two-phase
 // commit path); the remainder are confined to a single shard.
 //
+// Submissions default to the length-prefixed binary frame protocol
+// over pipelined connections (many in-flight transactions multiplexed
+// per socket, -window bounding the credit window); -wire ndjson is
+// the escape hatch back to the legacy text protocol — lockstep plain
+// connections, exactly the pre-upgrade client, for debugging or
+// driving an older server — and -pipeline multiplexes even NDJSON
+// over pipelined connections for an apples-to-apples protocol
+// comparison.
+//
 // -reliable switches closed-loop clients to the reconnecting client
 // (idempotency keys, resubmit on connection loss, jittered backoff):
 // the benchmark then survives a server crash-restart mid-run, and
@@ -73,6 +82,9 @@ func main() {
 		rmw       = flag.Bool("rmw", true, "read-modify-write updates (vs blind writes)")
 		seed      = flag.Int64("seed", 1, "generation seed")
 		reliable  = flag.Bool("reliable", false, "closed loop: reconnect + resubmit under idempotency keys")
+		wire      = flag.String("wire", "binary", "wire protocol: binary (length-prefixed frames, default) or ndjson (legacy text escape hatch)")
+		pipeline  = flag.Bool("pipeline", false, "closed loop: multiplex clients over pipelined connections (implied by -wire binary)")
+		window    = flag.Int("window", 0, "pipelined in-flight window per connection (0 = default)")
 		shards    = flag.Int("shards", 1, "server shard count (match tskd-serve -shards); enables -multi-key")
 		multiKey  = flag.Float64("multi-key", 0, "fraction of transactions whose keys span 2+ shards (needs -shards > 1)")
 		deadline  = flag.Duration("deadline", 0, "end-to-end deadline stamped on every submission (0 = none)")
@@ -102,7 +114,8 @@ func main() {
 		Records:   *records, Theta: *theta, OpsPerTxn: *opsTxn,
 		ReadRatio: *readRatio, RMW: *rmw, Seed: *seed,
 		Reliable: *reliable,
-		Shards:   nshards, MultiKey: *multiKey,
+		Wire:     *wire, Pipeline: *pipeline, Window: *window,
+		Shards: nshards, MultiKey: *multiKey,
 		DeadlineMS: deadlineMS(*deadline), LowPri: *lowpri,
 	}
 	if *mode == "open" {

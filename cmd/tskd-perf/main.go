@@ -5,10 +5,12 @@
 // committed transaction (runtime Mallocs delta across the measured
 // load), plus the wire/WAL microbenchmark allocation rates. Optional
 // phases add overload (open-loop burst with deadlines), sharded
-// scaling, replication (a durable server with WAL shipping off vs
-// async vs sync, quantifying the synchronous-ack tail-latency cost),
-// and distributed load generation (1 vs N agent subprocesses
-// coordinated over the warp-style control protocol).
+// scaling, a wire-protocol comparison (ndjson vs binary framing,
+// lockstep vs pipelined submission), replication (a durable server
+// with WAL shipping off vs async vs sync, quantifying the
+// synchronous-ack tail-latency cost), and distributed load generation
+// (1 vs N agent subprocesses coordinated over the warp-style control
+// protocol).
 //
 // Results are written as JSON (default BENCH_serve.json) stamped with
 // the measuring environment (go version, GOOS/GOARCH, GOMAXPROCS,
@@ -168,6 +170,9 @@ func measureMain(args []string) int {
 		shardBun  = fs.Int("shard-bundle", 2048, "sharded phase: total admission batch (split per shard in sharded mode)")
 		shardRec  = fs.Int("shard-records", 1000, "sharded phase: YCSB table size")
 		shardTh   = fs.Float64("shard-theta", 0.99, "sharded phase: YCSB zipf skew")
+		wireCli   = fs.Int("wire-clients", 2048, "wire phase: pipelined in-flight submitters (0 disables the phase)")
+		wirePer   = fs.Int("wire-per-client", 12, "wire phase: transactions per submitter")
+		wireWin   = fs.Int("wire-window", 0, "wire phase: pipelined in-flight window per connection (0 = default)")
 		replCli   = fs.Int("replica-clients", 32, "replica phase: concurrent closed-loop clients (0 disables the phase)")
 		replPer   = fs.Int("replica-per-client", 250, "replica phase: transactions per client")
 		replRec   = fs.Int("replica-records", 20_000, "replica phase: YCSB table size")
@@ -215,6 +220,17 @@ func measureMain(args []string) int {
 		sharded = &sh
 	}
 
+	var wireRes *bench.WireResults
+	if *wireCli > 0 {
+		w, err := measureWire(*ccName, *workers, *seed,
+			*wireCli, *wirePer, *wireWin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tskd-perf: wire phase:", err)
+			return 1
+		}
+		wireRes = &w
+	}
+
 	var replicaRes *bench.ReplicaResults
 	if *replCli > 0 {
 		rp, err := measureReplica(*replRec, *theta, *ops, *bundle, *ccName, *workers, *seed, *replCli, *replPer)
@@ -249,6 +265,8 @@ func measureMain(args []string) int {
 			"shards": *shardN, "shard_bundle": *shardBun, "shard_records": *shardRec,
 			"shard_theta": *shardTh, "shard_clients": *shardCli, "shard_per_client": *shardPer,
 			"agents": *agents, "agent_rate": *agentRate,
+			"wire_clients": *wireCli, "wire_per_client": *wirePer, "wire_window": *wireWin,
+			"wire_records": wireRecords, "wire_theta": wireTheta, "wire_ops": wireOps, "wire_bundle": wireBundle,
 			"replica_clients": *replCli, "replica_per_client": *replPer, "replica_records": *replRec,
 		},
 		Current:     res,
@@ -256,6 +274,7 @@ func measureMain(args []string) int {
 		Sharded:     sharded,
 		Distributed: distributed,
 		Replica:     replicaRes,
+		Wire:        wireRes,
 		Previous:    previous,
 	}
 	b, err := bench.EncodeReport(rep)

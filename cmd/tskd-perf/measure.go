@@ -18,6 +18,7 @@ import (
 	"tskd/internal/server"
 	"tskd/internal/shard"
 	"tskd/internal/storage"
+	"tskd/internal/txn"
 	"tskd/internal/wal"
 	"tskd/internal/workload"
 )
@@ -781,6 +782,43 @@ func measureMicro() bench.Micro {
 			panic(err)
 		}
 	})
+	// Binary frame codec: the pipelined wire's hot path, budgeted at
+	// zero steady-state allocations (see internal/client alloc gates).
+	binOps, err := txn.ParseOps(nil, req.Ops)
+	if err != nil {
+		panic(err)
+	}
+	var binReq []byte
+	be := testing.AllocsPerRun(2000, func() {
+		var err error
+		binReq, err = client.AppendRequestFrame(binReq[:0], &req, binOps)
+		if err != nil {
+			panic(err)
+		}
+	})
+	frame, err := client.AppendRequestFrame(nil, &req, binOps)
+	if err != nil {
+		panic(err)
+	}
+	var bt txn.Transaction
+	var breq client.Request
+	in := client.NewInterner(0)
+	bd := testing.AllocsPerRun(2000, func() {
+		if err := client.DecodeRequestFrame(frame[4:], &breq, &bt, in); err != nil {
+			panic(err)
+		}
+	})
+	var binResp []byte
+	bre := testing.AllocsPerRun(2000, func() {
+		binResp = client.AppendResponseBody(binResp[:0], &resp)
+	})
+	body := client.AppendResponseBody(nil, &resp)
+	var brd client.Response
+	brdAllocs := testing.AllocsPerRun(2000, func() {
+		if _, err := client.DecodeResponseBody(body, &brd); err != nil {
+			panic(err)
+		}
+	})
 	l := wal.New(io.Discard, 0)
 	rec := wal.Record{TxnID: 7, Writes: []wal.Update{
 		{Key: 1, Ver: 10, Fields: []uint64{1, 2, 3, 4}},
@@ -792,9 +830,13 @@ func measureMicro() bench.Micro {
 		}
 	})
 	return bench.Micro{
-		WireEncodeAllocs:         enc,
-		WireDecodeRequestAllocs:  dr,
-		WireDecodeResponseAllocs: dp,
-		WALAppendAllocs:          wa,
+		WireEncodeAllocs:            enc,
+		WireDecodeRequestAllocs:     dr,
+		WireDecodeResponseAllocs:    dp,
+		WireBinEncodeRequestAllocs:  be,
+		WireBinDecodeRequestAllocs:  bd,
+		WireBinEncodeResponseAllocs: bre,
+		WireBinDecodeResponseAllocs: brdAllocs,
+		WALAppendAllocs:             wa,
 	}
 }

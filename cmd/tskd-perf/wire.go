@@ -1,0 +1,252 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"tskd/internal/bench"
+	"tskd/internal/client"
+	"tskd/internal/core"
+	"tskd/internal/metrics"
+	"tskd/internal/server"
+	"tskd/internal/workload"
+)
+
+// The wire phase pins its own operating point instead of inheriting
+// the serve-phase flags: the claim it gates (pipelined gain over the
+// lockstep baseline) must not move when someone re-tunes the serve
+// phase. Small uniform transactions keep the engine off the critical
+// path so the wire discipline — not scheduling — is what's measured;
+// at the serve phase's 16-op contended workload the engine ceiling
+// caps every protocol alike and the comparison degenerates.
+const (
+	wireRecords = 100_000
+	wireTheta   = 0.0
+	wireOps     = 4
+	wireBundle  = 512
+)
+
+// measureWire runs the wire phase: the same YCSB workload driven over
+// the legacy NDJSON text protocol and the length-prefixed binary frame
+// protocol, each in two submission disciplines — lockstep (one
+// transaction in flight per connection, the pre-pipelining client
+// architecture) and pipelined (thousands of submitters multiplexed
+// over the same connections, completions arriving out of order under
+// the credit window). Both disciplines use the identical
+// 16-connection pool so the discipline is the only variable: the
+// headline, PipelinedGain, is binary+pipelined throughput over the
+// ndjson+lockstep baseline at equal socket count. The protocol's win
+// is not the codec alone but what the framing enables — one coalesced
+// write per response bundle and enough in-flight transactions to fill
+// the admission queue from a handful of sockets.
+func measureWire(ccName string, workers int, seed int64, submitters, perSubmitter, window int) (bench.WireResults, error) {
+	var out bench.WireResults
+	cases := []struct {
+		proto     client.WireProto
+		pipelined bool
+	}{
+		{client.ProtoNDJSON, false},
+		{client.ProtoBinary, false},
+		{client.ProtoNDJSON, true},
+		{client.ProtoBinary, true},
+	}
+	for _, c := range cases {
+		p, err := measureWirePoint(ccName, workers, seed,
+			submitters, perSubmitter, window, c.proto, c.pipelined)
+		if err != nil {
+			return out, fmt.Errorf("%s pipelined=%v: %w", c.proto, c.pipelined, err)
+		}
+		out.Points = append(out.Points, p)
+		disc := "lockstep "
+		if c.pipelined {
+			disc = "pipelined"
+		}
+		fmt.Fprintf(os.Stderr, "tskd-perf: wire %-6s %s: %.0f txn/s p99=%dus\n",
+			c.proto, disc, p.ThroughputTxnS, p.P99US)
+	}
+	if base := out.Points[0].ThroughputTxnS; base > 0 {
+		out.PipelinedGain = out.Points[3].ThroughputTxnS / base
+	}
+	return out, nil
+}
+
+// wireConns is the connection-pool size shared by every point. The
+// lockstep points run one submitter per connection (one transaction in
+// flight each); the pipelined points multiplex all submitters over the
+// same pool. Holding socket count constant is what makes the gain
+// attributable to the discipline rather than to extra connections.
+const wireConns = 16
+
+// measureWirePoint boots a fresh server and drives one
+// (protocol, discipline) combination. Lockstep submitters each own one
+// pool connection and wait out every round trip — plain NDJSON Conn
+// for the text protocol, a pipelined connection used one-at-a-time for
+// binary — while the pipelined points share the pool among thousands
+// of submitters, exactly the architecture the bundle-width argument
+// needs (see measureShardedPoint). Both points split the same total
+// transaction count so every point commits comparable work.
+func measureWirePoint(ccName string, workers int, seed int64, submitters, perSubmitter, window int, proto client.WireProto, pipelined bool) (bench.WirePoint, error) {
+	gen := workload.YCSB{Records: wireRecords, Theta: wireTheta, OpsPerTxn: wireOps, ReadRatio: 0.5, RMW: true}
+	bundle := wireBundle
+	// The admission queue must hold the pipelined in-flight population
+	// (default 4×Bundle would reject most of a 2048-deep window into a
+	// retry storm and trip the shedder). Every point — lockstep
+	// included — runs against the identical server config.
+	queue := 4 * bundle
+	if queue < 2*submitters {
+		queue = 2 * submitters
+	}
+	s, err := server.New(server.Config{
+		Addr:          "127.0.0.1:0",
+		Bundle:        bundle,
+		QueueDepth:    queue,
+		FlushInterval: 2 * time.Millisecond,
+		DB:            gen.BuildDB(),
+		Core:          core.Options{Workers: workers, Protocol: ccName, Seed: seed},
+		// A deep pipeline IS a standing queue: the CoDel shedder would
+		// (correctly, for a live service) shed most of a 2048-deep
+		// closed loop. This phase measures wire capacity, not overload
+		// policy — that is the overload phase's job — so adaptive
+		// shedding is off and backpressure is the bounded queue alone.
+		Overload: server.OverloadOptions{DisableShed: true},
+	})
+	if err != nil {
+		return bench.WirePoint{}, err
+	}
+	if err := s.Start(); err != nil {
+		return bench.WirePoint{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	dialOne := func() (client.WireConn, error) {
+		if pipelined || proto == client.ProtoBinary {
+			return client.DialPipelined(s.Addr(), client.PipelineConfig{Proto: proto, Window: window})
+		}
+		return client.Dial(s.Addr())
+	}
+
+	total := submitters * perSubmitter
+	nsub, per := submitters, perSubmitter
+	if !pipelined {
+		nsub = wireConns
+		per = total / wireConns
+		if per < 1 {
+			per = 1
+		}
+	}
+
+	// Pre-generate and pre-encode every request before any clock
+	// starts: workload generation (zipf sampler setup in particular) is
+	// real CPU work, and on a small box thousands of submitter
+	// goroutines generating concurrently would timeshare against the
+	// engine's workers and drown the very path being measured.
+	reqs := make([][]client.Request, nsub)
+	for ci := range reqs {
+		g := gen
+		g.Txns = per
+		g.Seed = seed + int64(ci)*211
+		w := g.Generate()
+		rs := make([]client.Request, len(w))
+		for i, tx := range w {
+			req, err := client.NewRequest(0, tx)
+			if err != nil {
+				return bench.WirePoint{}, err
+			}
+			rs[i] = req
+		}
+		reqs[ci] = rs
+	}
+
+	pool := make([]client.WireConn, wireConns)
+	for i := range pool {
+		c, err := dialOne()
+		if err != nil {
+			return bench.WirePoint{}, err
+		}
+		defer c.Close()
+		pool[i] = c
+	}
+
+	// Warm-up runs a bounded slice per point — enough to warm the
+	// engine scaffolding, pools, and template history without doubling
+	// the phase's wall clock (the lockstep points are RTT-bound and
+	// slow, so re-running their full workload untimed would cost more
+	// than the measurement).
+	warmN := (4096 + nsub - 1) / nsub
+	if warmN > per {
+		warmN = per
+	}
+
+	load := func(record bool, limit int) (uint64, *metrics.Histogram, error) {
+		var (
+			wg        sync.WaitGroup
+			mu        sync.Mutex
+			werr      error
+			merged    metrics.Histogram
+			committed uint64
+		)
+		for ci := 0; ci < nsub; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				conn := pool[ci%len(pool)]
+				var n uint64
+				var h metrics.Histogram
+				for _, req := range reqs[ci][:limit] {
+					for {
+						t0 := time.Now()
+						resp, err := conn.Submit(context.Background(), req)
+						if err != nil {
+							mu.Lock()
+							werr = err
+							mu.Unlock()
+							return
+						}
+						if resp.Status == client.StatusRejected || resp.Status == client.StatusShed {
+							time.Sleep(time.Duration(resp.RetryAfterMS) * time.Millisecond)
+							continue
+						}
+						if record {
+							h.Record(time.Since(t0))
+						}
+						if resp.Committed() {
+							n++
+						}
+						break
+					}
+				}
+				mu.Lock()
+				committed += n
+				merged.Merge(&h)
+				mu.Unlock()
+			}(ci)
+		}
+		wg.Wait()
+		return committed, &merged, werr
+	}
+
+	if _, _, err := load(false, warmN); err != nil { // warm-up
+		return bench.WirePoint{}, err
+	}
+	t0 := time.Now()
+	committed, lat, err := load(true, per)
+	elapsed := time.Since(t0)
+	if err != nil {
+		return bench.WirePoint{}, err
+	}
+	return bench.WirePoint{
+		Proto:          string(proto),
+		Pipelined:      pipelined,
+		ThroughputTxnS: float64(committed) / elapsed.Seconds(),
+		P50US:          lat.Quantile(0.50).Microseconds(),
+		P99US:          lat.Quantile(0.99).Microseconds(),
+		Committed:      committed,
+	}, nil
+}

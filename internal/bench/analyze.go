@@ -62,6 +62,18 @@ func Analyze(w io.Writer, r Report) {
 		}
 		fmt.Fprintf(w, "  speedup at 0%% cross: %.2fx\n", s.Speedup)
 	}
+	if wr := r.Wire; wr != nil {
+		fmt.Fprintln(w, "wire:")
+		for _, p := range wr.Points {
+			disc := "lockstep "
+			if p.Pipelined {
+				disc = "pipelined"
+			}
+			fmt.Fprintf(w, "  %-6s %s: %.0f txn/s p50=%dus p99=%dus committed=%d\n",
+				p.Proto, disc, p.ThroughputTxnS, p.P50US, p.P99US, p.Committed)
+		}
+		fmt.Fprintf(w, "  pipelined gain (binary pipelined vs ndjson lockstep): %.2fx\n", wr.PipelinedGain)
+	}
 	if rp := r.Replica; rp != nil {
 		fmt.Fprintln(w, "replica:")
 		for _, p := range rp.Points {
@@ -93,6 +105,9 @@ func printResults(w io.Writer, indent string, res Results) {
 	fmt.Fprintf(w, "%smicro allocs/op: encode=%.1f decode-req=%.1f decode-resp=%.1f wal-append=%.1f\n",
 		indent, res.Micro.WireEncodeAllocs, res.Micro.WireDecodeRequestAllocs,
 		res.Micro.WireDecodeResponseAllocs, res.Micro.WALAppendAllocs)
+	fmt.Fprintf(w, "%smicro allocs/op (binary): encode-req=%.1f decode-req=%.1f encode-resp=%.1f decode-resp=%.1f\n",
+		indent, res.Micro.WireBinEncodeRequestAllocs, res.Micro.WireBinDecodeRequestAllocs,
+		res.Micro.WireBinEncodeResponseAllocs, res.Micro.WireBinDecodeResponseAllocs)
 	if s := res.Samples; s != nil && len(s.ThroughputTxnS) > 1 {
 		mean, lo, hi := meanCI(s.ThroughputTxnS)
 		fmt.Fprintf(w, "%s%d reps: throughput %.0f ±%.0f txn/s (95%% CI)\n", indent, len(s.ThroughputTxnS), mean, (hi-lo)/2)

@@ -92,6 +92,13 @@ func Compare(base, cand Report, opt CmpOptions) ([]Verdict, []string, error) {
 			samples(oc.Samples).P99US, samples(nc.Samples).P99US, false, opt.P99Grow},
 		metricCmp{"serve", "allocs/txn", oc.AllocsPerTxn, nc.AllocsPerTxn,
 			samples(oc.Samples).AllocsPerTxn, samples(nc.Samples).AllocsPerTxn, false, opt.AllocsGrow},
+		// The binary codec's alloc budgets are part of the committed
+		// claim (0 allocs/op on the steady-state paths); a baseline of 0
+		// makes the grow threshold exact, so any new allocation fails.
+		metricCmp{"serve", "bin_encode_req_allocs/op", oc.Micro.WireBinEncodeRequestAllocs, nc.Micro.WireBinEncodeRequestAllocs, nil, nil, false, opt.AllocsGrow},
+		metricCmp{"serve", "bin_decode_req_allocs/op", oc.Micro.WireBinDecodeRequestAllocs, nc.Micro.WireBinDecodeRequestAllocs, nil, nil, false, opt.AllocsGrow},
+		metricCmp{"serve", "bin_encode_resp_allocs/op", oc.Micro.WireBinEncodeResponseAllocs, nc.Micro.WireBinEncodeResponseAllocs, nil, nil, false, opt.AllocsGrow},
+		metricCmp{"serve", "bin_decode_resp_allocs/op", oc.Micro.WireBinDecodeResponseAllocs, nc.Micro.WireBinDecodeResponseAllocs, nil, nil, false, opt.AllocsGrow},
 	)
 
 	var verdicts []Verdict
@@ -139,6 +146,33 @@ func Compare(base, cand Report, opt CmpOptions) ([]Verdict, []string, error) {
 	} else if (base.Replica != nil) != (cand.Replica != nil) {
 		verdicts = append(verdicts, skipped("replica", base.Replica == nil))
 	}
+	if base.Wire != nil && cand.Wire != nil {
+		// Wire points are single-shot with short timed windows (the
+		// pipelined points drain their whole workload in well under a
+		// second) and their p99s sit in the low-millisecond log-bucket
+		// range where one bucket step exceeds 50%; gate them at twice
+		// the serve-phase thresholds so run-to-run noise doesn't flap
+		// the build while a real collapse (the gain dropping toward 1×)
+		// still fails.
+		wireTput, wireP99 := 2*opt.TputDrop, 2*opt.P99Grow
+		cmps = append(cmps, metricCmp{"wire", "pipelined_gain", base.Wire.PipelinedGain, cand.Wire.PipelinedGain, nil, nil, true, wireTput})
+		for _, op := range base.Wire.Points {
+			np, ok := matchWirePoint(cand.Wire.Points, op.Proto, op.Pipelined)
+			if !ok {
+				continue
+			}
+			phase := "wire " + op.Proto + " lockstep"
+			if op.Pipelined {
+				phase = "wire " + op.Proto + " pipelined"
+			}
+			cmps = append(cmps,
+				metricCmp{phase, "txn/s", op.ThroughputTxnS, np.ThroughputTxnS, nil, nil, true, wireTput},
+				metricCmp{phase, "p99_us", float64(op.P99US), float64(np.P99US), nil, nil, false, wireP99},
+			)
+		}
+	} else if (base.Wire != nil) != (cand.Wire != nil) {
+		verdicts = append(verdicts, skipped("wire", base.Wire == nil))
+	}
 
 	for _, c := range cmps {
 		verdicts = append(verdicts, judge(c, opt))
@@ -180,6 +214,15 @@ func matchShardedPoint(pts []ShardedPoint, want ShardedPoint) (ShardedPoint, boo
 	return ShardedPoint{}, false
 }
 
+func matchWirePoint(pts []WirePoint, proto string, pipelined bool) (WirePoint, bool) {
+	for _, p := range pts {
+		if p.Proto == proto && p.Pipelined == pipelined {
+			return p, true
+		}
+	}
+	return WirePoint{}, false
+}
+
 func matchDistributedPoint(pts []DistributedPoint, agents int) (DistributedPoint, bool) {
 	for _, p := range pts {
 		if p.Agents == agents {
@@ -218,6 +261,18 @@ func judge(c metricCmp, opt CmpOptions) Verdict {
 	}
 	v.Rule = "threshold"
 	if c.old == 0 {
+		// A lower-is-better baseline of exactly 0 is a budget, not a
+		// missing value: alloc/op gates commit 0 and any new allocation
+		// must fail, since a relative threshold over 0 is vacuous.
+		if !c.higherBetter {
+			if c.new > 0 {
+				v.Regression = true
+				v.Note = "baseline is 0; any increase regresses"
+			} else {
+				v.Note = "zero budget held"
+			}
+			return v
+		}
 		v.Note = "no baseline value; not compared"
 		return v
 	}

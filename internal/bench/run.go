@@ -36,6 +36,16 @@ type Spec struct {
 
 	Reliable bool `json:"reliable,omitempty"` // closed loop via ReliableConn
 
+	// Wire selects the protocol: "" or "ndjson" is the text fallback,
+	// "binary" the length-prefixed frame protocol. Pipeline uses the
+	// multiplexed pipelined client (binary implies a pipelined
+	// connection; the flag additionally applies it to ndjson), with
+	// Window capping in-flight submissions per connection (0 = client
+	// default).
+	Wire     string `json:"wire,omitempty"`
+	Pipeline bool   `json:"pipeline,omitempty"`
+	Window   int    `json:"window,omitempty"`
+
 	Shards   int     `json:"shards,omitempty"`    // server shard count for key confinement
 	MultiKey float64 `json:"multi_key,omitempty"` // fraction of txns spanning 2+ shards
 
@@ -93,7 +103,35 @@ func (s Spec) Validate() error {
 	if s.MultiKey > 0 && s.Shards <= 1 {
 		return fmt.Errorf("bench: spec: multi_key needs shards > 1")
 	}
+	switch s.Wire {
+	case "", "ndjson", "binary":
+	default:
+		return fmt.Errorf("bench: spec: unknown wire protocol %q (ndjson, binary)", s.Wire)
+	}
+	if s.Window < 0 {
+		return fmt.Errorf("bench: spec: window must be >= 0")
+	}
 	return nil
+}
+
+// pipelined reports whether the spec's connections are pipelined
+// clients: requested explicitly, or implied by the binary protocol
+// (whose client is the pipelined one).
+func (s Spec) pipelined() bool { return s.Pipeline || s.Wire == "binary" }
+
+func (s Spec) wireProto() client.WireProto {
+	if s.Wire == "binary" {
+		return client.ProtoBinary
+	}
+	return client.ProtoNDJSON
+}
+
+// dialConn dials one load connection per the spec's wire settings.
+func dialConn(s Spec) (client.WireConn, error) {
+	if s.pipelined() {
+		return client.DialPipelined(s.Addr, client.PipelineConfig{Proto: s.wireProto(), Window: s.Window})
+	}
+	return client.Dial(s.Addr)
 }
 
 // Split divides a spec across n agents: transaction counts, submitter
@@ -222,7 +260,7 @@ func (ta *tally) result(elapsed time.Duration) Result {
 type Prepared struct {
 	spec   Spec
 	perWkr [][]client.Request // closed: per submitter; open: single stream
-	conns  []*client.Conn
+	conns  []client.WireConn
 }
 
 // Prepare generates the spec's request streams and dials its sockets.
@@ -256,10 +294,19 @@ func Prepare(spec Spec) (*Prepared, error) {
 	}
 	nconns := spec.Conns
 	if spec.Mode == "closed" && nconns == 0 && !spec.Reliable {
-		nconns = spec.Clients
+		if spec.pipelined() {
+			// Pipelined clients multiplex many submitters per socket;
+			// one connection per client would waste the whole point.
+			nconns = spec.Clients
+			if nconns > 16 {
+				nconns = 16
+			}
+		} else {
+			nconns = spec.Clients
+		}
 	}
 	for i := 0; i < nconns; i++ {
-		c, err := client.Dial(spec.Addr)
+		c, err := dialConn(spec)
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("bench: dial %s: %w", spec.Addr, err)
@@ -365,7 +412,16 @@ func (p *Prepared) runClosed(ctx context.Context) (Result, error) {
 				// it from the spec seed would make a re-run against a
 				// durable server an all-duplicate no-op — the dedup window
 				// would answer every submission from cache.
-				rc := client.DialReliable(p.spec.Addr, client.RetryPolicy{})
+				var policy client.RetryPolicy
+				if p.spec.pipelined() {
+					spec := p.spec
+					policy.Dial = func(addr string) (client.WireConn, error) {
+						return client.DialPipelined(addr, client.PipelineConfig{
+							Proto: spec.wireProto(), Window: spec.Window,
+						})
+					}
+				}
+				rc := client.DialReliable(p.spec.Addr, policy)
 				defer rc.Close()
 				err = p.closedLoopReliable(ctx, rc, p.perWkr[ci], start, timeout, ta)
 			} else {
@@ -392,7 +448,7 @@ func (p *Prepared) runClosed(ctx context.Context) (Result, error) {
 	return total.result(elapsed), nil
 }
 
-func (p *Prepared) closedLoop(ctx context.Context, conn *client.Conn, reqs []client.Request, start time.Time, timeout time.Duration, ta *tally) error {
+func (p *Prepared) closedLoop(ctx context.Context, conn client.WireConn, reqs []client.Request, start time.Time, timeout time.Duration, ta *tally) error {
 	for _, req := range reqs {
 		for {
 			if err := ctx.Err(); err != nil {
@@ -504,7 +560,7 @@ func (p *Prepared) runOpen(ctx context.Context) (Result, error) {
 }
 
 // submitOne submits and converts the response into an outcome.
-func submitOne(ctx context.Context, conn *client.Conn, req client.Request, timeout time.Duration) (outcome, error) {
+func submitOne(ctx context.Context, conn client.WireConn, req client.Request, timeout time.Duration) (outcome, error) {
 	sctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	t0 := time.Now()

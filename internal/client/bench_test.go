@@ -69,7 +69,10 @@ func BenchmarkWireDecodeResponse(b *testing.B) {
 //   - response decode: 0 allocs — fixed fields, interned status;
 //   - request decode: ≤2 allocs — the Template and Ops strings must be
 //     materialized (they outlive the read buffer); params reuse the
-//     Request's backing array.
+//     Request's backing array;
+//   - interned request decode: 0 allocs — the serve path's
+//     per-connection RequestDecoder answers repeated Template/Ops
+//     strings from its intern tables.
 func TestWireCodecAllocBudgets(t *testing.T) {
 	var buf []byte
 	if n := testing.AllocsPerRun(200, func() {
@@ -96,5 +99,16 @@ func TestWireCodecAllocBudgets(t *testing.T) {
 		}
 	}); n > 2 {
 		t.Errorf("DecodeRequest allocs/op = %v, budget 2", n)
+	}
+	dec := NewRequestDecoder(0)
+	if err := dec.Decode(reqLine, &req); err != nil {
+		t.Fatal(err) // warm the intern tables
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := dec.Decode(reqLine, &req); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("RequestDecoder.Decode allocs/op = %v, budget 0", n)
 	}
 }

@@ -183,7 +183,41 @@ func DecodeResponse(line []byte, r *Response) error {
 func DecodeRequest(line []byte, r *Request) error {
 	scratch := r.Params[:0]
 	*r = Request{}
-	if fastDecodeRequest(line, r, scratch) {
+	if fastDecodeRequest(line, r, scratch, nil) {
+		return nil
+	}
+	*r = Request{}
+	return json.Unmarshal(line, r)
+}
+
+// RequestDecoder is DecodeRequest plus per-connection string
+// interning: transaction workloads cycle through a small set of
+// templates and op strings, so the NDJSON serve path reuses one
+// decoder per connection and the Template/Ops allocations (the last 2
+// allocs/op of the fallback codec) disappear after first sight of each
+// distinct string. The intern tables are bounded, so adversarial
+// clients sending unique strings degrade to plain allocation, not
+// unbounded memory.
+type RequestDecoder struct {
+	templates Interner
+	ops       Interner
+}
+
+// NewRequestDecoder returns a decoder whose intern tables each
+// remember up to capacity distinct strings (<=0 picks a default).
+func NewRequestDecoder(capacity int) *RequestDecoder {
+	d := &RequestDecoder{}
+	d.templates = *NewInterner(capacity)
+	d.ops = *NewInterner(capacity)
+	return d
+}
+
+// Decode parses one request line into r with the same semantics as
+// DecodeRequest, interning the Template and Ops strings.
+func (d *RequestDecoder) Decode(line []byte, r *Request) error {
+	scratch := r.Params[:0]
+	*r = Request{}
+	if fastDecodeRequest(line, r, scratch, d) {
 		return nil
 	}
 	*r = Request{}
@@ -432,7 +466,7 @@ func fastDecodeResponse(line []byte, r *Response) bool {
 	return err == nil
 }
 
-func fastDecodeRequest(line []byte, r *Request, scratch []uint64) bool {
+func fastDecodeRequest(line []byte, r *Request, scratch []uint64, d *RequestDecoder) bool {
 	s := scanner{b: line}
 	err := s.object(func(key []byte) error {
 		var err error
@@ -442,14 +476,22 @@ func fastDecodeRequest(line []byte, r *Request, scratch []uint64) bool {
 		case "template":
 			var b []byte
 			if b, err = s.str(); err == nil {
-				r.Template = string(b)
+				if d != nil {
+					r.Template = d.templates.Intern(b)
+				} else {
+					r.Template = string(b)
+				}
 			}
 		case "params":
 			err = s.uintArray(&r.Params, scratch)
 		case "ops":
 			var b []byte
 			if b, err = s.str(); err == nil {
-				r.Ops = string(b)
+				if d != nil {
+					r.Ops = d.ops.Intern(b)
+				} else {
+					r.Ops = string(b)
+				}
 			}
 		case "idem":
 			r.IdemKey, err = s.uint()

@@ -23,6 +23,13 @@ import (
 // retried with jittered exponential backoff, never below the server's
 // retry-after hint.
 
+// WireConn is the submit surface ReliableConn heals over: a plain
+// Conn, a PipelinedConn of either protocol, or a test double.
+type WireConn interface {
+	Submit(ctx context.Context, req Request) (Response, error)
+	Close() error
+}
+
 // RetryPolicy shapes ReliableConn's resubmission behavior.
 type RetryPolicy struct {
 	// Base is the first backoff step (default 2ms). Each retry doubles
@@ -40,6 +47,13 @@ type RetryPolicy struct {
 	RetryCanceled *bool
 	// Seed fixes the jitter sequence (0: nondeterministic).
 	Seed int64
+	// Dial replaces the connection factory (nil: plain Dial). Use it
+	// to run the reliable client over pipelined connections:
+	//
+	//	RetryPolicy{Dial: func(addr string) (WireConn, error) {
+	//		return DialPipelined(addr, PipelineConfig{})
+	//	}}
+	Dial func(addr string) (WireConn, error)
 }
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
@@ -78,9 +92,9 @@ type ReliableConn struct {
 	policy RetryPolicy
 
 	mu        sync.Mutex
-	cur       int   // index into addrs currently dialed
-	conn      *Conn // current connection; nil between failures
-	connFails int   // consecutive connection deaths on addrs[cur]
+	cur       int      // index into addrs currently dialed
+	conn      WireConn // current connection; nil between failures
+	connFails int      // consecutive connection deaths on addrs[cur]
 	rng       *rand.Rand
 	next      uint64 // idempotency key counter (keyspace chosen at dial)
 }
@@ -146,13 +160,17 @@ func (r *ReliableConn) nextKeyLocked() uint64 {
 // current returns a live connection, dialing if necessary. A failed
 // dial rotates to the next candidate address before reporting the
 // error, so the following attempt tries the next server over.
-func (r *ReliableConn) current() (*Conn, error) {
+func (r *ReliableConn) current() (WireConn, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.conn != nil {
 		return r.conn, nil
 	}
-	c, err := Dial(r.addrs[r.cur])
+	dial := r.policy.Dial
+	if dial == nil {
+		dial = func(addr string) (WireConn, error) { return Dial(addr) }
+	}
+	c, err := dial(r.addrs[r.cur])
 	if err != nil {
 		// A refused dial is hard evidence the server is gone: rotate
 		// immediately rather than burning the reconnect grace.
@@ -176,7 +194,7 @@ func (r *ReliableConn) Addr() string {
 // charges the death against the current address: once reconnects to it
 // are exhausted (failoverAfter consecutive deaths with no successful
 // response in between), the cursor rotates to the next candidate.
-func (r *ReliableConn) invalidate(c *Conn) {
+func (r *ReliableConn) invalidate(c WireConn) {
 	r.mu.Lock()
 	if r.conn == c {
 		r.conn = nil

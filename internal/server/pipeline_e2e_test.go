@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tskd/internal/client"
+	"tskd/internal/workload"
+)
+
+// pipeline_e2e_test.go: end-to-end coverage of the binary wire
+// protocol and the pipelined client — negotiation by first-byte sniff,
+// many in-flight transactions completing out of order, the NDJSON
+// fallback over the same listener, and exactly-once effects across a
+// mid-stream connection drop.
+
+// TestPipelinedBinaryE2E drives one binary pipelined connection with
+// many concurrent submitters: every transaction commits, completions
+// interleave across bundles (out-of-order by construction), and the
+// server reports the negotiated protocol.
+func TestPipelinedBinaryE2E(t *testing.T) {
+	s, ycsb := startServer(t, nil)
+	defer s.Shutdown(context.Background())
+
+	conn, err := client.DialPipelined(s.Addr(), client.PipelineConfig{Window: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if conn.Proto() != client.ProtoBinary {
+		t.Fatalf("negotiated %q, want binary", conn.Proto())
+	}
+
+	const workers, perWorker = 8, 100
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			reqs := genRequests(t, ycsb, perWorker, int64(300+wi))
+			for i, req := range reqs {
+				resp, err := conn.Submit(context.Background(), req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !resp.Committed() {
+					errs <- fmt.Errorf("worker %d req %d: status %q (%s)", wi, i, resp.Status, resp.Error)
+					return
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.Committed != workers*perWorker {
+		t.Errorf("committed %d, want %d", st.Committed, workers*perWorker)
+	}
+	if st.ConnsBinary != 1 || st.ConnsNDJSON != 0 {
+		t.Errorf("conns binary/ndjson = %d/%d, want 1/0", st.ConnsBinary, st.ConnsNDJSON)
+	}
+	if st.Bundles >= workers*perWorker {
+		t.Errorf("bundles %d for %d txns: pipelining produced no batching", st.Bundles, workers*perWorker)
+	}
+}
+
+// TestPipelinedNDJSONFallback runs the same pipelined client over the
+// NDJSON fallback protocol against the same listener: the sniff must
+// route it to the text path transparently (the compatibility a legacy
+// tskd-load depends on) and count the downgrade.
+func TestPipelinedNDJSONFallback(t *testing.T) {
+	s, ycsb := startServer(t, nil)
+	defer s.Shutdown(context.Background())
+
+	conn, err := client.DialPipelined(s.Addr(), client.PipelineConfig{Proto: client.ProtoNDJSON, Window: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const n = 120
+	reqs := genRequests(t, ycsb, n, 77)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for _, req := range reqs {
+		wg.Add(1)
+		go func(req client.Request) {
+			defer wg.Done()
+			resp, err := conn.Submit(context.Background(), req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !resp.Committed() {
+				errs <- fmt.Errorf("status %q (%s)", resp.Status, resp.Error)
+			}
+		}(req)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Committed != n {
+		t.Errorf("committed %d, want %d", st.Committed, n)
+	}
+	if st.ConnsBinary != 0 || st.ConnsNDJSON != 1 {
+		t.Errorf("conns binary/ndjson = %d/%d, want 0/1", st.ConnsBinary, st.ConnsNDJSON)
+	}
+}
+
+// TestPipelinedDropExactlyOnce interleaves out-of-order pipelined
+// completions with deliberate mid-stream connection drops and checks
+// that ReliableConn resubmission stays exactly-once: every marker row
+// is inserted with version 1, even for transactions whose first
+// submission's connection died with the outcome unknown.
+func TestPipelinedDropExactlyOnce(t *testing.T) {
+	ycsb := workload.YCSB{Records: 256}
+	cfg := durableConfig(t.TempDir(), ycsb)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+
+	// The reliable client heals over pipelined binary connections; the
+	// dial hook captures the live one so the test can kill it.
+	var connMu sync.Mutex
+	var live *client.PipelinedConn
+	rc := client.DialReliable(s.Addr(), client.RetryPolicy{
+		Seed: 42,
+		Dial: func(addr string) (client.WireConn, error) {
+			c, err := client.DialPipelined(addr, client.PipelineConfig{Window: 64})
+			if err != nil {
+				return nil, err
+			}
+			connMu.Lock()
+			live = c
+			connMu.Unlock()
+			return c, nil
+		},
+	})
+	defer rc.Close()
+
+	const workers, perWorker = 4, 50
+	const total = workers * perWorker
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				req := markerReq(t, 0, wi*perWorker+i) // idem assigned by rc
+				resp, err := rc.Submit(context.Background(), req)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d txn %d: %v", wi, i, err)
+					return
+				}
+				if !resp.Committed() {
+					errs <- fmt.Errorf("worker %d txn %d: status %q (%s)", wi, i, resp.Status, resp.Error)
+					return
+				}
+				completed.Add(1)
+			}
+		}(wi)
+	}
+	// Kill the live connection twice mid-stream, with in-flight
+	// pipelined submissions each time.
+	go func() {
+		for _, at := range []int64{total / 4, total / 2} {
+			for completed.Load() < at {
+				time.Sleep(time.Millisecond)
+			}
+			connMu.Lock()
+			c := live
+			connMu.Unlock()
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Exactly-once: every marker exists at version 1 — resubmissions
+	// after the drops were answered by the dedup window, not re-run.
+	assertMarkers(t, s.DB(), total)
+	st := s.Stats()
+	if st.ConnsBinary < 2 {
+		t.Errorf("conns_binary = %d, want >= 2 (reconnect after drop)", st.ConnsBinary)
+	}
+}

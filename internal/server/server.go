@@ -22,10 +22,12 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -150,6 +152,12 @@ type Stats struct {
 	QueueCap   int    `json:"queue_cap"`
 	Draining   bool   `json:"draining"`
 
+	// Wire protocol negotiation: connections served over the binary
+	// frame protocol vs the NDJSON fallback (lifetime totals, not
+	// currently-open counts).
+	ConnsBinary uint64 `json:"conns_binary"`
+	ConnsNDJSON uint64 `json:"conns_ndjson"`
+
 	// Bundling.
 	Bundles         int     `json:"bundles"`
 	MeanOccupancy   float64 `json:"mean_bundle_occupancy"`
@@ -261,12 +269,12 @@ var pendingPool = sync.Pool{
 
 func getPending() *pending { return pendingPool.Get().(*pending) }
 
-// putPending recycles p. The transaction keeps its Ops and access-set
-// capacity but drops references (template string, params) so a pooled
-// pending pins no request memory.
+// putPending recycles p. The transaction keeps its Ops, Params and
+// access-set capacity (params are pointer-free, so retaining the array
+// pins no request memory) but drops the template reference.
 func putPending(p *pending) {
 	p.t.Template = ""
-	p.t.Params = nil
+	p.t.Params = p.t.Params[:0]
 	p.conn = nil
 	pendingPool.Put(p)
 }
@@ -292,6 +300,11 @@ type Server struct {
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+
+	// ndjsonOnce limits the protocol-downgrade warning to one line per
+	// server: NDJSON is a supported fallback, not an error, so one
+	// notice suffices.
+	ndjsonOnce sync.Once
 
 	start time.Time
 
@@ -508,26 +521,47 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// connWriter serializes response lines onto one connection. Sends
-// come from both the reader (rejections, parse errors) and the
-// bundler (outcomes). Responses are encoded into a per-connection
-// scratch buffer (no per-send allocation) and written through a
-// bufio.Writer: reader-path sends flush immediately, bundle outcomes
-// stay buffered until the bundler's per-bundle flush so a bundle costs
-// one syscall per connection instead of one per transaction. The first
-// write error latches the writer dead: a TCP write to a gone peer can
-// block for the whole kernel timeout, so retrying a dead connection
-// once per outcome would stall the bundler — instead every later send
-// is skipped immediately and the outcome counted as forfeited.
+// connWriter serializes responses onto one connection. Sends come
+// from both the reader (rejections, parse errors) and the bundler
+// (outcomes). Responses are encoded into per-connection scratch
+// buffers (no per-send allocation) and written through a bufio.Writer:
+// reader-path sends flush immediately, bundle outcomes stay buffered
+// until the bundler's per-bundle flush so a bundle costs one syscall
+// per connection instead of one per transaction. On a binary
+// connection the buffered outcomes additionally coalesce into one
+// BinFrameResponses frame per flush, so a pipelined client decodes a
+// whole bundle's outcomes from one read. The first write error latches
+// the writer dead: a TCP write to a gone peer can block for the whole
+// kernel timeout, so retrying a dead connection once per outcome would
+// stall the bundler — instead every later send is skipped immediately
+// and the outcome counted as forfeited.
 type connWriter struct {
 	mu   sync.Mutex
 	bw   *bufio.Writer
 	buf  []byte // encode scratch, owned by mu
 	dead bool
+
+	// Binary protocol state. batch accumulates encoded response bodies
+	// for the next BinFrameResponses frame; batchN counts them.
+	binary bool
+	batch  []byte
+	batchN uint32
 }
+
+// maxRespBatchBytes cuts a response frame early when the accumulated
+// bodies grow large, keeping frames well under MaxBinFrameBytes.
+const maxRespBatchBytes = 1 << 20
 
 func newConnWriter(w io.Writer) *connWriter {
 	return &connWriter{bw: bufio.NewWriterSize(w, 16<<10)}
+}
+
+// setBinary switches the writer to the binary frame protocol. Called
+// once, after negotiation and before any send on the connection.
+func (cw *connWriter) setBinary() {
+	cw.mu.Lock()
+	cw.binary = true
+	cw.mu.Unlock()
 }
 
 // send encodes resp onto the connection and flushes, reporting whether
@@ -551,6 +585,14 @@ func (cw *connWriter) write(resp *client.Response, flush bool) bool {
 	if cw.dead {
 		return false
 	}
+	if cw.binary {
+		cw.batch = client.AppendResponseBody(cw.batch, resp)
+		cw.batchN++
+		if flush || len(cw.batch) >= maxRespBatchBytes {
+			return cw.flushLocked()
+		}
+		return true
+	}
 	cw.buf = client.AppendResponse(cw.buf[:0], resp)
 	if _, err := cw.bw.Write(cw.buf); err != nil {
 		cw.dead = true
@@ -565,19 +607,49 @@ func (cw *connWriter) write(resp *client.Response, flush bool) bool {
 	return true
 }
 
-// flush pushes any buffered responses to the socket.
+// flush pushes any buffered responses to the socket (on a binary
+// connection: assembles the pending bodies into one frame first).
 func (cw *connWriter) flush() {
 	cw.mu.Lock()
 	defer cw.mu.Unlock()
-	if cw.dead || cw.bw.Buffered() == 0 {
+	if cw.dead {
 		return
+	}
+	cw.flushLocked()
+}
+
+// flushLocked emits the pending binary frame, if any, and flushes the
+// buffered writer. Caller holds cw.mu.
+func (cw *connWriter) flushLocked() bool {
+	if cw.batchN > 0 {
+		var hdr [9]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(1+4+len(cw.batch)))
+		hdr[4] = client.BinFrameResponses
+		binary.LittleEndian.PutUint32(hdr[5:], cw.batchN)
+		_, err := cw.bw.Write(hdr[:])
+		if err == nil {
+			_, err = cw.bw.Write(cw.batch)
+		}
+		cw.batch, cw.batchN = cw.batch[:0], 0
+		if err != nil {
+			cw.dead = true
+			return false
+		}
+	}
+	if cw.bw.Buffered() == 0 {
+		return true
 	}
 	if err := cw.bw.Flush(); err != nil {
 		cw.dead = true
+		return false
 	}
+	return true
 }
 
-// serveConn reads request lines, parses them, and admits them.
+// serveConn negotiates the wire protocol by sniffing the first byte —
+// a binary client opens with the preamble, whose first byte cannot
+// begin a JSON value — and hands the connection to the matching serve
+// loop.
 func (s *Server) serveConn(nc net.Conn) {
 	defer func() {
 		nc.Close()
@@ -586,15 +658,35 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.connMu.Unlock()
 	}()
 	cw := newConnWriter(nc)
-	sc := bufio.NewScanner(nc)
+	br := bufio.NewReaderSize(nc, 64<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		return // closed before the first byte
+	}
+	if first[0] == client.BinPreamble[0] {
+		s.serveBinary(nc, br, cw)
+		return
+	}
+	s.count(func(st *Stats) { st.ConnsNDJSON++ })
+	s.ndjsonOnce.Do(func() {
+		log.Printf("tskd-serve: accepted NDJSON fallback client (binary wire protocol available; pass -wire binary to the client)")
+	})
+	s.serveNDJSON(br, cw)
+}
+
+// serveNDJSON reads request lines, parses them, and admits them — the
+// fallback protocol, byte-compatible with every earlier client.
+func (s *Server) serveNDJSON(br *bufio.Reader, cw *connWriter) {
+	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
-	var req client.Request // reused across lines; Params handed off below
+	dec := client.NewRequestDecoder(0)
+	var req client.Request // reused across lines; Params copied below
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		if err := client.DecodeRequest(line, &req); err != nil {
+		if err := dec.Decode(line, &req); err != nil {
 			s.count(func(st *Stats) { st.Malformed++ })
 			cw.send(client.Response{Status: client.StatusError, Error: "bad envelope: " + err.Error()})
 			continue
@@ -610,46 +702,127 @@ func (s *Server) serveConn(nc net.Conn) {
 			cw.send(client.Response{Seq: req.Seq, Status: client.StatusError, Error: err.Error()})
 			continue
 		}
-		if req.IdemKey != 0 && s.dedup != nil {
-			switch state, cached := s.dedup.begin(req.IdemKey); state {
-			case dedupHit:
-				// Already committed (possibly in a previous
-				// incarnation): answer without executing.
-				putPending(p)
-				cached.Seq = req.Seq
-				cached.Duplicate = true
-				s.count(func(st *Stats) { st.DedupHits++ })
-				cw.send(cached)
-				continue
-			case dedupInflight:
-				// The original is still executing; its outcome will
-				// reach whoever submitted it. Back off and retry: by
-				// then the key is either committed (answered above) or
-				// released (executes fresh).
-				putPending(p)
-				s.count(func(st *Stats) { st.DedupInflight++ })
-				cw.send(client.Response{
-					Seq: req.Seq, Status: client.StatusRejected,
-					RetryAfterMS: s.retryAfterMS(),
-				})
+		p.t.Template = req.Template
+		// Copied, not handed off: the pooled transaction and the decode
+		// scratch each keep their backing arrays, so the steady state
+		// allocates neither.
+		p.t.Params = append(p.t.Params[:0], req.Params...)
+		p.t.IdemKey = req.IdemKey
+		s.admitDecoded(&req, p, cw)
+	}
+}
+
+// serveBinary validates the preamble, acks it, and serves length-
+// prefixed request frames. Frame decode errors are answered per
+// request (the length prefix delimits them safely); header corruption
+// — a bad length or frame type — kills the connection, since the
+// stream can no longer be trusted.
+func (s *Server) serveBinary(nc net.Conn, br *bufio.Reader, cw *connWriter) {
+	var pre [len(client.BinPreamble)]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil {
+		return
+	}
+	if string(pre[:]) != client.BinPreamble {
+		s.count(func(st *Stats) { st.Malformed++ })
+		return
+	}
+	// Ack before any response can race: nothing is admitted yet, so
+	// writing to the socket directly is safe and keeps the handshake
+	// out of the connWriter's framing.
+	if _, err := nc.Write(pre[:]); err != nil {
+		return
+	}
+	cw.setBinary()
+	s.count(func(st *Stats) { st.ConnsBinary++ })
+	in := client.NewInterner(0)
+	var hdr [4]byte
+	var payload []byte
+	var req client.Request
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return // EOF here is a clean close
+		}
+		n := int(binary.LittleEndian.Uint32(hdr[:]))
+		if n < 1 || n > client.MaxBinFrameBytes {
+			s.count(func(st *Stats) { st.Malformed++ })
+			cw.send(client.Response{Status: client.StatusError, Error: fmt.Sprintf("bad frame length %d", n)})
+			return
+		}
+		if cap(payload) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		if payload[0] != client.BinFrameRequest {
+			s.count(func(st *Stats) { st.Malformed++ })
+			cw.send(client.Response{Status: client.StatusError, Error: fmt.Sprintf("unexpected frame type %d", payload[0])})
+			return
+		}
+		if s.rt != nil {
+			// Sharded mode: the runtime owns each transaction until its
+			// response callback has run, so no pooling here (matching
+			// the NDJSON sharded path).
+			t := &txn.Transaction{}
+			if err := client.DecodeRequestFrame(payload, &req, t, in); err != nil {
+				s.count(func(st *Stats) { st.Malformed++ })
+				cw.send(client.Response{Seq: req.Seq, Status: client.StatusError, Error: err.Error()})
 				continue
 			}
+			s.serveShardedParsed(&req, t, cw)
+			continue
 		}
-		p.t.Template = req.Template
-		p.t.Params = req.Params
-		req.Params = nil // the transaction owns the backing array until bundle end
-		p.t.IdemKey = req.IdemKey
-		now := time.Now()
-		p.seq, p.conn, p.enqueued = req.Seq, cw, now
-		if !s.gate(&req, p, cw, now) {
-			continue // answered: breaker-rejected, shed, or expired
+		p := getPending()
+		if err := client.DecodeRequestFrame(payload, &req, p.t, in); err != nil {
+			putPending(p)
+			s.count(func(st *Stats) { st.Malformed++ })
+			cw.send(client.Response{Seq: req.Seq, Status: client.StatusError, Error: err.Error()})
+			continue
 		}
-		if s.tryAdmit(p) {
-			s.count(func(st *Stats) { st.Admitted++ })
-		} else {
-			s.refuse(&req, p, cw, client.StatusRejected, s.retryAfterMS(),
-				func(st *Stats) { st.Rejected++ })
+		s.admitDecoded(&req, p, cw)
+	}
+}
+
+// admitDecoded runs the admission tail shared by both protocols for a
+// request whose transaction p.t is fully populated: idempotency
+// window, overload gate, bounded admission.
+func (s *Server) admitDecoded(req *client.Request, p *pending, cw *connWriter) {
+	if req.IdemKey != 0 && s.dedup != nil {
+		switch state, cached := s.dedup.begin(req.IdemKey); state {
+		case dedupHit:
+			// Already committed (possibly in a previous incarnation):
+			// answer without executing.
+			putPending(p)
+			cached.Seq = req.Seq
+			cached.Duplicate = true
+			s.count(func(st *Stats) { st.DedupHits++ })
+			cw.send(cached)
+			return
+		case dedupInflight:
+			// The original is still executing; its outcome will reach
+			// whoever submitted it. Back off and retry: by then the key
+			// is either committed (answered above) or released
+			// (executes fresh).
+			putPending(p)
+			s.count(func(st *Stats) { st.DedupInflight++ })
+			cw.send(client.Response{
+				Seq: req.Seq, Status: client.StatusRejected,
+				RetryAfterMS: s.retryAfterMS(),
+			})
+			return
 		}
+	}
+	now := time.Now()
+	p.seq, p.conn, p.enqueued = req.Seq, cw, now
+	if !s.gate(req, p, cw, now) {
+		return // answered: breaker-rejected, shed, or expired
+	}
+	if s.tryAdmit(p) {
+		s.count(func(st *Stats) { st.Admitted++ })
+	} else {
+		s.refuse(req, p, cw, client.StatusRejected, s.retryAfterMS(),
+			func(st *Stats) { st.Rejected++ })
 	}
 }
 

@@ -86,6 +86,13 @@ func (s *Server) serveSharded(req *client.Request, cw *connWriter) {
 	t.Params = req.Params
 	req.Params = nil // the transaction owns the backing array now
 	t.IdemKey = req.IdemKey
+	s.serveShardedParsed(req, t, cw)
+}
+
+// serveShardedParsed stamps the deadline and hands an already-parsed
+// transaction to the runtime — the tail shared by the NDJSON path
+// above and the binary frame path, which decodes straight into t.
+func (s *Server) serveShardedParsed(req *client.Request, t *txn.Transaction, cw *connWriter) {
 	now := time.Now()
 	switch {
 	case req.DeadlineMS < 0:

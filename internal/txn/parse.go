@@ -31,10 +31,23 @@ func ParseInto(t *Transaction, id int, s string) error {
 		ops = make([]Op, 0, n)
 	}
 	*t = Transaction{ID: id, Ops: ops, readSet: t.readSet[:0], writeSet: t.writeSet[:0]}
+	parsed, err := ParseOps(ops, s)
+	if err != nil {
+		return t.parseFail("%w", err)
+	}
+	t.Ops = parsed
+	return nil
+}
+
+// ParseOps parses the compact notation in s, appending the operations
+// to dst (which may be nil) and returning the extended slice — the
+// string-to-ops half of ParseInto, usable without a Transaction (the
+// binary wire encoder converts notation this way).
+func ParseOps(dst []Op, s string) ([]Op, error) {
 	rest := strings.TrimSpace(s)
 	for rest != "" {
 		if len(rest) < 4 { // minimal action: R[x]
-			return t.parseFail("txn.Parse: truncated action at %q", rest)
+			return dst, fmt.Errorf("txn.Parse: truncated action at %q", rest)
 		}
 		var kind OpKind
 		switch rest[0] {
@@ -47,23 +60,23 @@ func ParseInto(t *Transaction, id int, s string) error {
 		case 'U':
 			kind = OpUpdate
 		default:
-			return t.parseFail("txn.Parse: unknown action %q", rest[0])
+			return dst, fmt.Errorf("txn.Parse: unknown action %q", rest[0])
 		}
 		if rest[1] != '[' {
-			return t.parseFail("txn.Parse: expected '[' after %c in %q", rest[0], rest)
+			return dst, fmt.Errorf("txn.Parse: expected '[' after %c in %q", rest[0], rest)
 		}
 		end := strings.IndexByte(rest, ']')
 		if end < 0 {
-			return t.parseFail("txn.Parse: unterminated item in %q", rest)
+			return dst, fmt.Errorf("txn.Parse: unterminated item in %q", rest)
 		}
 		key, err := parseItem(rest[2:end])
 		if err != nil {
-			return t.parseFail("%w", err)
+			return dst, err
 		}
-		t.Ops = append(t.Ops, Op{Kind: kind, Key: key})
+		dst = append(dst, Op{Kind: kind, Key: key})
 		rest = strings.TrimSpace(rest[end+1:])
 	}
-	return nil
+	return dst, nil
 }
 
 // parseFail empties the half-parsed transaction and formats the error.
