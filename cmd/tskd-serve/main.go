@@ -45,6 +45,23 @@
 // refused by every future backup and fails its flushes with a fencing
 // error instead of acknowledging commits on a dead timeline.
 //
+// Automatic failover replaces the operator-driven -promote with a
+// lease arbiter (internal/arbiter):
+//
+//	tskd-serve -arbiter-listen :7073 -data-dir /var/lib/tskd-arb  # arbiter
+//	tskd-serve -data-dir /var/lib/tskd -replica-of backup:7072 -replica-sync \
+//	    -arbiter arb:7073 -announce primary:7070                 # primary
+//	tskd-serve -data-dir /var/lib/tskd-b -replica-listen :7072 \
+//	    -arbiter arb:7073 -announce backup:7070                  # backup
+//
+// The primary registers with the arbiter and gates every dispatch and
+// WAL flush on its time-bounded lease; if renewals stop (crash,
+// partition), the primary self-fences first, then the arbiter durably
+// bumps the epoch and grants it to the most-caught-up backup. The
+// backup self-promotes on the grant — bumps its directory's fencing
+// epoch and falls through to normal serving — and fenced peers answer
+// clients with a not_primary redirect naming the new leader.
+//
 // /healthz and /metrics are served on -http. SIGINT/SIGTERM drains
 // gracefully: admission stops, in-flight bundles flush, then the
 // process exits. A second signal — or -drain-timeout expiring — hard-
@@ -56,6 +73,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -63,6 +81,7 @@ import (
 	"syscall"
 	"time"
 
+	"tskd/internal/arbiter"
 	"tskd/internal/core"
 	"tskd/internal/engine"
 	"tskd/internal/partition"
@@ -112,8 +131,27 @@ func main() {
 		replicaListen = flag.String("replica-listen", "", "run as a backup: receive WAL shipments on this address (requires -data-dir; no transaction listener)")
 		replicaSync   = flag.Bool("replica-sync", false, "with -replica-of: ack commits only after the backup's fsync")
 		promote       = flag.Bool("promote", false, "bump the data directory's fencing epoch before serving (failover of a shipped backup dir)")
+
+		arbListen = flag.String("arbiter-listen", "", "run the lease arbiter on this address instead of serving (requires -data-dir for its decision log)")
+		arbAddr   = flag.String("arbiter", "", "arbiter address: a primary registers and lease-gates serving; a backup (-replica-listen) reports lag and self-promotes on the arbiter's grant")
+		arbGroup  = flag.String("arbiter-group", "default", "shard-group name registered with the arbiter")
+		announce  = flag.String("announce", "", "address clients dial for this node, handed to peers through the arbiter (default: -listen)")
+		leaseTTL  = flag.Duration("lease-ttl", time.Second, "with -arbiter-listen: lease TTL handed to primaries")
 	)
 	flag.Parse()
+
+	if *arbListen != "" {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "tskd-serve: -arbiter-listen requires -data-dir (arbiter decision log)")
+			os.Exit(2)
+		}
+		if *arbAddr != "" || *replicaOf != "" || *replicaListen != "" || *promote {
+			fmt.Fprintln(os.Stderr, "tskd-serve: -arbiter-listen is a standalone role")
+			os.Exit(2)
+		}
+		runArbiter(*dataDir, *arbListen, *httpAddr, *leaseTTL)
+		return
+	}
 
 	if (*replicaOf != "" || *replicaListen != "" || *promote) && *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "tskd-serve: -replica-of/-replica-listen/-promote require -data-dir")
@@ -131,9 +169,16 @@ func main() {
 		}
 		fmt.Printf("tskd-serve: promoted %s to epoch %d\n", *dataDir, epoch)
 	}
+	ann := *announce
+	if ann == "" {
+		ann = *listen
+	}
 	if *replicaListen != "" {
-		runBackup(*dataDir, *replicaListen, *httpAddr, *noSync)
-		return
+		if !runBackup(*dataDir, *replicaListen, *httpAddr, *noSync, *arbAddr, *arbGroup, ann) {
+			return
+		}
+		// Promoted by the arbiter: the directory's fencing epoch is
+		// bumped; fall through and serve over it as the new primary.
 	}
 
 	if _, err := buildPartitioner(*part, *seed); err != nil {
@@ -234,6 +279,38 @@ func main() {
 			fmt.Printf("tskd-serve: replicating to %s (%s, epoch %d)\n", *replicaOf, mode, epoch)
 		}
 	}
+	var lease *arbiter.LeaseClient
+	if *arbAddr != "" {
+		var epoch uint64
+		if ship != nil {
+			epoch = ship.Epoch()
+		} else if *dataDir != "" {
+			var err error
+			if epoch, err = replica.ReadEpoch(*dataDir); err != nil {
+				fmt.Fprintln(os.Stderr, "tskd-serve:", err)
+				os.Exit(1)
+			}
+		}
+		var err error
+		lease, err = arbiter.NewLeaseClient(arbiter.LeaseConfig{
+			Addr: *arbAddr, Group: *arbGroup, Epoch: epoch, Announce: ann,
+			Logf: logfPrefix("tskd-serve: lease"),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tskd-serve:", err)
+			os.Exit(2)
+		}
+		cfg.Lease = lease
+		// Hold the lease before any log opens: a durable server's boot
+		// record flush runs through the lease gate, so a node the
+		// arbiter fences (stale epoch) fails server.New instead of
+		// coming up on a dead timeline.
+		if !lease.WaitHeld(10 * time.Second) {
+			fmt.Fprintln(os.Stderr, "tskd-serve: warning: lease not held (fenced or arbiter unreachable); a durable server will refuse to boot")
+		}
+		fmt.Printf("tskd-serve: lease-gated by arbiter %s (group=%s epoch=%d announce=%s)\n",
+			*arbAddr, *arbGroup, epoch, ann)
+	}
 	// New runs recovery (checkpoint restore + WAL tail replay) when
 	// durable; Start only binds the listeners afterwards, so clients
 	// never reach a server that has not finished recovering.
@@ -288,6 +365,9 @@ func main() {
 		// teardown of the replication connection.
 		ship.Close()
 	}
+	if lease != nil {
+		lease.Close()
+	}
 	st := s.Stats()
 	fmt.Printf("tskd-serve: done — %d bundles, %d committed, %d retries, %d rejected, %d shed, %d expired, %d canceled\n",
 		st.Bundles, st.Committed, st.Retries, st.Rejected, st.Shed, st.Expired, st.Canceled)
@@ -296,8 +376,11 @@ func main() {
 // runBackup is -replica-listen mode: the replication receiver over the
 // data directory, with /healthz and /metrics on the HTTP address, and
 // no transaction listener — a backup serves no reads or writes until
-// it is promoted.
-func runBackup(dataDir, listenAddr, httpAddr string, noSync bool) {
+// it is promoted. With an arbiter address it registers as a backup,
+// streams lag reports, and self-promotes on the arbiter's grant:
+// it stops the receiver, durably bumps the directory's fencing epoch,
+// and returns true so main falls through to normal serving.
+func runBackup(dataDir, listenAddr, httpAddr string, noSync bool, arbAddr, group, announce string) (promoted bool) {
 	srv, err := replica.NewServer(replica.ServerConfig{Dir: dataDir, NoSync: noSync})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tskd-serve: backup:", err)
@@ -307,6 +390,7 @@ func runBackup(dataDir, listenAddr, httpAddr string, noSync bool) {
 		fmt.Fprintln(os.Stderr, "tskd-serve: backup:", err)
 		os.Exit(1)
 	}
+	var httpLn net.Listener
 	if httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -321,18 +405,109 @@ func runBackup(dataDir, listenAddr, httpAddr string, noSync bool) {
 				replica.ServerStats
 			}{"backup", srv.Stats()})
 		})
-		go http.ListenAndServe(httpAddr, mux)
+		if httpLn, err = net.Listen("tcp", httpAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "tskd-serve: backup:", err)
+			os.Exit(1)
+		}
+		go http.Serve(httpLn, mux)
+	}
+	var agent *arbiter.BackupAgent
+	granted := make(<-chan uint64) // never fires without an arbiter
+	if arbAddr != "" {
+		agent, err = arbiter.StartBackupAgent(arbiter.BackupConfig{
+			Addr: arbAddr, Group: group, Announce: announce,
+			Seq:  func() uint64 { return srv.Stats().LastSeq },
+			Logf: logfPrefix("tskd-serve: backup"),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tskd-serve: backup:", err)
+			os.Exit(2)
+		}
+		granted = agent.Granted()
 	}
 	fmt.Printf("tskd-serve: backup receiving on %s over %s (epoch %d), http on %s\n",
 		srv.Addr(), dataDir, srv.Epoch(), httpAddr)
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		signal.Stop(sig)
+		if agent != nil {
+			agent.Close()
+		}
+		srv.Close()
+		st := srv.Stats()
+		fmt.Printf("tskd-serve: backup done — %d snapshots, %d appends, %d bytes, last seq %d\n",
+			st.Snapshots, st.Appends, st.AppendedBytes, st.LastSeq)
+		return false
+	case epoch := <-granted:
+		// Promotion: stop receiving first (no shipment from the deposed
+		// primary lands after this), then bump the fencing epoch exactly
+		// as an operator's -promote would. The epoch write is atomic and
+		// fsynced, so a crash here leaves either the old epoch (the
+		// arbiter re-grants to us on re-register) or the new one.
+		signal.Stop(sig)
+		agent.Close()
+		srv.Close()
+		if httpLn != nil {
+			httpLn.Close() // free -http for the serving layer
+		}
+		if err := replica.WriteEpoch(dataDir, epoch); err != nil {
+			fmt.Fprintln(os.Stderr, "tskd-serve: promote:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tskd-serve: arbiter granted epoch %d — promoting %s and serving\n", epoch, dataDir)
+		return true
+	}
+}
+
+// runArbiter is -arbiter-listen mode: the standalone lease service.
+func runArbiter(dataDir, listenAddr, httpAddr string, ttl time.Duration) {
+	arb, err := arbiter.New(arbiter.Config{
+		Dir:      dataDir,
+		LeaseTTL: ttl,
+		Logf:     logfPrefix("tskd-arbiter"),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-serve: arbiter:", err)
+		os.Exit(1)
+	}
+	if err := arb.Start(listenAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "tskd-serve: arbiter:", err)
+		os.Exit(1)
+	}
+	if httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintf(w, "ok\nrole=arbiter groups=%d\n", len(arb.Snapshot()))
+		})
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Role   string                `json:"role"`
+				Groups []arbiter.GroupStatus `json:"groups"`
+			}{"arbiter", arb.Snapshot()})
+		})
+		go http.ListenAndServe(httpAddr, mux)
+	}
+	fmt.Printf("tskd-serve: arbiter on %s over %s (lease ttl %v), http on %s\n",
+		arb.Addr(), dataDir, ttl, httpAddr)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	srv.Close()
-	st := srv.Stats()
-	fmt.Printf("tskd-serve: backup done — %d snapshots, %d appends, %d bytes, last seq %d\n",
-		st.Snapshots, st.Appends, st.AppendedBytes, st.LastSeq)
+	arb.Close()
+	fmt.Println("tskd-serve: arbiter done")
+}
+
+// logfPrefix adapts fmt.Printf to the Logf hooks with a fixed prefix.
+func logfPrefix(prefix string) func(string, ...any) {
+	return func(format string, args ...any) {
+		fmt.Printf(prefix+": "+format+"\n", args...)
+	}
 }
 
 func buildDB(schema string, records, whn int) (*storage.DB, error) {

@@ -1,0 +1,508 @@
+package arbiter
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"tskd/internal/clock"
+)
+
+// Config configures an Arbiter.
+type Config struct {
+	// Dir holds the durable decision log (arbiter.log). Required.
+	Dir string
+	// LeaseTTL is how long a primary's lease stays valid after a
+	// successful renew (default 1s). The primary self-fences (stops
+	// acking flushes, answers not_primary) once this much time passes
+	// without a renew ack; the arbiter waits LeaseTTL plus FailQuorum
+	// probe intervals beyond the last renew before granting the epoch
+	// away, so the deposed holder has always stopped first.
+	LeaseTTL time.Duration
+	// ProbeEvery is the arbiter's evaluation cadence (default
+	// LeaseTTL/4). Renewing clients also pace themselves off the TTL
+	// the arbiter hands back.
+	ProbeEvery time.Duration
+	// FailQuorum is how many whole probe intervals past lease expiry
+	// the arbiter must observe with no renew before promoting
+	// (default 2).
+	FailQuorum int
+	// Clock injects time for tests (default wall clock).
+	Clock clock.Clock
+	// OnGrant, when set, observes every promotion grant (after it is
+	// durably logged and sent).
+	OnGrant func(group string, epoch uint64, grantee string)
+	// Logf, when set, receives one line per arbiter event (register,
+	// adopt, fence, grant). The chaos harness points this at a file
+	// kept with the scenario's failure artifacts.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() error {
+	if c.Dir == "" {
+		return errors.New("arbiter: Config.Dir is required")
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = time.Second
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = c.LeaseTTL / 4
+	}
+	if c.FailQuorum <= 0 {
+		c.FailQuorum = 2
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// GrantBound is the worst-case time from a primary's last successful
+// renew to the arbiter issuing a promotion grant: the lease TTL, the
+// FailQuorum grace, plus one probe interval of evaluation slack.
+func (c Config) GrantBound() time.Duration {
+	return c.LeaseTTL + time.Duration(c.FailQuorum+1)*c.ProbeEvery
+}
+
+// group is the arbiter's per-shard-group lease state.
+type group struct {
+	name string
+	// epoch is the current fencing epoch; monotonic, durably logged.
+	epoch uint64
+	// leader is the announce address that owns the current epoch ("" if
+	// the epoch has never been claimed, e.g. a fresh group).
+	leader string
+	// hasLease reports whether the current epoch's owner has an active
+	// registration whose renewals we are tracking.
+	hasLease bool
+	// lastSeen is the last instant the current holder registered or
+	// renewed (or, before any holder, the group's creation) — the
+	// baseline for the grant timer.
+	lastSeen time.Time
+	// holder is the connection currently renewing the lease (nil once
+	// it drops; the lease itself survives on lastSeen).
+	holder *peerConn
+	// backups maps live backup connections to their announce addr/lag.
+	backups map[*peerConn]*backupInfo
+}
+
+type backupInfo struct {
+	addr string
+	seq  uint64
+}
+
+// peerConn serializes writes to one accepted connection: the request
+// loop replies in-line while Tick may concurrently push a grant.
+type peerConn struct {
+	c   net.Conn
+	wmu sync.Mutex
+	bw  *bufio.Writer
+}
+
+func (p *peerConn) send(m Msg) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if err := WriteMsg(p.bw, m); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// GroupStatus is a point-in-time snapshot of one group for /healthz
+// and logging.
+type GroupStatus struct {
+	Group       string `json:"group"`
+	Epoch       uint64 `json:"epoch"`
+	Leader      string `json:"leader"`
+	LeaseHeld   bool   `json:"lease_held"`
+	SinceRenew  int64  `json:"since_renew_ms"`
+	Backups     int    `json:"backups"`
+	GrantsTotal uint64 `json:"grants_total"`
+}
+
+// Arbiter is the lease service. One instance serves many shard-groups.
+type Arbiter struct {
+	cfg  Config
+	dlog *decisionLog
+
+	mu     sync.Mutex
+	groups map[string]*group
+	conns  map[*peerConn]struct{}
+	grants uint64
+	closed bool
+
+	ln net.Listener
+	wg sync.WaitGroup
+	// stop ends the probe loop.
+	stop chan struct{}
+}
+
+// New opens the decision log under cfg.Dir, replays it, and returns an
+// arbiter ready to Serve. It does not listen yet.
+func New(cfg Config) (*Arbiter, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(cfg.Dir, LogFile)
+	dlog, recs, err := openDecisionLog(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := syncDir(path); err != nil {
+		dlog.close()
+		return nil, err
+	}
+	a := &Arbiter{
+		cfg:    cfg,
+		dlog:   dlog,
+		groups: make(map[string]*group),
+		conns:  make(map[*peerConn]struct{}),
+		stop:   make(chan struct{}),
+	}
+	now := cfg.Clock.Now()
+	for _, rec := range recs {
+		g := a.groupLocked(rec.Group, now)
+		// Records are appended in epoch order; the last one wins.
+		g.epoch = rec.Epoch
+		g.leader = rec.Grantee
+		if rec.Kind == "grant" {
+			a.grants++
+		}
+	}
+	return a, nil
+}
+
+// groupLocked returns (creating if needed) the named group. Caller
+// holds a.mu or is inside New.
+func (a *Arbiter) groupLocked(name string, now time.Time) *group {
+	g := a.groups[name]
+	if g == nil {
+		g = &group{name: name, lastSeen: now, backups: make(map[*peerConn]*backupInfo)}
+		a.groups[name] = g
+	}
+	return g
+}
+
+// Start listens on addr and serves until Close. The probe loop runs on
+// a real ticker at ProbeEvery; fake-clock tests drive Tick directly.
+func (a *Arbiter) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	a.ln = ln
+	a.wg.Add(2)
+	go a.acceptLoop(ln)
+	go a.probeLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (a *Arbiter) Addr() string {
+	if a.ln == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// Close stops the listener, the probe loop, and all peer connections,
+// then closes the decision log.
+func (a *Arbiter) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	conns := make([]*peerConn, 0, len(a.conns))
+	for p := range a.conns {
+		conns = append(conns, p)
+	}
+	a.mu.Unlock()
+	close(a.stop)
+	if a.ln != nil {
+		a.ln.Close()
+	}
+	for _, p := range conns {
+		p.c.Close()
+	}
+	a.wg.Wait()
+	return a.dlog.close()
+}
+
+func (a *Arbiter) acceptLoop(ln net.Listener) {
+	defer a.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p := &peerConn{c: c, bw: bufio.NewWriter(c)}
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			c.Close()
+			return
+		}
+		a.conns[p] = struct{}{}
+		a.mu.Unlock()
+		a.wg.Add(1)
+		go a.serveConn(p)
+	}
+}
+
+func (a *Arbiter) probeLoop() {
+	defer a.wg.Done()
+	t := time.NewTicker(a.cfg.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			a.Tick()
+		}
+	}
+}
+
+// serveConn runs one peer's request loop.
+func (a *Arbiter) serveConn(p *peerConn) {
+	defer a.wg.Done()
+	defer func() {
+		p.c.Close()
+		a.mu.Lock()
+		delete(a.conns, p)
+		for _, g := range a.groups {
+			if g.holder == p {
+				g.holder = nil
+			}
+			delete(g.backups, p)
+		}
+		a.mu.Unlock()
+	}()
+	br := bufio.NewReader(p.c)
+	for {
+		m, err := ReadMsg(br)
+		if err != nil {
+			return
+		}
+		var reply Msg
+		switch m.Type {
+		case MsgRegister:
+			reply = a.register(p, m)
+		case MsgRenew:
+			reply = a.renew(p, m)
+		case MsgReport:
+			reply = a.report(p, m)
+		default:
+			reply = Msg{Type: MsgFence, Err: fmt.Sprintf("unknown message type %q", m.Type)}
+		}
+		if err := p.send(reply); err != nil {
+			return
+		}
+	}
+}
+
+// register admits a primary or backup into its group.
+func (a *Arbiter) register(p *peerConn, m Msg) Msg {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.cfg.Clock.Now()
+	g := a.groupLocked(m.Group, now)
+	switch m.Role {
+	case RoleBackup:
+		// A backup registering under the leader's own address is the
+		// grantee of an epoch whose grant frame it never received (its
+		// connection broke in the delivery window). Grants are durably
+		// logged before they are sent, so re-delivering to the same
+		// address is idempotent and can never fork the epoch.
+		if m.Addr != "" && m.Addr == g.leader && !g.hasLease {
+			a.cfg.Logf("re-grant group=%s epoch=%d to=%s (grantee re-registered)", g.name, g.epoch, m.Addr)
+			return Msg{Type: MsgGrant, Group: g.name, Epoch: g.epoch, Leader: g.leader}
+		}
+		g.backups[p] = &backupInfo{addr: m.Addr, seq: m.Seq}
+		a.cfg.Logf("register backup group=%s addr=%s seq=%d epoch=%d", g.name, m.Addr, m.Seq, g.epoch)
+		return Msg{Type: MsgOK, Group: g.name, Epoch: g.epoch, Leader: g.leader}
+	case RolePrimary:
+		if m.Epoch < g.epoch {
+			a.cfg.Logf("fence stale primary group=%s addr=%s epoch=%d current=%d leader=%s", g.name, m.Addr, m.Epoch, g.epoch, g.leader)
+			return Msg{Type: MsgFence, Group: g.name, Epoch: g.epoch, Leader: g.leader, Err: "stale epoch"}
+		}
+		if m.Epoch > g.epoch {
+			// A primary we did not promote carries a higher epoch (an
+			// operator ran -promote, or our log predates it). Adopt it
+			// durably so we can never grant that epoch to someone else.
+			if err := a.dlog.append(logRecord{Kind: "adopt", Group: g.name, Epoch: m.Epoch, Grantee: m.Addr}); err != nil {
+				return Msg{Type: MsgFence, Group: g.name, Epoch: g.epoch, Err: "arbiter log: " + err.Error()}
+			}
+			g.epoch = m.Epoch
+			g.leader = m.Addr
+			a.cfg.Logf("adopt group=%s epoch=%d addr=%s", g.name, g.epoch, m.Addr)
+		}
+		// Same epoch: the epoch belongs to whoever claimed it first.
+		// A different node presenting the same epoch is split-brain.
+		if g.leader != "" && g.leader != m.Addr {
+			a.cfg.Logf("fence split-brain group=%s addr=%s epoch=%d held-by=%s", g.name, m.Addr, m.Epoch, g.leader)
+			return Msg{Type: MsgFence, Group: g.name, Epoch: g.epoch, Leader: g.leader, Err: "epoch already held"}
+		}
+		g.leader = m.Addr
+		g.holder = p
+		g.hasLease = true
+		g.lastSeen = now
+		a.cfg.Logf("register primary group=%s addr=%s epoch=%d", g.name, m.Addr, g.epoch)
+		return Msg{Type: MsgLease, Group: g.name, Epoch: g.epoch, TTLMS: a.cfg.LeaseTTL.Milliseconds(), Leader: g.leader}
+	default:
+		return Msg{Type: MsgFence, Group: m.Group, Err: fmt.Sprintf("unknown role %q", m.Role)}
+	}
+}
+
+// renew extends the holder's lease.
+func (a *Arbiter) renew(p *peerConn, m Msg) Msg {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	g := a.groups[m.Group]
+	if g == nil || g.holder != p || m.Epoch != g.epoch {
+		var epoch uint64
+		var leader string
+		if g != nil {
+			epoch, leader = g.epoch, g.leader
+		}
+		return Msg{Type: MsgFence, Group: m.Group, Epoch: epoch, Leader: leader, Err: "not the lease holder"}
+	}
+	g.lastSeen = a.cfg.Clock.Now()
+	return Msg{Type: MsgLease, Group: g.name, Epoch: g.epoch, TTLMS: a.cfg.LeaseTTL.Milliseconds(), Leader: g.leader}
+}
+
+// report records a backup's replication progress.
+func (a *Arbiter) report(p *peerConn, m Msg) Msg {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	g := a.groups[m.Group]
+	if g == nil || g.backups[p] == nil {
+		return Msg{Type: MsgFence, Group: m.Group, Err: "not registered"}
+	}
+	g.backups[p].seq = m.Seq
+	return Msg{Type: MsgOK, Group: g.name, Epoch: g.epoch, Leader: g.leader}
+}
+
+// Tick evaluates every group once: any group whose lease has been
+// silent past LeaseTTL + FailQuorum probe intervals gets its epoch
+// bumped (durably) and granted to the most-caught-up backup. Exposed
+// so fake-clock tests can drive evaluation without the real ticker.
+func (a *Arbiter) Tick() {
+	type pendingGrant struct {
+		conn  *peerConn
+		msg   Msg
+		group string
+		addr  string
+	}
+	var out []pendingGrant
+	a.mu.Lock()
+	now := a.cfg.Clock.Now()
+	bound := a.cfg.LeaseTTL + time.Duration(a.cfg.FailQuorum)*a.cfg.ProbeEvery
+	names := make([]string, 0, len(a.groups))
+	for name := range a.groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := a.groups[name]
+		// Only groups that have (or once had) a primary can fail over;
+		// a group of lonely backups has nothing to promote from.
+		if g.leader == "" && !g.hasLease {
+			continue
+		}
+		if now.Sub(g.lastSeen) < bound {
+			continue
+		}
+		best := a.bestBackupLocked(g)
+		if best == nil {
+			a.cfg.Logf("group=%s lease expired epoch=%d leader=%s: no backup to promote", g.name, g.epoch, g.leader)
+			// Re-arm so the "no backup" line doesn't spam every probe.
+			g.lastSeen = now
+			continue
+		}
+		info := g.backups[best]
+		newEpoch := g.epoch + 1
+		if err := a.dlog.append(logRecord{Kind: "grant", Group: g.name, Epoch: newEpoch, Grantee: info.addr}); err != nil {
+			a.cfg.Logf("group=%s grant epoch=%d to %s FAILED to log: %v", g.name, newEpoch, info.addr, err)
+			continue
+		}
+		a.cfg.Logf("grant group=%s epoch=%d to=%s seq=%d (lease silent %v)", g.name, newEpoch, info.addr, info.seq, now.Sub(g.lastSeen))
+		g.epoch = newEpoch
+		g.leader = info.addr
+		g.hasLease = false
+		g.holder = nil
+		g.lastSeen = now
+		delete(g.backups, best)
+		a.grants++
+		out = append(out, pendingGrant{
+			conn:  best,
+			msg:   Msg{Type: MsgGrant, Group: g.name, Epoch: newEpoch, Leader: info.addr},
+			group: g.name, addr: info.addr,
+		})
+	}
+	cb := a.cfg.OnGrant
+	a.mu.Unlock()
+	for _, pg := range out {
+		if err := pg.conn.send(pg.msg); err != nil {
+			// The epoch is consumed either way (it is in the log); the
+			// grantee re-registering will learn the leader is itself.
+			a.cfg.Logf("grant group=%s epoch=%d to=%s send failed: %v", pg.group, pg.msg.Epoch, pg.addr, err)
+		}
+		if cb != nil {
+			cb(pg.group, pg.msg.Epoch, pg.addr)
+		}
+	}
+}
+
+// bestBackupLocked picks the backup with the highest reported ship
+// sequence; ties break on the lexically smallest address so the choice
+// is deterministic.
+func (a *Arbiter) bestBackupLocked(g *group) *peerConn {
+	var best *peerConn
+	for p, info := range g.backups {
+		if best == nil {
+			best = p
+			continue
+		}
+		b := g.backups[best]
+		if info.seq > b.seq || (info.seq == b.seq && info.addr < b.addr) {
+			best = p
+		}
+	}
+	return best
+}
+
+// Snapshot returns the current status of every group, sorted by name.
+func (a *Arbiter) Snapshot() []GroupStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.cfg.Clock.Now()
+	out := make([]GroupStatus, 0, len(a.groups))
+	for _, g := range a.groups {
+		out = append(out, GroupStatus{
+			Group:       g.name,
+			Epoch:       g.epoch,
+			Leader:      g.leader,
+			LeaseHeld:   g.hasLease && now.Sub(g.lastSeen) < a.cfg.LeaseTTL,
+			SinceRenew:  now.Sub(g.lastSeen).Milliseconds(),
+			Backups:     len(g.backups),
+			GrantsTotal: a.grants,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Group < out[j].Group })
+	return out
+}

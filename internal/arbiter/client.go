@@ -1,0 +1,397 @@
+package arbiter
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tskd/internal/clock"
+)
+
+// Lease errors surfaced by LeaseClient.Check. ErrNoLease is transient
+// (the lease may come back if a renew succeeds at the same epoch
+// before the arbiter grants it away); ErrLeaseFenced is sticky — the
+// arbiter told us a newer epoch exists, so this node must never ack a
+// commit again.
+var (
+	ErrNoLease     = errors.New("arbiter: lease not held")
+	ErrLeaseFenced = errors.New("arbiter: fenced: lease lost to a newer epoch")
+)
+
+// LeaseConfig configures a primary's lease client.
+type LeaseConfig struct {
+	// Addr is the arbiter address. Required.
+	Addr string
+	// Group names this shard-group's lease. Required.
+	Group string
+	// Epoch is this primary's current fencing epoch (from the data
+	// directory / shipper).
+	Epoch uint64
+	// Announce is the address transaction clients should dial for this
+	// node — handed to fenced peers as the redirect target.
+	Announce string
+	// Clock injects time (default wall clock). Lease validity is
+	// measured on this clock from the instant just BEFORE each renew is
+	// sent, so the holder's view of expiry always precedes the
+	// arbiter's (which measures from receipt).
+	Clock clock.Clock
+	// DialTimeout bounds each (re)connection attempt (default 2s).
+	DialTimeout time.Duration
+	// Logf, when set, receives one line per lease transition.
+	Logf func(format string, args ...any)
+}
+
+// LeaseStats snapshots the lease for /metrics and /healthz.
+type LeaseStats struct {
+	Held   bool   `json:"held"`
+	Fenced bool   `json:"fenced"`
+	Epoch  uint64 `json:"epoch"`
+	Leader string `json:"leader,omitempty"`
+	TTLMS  int64  `json:"ttl_ms,omitempty"`
+}
+
+// LeaseClient maintains a primary's lease with the arbiter in the
+// background. The serving layer consults Check before dispatching a
+// transaction and the WAL consults it before acking a flush; both
+// paths fail closed the instant the lease lapses.
+type LeaseClient struct {
+	cfg LeaseConfig
+
+	mu         sync.Mutex
+	validUntil time.Time
+	ttl        time.Duration
+	fenced     bool
+	leader     string
+	lastErr    error
+
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+// NewLeaseClient starts the lease loop. It returns immediately; use
+// WaitHeld to gate readiness on the first successful lease.
+func NewLeaseClient(cfg LeaseConfig) (*LeaseClient, error) {
+	if cfg.Addr == "" || cfg.Group == "" {
+		return nil, errors.New("arbiter: LeaseConfig.Addr and Group are required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &LeaseClient{cfg: cfg, closed: make(chan struct{})}
+	c.wg.Add(1)
+	go c.run()
+	return c, nil
+}
+
+// Check reports whether this node may act as primary right now.
+func (c *LeaseClient) Check() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fenced {
+		return ErrLeaseFenced
+	}
+	if !c.validUntil.IsZero() && c.cfg.Clock.Now().Before(c.validUntil) {
+		return nil
+	}
+	return ErrNoLease
+}
+
+// Leader returns the best-known current leader's announce address —
+// ourselves while the lease is held, the new primary once fenced.
+func (c *LeaseClient) Leader() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.leader != "" {
+		return c.leader
+	}
+	return c.cfg.Announce
+}
+
+// Stats snapshots the lease state.
+func (c *LeaseClient) Stats() LeaseStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return LeaseStats{
+		Held:   !c.fenced && !c.validUntil.IsZero() && c.cfg.Clock.Now().Before(c.validUntil),
+		Fenced: c.fenced,
+		Epoch:  c.cfg.Epoch,
+		Leader: c.leader,
+		TTLMS:  c.ttl.Milliseconds(),
+	}
+}
+
+// WaitHeld blocks until the lease is held, the client is fenced or
+// closed, or d elapses. It returns true only if the lease is held.
+func (c *LeaseClient) WaitHeld(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for {
+		if err := c.Check(); err == nil {
+			return true
+		} else if errors.Is(err, ErrLeaseFenced) {
+			return false
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		select {
+		case <-c.closed:
+			return false
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// Close stops the lease loop. The current lease is left to lapse.
+func (c *LeaseClient) Close() {
+	c.once.Do(func() { close(c.closed) })
+	c.wg.Wait()
+}
+
+func (c *LeaseClient) run() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.closed:
+			return
+		default:
+		}
+		if c.session() {
+			return // fenced or closed
+		}
+		// Connection lost: back off briefly and redial. The lease keeps
+		// counting down on validUntil meanwhile.
+		select {
+		case <-c.closed:
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// session runs one arbiter connection: register, then renew until the
+// connection breaks. Returns true when the loop should stop for good
+// (fenced or closed).
+func (c *LeaseClient) session() bool {
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		c.noteErr(err)
+		return false
+	}
+	defer conn.Close()
+	sessionDone := make(chan struct{})
+	defer close(sessionDone)
+	go func() { // unblock reads/writes on Close
+		select {
+		case <-c.closed:
+			conn.Close()
+		case <-sessionDone:
+		}
+	}()
+	br := bufio.NewReader(conn)
+	req := Msg{Type: MsgRegister, Role: RolePrimary, Group: c.cfg.Group, Epoch: c.cfg.Epoch, Addr: c.cfg.Announce}
+	for {
+		// Stamp validity from before the send: if the arbiter acks, the
+		// lease is good for TTL from this instant, which is strictly
+		// earlier than the arbiter's own receive-time deadline.
+		sent := c.cfg.Clock.Now()
+		if err := WriteMsg(conn, req); err != nil {
+			c.noteErr(err)
+			return false
+		}
+		reply, err := ReadMsg(br)
+		if err != nil {
+			c.noteErr(err)
+			return false
+		}
+		switch reply.Type {
+		case MsgLease:
+			ttl := time.Duration(reply.TTLMS) * time.Millisecond
+			c.mu.Lock()
+			first := c.validUntil.IsZero()
+			c.validUntil = sent.Add(ttl)
+			c.ttl = ttl
+			c.leader = reply.Leader
+			c.lastErr = nil
+			c.mu.Unlock()
+			if first {
+				c.cfg.Logf("lease acquired group=%s epoch=%d ttl=%v", c.cfg.Group, c.cfg.Epoch, ttl)
+			}
+			// Renew at TTL/3 so two renews can be lost before expiry.
+			select {
+			case <-c.closed:
+				return true
+			case <-time.After(ttl / 3):
+			}
+			req = Msg{Type: MsgRenew, Group: c.cfg.Group, Epoch: c.cfg.Epoch}
+		case MsgFence:
+			c.mu.Lock()
+			c.fenced = true
+			c.validUntil = time.Time{}
+			if reply.Leader != "" {
+				c.leader = reply.Leader
+			}
+			c.mu.Unlock()
+			c.cfg.Logf("lease FENCED group=%s epoch=%d current=%d leader=%s err=%s", c.cfg.Group, c.cfg.Epoch, reply.Epoch, reply.Leader, reply.Err)
+			return true
+		default:
+			c.noteErr(fmt.Errorf("arbiter: unexpected reply %q", reply.Type))
+			return false
+		}
+	}
+}
+
+func (c *LeaseClient) noteErr(err error) {
+	c.mu.Lock()
+	c.lastErr = err
+	c.mu.Unlock()
+}
+
+// BackupConfig configures a backup's arbiter agent.
+type BackupConfig struct {
+	// Addr is the arbiter address; Group the shard-group. Required.
+	Addr  string
+	Group string
+	// Announce is the address clients should dial once this backup is
+	// promoted.
+	Announce string
+	// Seq reports the highest replica ship sequence applied locally —
+	// the arbiter compares these across backups to pick the
+	// most-caught-up grantee. Required.
+	Seq func() uint64
+	// ReportEvery paces lag reports (default 100ms).
+	ReportEvery time.Duration
+	// OnGrant runs exactly once when the arbiter grants this backup the
+	// (bumped) epoch. The callee persists the epoch and begins serving;
+	// the agent stops after the callback returns.
+	OnGrant func(epoch uint64)
+	// DialTimeout bounds each (re)connection attempt (default 2s).
+	DialTimeout time.Duration
+	// Logf, when set, receives one line per agent transition.
+	Logf func(format string, args ...any)
+}
+
+// BackupAgent registers a backup with the arbiter, streams lag
+// reports, and waits for a promotion grant.
+type BackupAgent struct {
+	cfg     BackupConfig
+	closed  chan struct{}
+	granted chan uint64
+	once    sync.Once
+	wg      sync.WaitGroup
+}
+
+// StartBackupAgent starts the agent loop.
+func StartBackupAgent(cfg BackupConfig) (*BackupAgent, error) {
+	if cfg.Addr == "" || cfg.Group == "" {
+		return nil, errors.New("arbiter: BackupConfig.Addr and Group are required")
+	}
+	if cfg.Seq == nil {
+		return nil, errors.New("arbiter: BackupConfig.Seq is required")
+	}
+	if cfg.ReportEvery <= 0 {
+		cfg.ReportEvery = 100 * time.Millisecond
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	a := &BackupAgent{cfg: cfg, closed: make(chan struct{}), granted: make(chan uint64, 1)}
+	a.wg.Add(1)
+	go a.run()
+	return a, nil
+}
+
+// Granted returns a channel that receives the granted epoch (at most
+// once) when this backup is promoted.
+func (a *BackupAgent) Granted() <-chan uint64 { return a.granted }
+
+// Close stops the agent.
+func (a *BackupAgent) Close() {
+	a.once.Do(func() { close(a.closed) })
+	a.wg.Wait()
+}
+
+func (a *BackupAgent) run() {
+	defer a.wg.Done()
+	for {
+		select {
+		case <-a.closed:
+			return
+		default:
+		}
+		if a.session() {
+			return // granted or closed
+		}
+		select {
+		case <-a.closed:
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// session runs one arbiter connection. Returns true when the agent is
+// done for good (granted or closed).
+func (a *BackupAgent) session() bool {
+	conn, err := net.DialTimeout("tcp", a.cfg.Addr, a.cfg.DialTimeout)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	sessionDone := make(chan struct{})
+	defer close(sessionDone)
+	go func() {
+		select {
+		case <-a.closed:
+			conn.Close()
+		case <-sessionDone:
+		}
+	}()
+	br := bufio.NewReader(conn)
+	req := Msg{Type: MsgRegister, Role: RoleBackup, Group: a.cfg.Group, Addr: a.cfg.Announce, Seq: a.cfg.Seq()}
+	for {
+		if err := WriteMsg(conn, req); err != nil {
+			return false
+		}
+		reply, err := ReadMsg(br)
+		if err != nil {
+			return false
+		}
+		switch reply.Type {
+		case MsgOK:
+			select {
+			case <-a.closed:
+				return true
+			case <-time.After(a.cfg.ReportEvery):
+			}
+			req = Msg{Type: MsgReport, Group: a.cfg.Group, Seq: a.cfg.Seq()}
+		case MsgGrant:
+			a.cfg.Logf("promotion grant group=%s epoch=%d", a.cfg.Group, reply.Epoch)
+			select {
+			case a.granted <- reply.Epoch:
+			default:
+			}
+			if a.cfg.OnGrant != nil {
+				a.cfg.OnGrant(reply.Epoch)
+			}
+			return true
+		case MsgFence:
+			a.cfg.Logf("backup agent fenced group=%s err=%s", a.cfg.Group, reply.Err)
+			return false
+		default:
+			return false
+		}
+	}
+}

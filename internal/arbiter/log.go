@@ -1,0 +1,146 @@
+package arbiter
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// LogFile is the arbiter's durable decision log inside Config.Dir.
+// Every epoch transition the arbiter performs — adopting a higher
+// epoch from a registering primary, or bumping the epoch for a
+// promotion grant — is appended and fsynced here BEFORE the decision
+// becomes externally visible (before the grant frame is sent, before
+// the registration is acknowledged). Replaying the log at startup
+// restores each group's current epoch and last grantee, so an arbiter
+// restart can never re-issue an epoch it already gave away.
+const LogFile = "arbiter.log"
+
+// logRecord is one NDJSON line in the decision log.
+type logRecord struct {
+	// Kind is "grant" (epoch bumped for a promotion) or "adopt" (a
+	// primary registered with a higher epoch than the arbiter knew).
+	Kind  string `json:"kind"`
+	Group string `json:"group"`
+	Epoch uint64 `json:"epoch"`
+	// Grantee is the announce address the epoch was granted to
+	// (grants) or registered from (adopts).
+	Grantee string `json:"grantee,omitempty"`
+}
+
+type decisionLog struct {
+	f *os.File
+}
+
+// openDecisionLog opens (creating if needed) the decision log at path
+// and returns the replayed records. A torn final line — the crash
+// window of an append that never reached fsync — is truncated away;
+// corruption before the tail is a hard error, since silently dropping
+// an fsynced grant could hand the same epoch out twice.
+func openDecisionLog(path string) (*decisionLog, []logRecord, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []logRecord
+	var good int64 // offset just past the last complete, valid line
+	br := bufio.NewReader(f)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: a torn tail. Drop it below.
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		var rec logRecord
+		if jerr := json.Unmarshal(bytes.TrimSpace(line), &rec); jerr != nil {
+			// A malformed line that *is* newline-terminated only
+			// tolerable at the very tail (torn write then crash before
+			// the newline of the next record). Peek: if anything
+			// follows, the middle of the log is corrupt.
+			if _, perr := br.Peek(1); perr == io.EOF {
+				break
+			}
+			f.Close()
+			return nil, nil, fmt.Errorf("arbiter: corrupt decision log %s at offset %d: %v", path, good, jerr)
+		}
+		recs = append(recs, rec)
+		good += int64(len(line))
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &decisionLog{f: f}, recs, nil
+}
+
+// append durably records rec: write, fsync the file, and (first time
+// only, via the caller having created the file) the directory entry is
+// covered by the open O_CREATE + the dir fsync below.
+func (l *decisionLog) append(rec logRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := l.f.Write(line); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+func (l *decisionLog) close() error { return l.f.Close() }
+
+// LogRecord is the exported view of one decision-log entry, for audits
+// and tooling. The chaos harness replays the log to verify the epoch
+// uniqueness invariant: every epoch is decided at most once, so no two
+// nodes can ever have held the same epoch.
+type LogRecord struct {
+	Kind    string `json:"kind"`
+	Group   string `json:"group"`
+	Epoch   uint64 `json:"epoch"`
+	Grantee string `json:"grantee,omitempty"`
+}
+
+// ReadLog replays the decision log under dir read-only, dropping a
+// torn final line exactly as arbiter startup would.
+func ReadLog(dir string) ([]LogRecord, error) {
+	b, err := os.ReadFile(filepath.Join(dir, LogFile))
+	if err != nil {
+		return nil, err
+	}
+	var out []LogRecord
+	for _, line := range bytes.Split(b, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec logRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn tail
+		}
+		out = append(out, LogRecord(rec))
+	}
+	return out, nil
+}
+
+// syncDir fsyncs the directory containing path so a freshly created
+// log file survives a crash of the arbiter host.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

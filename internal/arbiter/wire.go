@@ -1,0 +1,125 @@
+// Package arbiter implements a small durable lease service for
+// automatic replica failover. Primaries and backups register with the
+// arbiter per shard-group; the primary holds a time-bounded lease
+// renewed over heartbeats, and when renewals stop past a quorum of
+// probe intervals the arbiter bumps the group's fencing epoch in its
+// own fsynced log and issues a promotion grant to the most-caught-up
+// backup. The grant is the only automatic epoch-bumping path; a
+// deposed primary is refused at registration (fence) and self-fences
+// locally when its lease lapses (see LeaseClient.Check).
+//
+// The wire protocol reuses the frame discipline of DESIGN.md §14: a
+// big-endian u32 length prefix followed by one JSON-encoded message.
+// Messages are tiny and infrequent (lease renewals, lag reports), so
+// JSON keeps the protocol debuggable without a perf cost.
+package arbiter
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Message types. Requests flow peer→arbiter, replies arbiter→peer.
+const (
+	// MsgRegister announces a peer: Role, Group, Epoch, Addr (the
+	// address transaction clients should dial), and for backups Seq
+	// (the highest replica ship sequence applied locally).
+	MsgRegister = "register"
+	// MsgRenew is the primary's lease heartbeat.
+	MsgRenew = "renew"
+	// MsgReport is a backup's periodic lag report (Seq).
+	MsgReport = "report"
+	// MsgLease acknowledges a primary register/renew: Epoch, TTLMS.
+	MsgLease = "lease"
+	// MsgOK acknowledges a backup register/report: Epoch, Leader.
+	MsgOK = "ok"
+	// MsgGrant is a fenced promotion grant to one backup: Epoch is the
+	// new (bumped) fencing epoch the grantee must adopt before serving.
+	MsgGrant = "grant"
+	// MsgFence refuses a peer: its epoch is stale or its group's
+	// current epoch is already held. Epoch/Leader describe the current
+	// holder so the refused peer can redirect clients.
+	MsgFence = "fence"
+)
+
+// Peer roles carried in MsgRegister.
+const (
+	RolePrimary = "primary"
+	RoleBackup  = "backup"
+)
+
+// MaxMsgBytes bounds a single arbiter frame. Messages are a handful of
+// short fields; anything larger is a corrupt or hostile stream.
+const MaxMsgBytes = 64 << 10
+
+// Msg is the single message shape for every arbiter exchange. Unused
+// fields are omitted on the wire.
+type Msg struct {
+	Type   string `json:"type"`
+	Group  string `json:"group,omitempty"`
+	Role   string `json:"role,omitempty"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+	Addr   string `json:"addr,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+	TTLMS  int64  `json:"ttl_ms,omitempty"`
+	Leader string `json:"leader,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// AppendMsg appends the length-prefixed frame for m to dst.
+func AppendMsg(dst []byte, m Msg) ([]byte, error) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return dst, err
+	}
+	if len(body) > MaxMsgBytes {
+		return dst, fmt.Errorf("arbiter: message too large: %d bytes", len(body))
+	}
+	var lb [4]byte
+	binary.BigEndian.PutUint32(lb[:], uint32(len(body)))
+	dst = append(dst, lb[:]...)
+	return append(dst, body...), nil
+}
+
+// WriteMsg writes one framed message to w.
+func WriteMsg(w io.Writer, m Msg) error {
+	buf, err := AppendMsg(nil, m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadMsg reads one framed message from br.
+func ReadMsg(br *bufio.Reader) (Msg, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(br, lb[:]); err != nil {
+		return Msg{}, err
+	}
+	n := binary.BigEndian.Uint32(lb[:])
+	if n == 0 || n > MaxMsgBytes {
+		return Msg{}, fmt.Errorf("arbiter: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return Msg{}, err
+	}
+	return DecodeMsg(body)
+}
+
+// DecodeMsg decodes a single frame payload (without the length
+// prefix). Exposed for fuzzing.
+func DecodeMsg(body []byte) (Msg, error) {
+	var m Msg
+	if err := json.Unmarshal(body, &m); err != nil {
+		return Msg{}, fmt.Errorf("arbiter: bad message: %w", err)
+	}
+	if m.Type == "" {
+		return Msg{}, fmt.Errorf("arbiter: message missing type")
+	}
+	return m, nil
+}

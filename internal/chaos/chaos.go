@@ -109,6 +109,11 @@ func Scenarios() []Scenario {
 			Run:  runReplicaFailover,
 		},
 		{
+			Name: "auto-failover",
+			Doc:  "lease-arbitrated primary SIGKILLed mid-2PC; arbiter promotes the most-caught-up backup within the lease bound, deposed epoch fenced, clients converge",
+			Run:  runAutoFailover,
+		},
+		{
 			Name: "sim-skew",
 			Doc:  "discrete-event simulator under duration noise; bit-identical replay",
 			Run:  runSimSkew,

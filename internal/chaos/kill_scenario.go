@@ -13,6 +13,7 @@ import (
 	"syscall"
 	"time"
 
+	"tskd/internal/arbiter"
 	"tskd/internal/client"
 	"tskd/internal/core"
 	"tskd/internal/history"
@@ -61,6 +62,18 @@ const (
 	// ships every WAL flush to this backup replication address, in sync
 	// mode (acks wait for the backup's fsync while the pair is healthy).
 	envReplicaAddr = "TSKD_CHAOS_REPLICA_ADDR"
+	// envArbiterAddr turns the child into a lease-gated primary: it
+	// registers with the arbiter at this address (group autoFailGroup,
+	// epoch from the data directory) and gates every dispatch and WAL
+	// flush on the lease. The child waits for its first lease before
+	// any log opens; a child the arbiter fences instead (stale epoch)
+	// fails its boot-record flush and dies — a deposed incarnation
+	// refuses to come back up.
+	envArbiterAddr = "TSKD_CHAOS_ARBITER_ADDR"
+	// envListenAddr pins the child's transaction listener to a parent-
+	// reserved address, which doubles as its arbiter announce — the
+	// address the arbiter hands out as the leader to everyone else.
+	envListenAddr = "TSKD_CHAOS_LISTEN_ADDR"
 )
 
 // killBaseDB is the initial store both server incarnations start from;
@@ -138,6 +151,35 @@ func MaybeServerChild() {
 			die(err)
 		}
 		cfg.Durability.Replication = ship
+	}
+	if arb := os.Getenv(envArbiterAddr); arb != "" {
+		// Auto-failover scenario: the child is lease-gated. A reserved
+		// listen address (the promoted incarnation) is also the announce;
+		// otherwise announce a stable per-node identity — it is never a
+		// redirect target while this node leads, and it is what the
+		// arbiter reports as held-by when fencing a split-brain peer.
+		if la := os.Getenv(envListenAddr); la != "" {
+			cfg.Addr = la
+		}
+		announce := cfg.Addr
+		if announce == "127.0.0.1:0" {
+			announce = "node:" + cfg.Durability.Dir
+		}
+		epoch, err := replica.ReadEpoch(cfg.Durability.Dir)
+		if err != nil {
+			die(err)
+		}
+		lease, err := arbiter.NewLeaseClient(arbiter.LeaseConfig{
+			Addr: arb, Group: autoFailGroup, Epoch: epoch, Announce: announce,
+		})
+		if err != nil {
+			die(err)
+		}
+		// Hold the lease before the logs open: the boot record's flush
+		// runs through the lease gate, so a fenced child dies here with
+		// a fencing error from server.New below.
+		lease.WaitHeld(10 * time.Second)
+		cfg.Lease = lease
 	}
 	srv, err := server.New(cfg)
 	if err != nil {

@@ -57,6 +57,11 @@ const (
 	// two scenarios' schedules stay independent per seed).
 	PointReplCross     = "replica/cross"
 	PointReplRedeliver = "replica/redeliver"
+	// PointAutoCross / PointAutoRedeliver are the auto-failover
+	// scenario's analogues (its own sites again, plus "autofail/key"
+	// and "autofail/kill" for rows and idempotency keys).
+	PointAutoCross     = "autofail/cross"
+	PointAutoRedeliver = "autofail/redeliver"
 )
 
 // Plan is the seed-derived fault schedule for one chaos run: which
@@ -140,6 +145,19 @@ type Plan struct {
 	ReplAfterAcks  int     // SIGKILL the primary once this many commits acked
 	ReplCross      float64 // P(a submission spans two shards)
 	ReplRedeliver  float64 // P(redeliver an acked key after failover)
+
+	// Auto-failover scenario: like replica-failover, but nobody runs
+	// -promote. A lease-gated replicating primary is SIGKILLed mid-2PC;
+	// the arbiter observes the missed renewals, durably bumps the
+	// epoch, and grants it to the most-caught-up backup, which
+	// self-promotes and serves.
+	AutoShards    int           // shards in the primary (>= 2)
+	AutoClients   int           // concurrent phase-1 clients
+	AutoSubs      int           // submissions per client
+	AutoAfterAcks int           // SIGKILL the primary once this many commits acked
+	AutoCross     float64       // P(a submission spans two shards)
+	AutoRedeliver float64       // P(redeliver an acked key after failover)
+	AutoLeaseTTL  time.Duration // arbiter lease TTL (the grant bound derives from it)
 }
 
 // engineProtocols are the CC protocols the chaos scenarios rotate
@@ -224,6 +242,19 @@ func NewPlan(seed int64) Plan {
 	p.ReplAfterAcks = rtotal/5 + rng.Intn(rtotal/2)
 	p.ReplCross = 0.25 + 0.5*rng.Float64()
 	p.ReplRedeliver = 0.2 + 0.3*rng.Float64()
+	// Auto-failover knobs, appended after every existing draw (the
+	// standing rule once more). The lease TTL is short enough to keep
+	// the scenario fast but long enough that a healthy primary under
+	// real-fsync load never misses a whole grant bound (1.75x TTL) of
+	// renewals from scheduling noise alone.
+	p.AutoShards = 2 + rng.Intn(2) // 2..3
+	p.AutoClients = 2 + rng.Intn(2)
+	p.AutoSubs = 25 + rng.Intn(26)
+	ototal := p.AutoClients * p.AutoSubs
+	p.AutoAfterAcks = ototal/5 + rng.Intn(ototal/2)
+	p.AutoCross = 0.25 + 0.5*rng.Float64()
+	p.AutoRedeliver = 0.2 + 0.3*rng.Float64()
+	p.AutoLeaseTTL = time.Duration(300+rng.Intn(201)) * time.Millisecond
 	return p
 }
 
@@ -310,6 +341,26 @@ func (p Plan) replicaSummary() string {
 	return fmt.Sprintf("proto=%s workers=%d shards=%d load=%dx%d kill@%d cross=%.3f seg=%d ckpt=%d redeliver=%.3f",
 		p.Protocol, p.Workers, p.ReplShards, p.ReplClients, p.ReplSubs, p.ReplAfterAcks,
 		p.ReplCross, p.ShardSegBytes, p.ShardCkptBytes, p.ReplRedeliver)
+}
+
+// autoSummary renders the auto-failover schedule.
+func (p Plan) autoSummary() string {
+	return fmt.Sprintf("proto=%s workers=%d shards=%d load=%dx%d kill@%d cross=%.3f ttl=%s redeliver=%.3f",
+		p.Protocol, p.Workers, p.AutoShards, p.AutoClients, p.AutoSubs, p.AutoAfterAcks,
+		p.AutoCross, p.AutoLeaseTTL, p.AutoRedeliver)
+}
+
+// autoCross decides whether auto-failover submission (c, i) spans two
+// shards.
+func (p Plan) autoCross(c, i int) bool {
+	return hit(site(p.Seed, PointAutoCross, int64(c), int64(i)), p.AutoCross)
+}
+
+// redeliverAutoAcked decides whether the acked auto-failover
+// submission (c, i) is redelivered after the failover (expected
+// verdict: Duplicate).
+func (p Plan) redeliverAutoAcked(client, i int) bool {
+	return hit(site(p.Seed, PointAutoRedeliver, int64(client), int64(i)), p.AutoRedeliver)
 }
 
 // replCross decides whether replica-failover submission (c, i) spans

@@ -25,7 +25,8 @@
 //
 //	seq u64 | code u8 | flags u8 | retries i32 | queue_us i64 |
 //	exec_us i64 | bundle i32 | retry_after_ms i64 |
-//	elen u16 | error | (code 0 only: slen u16 | status)
+//	elen u16 | error | (code 0 only: slen u16 | status) |
+//	(leader flag only: llen u16 | leader)
 //
 // where code maps the well-known status constants (commit, abort, …)
 // and code 0 escapes to an inline status string, so the binary codec
@@ -216,6 +217,7 @@ const (
 	binStatusCanceled
 	binStatusExpired
 	binStatusShed
+	binStatusNotPrimary
 )
 
 func statusCode(s string) byte {
@@ -234,6 +236,8 @@ func statusCode(s string) byte {
 		return binStatusExpired
 	case StatusShed:
 		return binStatusShed
+	case StatusNotPrimary:
+		return binStatusNotPrimary
 	}
 	return binStatusInline
 }
@@ -254,6 +258,8 @@ func statusFromCode(c byte) (string, bool) {
 		return StatusExpired, true
 	case binStatusShed:
 		return StatusShed, true
+	case binStatusNotPrimary:
+		return StatusNotPrimary, true
 	}
 	return "", false
 }
@@ -261,6 +267,10 @@ func statusFromCode(c byte) (string, bool) {
 // Response body flags.
 const (
 	binRespDuplicate = byte(1 << iota)
+	// binRespHasLeader gates the trailing leader string (u16 length +
+	// bytes, after the error and inline-status tails), so responses
+	// without a redirect pay zero extra bytes.
+	binRespHasLeader
 )
 
 // AppendResponseBody appends r's binary body (no frame header) to dst
@@ -276,6 +286,9 @@ func AppendResponseBody(dst []byte, r *Response) []byte {
 	var flags byte
 	if r.Duplicate {
 		flags |= binRespDuplicate
+	}
+	if r.Leader != "" {
+		flags |= binRespHasLeader
 	}
 	dst = append(dst, flags)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(r.Retries)))
@@ -296,6 +309,14 @@ func AppendResponseBody(dst []byte, r *Response) []byte {
 		}
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
 		dst = append(dst, s...)
+	}
+	if r.Leader != "" {
+		l := r.Leader
+		if len(l) > 0xFFFF {
+			l = l[:0xFFFF]
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(l)))
+		dst = append(dst, l...)
 	}
 	return dst
 }
@@ -334,21 +355,34 @@ func DecodeResponseBody(b []byte, r *Response) ([]byte, error) {
 	b = b[elen:]
 	if s, ok := statusFromCode(code); ok {
 		r.Status = s
-		return b, nil
+	} else {
+		if code != binStatusInline {
+			return b, fmt.Errorf("client: unknown response status code %d", code)
+		}
+		if len(b) < 2 {
+			return b, errBinShort
+		}
+		slen := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < slen {
+			return b, errBinShort
+		}
+		r.Status = string(b[:slen])
+		b = b[slen:]
 	}
-	if code != binStatusInline {
-		return b, fmt.Errorf("client: unknown response status code %d", code)
+	if flags&binRespHasLeader != 0 {
+		if len(b) < 2 {
+			return b, errBinShort
+		}
+		llen := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < llen {
+			return b, errBinShort
+		}
+		r.Leader = string(b[:llen])
+		b = b[llen:]
 	}
-	if len(b) < 2 {
-		return b, errBinShort
-	}
-	slen := int(binary.LittleEndian.Uint16(b))
-	b = b[2:]
-	if len(b) < slen {
-		return b, errBinShort
-	}
-	r.Status = string(b[:slen])
-	return b[slen:], nil
+	return b, nil
 }
 
 // AppendResponsesFrame appends a complete BinFrameResponses frame

@@ -94,6 +94,9 @@ func TestBinResponseRoundTrip(t *testing.T) {
 		{Seq: 6, Status: StatusShed, RetryAfterMS: 40},
 		{Seq: 7, Status: StatusCommit, Duplicate: true},
 		{Seq: 8, Status: "someday-a-new-status", Retries: -1, Bundle: -2, QueueUS: -3},
+		{Seq: 9, Status: StatusNotPrimary, Leader: "10.0.0.2:7000"},
+		{Seq: 10, Status: StatusNotPrimary}, // no known successor: no leader tail
+		{Seq: 11, Status: "inline-with-leader", Leader: "b:1", Error: "moved"},
 		{},
 	}
 	var buf []byte
@@ -176,12 +179,14 @@ func TestInterner(t *testing.T) {
 // the two protocols as one service.
 func FuzzWireParity(f *testing.F) {
 	f.Add(uint64(1), "ycsb", "R[x1]W[x2]", []byte{1, 0}, uint64(7), int64(50), byte(0),
-		"commit", "", int32(2), int64(81), int32(4), false)
+		"commit", "", int32(2), int64(81), int32(4), false, "")
 	f.Add(uint64(0), "", "", []byte{}, uint64(0), int64(-1), byte(1),
-		"weird status", "some error", int32(-1), int64(-9), int32(0), true)
+		"weird status", "some error", int32(-1), int64(-9), int32(0), true, "")
+	f.Add(uint64(3), "", "R[x1]", []byte{}, uint64(1), int64(0), byte(0),
+		"not_primary", "", int32(0), int64(0), int32(0), false, "10.0.0.2:7000")
 	f.Fuzz(func(t *testing.T, seq uint64, template, opsStr string, paramBytes []byte,
 		idem uint64, deadline int64, pri byte,
-		status, errStr string, retries int32, us int64, bundle int32, dup bool) {
+		status, errStr string, retries int32, us int64, bundle int32, dup bool, leader string) {
 		ops, err := txn.ParseOps(nil, opsStr)
 		if err != nil {
 			t.Skip() // not a wire-expressible transaction
@@ -242,12 +247,12 @@ func FuzzWireParity(f *testing.F) {
 		}
 
 		// Responses: both codecs must reproduce the struct exactly.
-		if len(status) > 0xFFFF || len(errStr) > 0xFFFF {
+		if len(status) > 0xFFFF || len(errStr) > 0xFFFF || len(leader) > 0xFFFF {
 			t.Skip()
 		}
 		resp := Response{Seq: seq, Status: status, Retries: int(retries),
 			QueueUS: us, ExecUS: -us, Bundle: int(bundle), RetryAfterMS: us,
-			Error: errStr, Duplicate: dup}
+			Error: errStr, Duplicate: dup, Leader: leader}
 		body := AppendResponseBody(nil, &resp)
 		var binResp Response
 		rest, err := DecodeResponseBody(body, &binResp)
@@ -260,7 +265,7 @@ func FuzzWireParity(f *testing.F) {
 		// The JSON codec coerces invalid UTF-8 to U+FFFD (encoding/json
 		// semantics); the binary codec is lossless. Cross-codec equality
 		// therefore holds exactly on the strings JSON can carry.
-		if utf8.ValidString(status) && utf8.ValidString(errStr) {
+		if utf8.ValidString(status) && utf8.ValidString(errStr) && utf8.ValidString(leader) {
 			respLine := AppendResponse(nil, &resp)
 			var jsonResp Response
 			if err := DecodeResponse(respLine[:len(respLine)-1], &jsonResp); err != nil {

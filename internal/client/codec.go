@@ -85,6 +85,10 @@ func AppendResponse(dst []byte, r *Response) []byte {
 		dst = append(dst, `,"error":`...)
 		dst = appendJSONString(dst, r.Error)
 	}
+	if r.Leader != "" {
+		dst = append(dst, `,"leader":`...)
+		dst = appendJSONString(dst, r.Leader)
+	}
 	if r.Duplicate {
 		dst = append(dst, `,"duplicate":true`...)
 	}
@@ -242,6 +246,8 @@ func internStatus(b []byte) string {
 		return StatusExpired
 	case StatusShed:
 		return StatusShed
+	case StatusNotPrimary:
+		return StatusNotPrimary
 	}
 	return string(b)
 }
@@ -455,6 +461,11 @@ func fastDecodeResponse(line []byte, r *Response) bool {
 			var b []byte
 			if b, err = s.str(); err == nil {
 				r.Error = string(b)
+			}
+		case "leader":
+			var b []byte
+			if b, err = s.str(); err == nil {
+				r.Leader = string(b)
 			}
 		case "duplicate":
 			r.Duplicate, err = s.bool()

@@ -27,6 +27,8 @@ var codecResponses = []Response{
 	{Seq: 5, Status: "weird-future-status"},
 	{Seq: 6, Status: StatusExpired},
 	{Seq: 7, Status: StatusShed, RetryAfterMS: 40},
+	{Seq: 8, Status: StatusNotPrimary, Leader: "10.0.0.2:7000"},
+	{Seq: 10, Status: StatusNotPrimary}, // deposed server with no known successor
 }
 
 // The append encoders must produce JSON that encoding/json parses back

@@ -86,17 +86,35 @@ var ErrRetriesExhausted = errors.New("client: retries exhausted")
 // consecutive deaths), so a client pointed at a primary/backup pair
 // follows the survivor after a failover (idempotency keys make the
 // switch safe — the promoted server's recovered dedup window answers
-// anything the old one already committed). Safe for concurrent use.
+// anything the old one already committed). Two refinements shortcut
+// the blind rotation: a StatusNotPrimary response redirects the client
+// straight to the leader the server names (learned as a new candidate
+// when absent from the list), and an address refusing several
+// consecutive dials is quarantined with a jittered re-probe instead of
+// being retried every time around the ring. Safe for concurrent use.
 type ReliableConn struct {
 	addrs  []string
 	policy RetryPolicy
 
 	mu        sync.Mutex
-	cur       int      // index into addrs currently dialed
-	conn      WireConn // current connection; nil between failures
-	connFails int      // consecutive connection deaths on addrs[cur]
+	states    []addrState // per-address dial health, parallel to addrs
+	cur       int         // index into addrs currently dialed
+	conn      WireConn    // current connection; nil between failures
+	connFails int         // consecutive connection deaths on addrs[cur]
 	rng       *rand.Rand
 	next      uint64 // idempotency key counter (keyspace chosen at dial)
+}
+
+// addrState tracks one candidate address's dial health. An address
+// that refuses quarantineAfter consecutive dials is quarantined: the
+// rotation skips it until a jittered re-probe instant, so a client
+// with one dead address in its list stops burning an attempt (and a
+// dial timeout) on it every time around the ring. Quarantine never
+// makes the list empty — when every address is quarantined the client
+// probes anyway rather than deadlocking.
+type addrState struct {
+	dialFails       int
+	quarantineUntil time.Time
 }
 
 // failoverAfter is the number of consecutive connection deaths on one
@@ -106,6 +124,15 @@ type ReliableConn struct {
 // — but an address whose accepted connections keep dying (a flapping
 // or crash-looping server) is exhausted quickly.
 const failoverAfter = 2
+
+// quarantineAfter is the number of consecutive refused dials before an
+// address is quarantined; quarantineBase is the re-probe delay, jittered
+// uniformly in [base, 2*base) so a fleet of clients does not re-probe a
+// recovering server in lockstep.
+const (
+	quarantineAfter = 3
+	quarantineBase  = 250 * time.Millisecond
+)
 
 // DialReliable returns a reliable client for addr. No connection is
 // attempted until the first Submit, so it succeeds even while the
@@ -132,6 +159,7 @@ func DialReliableMulti(addrs []string, policy RetryPolicy) *ReliableConn {
 	rng := rand.New(rand.NewSource(seed))
 	return &ReliableConn{
 		addrs:  append([]string(nil), addrs...),
+		states: make([]addrState, len(addrs)),
 		policy: policy,
 		rng:    rng,
 		// Random keyspace start: two clients (or two incarnations of
@@ -159,13 +187,15 @@ func (r *ReliableConn) nextKeyLocked() uint64 {
 
 // current returns a live connection, dialing if necessary. A failed
 // dial rotates to the next candidate address before reporting the
-// error, so the following attempt tries the next server over.
+// error, so the following attempt tries the next server over;
+// addresses in quarantine are skipped until their re-probe instant.
 func (r *ReliableConn) current() (WireConn, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.conn != nil {
 		return r.conn, nil
 	}
+	r.skipQuarantinedLocked()
 	dial := r.policy.Dial
 	if dial == nil {
 		dial = func(addr string) (WireConn, error) { return Dial(addr) }
@@ -173,13 +203,40 @@ func (r *ReliableConn) current() (WireConn, error) {
 	c, err := dial(r.addrs[r.cur])
 	if err != nil {
 		// A refused dial is hard evidence the server is gone: rotate
-		// immediately rather than burning the reconnect grace.
+		// immediately rather than burning the reconnect grace, and
+		// quarantine the address once its refusals look chronic.
+		st := &r.states[r.cur]
+		st.dialFails++
+		if st.dialFails >= quarantineAfter {
+			st.dialFails = 0
+			st.quarantineUntil = time.Now().Add(
+				quarantineBase + time.Duration(r.rng.Int63n(int64(quarantineBase))))
+		}
 		r.cur = (r.cur + 1) % len(r.addrs)
 		r.connFails = 0
 		return nil, err
 	}
+	r.states[r.cur] = addrState{}
 	r.conn = c
 	return c, nil
+}
+
+// skipQuarantinedLocked advances the cursor to the first candidate
+// that is not in quarantine, starting from the current one. When every
+// address is quarantined the cursor stays put — re-probing early beats
+// refusing to dial at all.
+func (r *ReliableConn) skipQuarantinedLocked() {
+	now := time.Now()
+	for i := 0; i < len(r.addrs); i++ {
+		idx := (r.cur + i) % len(r.addrs)
+		if now.After(r.states[idx].quarantineUntil) {
+			if idx != r.cur {
+				r.cur = idx
+				r.connFails = 0
+			}
+			return
+		}
+	}
 }
 
 // Addr reports the address the client is currently pointed at (the
@@ -215,7 +272,49 @@ func (r *ReliableConn) invalidate(c WireConn) {
 func (r *ReliableConn) markHealthy() {
 	r.mu.Lock()
 	r.connFails = 0
+	r.states[r.cur] = addrState{}
 	r.mu.Unlock()
+}
+
+// redirect follows a StatusNotPrimary response: the server refusing
+// the submission is authoritative about not being the primary, so the
+// connection is dropped outright (no reconnect grace) and the cursor
+// moves to the named leader — learning it as a new candidate when it
+// was not in the address list, as after an automatic failover to a
+// backup the client was never configured with. An empty leader (the
+// deposed server does not know its successor yet) falls back to plain
+// rotation.
+func (r *ReliableConn) redirect(c WireConn, leader string) {
+	r.mu.Lock()
+	if r.conn == c {
+		r.conn = nil
+	}
+	r.connFails = 0
+	switch {
+	case leader != "" && leader != r.addrs[r.cur]:
+		found := false
+		for i, a := range r.addrs {
+			if a == leader {
+				r.cur = i
+				found = true
+				break
+			}
+		}
+		if !found {
+			r.addrs = append(r.addrs, leader)
+			r.states = append(r.states, addrState{})
+			r.cur = len(r.addrs) - 1
+		}
+		// A fresh redirect trumps any quarantine the leader address
+		// earned while it was still warming up.
+		r.states[r.cur] = addrState{}
+	case leader == "":
+		r.cur = (r.cur + 1) % len(r.addrs)
+	}
+	r.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
 }
 
 // backoff sleeps the jittered exponential step for attempt (0-based),
@@ -307,6 +406,17 @@ func (r *ReliableConn) Submit(ctx context.Context, req Request) (Response, error
 			}
 		case StatusRejected, StatusShed:
 			lastErr = errors.New("client: " + resp.Status + " (backpressure)")
+			if err := r.backoff(ctx, attempt, resp.RetryAfterMS); err != nil {
+				return Response{}, err
+			}
+		case StatusNotPrimary:
+			// The server lost (or never held) its lease. Follow the
+			// redirect — or rotate when it has no successor to name —
+			// and resubmit under the same idempotency key; the new
+			// primary's recovered dedup window answers anything the old
+			// one already committed.
+			lastErr = errors.New("client: submitted to non-primary")
+			r.redirect(c, resp.Leader)
 			if err := r.backoff(ctx, attempt, resp.RetryAfterMS); err != nil {
 				return Response{}, err
 			}

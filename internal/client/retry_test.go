@@ -189,6 +189,144 @@ func TestMultiAddrFailsOverFromFlappingServer(t *testing.T) {
 	}
 }
 
+// redirectingServer answers every request with not_primary pointing at
+// leader — a deposed primary that knows its successor.
+func redirectingServer(t *testing.T, leader string) (string, *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var refused atomic.Int64
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(nc net.Conn) {
+				defer nc.Close()
+				sc := bufio.NewScanner(nc)
+				for sc.Scan() {
+					var req Request
+					if err := DecodeRequest(sc.Bytes(), &req); err != nil {
+						return
+					}
+					refused.Add(1)
+					resp := Response{Seq: req.Seq, Status: StatusNotPrimary, Leader: leader}
+					nc.Write(AppendResponse(nil, &resp))
+				}
+			}(nc)
+		}
+	}()
+	return ln.Addr().String(), &refused
+}
+
+// TestNotPrimaryRedirectLearnsLeader: a client configured with ONLY the
+// deposed primary's address must still converge — the not_primary
+// response carries the promoted backup's address, the client learns it
+// as a new candidate and commits there. This is the discovery path
+// automatic failover relies on: nobody re-configures the clients.
+func TestNotPrimaryRedirectLearnsLeader(t *testing.T) {
+	goodAddr := steadyServer(t)
+	deposedAddr, refused := redirectingServer(t, goodAddr)
+	r := DialReliableMulti([]string{deposedAddr}, RetryPolicy{
+		Base: time.Millisecond, Max: 5 * time.Millisecond, MaxAttempts: 10, Seed: 5,
+	})
+	defer r.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := r.Submit(context.Background(), Request{Seq: uint64(i), Ops: "R[1:1]"})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if resp.Status != StatusCommit {
+			t.Fatalf("submit %d: status %s", i, resp.Status)
+		}
+	}
+	if refused.Load() == 0 {
+		t.Fatal("deposed address was never tried")
+	}
+	if got := r.Addr(); got != goodAddr {
+		t.Fatalf("client points at %s, want the redirected leader %s", got, goodAddr)
+	}
+	// Only the first submission should have paid the redirect: the
+	// learned leader is sticky across submissions.
+	if n := refused.Load(); n != 1 {
+		t.Fatalf("deposed primary refused %d submissions, want 1", n)
+	}
+}
+
+// TestNotPrimaryWithoutLeaderRotates: a not_primary refusal with no
+// successor named falls back to plain rotation through the configured
+// candidates.
+func TestNotPrimaryWithoutLeaderRotates(t *testing.T) {
+	deposedAddr, _ := redirectingServer(t, "")
+	goodAddr := steadyServer(t)
+	r := DialReliableMulti([]string{deposedAddr, goodAddr}, RetryPolicy{
+		Base: time.Millisecond, Max: 5 * time.Millisecond, MaxAttempts: 10, Seed: 5,
+	})
+	defer r.Close()
+	resp, err := r.Submit(context.Background(), Request{Seq: 1, Ops: "R[1:1]"})
+	if err != nil || resp.Status != StatusCommit {
+		t.Fatalf("submit: %+v, %v", resp, err)
+	}
+	if got := r.Addr(); got != goodAddr {
+		t.Fatalf("client points at %s, want %s", got, goodAddr)
+	}
+}
+
+// TestQuarantineSkipsDeadAddress: once a dead address has refused
+// quarantineAfter consecutive dials it leaves the rotation, so
+// submissions stop paying a failed dial (and its backoff) every time
+// around the ring; it re-enters after the jittered re-probe delay.
+func TestQuarantineSkipsDeadAddress(t *testing.T) {
+	var dead atomic.Int64
+	goodAddr := steadyServer(t)
+	deadAddr := "127.0.0.1:1"
+	r := DialReliableMulti([]string{deadAddr, goodAddr}, RetryPolicy{
+		Base: 100 * time.Microsecond, Max: time.Millisecond, MaxAttempts: 50, Seed: 9,
+		Dial: func(addr string) (WireConn, error) {
+			if addr == deadAddr {
+				dead.Add(1)
+				return nil, errors.New("connection refused")
+			}
+			return Dial(addr)
+		},
+	})
+	defer r.Close()
+	// Burn the dead address into quarantine: each round drops the
+	// healthy connection and points the cursor back at the dead
+	// address, so the submission either pays one failed dial there (not
+	// yet quarantined) or skips it outright. After quarantineAfter
+	// failures it must stop being dialed entirely.
+	for i := 0; i < 30; i++ {
+		r.Close()
+		r.mu.Lock()
+		r.cur = 0
+		r.mu.Unlock()
+		resp, err := r.Submit(context.Background(), Request{Seq: uint64(i), Ops: "R[1:1]"})
+		if err != nil || resp.Status != StatusCommit {
+			t.Fatalf("submit %d: %+v, %v", i, resp, err)
+		}
+	}
+	if n := dead.Load(); n != quarantineAfter {
+		t.Fatalf("dead address dialed %d times, want exactly %d (then quarantined)", n, quarantineAfter)
+	}
+	// After the re-probe delay the address re-enters the rotation.
+	time.Sleep(2 * quarantineBase)
+	r.Close()
+	r.mu.Lock()
+	r.cur = 0 // point the cursor back at the dead address
+	r.mu.Unlock()
+	if _, err := r.Submit(context.Background(), Request{Seq: 99, Ops: "R[1:1]"}); err != nil {
+		t.Fatalf("post-quarantine submit: %v", err)
+	}
+	if n := dead.Load(); n <= quarantineAfter {
+		t.Fatal("quarantined address was never re-probed after its delay")
+	}
+}
+
 // TestMultiAddrRotatesThroughDeadAddresses: with every address dead,
 // the dial failures must rotate round-robin through the whole list
 // before retries exhaust — no address is permanently sticky.

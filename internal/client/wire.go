@@ -82,6 +82,12 @@ const (
 	// StatusShed: the overload controller dropped the admission to
 	// protect latency; nothing executed. Retry after RetryAfterMS.
 	StatusShed = "shed"
+	// StatusNotPrimary: the server is not (or no longer) the primary
+	// for its shard-group — it lost or never held its arbiter lease —
+	// and refused the submission without executing it. Leader, when
+	// set, names the address the client should redirect to; reliable
+	// clients resubmit there under the same idempotency key.
+	StatusNotPrimary = "not_primary"
 )
 
 // Response is one per-transaction outcome envelope.
@@ -105,6 +111,10 @@ type Response struct {
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 	// Error describes a StatusError parse failure.
 	Error string `json:"error,omitempty"`
+	// Leader accompanies StatusNotPrimary: the address of the current
+	// primary as far as the refusing server knows (empty when it does
+	// not know — the client falls back to rotation).
+	Leader string `json:"leader,omitempty"`
 	// Duplicate marks a commit response answered from the server's
 	// idempotency window rather than by executing: the transaction's
 	// effects were already applied by an earlier submission of the same

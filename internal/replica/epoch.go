@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+
+	"tskd/internal/storage"
 )
 
 // epoch.go: the fencing epoch. Every data directory — primary and
@@ -22,6 +24,11 @@ const EpochFile = "EPOCH"
 
 // ReadEpoch returns the epoch persisted under dir (0 when the file
 // does not exist — a never-replicated or first-incarnation directory).
+// A corrupt EPOCH is recovered from a surviving atomic-write temp file
+// when one parses (the crash window of an interrupted WriteEpoch, or a
+// torn direct write from an older binary); only when no recovery
+// candidate exists does corruption become a hard error, so a single
+// torn write can no longer brick a backup.
 func ReadEpoch(dir string) (uint64, error) {
 	b, err := os.ReadFile(filepath.Join(dir, EpochFile))
 	if os.IsNotExist(err) {
@@ -30,11 +37,52 @@ func ReadEpoch(dir string) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	e, err := strconv.ParseUint(string(bytes.TrimSpace(b)), 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("replica: corrupt %s: %w", EpochFile, err)
+	e, perr := strconv.ParseUint(string(bytes.TrimSpace(b)), 10, 64)
+	if perr == nil {
+		return e, nil
 	}
-	return e, nil
+	if rec, ok := recoverEpoch(dir); ok {
+		return rec, nil
+	}
+	return 0, fmt.Errorf("replica: corrupt %s: %w", EpochFile, perr)
+}
+
+// recoverEpoch scans the EPOCH atomic-write temp files left by a crash
+// (EPOCH.tmp-* from the storage helper, EPOCH.tmp from older builds)
+// and, if any parses, adopts the highest value found: epochs only ever
+// move forward, so a temp file always holds a value at least as new as
+// anything EPOCH legitimately contained. The recovered value is
+// rewritten atomically and the temp files are removed.
+func recoverEpoch(dir string) (uint64, bool) {
+	var cands []string
+	if m, err := filepath.Glob(filepath.Join(dir, EpochFile+".tmp-*")); err == nil {
+		cands = append(cands, m...)
+	}
+	cands = append(cands, filepath.Join(dir, EpochFile+".tmp"))
+	best, found := uint64(0), false
+	for _, p := range cands {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		if e, err := strconv.ParseUint(string(bytes.TrimSpace(b)), 10, 64); err == nil && (!found || e > best) {
+			best, found = e, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	if err := storage.WriteFileAtomic(filepath.Join(dir, EpochFile), epochBytes(best), true); err != nil {
+		return 0, false
+	}
+	for _, p := range cands {
+		os.Remove(p)
+	}
+	return best, true
+}
+
+func epochBytes(epoch uint64) []byte {
+	return []byte(strconv.FormatUint(epoch, 10) + "\n")
 }
 
 // WriteEpoch persists epoch under dir, atomically and durably. It
@@ -48,27 +96,7 @@ func WriteEpoch(dir string, epoch uint64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	path := filepath.Join(dir, EpochFile)
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.WriteString(strconv.FormatUint(epoch, 10) + "\n"); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	return syncPath(dir)
+	return storage.WriteFileAtomic(filepath.Join(dir, EpochFile), epochBytes(epoch), true)
 }
 
 // Promote fences off the old primary: it bumps the epoch persisted

@@ -1,0 +1,86 @@
+package replica
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEpochRoundTripAndMonotonicity(t *testing.T) {
+	dir := t.TempDir()
+	if e, err := ReadEpoch(dir); err != nil || e != 0 {
+		t.Fatalf("fresh dir: epoch %d err %v", e, err)
+	}
+	if err := WriteEpoch(dir, 3); err != nil {
+		t.Fatalf("WriteEpoch: %v", err)
+	}
+	if e, err := ReadEpoch(dir); err != nil || e != 3 {
+		t.Fatalf("after write: epoch %d err %v", e, err)
+	}
+	if err := WriteEpoch(dir, 2); err == nil {
+		t.Fatal("backwards write must be refused")
+	}
+	if e, err := Promote(dir); err != nil || e != 4 {
+		t.Fatalf("Promote: epoch %d err %v", e, err)
+	}
+	// No atomic-write temp files survive a clean write.
+	if m, _ := filepath.Glob(filepath.Join(dir, EpochFile+".tmp*")); len(m) != 0 {
+		t.Fatalf("stray temp files after clean writes: %v", m)
+	}
+}
+
+// TestEpochTornWriteRecovery simulates the crash windows of an epoch
+// bump: a corrupt EPOCH with a surviving atomic-write temp recovers to
+// the temp's (newer) value instead of bricking the backup.
+func TestEpochTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteEpoch(dir, 5); err != nil {
+		t.Fatalf("WriteEpoch: %v", err)
+	}
+	path := filepath.Join(dir, EpochFile)
+
+	// Crash mid-write of a legacy (non-atomic) binary: EPOCH is torn
+	// garbage, but the interrupted promote's temp file survived.
+	if err := os.WriteFile(path, []byte("5\x00\xffgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".tmp-recov1", []byte("6\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An older temp naming scheme, with a staler value: the highest
+	// candidate must win (epochs only move forward).
+	if err := os.WriteFile(path+".tmp", []byte("4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := ReadEpoch(dir)
+	if err != nil {
+		t.Fatalf("recovery read: %v", err)
+	}
+	if e != 6 {
+		t.Fatalf("recovered epoch %d, want 6", e)
+	}
+	// Recovery rewrote EPOCH durably and cleaned the temps: a second
+	// read takes the fast path.
+	if b, err := os.ReadFile(path); err != nil || string(b) != "6\n" {
+		t.Fatalf("rewritten EPOCH: %q err %v", b, err)
+	}
+	if m, _ := filepath.Glob(path + ".tmp*"); len(m) != 0 {
+		t.Fatalf("temp files not cleaned: %v", m)
+	}
+	if e, err := ReadEpoch(dir); err != nil || e != 6 {
+		t.Fatalf("post-recovery read: epoch %d err %v", e, err)
+	}
+	// Promotion continues from the recovered value.
+	if e, err := Promote(dir); err != nil || e != 7 {
+		t.Fatalf("Promote after recovery: epoch %d err %v", e, err)
+	}
+
+	// Corruption with no recovery candidate is still a hard error: the
+	// epoch is a fencing invariant, not a guessable default.
+	if err := os.WriteFile(path, []byte("not a number"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEpoch(dir); err == nil {
+		t.Fatal("unrecoverable corruption must fail")
+	}
+}

@@ -12,7 +12,9 @@ func roundTripFrames() []Frame {
 	return []Frame{
 		{Type: FrameHello, Epoch: 0},
 		{Type: FrameHello, Epoch: 42},
+		{Type: FrameHello, Epoch: 42, Flags: FlagChecksums},
 		{Type: FrameHelloAck, Epoch: 7},
+		{Type: FrameHelloAck, Epoch: 7, Flags: FlagChecksums},
 		{Type: FrameFence, Epoch: 9},
 		{Type: FrameFile, Stream: ".", Name: "ckpt-0000000000000010.ckpt", Data: []byte("image")},
 		{Type: FrameFile, Stream: "shard-03", Name: "wal-0000000000000000.seg", Data: nil},
@@ -67,13 +69,15 @@ func TestDecodeFrameRejects(t *testing.T) {
 	cases := [][]byte{
 		nil,
 		{},
-		{0},                      // unknown type 0
-		{200},                    // unknown high type
-		{FrameHello},             // missing epoch
-		{FrameHello, 1, 2, 3},    // short epoch
-		{FrameAck, 1, 2, 3, 4, 5, 6, 7, 8, 9}, // trailing byte
-		{FrameAppend, 5, 'a'},    // stream length overruns
-		{FrameFile, 3, 'a'},      // stream length overruns
+		{0},                   // unknown type 0
+		{200},                 // unknown high type
+		{FrameHello},          // missing epoch
+		{FrameHello, 1, 2, 3}, // short epoch
+		append([]byte{FrameHello}, make([]byte, 12)...),     // present-but-zero flags word
+		append([]byte{FrameHello}, make([]byte, 10)...),     // partial flags word
+		{FrameAck, 1, 2, 3, 4, 5, 6, 7, 8, 9},               // trailing byte
+		{FrameAppend, 5, 'a'},                               // stream length overruns
+		{FrameFile, 3, 'a'},                                 // stream length overruns
 		append([]byte{FrameHeartbeat}, make([]byte, 17)...), // trailing byte
 	}
 	for i, c := range cases {
@@ -95,30 +99,110 @@ func TestAppendFramePanicsOnLongName(t *testing.T) {
 	AppendFrame(nil, Frame{Type: FrameAppend, Stream: strings.Repeat("x", 256)})
 }
 
+// TestCheckedFrameRoundTrip covers the negotiated CRC32C framing: the
+// checksum survives a round trip, and any single flipped bit in the
+// payload or the checksum itself is detected.
+func TestCheckedFrameRoundTrip(t *testing.T) {
+	var stream []byte
+	for _, f := range roundTripFrames() {
+		wire := AppendCheckedFrame(nil, f)
+		got, err := DecodeCheckedFrame(wire[4:])
+		if err != nil {
+			t.Fatalf("checked decode %+v: %v", f, err)
+		}
+		if !frameEqual(got, f) {
+			t.Fatalf("checked round trip: got %+v, want %+v", got, f)
+		}
+		stream = append(stream, wire...)
+	}
+	br := bufio.NewReader(bytes.NewReader(stream))
+	for _, want := range roundTripFrames() {
+		got, err := ReadCheckedFrame(br)
+		if err != nil {
+			t.Fatalf("ReadCheckedFrame: %v", err)
+		}
+		if !frameEqual(got, want) {
+			t.Fatalf("checked stream read: got %+v, want %+v", got, want)
+		}
+	}
+
+	// Bit flips anywhere in the checked payload must be caught.
+	wire := AppendCheckedFrame(nil, Frame{Type: FrameAppend, Stream: "coord", Epoch: 3, Seq: 17, FirstLSN: 9, Records: 1, Data: []byte("group bytes")})
+	payload := wire[4:]
+	for i := range payload {
+		corrupt := append([]byte(nil), payload...)
+		corrupt[i] ^= 0x40
+		if _, err := DecodeCheckedFrame(corrupt); err == nil {
+			t.Fatalf("flipped bit at payload offset %d went undetected", i)
+		}
+	}
+	if _, err := DecodeCheckedFrame([]byte{1, 2, 3, 4}); err == nil {
+		t.Fatal("checksum-only payload must be rejected")
+	}
+}
+
+// TestChecksumNegotiationInterop pins the wire compatibility contract:
+// a Hello/HelloAck with no flags encodes to the legacy 8-byte payload
+// byte for byte, so peers that never request checksums interoperate
+// with old binaries in both directions.
+func TestChecksumNegotiationInterop(t *testing.T) {
+	plain := AppendFrame(nil, Frame{Type: FrameHello, Epoch: 5})
+	if len(plain) != 4+1+8 {
+		t.Fatalf("flagless hello is %d bytes, want %d (legacy layout)", len(plain), 4+1+8)
+	}
+	flagged := AppendFrame(nil, Frame{Type: FrameHello, Epoch: 5, Flags: FlagChecksums})
+	if len(flagged) != 4+1+8+4 {
+		t.Fatalf("flagged hello is %d bytes, want %d", len(flagged), 4+1+8+4)
+	}
+	if !bytes.Equal(plain[:13], flagged[:4+1+8]) {
+		// Everything but the length prefix and trailing flags matches.
+		got, err := DecodeFrame(flagged[4:])
+		if err != nil || got.Epoch != 5 {
+			t.Fatalf("flagged hello decode: %+v err %v", got, err)
+		}
+	}
+}
+
 // FuzzDecodeFrame is the CI fuzz target for the replication stream
 // decoder: arbitrary payloads must never panic, and whatever decodes
-// successfully must re-encode and re-decode to the same frame.
+// successfully must re-encode and re-decode to the same frame —
+// through both the plain and the checksummed framing.
 func FuzzDecodeFrame(f *testing.F) {
 	for _, fr := range roundTripFrames() {
 		wire := AppendFrame(nil, fr)
 		f.Add(wire[4:])
+		checked := AppendCheckedFrame(nil, fr)
+		f.Add(checked[4:])
 	}
 	f.Add([]byte{FrameAppend, 0})
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		fr, err := DecodeFrame(payload)
+		if err == nil {
+			wire := AppendFrame(nil, fr)
+			again, derr := DecodeFrame(wire[4:])
+			if derr != nil {
+				t.Fatalf("re-decode of re-encoded frame failed: %v (frame %+v)", derr, fr)
+			}
+			// Stream/Name longer than 255 bytes cannot re-encode faithfully
+			// (u8 length); DecodeFrame never produces them, so equality must
+			// hold.
+			if !frameEqual(fr, again) {
+				t.Fatalf("re-encode changed frame: %+v -> %+v", fr, again)
+			}
+		}
+		// The checksummed path: whatever passes CRC validation must
+		// round-trip identically through the checked encoder too.
+		cfr, err := DecodeCheckedFrame(payload)
 		if err != nil {
 			return
 		}
-		wire := AppendFrame(nil, fr)
-		again, err := DecodeFrame(wire[4:])
+		wire := AppendCheckedFrame(nil, cfr)
+		again, err := DecodeCheckedFrame(wire[4:])
 		if err != nil {
-			t.Fatalf("re-decode of re-encoded frame failed: %v (frame %+v)", err, fr)
+			t.Fatalf("checked re-decode failed: %v (frame %+v)", err, cfr)
 		}
-		// Stream/Name longer than 255 bytes cannot re-encode faithfully
-		// (u8 length); DecodeFrame never produces them, so equality must
-		// hold.
-		if !frameEqual(fr, again) {
-			t.Fatalf("re-encode changed frame: %+v -> %+v", fr, again)
+		if !frameEqual(cfr, again) {
+			t.Fatalf("checked re-encode changed frame: %+v -> %+v", cfr, again)
 		}
 	})
 }

@@ -91,6 +91,37 @@ func TestMonitorTimeline(t *testing.T) {
 			transitions: []string{"sync->degraded", "degraded->failed"},
 		},
 		{
+			// The semi-sync catch-up story: a link failure degrades the
+			// pair, async shipping keeps piling bytes onto the backlog
+			// (ships never heal — only an ack proves the backup is
+			// consuming), and the first ack of the reconnected backup with
+			// the lag back inside MaxLagBytes restores sync.
+			name: "degraded pair heals after backup catch-up",
+			steps: []step{
+				{advance: 10 * time.Millisecond, do: func(m *Monitor) { m.ObserveFailure() }, want: StateDegraded},
+				{advance: 50 * time.Millisecond, do: func(m *Monitor) { m.ObserveShip(400) }, want: StateDegraded},
+				{advance: 50 * time.Millisecond, do: func(m *Monitor) { m.ObserveShip(500) }, want: StateDegraded},
+				// Backup reconnects and starts draining: lag 900 -> 400.
+				{advance: 100 * time.Millisecond, do: func(m *Monitor) { m.ObserveAck(400) }, want: StateSync},
+				{advance: 100 * time.Millisecond, do: func(m *Monitor) { m.ObserveAck(0) }, want: StateSync},
+			},
+			transitions: []string{"sync->degraded", "degraded->sync"},
+		},
+		{
+			// Catch-up is not one-shot: a stall mid-drain re-degrades the
+			// pair, and the next ack heals it again. Two full
+			// degraded->sync round trips on one monitor.
+			name: "re-degrade during catch-up heals again",
+			steps: []step{
+				{advance: time.Second, do: func(m *Monitor) { m.Tick() }, want: StateDegraded},
+				{advance: 0, do: func(m *Monitor) { m.ObserveShip(700) }, want: StateDegraded},
+				{advance: 100 * time.Millisecond, do: func(m *Monitor) { m.ObserveAck(300) }, want: StateSync},
+				{advance: time.Second, do: func(m *Monitor) { m.Tick() }, want: StateDegraded},
+				{advance: 0, do: func(m *Monitor) { m.ObserveAck(0) }, want: StateSync},
+			},
+			transitions: []string{"sync->degraded", "degraded->sync", "sync->degraded", "degraded->sync"},
+		},
+		{
 			name: "reset re-arms a failed pair",
 			steps: []step{
 				{advance: 10 * time.Second, do: func(m *Monitor) { m.Tick() }, want: StateFailed},

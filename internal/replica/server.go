@@ -198,9 +198,24 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}()
 
+	// checked flips on when the handshake negotiates FlagChecksums;
+	// from then on both directions carry per-frame CRC32C.
+	checked := false
 	reply := func(f Frame) bool {
-		_, err := conn.Write(AppendFrame(nil, f))
+		var buf []byte
+		if checked {
+			buf = AppendCheckedFrame(nil, f)
+		} else {
+			buf = AppendFrame(nil, f)
+		}
+		_, err := conn.Write(buf)
 		return err == nil
+	}
+	read := func() (Frame, error) {
+		if checked {
+			return ReadCheckedFrame(br)
+		}
+		return ReadFrame(br)
 	}
 	fence := func() {
 		s.mu.Lock()
@@ -237,12 +252,20 @@ func (s *Server) serveConn(conn net.Conn) {
 	if prev != nil {
 		prev.Close()
 	}
-	if !reply(Frame{Type: FrameHelloAck, Epoch: hello.Epoch}) {
+	// Echo the checksum flag if the shipper requested it: the ack
+	// itself is still plain (the shipper reads it before enabling
+	// checked framing); everything after is checksummed both ways.
+	var ackFlags uint32
+	if hello.Flags&FlagChecksums != 0 {
+		ackFlags |= FlagChecksums
+	}
+	if !reply(Frame{Type: FrameHelloAck, Epoch: hello.Epoch, Flags: ackFlags}) {
 		return
 	}
+	checked = ackFlags&FlagChecksums != 0
 
 	for {
-		f, err := ReadFrame(br)
+		f, err := read()
 		if err != nil {
 			return
 		}

@@ -66,6 +66,13 @@ type ShipperConfig struct {
 	Clock clock.Clock
 	// OnTransition observes monitor state changes (see MonitorConfig).
 	OnTransition func(from, to State)
+	// Checksums requests per-frame CRC32C protection (FlagChecksums) in
+	// the Hello. A backup new enough to understand the flag echoes it
+	// and both directions are checksummed from then on; a pre-flags
+	// backup rejects the extended Hello, which surfaces as a handshake
+	// error — leave this off when the backup may be older. With it off
+	// the wire bytes are identical to the pre-checksum protocol.
+	Checksums bool
 }
 
 // ShipperStats is a point-in-time snapshot for /metrics.
@@ -80,6 +87,7 @@ type ShipperStats struct {
 	SyncWaits     uint64 `json:"sync_waits"`
 	SyncTimeouts  uint64 `json:"sync_timeouts"`
 	Fenced        bool   `json:"fenced"`
+	Checksums     bool   `json:"checksums,omitempty"`
 }
 
 type ackWaiter struct {
@@ -98,6 +106,9 @@ type Shipper struct {
 	cfg     ShipperConfig
 	conn    net.Conn
 	monitor *Monitor
+	// checked: both ends negotiated FlagChecksums during the handshake
+	// (immutable afterwards); every subsequent frame carries a CRC32C.
+	checked bool
 
 	wmu  sync.Mutex // serializes frame writes
 	wbuf []byte
@@ -140,7 +151,11 @@ func NewShipper(cfg ShipperConfig) (*Shipper, error) {
 		return nil, fmt.Errorf("replica: dial backup %s: %w", cfg.Addr, err)
 	}
 	conn.SetDeadline(time.Now().Add(cfg.DialTimeout))
-	if _, err := conn.Write(AppendFrame(nil, Frame{Type: FrameHello, Epoch: cfg.Epoch})); err != nil {
+	var flags uint32
+	if cfg.Checksums {
+		flags |= FlagChecksums
+	}
+	if _, err := conn.Write(AppendFrame(nil, Frame{Type: FrameHello, Epoch: cfg.Epoch, Flags: flags})); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("replica: hello: %w", err)
 	}
@@ -159,11 +174,16 @@ func NewShipper(cfg ShipperConfig) (*Shipper, error) {
 		conn.Close()
 		return nil, fmt.Errorf("replica: handshake: unexpected frame type %d", resp.Type)
 	}
+	if cfg.Checksums && resp.Flags&FlagChecksums == 0 {
+		conn.Close()
+		return nil, fmt.Errorf("replica: handshake: backup did not negotiate checksums")
+	}
 	conn.SetDeadline(time.Time{})
 
 	s := &Shipper{
-		cfg:  cfg,
-		conn: conn,
+		cfg:     cfg,
+		conn:    conn,
+		checked: cfg.Checksums && resp.Flags&FlagChecksums != 0,
 		monitor: NewMonitor(MonitorConfig{
 			AckTimeout:   cfg.AckTimeout,
 			FailAfter:    cfg.FailAfter,
@@ -184,6 +204,22 @@ func NewShipper(cfg ShipperConfig) (*Shipper, error) {
 // Epoch returns the epoch this shipper ships under.
 func (s *Shipper) Epoch() uint64 { return s.cfg.Epoch }
 
+// appendFrame / readFrame pick the plain or checksummed framing the
+// handshake negotiated. s.checked is immutable after NewShipper.
+func (s *Shipper) appendFrame(buf []byte, f Frame) []byte {
+	if s.checked {
+		return AppendCheckedFrame(buf, f)
+	}
+	return AppendFrame(buf, f)
+}
+
+func (s *Shipper) readFrame(br *bufio.Reader) (Frame, error) {
+	if s.checked {
+		return ReadCheckedFrame(br)
+	}
+	return ReadFrame(br)
+}
+
 // Monitor exposes the failure detector (read-only use).
 func (s *Shipper) Monitor() *Monitor { return s.monitor }
 
@@ -202,6 +238,7 @@ func (s *Shipper) Stats() ShipperStats {
 		SyncWaits:     s.syncWaits,
 		SyncTimeouts:  s.syncTOs,
 		Fenced:        s.fenced,
+		Checksums:     s.checked,
 	}
 }
 
@@ -298,7 +335,7 @@ func (s *Shipper) ship(stream string, firstLSN uint64, records int, data []byte)
 	s.mu.Unlock()
 	s.monitor.ObserveShip(int64(len(data)))
 
-	s.wbuf = AppendFrame(s.wbuf[:0], Frame{
+	s.wbuf = s.appendFrame(s.wbuf[:0], Frame{
 		Type: FrameAppend, Stream: stream, Epoch: s.cfg.Epoch,
 		Seq: seq, FirstLSN: firstLSN, Records: uint32(records), Data: data,
 	})
@@ -350,7 +387,7 @@ func (s *Shipper) dropWaiterLocked(seq uint64) {
 func (s *Shipper) writeFrame(f Frame) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	s.wbuf = AppendFrame(s.wbuf[:0], f)
+	s.wbuf = s.appendFrame(s.wbuf[:0], f)
 	_, err := s.conn.Write(s.wbuf)
 	return err
 }
@@ -359,7 +396,7 @@ func (s *Shipper) writeFrame(f Frame) error {
 func (s *Shipper) readLoop(br *bufio.Reader) {
 	defer close(s.done)
 	for {
-		f, err := ReadFrame(br)
+		f, err := s.readFrame(br)
 		if err != nil {
 			s.transportError(err)
 			return
@@ -454,7 +491,7 @@ func (s *Shipper) heartbeatLoop() {
 		s.nextSeq++
 		seq := s.nextSeq
 		s.mu.Unlock()
-		s.wbuf = AppendFrame(s.wbuf[:0], Frame{Type: FrameHeartbeat, Seq: seq, Epoch: s.cfg.Epoch})
+		s.wbuf = s.appendFrame(s.wbuf[:0], Frame{Type: FrameHeartbeat, Seq: seq, Epoch: s.cfg.Epoch})
 		_, err := s.conn.Write(s.wbuf)
 		s.wmu.Unlock()
 		if err != nil {

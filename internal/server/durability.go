@@ -228,6 +228,13 @@ func (s *Server) openDurable() error {
 		NoSync:       d.NoSync,
 		WrapSyncer:   d.WrapSyncer,
 	}
+	if s.cfg.Lease != nil {
+		// Fencing at the durability boundary: a flush (and every client
+		// ack riding on it) fails unless the lease is still held at
+		// flush time, so a deposed primary cannot acknowledge commits
+		// even if a request slipped past the admission-time check.
+		opts.FlushGate = s.cfg.Lease.Check
+	}
 	// Attach replication before the log opens for appending: Stream
 	// snapshots every existing file (the catch-up copy), then live
 	// flushes ship through the returned hook.

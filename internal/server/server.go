@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"tskd/internal/arbiter"
 	"tskd/internal/cc"
 	"tskd/internal/client"
 	"tskd/internal/core"
@@ -106,6 +107,16 @@ type Config struct {
 	// ShardPartitioner builds shard i's bundle partitioner (sharded
 	// mode only; nil is TSKD[0] on every shard).
 	ShardPartitioner func(i int) partition.Partitioner
+	// Lease, when non-nil, gates the server on an arbiter lease
+	// (internal/arbiter): a submission is dispatched only while the
+	// lease is held — otherwise it is refused with StatusNotPrimary
+	// carrying the current leader's address when known — and on a
+	// durable server every WAL group flush re-checks the lease before
+	// releasing client acks, so a deposed primary cannot acknowledge a
+	// commit its successor will never have. /healthz reports 503 until
+	// the lease is held. The server does not own the client: close it
+	// after Shutdown.
+	Lease *arbiter.LeaseClient
 }
 
 func (c *Config) withDefaults() error {
@@ -217,6 +228,12 @@ type Stats struct {
 	DedupHits     uint64 `json:"dedup_hits,omitempty"`
 	DedupInflight uint64 `json:"dedup_inflight,omitempty"`
 	DedupSize     int    `json:"dedup_size,omitempty"`
+
+	// NotPrimary counts submissions refused because the arbiter lease
+	// was not held; Lease snapshots the lease itself (nil unless
+	// Config.Lease is set).
+	NotPrimary uint64              `json:"not_primary,omitempty"`
+	Lease      *arbiter.LeaseStats `json:"lease,omitempty"`
 
 	// Replication (nil unless this server ships to a backup): the
 	// pair's role, fencing epoch, health state, and lag. The epoch is
@@ -406,7 +423,15 @@ func (s *Server) DB() *storage.DB { return s.cfg.DB }
 func (s *Server) Recovery() RecoveryInfo { return s.recovery }
 
 // Start binds the listeners and launches the accept and bundler loops.
+// A lease-gated server first waits briefly for its first lease so the
+// common case — a healthy primary booting — never answers early
+// connections with not_primary; a server that cannot acquire the lease
+// (arbiter down, or already fenced) still binds and serves refusals,
+// redirecting clients to the leader.
 func (s *Server) Start() error {
+	if s.cfg.Lease != nil {
+		s.cfg.Lease.WaitHeld(2 * time.Second)
+	}
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return err
@@ -784,10 +809,33 @@ func (s *Server) serveBinary(nc net.Conn, br *bufio.Reader, cw *connWriter) {
 	}
 }
 
+// checkLease refuses a submission with StatusNotPrimary when the
+// server is lease-gated and the lease is not currently held — the
+// client-facing half of fencing: a deposed (or not-yet-promoted)
+// server redirects clients to the leader instead of executing work it
+// could never acknowledge. Returns true when dispatch may proceed.
+func (s *Server) checkLease(seq uint64, cw *connWriter) bool {
+	lc := s.cfg.Lease
+	if lc == nil || lc.Check() == nil {
+		return true
+	}
+	ls := lc.Stats()
+	s.count(func(st *Stats) { st.NotPrimary++ })
+	// The TTL is the natural retry horizon: by then the lease has
+	// either been re-acquired or granted away to the leader named here.
+	cw.send(client.Response{Seq: seq, Status: client.StatusNotPrimary,
+		Leader: ls.Leader, RetryAfterMS: ls.TTLMS})
+	return false
+}
+
 // admitDecoded runs the admission tail shared by both protocols for a
-// request whose transaction p.t is fully populated: idempotency
-// window, overload gate, bounded admission.
+// request whose transaction p.t is fully populated: lease gate,
+// idempotency window, overload gate, bounded admission.
 func (s *Server) admitDecoded(req *client.Request, p *pending, cw *connWriter) {
+	if !s.checkLease(req.Seq, cw) {
+		putPending(p)
+		return
+	}
 	if req.IdemKey != 0 && s.dedup != nil {
 		switch state, cached := s.dedup.begin(req.IdemKey); state {
 		case dedupHit:
@@ -1069,6 +1117,10 @@ func (s *Server) Stats() Stats {
 	if d := s.cfg.Durability; d != nil && d.Replication != nil {
 		st.Replication = &ReplicationStats{Role: "primary", ShipperStats: d.Replication.Stats()}
 	}
+	if lc := s.cfg.Lease; lc != nil {
+		ls := lc.Stats()
+		st.Lease = &ls
+	}
 	// shed, breaker, and events are leaf-locked: safe under s.mu.
 	if s.shed != nil {
 		st.ShedLevel = s.shed.Level()
@@ -1095,6 +1147,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.admitMu.RUnlock()
 	if draining {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if lc := s.cfg.Lease; lc != nil {
+		if err := lc.Check(); err != nil {
+			// Lease-gated but not primary: not ready for traffic. The
+			// body names the leader so an operator (or load balancer
+			// health probe) can see where the group went.
+			ls := lc.Stats()
+			http.Error(w, fmt.Sprintf("not primary: %v (epoch=%d leader=%s)", err, ls.Epoch, ls.Leader),
+				http.StatusServiceUnavailable)
+			return
+		}
+		ls := lc.Stats()
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+		fmt.Fprintf(w, "role=primary lease=held epoch=%d ttl_ms=%d\n", ls.Epoch, ls.TTLMS)
+		if d := s.cfg.Durability; d != nil && d.Replication != nil {
+			rst := d.Replication.Stats()
+			fmt.Fprintf(w, "replication=%s lag_bytes=%d\n", rst.State, rst.LagBytes)
+		}
 		return
 	}
 	w.WriteHeader(http.StatusOK)

@@ -31,6 +31,9 @@ func (s *Server) openSharded() error {
 			NoSync:          o.NoSync,
 			Replication:     o.Replication,
 		}
+		if s.cfg.Lease != nil {
+			d.FlushGate = s.cfg.Lease.Check
+		}
 	}
 	rt, err := shard.Open(shard.Config{
 		Shards:        s.cfg.Shards,
@@ -93,6 +96,9 @@ func (s *Server) serveSharded(req *client.Request, cw *connWriter) {
 // transaction to the runtime — the tail shared by the NDJSON path
 // above and the binary frame path, which decodes straight into t.
 func (s *Server) serveShardedParsed(req *client.Request, t *txn.Transaction, cw *connWriter) {
+	if !s.checkLease(req.Seq, cw) {
+		return
+	}
 	now := time.Now()
 	switch {
 	case req.DeadlineMS < 0:

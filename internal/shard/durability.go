@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tskd/internal/replica"
+	"tskd/internal/wal"
 )
 
 // durability.go: the sharded data directory layout and its naming
@@ -49,6 +50,13 @@ type Durability struct {
 	// shipper's fencing epoch on this incarnation's boot record. The
 	// runtime does not own the shipper: close it after Shutdown.
 	Replication *replica.Shipper
+	// FlushGate, when set, runs inside every log's flush path (each
+	// shard's WAL and the coordinator log) before the flush can
+	// succeed — the serving layer installs its arbiter lease check
+	// here, so a deposed primary's flushes (and every client ack and
+	// 2PC decision riding on them) fail instead of acknowledging work
+	// its successor will never have.
+	FlushGate wal.FlushGate
 }
 
 func (d *Durability) withDefaults() error {

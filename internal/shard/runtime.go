@@ -217,6 +217,7 @@ func Open(cfg Config) (*Runtime, error) {
 		coordOpts := wal.DirOptions{
 			GroupWindow: d.GroupWindow, SegmentBytes: d.SegmentBytes,
 			StartLSN: st.Info.CoordNextLSN, NoSync: d.NoSync,
+			FlushGate: d.FlushGate,
 		}
 		if d.Replication != nil {
 			stream, serr := d.Replication.Stream("coord", coordDir(d.Dir))
@@ -267,6 +268,7 @@ func Open(cfg Config) (*Runtime, error) {
 			unitOpts := wal.DirOptions{
 				GroupWindow: d.GroupWindow, SegmentBytes: d.SegmentBytes,
 				StartLSN: nextLSN[i], NoSync: d.NoSync,
+				FlushGate: d.FlushGate,
 			}
 			if d.Replication != nil {
 				stream, serr := d.Replication.Stream(fmt.Sprintf("shard-%02d", i), shardDir(d.Dir, i))

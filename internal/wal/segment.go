@@ -95,6 +95,10 @@ type DirOptions struct {
 	// fsync (see Shipper); its error fails the flush, so appenders —
 	// and therefore client acks — wait on replication.
 	Shipper Shipper
+	// FlushGate, when set, can veto every flush after the local fsync
+	// and before the ship (see FlushGate) — the lease-check hook for
+	// automatic failover.
+	FlushGate FlushGate
 }
 
 // OpenDir opens a directory-backed log for appending. Pre-existing
@@ -142,6 +146,7 @@ func OpenDir(dir string, o DirOptions) (*Log, error) {
 		w:           f,
 		groupWindow: o.GroupWindow,
 		shipper:     o.Shipper,
+		gate:        o.FlushGate,
 		nextLSN:     o.StartLSN,
 		dir:         dir,
 		segBytes:    o.SegmentBytes,

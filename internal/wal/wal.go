@@ -130,6 +130,17 @@ type Shipper interface {
 	Ship(firstLSN uint64, records int, data []byte) error
 }
 
+// FlushGate vetoes durability acknowledgements: it is consulted on
+// every flush after the local fsync, alongside the Shipper, and a
+// non-nil return fails the flush exactly as a ship failure does —
+// every appender waiting on the group gets the error instead of an
+// ack. The automatic-failover path installs the primary's lease check
+// here, so a node whose lease lapsed (or that was fenced by the
+// arbiter) can never acknowledge another commit even if its replica
+// link is still up. Called under the log's mutex; must not call back
+// into the Log.
+type FlushGate func() error
+
 // Log is a group-committing redo log over an io.Writer. Append is safe
 // for concurrent use; records become durable when the group they
 // joined is flushed (Append returns after the flush, i.e. commits are
@@ -140,6 +151,7 @@ type Log struct {
 	sync    Syncer // nil: no stable-storage barrier
 	monitor FlushMonitor
 	shipper Shipper
+	gate    FlushGate
 	// shipStart is the LSN of the first record in the pending group
 	// (meaningful only while pending is non-empty): nextLSN advances per
 	// append, so the group's base must be pinned when the group opens.
@@ -224,6 +236,14 @@ func (l *Log) SetMonitor(m FlushMonitor) {
 func (l *Log) SetShipper(s Shipper) {
 	l.mu.Lock()
 	l.shipper = s
+	l.mu.Unlock()
+}
+
+// SetFlushGate installs the flush gate (nil removes it). Install
+// before traffic: the gate is read under the log's mutex.
+func (l *Log) SetFlushGate(g FlushGate) {
+	l.mu.Lock()
+	l.gate = g
 	l.mu.Unlock()
 }
 
@@ -350,6 +370,11 @@ func (l *Log) flushLocked() error {
 	}
 	if l.monitor != nil {
 		l.monitor.FlushEnd(time.Since(start), err)
+	}
+	// The gate runs before the ship: a fenced primary must not even
+	// offer the group to its backup, let alone ack it locally.
+	if err == nil && l.gate != nil {
+		err = l.gate()
 	}
 	if err == nil && l.shipper != nil {
 		err = l.shipper.Ship(first, records, group)
